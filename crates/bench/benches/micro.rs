@@ -1,0 +1,231 @@
+//! Criterion micro-benchmarks of the hot paths under the experiments:
+//! the event engine, the SAN model, cache structures, the WAL, the
+//! inverted index and the text distillers.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use sns_cache::lru::LruCache;
+use sns_cache::ring::HashRing;
+use sns_cache::simulator::CacheSim;
+use sns_cache::CacheKey;
+use sns_distillers::{GifDistiller, HtmlMunger, KeywordFilter};
+use sns_profiledb::{MemDevice, ProfileDb, Txn, Wal};
+use sns_san::{San, SanConfig};
+use sns_search::doc::CorpusGenerator;
+use sns_search::index::InvertedIndex;
+use sns_sim::engine::{Component, Ctx, NodeSpec, Sim, SimConfig, Wire};
+use sns_sim::network::{Delivery, Endpoint, IdealNetwork, Network, TrafficClass};
+use sns_sim::rng::Pcg32;
+use sns_sim::time::SimTime;
+use sns_sim::ComponentId;
+use sns_sim::NodeId;
+use sns_tacc::content::{synth_html, ContentObject};
+use sns_tacc::worker::{TaccArgs, TaccWorker};
+use sns_workload::sizes::SizeModel;
+use sns_workload::zipf::Zipf;
+use sns_workload::MimeType;
+
+fn bench_engine(c: &mut Criterion) {
+    #[derive(Clone)]
+    struct Ping;
+    impl Wire for Ping {
+        fn wire_size(&self) -> u64 {
+            64
+        }
+    }
+    struct Echo;
+    impl Component<Ping> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, from: ComponentId, _msg: Ping) {
+            if from != ComponentId::EXTERNAL {
+                return;
+            }
+            ctx.send(ctx.me(), Ping); // self-message keeps the queue busy
+        }
+    }
+    c.bench_function("engine_dispatch_10k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: Sim<Ping, IdealNetwork> =
+                    Sim::new(SimConfig::default(), IdealNetwork::default());
+                let n = sim.add_node(NodeSpec::new(1, "dedicated"));
+                let e = sim.spawn(n, Box::new(Echo), "echo");
+                for _ in 0..10_000 {
+                    sim.inject(e, Ping);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_until(SimTime::from_millis(1));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_san(c: &mut Criterion) {
+    c.bench_function("san_unicast_routing", |b| {
+        let mut san = San::new(SanConfig::switched_100mbps());
+        for i in 0..8 {
+            san.register_node(NodeId(i));
+        }
+        let mut rng = Pcg32::new(1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000; // keep moving time forward so queues drain
+            let d = san.unicast(
+                SimTime::from_nanos(t),
+                &mut rng,
+                Endpoint {
+                    node: NodeId((t % 8) as u32),
+                    comp: ComponentId(1),
+                },
+                Endpoint {
+                    node: NodeId(((t + 3) % 8) as u32),
+                    comp: ComponentId(2),
+                },
+                1500,
+                TrafficClass::Reliable,
+            );
+            assert!(matches!(d, Delivery::At(_)));
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("lru_get_hit", |b| {
+        let mut cache: LruCache<CacheKey, Vec<u8>> = LruCache::new(1 << 24);
+        for i in 0..10_000 {
+            cache.put(
+                CacheKey::original(format!("http://h/{i}")),
+                vec![0u8; 256],
+                0,
+                None,
+            );
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            let key = CacheKey::original(format!("http://h/{i}"));
+            assert!(cache.get(&key, 0).is_some());
+        })
+    });
+    c.bench_function("hash_ring_lookup", |b| {
+        let mut ring = HashRing::with_vnodes(64);
+        for p in 0..16u32 {
+            ring.add(p);
+        }
+        let mut h = 0u64;
+        b.iter(|| {
+            h = h.wrapping_add(0x9E3779B97F4A7C15);
+            assert!(ring.lookup(h).is_some());
+        })
+    });
+    c.bench_function("cache_sim_access", |b| {
+        let mut sim = CacheSim::new(64 << 20);
+        let mut rng = Pcg32::new(3);
+        b.iter(|| {
+            let o = rng.below(50_000);
+            sim.access(&format!("u{o}"), 4096);
+        })
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    c.bench_function("profiledb_commit", |b| {
+        let mut db = ProfileDb::open(Wal::new(MemDevice::new())).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.commit(Txn::new().put(format!("u{}", i % 500), "quality", "25"))
+                .unwrap();
+        })
+    });
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut ix = InvertedIndex::new();
+    for d in CorpusGenerator::with_defaults(11).generate(2_000) {
+        ix.add(&d);
+    }
+    c.bench_function("index_query_common_term", |b| {
+        b.iter(|| {
+            let hits = ix.query("w0 w3", 10);
+            assert!(!hits.is_empty());
+        })
+    });
+    c.bench_function("index_query_rare_terms", |b| {
+        b.iter(|| {
+            let _ = ix.query("w15000 w17890", 10);
+        })
+    });
+}
+
+fn bench_distillers(c: &mut Criterion) {
+    let words: Vec<&str> = (0..600)
+        .map(|i| ["the", "page", "with", "words"][i % 4])
+        .collect();
+    let html = synth_html("http://h/page", 8, &words);
+    let input = ContentObject::text("http://h/page", MimeType::Html, html);
+    c.bench_function("html_munger_transform", |b| {
+        let mut m = HtmlMunger::new();
+        let args = TaccArgs::default();
+        let mut rng = Pcg32::new(4);
+        b.iter(|| {
+            let out = m.transform(&input, &args, &mut rng).unwrap();
+            assert!(!out.is_empty());
+        })
+    });
+    c.bench_function("keyword_filter_transform", |b| {
+        let mut f = KeywordFilter::new();
+        let args = TaccArgs::from_map(
+            [("keywords".to_string(), "page, words".to_string())]
+                .into_iter()
+                .collect(),
+        );
+        let mut rng = Pcg32::new(5);
+        b.iter(|| {
+            let out = f.transform(&input, &args, &mut rng).unwrap();
+            assert!(!out.is_empty());
+        })
+    });
+    c.bench_function("gif_distiller_transform", |b| {
+        let mut d = GifDistiller::new();
+        let args = TaccArgs::default();
+        let mut rng = Pcg32::new(6);
+        let img = ContentObject::synthetic("u", MimeType::Gif, 10_240);
+        b.iter(|| {
+            let out = d.transform(&img, &args, &mut rng).unwrap();
+            assert!(out.len() < img.len());
+        })
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("size_model_sample", |b| {
+        let model = SizeModel::default();
+        let mut rng = Pcg32::new(7);
+        b.iter(|| model.sample(MimeType::Gif, &mut rng))
+    });
+    c.bench_function("zipf_sample_40k", |b| {
+        let z = Zipf::new(40_000, 0.85);
+        let mut rng = Pcg32::new(8);
+        b.iter(|| z.sample(&mut rng))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_engine, bench_san, bench_cache, bench_wal, bench_index,
+              bench_distillers, bench_workload
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! §3.2: HotBot graceful degradation under partition loss.
+//!
+//! Paper: with 26 nodes, "the loss of one machine results in the
+//! database dropping from 54M to about 51M documents, which is still
+//! significantly larger than other search engines" — availability is
+//! maintained, coverage degrades by 1/26, and fast restart restores it.
+
+use std::time::Duration;
+
+use sns_bench::{banner, compare, series_buckets, sparkline};
+use sns_hotbot::HotBotBuilder;
+use sns_sim::time::SimTime;
+
+fn main() {
+    banner(
+        "§3.2 — HotBot: partition loss degrades coverage, not availability",
+        "Fox et al., SOSP '97, §3.2 (54M → 51M documents example)",
+    );
+    let mut cluster = HotBotBuilder {
+        partitions: 26,
+        corpus_docs: 5_400, // stands in for 54M pages at 1:10_000 scale
+        frontends: 2,
+        auto_restart_partitions: true,
+        ..Default::default()
+    }
+    .build();
+    let total = cluster.total_docs();
+    let lost = cluster.docs_per_partition[3];
+    let report = cluster.attach_client(10.0, 1200, Duration::from_secs(5));
+
+    // Node failure at t = 40 s; fast restart at t = 80 s.
+    let victim = cluster.partition_nodes[3];
+    cluster
+        .sim
+        .at(SimTime::from_secs(40), move |sim| sim.kill_node(victim));
+    cluster
+        .sim
+        .at(SimTime::from_secs(80), move |sim| sim.revive_node(victim));
+    cluster.sim.run_until(SimTime::from_secs(140));
+
+    println!();
+    compare(
+        "corpus size (docs)",
+        "54M",
+        &format!("{total} (scaled 1:10k)"),
+    );
+    compare(
+        "docs on the failed node",
+        "~3M (54M→51M)",
+        &format!("{lost} ({}→{})", total, total - lost),
+    );
+    let r = report.borrow();
+    compare(
+        "queries answered / sent",
+        "100% availability",
+        &format!("{} / {}", r.answered, r.sent),
+    );
+    compare("query errors", "0", &format!("{}", r.errors));
+    compare(
+        "coverage during outage",
+        &format!("{:.1}% (51/54)", 100.0 * 51.0 / 54.0),
+        &format!("{:.1}%", r.min_coverage * 100.0),
+    );
+    compare(
+        "queries with partial coverage",
+        "only during the outage window",
+        &format!("{} of {}", r.partial_coverage, r.answered),
+    );
+    drop(r);
+
+    if let Some(series) = cluster.sim.stats().series("hb.coverage_ts") {
+        let (w, vals) = series_buckets(series, 70);
+        println!(
+            "\ncoverage over time ({}s per bucket; kill at 40 s, restart at 80 s):",
+            w.round()
+        );
+        println!("  {}", sparkline(&vals));
+    }
+    println!(
+        "\nShape check: a flat 100% coverage line with a ~96% shelf between the\n\
+         node failure and its fast restart; no query ever fails (§3.2: during\n\
+         the Berkeley→San Jose move \"the overall service was still up and\n\
+         useful\" while parts of the database were unavailable)."
+    );
+}

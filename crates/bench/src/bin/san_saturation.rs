@@ -1,0 +1,141 @@
+//! §4.6: SAN saturation and the loss of control traffic.
+//!
+//! Paper: "we repeated the scalability experiments using a 10 Mb/s
+//! switched Ethernet. As the network was driven closer to saturation,
+//! we noticed that most of our (unreliable) multicast traffic was being
+//! dropped, crippling the ability of the manager to balance load and the
+//! ability of the monitor to report system conditions." On the 100 Mb/s
+//! SAN the same offered load leaves the interior comfortably idle.
+
+use std::time::Duration;
+
+use sns_bench::{banner, compare, ramp_workload, warmup_workload};
+use sns_san::SanConfig;
+use sns_sim::time::SimTime;
+use sns_transend::{TranSendBuilder, TranSendConfig};
+
+struct Outcome {
+    beacon_drops: u64,
+    datagram_drops: u64,
+    load_reports: u64,
+    stub_timeouts: u64,
+    completed: f64,
+    p95: f64,
+}
+
+fn run(san: SanConfig) -> Outcome {
+    let n_objects = 40;
+    let rate = 48.0;
+    let mut cluster = TranSendBuilder {
+        seed: 0x5a71,
+        san,
+        worker_nodes: 8,
+        overflow_nodes: 2,
+        cores_per_node: 2,
+        frontends: 1,
+        cache_partitions: 4,
+        min_distillers: 2,
+        distillers: vec!["jpeg".into()],
+        origin_penalty_scale: 0.05,
+        ts: TranSendConfig {
+            cache_distilled: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .build();
+    let mut items = warmup_workload(n_objects, 10 * 1024, Duration::from_millis(50));
+    let mut load = ramp_workload(&[(95.0, rate)], n_objects, 10 * 1024, 7);
+    load.retain(|(at, _)| at.as_secs_f64() > 6.0);
+    let offered = load.len() as u64 + n_objects as u64;
+    items.extend(load);
+    let report = cluster.attach_client(items, Duration::from_secs(3));
+    cluster.sim.run_until(SimTime::from_secs(120));
+
+    let r = report.borrow();
+    Outcome {
+        beacon_drops: cluster.sim.stats().counter("net.multicast_dropped"),
+        datagram_drops: cluster.sim.net().stats().datagrams_dropped,
+        load_reports: cluster.sim.stats().counter("manager.load_reports"),
+        stub_timeouts: cluster.sim.stats().counter("stub.timeouts"),
+        completed: r.responses as f64 / offered as f64,
+        p95: r.latency.quantile(0.95),
+    }
+}
+
+fn main() {
+    banner(
+        "§4.6 — SAN saturation: 10 Mb/s shared segment vs switched 100 Mb/s",
+        "Fox et al., SOSP '97, §4.6",
+    );
+    println!("\nworkload: 48 req/s of 10 KB JPEG distillation for 90 s\n");
+
+    let fast = run(SanConfig::switched_100mbps());
+    let slow = run(SanConfig::shared_10mbps());
+
+    println!("switched 100 Mb/s SAN:");
+    compare(
+        "multicast (beacon/report) drops",
+        "none",
+        &format!("{}", fast.beacon_drops),
+    );
+    compare(
+        "datagram drops at links",
+        "none",
+        &format!("{}", fast.datagram_drops),
+    );
+    compare(
+        "load reports reaching manager",
+        "all",
+        &format!("{}", fast.load_reports),
+    );
+    compare(
+        "dispatch timeouts",
+        "few",
+        &format!("{}", fast.stub_timeouts),
+    );
+    compare(
+        "requests completed",
+        "100%",
+        &format!("{:.1}%", fast.completed * 100.0),
+    );
+    compare("p95 latency (s)", "bounded", &format!("{:.2}", fast.p95));
+
+    println!("\nshared 10 Mb/s SAN (near saturation):");
+    compare(
+        "multicast (beacon/report) drops",
+        "\"most multicast traffic dropped\"",
+        &format!("{}", slow.beacon_drops),
+    );
+    compare(
+        "datagram drops at links",
+        "heavy",
+        &format!("{}", slow.datagram_drops),
+    );
+    compare(
+        "load reports reaching manager",
+        "starved",
+        &format!(
+            "{} (vs {} on fast SAN)",
+            slow.load_reports, fast.load_reports
+        ),
+    );
+    compare(
+        "dispatch timeouts",
+        "elevated (stale balance)",
+        &format!("{}", slow.stub_timeouts),
+    );
+    compare(
+        "requests completed",
+        "degraded",
+        &format!("{:.1}%", slow.completed * 100.0),
+    );
+    compare("p95 latency (s)", "blows up", &format!("{:.2}", slow.p95));
+
+    println!(
+        "\nShape check: the same offered load that the switched 100 Mb/s SAN carries\n\
+         cleanly drives the shared 10 Mb/s segment into dropping the soft-state\n\
+         control traffic — exactly the failure mode that motivated the paper's\n\
+         suggestion of a separate low-speed utility network (§4.6)."
+    );
+}

@@ -1,0 +1,180 @@
+//! Table 2: the scalability experiment.
+//!
+//! Paper procedure (§4.6): begin with one front end and one distiller;
+//! raise the offered load until some component saturates; add resources
+//! (the manager auto-spawns distillers; the operator adds front ends);
+//! repeat. The workload is a fixed set of ~10 KB JPEG images that stay
+//! cache-resident, with caching of *distilled* variants disabled so every
+//! request is re-distilled.
+//!
+//! Paper results: a distiller handles ~23 req/s; a front end's 100 Mb/s
+//! segment handles ~70-87 req/s (TCP overhead-bound); growth is linear to
+//! 159 req/s (3 FEs, 7 distillers) where the authors ran out of nodes.
+
+use std::time::Duration;
+
+use sns_bench::{banner, compare, ramp_workload, warmup_workload};
+use sns_core::SnsConfig;
+use sns_san::LinkParams;
+use sns_sim::time::SimTime;
+use sns_transend::{TranSendBuilder, TranSendConfig};
+
+struct RunResult {
+    completed: f64,
+    p95_latency: f64,
+    distillers: usize,
+    fe_backlog_p95_ms: f64,
+}
+
+/// One measurement run: warm the fixed working set, ramp to `rate` and
+/// hold for two minutes against `fes` front ends.
+fn run(rate: f64, fes: usize) -> RunResult {
+    let n_objects = 40;
+    let mut cluster = TranSendBuilder {
+        seed: 0x7ab1e2,
+        worker_nodes: 16,
+        overflow_nodes: 4,
+        cores_per_node: 2,
+        frontends: fes,
+        cache_partitions: 4,
+        min_distillers: 1,
+        distillers: vec!["jpeg".into()],
+        origin_penalty_scale: 0.05,
+        fe_nic: Some(LinkParams::mbps(100.0).with_overhead(Duration::from_micros(3000))),
+        ts: TranSendConfig {
+            cache_distilled: false, // force re-distillation (§4.6)
+            ..Default::default()
+        },
+        sns: SnsConfig {
+            spawn_threshold_h: 8.0,
+            spawn_cooldown_d: Duration::from_secs(5),
+            reap_threshold: 0.8,
+            reap_idle_for: Duration::from_secs(10),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .build();
+
+    // Warm-up pass (loads originals into the cache partitions), then a
+    // half-rate ramp, then the full-rate plateau.
+    let mut items = warmup_workload(n_objects, 10 * 1024, Duration::from_millis(50));
+    let warm_end = 5.0;
+    let mut load = ramp_workload(
+        &[(warm_end + 30.0, rate / 2.0), (warm_end + 150.0, rate)],
+        n_objects,
+        10 * 1024,
+        99,
+    );
+    load.retain(|(at, _)| at.as_secs_f64() > warm_end);
+    let offered = load.len() as u64 + n_objects as u64;
+    items.extend(load);
+    let report = cluster.attach_client(items, Duration::from_secs(3));
+
+    // Sample front-end egress backlog *during* the plateau (it drains as
+    // soon as the load stops, so end-of-run readings are useless).
+    let fe_nodes = cluster.fe_nodes.clone();
+    for s in (40..=155).step_by(3) {
+        let nodes = fe_nodes.clone();
+        cluster.sim.at(SimTime::from_secs(3 + s), move |sim| {
+            let now = sim.now();
+            let worst = nodes
+                .iter()
+                .map(|&n| sim.net().egress_backlog(n, now).as_secs_f64() * 1e3)
+                .fold(0.0, f64::max);
+            sim.stats_mut().observe("fe.backlog_ms", worst);
+        });
+    }
+
+    let horizon = 3.0 + warm_end + 150.0 + 20.0;
+    cluster.sim.run_until(SimTime::from_secs(horizon as u64));
+
+    let fe_backlog_p95_ms = cluster
+        .sim
+        .stats()
+        .summary("fe.backlog_ms")
+        .map(|s| s.quantile(0.95))
+        .unwrap_or(0.0);
+    let r = report.borrow();
+    RunResult {
+        completed: r.responses as f64 / offered as f64,
+        p95_latency: r.latency.quantile(0.95),
+        distillers: cluster.distillers_of("distiller/jpeg").len(),
+        fe_backlog_p95_ms,
+    }
+}
+
+fn main() {
+    banner(
+        "Table 2 — results of the scalability experiment",
+        "Fox et al., SOSP '97, §4.6 Table 2",
+    );
+    println!(
+        "\n{:>8} {:>5} {:>11} {:>9} {:>12} {:>14}   element that saturated",
+        "req/s", "#FE", "#distillers", "p95 (s)", "completed", "FE backlog p95"
+    );
+
+    let mut fes = 1usize;
+    let mut prev_distillers = 1usize;
+    let mut rows: Vec<(f64, usize, usize)> = Vec::new();
+    for step in 1..=16 {
+        let rate = step as f64 * 10.0;
+        let mut result = run(rate, fes);
+        let mut saturated_element = String::from("-");
+        // The operator's move: when the run degrades because the front
+        // end's egress segment is backlogged, add a front end and re-run
+        // (the manager already scales distillers automatically).
+        let mut guard = 0;
+        while (result.completed < 0.985
+            || result.p95_latency > 2.5
+            || result.fe_backlog_p95_ms > 30.0)
+            && guard < 3
+        {
+            if result.fe_backlog_p95_ms > 30.0 {
+                fes += 1;
+                saturated_element = "FE Ethernet".into();
+            } else {
+                saturated_element = "distillers".into();
+            }
+            result = run(rate, fes);
+            guard += 1;
+        }
+        if saturated_element == "-" && result.distillers > prev_distillers {
+            saturated_element = "distillers".into();
+        }
+        println!(
+            "{rate:>8.0} {fes:>5} {:>11} {:>9.2} {:>11.1}% {:>12.1}ms   {saturated_element}",
+            result.distillers,
+            result.p95_latency,
+            result.completed * 100.0,
+            result.fe_backlog_p95_ms,
+        );
+        prev_distillers = result.distillers;
+        rows.push((rate, fes, result.distillers));
+    }
+
+    println!();
+    let (r_last, fe_last, d_last) = *rows.last().expect("rows");
+    compare(
+        "max offered load sustained (req/s)",
+        "159",
+        &format!("{r_last:.0}"),
+    );
+    compare("front ends at max load", "3", &format!("{fe_last}"));
+    compare("distillers at max load", "7", &format!("{d_last}"));
+    compare(
+        "throughput per distiller (req/s)",
+        "~23",
+        &format!("{:.1}", r_last / d_last as f64),
+    );
+    compare(
+        "throughput per FE segment (req/s)",
+        "~70",
+        &format!("{:.1}", r_last / fe_last as f64),
+    );
+    println!(
+        "\nShape check: distiller count grows ~linearly with load (one per ~23 req/s);\n\
+         front ends are added near multiples of ~70-90 req/s; growth stays linear to\n\
+         the end of the sweep — the SAN interior never saturates (§4.6)."
+    );
+}

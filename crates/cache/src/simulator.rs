@@ -1,0 +1,165 @@
+//! Trace-driven cache hit-rate simulation (§4.4).
+//!
+//! The paper supplements the Harvest measurements with simulations of the
+//! relationship between user-population size, cache size and hit rate
+//! under LRU replacement, finding that (a) hit rate grows monotonically
+//! with cache size but plateaus at a population-dependent level, and
+//! (b) for a fixed cache size, larger populations raise the hit rate
+//! (cross-user locality) until their combined working set exceeds the
+//! cache. [`CacheSim`] replays a reference stream and reports exactly
+//! those curves; the `cache_perf` bench bin sweeps both axes.
+
+use crate::lru::LruCache;
+use crate::CacheKey;
+
+/// One simulated cache running LRU over a reference stream.
+pub struct CacheSim {
+    store: LruCache<CacheKey, Sized64>,
+    bytes_from_cache: u64,
+    bytes_from_origin: u64,
+}
+
+/// Result of a cache simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSimReport {
+    /// Request hit rate in `[0,1]`.
+    pub hit_rate: f64,
+    /// Byte hit rate in `[0,1]` (bandwidth saved).
+    pub byte_hit_rate: f64,
+    /// Requests replayed.
+    pub requests: u64,
+    /// Bytes served from cache.
+    pub bytes_from_cache: u64,
+    /// Bytes fetched from origin.
+    pub bytes_from_origin: u64,
+}
+
+/// A value wrapper so `u64` object sizes weigh their own value.
+#[derive(Debug, Clone, Copy)]
+struct Sized64(u64);
+
+impl crate::lru::Weighted for Sized64 {
+    fn weight(&self) -> u64 {
+        self.0
+    }
+}
+
+impl CacheSim {
+    /// Creates a simulator with `capacity` bytes of cache.
+    pub fn new(capacity: u64) -> Self {
+        CacheSim {
+            store: LruCache::new(capacity),
+            bytes_from_cache: 0,
+            bytes_from_origin: 0,
+        }
+    }
+
+    /// Replays one reference; returns whether it hit.
+    pub fn access(&mut self, url: &str, size: u64) -> bool {
+        let key = CacheKey::original(url);
+        if self.store.get(&key, 0).is_some() {
+            self.bytes_from_cache += size;
+            true
+        } else {
+            self.bytes_from_origin += size;
+            self.store.put(key, Sized64(size), 0, None);
+            false
+        }
+    }
+
+    /// Report over everything replayed so far.
+    pub fn report(&self) -> CacheSimReport {
+        let s = self.store.stats();
+        let total_bytes = self.bytes_from_cache + self.bytes_from_origin;
+        CacheSimReport {
+            hit_rate: s.hit_rate(),
+            byte_hit_rate: if total_bytes == 0 {
+                0.0
+            } else {
+                self.bytes_from_cache as f64 / total_bytes as f64
+            },
+            requests: s.hits + s.misses,
+            bytes_from_cache: self.bytes_from_cache,
+            bytes_from_origin: self.bytes_from_origin,
+        }
+    }
+}
+
+impl CacheSim {
+    /// Bytes currently resident (tests verify eviction is by object size).
+    pub fn used_bytes(&self) -> u64 {
+        self.store.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_sim::rng::Pcg32;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut sim = CacheSim::new(1 << 20);
+        assert!(!sim.access("a", 1000));
+        assert!(sim.access("a", 1000));
+        assert!(sim.access("a", 1000));
+        let r = sim.report();
+        assert_eq!(r.requests, 3);
+        assert!((r.hit_rate - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_cache_size() {
+        // Zipf-ish reference stream over 2000 objects.
+        let gen_stream = || {
+            let mut rng = Pcg32::new(99);
+            (0..30_000)
+                .map(|_| {
+                    let r = rng.f64();
+                    let obj = ((2000.0f64).powf(r) - 1.0) as u64; // log-uniform popularity
+                    (format!("u{obj}"), 5_000u64)
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut last = -1.0;
+        for cap_objs in [50u64, 200, 800, 2000] {
+            let mut sim = CacheSim::new(cap_objs * 5_000);
+            for (u, s) in gen_stream() {
+                sim.access(&u, s);
+            }
+            let hr = sim.report().hit_rate;
+            assert!(hr >= last, "hit rate must grow with capacity");
+            last = hr;
+        }
+        assert!(last > 0.5, "full-capacity hit rate {last}");
+    }
+
+    #[test]
+    fn plateau_when_working_set_fits() {
+        // 100 objects of 1 KB; any capacity >= 100 KB gives the same rate.
+        let run = |cap: u64| {
+            let mut sim = CacheSim::new(cap);
+            let mut rng = Pcg32::new(7);
+            for _ in 0..20_000 {
+                let o = rng.below(100);
+                sim.access(&format!("o{o}"), 1000);
+            }
+            sim.report().hit_rate
+        };
+        let r1 = run(100 * 1000);
+        let r2 = run(1000 * 1000);
+        assert!((r1 - r2).abs() < 1e-9, "plateau: {r1} vs {r2}");
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut sim = CacheSim::new(1 << 20);
+        sim.access("a", 1000);
+        sim.access("a", 1000);
+        sim.access("b", 500);
+        let r = sim.report();
+        assert_eq!(r.bytes_from_origin, 1500);
+        assert_eq!(r.bytes_from_cache, 1000);
+        assert_eq!(sim.used_bytes(), 1500, "entries weigh their object size");
+    }
+}

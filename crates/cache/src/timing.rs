@@ -1,0 +1,116 @@
+//! The §4.4 cache service-time model.
+//!
+//! Measured Harvest behaviour reported in the paper:
+//!
+//! * average cache **hit** takes 27 ms including network and OS overhead,
+//!   of which ~15 ms is TCP connection setup/teardown (each cache request
+//!   needs a fresh connection because the Harvest interface is HTTP);
+//! * 95% of hits complete in under 100 ms (low variation);
+//! * the **miss penalty** — fetching from the Internet — ranges from
+//!   100 ms to 100 s and dominates end-to-end latency.
+
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+
+/// Parameters of the cache timing model. All draws are deterministic given
+/// the RNG stream.
+#[derive(Debug, Clone)]
+pub struct CacheTiming {
+    /// Fixed TCP connection setup + teardown cost per request.
+    pub tcp_overhead: Duration,
+    /// Log-normal `mu` of the hit processing time (seconds).
+    pub hit_mu: f64,
+    /// Log-normal `sigma` of the hit processing time.
+    pub hit_sigma: f64,
+    /// Log-normal `mu` of the miss (origin fetch) time (seconds).
+    pub miss_mu: f64,
+    /// Log-normal `sigma` of the miss time.
+    pub miss_sigma: f64,
+    /// Miss penalty clamp range.
+    pub miss_min: Duration,
+    /// Upper clamp of the miss penalty.
+    pub miss_max: Duration,
+}
+
+impl Default for CacheTiming {
+    /// Calibrated to §4.4: mean hit ≈ 27 ms (15 ms TCP + ~12 ms
+    /// processing), 95th-percentile hit < 100 ms, miss in [0.1 s, 100 s].
+    fn default() -> Self {
+        CacheTiming {
+            tcp_overhead: Duration::from_millis(15),
+            // exp(mu + sigma^2/2) = 12 ms with sigma = 1.0.
+            hit_mu: (0.012f64).ln() - 0.5,
+            hit_sigma: 1.0,
+            // Median origin fetch ≈ 1 s, heavy tail.
+            miss_mu: 0.0,
+            miss_sigma: 1.3,
+            miss_min: Duration::from_millis(100),
+            miss_max: Duration::from_secs(100),
+        }
+    }
+}
+
+impl CacheTiming {
+    /// Service time for a cache hit.
+    pub fn hit_time(&self, rng: &mut Pcg32) -> Duration {
+        let proc = rng.lognormal(self.hit_mu, self.hit_sigma);
+        self.tcp_overhead + Duration::from_secs_f64(proc)
+    }
+
+    /// Service time for a miss: the Internet fetch penalty.
+    pub fn miss_penalty(&self, rng: &mut Pcg32) -> Duration {
+        let t = rng.lognormal(self.miss_mu, self.miss_sigma);
+        Duration::from_secs_f64(t.clamp(self.miss_min.as_secs_f64(), self.miss_max.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_times_match_section_4_4() {
+        let timing = CacheTiming::default();
+        let mut rng = Pcg32::new(44);
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| timing.hit_time(&mut rng).as_secs_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p95 = samples[(n as f64 * 0.95) as usize];
+        // Paper: 27 ms average, 95% under 100 ms.
+        assert!((mean - 0.027).abs() < 0.005, "mean hit {mean}s");
+        assert!(p95 < 0.100, "95th percentile {p95}s");
+    }
+
+    #[test]
+    fn miss_penalty_spans_paper_range() {
+        let timing = CacheTiming::default();
+        let mut rng = Pcg32::new(45);
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for _ in 0..100_000 {
+            let t = timing.miss_penalty(&mut rng).as_secs_f64();
+            assert!((0.1..=100.0).contains(&t));
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        // The tail actually exercises a wide range.
+        assert!(lo < 0.15, "min {lo}");
+        assert!(hi > 10.0, "max {hi}");
+    }
+
+    #[test]
+    fn miss_dominates_hit() {
+        let timing = CacheTiming::default();
+        let mut rng = Pcg32::new(46);
+        let avg = |f: &mut dyn FnMut(&mut Pcg32) -> Duration, rng: &mut Pcg32| {
+            (0..10_000).map(|_| f(rng).as_secs_f64()).sum::<f64>() / 10_000.0
+        };
+        let hit = avg(&mut |r| timing.hit_time(r), &mut rng);
+        let miss = avg(&mut |r| timing.miss_penalty(r), &mut rng);
+        assert!(miss > 20.0 * hit, "miss {miss}s vs hit {hit}s");
+    }
+}

@@ -1,0 +1,837 @@
+//! The centralised load-balancing manager (§2.2.2, §3.1.2, §4.5).
+//!
+//! All manager state is **soft** (§3.1.3): the worker registry is rebuilt
+//! from registrations triggered by the manager's own beacons, and load
+//! figures are refreshed by periodic reports. A restarted manager
+//! therefore needs no recovery code at all.
+//!
+//! Responsibilities:
+//! * track workers and their loads (weighted moving averages of reported
+//!   queue lengths);
+//! * beacon its existence plus load-balancing hints on the well-known
+//!   multicast group (the level of indirection that lets components find
+//!   each other, §3.1.2);
+//! * spawn workers on demand: when a class's average queue estimate
+//!   crosses the threshold *H*, spawn one and disable spawning for *D*
+//!   seconds (§4.5); prefer dedicated nodes, then recruit the overflow
+//!   pool (§2.2.3);
+//! * reap workers (overflow first) after sustained low load;
+//! * process-peer fault tolerance: watch workers and front ends via the
+//!   engine's broken-connection detection and restart them (§3.1.3).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sns_sim::engine::{Component, Ctx};
+use sns_sim::time::SimTime;
+use sns_sim::{ComponentId, GroupId, NodeId};
+
+use crate::monitor::MonitorEvent;
+use crate::msg::{BeaconData, SnsMsg, WorkerHint};
+use crate::{SnsConfig, WorkerClass};
+
+/// Builds a fresh worker component (a `WorkerStub` around new service
+/// logic) for a class. Invoked for demand spawning and crash restarts.
+pub type WorkerFactory = Box<dyn FnMut() -> Box<dyn Component<SnsMsg>> + Send>;
+
+/// Builds a replacement front end (process-peer restart).
+pub type FrontEndFactory = Box<dyn FnMut() -> Box<dyn Component<SnsMsg>> + Send>;
+
+/// Per-class scaling policy.
+pub struct SpawnPolicy {
+    /// Never fewer than this many workers (bootstrap + crash restarts).
+    pub min_workers: u32,
+    /// Hard cap on concurrently live workers of this class (0 = no cap).
+    pub max_workers: u32,
+    /// At most this many workers of this class per node.
+    pub max_per_node: u32,
+    /// Whether the threshold-H autoscaler manages this class (HotBot's
+    /// pinned partition workers set this false, §3.2).
+    pub auto_scale: bool,
+    /// Restart crashed workers of this class.
+    pub restart_on_crash: bool,
+    /// Bind this class to one node (HotBot partition workers, §3.2:
+    /// "All workers bound to their nodes"). While the node is down the
+    /// class simply cannot run — coverage degrades instead.
+    pub pinned_node: Option<NodeId>,
+    /// The factory.
+    pub factory: WorkerFactory,
+}
+
+impl SpawnPolicy {
+    /// Typical policy for an auto-scaled, restartable worker class.
+    pub fn scaled(min_workers: u32, factory: WorkerFactory) -> Self {
+        SpawnPolicy {
+            min_workers,
+            max_workers: 0,
+            max_per_node: 4,
+            auto_scale: true,
+            restart_on_crash: true,
+            pinned_node: None,
+            factory,
+        }
+    }
+
+    /// Policy for pinned, non-scaled workers (cache partitions, search
+    /// partitions): exactly `n`, restarted on crash.
+    pub fn pinned(n: u32, factory: WorkerFactory) -> Self {
+        SpawnPolicy {
+            min_workers: n,
+            max_workers: n,
+            max_per_node: 1,
+            auto_scale: false,
+            restart_on_crash: true,
+            pinned_node: None,
+            factory,
+        }
+    }
+}
+
+/// Manager construction parameters.
+pub struct ManagerConfig {
+    /// Layer timing/policy knobs.
+    pub sns: SnsConfig,
+    /// Beacon multicast group.
+    pub beacon_group: GroupId,
+    /// Monitor multicast group.
+    pub monitor_group: GroupId,
+    /// This incarnation (strictly greater than any predecessor's).
+    pub incarnation: u64,
+    /// Scaling policy per worker class.
+    pub classes: BTreeMap<WorkerClass, SpawnPolicy>,
+    /// Factory for restarting dead front ends (process peers).
+    pub fe_factory: Option<FrontEndFactory>,
+}
+
+#[derive(Debug, Clone)]
+struct WorkerInfo {
+    class: WorkerClass,
+    node: NodeId,
+    overflow: bool,
+    /// Weighted moving average of reported queue length.
+    wma: f64,
+    last_report: SimTime,
+}
+
+#[derive(Debug, Default, Clone)]
+struct ClassRuntime {
+    last_spawn: Option<SimTime>,
+    low_since: Option<SimTime>,
+}
+
+/// A spawn issued whose worker has not yet registered.
+#[derive(Debug, Clone)]
+struct PendingSpawn {
+    class: WorkerClass,
+    node: NodeId,
+    at: SimTime,
+}
+
+/// The manager component.
+pub struct Manager {
+    cfg: ManagerConfig,
+    workers: BTreeMap<ComponentId, WorkerInfo>,
+    fes: BTreeMap<ComponentId, NodeId>,
+    runtime: BTreeMap<WorkerClass, ClassRuntime>,
+    pending: BTreeMap<ComponentId, PendingSpawn>,
+    /// Nodes taken out of service for hot upgrades (§2.2).
+    drained: std::collections::BTreeSet<NodeId>,
+    load_reports_handled: u64,
+    started_at: Option<SimTime>,
+}
+
+impl Manager {
+    /// Timer token for the beacon/policy tick.
+    const TICK: u64 = 0;
+
+    /// Creates a manager.
+    pub fn new(cfg: ManagerConfig) -> Self {
+        Manager {
+            cfg,
+            workers: BTreeMap::new(),
+            fes: BTreeMap::new(),
+            runtime: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            drained: std::collections::BTreeSet::new(),
+            load_reports_handled: 0,
+            started_at: None,
+        }
+    }
+
+    fn pending_of_class(&self, class: &WorkerClass) -> u32 {
+        self.pending.values().filter(|p| &p.class == class).count() as u32
+    }
+
+    fn live_of_class(&self, class: &WorkerClass) -> Vec<(ComponentId, &WorkerInfo)> {
+        self.workers
+            .iter()
+            .filter(|(_, w)| &w.class == class)
+            .map(|(&id, w)| (id, w))
+            .collect()
+    }
+
+    fn monitor(&self, ctx: &mut Ctx<'_, SnsMsg>, ev: MonitorEvent) {
+        ctx.multicast(self.cfg.monitor_group, SnsMsg::Monitor(Arc::new(ev)));
+    }
+
+    /// Chooses a node for a new worker of `class`: dedicated nodes first
+    /// (fewest workers of this class, then fewest total), then the
+    /// overflow pool (§2.2.3). Returns the node and whether it is
+    /// overflow.
+    fn choose_node(
+        &self,
+        ctx: &Ctx<'_, SnsMsg>,
+        class: &WorkerClass,
+        max_per_node: u32,
+    ) -> Option<(NodeId, bool)> {
+        for (tag, is_overflow) in [("dedicated", false), ("overflow", true)] {
+            let nodes = ctx.nodes_with_tag(tag);
+            let mut best: Option<(u32, u32, NodeId)> = None;
+            for node in nodes {
+                if self.drained.contains(&node) {
+                    continue;
+                }
+                let pending_here = self
+                    .pending
+                    .values()
+                    .filter(|p| p.node == node && &p.class == class)
+                    .count() as u32;
+                let mine = self
+                    .workers
+                    .values()
+                    .filter(|w| w.node == node && &w.class == class)
+                    .count() as u32
+                    + pending_here;
+                if max_per_node > 0 && mine >= max_per_node {
+                    continue;
+                }
+                let total = ctx.components_on(node).len() as u32;
+                let cand = (mine, total, node);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+            if let Some((_, _, node)) = best {
+                return Some((node, is_overflow));
+            }
+        }
+        None
+    }
+
+    fn spawn_worker(&mut self, ctx: &mut Ctx<'_, SnsMsg>, class: &WorkerClass) -> bool {
+        let Some(policy) = self.cfg.classes.get(class) else {
+            return false;
+        };
+        let live = self.live_of_class(class).len() as u32;
+        let pending = self.pending_of_class(class);
+        if policy.max_workers > 0 && live + pending >= policy.max_workers {
+            return false;
+        }
+        let max_per_node = policy.max_per_node;
+        let placement = match policy.pinned_node {
+            Some(n) if self.drained.contains(&n) => None,
+            Some(n) if ctx.node_alive(n) => Some((n, false)),
+            Some(_) => None, // pinned node is down: the class waits
+            None => self.choose_node(ctx, class, max_per_node),
+        };
+        let Some((node, overflow)) = placement else {
+            self.monitor(
+                ctx,
+                MonitorEvent::Warning(format!("no node available to spawn {class}")),
+            );
+            ctx.stats().incr("manager.spawn_no_node", 1);
+            return false;
+        };
+        let comp = (self
+            .cfg
+            .classes
+            .get_mut(class)
+            .expect("checked above")
+            .factory)();
+        let kind = crate::intern_class(class.name());
+        let Some(spawned) = ctx.spawn(node, comp, kind) else {
+            return false;
+        };
+        // Watch from birth: a worker dying before it registers must still
+        // trigger process-peer recovery.
+        ctx.watch(spawned);
+        let now = ctx.now();
+        self.pending.insert(
+            spawned,
+            PendingSpawn {
+                class: class.clone(),
+                node,
+                at: now,
+            },
+        );
+        let rt = self.runtime.entry(class.clone()).or_default();
+        rt.last_spawn = Some(now);
+        ctx.stats().incr("manager.spawns", 1);
+        if overflow {
+            ctx.stats().incr("manager.overflow_spawns", 1);
+        }
+        self.monitor(
+            ctx,
+            MonitorEvent::SpawnedWorker {
+                class: class.clone(),
+                node,
+                overflow,
+            },
+        );
+        true
+    }
+
+    fn beacon(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        let mut hints: BTreeMap<WorkerClass, Vec<WorkerHint>> = BTreeMap::new();
+        for (&id, w) in &self.workers {
+            hints.entry(w.class.clone()).or_default().push(WorkerHint {
+                worker: id,
+                node: w.node,
+                est_qlen: w.wma,
+                overflow: w.overflow,
+            });
+        }
+        let me = ctx.me();
+        let data = BeaconData {
+            manager: me,
+            incarnation: self.cfg.incarnation,
+            hints,
+            at: ctx.now(),
+        };
+        ctx.multicast(self.cfg.beacon_group, SnsMsg::Beacon(Arc::new(data)));
+        ctx.stats().incr("manager.beacons", 1);
+    }
+
+    fn policy_tick(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        let now = ctx.now();
+        // Soft-state rebuild grace: a (re)started manager waits two
+        // beacon rounds for surviving workers to re-register before
+        // enforcing class minimums, otherwise it would double-spawn
+        // workers that are alive and about to announce themselves
+        // (§3.1.3).
+        let grace = self.cfg.sns.beacon_period * 2;
+        let in_grace = self.started_at.is_some_and(|t| now.since(t) < grace);
+        // Expire pending spawns that never registered (their component is
+        // watched, so deaths are handled; this is a backstop against lost
+        // registrations).
+        let expiry = ctx.spawn_latency() + self.cfg.sns.beacon_period * 2;
+        self.pending.retain(|_, p| now.since(p.at) < expiry);
+        // Timeout-based failure inference (§2.2.4): a worker whose load
+        // reports have stopped is presumed unreachable (SAN partition,
+        // wedged process). Drop it from the soft state — hints stop
+        // advertising it next beacon — and replace it on a still-visible
+        // node. If it was merely partitioned, it re-adopts itself with
+        // its next report and any surplus is reaped.
+        if !in_grace {
+            let report_timeout = self.cfg.sns.worker_report_timeout;
+            let silent: Vec<ComponentId> = self
+                .workers
+                .iter()
+                .filter(|(_, w)| now.since(w.last_report) > report_timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in silent {
+                let Some(info) = self.workers.remove(&id) else {
+                    continue;
+                };
+                ctx.unwatch(id);
+                ctx.stats().incr("manager.report_timeouts", 1);
+                self.monitor(
+                    ctx,
+                    MonitorEvent::Warning(format!(
+                        "worker {id} ({}) stopped reporting; replacing it",
+                        info.class
+                    )),
+                );
+                let restart = self
+                    .cfg
+                    .classes
+                    .get(&info.class)
+                    .map(|p| p.restart_on_crash)
+                    .unwrap_or(false);
+                if restart {
+                    self.spawn_worker(ctx, &info.class);
+                }
+            }
+        }
+        let classes: Vec<WorkerClass> = self.cfg.classes.keys().cloned().collect();
+        for class in classes {
+            let (min_workers, auto_scale, h, d) = {
+                let p = &self.cfg.classes[&class];
+                (
+                    p.min_workers,
+                    p.auto_scale,
+                    self.cfg.sns.spawn_threshold_h,
+                    self.cfg.sns.spawn_cooldown_d,
+                )
+            };
+            let live: Vec<(ComponentId, f64, bool)> = self
+                .workers
+                .iter()
+                .filter(|(_, w)| w.class == class)
+                .map(|(&id, w)| (id, w.wma, w.overflow))
+                .collect();
+            let live_n = live.len() as u32;
+            let pending = self.pending_of_class(&class);
+
+            // Bootstrap / crash replacement up to the class minimum.
+            if in_grace {
+                continue;
+            }
+            if live_n + pending < min_workers {
+                let need = min_workers - live_n - pending;
+                for _ in 0..need {
+                    if !self.spawn_worker(ctx, &class) {
+                        break;
+                    }
+                }
+                continue;
+            }
+            if !auto_scale || live_n == 0 {
+                // Pinned classes can exceed strength when a partitioned
+                // worker re-adopts itself after its replacement spawned:
+                // reap the surplus gracefully.
+                let max = self.cfg.classes[&class].max_workers;
+                if max > 0 && live_n > max {
+                    let mut ids: Vec<ComponentId> = live.iter().map(|&(id, _, _)| id).collect();
+                    ids.sort();
+                    for &victim in ids.iter().rev().take((live_n - max) as usize) {
+                        ctx.send(victim, SnsMsg::Shutdown);
+                        ctx.stats().incr("manager.reaps", 1);
+                    }
+                }
+                continue;
+            }
+
+            let avg: f64 = live.iter().map(|&(_, wma, _)| wma).sum::<f64>() / live_n as f64;
+            ctx.stats()
+                .sample(&format!("manager.avg_qlen.{class}"), now, avg);
+
+            // Threshold-H spawning with cooldown D (§4.5).
+            let in_cooldown = self
+                .runtime
+                .get(&class)
+                .and_then(|r| r.last_spawn)
+                .is_some_and(|t| now.since(t) < d);
+            if avg > h && !in_cooldown {
+                self.spawn_worker(ctx, &class);
+                continue;
+            }
+
+            // Reaping after sustained low load (overflow nodes first).
+            if avg < self.cfg.sns.reap_threshold && live_n > min_workers {
+                let rt = self.runtime.entry(class.clone()).or_default();
+                let since = *rt.low_since.get_or_insert(now);
+                if now.since(since) >= self.cfg.sns.reap_idle_for {
+                    rt.low_since = None;
+                    let victim = live
+                        .iter()
+                        .max_by_key(|&&(id, _, overflow)| (overflow, id))
+                        .map(|&(id, _, _)| id);
+                    if let Some(victim) = victim {
+                        let vclass = class.clone();
+                        ctx.send(victim, SnsMsg::Shutdown);
+                        ctx.stats().incr("manager.reaps", 1);
+                        self.monitor(
+                            ctx,
+                            MonitorEvent::ReapedWorker {
+                                worker: victim,
+                                class: vclass,
+                            },
+                        );
+                    }
+                }
+            } else {
+                if let Some(rt) = self.runtime.get_mut(&class) {
+                    rt.low_since = None;
+                }
+            }
+        }
+    }
+
+    /// Load reports processed (the §4.6 manager-capacity experiment reads
+    /// this).
+    pub fn load_reports_handled(&self) -> u64 {
+        self.load_reports_handled
+    }
+}
+
+impl Component<SnsMsg> for Manager {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        self.started_at = Some(ctx.now());
+        // The manager listens on its own beacon group to detect rival
+        // incarnations (duplicate-restart resolution).
+        ctx.join(self.cfg.beacon_group);
+        let me = ctx.me();
+        let node = ctx.my_node();
+        self.monitor(
+            ctx,
+            MonitorEvent::Started {
+                who: me,
+                kind: "manager",
+                node,
+            },
+        );
+        self.beacon(ctx);
+        self.policy_tick(ctx);
+        ctx.timer(self.cfg.sns.beacon_period, Self::TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _from: ComponentId, msg: SnsMsg) {
+        match msg {
+            SnsMsg::RegisterWorker {
+                worker,
+                class,
+                node,
+                overflow,
+            } => {
+                if !self.workers.contains_key(&worker) {
+                    ctx.watch(worker);
+                    self.pending.remove(&worker);
+                }
+                let now = ctx.now();
+                self.workers.insert(
+                    worker,
+                    WorkerInfo {
+                        class,
+                        node,
+                        overflow,
+                        wma: 0.0,
+                        last_report: now,
+                    },
+                );
+            }
+            SnsMsg::DeregisterWorker { worker } => {
+                ctx.unwatch(worker);
+                self.workers.remove(&worker);
+            }
+            SnsMsg::LoadReport {
+                worker,
+                class,
+                qlen,
+            } => {
+                self.load_reports_handled += 1;
+                ctx.stats().incr("manager.load_reports", 1);
+                let now = ctx.now();
+                let alpha = self.cfg.sns.wma_alpha;
+                match self.workers.get_mut(&worker) {
+                    Some(info) => {
+                        info.wma = alpha * f64::from(qlen) + (1.0 - alpha) * info.wma;
+                        info.last_report = now;
+                    }
+                    None => {
+                        // Report from a worker we lost track of (e.g. a
+                        // restarted manager hearing loads before the
+                        // worker re-registers): adopt it — soft state.
+                        ctx.watch(worker);
+                        let node = ctx.node_of(worker).unwrap_or(NodeId(0));
+                        let overflow = ctx.node_tag(node).as_deref() == Some("overflow");
+                        self.workers.insert(
+                            worker,
+                            WorkerInfo {
+                                class,
+                                node,
+                                overflow,
+                                wma: f64::from(qlen),
+                                last_report: now,
+                            },
+                        );
+                    }
+                }
+            }
+            SnsMsg::NeedWorker { fe: _, class }
+                if self.live_of_class(&class).is_empty() && self.pending_of_class(&class) == 0 =>
+            {
+                self.spawn_worker(ctx, &class);
+            }
+            SnsMsg::RegisterFrontEnd { fe, node } => {
+                if !self.fes.contains_key(&fe) {
+                    ctx.watch(fe);
+                }
+                self.fes.insert(fe, node);
+            }
+            SnsMsg::DrainNode { node } if !self.drained.contains(&node) => {
+                {
+                    self.drained.insert(node);
+                    ctx.stats().incr("manager.drains", 1);
+                    // Gracefully shut down every worker we run there; the
+                    // graceful path deregisters, and the class minimums
+                    // respawn replacements on other nodes.
+                    let victims: Vec<ComponentId> = self
+                        .workers
+                        .iter()
+                        .filter(|(_, w)| w.node == node)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for v in victims {
+                        ctx.send(v, SnsMsg::Shutdown);
+                    }
+                    self.monitor(
+                        ctx,
+                        MonitorEvent::Warning(format!("{node} drained for hot upgrade")),
+                    );
+                }
+            }
+            SnsMsg::UndrainNode { node } if self.drained.contains(&node) => {
+                self.drained.remove(&node);
+                ctx.stats().incr("manager.undrains", 1);
+                self.monitor(
+                    ctx,
+                    MonitorEvent::Warning(format!("{node} returned to service")),
+                );
+            }
+            SnsMsg::Beacon(b) => {
+                // A rival manager: the (incarnation, id)-greater one wins;
+                // the loser steps down (duplicate restart resolution).
+                let me = ctx.me();
+                if b.manager != me && (b.incarnation, b.manager) >= (self.cfg.incarnation, me) {
+                    ctx.stats().incr("manager.stepdowns", 1);
+                    ctx.exit();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, token: u64) {
+        if token != Self::TICK {
+            return;
+        }
+        self.beacon(ctx);
+        self.policy_tick(ctx);
+        let me = ctx.me();
+        self.monitor(
+            ctx,
+            MonitorEvent::Heartbeat {
+                who: me,
+                kind: "manager",
+                load: self.workers.len() as f64,
+            },
+        );
+        ctx.timer(self.cfg.sns.beacon_period, Self::TICK);
+    }
+
+    fn on_peer_death(&mut self, ctx: &mut Ctx<'_, SnsMsg>, peer: ComponentId) {
+        // A spawn that died before registering counts as a worker death.
+        if let Some(p) = self.pending.remove(&peer) {
+            ctx.stats().incr("manager.worker_deaths", 1);
+            let restart = self
+                .cfg
+                .classes
+                .get(&p.class)
+                .map(|pol| pol.restart_on_crash)
+                .unwrap_or(false);
+            if restart {
+                self.spawn_worker(ctx, &p.class);
+            }
+            return;
+        }
+        if let Some(info) = self.workers.remove(&peer) {
+            ctx.stats().incr("manager.worker_deaths", 1);
+            let restart = self
+                .cfg
+                .classes
+                .get(&info.class)
+                .map(|p| p.restart_on_crash)
+                .unwrap_or(false);
+            if restart {
+                // Process-peer restart (§3.1.3): possibly on a different
+                // node (choose_node re-evaluates).
+                self.spawn_worker(ctx, &info.class);
+                let me = ctx.me();
+                self.monitor(
+                    ctx,
+                    MonitorEvent::PeerRestarted {
+                        by: me,
+                        kind: "worker",
+                    },
+                );
+            }
+            return;
+        }
+        if self.fes.remove(&peer).is_some() {
+            ctx.stats().incr("manager.fe_deaths", 1);
+            // "The manager detects and restarts a crashed front end."
+            let spawned = if let Some(factory) = self.cfg.fe_factory.as_mut() {
+                let comp = factory();
+                let node = self
+                    .choose_node(ctx, &WorkerClass::new("frontend"), 0)
+                    .map(|(n, _)| n);
+                match node {
+                    Some(n) => ctx.spawn(n, comp, "frontend").is_some(),
+                    None => false,
+                }
+            } else {
+                false
+            };
+            if spawned {
+                let me = ctx.me();
+                self.monitor(
+                    ctx,
+                    MonitorEvent::PeerRestarted {
+                        by: me,
+                        kind: "frontend",
+                    },
+                );
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "manager"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{WorkerLogic, WorkerStub, WorkerStubConfig};
+    use crate::{Blob, Payload};
+    use sns_sim::engine::{NodeSpec, Sim, SimConfig};
+    use sns_sim::network::IdealNetwork;
+    use sns_sim::rng::Pcg32;
+    use std::time::Duration;
+
+    struct Sleepy;
+    impl WorkerLogic for Sleepy {
+        fn class(&self) -> WorkerClass {
+            "sleepy".into()
+        }
+        fn service_time(
+            &mut self,
+            _j: &crate::msg::Job,
+            _now: SimTime,
+            _r: &mut Pcg32,
+        ) -> Duration {
+            Duration::from_millis(40)
+        }
+        fn process(
+            &mut self,
+            _j: &crate::msg::Job,
+            _now: SimTime,
+            _r: &mut Pcg32,
+        ) -> Result<Payload, crate::worker::WorkerError> {
+            Ok(Blob::payload(100, "done"))
+        }
+    }
+
+    fn factory(beacon: GroupId, monitor: GroupId) -> WorkerFactory {
+        Box::new(move || {
+            Box::new(WorkerStub::new(
+                Box::new(Sleepy),
+                WorkerStubConfig {
+                    beacon_group: beacon,
+                    monitor_group: monitor,
+                    report_period: Duration::from_millis(500),
+                    cost_weight_unit: None,
+                },
+            ))
+        })
+    }
+
+    fn build(
+        nodes: usize,
+        overflow_nodes: usize,
+        min_workers: u32,
+    ) -> (Sim<SnsMsg, IdealNetwork>, ComponentId) {
+        let mut sim: Sim<SnsMsg, IdealNetwork> =
+            Sim::new(SimConfig::default(), IdealNetwork::default());
+        for _ in 0..nodes {
+            sim.add_node(NodeSpec::new(1, "dedicated"));
+        }
+        for _ in 0..overflow_nodes {
+            sim.add_node(NodeSpec::new(1, "overflow"));
+        }
+        let beacon = sim.create_group();
+        let monitor = sim.create_group();
+        let mut classes = BTreeMap::new();
+        classes.insert(
+            WorkerClass::new("sleepy"),
+            SpawnPolicy::scaled(min_workers, factory(beacon, monitor)),
+        );
+        let mgr = Manager::new(ManagerConfig {
+            sns: SnsConfig::default(),
+            beacon_group: beacon,
+            monitor_group: monitor,
+            incarnation: 1,
+            classes,
+            fe_factory: None,
+        });
+        let node0 = sim.nodes_with_tag("dedicated")[0];
+        let mid = sim.spawn(node0, Box::new(mgr), "manager");
+        (sim, mid)
+    }
+
+    #[test]
+    fn bootstraps_min_workers() {
+        let (mut sim, _) = build(3, 0, 2);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.components_of_kind("sleepy").len(), 2);
+        assert_eq!(sim.stats().counter("manager.spawns"), 2);
+    }
+
+    #[test]
+    fn crash_restart_process_peer() {
+        let (mut sim, _) = build(3, 0, 1);
+        sim.run_until(SimTime::from_secs(3));
+        let w = sim.components_of_kind("sleepy")[0];
+        sim.kill_component(w);
+        sim.run_until(SimTime::from_secs(8));
+        let workers = sim.components_of_kind("sleepy");
+        assert_eq!(workers.len(), 1, "crashed worker must be restarted");
+        assert_ne!(workers[0], w, "it is a fresh process");
+        assert_eq!(sim.stats().counter("manager.worker_deaths"), 1);
+    }
+
+    #[test]
+    fn spawns_on_demand_when_fe_needs_class() {
+        let (mut sim, mgr) = build(2, 0, 0);
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.components_of_kind("sleepy").is_empty());
+        sim.inject(
+            mgr,
+            SnsMsg::NeedWorker {
+                fe: ComponentId::EXTERNAL,
+                class: "sleepy".into(),
+            },
+        );
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.components_of_kind("sleepy").len(), 1);
+    }
+
+    #[test]
+    fn rival_manager_steps_down() {
+        let (mut sim, _mgr1) = build(2, 0, 0);
+        sim.run_until(SimTime::from_secs(1));
+        // Spawn a rival with a higher incarnation on node 1.
+        let beacon = GroupId(0);
+        let monitor = GroupId(1);
+        let node1 = sim.nodes_with_tag("dedicated")[1];
+        let rival = Manager::new(ManagerConfig {
+            sns: SnsConfig::default(),
+            beacon_group: beacon,
+            monitor_group: monitor,
+            incarnation: 2,
+            classes: BTreeMap::new(),
+            fe_factory: None,
+        });
+        sim.spawn(node1, Box::new(rival), "manager");
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(
+            sim.components_of_kind("manager").len(),
+            1,
+            "exactly one manager survives"
+        );
+        assert_eq!(sim.stats().counter("manager.stepdowns"), 1);
+    }
+
+    #[test]
+    fn overflow_pool_used_when_dedicated_full() {
+        // One dedicated node, max_per_node 4 via scaled() policy; demand
+        // min_workers 6 so two land on overflow.
+        let (mut sim, _) = build(1, 2, 6);
+        sim.run_until(SimTime::from_secs(6));
+        assert_eq!(sim.components_of_kind("sleepy").len(), 6);
+        assert!(sim.stats().counter("manager.overflow_spawns") >= 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! The Figure 7 distillation cost model.
+//!
+//! "For the GIF distiller, there is an approximately linear relationship
+//! between distillation time and input size, although a large variation
+//! in distillation time is observed for any particular data size. The
+//! slope of this relationship is approximately 8 milliseconds per
+//! kilobyte of input." JPEG and HTML behave similarly with smaller
+//! constants ("the HTML distiller is far more efficient").
+
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+
+/// Linear-in-size cost with multiplicative log-normal noise.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Fixed per-item cost.
+    pub intercept: Duration,
+    /// Cost per kilobyte of input.
+    pub per_kb: Duration,
+    /// Sigma of the multiplicative log-normal noise (0 = deterministic).
+    pub noise_sigma: f64,
+}
+
+impl CostModel {
+    /// The GIF distiller (Figure 7): ≈8 ms/KB, high variance.
+    pub fn gif() -> Self {
+        CostModel {
+            intercept: Duration::from_millis(5),
+            per_kb: Duration::from_micros(8000),
+            noise_sigma: 0.35,
+        }
+    }
+
+    /// The JPEG distiller: calibrated so 10 KB inputs take ≈43 ms — one
+    /// distiller saturates near 23 requests/s (Table 2).
+    pub fn jpeg() -> Self {
+        CostModel {
+            intercept: Duration::from_millis(3),
+            per_kb: Duration::from_micros(4000),
+            noise_sigma: 0.25,
+        }
+    }
+
+    /// The HTML munger: "far more efficient" than image distillation.
+    pub fn html() -> Self {
+        CostModel {
+            intercept: Duration::from_millis(1),
+            per_kb: Duration::from_micros(600),
+            noise_sigma: 0.20,
+        }
+    }
+
+    /// A cheap text-pass cost (keyword filter, collators).
+    pub fn text_pass() -> Self {
+        CostModel {
+            intercept: Duration::from_micros(500),
+            per_kb: Duration::from_micros(200),
+            noise_sigma: 0.15,
+        }
+    }
+
+    /// Encryption-grade per-byte cost (rewebber).
+    pub fn crypto() -> Self {
+        CostModel {
+            intercept: Duration::from_millis(2),
+            per_kb: Duration::from_micros(2500),
+            noise_sigma: 0.15,
+        }
+    }
+
+    /// Draws a cost for `input_bytes` of input.
+    pub fn sample(&self, input_bytes: u64, rng: &mut Pcg32) -> Duration {
+        let kb = input_bytes as f64 / 1024.0;
+        let mean = self.intercept.as_secs_f64() + self.per_kb.as_secs_f64() * kb;
+        let noise = if self.noise_sigma > 0.0 {
+            // Mean-1 multiplicative noise.
+            rng.lognormal(-self.noise_sigma * self.noise_sigma / 2.0, self.noise_sigma)
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64(mean * noise)
+    }
+
+    /// The deterministic mean cost (no noise), for capacity planning.
+    pub fn mean(&self, input_bytes: u64) -> Duration {
+        let kb = input_bytes as f64 / 1024.0;
+        Duration::from_secs_f64(self.intercept.as_secs_f64() + self.per_kb.as_secs_f64() * kb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gif_slope_matches_figure_7() {
+        let m = CostModel::gif();
+        let mut rng = Pcg32::new(7);
+        // Empirical slope between 5 KB and 25 KB inputs over many draws.
+        let avg = |bytes: u64, rng: &mut Pcg32| {
+            (0..20_000)
+                .map(|_| m.sample(bytes, rng).as_secs_f64())
+                .sum::<f64>()
+                / 20_000.0
+        };
+        let t5 = avg(5 * 1024, &mut rng);
+        let t25 = avg(25 * 1024, &mut rng);
+        let slope_ms_per_kb = (t25 - t5) * 1000.0 / 20.0;
+        assert!(
+            (slope_ms_per_kb - 8.0).abs() < 0.8,
+            "slope {slope_ms_per_kb} ms/KB"
+        );
+    }
+
+    #[test]
+    fn jpeg_saturates_near_23_rps() {
+        let m = CostModel::jpeg();
+        let per_req = m.mean(10 * 1024);
+        let rps = 1.0 / per_req.as_secs_f64();
+        assert!((20.0..27.0).contains(&rps), "{rps} req/s");
+    }
+
+    #[test]
+    fn variance_is_substantial_for_gif() {
+        let m = CostModel::gif();
+        let mut rng = Pcg32::new(8);
+        let xs: Vec<f64> = (0..10_000)
+            .map(|_| m.sample(10 * 1024, &mut rng).as_secs_f64())
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let sd = (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!(sd / mean > 0.2, "cv {}", sd / mean);
+    }
+
+    #[test]
+    fn html_is_far_more_efficient() {
+        assert!(CostModel::html().mean(10_240) < CostModel::gif().mean(10_240) / 5);
+    }
+}

@@ -1,0 +1,240 @@
+//! The Bay Area Culture Page aggregator (§5.1): collates event listings
+//! from several cultural pages into one calendar, using "extremely
+//! general, layout-independent heuristics … to extract scheduling
+//! information". The paper notes the heuristics are wrong 10-20% of the
+//! time and that users simply ignore the spurious entries — BASE
+//! approximate answers at the application layer.
+
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+use sns_tacc::content::{Body, ContentObject};
+use sns_tacc::worker::{Aggregator, TaccArgs, TaccError};
+use sns_workload::MimeType;
+
+use crate::cost::CostModel;
+
+const MONTHS: [&str; 12] = [
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+];
+
+/// An extracted (possibly spurious) event line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLine {
+    /// Month name matched (lowercase).
+    pub month: String,
+    /// Day-of-month matched.
+    pub day: u32,
+    /// Surrounding text (the "description").
+    pub description: String,
+    /// Source URL.
+    pub source: String,
+}
+
+/// The culture-page aggregator worker.
+pub struct CultureAggregator {
+    cost: CostModel,
+}
+
+impl CultureAggregator {
+    /// Creates the aggregator.
+    pub fn new() -> Self {
+        CultureAggregator {
+            cost: CostModel::text_pass(),
+        }
+    }
+
+    /// Layout-independent date heuristic: a month name followed within a
+    /// few tokens by a small number. Intentionally naive — it mirrors
+    /// the paper's spurious-match behaviour on non-date text.
+    pub fn extract_events(source: &str, text: &str) -> Vec<EventLine> {
+        let mut events = Vec::new();
+        // Strip tags crudely: replace tag spans with spaces.
+        let mut clean = String::with_capacity(text.len());
+        let mut in_tag = false;
+        for c in text.chars() {
+            match c {
+                '<' => in_tag = true,
+                '>' => in_tag = false,
+                c if !in_tag => clean.push(c),
+                _ => {}
+            }
+        }
+        let tokens: Vec<&str> = clean.split_whitespace().collect();
+        for (i, tok) in tokens.iter().enumerate() {
+            let lower = tok
+                .trim_matches(|c: char| !c.is_alphanumeric())
+                .to_lowercase();
+            if !MONTHS.contains(&lower.as_str()) {
+                continue;
+            }
+            // Look ahead a few tokens for a plausible day number.
+            for next in tokens.iter().skip(i + 1).take(3) {
+                let trimmed = next.trim_matches(|c: char| !c.is_alphanumeric());
+                if let Ok(day) = trimmed.parse::<u32>() {
+                    if (1..=31).contains(&day) {
+                        let lo = i.saturating_sub(4);
+                        let hi = (i + 8).min(tokens.len());
+                        events.push(EventLine {
+                            month: lower.clone(),
+                            day,
+                            description: tokens[lo..hi].join(" "),
+                            source: source.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    fn render(events: &[EventLine]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "<html><head><title>Culture This Week</title></head><body><h1>Culture This Week</h1><ul>\n",
+        );
+        for e in events {
+            let _ = writeln!(
+                out,
+                "<li><b>{} {}</b>: {} <i>({})</i></li>",
+                e.month, e.day, e.description, e.source
+            );
+        }
+        out.push_str("</ul></body></html>\n");
+        out
+    }
+}
+
+impl Default for CultureAggregator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregator for CultureAggregator {
+    fn name(&self) -> &'static str {
+        "culture"
+    }
+
+    fn cost(&self, inputs: &[ContentObject], _args: &TaccArgs, rng: &mut Pcg32) -> Duration {
+        let total: u64 = inputs.iter().map(|o| o.len()).sum();
+        self.cost.sample(total, rng)
+    }
+
+    fn aggregate(
+        &mut self,
+        inputs: &[ContentObject],
+        args: &TaccArgs,
+        _rng: &mut Pcg32,
+    ) -> Result<ContentObject, TaccError> {
+        let mut events = Vec::new();
+        for input in inputs {
+            if let Body::Text(t) = &input.body {
+                events.extend(Self::extract_events(&input.url, t));
+            }
+        }
+        // Bound by the user's profile (dates of interest → month filter).
+        if let Some(month) = args.get("month") {
+            let month = month.to_lowercase();
+            events.retain(|e| e.month == month);
+        }
+        let mut out = ContentObject::text(
+            "transend://culture-this-week",
+            MimeType::Html,
+            Self::render(&events),
+        );
+        out.lineage.push("culture".into());
+        out.meta.insert("events".into(), events.len().to_string());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_real_events() {
+        let page = "<html><body><p>Symphony gala on January 15 at the hall.</p>\
+                    <p>Gallery opening March 3, free for students.</p></body></html>";
+        let events = CultureAggregator::extract_events("http://arts", page);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].month, "january");
+        assert_eq!(events[0].day, 15);
+        assert_eq!(events[1].month, "march");
+        assert_eq!(events[1].day, 3);
+    }
+
+    #[test]
+    fn spurious_matches_happen_and_are_tolerated() {
+        // "May 1998" style non-event text triggers the heuristic — the
+        // documented 10-20% spurious behaviour.
+        let page = "<p>Copyright May 30 Productions Inc.</p>";
+        let events = CultureAggregator::extract_events("http://x", page);
+        assert_eq!(events.len(), 1, "heuristics are intentionally credulous");
+    }
+
+    #[test]
+    fn aggregation_collates_and_counts() {
+        let mut a = CultureAggregator::new();
+        let mut rng = Pcg32::new(1);
+        let p1 = ContentObject::text(
+            "http://a",
+            MimeType::Html,
+            "<p>Concert February 7 downtown</p>",
+        );
+        let p2 = ContentObject::text(
+            "http://b",
+            MimeType::Html,
+            "<p>Play February 9 and reading October 21</p>",
+        );
+        let out = a
+            .aggregate(&[p1, p2], &TaccArgs::default(), &mut rng)
+            .unwrap();
+        assert_eq!(out.meta["events"], "3");
+        let Body::Text(t) = &out.body else {
+            panic!("text out")
+        };
+        assert!(t.contains("february 7"));
+        assert!(t.contains("october 21"));
+        assert!(t.contains("Culture This Week"));
+    }
+
+    #[test]
+    fn month_filter_from_profile() {
+        let mut a = CultureAggregator::new();
+        let mut rng = Pcg32::new(1);
+        let p = ContentObject::text(
+            "http://a",
+            MimeType::Html,
+            "<p>One January 5. Two June 6.</p>",
+        );
+        let args = TaccArgs::from_map(
+            [("month".to_string(), "June".to_string())]
+                .into_iter()
+                .collect(),
+        );
+        let out = a.aggregate(&[p], &args, &mut rng).unwrap();
+        assert_eq!(out.meta["events"], "1");
+    }
+
+    #[test]
+    fn tags_do_not_confuse_extraction() {
+        let page = "<b>January</b> <i>12</i> concert";
+        let events = CultureAggregator::extract_events("u", page);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].day, 12);
+    }
+}

@@ -1,0 +1,192 @@
+//! The GIF distiller: GIF→JPEG conversion followed by JPEG degradation
+//! (§3.1.6, footnote 3: "the JPEG representation is smaller and faster
+//! to operate on for most images, and produces aesthetically superior
+//! results").
+
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+use sns_tacc::content::{Body, ContentObject};
+use sns_tacc::worker::{TaccArgs, TaccError, TaccWorker};
+use sns_workload::MimeType;
+
+use crate::cost::CostModel;
+
+/// Smallest output the distiller will produce.
+const MIN_OUTPUT: u64 = 256;
+
+/// Quality→size factor: Figure 3's example (scale 2, quality 25) turns
+/// 10 KB into 1.5 KB, i.e. total factor 0.15 = (1/2²) · 0.6.
+fn quality_factor(quality: f64) -> f64 {
+    (0.3 + 0.012 * quality).min(1.0)
+}
+
+/// The GIF distiller worker.
+pub struct GifDistiller {
+    cost: CostModel,
+    /// Probability a given input is pathological and crashes the worker
+    /// (§3.1.6); 0 by default.
+    pub crash_prob: f64,
+}
+
+impl GifDistiller {
+    /// Creates the distiller with Figure 7 costs.
+    pub fn new() -> Self {
+        GifDistiller {
+            cost: CostModel::gif(),
+            crash_prob: 0.0,
+        }
+    }
+
+    /// Enables pathological-input crashes with the given probability.
+    pub fn with_crash_prob(mut self, p: f64) -> Self {
+        self.crash_prob = p;
+        self
+    }
+}
+
+impl Default for GifDistiller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaccWorker for GifDistiller {
+    fn name(&self) -> &'static str {
+        "gif"
+    }
+
+    fn accepts(&self, mime: MimeType) -> bool {
+        mime == MimeType::Gif
+    }
+
+    fn cost(&self, input: &ContentObject, _args: &TaccArgs, rng: &mut Pcg32) -> Duration {
+        self.cost.sample(input.len(), rng)
+    }
+
+    fn transform(
+        &mut self,
+        input: &ContentObject,
+        args: &TaccArgs,
+        rng: &mut Pcg32,
+    ) -> Result<ContentObject, TaccError> {
+        if args.get_bool("poison", false) || rng.chance(self.crash_prob) {
+            return Err(TaccError::PathologicalInput);
+        }
+        let Body::Synthetic { len, width, height } = input.body else {
+            return Err(TaccError::Unsupported("gif body must be an image".into()));
+        };
+        let scale = args.get_f64("scale", 2.0).max(1.0);
+        let quality = args.get_f64("quality", 25.0).clamp(1.0, 100.0);
+        let qf = quality_factor(quality);
+        let factor = qf / (scale * scale);
+        let out_len = ((len as f64 * factor) as u64).max(MIN_OUTPUT).min(len);
+        let mut out = input.clone();
+        out.mime = MimeType::Jpeg; // GIF→JPEG conversion
+        out.body = Body::Synthetic {
+            len: out_len,
+            width: ((width as f64 / scale).round() as u32).max(1),
+            height: ((height as f64 / scale).round() as u32).max(1),
+        };
+        out.quality *= (quality / 100.0).min(1.0);
+        out.lineage.push("gif".into());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn args(pairs: &[(&str, &str)]) -> TaccArgs {
+        TaccArgs::from_map(
+            pairs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect::<BTreeMap<_, _>>(),
+        )
+    }
+
+    #[test]
+    fn figure_3_size_reduction() {
+        // Scale 2, quality 25: 10 KB -> ~1.5 KB.
+        let mut d = GifDistiller::new();
+        let mut rng = Pcg32::new(1);
+        let input = ContentObject::synthetic("u", MimeType::Gif, 10_240);
+        let out = d
+            .transform(
+                &input,
+                &args(&[("scale", "2"), ("quality", "25")]),
+                &mut rng,
+            )
+            .unwrap();
+        let factor = out.len() as f64 / input.len() as f64;
+        assert!((0.10..0.20).contains(&factor), "factor {factor}");
+        assert_eq!(out.mime, MimeType::Jpeg, "GIF is converted to JPEG");
+        assert!(out.quality < 1.0);
+        assert_eq!(out.lineage, vec!["gif"]);
+    }
+
+    #[test]
+    fn dimensions_scale_down() {
+        let mut d = GifDistiller::new();
+        let mut rng = Pcg32::new(2);
+        let input = ContentObject::synthetic("u", MimeType::Gif, 20_000);
+        let Body::Synthetic { width: w0, .. } = input.body else {
+            unreachable!()
+        };
+        let out = d
+            .transform(&input, &args(&[("scale", "4")]), &mut rng)
+            .unwrap();
+        let Body::Synthetic { width: w1, .. } = out.body else {
+            panic!("image out")
+        };
+        assert_eq!(w1, (w0 as f64 / 4.0).round() as u32);
+    }
+
+    #[test]
+    fn never_grows_and_floors_small_outputs() {
+        let mut d = GifDistiller::new();
+        let mut rng = Pcg32::new(3);
+        let tiny = ContentObject::synthetic("u", MimeType::Gif, 300);
+        let out = d.transform(&tiny, &args(&[]), &mut rng).unwrap();
+        assert!(out.len() <= 300, "distillation must not grow content");
+    }
+
+    #[test]
+    fn higher_quality_bigger_output() {
+        let mut d = GifDistiller::new();
+        let mut rng = Pcg32::new(4);
+        let input = ContentObject::synthetic("u", MimeType::Gif, 40_000);
+        let lo = d
+            .transform(&input, &args(&[("quality", "10")]), &mut rng)
+            .unwrap();
+        let hi = d
+            .transform(&input, &args(&[("quality", "90")]), &mut rng)
+            .unwrap();
+        assert!(hi.len() > lo.len());
+    }
+
+    #[test]
+    fn poison_crashes() {
+        let mut d = GifDistiller::new();
+        let mut rng = Pcg32::new(5);
+        let input = ContentObject::synthetic("u", MimeType::Gif, 1000);
+        assert!(matches!(
+            d.transform(&input, &args(&[("poison", "1")]), &mut rng),
+            Err(TaccError::PathologicalInput)
+        ));
+    }
+
+    #[test]
+    fn rejects_text_body() {
+        let mut d = GifDistiller::new();
+        let mut rng = Pcg32::new(6);
+        let input = ContentObject::text("u", MimeType::Gif, "<not an image>");
+        assert!(matches!(
+            d.transform(&input, &args(&[]), &mut rng),
+            Err(TaccError::Unsupported(_))
+        ));
+    }
+}

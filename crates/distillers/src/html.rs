@@ -1,0 +1,193 @@
+//! The HTML "munger" (§3.1.6): real markup rewriting.
+//!
+//! The paper's Perl distiller "marks up inline image references with
+//! distillation preferences, adds extra links next to distilled images so
+//! that users can retrieve the original content, and adds a 'toolbar' to
+//! each page that allows users to control various aspects of TranSend's
+//! operation." This implementation performs the same three rewrites on
+//! real HTML text.
+
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+use sns_tacc::content::{Body, ContentObject};
+use sns_tacc::worker::{TaccArgs, TaccError, TaccWorker};
+use sns_workload::MimeType;
+
+use crate::cost::CostModel;
+
+/// The toolbar injected after `<body>` (a text stand-in for Figure 4).
+pub const TOOLBAR: &str = r#"<div class="transend-toolbar">[TranSend] quality: <a href="?ts-q=10">low</a> <a href="?ts-q=25">med</a> <a href="?ts-q=50">high</a> | <a href="?ts-off=1">originals</a></div>"#;
+
+/// The HTML munger worker.
+pub struct HtmlMunger {
+    cost: CostModel,
+}
+
+impl HtmlMunger {
+    /// Creates the munger.
+    pub fn new() -> Self {
+        HtmlMunger {
+            cost: CostModel::html(),
+        }
+    }
+
+    /// Rewrites one `src="…"` attribute occurrence, returning the new
+    /// tag text and whether a rewrite happened.
+    fn rewrite_images(html: &str, quality: f64) -> (String, usize) {
+        let mut out = String::with_capacity(html.len() + html.len() / 8);
+        let mut rewritten = 0;
+        let mut rest = html;
+        while let Some(tag_start) = rest.find("<img ") {
+            let (before, tag_on) = rest.split_at(tag_start);
+            out.push_str(before);
+            let Some(tag_end) = tag_on.find('>') else {
+                // Unterminated tag: emit as-is and stop scanning.
+                rest = tag_on;
+                break;
+            };
+            let tag = &tag_on[..=tag_end];
+            // Annotate the reference with the distillation preference and
+            // add the "retrieve original" link.
+            let src = tag
+                .split("src=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .unwrap_or("");
+            let annotated = if let Some(stripped) = tag.strip_suffix('>') {
+                format!("{stripped} data-ts-quality=\"{quality}\">")
+            } else {
+                tag.to_string()
+            };
+            out.push_str(&annotated);
+            if !src.is_empty() {
+                out.push_str(&format!("<a href=\"{src}?ts-original=1\">[original]</a>"));
+            }
+            rewritten += 1;
+            rest = &tag_on[tag_end + 1..];
+        }
+        out.push_str(rest);
+        (out, rewritten)
+    }
+}
+
+impl Default for HtmlMunger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaccWorker for HtmlMunger {
+    fn name(&self) -> &'static str {
+        "html"
+    }
+
+    fn accepts(&self, mime: MimeType) -> bool {
+        mime == MimeType::Html
+    }
+
+    fn cost(&self, input: &ContentObject, _args: &TaccArgs, rng: &mut Pcg32) -> Duration {
+        self.cost.sample(input.len(), rng)
+    }
+
+    fn transform(
+        &mut self,
+        input: &ContentObject,
+        args: &TaccArgs,
+        _rng: &mut Pcg32,
+    ) -> Result<ContentObject, TaccError> {
+        let Body::Text(html) = &input.body else {
+            return Err(TaccError::Unsupported("html body must be text".into()));
+        };
+        let quality = args.get_f64("quality", 25.0);
+        let (mut munged, n) = Self::rewrite_images(html, quality);
+        if args.get_bool("toolbar", true) {
+            if let Some(pos) = munged.find("<body>") {
+                munged.insert_str(pos + "<body>".len(), TOOLBAR);
+            } else {
+                munged.insert_str(0, TOOLBAR);
+            }
+        }
+        let mut out = input.clone();
+        out.body = Body::Text(munged);
+        out.lineage.push("html".into());
+        out.meta.insert("images_marked".into(), n.to_string());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_tacc::content::synth_html;
+    use std::collections::BTreeMap;
+
+    fn munge(html: &str, pairs: &[(&str, &str)]) -> ContentObject {
+        let mut m = HtmlMunger::new();
+        let mut rng = Pcg32::new(1);
+        let args = TaccArgs::from_map(
+            pairs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect::<BTreeMap<_, _>>(),
+        );
+        let input = ContentObject::text("http://h/p", MimeType::Html, html);
+        m.transform(&input, &args, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn marks_images_and_adds_original_links() {
+        let words: Vec<&str> =
+            "one two three four five six seven eight nine ten eleven twelve more words here now"
+                .split(' ')
+                .collect();
+        let html = synth_html("http://h/p", 2, &words);
+        let out = munge(&html, &[("quality", "25")]);
+        let Body::Text(t) = &out.body else {
+            panic!("text out")
+        };
+        assert_eq!(t.matches("data-ts-quality=\"25\"").count(), 2);
+        assert_eq!(t.matches("?ts-original=1\">[original]</a>").count(), 2);
+        assert_eq!(out.meta["images_marked"], "2");
+    }
+
+    #[test]
+    fn toolbar_injected_after_body() {
+        let out = munge("<html><body><p>x</p></body></html>", &[]);
+        let Body::Text(t) = &out.body else {
+            panic!("text out")
+        };
+        let body_pos = t.find("<body>").unwrap();
+        let bar_pos = t.find("transend-toolbar").unwrap();
+        assert!(bar_pos > body_pos);
+        assert!(bar_pos < t.find("<p>").unwrap());
+    }
+
+    #[test]
+    fn toolbar_can_be_disabled() {
+        let out = munge("<html><body></body></html>", &[("toolbar", "0")]);
+        let Body::Text(t) = &out.body else {
+            panic!("text out")
+        };
+        assert!(!t.contains("transend-toolbar"));
+    }
+
+    #[test]
+    fn pages_without_images_pass_through() {
+        let out = munge("<html><body><p>just text</p></body></html>", &[]);
+        assert_eq!(out.meta["images_marked"], "0");
+        let Body::Text(t) = &out.body else {
+            panic!("text out")
+        };
+        assert!(t.contains("just text"));
+    }
+
+    #[test]
+    fn unterminated_tag_does_not_panic() {
+        let out = munge("<html><body><img src=\"x.gif\"", &[]);
+        let Body::Text(t) = &out.body else {
+            panic!("text out")
+        };
+        assert!(t.contains("<img src=\"x.gif\""));
+    }
+}

@@ -1,0 +1,157 @@
+//! The JPEG distiller: scaling and low-pass filtering of JPEG images
+//! using (in the paper) the off-the-shelf jpeg-6a library (§3.1.6).
+
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+use sns_tacc::content::{Body, ContentObject};
+use sns_tacc::worker::{TaccArgs, TaccError, TaccWorker};
+use sns_workload::MimeType;
+
+use crate::cost::CostModel;
+
+const MIN_OUTPUT: u64 = 256;
+
+/// The JPEG distiller worker.
+pub struct JpegDistiller {
+    cost: CostModel,
+    /// Pathological-input crash probability (0 by default).
+    pub crash_prob: f64,
+}
+
+impl JpegDistiller {
+    /// Creates the distiller with Table 2-calibrated costs (~23 req/s on
+    /// 10 KB inputs).
+    pub fn new() -> Self {
+        JpegDistiller {
+            cost: CostModel::jpeg(),
+            crash_prob: 0.0,
+        }
+    }
+
+    /// Enables pathological-input crashes.
+    pub fn with_crash_prob(mut self, p: f64) -> Self {
+        self.crash_prob = p;
+        self
+    }
+}
+
+impl Default for JpegDistiller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaccWorker for JpegDistiller {
+    fn name(&self) -> &'static str {
+        "jpeg"
+    }
+
+    fn accepts(&self, mime: MimeType) -> bool {
+        mime == MimeType::Jpeg
+    }
+
+    fn cost(&self, input: &ContentObject, _args: &TaccArgs, rng: &mut Pcg32) -> Duration {
+        self.cost.sample(input.len(), rng)
+    }
+
+    fn transform(
+        &mut self,
+        input: &ContentObject,
+        args: &TaccArgs,
+        rng: &mut Pcg32,
+    ) -> Result<ContentObject, TaccError> {
+        if args.get_bool("poison", false) || rng.chance(self.crash_prob) {
+            return Err(TaccError::PathologicalInput);
+        }
+        let Body::Synthetic { len, width, height } = input.body else {
+            return Err(TaccError::Unsupported("jpeg body must be an image".into()));
+        };
+        let scale = args.get_f64("scale", 2.0).max(1.0);
+        let quality = args.get_f64("quality", 25.0).clamp(1.0, 100.0);
+        // JPEG re-encoding at reduced quality: sub-linear in quality (the
+        // low-pass filter removes high-frequency coefficients).
+        let qf = (quality / 100.0).powf(0.6);
+        let factor = (qf / (scale * scale)).min(1.0);
+        let out_len = ((len as f64 * factor) as u64).max(MIN_OUTPUT).min(len);
+        let mut out = input.clone();
+        out.body = Body::Synthetic {
+            len: out_len,
+            width: ((width as f64 / scale).round() as u32).max(1),
+            height: ((height as f64 / scale).round() as u32).max(1),
+        };
+        out.quality *= (quality / 100.0).min(1.0);
+        out.lineage.push("jpeg".into());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn args(pairs: &[(&str, &str)]) -> TaccArgs {
+        TaccArgs::from_map(
+            pairs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect::<BTreeMap<_, _>>(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_latency_reduction_factor_3_to_5() {
+        // §1.1: distillation yields 3-5x end-to-end latency reduction;
+        // the dominant term for modem users is bytes transferred, so the
+        // size reduction at default settings must be at least ~3-5x.
+        let mut d = JpegDistiller::new();
+        let mut rng = Pcg32::new(1);
+        let input = ContentObject::synthetic("u", MimeType::Jpeg, 12_070);
+        let out = d.transform(&input, &args(&[]), &mut rng).unwrap();
+        let reduction = input.len() as f64 / out.len() as f64;
+        assert!(reduction >= 3.0, "reduction {reduction}x");
+        assert_eq!(out.mime, MimeType::Jpeg);
+    }
+
+    #[test]
+    fn scale_one_quality_100_is_near_identity() {
+        let mut d = JpegDistiller::new();
+        let mut rng = Pcg32::new(2);
+        let input = ContentObject::synthetic("u", MimeType::Jpeg, 10_000);
+        let out = d
+            .transform(
+                &input,
+                &args(&[("scale", "1"), ("quality", "100")]),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(out.len(), input.len());
+    }
+
+    #[test]
+    fn cost_is_cheaper_than_gif_distillation() {
+        let jd = JpegDistiller::new();
+        let gd = crate::gif::GifDistiller::new();
+        let input = ContentObject::synthetic("u", MimeType::Jpeg, 10_240);
+        let ginput = ContentObject::synthetic("u", MimeType::Gif, 10_240);
+        let mut rng = Pcg32::new(3);
+        let javg: Duration = (0..1000)
+            .map(|_| jd.cost(&input, &args(&[]), &mut rng))
+            .sum::<Duration>()
+            / 1000;
+        let gavg: Duration = (0..1000)
+            .map(|_| gd.cost(&ginput, &args(&[]), &mut rng))
+            .sum::<Duration>()
+            / 1000;
+        assert!(javg < gavg, "jpeg {javg:?} vs gif {gavg:?}");
+    }
+
+    #[test]
+    fn accepts_only_jpeg() {
+        let d = JpegDistiller::new();
+        assert!(d.accepts(MimeType::Jpeg));
+        assert!(!d.accepts(MimeType::Gif));
+        assert!(!d.accepts(MimeType::Html));
+    }
+}

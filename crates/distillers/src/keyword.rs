@@ -1,0 +1,202 @@
+//! The keyword filter (§5.1): "about 10 lines of Perl. It allows users
+//! to specify a … expression as customization preference \[which\] is then
+//! applied to all HTML before delivery. A simple example filter marks
+//! all occurrences of the chosen keywords with large, bold, red
+//! typeface."
+//!
+//! Keywords come from the user's profile (`keywords`, comma-separated),
+//! demonstrating TACC customisation: the same worker serves every user
+//! with their own terms.
+
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+use sns_tacc::content::{Body, ContentObject};
+use sns_tacc::worker::{TaccArgs, TaccError, TaccWorker};
+use sns_workload::MimeType;
+
+use crate::cost::CostModel;
+
+const MARK_OPEN: &str = r#"<b style="color:red;font-size:large">"#;
+const MARK_CLOSE: &str = "</b>";
+
+/// The keyword-highlighting worker.
+pub struct KeywordFilter {
+    cost: CostModel,
+}
+
+impl KeywordFilter {
+    /// Creates the filter.
+    pub fn new() -> Self {
+        KeywordFilter {
+            cost: CostModel::text_pass(),
+        }
+    }
+
+    /// Case-insensitively wraps every occurrence of `needle` in the
+    /// marker. Skips text inside tags (between `<` and `>`).
+    fn highlight(text: &str, needle: &str) -> (String, usize) {
+        if needle.is_empty() {
+            return (text.to_string(), 0);
+        }
+        let lower_text = text.to_lowercase();
+        let lower_needle = needle.to_lowercase();
+        let mut out = String::with_capacity(text.len());
+        let mut hits = 0;
+        let mut pos = 0;
+        let mut in_tag = false;
+        while pos < text.len() {
+            let rest = &lower_text[pos..];
+            if in_tag {
+                match rest.find('>') {
+                    Some(i) => {
+                        out.push_str(&text[pos..pos + i + 1]);
+                        pos += i + 1;
+                        in_tag = false;
+                    }
+                    None => {
+                        out.push_str(&text[pos..]);
+                        break;
+                    }
+                }
+                continue;
+            }
+            let next_tag = rest.find('<');
+            let next_hit = rest.find(&lower_needle);
+            match (next_hit, next_tag) {
+                (Some(h), None) => {
+                    out.push_str(&text[pos..pos + h]);
+                    out.push_str(MARK_OPEN);
+                    out.push_str(&text[pos + h..pos + h + needle.len()]);
+                    out.push_str(MARK_CLOSE);
+                    hits += 1;
+                    pos += h + needle.len();
+                }
+                (Some(h), Some(t)) if h < t => {
+                    out.push_str(&text[pos..pos + h]);
+                    out.push_str(MARK_OPEN);
+                    out.push_str(&text[pos + h..pos + h + needle.len()]);
+                    out.push_str(MARK_CLOSE);
+                    hits += 1;
+                    pos += h + needle.len();
+                }
+                (_, Some(t)) => {
+                    out.push_str(&text[pos..pos + t + 1]);
+                    pos += t + 1;
+                    in_tag = true;
+                }
+                (None, None) => {
+                    out.push_str(&text[pos..]);
+                    break;
+                }
+            }
+        }
+        (out, hits)
+    }
+}
+
+impl Default for KeywordFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaccWorker for KeywordFilter {
+    fn name(&self) -> &'static str {
+        "keyword"
+    }
+
+    fn accepts(&self, mime: MimeType) -> bool {
+        mime == MimeType::Html
+    }
+
+    fn cost(&self, input: &ContentObject, _args: &TaccArgs, rng: &mut Pcg32) -> Duration {
+        self.cost.sample(input.len(), rng)
+    }
+
+    fn transform(
+        &mut self,
+        input: &ContentObject,
+        args: &TaccArgs,
+        _rng: &mut Pcg32,
+    ) -> Result<ContentObject, TaccError> {
+        let Body::Text(html) = &input.body else {
+            return Err(TaccError::Unsupported("keyword filter needs text".into()));
+        };
+        let mut text = html.clone();
+        let mut total = 0;
+        if let Some(keywords) = args.get("keywords") {
+            for kw in keywords.split(',').map(str::trim).filter(|k| !k.is_empty()) {
+                let (next, hits) = Self::highlight(&text, kw);
+                text = next;
+                total += hits;
+            }
+        }
+        let mut out = input.clone();
+        out.body = Body::Text(text);
+        out.lineage.push("keyword".into());
+        out.meta.insert("keyword_hits".into(), total.to_string());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn filter(html: &str, keywords: &str) -> ContentObject {
+        let mut f = KeywordFilter::new();
+        let mut rng = Pcg32::new(1);
+        let args = TaccArgs::from_map(BTreeMap::from([(
+            "keywords".to_string(),
+            keywords.to_string(),
+        )]));
+        let input = ContentObject::text("u", MimeType::Html, html);
+        f.transform(&input, &args, &mut rng).unwrap()
+    }
+
+    fn text_of(o: &ContentObject) -> &str {
+        match &o.body {
+            Body::Text(t) => t,
+            _ => panic!("text body"),
+        }
+    }
+
+    #[test]
+    fn highlights_case_insensitively() {
+        let out = filter("<p>Rust and RUST and rust.</p>", "rust");
+        let t = text_of(&out);
+        assert_eq!(t.matches(MARK_OPEN).count(), 3);
+        assert!(t.contains(&format!("{MARK_OPEN}Rust{MARK_CLOSE}")));
+        assert!(t.contains(&format!("{MARK_OPEN}RUST{MARK_CLOSE}")));
+        assert_eq!(out.meta["keyword_hits"], "3");
+    }
+
+    #[test]
+    fn does_not_touch_markup() {
+        let out = filter("<a href=\"rust.html\">rust</a>", "rust");
+        let t = text_of(&out);
+        assert!(
+            t.contains("href=\"rust.html\""),
+            "attribute text must not be highlighted: {t}"
+        );
+        assert_eq!(t.matches(MARK_OPEN).count(), 1);
+    }
+
+    #[test]
+    fn multiple_keywords() {
+        let out = filter("<p>alpha beta gamma</p>", "alpha, gamma");
+        assert_eq!(out.meta["keyword_hits"], "2");
+    }
+
+    #[test]
+    fn no_keywords_is_identity_text() {
+        let mut f = KeywordFilter::new();
+        let mut rng = Pcg32::new(1);
+        let input = ContentObject::text("u", MimeType::Html, "<p>plain</p>");
+        let out = f.transform(&input, &TaccArgs::default(), &mut rng).unwrap();
+        assert_eq!(text_of(&out), "<p>plain</p>");
+        assert_eq!(out.meta["keyword_hits"], "0");
+    }
+}

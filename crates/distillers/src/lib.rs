@@ -1,0 +1,45 @@
+//! # sns-distillers — TranSend's datatype-specific workers (§3.1.6) and
+//! the §5.1 extension services
+//!
+//! The paper's three production distillers, plus every example service
+//! §5.1 reports building on the architecture:
+//!
+//! | module | paper counterpart |
+//! |---|---|
+//! | [`gif`] | GIF→JPEG conversion followed by JPEG degradation |
+//! | [`jpeg`] | scaling and low-pass filtering of JPEG images (jpeg-6a) |
+//! | [`html`] | the Perl HTML "munger": image-ref markup, links to originals, toolbar |
+//! | [`keyword`] | the 10-line keyword-filter aggregator (bold-red highlighting) |
+//! | [`culture`] | the Bay Area Culture Page aggregator (heuristic date extraction) |
+//! | [`metasearch`] | the TranSend metasearch collator (3 pages of Perl, 2.5 h) |
+//! | [`rewebber`] | the anonymous rewebber's encrypt/decrypt workers |
+//! | [`pda`] | the PalmPilot thin-client simplifier ("spoon-fed" markup) |
+//!
+//! Image distillers operate on the synthetic image model (size,
+//! dimensions, quality) with costs calibrated to Figure 7 (≈8 ms per
+//! input KB for GIF, linear, with the observed high variance; JPEG is
+//! "far more efficient" — calibrated so one distiller saturates at
+//! ≈23 requests/s on 10 KB inputs as in Table 2). Text workers do real
+//! string processing on real markup.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod culture;
+pub mod gif;
+pub mod html;
+pub mod jpeg;
+pub mod keyword;
+pub mod metasearch;
+pub mod pda;
+pub mod rewebber;
+
+pub use cost::CostModel;
+pub use culture::CultureAggregator;
+pub use gif::GifDistiller;
+pub use html::HtmlMunger;
+pub use jpeg::JpegDistiller;
+pub use keyword::KeywordFilter;
+pub use metasearch::MetasearchAggregator;
+pub use pda::PdaSimplifier;
+pub use rewebber::{RewebberDecrypt, RewebberEncrypt};

@@ -1,0 +1,202 @@
+//! The TranSend metasearch aggregator (§5.1): "an aggregator accepts a
+//! search string from a user, queries a number of popular search
+//! engines, and collates the top results from each into a single result
+//! page" — implemented in the paper in 3 pages of Perl in 2.5 hours,
+//! inheriting scalability and fault tolerance from the SNS layer.
+//!
+//! Inputs are per-engine result pages whose text bodies carry one result
+//! per line (`title\turl`). Collation interleaves engines round-robin,
+//! deduplicates by URL and keeps the top `max_results`.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+use sns_tacc::content::{Body, ContentObject};
+use sns_tacc::worker::{Aggregator, TaccArgs, TaccError};
+use sns_workload::MimeType;
+
+use crate::cost::CostModel;
+
+/// One collated search result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultLine {
+    /// Result title.
+    pub title: String,
+    /// Result URL.
+    pub url: String,
+    /// Which engine produced it.
+    pub engine: String,
+}
+
+/// The metasearch collator.
+pub struct MetasearchAggregator {
+    cost: CostModel,
+}
+
+impl MetasearchAggregator {
+    /// Creates the aggregator.
+    pub fn new() -> Self {
+        MetasearchAggregator {
+            cost: CostModel::text_pass(),
+        }
+    }
+
+    fn parse(input: &ContentObject) -> Vec<ResultLine> {
+        let Body::Text(t) = &input.body else {
+            return Vec::new();
+        };
+        t.lines()
+            .filter_map(|line| {
+                let (title, url) = line.split_once('\t')?;
+                if title.is_empty() || url.is_empty() {
+                    return None;
+                }
+                Some(ResultLine {
+                    title: title.to_string(),
+                    url: url.to_string(),
+                    engine: input.url.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Round-robin interleave with URL dedup.
+    pub fn collate(engines: &[Vec<ResultLine>], max_results: usize) -> Vec<ResultLine> {
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let longest = engines.iter().map(Vec::len).max().unwrap_or(0);
+        for rank in 0..longest {
+            for engine in engines {
+                if out.len() >= max_results {
+                    return out;
+                }
+                if let Some(r) = engine.get(rank) {
+                    if seen.insert(r.url.clone()) {
+                        out.push(r.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn render(query: &str, results: &[ResultLine]) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "<html><head><title>Metasearch: {query}</title></head><body><h1>Results for \"{query}\"</h1><ol>\n"
+        );
+        for r in results {
+            let _ = writeln!(
+                out,
+                "<li><a href=\"{}\">{}</a> <i>({})</i></li>",
+                r.url, r.title, r.engine
+            );
+        }
+        out.push_str("</ol></body></html>\n");
+        out
+    }
+}
+
+impl Default for MetasearchAggregator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aggregator for MetasearchAggregator {
+    fn name(&self) -> &'static str {
+        "metasearch"
+    }
+
+    fn cost(&self, inputs: &[ContentObject], _args: &TaccArgs, rng: &mut Pcg32) -> Duration {
+        let total: u64 = inputs.iter().map(|o| o.len()).sum();
+        self.cost.sample(total, rng)
+    }
+
+    fn aggregate(
+        &mut self,
+        inputs: &[ContentObject],
+        args: &TaccArgs,
+        _rng: &mut Pcg32,
+    ) -> Result<ContentObject, TaccError> {
+        let max_results = args.get_f64("max_results", 20.0) as usize;
+        let query = args.get("query").unwrap_or("").to_string();
+        let engines: Vec<Vec<ResultLine>> = inputs.iter().map(Self::parse).collect();
+        let collated = Self::collate(&engines, max_results);
+        let mut out = ContentObject::text(
+            format!("transend://metasearch?q={query}"),
+            MimeType::Html,
+            Self::render(&query, &collated),
+        );
+        out.lineage.push("metasearch".into());
+        out.meta
+            .insert("results".into(), collated.len().to_string());
+        out.meta.insert("engines".into(), inputs.len().to_string());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_page(name: &str, results: &[(&str, &str)]) -> ContentObject {
+        let body: String = results.iter().map(|(t, u)| format!("{t}\t{u}\n")).collect();
+        ContentObject::text(name, MimeType::Other, body)
+    }
+
+    #[test]
+    fn interleaves_round_robin_and_dedupes() {
+        let a = engine_page("engineA", &[("A1", "http://1"), ("A2", "http://2")]);
+        let b = engine_page("engineB", &[("B1", "http://1"), ("B2", "http://3")]);
+        let engines = vec![
+            MetasearchAggregator::parse(&a),
+            MetasearchAggregator::parse(&b),
+        ];
+        let out = MetasearchAggregator::collate(&engines, 10);
+        let urls: Vec<&str> = out.iter().map(|r| r.url.as_str()).collect();
+        // http://1 appears once (A wins, being first at rank 0).
+        assert_eq!(urls, vec!["http://1", "http://2", "http://3"]);
+        assert_eq!(out[0].engine, "engineA");
+    }
+
+    #[test]
+    fn respects_max_results() {
+        let a = engine_page("e", &[("1", "u1"), ("2", "u2"), ("3", "u3"), ("4", "u4")]);
+        let engines = vec![MetasearchAggregator::parse(&a)];
+        assert_eq!(MetasearchAggregator::collate(&engines, 2).len(), 2);
+    }
+
+    #[test]
+    fn end_to_end_aggregation() {
+        let mut m = MetasearchAggregator::new();
+        let mut rng = Pcg32::new(1);
+        let inputs = vec![
+            engine_page(
+                "hotbot",
+                &[("Rust lang", "http://rust"), ("Crab", "http://crab")],
+            ),
+            engine_page("altavista", &[("Rust lang", "http://rust")]),
+        ];
+        let args = TaccArgs::from_map(
+            [("query".to_string(), "rust".to_string())]
+                .into_iter()
+                .collect(),
+        );
+        let out = m.aggregate(&inputs, &args, &mut rng).unwrap();
+        assert_eq!(out.meta["results"], "2");
+        assert_eq!(out.meta["engines"], "2");
+        let Body::Text(t) = &out.body else {
+            panic!("text")
+        };
+        assert!(t.contains("Results for \"rust\""));
+        assert!(t.contains("http://crab"));
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let page = ContentObject::text("e", MimeType::Other, "no tab here\n\tmissing title\n");
+        assert!(MetasearchAggregator::parse(&page).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! The thin-client simplifier (§5.1): "Real Web Access for PDAs and
+//! Smart Phones" — workers that "output simplified markup and
+//! scaled-down images ready to be 'spoon fed' to an extremely simple
+//! browser client, given knowledge of the client's screen dimensions and
+//! font metrics", so no HTML parsing, layout or image processing is
+//! needed client-side.
+
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+use sns_tacc::content::{Body, ContentObject};
+use sns_tacc::worker::{TaccArgs, TaccError, TaccWorker};
+use sns_workload::MimeType;
+
+use crate::cost::CostModel;
+
+/// The PalmPilot-class simplifier worker.
+pub struct PdaSimplifier {
+    cost: CostModel,
+}
+
+impl PdaSimplifier {
+    /// Creates the simplifier.
+    pub fn new() -> Self {
+        PdaSimplifier {
+            cost: CostModel::html(),
+        }
+    }
+
+    /// Strips tags and re-wraps text to the client's line width; images
+    /// become `[IMG n]` placeholders listed with target dimensions.
+    fn spoon_feed(html: &str, cols: usize, screen_w: u32, screen_h: u32) -> String {
+        let mut text = String::with_capacity(html.len());
+        let mut images: Vec<String> = Vec::new();
+        let mut rest = html;
+        // Extract image srcs, replace with placeholders, drop other tags.
+        let mut in_tag = false;
+        let mut tag_buf = String::new();
+        for c in rest.chars() {
+            match c {
+                '<' => {
+                    in_tag = true;
+                    tag_buf.clear();
+                }
+                '>' if in_tag => {
+                    in_tag = false;
+                    if tag_buf.starts_with("img ") || tag_buf.starts_with("img\t") {
+                        let src = tag_buf
+                            .split("src=\"")
+                            .nth(1)
+                            .and_then(|s| s.split('"').next())
+                            .unwrap_or("?");
+                        images.push(src.to_string());
+                        text.push_str(&format!(" [IMG {}] ", images.len()));
+                    } else if tag_buf.starts_with('p') || tag_buf.starts_with("br") {
+                        text.push('\n');
+                    }
+                }
+                c if in_tag => tag_buf.push(c),
+                c => text.push(c),
+            }
+        }
+        rest = "";
+        let _ = rest;
+        // Re-wrap to `cols` columns (the client does no layout).
+        let mut wrapped = String::new();
+        for paragraph in text.split('\n') {
+            let mut col = 0;
+            for word in paragraph.split_whitespace() {
+                if col + word.len() + 1 > cols && col > 0 {
+                    wrapped.push('\n');
+                    col = 0;
+                }
+                if col > 0 {
+                    wrapped.push(' ');
+                    col += 1;
+                }
+                wrapped.push_str(word);
+                col += word.len();
+            }
+            if col > 0 {
+                wrapped.push('\n');
+            }
+        }
+        // Image manifest with scaled dimensions.
+        if !images.is_empty() {
+            wrapped.push_str("--images--\n");
+            for (i, src) in images.iter().enumerate() {
+                wrapped.push_str(&format!(
+                    "{}: {src} @{}x{}\n",
+                    i + 1,
+                    screen_w.min(160),
+                    screen_h.min(160)
+                ));
+            }
+        }
+        wrapped
+    }
+}
+
+impl Default for PdaSimplifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaccWorker for PdaSimplifier {
+    fn name(&self) -> &'static str {
+        "pda"
+    }
+
+    fn accepts(&self, mime: MimeType) -> bool {
+        mime == MimeType::Html
+    }
+
+    fn cost(&self, input: &ContentObject, _args: &TaccArgs, rng: &mut Pcg32) -> Duration {
+        self.cost.sample(input.len(), rng)
+    }
+
+    fn transform(
+        &mut self,
+        input: &ContentObject,
+        args: &TaccArgs,
+        _rng: &mut Pcg32,
+    ) -> Result<ContentObject, TaccError> {
+        let Body::Text(html) = &input.body else {
+            return Err(TaccError::Unsupported("pda simplifier needs text".into()));
+        };
+        let cols = args.get_f64("cols", 40.0) as usize;
+        let w = args.get_f64("screen_w", 160.0) as u32;
+        let h = args.get_f64("screen_h", 160.0) as u32;
+        let mut out = input.clone();
+        out.body = Body::Text(Self::spoon_feed(html, cols.max(16), w, h));
+        out.mime = MimeType::Other; // simplified markup, not HTML
+        out.lineage.push("pda".into());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_tags_and_wraps() {
+        let mut p = PdaSimplifier::new();
+        let mut rng = Pcg32::new(1);
+        let html = "<html><body><p>this is a fairly long paragraph of words that must wrap to the tiny screen</p></body></html>";
+        let input = ContentObject::text("u", MimeType::Html, html);
+        let args = TaccArgs::from_map(
+            [("cols".to_string(), "20".to_string())]
+                .into_iter()
+                .collect(),
+        );
+        let out = p.transform(&input, &args, &mut rng).unwrap();
+        let Body::Text(t) = &out.body else { panic!() };
+        assert!(!t.contains('<'));
+        assert!(
+            t.lines().filter(|l| !l.is_empty()).all(|l| l.len() <= 21),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn images_become_placeholders_with_manifest() {
+        let mut p = PdaSimplifier::new();
+        let mut rng = Pcg32::new(1);
+        let html = r#"<body><p>pic:</p><img src="http://h/a.gif" width="640"><p>done</p></body>"#;
+        let input = ContentObject::text("u", MimeType::Html, html);
+        let out = p.transform(&input, &TaccArgs::default(), &mut rng).unwrap();
+        let Body::Text(t) = &out.body else { panic!() };
+        assert!(t.contains("[IMG 1]"));
+        assert!(t.contains("--images--"));
+        assert!(t.contains("http://h/a.gif @160x160"));
+    }
+
+    #[test]
+    fn output_is_smaller_for_markup_heavy_pages() {
+        let mut p = PdaSimplifier::new();
+        let mut rng = Pcg32::new(1);
+        let html = format!(
+            "<html><head><title>x</title></head><body>{}</body></html>",
+            "<div class=\"wrapper\"><span>hi</span></div>".repeat(50)
+        );
+        let input = ContentObject::text("u", MimeType::Html, html);
+        let out = p.transform(&input, &TaccArgs::default(), &mut rng).unwrap();
+        assert!(
+            out.len() < input.len() / 4,
+            "{} vs {}",
+            out.len(),
+            input.len()
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! HotBot cluster assembly: synthetic corpus → static partitioning →
+//! per-node pinned partition workers → front ends with fan-out logic →
+//! primary/backup profile database (ads/profiles, §3.2).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sns_core::frontend::FeConfig;
+use sns_core::manager::{Manager, ManagerConfig, SpawnPolicy};
+use sns_core::monitor::Monitor;
+use sns_core::msg::SnsMsg;
+use sns_core::worker::{WorkerStub, WorkerStubConfig};
+use sns_core::{FrontEnd, SnsConfig, WorkerClass};
+use sns_san::{San, SanConfig};
+use sns_search::doc::CorpusGenerator;
+use sns_search::index::InvertedIndex;
+use sns_sim::engine::{NodeSpec, Sim, SimConfig};
+use sns_sim::{ComponentId, GroupId, NodeId};
+
+use crate::client::{HotBotClient, QueryReportHandle};
+use crate::logic::HotBotLogic;
+use crate::worker::SearchWorker;
+
+/// HotBot cluster parameters.
+pub struct HotBotBuilder {
+    /// Engine seed.
+    pub seed: u64,
+    /// SNS knobs.
+    pub sns: SnsConfig,
+    /// SAN model (HotBot ran Myrinet, §3.2).
+    pub san: SanConfig,
+    /// Index partitions, one worker node each (the paper's example: 26).
+    pub partitions: usize,
+    /// Synthetic corpus size in documents.
+    pub corpus_docs: usize,
+    /// Vocabulary size of the corpus generator.
+    pub vocab: usize,
+    /// Front ends.
+    pub frontends: usize,
+    /// Whether the manager restarts dead partition workers
+    /// automatically (disable to measure degradation windows).
+    pub auto_restart_partitions: bool,
+}
+
+impl Default for HotBotBuilder {
+    fn default() -> Self {
+        HotBotBuilder {
+            seed: 0x4077,
+            sns: SnsConfig::default(),
+            san: SanConfig::myrinet(),
+            partitions: 26,
+            corpus_docs: 5_200,
+            vocab: 20_000,
+            frontends: 2,
+            auto_restart_partitions: true,
+        }
+    }
+}
+
+/// The built HotBot cluster.
+pub struct HotBotCluster {
+    /// The simulation.
+    pub sim: Sim<SnsMsg, San>,
+    /// Front ends.
+    pub fes: Vec<ComponentId>,
+    /// The manager.
+    pub manager: ComponentId,
+    /// Beacon group.
+    pub beacon: GroupId,
+    /// Monitor group.
+    pub monitor_group: GroupId,
+    /// Node hosting partition `i`.
+    pub partition_nodes: Vec<NodeId>,
+    /// Client node.
+    pub client_node: NodeId,
+    /// Documents per partition (ground truth).
+    pub docs_per_partition: Vec<u64>,
+    /// Vocabulary size (for query generation).
+    pub vocab: usize,
+}
+
+impl HotBotBuilder {
+    /// Builds the cluster.
+    pub fn build(self) -> HotBotCluster {
+        // Generate and statically partition the corpus (random doc →
+        // partition placement, §3.2).
+        let mut gen = CorpusGenerator::new(self.seed ^ 0xc0de, self.vocab, 120, 1.0);
+        let mut indexes: Vec<InvertedIndex> =
+            (0..self.partitions).map(|_| InvertedIndex::new()).collect();
+        let mut docs_per_partition = vec![0u64; self.partitions];
+        for doc in gen.generate(self.corpus_docs) {
+            // Stable splitmix placement (same scheme as
+            // `sns_search::partition`).
+            let mut z = doc.id.wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            let p = ((z ^ (z >> 31)) % self.partitions as u64) as usize;
+            indexes[p].add(&doc);
+            docs_per_partition[p] += 1;
+        }
+        let shared: Vec<Arc<InvertedIndex>> = indexes.into_iter().map(Arc::new).collect();
+
+        let mut sim: Sim<SnsMsg, San> = Sim::new(
+            SimConfig {
+                seed: self.seed,
+                ..Default::default()
+            },
+            San::new(self.san.clone()),
+        );
+        // One dedicated node per partition; workers are bound to them.
+        let partition_nodes: Vec<NodeId> = (0..self.partitions)
+            .map(|_| sim.add_node(NodeSpec::new(2, "dedicated")))
+            .collect();
+        let infra = sim.add_node(NodeSpec::new(2, "infra"));
+        let fe_nodes: Vec<NodeId> = (0..self.frontends)
+            .map(|_| sim.add_node(NodeSpec::new(2, "frontend")))
+            .collect();
+        let client_node = sim.add_node(NodeSpec::new(4, "client"));
+
+        let beacon = sim.create_group();
+        let monitor_group = sim.create_group();
+        let stub_cfg = WorkerStubConfig {
+            beacon_group: beacon,
+            monitor_group,
+            report_period: self.sns.report_period,
+            cost_weight_unit: None,
+        };
+
+        // Manager: pinned per-partition classes. Restart policy is
+        // configurable; partition identity (and its index Arc) lives in
+        // the factory, so a restarted worker re-attaches to its data.
+        let mut classes = BTreeMap::new();
+        for (p, index) in shared.iter().enumerate() {
+            let index = Arc::clone(index);
+            let cfg = stub_cfg.clone();
+            let mut policy = SpawnPolicy::pinned(
+                1,
+                Box::new(move || {
+                    Box::new(WorkerStub::new(
+                        Box::new(SearchWorker::new(p, Arc::clone(&index))),
+                        cfg.clone(),
+                    ))
+                }),
+            );
+            policy.restart_on_crash = self.auto_restart_partitions;
+            // Workers are bound to their nodes (§3.2): partition p only
+            // ever runs on its own node; while that node is down the
+            // partition is simply unavailable.
+            policy.pinned_node = Some(partition_nodes[p]);
+            classes.insert(WorkerClass::new(crate::partition_class(p)), policy);
+        }
+        let manager = sim.spawn(
+            infra,
+            Box::new(Manager::new(ManagerConfig {
+                sns: self.sns.clone(),
+                beacon_group: beacon,
+                monitor_group,
+                incarnation: 1,
+                classes,
+                fe_factory: None,
+            })),
+            "manager",
+        );
+        sim.spawn(
+            infra,
+            Box::new(Monitor::new(monitor_group, Duration::from_secs(10))),
+            "monitor",
+        );
+
+        let mut fes = Vec::new();
+        for &node in &fe_nodes {
+            fes.push(sim.spawn(
+                node,
+                Box::new(FrontEnd::new(
+                    Box::new(HotBotLogic::new(self.partitions)),
+                    FeConfig {
+                        sns: self.sns.clone(),
+                        beacon_group: beacon,
+                        monitor_group,
+                        manager_factory: None,
+                    },
+                )),
+                "frontend",
+            ));
+        }
+
+        HotBotCluster {
+            sim,
+            fes,
+            manager,
+            beacon,
+            monitor_group,
+            partition_nodes,
+            client_node,
+            docs_per_partition,
+            vocab: self.vocab,
+        }
+    }
+}
+
+impl HotBotCluster {
+    /// Attaches a query client; returns its report handle.
+    pub fn attach_client(
+        &mut self,
+        rate: f64,
+        queries: u64,
+        start_delay: Duration,
+    ) -> QueryReportHandle {
+        let (client, report) = HotBotClient::new(
+            self.fes.clone(),
+            rate,
+            queries,
+            self.vocab,
+            self.sim.stats().counter("unused") ^ 7,
+            start_delay,
+        );
+        self.sim.spawn(self.client_node, Box::new(client), "client");
+        report
+    }
+
+    /// Live worker component of a partition, if any.
+    pub fn partition_worker(&self, p: usize) -> Option<ComponentId> {
+        self.sim
+            .components_of_kind(sns_core::intern_class(&crate::partition_class(p)))
+            .first()
+            .copied()
+    }
+
+    /// Total corpus size.
+    pub fn total_docs(&self) -> u64 {
+        self.docs_per_partition.iter().sum()
+    }
+}

@@ -1,0 +1,173 @@
+//! A query client modelling HotBot's load: Zipf-distributed query
+//! popularity over the synthetic vocabulary, constant or bursty rates.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sns_core::msg::{ClientRequest, SnsMsg};
+use sns_core::payload_as;
+use sns_sim::engine::{Component, Ctx};
+use sns_sim::rng::Pcg32;
+use sns_sim::stats::Summary;
+use sns_sim::time::SimTime;
+use sns_sim::ComponentId;
+
+use crate::logic::{QueryRequest, SearchPage};
+
+/// What the query client measured.
+#[derive(Debug, Default)]
+pub struct QueryReport {
+    /// Queries sent.
+    pub sent: u64,
+    /// Answers received.
+    pub answered: u64,
+    /// Answers with full coverage.
+    pub full_coverage: u64,
+    /// Answers with partial coverage (degraded).
+    pub partial_coverage: u64,
+    /// Errors.
+    pub errors: u64,
+    /// Minimum coverage observed.
+    pub min_coverage: f64,
+    /// Query latency summary (seconds).
+    pub latency: Summary,
+    /// Result-count summary.
+    pub results: Summary,
+}
+
+/// Shared handle to the report.
+pub type QueryReportHandle = Rc<RefCell<QueryReport>>;
+
+/// The client component.
+pub struct HotBotClient {
+    fes: Vec<ComponentId>,
+    rate: f64,
+    n: u64,
+    start_delay: Duration,
+    sent: u64,
+    next_fe: usize,
+    rng: Pcg32,
+    vocab: usize,
+    outstanding: std::collections::BTreeMap<u64, SimTime>,
+    report: QueryReportHandle,
+}
+
+impl HotBotClient {
+    const SEND: u64 = 1;
+
+    /// Creates a client issuing `n` queries at `rate`/s after a warm-up.
+    pub fn new(
+        fes: Vec<ComponentId>,
+        rate: f64,
+        n: u64,
+        vocab: usize,
+        seed: u64,
+        start_delay: Duration,
+    ) -> (Self, QueryReportHandle) {
+        assert!(!fes.is_empty() && rate > 0.0);
+        let report: QueryReportHandle = Rc::new(RefCell::new(QueryReport {
+            min_coverage: 1.0,
+            latency: Summary::with_capacity(8192),
+            results: Summary::with_capacity(8192),
+            ..Default::default()
+        }));
+        (
+            HotBotClient {
+                fes,
+                rate,
+                n,
+                start_delay,
+                sent: 0,
+                next_fe: 0,
+                rng: Pcg32::new(seed ^ 0x4077b07),
+                vocab,
+                outstanding: std::collections::BTreeMap::new(),
+                report: Rc::clone(&report),
+            },
+            report,
+        )
+    }
+
+    /// Zipf-flavoured query: 1-3 terms biased toward common words.
+    fn make_query(&mut self) -> String {
+        let terms = 1 + self.rng.below(3);
+        let mut parts = Vec::new();
+        for _ in 0..terms {
+            // Log-uniform rank: strong head bias like real query logs.
+            let r = self.rng.f64();
+            let rank = ((self.vocab as f64).powf(r) - 1.0) as usize;
+            parts.push(format!("w{}", rank.min(self.vocab - 1)));
+        }
+        parts.join(" ")
+    }
+}
+
+impl Component<SnsMsg> for HotBotClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        ctx.timer(self.start_delay, Self::SEND);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _from: ComponentId, msg: SnsMsg) {
+        let SnsMsg::Response(resp) = msg else {
+            return;
+        };
+        let Some(sent_at) = self.outstanding.remove(&resp.id) else {
+            return;
+        };
+        let latency = ctx.now().since(sent_at).as_secs_f64();
+        ctx.stats().observe("hb.client_latency_s", latency);
+        let mut r = self.report.borrow_mut();
+        r.answered += 1;
+        r.latency.record(latency);
+        match &resp.result {
+            Ok(payload) => {
+                if let Some(page) = payload_as::<SearchPage>(payload) {
+                    r.results.record(page.hits.len() as f64);
+                    if page.coverage >= 1.0 - 1e-9 {
+                        r.full_coverage += 1;
+                    } else {
+                        r.partial_coverage += 1;
+                    }
+                    if page.coverage < r.min_coverage {
+                        r.min_coverage = page.coverage;
+                    }
+                }
+            }
+            Err(_) => r.errors += 1,
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, token: u64) {
+        if token != Self::SEND || self.sent >= self.n {
+            return;
+        }
+        self.sent += 1;
+        let id = self.sent;
+        let fe = self.fes[self.next_fe % self.fes.len()];
+        self.next_fe += 1;
+        let query = self.make_query();
+        self.outstanding.insert(id, ctx.now());
+        self.report.borrow_mut().sent += 1;
+        ctx.send(
+            fe,
+            SnsMsg::Request(Arc::new(ClientRequest {
+                id,
+                user: format!("q{}", id % 100),
+                url: format!("hotbot://search?q={query}"),
+                body: Some(Arc::new(QueryRequest {
+                    query,
+                    page: 0,
+                    page_size: 10,
+                })),
+            })),
+        );
+        let gap = self.rng.exp(1.0 / self.rate);
+        ctx.timer(Duration::from_secs_f64(gap), Self::SEND);
+    }
+
+    fn kind(&self) -> &'static str {
+        "client"
+    }
+}

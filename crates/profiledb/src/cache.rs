@@ -1,0 +1,156 @@
+//! The front end's write-through profile read cache (§3.1.4).
+//!
+//! "User preference reads are much more frequent than writes, and the
+//! reads are absorbed by a write-through cache in the front end." Reads
+//! hit the cache; writes commit to the ACID store *first* and then update
+//! the cache, so the cache never serves data that is not durable.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::db::{DbError, Profile, ProfileDb, Txn};
+use crate::wal::LogDevice;
+
+/// A bounded write-through read cache over a [`ProfileDb`].
+pub struct ProfileCache {
+    entries: BTreeMap<String, Option<Profile>>,
+    order: VecDeque<String>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProfileCache {
+    /// Creates a cache holding at most `capacity` profiles.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        ProfileCache {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Reads a profile through the cache. Negative results are cached too
+    /// (absent users are common for unregistered tokens).
+    pub fn get<D: LogDevice>(&mut self, db: &mut ProfileDb<D>, user: &str) -> Option<Profile> {
+        if let Some(cached) = self.entries.get(user) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let fresh = db.profile(user).cloned();
+        self.insert(user.to_string(), fresh.clone());
+        fresh
+    }
+
+    /// Commits a write to the database and updates the cache on success
+    /// (write-through: durable before visible).
+    pub fn write_through<D: LogDevice>(
+        &mut self,
+        db: &mut ProfileDb<D>,
+        txn: Txn,
+    ) -> Result<(), DbError> {
+        db.commit(txn)?;
+        // Invalidate conservatively: the txn may touch several users, so
+        // refresh lazily by dropping all cached entries whose users we
+        // cannot cheaply identify. To stay simple and correct, clear.
+        self.entries.clear();
+        self.order.clear();
+        Ok(())
+    }
+
+    fn insert(&mut self, user: String, value: Option<Profile>) {
+        if !self.entries.contains_key(&user) {
+            self.order.push_back(user.clone());
+            if self.order.len() > self.capacity {
+                if let Some(victim) = self.order.pop_front() {
+                    self.entries.remove(&victim);
+                }
+            }
+        }
+        self.entries.insert(user, value);
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{MemDevice, Wal};
+
+    fn db_with(users: usize) -> ProfileDb<MemDevice> {
+        let mut db = ProfileDb::open(Wal::new(MemDevice::new())).unwrap();
+        for i in 0..users {
+            db.commit(Txn::new().put(format!("u{i}"), "k", format!("v{i}")))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn reads_are_absorbed() {
+        let mut db = db_with(3);
+        let mut cache = ProfileCache::new(10);
+        let before_reads = db.stats().reads;
+        for _ in 0..100 {
+            let p = cache.get(&mut db, "u1").unwrap();
+            assert_eq!(p.get("k").map(String::as_str), Some("v1"));
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 99);
+        assert_eq!(db.stats().reads - before_reads, 1, "db touched once");
+    }
+
+    #[test]
+    fn negative_caching() {
+        let mut db = db_with(1);
+        let mut cache = ProfileCache::new(10);
+        assert!(cache.get(&mut db, "ghost").is_none());
+        assert!(cache.get(&mut db, "ghost").is_none());
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn write_through_is_durable_then_visible() {
+        let mut db = db_with(1);
+        let mut cache = ProfileCache::new(10);
+        let _ = cache.get(&mut db, "u0");
+        cache
+            .write_through(&mut db, Txn::new().put("u0", "k", "updated"))
+            .unwrap();
+        let p = cache.get(&mut db, "u0").unwrap();
+        assert_eq!(p.get("k").map(String::as_str), Some("updated"));
+        // And it really is durable: recover the device.
+        let dev = std::mem::replace(db.device_mut(), MemDevice::new());
+        let mut db2 = ProfileDb::open(Wal::new(dev)).unwrap();
+        assert_eq!(db2.get("u0", "k"), Some("updated"));
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut db = db_with(100);
+        let mut cache = ProfileCache::new(8);
+        for i in 0..100 {
+            let _ = cache.get(&mut db, &format!("u{i}"));
+        }
+        assert!(cache.len() <= 8);
+    }
+}

@@ -1,0 +1,500 @@
+//! # sns-rt — the real multi-threaded runtime
+//!
+//! The simulator in `sns-sim` runs the architecture over virtual time;
+//! this crate runs the *same worker code* (`sns_core::WorkerLogic`
+//! implementations — TACC distillers, cache partitions, anything) as
+//! actual OS threads connected by channels, demonstrating that the
+//! component abstractions are not simulation artifacts. It is the
+//! paper's "simple matter of software" claim made literal: the SNS
+//! mechanics — registration beacons, queue-length load reports, lottery
+//! scheduling on slightly stale hints, crash detection and process-peer
+//! restart — reappear here over `crossbeam` channels instead of the
+//! simulated SAN.
+//!
+//! Scope: this is the laptop-scale runtime for examples and tests, not a
+//! distributed deployment; "nodes" are threads and the SAN is a channel
+//! fabric. Service times from the worker logic are honoured by sleeping
+//! (scaled by [`RtConfig::time_scale`], so tests stay fast).
+//!
+//! ```
+//! use sns_rt::{RtCluster, RtConfig};
+//! use sns_core::{Blob, Payload, WorkerClass};
+//! use sns_core::msg::Job;
+//! use sns_core::worker::{WorkerError, WorkerLogic};
+//! use sns_sim::rng::Pcg32;
+//! use sns_sim::time::SimTime;
+//! use std::time::Duration;
+//!
+//! struct Echo;
+//! impl WorkerLogic for Echo {
+//!     fn class(&self) -> WorkerClass { "echo".into() }
+//!     fn service_time(&mut self, _: &Job, _: SimTime, _: &mut Pcg32) -> Duration {
+//!         Duration::from_millis(5)
+//!     }
+//!     fn process(&mut self, job: &Job, _: SimTime, _: &mut Pcg32)
+//!         -> Result<Payload, WorkerError>
+//!     {
+//!         Ok(Blob::payload(job.input.wire_size() / 2, "echoed"))
+//!     }
+//! }
+//!
+//! let cluster = RtCluster::start(RtConfig::default());
+//! cluster.add_workers("echo", 2, || Box::new(Echo));
+//! let reply = cluster
+//!     .submit("echo", "echo", Blob::payload(1000, "hi"), None)
+//!     .recv_timeout(Duration::from_secs(5))
+//!     .expect("worker answers");
+//! assert!(matches!(reply, sns_core::msg::JobResult::Ok(_)));
+//! cluster.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use sns_core::msg::{Job, JobResult, ProfileData};
+use sns_core::worker::{WorkerError, WorkerLogic};
+use sns_core::{Payload, WorkerClass};
+use sns_sim::rng::Pcg32;
+use sns_sim::time::SimTime;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Multiplier applied to worker service times (0.01 = run the
+    /// cluster 100x faster than the modelled hardware).
+    pub time_scale: f64,
+    /// Worker load-report period.
+    pub report_period: Duration,
+    /// Manager hint-publication (beacon) period.
+    pub beacon_period: Duration,
+    /// RNG seed for worker streams and lottery draws.
+    pub seed: u64,
+    /// Restart crashed workers (process peers).
+    pub restart_on_crash: bool,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            time_scale: 0.1,
+            report_period: Duration::from_millis(50),
+            beacon_period: Duration::from_millis(100),
+            seed: 0x517e,
+            restart_on_crash: true,
+        }
+    }
+}
+
+/// Builds fresh worker logic for (re)starts.
+pub type RtWorkerFactory = Box<dyn Fn() -> Box<dyn WorkerLogic> + Send + Sync>;
+
+struct RtJob {
+    job: Job,
+    reply: Sender<JobResult>,
+}
+
+/// One live worker thread's handle.
+struct WorkerHandle {
+    id: u64,
+    class: WorkerClass,
+    inbox: Sender<RtJob>,
+    /// Shared queue-length gauge (inbox depth + in-service).
+    qlen: Arc<AtomicU64>,
+    alive: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A point-in-time load hint, as published by the manager thread.
+#[derive(Clone)]
+struct Hint {
+    worker: u64,
+    qlen: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    workers: Vec<WorkerHandle>,
+    factories: Vec<(WorkerClass, Arc<RtWorkerFactory>)>,
+    /// class → hints, refreshed by the manager thread ("beacons").
+    hints: std::collections::BTreeMap<String, Vec<Hint>>,
+}
+
+/// The threaded cluster.
+pub struct RtCluster {
+    cfg: RtConfig,
+    inner: Arc<Mutex<Registry>>,
+    running: Arc<AtomicBool>,
+    next_id: AtomicU64,
+    rng: Mutex<Pcg32>,
+    manager: Mutex<Option<JoinHandle<()>>>,
+    started: Instant,
+    /// Jobs completed across all workers.
+    pub jobs_done: Arc<AtomicU64>,
+    /// Worker crashes observed.
+    pub crashes: Arc<AtomicU64>,
+    /// Process-peer restarts performed.
+    pub restarts: Arc<AtomicU64>,
+}
+
+impl RtCluster {
+    /// Starts the runtime (manager thread included).
+    pub fn start(cfg: RtConfig) -> Arc<Self> {
+        let cluster = Arc::new(RtCluster {
+            cfg: cfg.clone(),
+            inner: Arc::new(Mutex::new(Registry::default())),
+            running: Arc::new(AtomicBool::new(true)),
+            next_id: AtomicU64::new(1),
+            rng: Mutex::new(Pcg32::new(cfg.seed)),
+            manager: Mutex::new(None),
+            started: Instant::now(),
+            jobs_done: Arc::new(AtomicU64::new(0)),
+            crashes: Arc::new(AtomicU64::new(0)),
+            restarts: Arc::new(AtomicU64::new(0)),
+        });
+        // The manager thread: refresh hints from the workers' shared
+        // queue gauges and restart dead workers (process peers).
+        let mgr = {
+            let cluster = Arc::clone(&cluster);
+            std::thread::Builder::new()
+                .name("sns-rt-manager".into())
+                .spawn(move || cluster.manager_loop())
+                .expect("spawn manager thread")
+        };
+        *cluster.manager.lock() = Some(mgr);
+        cluster
+    }
+
+    fn manager_loop(&self) {
+        while self.running.load(Ordering::Relaxed) {
+            std::thread::sleep(self.cfg.beacon_period);
+            let mut reg = self.inner.lock();
+            // Collect load "reports" (the gauges are the report channel;
+            // the staleness comes from the beacon period, as in §3.1.8).
+            let mut hints = std::collections::BTreeMap::new();
+            for w in &reg.workers {
+                if !w.alive.load(Ordering::Relaxed) {
+                    continue;
+                }
+                hints
+                    .entry(w.class.name().to_string())
+                    .or_insert_with(Vec::new)
+                    .push(Hint {
+                        worker: w.id,
+                        qlen: w.qlen.load(Ordering::Relaxed),
+                    });
+            }
+            reg.hints = hints;
+            // Process-peer restarts: replace dead workers.
+            if self.cfg.restart_on_crash {
+                let dead: Vec<(usize, WorkerClass)> = reg
+                    .workers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| !w.alive.load(Ordering::Relaxed))
+                    .map(|(i, w)| (i, w.class.clone()))
+                    .collect();
+                for (idx, class) in dead.into_iter().rev() {
+                    let factory = reg
+                        .factories
+                        .iter()
+                        .find(|(c, _)| c == &class)
+                        .map(|(_, f)| Arc::clone(f));
+                    let mut old = reg.workers.remove(idx);
+                    if let Some(j) = old.join.take() {
+                        let _ = j.join();
+                    }
+                    if let Some(factory) = factory {
+                        let handle = self.spawn_worker_thread(factory());
+                        reg.workers.push(handle);
+                        self.restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    fn spawn_worker_thread(&self, mut logic: Box<dyn WorkerLogic>) -> WorkerHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let class = logic.class();
+        let (tx, rx): (Sender<RtJob>, Receiver<RtJob>) = unbounded();
+        let qlen = Arc::new(AtomicU64::new(0));
+        let alive = Arc::new(AtomicBool::new(true));
+        let running = Arc::clone(&self.running);
+        let time_scale = self.cfg.time_scale;
+        let seed = self.cfg.seed ^ id;
+        let started = self.started;
+        let jobs_done = Arc::clone(&self.jobs_done);
+        let crashes = Arc::clone(&self.crashes);
+        let qlen_t = Arc::clone(&qlen);
+        let alive_t = Arc::clone(&alive);
+        let join = std::thread::Builder::new()
+            .name(format!("sns-rt-{}-{id}", class.name().replace('/', "-")))
+            .spawn(move || {
+                let mut rng = Pcg32::new(seed);
+                while running.load(Ordering::Relaxed) {
+                    let rt_job = match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(j) => j,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    };
+                    qlen_t.store(rx.len() as u64 + 1, Ordering::Relaxed);
+                    let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+                    let service = logic.service_time(&rt_job.job, now, &mut rng);
+                    std::thread::sleep(service.mul_f64(time_scale.max(0.0)));
+                    match logic.process(&rt_job.job, now, &mut rng) {
+                        Ok(payload) => {
+                            jobs_done.fetch_add(1, Ordering::Relaxed);
+                            let _ = rt_job.reply.send(JobResult::Ok(payload));
+                        }
+                        Err(WorkerError::Failed(reason)) => {
+                            let _ = rt_job.reply.send(JobResult::Failed(reason));
+                        }
+                        Err(WorkerError::Crash) => {
+                            // The worker process dies: no reply; the
+                            // manager notices and restarts (§3.1.3).
+                            crashes.fetch_add(1, Ordering::Relaxed);
+                            alive_t.store(false, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    qlen_t.store(rx.len() as u64, Ordering::Relaxed);
+                }
+            })
+            .expect("spawn worker thread");
+        WorkerHandle {
+            id,
+            class,
+            inbox: tx,
+            qlen,
+            alive,
+            join: Some(join),
+        }
+    }
+
+    /// Registers a class factory and starts `n` workers of it.
+    pub fn add_workers(
+        &self,
+        class: &str,
+        n: usize,
+        factory: impl Fn() -> Box<dyn WorkerLogic> + Send + Sync + 'static,
+    ) {
+        let factory: Arc<RtWorkerFactory> = Arc::new(Box::new(factory));
+        let mut reg = self.inner.lock();
+        reg.factories
+            .push((WorkerClass::new(class), Arc::clone(&factory)));
+        for _ in 0..n {
+            let handle = self.spawn_worker_thread(factory());
+            reg.workers.push(handle);
+        }
+        drop(reg);
+        self.refresh_hints_now();
+    }
+
+    /// Forces an immediate hint refresh (otherwise hints update every
+    /// beacon period, deliberately stale).
+    pub fn refresh_hints_now(&self) {
+        let mut reg = self.inner.lock();
+        let mut hints = std::collections::BTreeMap::new();
+        for w in &reg.workers {
+            if w.alive.load(Ordering::Relaxed) {
+                hints
+                    .entry(w.class.name().to_string())
+                    .or_insert_with(Vec::new)
+                    .push(Hint {
+                        worker: w.id,
+                        qlen: w.qlen.load(Ordering::Relaxed),
+                    });
+            }
+        }
+        reg.hints = hints;
+    }
+
+    /// Live workers of a class.
+    pub fn workers_of(&self, class: &str) -> usize {
+        self.inner
+            .lock()
+            .workers
+            .iter()
+            .filter(|w| w.class.name() == class && w.alive.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Submits a job to the least-loaded worker of `class` (lottery over
+    /// the possibly-stale hints, §3.1.2) and returns the reply channel.
+    pub fn submit(
+        &self,
+        class: &str,
+        op: &str,
+        input: Payload,
+        profile: Option<ProfileData>,
+    ) -> Receiver<JobResult> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let reg = self.inner.lock();
+        let Some(hints) = reg.hints.get(class).filter(|h| !h.is_empty()) else {
+            drop(reg);
+            let _ = reply_tx.send(JobResult::Failed(format!("no workers of class {class}")));
+            return reply_rx;
+        };
+        let tickets: Vec<f64> = hints.iter().map(|h| 1.0 / (1.0 + h.qlen as f64)).collect();
+        let pick = {
+            let mut rng = self.rng.lock();
+            hints[rng.weighted(&tickets)].worker
+        };
+        let job = Job {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            class: WorkerClass::new(class),
+            op: op.to_string(),
+            input,
+            profile,
+            reply_to: sns_sim::ComponentId::EXTERNAL,
+        };
+        if let Some(w) = reg.workers.iter().find(|w| w.id == pick) {
+            w.qlen.fetch_add(1, Ordering::Relaxed); // local delta (§4.5)
+            let _ = w.inbox.send(RtJob {
+                job,
+                reply: reply_tx,
+            });
+        } else {
+            let _ = reply_tx.send(JobResult::Failed("worker vanished".into()));
+        }
+        reply_rx
+    }
+
+    /// Stops every thread and waits for them.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(m) = self.manager.lock().take() {
+            let _ = m.join();
+        }
+        let mut reg = self.inner.lock();
+        for w in &mut reg.workers {
+            if let Some(j) = w.join.take() {
+                let _ = j.join();
+            }
+        }
+        reg.workers.clear();
+    }
+}
+
+impl Drop for RtCluster {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_core::Blob;
+
+    struct Echo {
+        /// Crash on inputs tagged "poison".
+        _private: (),
+    }
+
+    impl WorkerLogic for Echo {
+        fn class(&self) -> WorkerClass {
+            "echo".into()
+        }
+        fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+            Duration::from_millis(5)
+        }
+        fn process(
+            &mut self,
+            job: &Job,
+            _n: SimTime,
+            _r: &mut Pcg32,
+        ) -> Result<Payload, WorkerError> {
+            let blob = sns_core::payload_as::<Blob>(&job.input).expect("blob");
+            if blob.tag == "poison" {
+                return Err(WorkerError::Crash);
+            }
+            Ok(Blob::payload(blob.len / 2, "echoed"))
+        }
+    }
+
+    fn cluster() -> Arc<RtCluster> {
+        let c = RtCluster::start(RtConfig {
+            time_scale: 0.05,
+            report_period: Duration::from_millis(10),
+            beacon_period: Duration::from_millis(20),
+            ..Default::default()
+        });
+        c.add_workers("echo", 3, || Box::new(Echo { _private: () }));
+        c
+    }
+
+    #[test]
+    fn real_threads_process_real_jobs() {
+        let c = cluster();
+        let mut receivers = Vec::new();
+        for i in 0..50 {
+            receivers.push(c.submit("echo", "echo", Blob::payload(1000 + i, "x"), None));
+        }
+        for rx in receivers {
+            match rx.recv_timeout(Duration::from_secs(10)).expect("reply") {
+                JobResult::Ok(p) => assert!(p.wire_size() >= 500),
+                JobResult::Failed(e) => panic!("job failed: {e}"),
+            }
+        }
+        assert_eq!(c.jobs_done.load(Ordering::Relaxed), 50);
+        c.shutdown();
+    }
+
+    #[test]
+    fn crash_is_detected_and_worker_restarted() {
+        let c = cluster();
+        assert_eq!(c.workers_of("echo"), 3);
+        // Poison until we actually kill someone (lottery may spread).
+        let rx = c.submit("echo", "echo", Blob::payload(10, "poison"), None);
+        // No reply ever comes from a crashed worker.
+        assert!(rx.recv_timeout(Duration::from_millis(300)).is_err());
+        // The manager notices and restores the population.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if c.workers_of("echo") == 3 && c.restarts.load(Ordering::Relaxed) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(c.workers_of("echo"), 3, "process peer restart");
+        assert!(c.crashes.load(Ordering::Relaxed) >= 1);
+        // And the survivors still serve.
+        let rx = c.submit("echo", "echo", Blob::payload(100, "x"), None);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Ok(JobResult::Ok(_))
+        ));
+        c.shutdown();
+    }
+
+    #[test]
+    fn unknown_class_fails_softly() {
+        let c = cluster();
+        let rx = c.submit("ghost", "op", Blob::payload(1, "x"), None);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(1)),
+            Ok(JobResult::Failed(_))
+        ));
+        c.shutdown();
+    }
+
+    #[test]
+    fn load_spreads_across_threads() {
+        let c = cluster();
+        let receivers: Vec<_> = (0..60)
+            .map(|_| c.submit("echo", "echo", Blob::payload(512, "x"), None))
+            .collect();
+        for rx in receivers {
+            assert!(rx.recv_timeout(Duration::from_secs(10)).is_ok());
+        }
+        c.shutdown();
+    }
+}

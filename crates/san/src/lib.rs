@@ -1,0 +1,622 @@
+//! # sns-san — system-area network model
+//!
+//! A [`Network`] implementation modelling the paper's cluster interconnect
+//! (§2.1, §4.6): switched Ethernet (or Myrinet-class) links with per-NIC
+//! bandwidth, per-message processing overhead (the TCP setup/kernel cost
+//! that limits a front end to ~70 requests/s on 100 Mb/s Ethernet, §4.6
+//! footnote 5), a shared switch fabric, propagation latency, and the two
+//! traffic classes the paper distinguishes:
+//!
+//! * **Reliable** (TCP-like) traffic is flow-controlled: it queues behind
+//!   busy links but is never dropped.
+//! * **Datagram** (IP-multicast-like) traffic is dropped when a link's
+//!   queue exceeds its tolerance — reproducing the §4.6 observation that
+//!   a saturated 10 Mb/s SAN drops the manager's beacons and cripples
+//!   load balancing.
+//!
+//! Links are modelled as virtual-finish-time servers: a message occupies
+//! its sender's egress NIC, the switch fabric, and the receiver's ingress
+//! NIC in sequence, each for `overhead + size/bandwidth`.
+//!
+//! The model also supports network partitions (for the fault-tolerance
+//! experiments) and per-node NIC overrides (e.g. a 10 Mb/s edge segment in
+//! front of a 100 Mb/s interior, as in the TranSend deployment).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use sns_sim::network::{Delivery, Endpoint, Network, TrafficClass};
+use sns_sim::rng::Pcg32;
+use sns_sim::time::SimTime;
+use sns_sim::NodeId;
+
+/// Parameters of a single transmission resource (a NIC direction or the
+/// switch fabric).
+#[derive(Debug, Clone)]
+pub struct LinkParams {
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Fixed per-message processing cost (kernel/TCP overhead).
+    pub per_msg_overhead: Duration,
+    /// Datagrams are dropped if the queue ahead of them exceeds this.
+    pub max_queue_delay: Duration,
+}
+
+impl LinkParams {
+    /// Convenience constructor from megabits per second.
+    pub fn mbps(mbps: f64) -> Self {
+        LinkParams {
+            bandwidth_bps: mbps * 1e6,
+            per_msg_overhead: Duration::from_micros(50),
+            max_queue_delay: Duration::from_millis(50),
+        }
+    }
+
+    /// Sets the fixed per-message overhead.
+    pub fn with_overhead(mut self, d: Duration) -> Self {
+        self.per_msg_overhead = d;
+        self
+    }
+
+    /// Sets the datagram drop threshold.
+    pub fn with_max_queue_delay(mut self, d: Duration) -> Self {
+        self.max_queue_delay = d;
+        self
+    }
+
+    /// Transmission time for `size` bytes (overhead + serialisation).
+    pub fn tx_time(&self, size: u64) -> Duration {
+        let secs = (size as f64 * 8.0) / self.bandwidth_bps;
+        self.per_msg_overhead + Duration::from_secs_f64(secs)
+    }
+}
+
+/// Whole-SAN configuration.
+#[derive(Debug, Clone)]
+pub struct SanConfig {
+    /// Default NIC parameters applied to every registered node.
+    pub default_nic: LinkParams,
+    /// Shared switch fabric (aggregate capacity). Use a very large
+    /// bandwidth to model an ideal non-blocking switch.
+    pub fabric: LinkParams,
+    /// One-way propagation latency added to every off-node message.
+    pub latency: Duration,
+    /// Latency for messages between components on the same node.
+    pub loopback_latency: Duration,
+}
+
+impl SanConfig {
+    /// A switched 100 Mb/s Ethernet SAN, the paper's scalability testbed
+    /// (§4). Per-link capacity is 100 Mb/s; the switch is non-blocking for
+    /// clusters of the sizes studied.
+    pub fn switched_100mbps() -> Self {
+        SanConfig {
+            default_nic: LinkParams::mbps(100.0),
+            fabric: LinkParams::mbps(100.0 * 64.0),
+            latency: Duration::from_micros(150),
+            loopback_latency: Duration::from_micros(30),
+        }
+    }
+
+    /// The original 10 Mb/s shared segment (§3.1.1, §4.6 saturation
+    /// experiment). Modelled as a *shared* fabric of 10 Mb/s: every
+    /// off-node byte crosses it.
+    pub fn shared_10mbps() -> Self {
+        SanConfig {
+            default_nic: LinkParams::mbps(10.0),
+            fabric: LinkParams::mbps(10.0),
+            latency: Duration::from_micros(300),
+            loopback_latency: Duration::from_micros(30),
+        }
+    }
+
+    /// A Myrinet-class SAN (§4.6: 32 MB/s all-pairs over 40 nodes).
+    pub fn myrinet() -> Self {
+        SanConfig {
+            default_nic: LinkParams {
+                bandwidth_bps: 640e6,
+                per_msg_overhead: Duration::from_micros(10),
+                max_queue_delay: Duration::from_millis(50),
+            },
+            fabric: LinkParams::mbps(640.0 * 64.0),
+            latency: Duration::from_micros(20),
+            loopback_latency: Duration::from_micros(10),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Nic {
+    params: LinkParams,
+    egress_busy: SimTime,
+    ingress_busy: SimTime,
+}
+
+/// Counters the SAN keeps about itself (read by experiments).
+#[derive(Debug, Clone, Default)]
+pub struct SanStats {
+    /// Datagrams dropped at saturated links.
+    pub datagrams_dropped: u64,
+    /// Messages dropped because of an active partition.
+    pub partition_drops: u64,
+    /// Total messages carried (delivered).
+    pub delivered: u64,
+    /// Total payload bytes carried off-node.
+    pub bytes_carried: u64,
+}
+
+/// The system-area network model. Implements [`Network`] for the engine.
+#[derive(Debug)]
+pub struct San {
+    cfg: SanConfig,
+    nics: BTreeMap<NodeId, Nic>,
+    fabric_busy: SimTime,
+    /// Partition group per node; `None` means no partition is active.
+    partition_of: Option<BTreeMap<NodeId, u32>>,
+    stats: SanStats,
+}
+
+impl San {
+    /// Creates a SAN with the given configuration.
+    pub fn new(cfg: SanConfig) -> Self {
+        San {
+            cfg,
+            nics: BTreeMap::new(),
+            fabric_busy: SimTime::ZERO,
+            partition_of: None,
+            stats: SanStats::default(),
+        }
+    }
+
+    /// Overrides one node's NIC parameters (e.g. a slower edge segment).
+    pub fn set_nic(&mut self, node: NodeId, params: LinkParams) {
+        let default = self.cfg.default_nic.clone();
+        let nic = self.nics.entry(node).or_insert_with(|| Nic {
+            params: default,
+            egress_busy: SimTime::ZERO,
+            ingress_busy: SimTime::ZERO,
+        });
+        nic.params = params;
+    }
+
+    /// Splits the cluster into isolated groups; traffic between groups is
+    /// dropped until [`San::heal`].
+    pub fn partition(&mut self, groups: &[Vec<NodeId>]) {
+        let mut map = BTreeMap::new();
+        for (gi, group) in groups.iter().enumerate() {
+            for &n in group {
+                map.insert(n, gi as u32);
+            }
+        }
+        self.partition_of = Some(map);
+    }
+
+    /// Removes any active partition.
+    pub fn heal(&mut self) {
+        self.partition_of = None;
+    }
+
+    /// SAN-internal counters.
+    pub fn stats(&self) -> &SanStats {
+        &self.stats
+    }
+
+    /// Backlog (queueing delay ahead of a new message) on a node's egress
+    /// link at `now`; a saturation indicator.
+    pub fn egress_backlog(&self, node: NodeId, now: SimTime) -> Duration {
+        self.nics
+            .get(&node)
+            .map(|n| n.egress_busy.since(now))
+            .unwrap_or(Duration::ZERO)
+    }
+
+    fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition_of {
+            None => false,
+            Some(map) => {
+                // Nodes absent from the map are unreachable from everyone.
+                match (map.get(&a), map.get(&b)) {
+                    (Some(x), Some(y)) => x != y,
+                    _ => true,
+                }
+            }
+        }
+    }
+
+    fn nic_mut(&mut self, node: NodeId) -> &mut Nic {
+        let default = self.cfg.default_nic.clone();
+        self.nics.entry(node).or_insert_with(|| Nic {
+            params: default,
+            egress_busy: SimTime::ZERO,
+            ingress_busy: SimTime::ZERO,
+        })
+    }
+
+    /// Serialises a message through the sender's egress NIC. Returns the
+    /// egress completion time, or `None` for a dropped datagram.
+    fn egress(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        size: u64,
+        class: TrafficClass,
+    ) -> Option<SimTime> {
+        let nic = self.nic_mut(node);
+        let start = nic.egress_busy.max(now);
+        if class == TrafficClass::Datagram && start.since(now) > nic.params.max_queue_delay {
+            self.stats.datagrams_dropped += 1;
+            return None;
+        }
+        let fin = start + nic.params.tx_time(size);
+        nic.egress_busy = fin;
+        Some(fin)
+    }
+
+    /// Crosses the shared switch fabric. Returns completion, or `None` for
+    /// a dropped datagram.
+    fn fabric(&mut self, at: SimTime, size: u64, class: TrafficClass) -> Option<SimTime> {
+        let start = self.fabric_busy.max(at);
+        if class == TrafficClass::Datagram && start.since(at) > self.cfg.fabric.max_queue_delay {
+            self.stats.datagrams_dropped += 1;
+            return None;
+        }
+        let fin = start + self.cfg.fabric.tx_time(size);
+        self.fabric_busy = fin;
+        Some(fin)
+    }
+
+    /// Receives through a node's ingress NIC. Returns delivery time, or
+    /// `None` for a dropped datagram.
+    fn ingress(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        size: u64,
+        class: TrafficClass,
+    ) -> Option<SimTime> {
+        let nic = self.nic_mut(node);
+        let start = nic.ingress_busy.max(at);
+        if class == TrafficClass::Datagram && start.since(at) > nic.params.max_queue_delay {
+            self.stats.datagrams_dropped += 1;
+            return None;
+        }
+        let fin = start + nic.params.tx_time(size);
+        nic.ingress_busy = fin;
+        Some(fin)
+    }
+}
+
+impl Network for San {
+    fn unicast(
+        &mut self,
+        now: SimTime,
+        _rng: &mut Pcg32,
+        from: Endpoint,
+        to: Endpoint,
+        size: u64,
+        class: TrafficClass,
+    ) -> Delivery {
+        if from.node == to.node {
+            self.stats.delivered += 1;
+            return Delivery::At(now + self.cfg.loopback_latency);
+        }
+        if self.partitioned(from.node, to.node) {
+            self.stats.partition_drops += 1;
+            return Delivery::Dropped;
+        }
+        let Some(t1) = self.egress(now, from.node, size, class) else {
+            return Delivery::Dropped;
+        };
+        let Some(t2) = self.fabric(t1, size, class) else {
+            return Delivery::Dropped;
+        };
+        let Some(t3) = self.ingress(t2, to.node, size, class) else {
+            return Delivery::Dropped;
+        };
+        self.stats.delivered += 1;
+        self.stats.bytes_carried += size;
+        Delivery::At(t3 + self.cfg.latency)
+    }
+
+    fn multicast(
+        &mut self,
+        now: SimTime,
+        _rng: &mut Pcg32,
+        from: Endpoint,
+        members: &[Endpoint],
+        size: u64,
+        class: TrafficClass,
+    ) -> Vec<Delivery> {
+        // The sender transmits once; the switch replicates to receivers;
+        // each receiving *node* takes exactly one copy off the wire, no
+        // matter how many member components it hosts. Same-node members
+        // receive via loopback even if egress drops.
+        let egress_fin = self.egress(now, from.node, size, class);
+        let fabric_fin = egress_fin.and_then(|t| self.fabric(t, size, class));
+        self.stats.bytes_carried += size;
+        // Per-node delivery decision, computed once.
+        let mut per_node: BTreeMap<NodeId, Delivery> = BTreeMap::new();
+        for m in members {
+            if per_node.contains_key(&m.node) {
+                continue;
+            }
+            let decision = if m.node == from.node {
+                Delivery::At(now + self.cfg.loopback_latency)
+            } else if self.partitioned(from.node, m.node) {
+                self.stats.partition_drops += 1;
+                Delivery::Dropped
+            } else if let Some(at_fabric) = fabric_fin {
+                match self.ingress(at_fabric, m.node, size, class) {
+                    Some(t) => Delivery::At(t + self.cfg.latency),
+                    None => Delivery::Dropped,
+                }
+            } else {
+                Delivery::Dropped
+            };
+            per_node.insert(m.node, decision);
+        }
+        members
+            .iter()
+            .map(|m| {
+                let d = per_node[&m.node];
+                if matches!(d, Delivery::At(_)) {
+                    self.stats.delivered += 1;
+                }
+                d
+            })
+            .collect()
+    }
+
+    fn register_node(&mut self, node: NodeId) {
+        let default = self.cfg.default_nic.clone();
+        self.nics.entry(node).or_insert(Nic {
+            params: default,
+            egress_busy: SimTime::ZERO,
+            ingress_busy: SimTime::ZERO,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(node: u32, comp: u64) -> Endpoint {
+        Endpoint {
+            node: NodeId(node),
+            comp: sns_sim::ComponentId(comp),
+        }
+    }
+
+    fn san100() -> (San, Pcg32) {
+        let mut s = San::new(SanConfig::switched_100mbps());
+        for n in 0..4 {
+            s.register_node(NodeId(n));
+        }
+        (s, Pcg32::new(1))
+    }
+
+    #[test]
+    fn tx_time_matches_bandwidth() {
+        let p = LinkParams::mbps(100.0).with_overhead(Duration::ZERO);
+        // 12_500_000 bytes = 100 Mbit => 1 s.
+        assert_eq!(p.tx_time(12_500_000), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn unicast_latency_includes_all_stages() {
+        let (mut s, mut rng) = san100();
+        let d = s.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(1, 2),
+            10_000,
+            TrafficClass::Reliable,
+        );
+        let Delivery::At(t) = d else {
+            panic!("reliable traffic must not drop")
+        };
+        // 10 KB at 100 Mb/s = 0.8 ms serialisation per stage (egress +
+        // ingress) + fabric (64x faster) + overheads + latency: ~2 ms.
+        let ms = t.as_secs_f64() * 1e3;
+        assert!(ms > 1.0 && ms < 3.0, "delivery at {ms} ms");
+    }
+
+    #[test]
+    fn loopback_is_fast_and_unmetered() {
+        let (mut s, mut rng) = san100();
+        let d = s.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(0, 2),
+            1_000_000_000,
+            TrafficClass::Reliable,
+        );
+        assert_eq!(d, Delivery::At(SimTime::ZERO + Duration::from_micros(30)));
+    }
+
+    #[test]
+    fn reliable_traffic_queues_but_never_drops() {
+        let (mut s, mut rng) = san100();
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            match s.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                125_000, // 10 ms serialisation each
+                TrafficClass::Reliable,
+            ) {
+                Delivery::At(t) => {
+                    assert!(t > last, "deliveries serialize");
+                    last = t;
+                }
+                Delivery::Dropped => panic!("reliable dropped"),
+            }
+        }
+        assert_eq!(s.stats().datagrams_dropped, 0);
+        // 100 x 10 ms ≈ 1 s of backlog built up.
+        assert!(last.as_secs_f64() > 0.9);
+    }
+
+    #[test]
+    fn datagrams_drop_under_saturation() {
+        let (mut s, mut rng) = san100();
+        // Saturate the egress link with reliable bulk traffic…
+        for _ in 0..100 {
+            s.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                125_000,
+                TrafficClass::Reliable,
+            );
+        }
+        // …then a beacon datagram from the same node cannot get out.
+        let d = s.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(2, 3),
+            200,
+            TrafficClass::Datagram,
+        );
+        assert_eq!(d, Delivery::Dropped);
+        assert!(s.stats().datagrams_dropped >= 1);
+    }
+
+    #[test]
+    fn idle_datagrams_pass() {
+        let (mut s, mut rng) = san100();
+        let d = s.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(1, 2),
+            200,
+            TrafficClass::Datagram,
+        );
+        assert!(matches!(d, Delivery::At(_)));
+    }
+
+    #[test]
+    fn multicast_single_egress_transmission() {
+        let (mut s, mut rng) = san100();
+        let members = [ep(1, 2), ep(2, 3), ep(3, 4)];
+        let ds = s.multicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            &members,
+            125_000,
+            TrafficClass::Datagram,
+        );
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(|d| matches!(d, Delivery::At(_))));
+        // Sender egress advanced by exactly one transmission (~10 ms), not
+        // three.
+        let egress = s.nics[&NodeId(0)].egress_busy;
+        let ms = egress.as_secs_f64() * 1e3;
+        assert!(ms > 9.0 && ms < 12.0, "egress busy until {ms} ms");
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let (mut s, mut rng) = san100();
+        s.partition(&[vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        let blocked = s.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(2, 2),
+            100,
+            TrafficClass::Reliable,
+        );
+        assert_eq!(blocked, Delivery::Dropped);
+        let ok = s.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(1, 2),
+            100,
+            TrafficClass::Reliable,
+        );
+        assert!(matches!(ok, Delivery::At(_)));
+        s.heal();
+        let healed = s.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(2, 2),
+            100,
+            TrafficClass::Reliable,
+        );
+        assert!(matches!(healed, Delivery::At(_)));
+        assert_eq!(s.stats().partition_drops, 1);
+    }
+
+    #[test]
+    fn shared_10mbps_saturates_sooner_than_switched_100() {
+        let drops = |cfg: SanConfig| {
+            let mut s = San::new(cfg);
+            let mut rng = Pcg32::new(2);
+            for n in 0..4 {
+                s.register_node(NodeId(n));
+            }
+            // Offer ~13 Mb/s of bulk data traffic (beyond a shared 10 Mb/s
+            // segment, well within switched 100 Mb/s links), with periodic
+            // beacon datagrams interleaved on other nodes.
+            let mut dropped = 0u64;
+            for i in 0..200 {
+                let now = SimTime::from_millis(i * 6);
+                s.unicast(
+                    now,
+                    &mut rng,
+                    ep(0, 1),
+                    ep(1, 2),
+                    10_000,
+                    TrafficClass::Reliable,
+                );
+                if let Delivery::Dropped = s.unicast(
+                    now,
+                    &mut rng,
+                    ep(2, 3),
+                    ep(3, 4),
+                    200,
+                    TrafficClass::Datagram,
+                ) {
+                    dropped += 1;
+                }
+            }
+            dropped
+        };
+        let d10 = drops(SanConfig::shared_10mbps());
+        let d100 = drops(SanConfig::switched_100mbps());
+        assert!(d10 > 0, "10 Mb/s SAN must drop beacons under load");
+        assert_eq!(d100, 0, "100 Mb/s SAN must not drop at this load");
+    }
+
+    #[test]
+    fn egress_backlog_reports_queue() {
+        let (mut s, mut rng) = san100();
+        for _ in 0..10 {
+            s.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                125_000,
+                TrafficClass::Reliable,
+            );
+        }
+        let backlog = s.egress_backlog(NodeId(0), SimTime::ZERO);
+        assert!(backlog > Duration::from_millis(90));
+        assert_eq!(s.egress_backlog(NodeId(3), SimTime::ZERO), Duration::ZERO);
+    }
+}

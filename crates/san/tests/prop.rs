@@ -1,0 +1,158 @@
+//! Property tests for the SAN model: conservation and monotonicity
+//! invariants that must hold for any traffic pattern.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use sns_san::{LinkParams, San, SanConfig};
+use sns_sim::network::{Delivery, Endpoint, Network, TrafficClass};
+use sns_sim::rng::Pcg32;
+use sns_sim::time::SimTime;
+use sns_sim::{ComponentId, NodeId};
+
+fn ep(node: u32, comp: u64) -> Endpoint {
+    Endpoint {
+        node: NodeId(node),
+        comp: ComponentId(comp),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Msg {
+    at_us: u64,
+    from: u32,
+    to: u32,
+    size: u64,
+    datagram: bool,
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    (
+        0u64..2_000_000,
+        0u32..6,
+        0u32..6,
+        1u64..200_000,
+        any::<bool>(),
+    )
+        .prop_map(|(at_us, from, to, size, datagram)| Msg {
+            at_us,
+            from,
+            to,
+            size,
+            datagram,
+        })
+}
+
+proptest! {
+    #[test]
+    fn deliveries_never_precede_sends_and_reliable_never_drops(
+        mut msgs in proptest::collection::vec(msg_strategy(), 1..80),
+    ) {
+        msgs.sort_by_key(|m| m.at_us);
+        let mut san = San::new(SanConfig::switched_100mbps());
+        for n in 0..6 {
+            san.register_node(NodeId(n));
+        }
+        let mut rng = Pcg32::new(1);
+        for m in &msgs {
+            let now = SimTime::from_nanos(m.at_us * 1000);
+            let class = if m.datagram {
+                TrafficClass::Datagram
+            } else {
+                TrafficClass::Reliable
+            };
+            match san.unicast(now, &mut rng, ep(m.from, 1), ep(m.to, 2), m.size, class) {
+                Delivery::At(t) => prop_assert!(t > now, "delivery {t} not after send {now}"),
+                Delivery::Dropped => {
+                    prop_assert!(m.datagram, "reliable traffic must never drop");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_link_deliveries_are_fifo(
+        sizes in proptest::collection::vec(1u64..100_000, 2..40),
+    ) {
+        let mut san = San::new(SanConfig::switched_100mbps());
+        san.register_node(NodeId(0));
+        san.register_node(NodeId(1));
+        let mut rng = Pcg32::new(2);
+        let mut last = SimTime::ZERO;
+        for &size in &sizes {
+            match san.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                size,
+                TrafficClass::Reliable,
+            ) {
+                Delivery::At(t) => {
+                    prop_assert!(t > last, "same-link messages must deliver in order");
+                    last = t;
+                }
+                Delivery::Dropped => unreachable!("reliable"),
+            }
+        }
+    }
+
+    #[test]
+    fn faster_links_never_deliver_later(size in 1u64..500_000, at_ms in 0u64..100) {
+        let deliver = |mbps: f64| {
+            let mut san = San::new(SanConfig {
+                default_nic: LinkParams::mbps(mbps).with_overhead(Duration::from_micros(50)),
+                fabric: LinkParams::mbps(mbps * 64.0),
+                latency: Duration::from_micros(150),
+                loopback_latency: Duration::from_micros(30),
+            });
+            san.register_node(NodeId(0));
+            san.register_node(NodeId(1));
+            let mut rng = Pcg32::new(3);
+            match san.unicast(
+                SimTime::from_millis(at_ms),
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                size,
+                TrafficClass::Reliable,
+            ) {
+                Delivery::At(t) => t,
+                Delivery::Dropped => unreachable!(),
+            }
+        };
+        prop_assert!(deliver(100.0) <= deliver(10.0));
+    }
+
+    #[test]
+    fn multicast_decisions_agree_per_node(
+        size in 1u64..50_000,
+        members in proptest::collection::vec((0u32..4, 1u64..40), 1..20),
+    ) {
+        let mut san = San::new(SanConfig::switched_100mbps());
+        for n in 0..4 {
+            san.register_node(NodeId(n));
+        }
+        let mut rng = Pcg32::new(4);
+        let eps: Vec<Endpoint> = members.iter().map(|&(n, c)| ep(n, c)).collect();
+        let out = san.multicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 999),
+            &eps,
+            size,
+            TrafficClass::Datagram,
+        );
+        prop_assert_eq!(out.len(), eps.len());
+        // All members on the same node share one wire copy, hence one
+        // decision and one delivery time.
+        for (i, a) in eps.iter().enumerate() {
+            for (j, b) in eps.iter().enumerate() {
+                if a.node == b.node {
+                    prop_assert_eq!(out[i], out[j]);
+                }
+            }
+        }
+    }
+}

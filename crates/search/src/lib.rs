@@ -1,0 +1,61 @@
+//! # sns-search — the partitioned full-text search substrate (HotBot)
+//!
+//! The Inktomi/HotBot search engine (§1.1, §3.2) is an *aggregation*
+//! service: "HotBot workers statically partition the search-engine
+//! database for load balancing. Thus each worker handles a subset of the
+//! database proportional to its CPU power, and every query goes to all
+//! workers in parallel." This crate implements that substrate from
+//! scratch:
+//!
+//! * [`doc`] — documents and a deterministic synthetic corpus generator
+//!   (the 54 M-page crawl is not available; word frequencies are
+//!   Zipf-distributed over a synthetic vocabulary);
+//! * [`index`] — an inverted index with tokenisation, term-frequency
+//!   scoring and top-k retrieval;
+//! * [`partition`] — static random partitioning, all-partitions query
+//!   fan-out, collation of per-partition top-k lists, and **graceful
+//!   degradation**: a down partition removes its share of documents from
+//!   coverage but never fails the query (BASE approximate answers —
+//!   §3.2: with 26 nodes "the loss of one machine results in the
+//!   database dropping from 54M to about 51M documents");
+//! * [`qcache`] — the integrated cache of recent searches used for
+//!   incremental delivery (Table 1).
+
+#![warn(missing_docs)]
+
+pub mod doc;
+pub mod index;
+pub mod partition;
+pub mod qcache;
+
+pub use doc::{CorpusGenerator, Document};
+pub use index::{InvertedIndex, SearchHit};
+pub use partition::{PartitionedIndex, QueryOutcome};
+pub use qcache::QueryCache;
+
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// # Examples
+///
+/// ```
+/// let t = sns_search::tokenize("Hello, World! x86-64");
+/// assert_eq!(t, vec!["hello", "world", "x86", "64"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basics() {
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("  A  b "), vec!["a", "b"]);
+        assert_eq!(tokenize("foo_bar"), vec!["foo", "bar"]);
+    }
+}

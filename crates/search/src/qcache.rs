@@ -1,0 +1,163 @@
+//! The integrated cache of recent searches (Table 1: HotBot caches
+//! "recent searches, for incremental delivery").
+//!
+//! A full result list is computed once per (query, coverage) and then
+//! paged out of the cache as the user clicks "next 10": incremental
+//! delivery without re-running the fan-out.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::index::SearchHit;
+
+/// A bounded cache of complete result lists, keyed by normalised query.
+pub struct QueryCache {
+    entries: BTreeMap<String, Vec<SearchHit>>,
+    order: VecDeque<String>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Creates a cache of at most `capacity` recent result lists.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        QueryCache {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn normalize(q: &str) -> String {
+        crate::tokenize(q).join(" ")
+    }
+
+    /// Fetches a page of results, computing the full list via `run` only
+    /// on a cache miss. `page` is zero-based; `page_size` results per
+    /// page.
+    pub fn page(
+        &mut self,
+        query: &str,
+        page: usize,
+        page_size: usize,
+        run: impl FnOnce() -> Vec<SearchHit>,
+    ) -> Vec<SearchHit> {
+        let key = Self::normalize(query);
+        if !self.entries.contains_key(&key) {
+            self.misses += 1;
+            let full = run();
+            self.order.push_back(key.clone());
+            if self.order.len() > self.capacity {
+                if let Some(victim) = self.order.pop_front() {
+                    self.entries.remove(&victim);
+                }
+            }
+            self.entries.insert(key.clone(), full);
+        } else {
+            self.hits += 1;
+        }
+        let full = &self.entries[&key];
+        full.iter()
+            .skip(page * page_size)
+            .take(page_size)
+            .cloned()
+            .collect()
+    }
+
+    /// Invalidates everything (e.g. after coverage changes when a
+    /// partition dies — stale results are tolerable BASE data, but the
+    /// service may choose freshness).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Result lists currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(n: usize) -> Vec<SearchHit> {
+        (0..n)
+            .map(|i| SearchHit {
+                doc: i as u64,
+                score: (n - i) as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn second_page_serves_from_cache() {
+        let mut qc = QueryCache::new(8);
+        let mut runs = 0;
+        let p0 = qc.page("rust lang", 0, 10, || {
+            runs += 1;
+            hits(25)
+        });
+        assert_eq!(p0.len(), 10);
+        assert_eq!(p0[0].doc, 0);
+        let p1 = qc.page("rust lang", 1, 10, || {
+            runs += 1;
+            hits(25)
+        });
+        assert_eq!(p1.len(), 10);
+        assert_eq!(p1[0].doc, 10);
+        let p2 = qc.page("rust lang", 2, 10, || {
+            runs += 1;
+            hits(25)
+        });
+        assert_eq!(p2.len(), 5, "last partial page");
+        assert_eq!(runs, 1, "fan-out ran once");
+        assert_eq!(qc.stats(), (2, 1));
+    }
+
+    #[test]
+    fn normalisation_unifies_queries() {
+        let mut qc = QueryCache::new(8);
+        let _ = qc.page("Rust  LANG!", 0, 5, || hits(5));
+        let again = qc.page("rust lang", 0, 5, || panic!("must be cached"));
+        assert_eq!(again.len(), 5);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut qc = QueryCache::new(2);
+        let _ = qc.page("q1", 0, 5, || hits(1));
+        let _ = qc.page("q2", 0, 5, || hits(1));
+        let _ = qc.page("q3", 0, 5, || hits(1));
+        assert_eq!(qc.len(), 2);
+        // q1 must have been evicted: a new run is required.
+        let mut reran = false;
+        let _ = qc.page("q1", 0, 5, || {
+            reran = true;
+            hits(1)
+        });
+        assert!(reran);
+    }
+
+    #[test]
+    fn out_of_range_page_is_empty() {
+        let mut qc = QueryCache::new(2);
+        let p = qc.page("q", 9, 10, || hits(5));
+        assert!(p.is_empty());
+    }
+}

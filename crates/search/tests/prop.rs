@@ -1,0 +1,117 @@
+//! Property tests for the search substrate: partitioned retrieval must
+//! equal monolithic retrieval on arbitrary corpora and queries, ranking
+//! must match a naive scorer, and degradation must only ever shrink the
+//! result set.
+
+use proptest::prelude::*;
+
+use sns_search::doc::Document;
+use sns_search::index::InvertedIndex;
+use sns_search::partition::PartitionedIndex;
+use sns_search::tokenize;
+
+fn word() -> impl Strategy<Value = String> {
+    (0u32..40).prop_map(|w| format!("w{w}"))
+}
+
+fn doc_strategy(id: u64) -> impl Strategy<Value = Document> {
+    proptest::collection::vec(word(), 1..30).prop_map(move |words| Document {
+        id,
+        title: String::new(),
+        body: words.join(" "),
+    })
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Document>> {
+    (5usize..40).prop_flat_map(|n| (0..n as u64).map(doc_strategy).collect::<Vec<_>>())
+}
+
+/// Naive scorer: identical semantics, O(corpus) per query.
+fn naive_query(corpus: &[Document], q: &str, k: usize) -> Vec<(u64, f64)> {
+    let terms = tokenize(q);
+    let mut scored: Vec<(u64, f64)> = corpus
+        .iter()
+        .filter_map(|d| {
+            let tokens = tokenize(&d.text());
+            let mut score = 0.0;
+            for term in &terms {
+                let tf = tokens.iter().filter(|t| *t == term).count();
+                if tf > 0 {
+                    score += 1.0 + (tf as f64).ln();
+                }
+            }
+            (score > 0.0).then_some((d.id, score))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+proptest! {
+    #[test]
+    fn index_matches_naive_scan(corpus in corpus_strategy(), q in proptest::collection::vec(word(), 1..4)) {
+        let query = q.join(" ");
+        let mut ix = InvertedIndex::new();
+        for d in &corpus {
+            ix.add(d);
+        }
+        let got = ix.query(&query, 10);
+        let want = naive_query(&corpus, &query, 10);
+        prop_assert_eq!(got.len(), want.len());
+        for (hit, (doc, score)) in got.iter().zip(&want) {
+            prop_assert_eq!(hit.doc, *doc);
+            prop_assert!((hit.score - score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partitioned_equals_monolithic(
+        corpus in corpus_strategy(),
+        nparts in 1usize..8,
+        q in proptest::collection::vec(word(), 1..4),
+    ) {
+        let query = q.join(" ");
+        let mut mono = InvertedIndex::new();
+        let mut parts = PartitionedIndex::new(nparts);
+        for d in &corpus {
+            mono.add(d);
+            parts.add(d);
+        }
+        let outcome = parts.query(&query, 10);
+        prop_assert_eq!((outcome.coverage - 1.0).abs() < 1e-12, true);
+        let want = mono.query(&query, 10);
+        prop_assert_eq!(outcome.hits, want);
+    }
+
+    #[test]
+    fn degradation_only_removes_results(
+        corpus in corpus_strategy(),
+        down in 0usize..4,
+        q in proptest::collection::vec(word(), 1..3),
+    ) {
+        let query = q.join(" ");
+        let mut parts = PartitionedIndex::new(4);
+        for d in &corpus {
+            parts.add(d);
+        }
+        let full = parts.query(&query, 50);
+        parts.set_down(down);
+        let degraded = parts.query(&query, 50);
+        prop_assert!(degraded.coverage <= 1.0);
+        // Every degraded hit was in the full result set.
+        for h in &degraded.hits {
+            prop_assert!(full.hits.contains(h), "degradation invented a result");
+        }
+        // Recovery is exact.
+        parts.set_up(down);
+        let back = parts.query(&query, 50);
+        prop_assert_eq!(back.hits, full.hits);
+    }
+
+    #[test]
+    fn tokenize_roundtrips_clean_words(words in proptest::collection::vec("[a-z]{1,8}", 0..20)) {
+        let text = words.join(" ");
+        prop_assert_eq!(tokenize(&text), words);
+    }
+}

@@ -1,0 +1,164 @@
+//! The interconnect abstraction the engine routes messages through.
+//!
+//! The engine is generic over a [`Network`] implementation so that the same
+//! component code can run over an idealised constant-latency fabric (unit
+//! tests) or over the full system-area-network model in the `sns-san`
+//! crate (bandwidth, queueing, multicast drops, partitions).
+
+use crate::rng::Pcg32;
+use crate::time::SimTime;
+use crate::ComponentId;
+use crate::NodeId;
+
+/// Source or destination of a message: a component pinned to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Node hosting the component.
+    pub node: NodeId,
+    /// The component itself.
+    pub comp: ComponentId,
+}
+
+/// Routing decision for a unicast message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver at the given absolute time.
+    At(SimTime),
+    /// The network dropped the message (only droppable traffic classes).
+    Dropped,
+}
+
+/// Traffic class, mirroring the paper's two kinds of SAN traffic.
+///
+/// * `Reliable` models TCP-like connections: never dropped, but subject to
+///   queueing delay (backpressure).
+/// * `Datagram` models the unreliable IP multicast used for beacons and
+///   load reports: dropped when queues overflow near saturation (§4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Flow-controlled, never dropped.
+    Reliable,
+    /// Best-effort, droppable under saturation.
+    Datagram,
+}
+
+/// An interconnect model consulted for every message the engine routes.
+///
+/// Implementations must be deterministic given the same call sequence and
+/// RNG stream.
+pub trait Network {
+    /// Routes one unicast message of `size` bytes; returns when (or
+    /// whether) it is delivered.
+    fn unicast(
+        &mut self,
+        now: SimTime,
+        rng: &mut Pcg32,
+        from: Endpoint,
+        to: Endpoint,
+        size: u64,
+        class: TrafficClass,
+    ) -> Delivery;
+
+    /// Routes one multicast message of `size` bytes to `members`; returns a
+    /// per-member delivery decision (same order as `members`).
+    fn multicast(
+        &mut self,
+        now: SimTime,
+        rng: &mut Pcg32,
+        from: Endpoint,
+        members: &[Endpoint],
+        size: u64,
+        class: TrafficClass,
+    ) -> Vec<Delivery>;
+
+    /// Informs the model that a node exists (called by the engine when
+    /// nodes are added).
+    fn register_node(&mut self, node: NodeId);
+}
+
+/// A zero-contention fabric with constant one-way latency. Useful for unit
+/// tests and for experiments where the interconnect is not under study.
+#[derive(Debug, Clone)]
+pub struct IdealNetwork {
+    /// One-way latency applied to every message.
+    pub latency: std::time::Duration,
+}
+
+impl IdealNetwork {
+    /// Creates an ideal network with the given one-way latency.
+    pub fn new(latency: std::time::Duration) -> Self {
+        IdealNetwork { latency }
+    }
+}
+
+impl Default for IdealNetwork {
+    fn default() -> Self {
+        IdealNetwork::new(std::time::Duration::from_micros(100))
+    }
+}
+
+impl Network for IdealNetwork {
+    fn unicast(
+        &mut self,
+        now: SimTime,
+        _rng: &mut Pcg32,
+        _from: Endpoint,
+        _to: Endpoint,
+        _size: u64,
+        _class: TrafficClass,
+    ) -> Delivery {
+        Delivery::At(now + self.latency)
+    }
+
+    fn multicast(
+        &mut self,
+        now: SimTime,
+        _rng: &mut Pcg32,
+        _from: Endpoint,
+        members: &[Endpoint],
+        _size: u64,
+        _class: TrafficClass,
+    ) -> Vec<Delivery> {
+        vec![Delivery::At(now + self.latency); members.len()]
+    }
+
+    fn register_node(&mut self, _node: NodeId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ideal_network_is_constant_latency() {
+        let mut n = IdealNetwork::new(Duration::from_millis(1));
+        let mut rng = Pcg32::new(1);
+        let ep = |c| Endpoint {
+            node: NodeId(0),
+            comp: ComponentId(c),
+        };
+        let d = n.unicast(
+            SimTime::from_secs(1),
+            &mut rng,
+            ep(1),
+            ep(2),
+            1_000_000,
+            TrafficClass::Reliable,
+        );
+        assert_eq!(
+            d,
+            Delivery::At(SimTime::from_secs(1) + Duration::from_millis(1))
+        );
+        let ds = n.multicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(1),
+            &[ep(2), ep(3)],
+            64,
+            TrafficClass::Datagram,
+        );
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| matches!(d, Delivery::At(_))));
+    }
+}

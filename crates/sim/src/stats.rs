@@ -1,0 +1,360 @@
+//! Measurement collection: counters, histograms and time series.
+//!
+//! Components and the engine itself record observations into a shared
+//! [`StatsHub`]; experiment harnesses read them back after (or during) a
+//! run to regenerate the paper's tables and figures. All collections are
+//! keyed by `&'static str`-convertible names and stored in `BTreeMap`s so
+//! that report iteration order is deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// A streaming summary of scalar observations (count / mean / min / max /
+/// variance via Welford, plus an exact reservoir-free percentile store for
+/// modest sample counts).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    /// Exact samples retained for percentile queries (capped).
+    samples: Vec<f64>,
+    cap: usize,
+    /// Every `stride`-th observation is retained once the cap is hit.
+    stride: u64,
+}
+
+impl Summary {
+    /// Creates a summary retaining up to `cap` exact samples for
+    /// percentile queries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Summary {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            cap,
+            stride: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+        if self.cap > 0 {
+            if self.samples.len() == self.cap {
+                // Thin the retained set: keep every other sample and double
+                // the stride so long runs stay bounded but representative.
+                let mut kept = Vec::with_capacity(self.cap / 2);
+                for (i, &s) in self.samples.iter().enumerate() {
+                    if i % 2 == 0 {
+                        kept.push(s);
+                    }
+                }
+                self.samples = kept;
+                self.stride *= 2;
+            }
+            if self.count.is_multiple_of(self.stride) {
+                self.samples.push(x);
+            }
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of all observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0,1]`) from retained samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+}
+
+/// A fixed-bin linear histogram over `[lo, hi)` with under/overflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    under: u64,
+    over: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0, "invalid histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n],
+            under: 0,
+            over: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.under += 1;
+        } else if x >= self.hi {
+            self.over += 1;
+        } else {
+            let i = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let last = self.bins.len() - 1;
+            self.bins[i.min(last)] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.under + self.over
+    }
+
+    /// Iterator of `(bin_midpoint, count)` pairs.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+    }
+
+    /// Under/overflow counts.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.under, self.over)
+    }
+}
+
+/// A time-stamped series of scalar values (e.g. a queue length over time).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// Appends a point; callers must append in non-decreasing time order.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(self.points.last().is_none_or(|&(lt, _)| lt <= t));
+        self.points.push((t, v));
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Time-weighted average over the recorded span (treats the series as a
+    /// step function held between points).
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.points.first().map_or(0.0, |&(_, v)| v);
+        }
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs_f64();
+            area += w[0].1 * dt;
+        }
+        let span = (self.points[self.points.len() - 1].0 - self.points[0].0).as_secs_f64();
+        if span == 0.0 {
+            self.points[0].1
+        } else {
+            area / span
+        }
+    }
+}
+
+/// The shared sink all components record into.
+#[derive(Debug, Default)]
+pub struct StatsHub {
+    counters: BTreeMap<String, u64>,
+    summaries: BTreeMap<String, Summary>,
+    series: BTreeMap<String, Series>,
+}
+
+impl StatsHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn incr(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a scalar observation into the named summary.
+    pub fn observe(&mut self, name: &str, x: f64) {
+        self.summaries
+            .entry(name.to_string())
+            .or_insert_with(|| Summary::with_capacity(16_384))
+            .record(x);
+    }
+
+    /// Reads a summary if present.
+    pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.summaries.get(name)
+    }
+
+    /// Appends to the named time series.
+    pub fn sample(&mut self, name: &str, t: SimTime, v: f64) {
+        self.series.entry(name.to_string()).or_default().push(t, v);
+    }
+
+    /// Reads a series if present.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Iterates all series (deterministic order), e.g. for plotting.
+    pub fn all_series(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates all counters (deterministic order).
+    pub fn all_counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates all summaries (deterministic order).
+    pub fn all_summaries(&self) -> impl Iterator<Item = (&str, &Summary)> {
+        self.summaries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::with_capacity(1000);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let mut s = Summary::with_capacity(10_000);
+        for i in 0..1000 {
+            s.record(i as f64);
+        }
+        assert!((s.quantile(0.5) - 499.0).abs() < 10.0);
+        assert!((s.quantile(0.95) - 949.0).abs() < 15.0);
+    }
+
+    #[test]
+    fn summary_thinning_keeps_stats_exact() {
+        let mut s = Summary::with_capacity(64);
+        for i in 0..10_000 {
+            s.record(i as f64);
+        }
+        // Mean/min/max/count are exact regardless of sample thinning.
+        assert_eq!(s.count(), 10_000);
+        assert!((s.mean() - 4999.5).abs() < 1e-6);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 9999.0);
+        // Quantiles remain sane.
+        let med = s.quantile(0.5);
+        assert!((med - 5000.0).abs() < 1500.0, "median {med}");
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.9, -1.0, 10.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.outliers(), (1, 1));
+        let bins: Vec<u64> = h.bins().map(|(_, c)| c).collect();
+        assert_eq!(bins[0], 1);
+        assert_eq!(bins[1], 2);
+        assert_eq!(bins[9], 1);
+    }
+
+    #[test]
+    fn series_time_weighted_mean() {
+        let mut s = Series::default();
+        s.push(SimTime::from_secs(0), 0.0);
+        s.push(SimTime::from_secs(10), 10.0); // value 0 held for 10 s
+        s.push(SimTime::from_secs(20), 0.0); // value 10 held for 10 s
+        assert!((s.time_weighted_mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hub_roundtrip() {
+        let mut hub = StatsHub::new();
+        hub.incr("requests", 3);
+        hub.incr("requests", 2);
+        assert_eq!(hub.counter("requests"), 5);
+        hub.observe("latency", 1.0);
+        hub.observe("latency", 3.0);
+        assert_eq!(hub.summary("latency").unwrap().count(), 2);
+        hub.sample("qlen", SimTime::from_secs(1), 4.0);
+        assert_eq!(hub.series("qlen").unwrap().points().len(), 1);
+        assert_eq!(hub.counter("missing"), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Virtual time for the discrete-event engine.
+//!
+//! [`SimTime`] is an absolute instant measured in nanoseconds since the
+//! start of the simulation; durations are ordinary [`std::time::Duration`]s.
+//! A `u64` nanosecond clock covers ~584 years of virtual time, far beyond
+//! any experiment in this repository.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An absolute instant of virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable instant; used as an "infinitely far" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs an instant from raw nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs an instant from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Constructs an instant from milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(dur_nanos(d)))
+    }
+}
+
+/// Converts a `Duration` to u64 nanoseconds, saturating on overflow.
+pub fn dur_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + dur_nanos(rhs))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += dur_nanos(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_millis(1500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        let t2 = t + Duration::from_millis(500);
+        assert_eq!(t2, SimTime::from_secs(2));
+        assert_eq!(t2 - t, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.since(b), Duration::ZERO);
+        assert_eq!(b.since(a), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+        assert!(SimTime::from_secs(1) < SimTime::MAX);
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(format!("{}", SimTime::from_millis(1250)), "1.250000s");
+    }
+}

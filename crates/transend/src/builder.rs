@@ -1,0 +1,416 @@
+//! One-call construction of a TranSend cluster (§3.1): nodes, SAN,
+//! manager with per-class spawn policies, front ends, monitor, cache
+//! partitions, the ACID profile database and the origin model.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use sns_core::frontend::{FeConfig, ManagerFactory};
+use sns_core::manager::{Manager, ManagerConfig, SpawnPolicy, WorkerFactory};
+use sns_core::monitor::Monitor;
+use sns_core::msg::SnsMsg;
+use sns_core::worker::{WorkerStub, WorkerStubConfig};
+use sns_core::{FrontEnd, SnsConfig, WorkerClass};
+use sns_distillers::{
+    CultureAggregator, GifDistiller, HtmlMunger, JpegDistiller, KeywordFilter,
+    MetasearchAggregator, PdaSimplifier, RewebberDecrypt, RewebberEncrypt,
+};
+use sns_san::{LinkParams, San, SanConfig};
+use sns_sim::engine::{NodeSpec, Sim, SimConfig};
+use sns_sim::{ComponentId, GroupId, NodeId};
+use sns_tacc::cache_worker::CacheWorker;
+use sns_tacc::origin::OriginServer;
+use sns_tacc::profile_worker::ProfileWorker;
+use sns_tacc::worker::TaccWorkerHost;
+use sns_workload::trace::TraceRecord;
+
+use crate::client::{ClientReportHandle, TranSendClient};
+use crate::logic::{TranSendConfig, TranSendLogic};
+
+/// Cluster-shape parameters.
+pub struct TranSendBuilder {
+    /// Engine seed.
+    pub seed: u64,
+    /// SNS layer knobs.
+    pub sns: SnsConfig,
+    /// Service knobs.
+    pub ts: TranSendConfig,
+    /// Interconnect model.
+    pub san: SanConfig,
+    /// Dedicated worker-pool nodes.
+    pub worker_nodes: usize,
+    /// Overflow-pool nodes (§2.2.3).
+    pub overflow_nodes: usize,
+    /// Cores per node (SPARC-era boxes: 1-2).
+    pub cores_per_node: u32,
+    /// Front ends (each on its own node).
+    pub frontends: usize,
+    /// Cache partitions (TranSend ran 4, §3.1.5).
+    pub cache_partitions: u32,
+    /// Bytes per cache partition.
+    pub cache_capacity: u64,
+    /// Minimum distillers per class (0 = purely on-demand, §4.5).
+    pub min_distillers: u32,
+    /// Distiller classes to register (names of `sns-distillers` workers).
+    pub distillers: Vec<String>,
+    /// Aggregator classes to register.
+    pub aggregators: Vec<String>,
+    /// Origin miss-penalty scale (1.0 = the §4.4 distribution).
+    pub origin_penalty_scale: f64,
+    /// Pre-registered user profiles.
+    pub profiles: Vec<(String, Vec<(String, String)>)>,
+    /// NIC override for front-end nodes (the Table 2 bottleneck).
+    pub fe_nic: Option<LinkParams>,
+    /// Random crash probability for image distillers (fault injection).
+    pub distiller_crash_prob: f64,
+    /// The §4.5 queue-delta correction in the manager stubs (disable to
+    /// reproduce the load-balancing oscillations).
+    pub delta_correction: bool,
+}
+
+impl Default for TranSendBuilder {
+    fn default() -> Self {
+        TranSendBuilder {
+            seed: 0x7345,
+            sns: SnsConfig::default(),
+            ts: TranSendConfig::default(),
+            san: SanConfig::switched_100mbps(),
+            worker_nodes: 8,
+            overflow_nodes: 2,
+            cores_per_node: 2,
+            frontends: 1,
+            cache_partitions: 4,
+            cache_capacity: 512 * 1024 * 1024,
+            min_distillers: 0,
+            distillers: vec!["gif".into(), "jpeg".into(), "html".into()],
+            aggregators: Vec::new(),
+            origin_penalty_scale: 1.0,
+            profiles: Vec::new(),
+            fe_nic: None,
+            distiller_crash_prob: 0.0,
+            delta_correction: true,
+        }
+    }
+}
+
+/// A built cluster plus the handles experiments need.
+pub struct TranSendCluster {
+    /// The simulation.
+    pub sim: Sim<SnsMsg, San>,
+    /// Live front ends (construction order).
+    pub fes: Vec<ComponentId>,
+    /// Nodes hosting the front ends.
+    pub fe_nodes: Vec<NodeId>,
+    /// The initial manager.
+    pub manager: ComponentId,
+    /// The monitor.
+    pub monitor: ComponentId,
+    /// Beacon multicast group.
+    pub beacon: GroupId,
+    /// Monitor multicast group.
+    pub monitor_group: GroupId,
+    /// Node hosting client components.
+    pub client_node: NodeId,
+    /// Node modelling the Internet (origin).
+    pub origin_node: NodeId,
+    sns: SnsConfig,
+    ts: TranSendConfig,
+    fe_nic: Option<LinkParams>,
+    mgr_factory: ManagerFactory,
+}
+
+struct Wiring {
+    beacon: GroupId,
+    monitor_group: GroupId,
+    report_period: Duration,
+}
+
+fn stub_cfg(w: &Wiring) -> WorkerStubConfig {
+    WorkerStubConfig {
+        beacon_group: w.beacon,
+        monitor_group: w.monitor_group,
+        report_period: w.report_period,
+        cost_weight_unit: None,
+    }
+}
+
+/// Builds a factory producing fresh distiller worker stubs for a class
+/// name understood by `sns-distillers`.
+fn distiller_factory(name: &str, w: &Wiring, crash_prob: f64) -> WorkerFactory {
+    let name = name.to_string();
+    let cfg = stub_cfg(w);
+    Box::new(move || {
+        let worker: Box<dyn sns_tacc::worker::TaccWorker> = match name.as_str() {
+            "gif" => Box::new(GifDistiller::new().with_crash_prob(crash_prob)),
+            "jpeg" => Box::new(JpegDistiller::new().with_crash_prob(crash_prob)),
+            "html" => Box::new(HtmlMunger::new()),
+            "keyword" => Box::new(KeywordFilter::new()),
+            "pda" => Box::new(PdaSimplifier::new()),
+            "rewebber-enc" => Box::new(RewebberEncrypt::new()),
+            "rewebber-dec" => Box::new(RewebberDecrypt::new()),
+            other => panic!("unknown distiller class {other}"),
+        };
+        Box::new(WorkerStub::new(
+            Box::new(TaccWorkerHost::transformer(worker, BTreeMap::new())),
+            cfg.clone(),
+        ))
+    })
+}
+
+/// Builds a factory for aggregator worker stubs.
+fn aggregator_factory(name: &str, w: &Wiring) -> WorkerFactory {
+    let name = name.to_string();
+    let cfg = stub_cfg(w);
+    Box::new(move || {
+        let agg: Box<dyn sns_tacc::worker::Aggregator> = match name.as_str() {
+            "culture" => Box::new(CultureAggregator::new()),
+            "metasearch" => Box::new(MetasearchAggregator::new()),
+            other => panic!("unknown aggregator class {other}"),
+        };
+        Box::new(WorkerStub::new(
+            Box::new(TaccWorkerHost::aggregator(agg, BTreeMap::new())),
+            cfg.clone(),
+        ))
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_manager_factory(
+    sns: SnsConfig,
+    w: Wiring,
+    distillers: Vec<String>,
+    aggregators: Vec<String>,
+    min_distillers: u32,
+    cache_partitions: u32,
+    cache_capacity: u64,
+    profiles: Vec<(String, Vec<(String, String)>)>,
+    crash_prob: f64,
+) -> ManagerFactory {
+    Box::new(move |incarnation| {
+        let mut classes: BTreeMap<WorkerClass, SpawnPolicy> = BTreeMap::new();
+        for d in &distillers {
+            classes.insert(
+                WorkerClass::new(format!("distiller/{d}")),
+                SpawnPolicy::scaled(min_distillers, distiller_factory(d, &w, crash_prob)),
+            );
+        }
+        for a in &aggregators {
+            classes.insert(
+                WorkerClass::new(format!("aggregator/{a}")),
+                SpawnPolicy::scaled(min_distillers.max(1), aggregator_factory(a, &w)),
+            );
+        }
+        if cache_partitions > 0 {
+            let cfg = stub_cfg(&w);
+            classes.insert(
+                WorkerClass::new(CacheWorker::CLASS),
+                SpawnPolicy::pinned(
+                    cache_partitions,
+                    Box::new(move || {
+                        Box::new(WorkerStub::new(
+                            Box::new(CacheWorker::new(cache_capacity, None)),
+                            cfg.clone(),
+                        ))
+                    }),
+                ),
+            );
+        }
+        {
+            let cfg = stub_cfg(&w);
+            let profiles = profiles.clone();
+            classes.insert(
+                WorkerClass::new(ProfileWorker::CLASS),
+                SpawnPolicy::pinned(
+                    1,
+                    Box::new(move || {
+                        Box::new(WorkerStub::new(
+                            Box::new(ProfileWorker::seeded(&profiles)),
+                            cfg.clone(),
+                        ))
+                    }),
+                ),
+            );
+        }
+        Box::new(Manager::new(ManagerConfig {
+            sns: sns.clone(),
+            beacon_group: w.beacon,
+            monitor_group: w.monitor_group,
+            incarnation,
+            classes,
+            fe_factory: None,
+        }))
+    })
+}
+
+impl TranSendBuilder {
+    /// Builds the cluster. The caller then attaches clients and runs the
+    /// simulation.
+    pub fn build(self) -> TranSendCluster {
+        let san = San::new(self.san.clone());
+        let mut sim: Sim<SnsMsg, San> = Sim::new(
+            SimConfig {
+                seed: self.seed,
+                ..Default::default()
+            },
+            san,
+        );
+
+        // Nodes. Worker pool is "dedicated"/"overflow" (the manager's
+        // placement tags); everything else is out of the autoscaler's
+        // reach.
+        for _ in 0..self.worker_nodes {
+            sim.add_node(NodeSpec::new(self.cores_per_node, "dedicated"));
+        }
+        for _ in 0..self.overflow_nodes {
+            sim.add_node(NodeSpec::new(self.cores_per_node, "overflow"));
+        }
+        let infra_node = sim.add_node(NodeSpec::new(self.cores_per_node, "infra"));
+        let fe_nodes: Vec<NodeId> = (0..self.frontends)
+            .map(|_| sim.add_node(NodeSpec::new(self.cores_per_node, "frontend")))
+            .collect();
+        let client_node = sim.add_node(NodeSpec::new(4, "client"));
+        let origin_node = sim.add_node(NodeSpec::new(8, "internet"));
+
+        if let Some(nic) = &self.fe_nic {
+            for &n in &fe_nodes {
+                sim.net_mut().set_nic(n, nic.clone());
+            }
+        }
+
+        let beacon = sim.create_group();
+        let monitor_group = sim.create_group();
+        let wiring = || Wiring {
+            beacon,
+            monitor_group,
+            report_period: self.sns.report_period,
+        };
+
+        let mut mgr_factory = make_manager_factory(
+            self.sns.clone(),
+            wiring(),
+            self.distillers.clone(),
+            self.aggregators.clone(),
+            self.min_distillers,
+            self.cache_partitions,
+            self.cache_capacity,
+            self.profiles.clone(),
+            self.distiller_crash_prob,
+        );
+        let manager = sim.spawn(infra_node, mgr_factory(1), "manager");
+
+        let monitor = sim.spawn(
+            infra_node,
+            Box::new(Monitor::new(monitor_group, Duration::from_secs(10))),
+            "monitor",
+        );
+
+        // The origin ("the Internet") is spawned directly — it is not a
+        // managed cluster resource, but it registers itself with the
+        // manager like any worker so front ends can dispatch to it.
+        sim.spawn(
+            origin_node,
+            Box::new(WorkerStub::new(
+                Box::new(OriginServer::new().with_penalty_scale(self.origin_penalty_scale)),
+                stub_cfg(&wiring()),
+            )),
+            "origin",
+        );
+
+        let mut fes = Vec::new();
+        for &node in &fe_nodes {
+            let mut frontend = FrontEnd::new(
+                Box::new(TranSendLogic::new(self.ts.clone())),
+                FeConfig {
+                    sns: self.sns.clone(),
+                    beacon_group: beacon,
+                    monitor_group,
+                    manager_factory: Some(make_manager_factory(
+                        self.sns.clone(),
+                        wiring(),
+                        self.distillers.clone(),
+                        self.aggregators.clone(),
+                        self.min_distillers,
+                        self.cache_partitions,
+                        self.cache_capacity,
+                        self.profiles.clone(),
+                        self.distiller_crash_prob,
+                    )),
+                },
+            );
+            frontend.set_delta_correction(self.delta_correction);
+            let fe = sim.spawn(node, Box::new(frontend), "frontend");
+            fes.push(fe);
+        }
+
+        TranSendCluster {
+            sim,
+            fes,
+            fe_nodes,
+            manager,
+            monitor,
+            beacon,
+            monitor_group,
+            client_node,
+            origin_node,
+            sns: self.sns,
+            ts: self.ts,
+            fe_nic: self.fe_nic,
+            mgr_factory,
+        }
+    }
+}
+
+impl TranSendCluster {
+    /// Attaches a playback client driving all current front ends;
+    /// `retimed` pairs (send offset, trace record) come from
+    /// `sns_workload::Playback`. Returns the client's report handle.
+    pub fn attach_client(
+        &mut self,
+        retimed: Vec<(Duration, TraceRecord)>,
+        start_delay: Duration,
+    ) -> ClientReportHandle {
+        let (client, report) = TranSendClient::new(self.fes.clone(), retimed, start_delay);
+        self.sim.spawn(self.client_node, Box::new(client), "client");
+        report
+    }
+
+    /// Adds a front end on a fresh node (Table 2 incremental scaling).
+    /// Note: already-attached clients keep their FE list; attach clients
+    /// after all front ends exist, or use one client per configuration.
+    pub fn add_frontend(&mut self) -> ComponentId {
+        let node = self.sim.add_node(NodeSpec::new(2, "frontend"));
+        if let Some(nic) = &self.fe_nic {
+            self.sim.net_mut().set_nic(node, nic.clone());
+        }
+        let fe = self.sim.spawn(
+            node,
+            Box::new(FrontEnd::new(
+                Box::new(TranSendLogic::new(self.ts.clone())),
+                FeConfig {
+                    sns: self.sns.clone(),
+                    beacon_group: self.beacon,
+                    monitor_group: self.monitor_group,
+                    manager_factory: None,
+                },
+            )),
+            "frontend",
+        );
+        self.fes.push(fe);
+        self.fe_nodes.push(node);
+        fe
+    }
+
+    /// Spawns a replacement manager by hand (used by experiments that
+    /// killed the manager and want to measure recovery separately from
+    /// the automatic path).
+    pub fn spawn_manager(&mut self, incarnation: u64) -> ComponentId {
+        let node = self.sim.nodes_with_tag("infra")[0];
+        let mgr = (self.mgr_factory)(incarnation);
+        self.sim.spawn(node, mgr, "manager")
+    }
+
+    /// All live distiller workers of a class (e.g. `"distiller/jpeg"`).
+    pub fn distillers_of(&self, class: &str) -> Vec<ComponentId> {
+        self.sim.components_of_kind(sns_core::intern_class(class))
+    }
+}

@@ -1,0 +1,117 @@
+//! Structural service descriptions for the Table 1 comparison.
+//!
+//! Table 1 of the paper contrasts TranSend and HotBot along six axes;
+//! [`ServiceDescription`] captures those axes so the `table1_comparison`
+//! harness can print them from the *actual* service configurations
+//! rather than from prose.
+
+/// One row set of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service name.
+    pub name: &'static str,
+    /// Load balancing strategy.
+    pub load_balancing: &'static str,
+    /// Application layer.
+    pub application_layer: &'static str,
+    /// Service layer.
+    pub service_layer: &'static str,
+    /// Failure management.
+    pub failure_management: &'static str,
+    /// Worker placement.
+    pub worker_placement: &'static str,
+    /// User profile (ACID) database.
+    pub profile_database: &'static str,
+    /// Caching strategy.
+    pub caching: &'static str,
+}
+
+/// TranSend as built by this crate.
+pub fn transend_description() -> ServiceDescription {
+    ServiceDescription {
+        name: "TranSend",
+        load_balancing: "Dynamic, by queue lengths at worker nodes (lottery over beacon hints)",
+        application_layer: "Composable TACC workers (distillers, filters, aggregators)",
+        service_layer: "Worker dispatch logic in the front end; HTML/JS user interface",
+        failure_management: "Centralized but fault-tolerant using process-peers",
+        worker_placement: "Workers interchangeable; FEs and caches bound to their nodes",
+        profile_database: "Embedded WAL store with front-end write-through read caches",
+        caching: "Harvest-style partitions store pre- and post-transformation data",
+    }
+}
+
+/// HotBot as built by the `sns-hotbot` crate.
+pub fn hotbot_description() -> ServiceDescription {
+    ServiceDescription {
+        name: "HotBot",
+        load_balancing: "Static partitioning of read-only data; every query fans out to all",
+        application_layer: "Fixed search service application",
+        service_layer: "Dynamic HTML result generation; HTML UI",
+        failure_management: "Distributed to each node (partition loss degrades coverage)",
+        worker_placement: "All workers bound to their nodes (local index partitions)",
+        profile_database: "Primary/backup replicated store with synchronous log shipping",
+        caching: "Integrated cache of recent searches, for incremental delivery",
+    }
+}
+
+/// Renders the two descriptions side by side (Table 1).
+pub fn render_table1() -> String {
+    let t = transend_description();
+    let h = hotbot_description();
+    let rows: [(&str, &str, &str); 7] = [
+        ("Load balancing", t.load_balancing, h.load_balancing),
+        (
+            "Application layer",
+            t.application_layer,
+            h.application_layer,
+        ),
+        ("Service layer", t.service_layer, h.service_layer),
+        (
+            "Failure management",
+            t.failure_management,
+            h.failure_management,
+        ),
+        ("Worker placement", t.worker_placement, h.worker_placement),
+        (
+            "User profile (ACID) DB",
+            t.profile_database,
+            h.profile_database,
+        ),
+        ("Caching", t.caching, h.caching),
+    ];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} | {:<68} | {}\n",
+        "Component", t.name, h.name
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(170)));
+    for (axis, a, b) in rows {
+        out.push_str(&format!("{axis:<24} | {a:<68} | {b}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_differ_on_every_axis() {
+        let t = transend_description();
+        let h = hotbot_description();
+        assert_ne!(t.load_balancing, h.load_balancing);
+        assert_ne!(t.application_layer, h.application_layer);
+        assert_ne!(t.failure_management, h.failure_management);
+        assert_ne!(t.worker_placement, h.worker_placement);
+        assert_ne!(t.caching, h.caching);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let table = render_table1();
+        assert_eq!(table.lines().count(), 9);
+        assert!(table.contains("TranSend"));
+        assert!(table.contains("HotBot"));
+        assert!(table.contains("Static partitioning"));
+    }
+}

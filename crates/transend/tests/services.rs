@@ -1,0 +1,217 @@
+//! The §5.1 extension services running through the full cluster: the
+//! Bay Area Culture Page aggregator (fetch sources → collate → reply)
+//! and the thin-client (PDA) pipeline, both inheriting scalability and
+//! fault tolerance from the SNS layer without any new infrastructure.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sns_core::msg::{ClientRequest, SnsMsg};
+use sns_core::payload_as;
+use sns_sim::engine::{Component, Ctx};
+use sns_sim::time::SimTime;
+use sns_sim::ComponentId;
+use sns_tacc::content::{Body, ContentObject};
+use sns_tacc::origin::FetchRequest;
+use sns_transend::logic::AggregateServiceRequest;
+use sns_transend::TranSendBuilder;
+use sns_workload::MimeType;
+
+/// Minimal test client sending arbitrary prepared requests.
+struct RawClient {
+    fe: ComponentId,
+    to_send: Vec<ClientRequest>,
+    delay: Duration,
+}
+
+impl Component<SnsMsg> for RawClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        ctx.timer(self.delay, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _t: u64) {
+        for r in self.to_send.drain(..) {
+            ctx.send(self.fe, SnsMsg::Request(Arc::new(r)));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _from: ComponentId, msg: SnsMsg) {
+        let SnsMsg::Response(resp) = msg else { return };
+        ctx.stats().incr("raw.responses", 1);
+        match &resp.result {
+            Ok(p) => {
+                if let Some(obj) = payload_as::<ContentObject>(p) {
+                    if let Body::Text(t) = &obj.body {
+                        if t.contains("Culture This Week") {
+                            ctx.stats().incr("raw.culture_pages", 1);
+                            let events: u64 = obj
+                                .meta
+                                .get("events")
+                                .and_then(|e| e.parse().ok())
+                                .unwrap_or(0);
+                            ctx.stats().incr("raw.events_total", events);
+                        }
+                        if !t.contains('<') {
+                            ctx.stats().incr("raw.pda_pages", 1);
+                        }
+                    }
+                }
+            }
+            Err(_) => ctx.stats().incr("raw.errors", 1),
+        }
+    }
+}
+
+#[test]
+fn culture_page_service_collates_origin_pages_through_the_cluster() {
+    let mut cluster = TranSendBuilder {
+        worker_nodes: 6,
+        frontends: 1,
+        cache_partitions: 2,
+        min_distillers: 1,
+        aggregators: vec!["culture".into()],
+        origin_penalty_scale: 0.1,
+        ..Default::default()
+    }
+    .build();
+    let sources: Vec<FetchRequest> = (0..4)
+        .map(|i| FetchRequest {
+            url: format!("http://arts{i}.example/calendar.html"),
+            mime: MimeType::Html,
+            size: 6_000,
+        })
+        .collect();
+    let request = ClientRequest {
+        id: 1,
+        user: "u1".into(),
+        url: "transend://culture-this-week".into(),
+        body: Some(Arc::new(AggregateServiceRequest {
+            aggregator: "culture".into(),
+            sources,
+            args: BTreeMap::new(),
+        })),
+    };
+    let fe = cluster.fes[0];
+    let client_node = cluster.client_node;
+    cluster.sim.spawn(
+        client_node,
+        Box::new(RawClient {
+            fe,
+            to_send: vec![request],
+            delay: Duration::from_secs(4),
+        }),
+        "rawclient",
+    );
+    cluster.sim.run_until(SimTime::from_secs(120));
+
+    let stats = cluster.sim.stats();
+    assert_eq!(stats.counter("raw.responses"), 1);
+    assert_eq!(stats.counter("raw.errors"), 0);
+    assert_eq!(
+        stats.counter("raw.culture_pages"),
+        1,
+        "collated page returned"
+    );
+    assert!(
+        stats.counter("raw.events_total") > 0,
+        "the heuristics extracted events from the fetched pages"
+    );
+    assert_eq!(stats.counter("ts.agg_answers"), 1);
+}
+
+#[test]
+fn culture_page_tolerates_unreachable_sources() {
+    // One source is a huge object the origin will take ages to serve;
+    // with the dispatch timeout it is treated as missing and the page is
+    // produced from the remaining sources, degraded (BASE approximate
+    // answers at the application layer, §5.1).
+    let mut cluster = TranSendBuilder {
+        worker_nodes: 6,
+        frontends: 1,
+        cache_partitions: 2,
+        min_distillers: 1,
+        aggregators: vec!["culture".into()],
+        origin_penalty_scale: 3.0, // some fetches exceed the 5 s timeout
+        ..Default::default()
+    }
+    .build();
+    let sources: Vec<FetchRequest> = (0..6)
+        .map(|i| FetchRequest {
+            url: format!("http://slow{i}.example/cal.html"),
+            mime: MimeType::Html,
+            size: 5_000,
+        })
+        .collect();
+    let request = ClientRequest {
+        id: 9,
+        user: "u1".into(),
+        url: "transend://culture-this-week".into(),
+        body: Some(Arc::new(AggregateServiceRequest {
+            aggregator: "culture".into(),
+            sources,
+            args: BTreeMap::new(),
+        })),
+    };
+    let fe = cluster.fes[0];
+    let client_node = cluster.client_node;
+    cluster.sim.spawn(
+        client_node,
+        Box::new(RawClient {
+            fe,
+            to_send: vec![request],
+            delay: Duration::from_secs(4),
+        }),
+        "rawclient",
+    );
+    cluster.sim.run_until(SimTime::from_secs(400));
+    let stats = cluster.sim.stats();
+    assert_eq!(stats.counter("raw.responses"), 1, "an answer always comes");
+    assert_eq!(stats.counter("raw.errors"), 0);
+}
+
+#[test]
+fn pda_device_profile_gets_spoon_fed_markup() {
+    let mut builder = TranSendBuilder {
+        worker_nodes: 6,
+        frontends: 1,
+        cache_partitions: 2,
+        min_distillers: 1,
+        distillers: vec!["gif".into(), "jpeg".into(), "html".into(), "pda".into()],
+        origin_penalty_scale: 0.1,
+        ..Default::default()
+    };
+    builder.profiles = vec![(
+        "palm-user".to_string(),
+        vec![("device".to_string(), "palm".to_string())],
+    )];
+    let mut cluster = builder.build();
+    let request = ClientRequest {
+        id: 2,
+        user: "palm-user".into(),
+        url: "http://origin/page.html".into(),
+        body: Some(Arc::new(FetchRequest {
+            url: "http://origin/page.html".into(),
+            mime: MimeType::Html,
+            size: 8_000,
+        })),
+    };
+    let fe = cluster.fes[0];
+    let client_node = cluster.client_node;
+    cluster.sim.spawn(
+        client_node,
+        Box::new(RawClient {
+            fe,
+            to_send: vec![request],
+            delay: Duration::from_secs(4),
+        }),
+        "rawclient",
+    );
+    cluster.sim.run_until(SimTime::from_secs(200));
+    let stats = cluster.sim.stats();
+    assert_eq!(stats.counter("raw.responses"), 1);
+    assert_eq!(stats.counter("raw.errors"), 0);
+    assert_eq!(
+        stats.counter("raw.pda_pages"),
+        1,
+        "the palm user received tag-free spoon-fed markup"
+    );
+}

@@ -1,0 +1,92 @@
+//! The traced MIME mix (§4.1): GIF 50%, HTML 22%, JPEG 18%, other 10%.
+
+use sns_sim::rng::Pcg32;
+
+use crate::MimeType;
+
+/// Request mix over MIME types.
+#[derive(Debug, Clone)]
+pub struct MimeMix {
+    /// (type, weight) pairs; weights need not sum to 1.
+    entries: Vec<(MimeType, f64)>,
+}
+
+impl Default for MimeMix {
+    /// The §4.1 trace mix.
+    fn default() -> Self {
+        MimeMix {
+            entries: vec![
+                (MimeType::Gif, 0.50),
+                (MimeType::Html, 0.22),
+                (MimeType::Jpeg, 0.18),
+                (MimeType::Other, 0.10),
+            ],
+        }
+    }
+}
+
+impl MimeMix {
+    /// A custom mix; weights must be positive.
+    pub fn new(entries: Vec<(MimeType, f64)>) -> Self {
+        assert!(!entries.is_empty());
+        assert!(entries.iter().all(|&(_, w)| w > 0.0));
+        MimeMix { entries }
+    }
+
+    /// A degenerate mix of a single type (used by the Table 2 fixed-JPEG
+    /// scalability workload).
+    pub fn only(mime: MimeType) -> Self {
+        MimeMix {
+            entries: vec![(mime, 1.0)],
+        }
+    }
+
+    /// Draws a MIME type.
+    pub fn sample(&self, rng: &mut Pcg32) -> MimeType {
+        let weights: Vec<f64> = self.entries.iter().map(|&(_, w)| w).collect();
+        self.entries[rng.weighted(&weights)].0
+    }
+
+    /// The weight share of a type in `[0,1]`.
+    pub fn share(&self, mime: MimeType) -> f64 {
+        let total: f64 = self.entries.iter().map(|&(_, w)| w).sum();
+        self.entries
+            .iter()
+            .filter(|&&(m, _)| m == mime)
+            .map(|&(_, w)| w)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_trace_shares() {
+        let mix = MimeMix::default();
+        let mut rng = Pcg32::new(77);
+        let n = 200_000;
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            *counts.entry(mix.sample(&mut rng)).or_insert(0u32) += 1;
+        }
+        let frac = |m| counts[&m] as f64 / n as f64;
+        assert!((frac(MimeType::Gif) - 0.50).abs() < 0.01);
+        assert!((frac(MimeType::Html) - 0.22).abs() < 0.01);
+        assert!((frac(MimeType::Jpeg) - 0.18).abs() < 0.01);
+        assert!((frac(MimeType::Other) - 0.10).abs() < 0.01);
+    }
+
+    #[test]
+    fn only_mix_is_degenerate() {
+        let mix = MimeMix::only(MimeType::Jpeg);
+        let mut rng = Pcg32::new(78);
+        for _ in 0..100 {
+            assert_eq!(mix.sample(&mut rng), MimeType::Jpeg);
+        }
+        assert_eq!(mix.share(MimeType::Jpeg), 1.0);
+        assert_eq!(mix.share(MimeType::Gif), 0.0);
+    }
+}

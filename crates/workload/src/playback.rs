@@ -1,0 +1,130 @@
+//! The trace playback engine (§4.1).
+//!
+//! "The engine can generate requests at a constant (and dynamically
+//! tunable) rate, or it can faithfully play back a trace according to the
+//! timestamps in the trace file." [`Playback`] re-times a [`Trace`] under
+//! one of those schedules; the TranSend client component then feeds the
+//! retimed requests into the cluster.
+
+use std::time::Duration;
+
+use crate::trace::{Trace, TraceRecord};
+
+/// How a trace's timestamps are mapped onto playback time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Ignore recorded timestamps; issue requests at a fixed rate
+    /// (requests/second, evenly spaced).
+    ConstantRate(f64),
+    /// Replay faithfully at the recorded timestamps.
+    Timestamps,
+    /// Replay the recorded timestamps compressed by a factor (>1 is
+    /// faster than recorded).
+    Accelerated(f64),
+}
+
+/// An iterator re-timing a trace under a [`Schedule`].
+pub struct Playback<'a> {
+    trace: &'a Trace,
+    schedule: Schedule,
+    pos: usize,
+}
+
+impl<'a> Playback<'a> {
+    /// Creates a playback over a trace.
+    pub fn new(trace: &'a Trace, schedule: Schedule) -> Self {
+        if let Schedule::ConstantRate(r) = schedule {
+            assert!(r > 0.0, "rate must be positive");
+        }
+        if let Schedule::Accelerated(k) = schedule {
+            assert!(k > 0.0, "acceleration must be positive");
+        }
+        Playback {
+            trace,
+            schedule,
+            pos: 0,
+        }
+    }
+
+    /// Remaining requests.
+    pub fn remaining(&self) -> usize {
+        self.trace.records.len() - self.pos
+    }
+
+    /// Changes the rate mid-run (the paper's "dynamically tunable" knob).
+    /// Only meaningful for [`Schedule::ConstantRate`]; subsequent items
+    /// keep their index-based spacing under the new rate.
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(rate > 0.0);
+        self.schedule = Schedule::ConstantRate(rate);
+    }
+}
+
+impl<'a> Iterator for Playback<'a> {
+    type Item = (Duration, &'a TraceRecord);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let rec = self.trace.records.get(self.pos)?;
+        let at = match self.schedule {
+            Schedule::ConstantRate(r) => Duration::from_secs_f64(self.pos as f64 / r),
+            Schedule::Timestamps => rec.at,
+            Schedule::Accelerated(k) => Duration::from_secs_f64(rec.at.as_secs_f64() / k),
+        };
+        self.pos += 1;
+        Some((at, rec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceGenerator, WorkloadConfig};
+
+    fn tiny_trace() -> Trace {
+        let mut g = TraceGenerator::new(WorkloadConfig {
+            users: 10,
+            shared_objects: 50,
+            private_per_user: 5,
+            ..Default::default()
+        });
+        g.constant_rate(5.0, Duration::from_secs(20))
+    }
+
+    #[test]
+    fn constant_rate_spacing() {
+        let t = tiny_trace();
+        let times: Vec<Duration> = Playback::new(&t, Schedule::ConstantRate(10.0))
+            .map(|(at, _)| at)
+            .collect();
+        assert_eq!(times.len(), t.len());
+        for (i, at) in times.iter().enumerate() {
+            assert_eq!(*at, Duration::from_secs_f64(i as f64 / 10.0));
+        }
+    }
+
+    #[test]
+    fn timestamps_are_faithful() {
+        let t = tiny_trace();
+        for (at, rec) in Playback::new(&t, Schedule::Timestamps) {
+            assert_eq!(at, rec.at);
+        }
+    }
+
+    #[test]
+    fn acceleration_compresses() {
+        let t = tiny_trace();
+        for (at, rec) in Playback::new(&t, Schedule::Accelerated(4.0)) {
+            let expect = rec.at.as_secs_f64() / 4.0;
+            assert!((at.as_secs_f64() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let t = tiny_trace();
+        let mut p = Playback::new(&t, Schedule::Timestamps);
+        let n = p.remaining();
+        p.next();
+        assert_eq!(p.remaining(), n - 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-MIME content-length distributions calibrated to Figure 5.
+//!
+//! Published statistics reproduced here:
+//!
+//! * mean content lengths — HTML 5131 B, GIF 3428 B, JPEG 12070 B;
+//! * the GIF distribution has **two plateaus**: icons/bullets below the
+//!   1 KB distillation threshold and photos/cartoons above it;
+//! * the JPEG distribution "falls off rapidly under the 1 KB mark";
+//! * most objects are small but "the average byte transferred is part of
+//!   large content (3–12 KB)".
+//!
+//! Each type is a (mixture of) log-normal(s), clamped to a realistic
+//! range.
+
+use sns_sim::rng::Pcg32;
+
+use crate::MimeType;
+
+/// Minimum generated object size in bytes.
+pub const MIN_SIZE: u64 = 48;
+/// Maximum generated object size in bytes.
+pub const MAX_SIZE: u64 = 2 * 1024 * 1024;
+
+/// One log-normal component: `exp(N(mu, sigma))` in bytes.
+#[derive(Debug, Clone, Copy)]
+struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Component with a target arithmetic mean in bytes.
+    fn from_mean(mean: f64, sigma: f64) -> Self {
+        // mean = exp(mu + sigma^2 / 2)  =>  mu = ln(mean) - sigma^2 / 2.
+        LogNormal {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+
+    fn sample(&self, rng: &mut Pcg32) -> f64 {
+        rng.lognormal(self.mu, self.sigma)
+    }
+}
+
+/// The Figure 5 size model.
+#[derive(Debug, Clone)]
+pub struct SizeModel {
+    gif_icon: LogNormal,
+    gif_photo: LogNormal,
+    /// Probability a GIF is an icon (the sub-1 KB plateau).
+    gif_icon_frac: f64,
+    html: LogNormal,
+    jpeg: LogNormal,
+    other: LogNormal,
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        // GIF mixture calibrated so the aggregate mean is 3428 B with
+        // ~45% icons: 0.45 * 400 + 0.55 * mean_photo = 3428
+        // => mean_photo ≈ 5906.
+        SizeModel {
+            gif_icon: LogNormal::from_mean(400.0, 0.7),
+            gif_photo: LogNormal::from_mean(5906.0, 0.9),
+            gif_icon_frac: 0.45,
+            html: LogNormal::from_mean(5131.0, 1.15),
+            jpeg: LogNormal::from_mean(12070.0, 0.85),
+            other: LogNormal::from_mean(4000.0, 1.2),
+        }
+    }
+}
+
+impl SizeModel {
+    /// Draws a content length in bytes for the given type.
+    pub fn sample(&self, mime: MimeType, rng: &mut Pcg32) -> u64 {
+        let raw = match mime {
+            MimeType::Gif => {
+                if rng.chance(self.gif_icon_frac) {
+                    self.gif_icon.sample(rng)
+                } else {
+                    self.gif_photo.sample(rng)
+                }
+            }
+            MimeType::Html => self.html.sample(rng),
+            MimeType::Jpeg => self.jpeg.sample(rng),
+            MimeType::Other => self.other.sample(rng),
+        };
+        (raw as u64).clamp(MIN_SIZE, MAX_SIZE)
+    }
+
+    /// Paper-reported mean for a type (calibration target).
+    pub fn paper_mean(mime: MimeType) -> f64 {
+        match mime {
+            MimeType::Gif => 3428.0,
+            MimeType::Html => 5131.0,
+            MimeType::Jpeg => 12070.0,
+            MimeType::Other => 4000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(mime: MimeType, n: usize) -> f64 {
+        let model = SizeModel::default();
+        let mut rng = Pcg32::new(55);
+        (0..n)
+            .map(|_| model.sample(mime, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn means_match_figure_5() {
+        for mime in [MimeType::Gif, MimeType::Html, MimeType::Jpeg] {
+            let m = mean_of(mime, 400_000);
+            let target = SizeModel::paper_mean(mime);
+            let err = (m - target).abs() / target;
+            assert!(
+                err < 0.06,
+                "{mime}: mean {m:.0} vs paper {target} ({err:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn gif_is_bimodal_around_1kb() {
+        let model = SizeModel::default();
+        let mut rng = Pcg32::new(56);
+        let mut under_1k = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            if model.sample(MimeType::Gif, &mut rng) < 1024 {
+                under_1k += 1;
+            }
+        }
+        let frac = under_1k as f64 / n as f64;
+        // The icon plateau: a substantial sub-1 KB population…
+        assert!(frac > 0.30 && frac < 0.60, "sub-1KB GIF fraction {frac}");
+    }
+
+    #[test]
+    fn jpeg_rarely_under_1kb() {
+        let model = SizeModel::default();
+        let mut rng = Pcg32::new(57);
+        let n = 100_000;
+        let under: u32 = (0..n)
+            .map(|_| u32::from(model.sample(MimeType::Jpeg, &mut rng) < 1024))
+            .sum();
+        let frac = under as f64 / n as f64;
+        assert!(frac < 0.05, "sub-1KB JPEG fraction {frac}");
+    }
+
+    #[test]
+    fn sizes_clamped() {
+        let model = SizeModel::default();
+        let mut rng = Pcg32::new(58);
+        for _ in 0..100_000 {
+            let s = model.sample(MimeType::Html, &mut rng);
+            assert!((MIN_SIZE..=MAX_SIZE).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Finite Zipf sampling via an inverse-CDF table.
+//!
+//! Web object popularity is classically Zipf-like; the §4.4 cache
+//! simulations need a popularity skew so that a modest cache captures a
+//! large fraction of references.
+
+use sns_sim::rng::Pcg32;
+
+/// A Zipf(α) distribution over ranks `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `alpha` (> 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha <= 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf over zero ranks");
+        assert!(alpha > 0.0, "zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate (never: `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let u = rng.f64();
+        // First index whose cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a rank (for analytical checks).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_in_range_and_skewed() {
+        let z = Zipf::new(1000, 0.8);
+        let mut rng = Pcg32::new(5);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            counts[r] += 1;
+        }
+        // Rank 0 must dominate rank 500 heavily.
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // Empirical top-rank frequency tracks the pmf.
+        let emp = counts[0] as f64 / 100_000.0;
+        assert!((emp - z.pmf(0)).abs() < 0.01, "emp {emp} pmf {}", z.pmf(0));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(500, 1.1);
+        let total: f64 = (0..500).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 0.8);
+        let mut rng = Pcg32::new(6);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the workload model: trace serialisation
+//! round-trips, playback re-timing respects each schedule's contract,
+//! object identity is stable, and samplers stay within bounds.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use sns_sim::rng::Pcg32;
+use sns_workload::playback::{Playback, Schedule};
+use sns_workload::trace::{Trace, TraceGenerator, TraceRecord, WorkloadConfig};
+use sns_workload::zipf::Zipf;
+use sns_workload::MimeType;
+
+fn record_strategy() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u64..1_000_000_000,
+        any::<u32>(),
+        "[a-zA-Z0-9/:._-]{1,40}",
+        0usize..4,
+        1u64..1_000_000,
+    )
+        .prop_map(|(ns, user, url, mime, size)| TraceRecord {
+            at: Duration::from_nanos(ns),
+            user,
+            url,
+            mime: [
+                MimeType::Gif,
+                MimeType::Html,
+                MimeType::Jpeg,
+                MimeType::Other,
+            ][mime],
+            size,
+        })
+}
+
+proptest! {
+    #[test]
+    fn tsv_roundtrip_arbitrary_records(mut records in proptest::collection::vec(record_strategy(), 0..40)) {
+        records.sort_by_key(|r| r.at);
+        let trace = Trace { records };
+        let parsed = Trace::from_tsv(&trace.to_tsv()).unwrap();
+        prop_assert_eq!(parsed.records, trace.records);
+    }
+
+    #[test]
+    fn playback_constant_rate_is_evenly_spaced(
+        n in 1usize..50,
+        rate in 0.5f64..100.0,
+    ) {
+        let records: Vec<TraceRecord> = (0..n)
+            .map(|i| TraceRecord {
+                at: Duration::from_millis(i as u64 * 37),
+                user: 0,
+                url: format!("u{i}"),
+                mime: MimeType::Gif,
+                size: 100,
+            })
+            .collect();
+        let trace = Trace { records };
+        let times: Vec<Duration> = Playback::new(&trace, Schedule::ConstantRate(rate))
+            .map(|(at, _)| at)
+            .collect();
+        for (i, at) in times.iter().enumerate() {
+            let expect = i as f64 / rate;
+            prop_assert!((at.as_secs_f64() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn playback_acceleration_preserves_order_and_scales(
+        k in 0.1f64..16.0,
+        offsets in proptest::collection::vec(0u64..10_000, 1..30),
+    ) {
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        let records: Vec<TraceRecord> = sorted
+            .iter()
+            .map(|&ms| TraceRecord {
+                at: Duration::from_millis(ms),
+                user: 0,
+                url: "u".into(),
+                mime: MimeType::Gif,
+                size: 1,
+            })
+            .collect();
+        let trace = Trace { records };
+        let times: Vec<f64> = Playback::new(&trace, Schedule::Accelerated(k))
+            .map(|(at, r)| {
+                let expect = r.at.as_secs_f64() / k;
+                assert!((at.as_secs_f64() - expect).abs() < 1e-9);
+                at.as_secs_f64()
+            })
+            .collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn object_identity_is_stable_across_generators(seed in any::<u64>()) {
+        let cfg = WorkloadConfig {
+            seed,
+            users: 20,
+            shared_objects: 50,
+            private_per_user: 5,
+            ..Default::default()
+        };
+        let mut g1 = TraceGenerator::new(cfg.clone());
+        let mut g2 = TraceGenerator::new(cfg);
+        let t1 = g1.constant_rate(20.0, Duration::from_secs(10));
+        let t2 = g2.constant_rate(20.0, Duration::from_secs(10));
+        prop_assert_eq!(t1.records, t2.records);
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..5000, alpha in 0.1f64..2.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = Pcg32::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}

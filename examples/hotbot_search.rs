@@ -1,0 +1,69 @@
+//! HotBot: partitioned search with a node failure mid-run — the 54M→51M
+//! graceful-degradation story at laptop scale.
+//!
+//! ```sh
+//! cargo run --release --example hotbot_search
+//! ```
+
+use std::time::Duration;
+
+use cluster_sns::hotbot::HotBotBuilder;
+use cluster_sns::sim::SimTime;
+
+fn main() {
+    let mut cluster = HotBotBuilder {
+        partitions: 26,
+        corpus_docs: 5_400,
+        frontends: 2,
+        ..Default::default()
+    }
+    .build();
+    println!(
+        "indexed {} synthetic documents across {} partitions (one node each)",
+        cluster.total_docs(),
+        cluster.partition_nodes.len()
+    );
+
+    let report = cluster.attach_client(12.0, 800, Duration::from_secs(5));
+
+    // One of the 26 nodes dies for 30 virtual seconds, then fast-restarts.
+    let victim = cluster.partition_nodes[7];
+    let lost = cluster.docs_per_partition[7];
+    let total = cluster.total_docs();
+    cluster.sim.at(SimTime::from_secs(25), move |sim| {
+        println!(
+            "[t=25s] node failure: searchable corpus drops {total} → {}",
+            total - lost
+        );
+        sim.kill_node(victim);
+    });
+    cluster.sim.at(SimTime::from_secs(55), move |sim| {
+        println!("[t=55s] fast restart: the partition re-registers and coverage recovers");
+        sim.revive_node(victim);
+    });
+
+    cluster.sim.run_until(SimTime::from_secs(110));
+
+    let r = report.borrow();
+    println!("\n== results ==");
+    println!(
+        "queries answered    : {} / {} (errors: {})",
+        r.answered, r.sent, r.errors
+    );
+    println!(
+        "full / partial cov. : {} / {}",
+        r.full_coverage, r.partial_coverage
+    );
+    println!("worst coverage      : {:.1}%", r.min_coverage * 100.0);
+    println!("results per query   : {:.1} mean", r.results.mean());
+    println!(
+        "query latency       : {:.0} ms mean, {:.0} ms p95",
+        r.latency.mean() * 1e3,
+        r.latency.quantile(0.95) * 1e3
+    );
+    println!(
+        "\nNo query failed: during the outage HotBot answered from the surviving\n\
+         25 partitions with ~96% of the corpus — a BASE approximate answer\n\
+         delivered quickly instead of an exact answer delivered late (§1.4, §3.2)."
+    );
+}

@@ -1,0 +1,96 @@
+//! Whole-stack determinism: identical seeds produce bit-identical runs
+//! across every layer — the property that makes all the reproduced
+//! figures and fault-injection experiments replayable.
+
+use std::time::Duration;
+
+use cluster_sns::hotbot::HotBotBuilder;
+use cluster_sns::sim::SimTime;
+use cluster_sns::transend::TranSendBuilder;
+use cluster_sns::workload::playback::{Playback, Schedule};
+use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
+
+fn transend_fingerprint(seed: u64) -> (u64, u64, u64, String) {
+    let mut cluster = TranSendBuilder {
+        seed,
+        worker_nodes: 5,
+        frontends: 1,
+        cache_partitions: 2,
+        min_distillers: 1,
+        origin_penalty_scale: 0.1,
+        ..Default::default()
+    }
+    .build();
+    let mut gen = TraceGenerator::new(WorkloadConfig {
+        seed: seed ^ 0x11,
+        users: 30,
+        shared_objects: 90,
+        private_per_user: 8,
+        ..Default::default()
+    });
+    let t = gen.constant_rate(4.0, Duration::from_secs(30));
+    let items: Vec<_> = Playback::new(&t, Schedule::Timestamps)
+        .map(|(at, r)| (at, r.clone()))
+        .collect();
+    let report = cluster.attach_client(items, Duration::from_secs(3));
+    // Fault injection is part of the fingerprint too.
+    cluster.sim.at(SimTime::from_secs(12), |sim| {
+        if let Some(&d) = sim
+            .components_of_kind(cluster_sns::core::intern_class("distiller/gif"))
+            .first()
+        {
+            sim.kill_component(d);
+        }
+    });
+    cluster.sim.run_until(SimTime::from_secs(200));
+    let r = report.borrow();
+    // Fold every counter into a stable string.
+    let counters: String = cluster
+        .sim
+        .stats()
+        .all_counters()
+        .map(|(k, v)| format!("{k}={v};"))
+        .collect();
+    (
+        cluster.sim.events_dispatched(),
+        r.responses,
+        r.bytes_received,
+        counters,
+    )
+}
+
+#[test]
+fn transend_runs_are_bit_identical_given_a_seed() {
+    let a = transend_fingerprint(0xd5);
+    let b = transend_fingerprint(0xd5);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = transend_fingerprint(0xd5);
+    let b = transend_fingerprint(0xd6);
+    assert_ne!(a.0, b.0, "different seeds must diverge");
+}
+
+#[test]
+fn hotbot_runs_are_bit_identical_given_a_seed() {
+    let run = || {
+        let mut cluster = HotBotBuilder {
+            partitions: 5,
+            corpus_docs: 400,
+            frontends: 1,
+            ..Default::default()
+        }
+        .build();
+        let report = cluster.attach_client(6.0, 40, Duration::from_secs(4));
+        cluster.sim.run_until(SimTime::from_secs(40));
+        let r = report.borrow();
+        (
+            cluster.sim.events_dispatched(),
+            r.answered,
+            (r.latency.mean() * 1e9) as u64,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,294 @@
+//! Cross-crate fault-tolerance scenarios on the full TranSend stack:
+//! the §3.1.3 process-peer web (front end restarts manager, manager
+//! restarts workers), SAN partitions, and compound failures.
+
+use std::time::Duration;
+
+use cluster_sns::sim::SimTime;
+use cluster_sns::transend::TranSendBuilder;
+use cluster_sns::workload::playback::{Playback, Schedule};
+use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
+
+fn items(seed: u64, rate: f64, secs: u64) -> Vec<(Duration, cluster_sns::workload::TraceRecord)> {
+    let mut gen = TraceGenerator::new(WorkloadConfig {
+        seed,
+        users: 40,
+        shared_objects: 150,
+        private_per_user: 10,
+        ..Default::default()
+    });
+    let t = gen.constant_rate(rate, Duration::from_secs(secs));
+    Playback::new(&t, Schedule::Timestamps)
+        .map(|(at, r)| (at, r.clone()))
+        .collect()
+}
+
+fn small_cluster() -> cluster_sns::transend::TranSendCluster {
+    TranSendBuilder {
+        worker_nodes: 6,
+        overflow_nodes: 1,
+        frontends: 1,
+        cache_partitions: 2,
+        min_distillers: 1,
+        origin_penalty_scale: 0.1,
+        ..Default::default()
+    }
+    .build()
+}
+
+#[test]
+fn full_process_peer_chain_manager_death_mid_service() {
+    let mut cluster = small_cluster();
+    let manager = cluster.manager;
+    let reqs = items(21, 4.0, 60);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+    cluster.sim.at(SimTime::from_secs(20), move |sim| {
+        sim.kill_component(manager)
+    });
+    cluster.sim.run_until(SimTime::from_secs(300));
+
+    let r = report.borrow();
+    assert_eq!(r.responses, n, "stale hints carry the FEs through (§3.1.8)");
+    assert_eq!(r.errors, 0);
+    drop(r);
+    let stats = cluster.sim.stats();
+    assert!(
+        stats.counter("fe.manager_restarts") >= 1,
+        "FE restarted the manager"
+    );
+    assert_eq!(
+        cluster.sim.components_of_kind("manager").len(),
+        1,
+        "exactly one manager after recovery"
+    );
+    // The new incarnation re-learned every pinned worker class without
+    // double-spawning: still exactly 2 caches and 1 profile DB.
+    assert_eq!(
+        cluster
+            .sim
+            .components_of_kind(cluster_sns::core::intern_class("cache"))
+            .len(),
+        2
+    );
+    assert_eq!(
+        cluster
+            .sim
+            .components_of_kind(cluster_sns::core::intern_class("profiledb"))
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn san_partition_heals_and_service_recovers() {
+    let mut cluster = small_cluster();
+    let reqs = items(22, 3.0, 80);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+
+    // Partition a worker node away from the rest of the cluster for 20 s
+    // (§2.2.4: workers lost because of a SAN partition).
+    let lonely = cluster.sim.nodes_with_tag("dedicated")[0];
+    let everyone: Vec<_> = (0..32)
+        .map(cluster_sns::sim::NodeId)
+        .filter(|&n| n != lonely)
+        .collect();
+    cluster.sim.at(SimTime::from_secs(25), move |sim| {
+        sim.net_mut().partition(&[vec![lonely], everyone.clone()]);
+    });
+    cluster.sim.at(SimTime::from_secs(45), |sim| {
+        sim.net_mut().heal();
+    });
+    cluster.sim.run_until(SimTime::from_secs(400));
+
+    let r = report.borrow();
+    assert_eq!(r.responses, n, "partition must not lose requests");
+    assert_eq!(r.errors, 0);
+}
+
+#[test]
+fn hot_upgrade_drains_and_restores_a_node() {
+    // §2.2: "temporarily disable a subset of nodes and then upgrade them
+    // in place ('hot upgrade')". Drain a worker node mid-service: its
+    // workers shut down gracefully and are respawned elsewhere; requests
+    // keep flowing; after the upgrade the node rejoins the pool.
+    let mut cluster = small_cluster();
+    let manager = cluster.manager;
+    let reqs = items(29, 4.0, 80);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+
+    let victim = cluster.sim.nodes_with_tag("dedicated")[0];
+    cluster.sim.at(SimTime::from_secs(20), move |sim| {
+        sim.inject(
+            manager,
+            cluster_sns::core::msg::SnsMsg::DrainNode { node: victim },
+        );
+    });
+    // Mid-upgrade check: nothing may be running on the drained node.
+    cluster.sim.at(SimTime::from_secs(45), move |sim| {
+        let leftover = sim.components_on_node(victim).len() as u64;
+        sim.stats_mut().incr("test.leftover_on_drained", leftover);
+    });
+    cluster.sim.at(SimTime::from_secs(55), move |sim| {
+        sim.inject(
+            manager,
+            cluster_sns::core::msg::SnsMsg::UndrainNode { node: victim },
+        );
+    });
+    cluster.sim.run_until(SimTime::from_secs(400));
+
+    let r = report.borrow();
+    assert_eq!(r.responses, n, "hot upgrade must not lose requests");
+    assert_eq!(r.errors, 0);
+    drop(r);
+    let stats = cluster.sim.stats();
+    assert_eq!(stats.counter("manager.drains"), 1);
+    assert_eq!(stats.counter("manager.undrains"), 1);
+    assert_eq!(
+        stats.counter("test.leftover_on_drained"),
+        0,
+        "the drained node must be empty during the upgrade window"
+    );
+    // The pinned classes are back at full strength on the other nodes.
+    assert_eq!(
+        cluster
+            .sim
+            .components_of_kind(cluster_sns::core::intern_class("cache"))
+            .len(),
+        2
+    );
+}
+
+#[test]
+fn partitioned_worker_is_replaced_by_timeout_inference() {
+    // §2.2.4: "if workers lost because of a SAN partition can be
+    // restarted on still-visible nodes, the manager performs the
+    // necessary actions" — a partitioned node's workers stop reporting,
+    // the manager presumes them lost and replaces them elsewhere; when
+    // the partition heals, the stragglers re-adopt and any pinned-class
+    // surplus is reaped back to strength.
+    let mut cluster = small_cluster();
+    let reqs = items(37, 3.0, 90);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+
+    let lonely = cluster.sim.nodes_with_tag("dedicated")[0];
+    let everyone: Vec<_> = (0..32)
+        .map(cluster_sns::sim::NodeId)
+        .filter(|&nd| nd != lonely)
+        .collect();
+    cluster.sim.at(SimTime::from_secs(25), move |sim| {
+        sim.net_mut().partition(&[vec![lonely], everyone.clone()]);
+    });
+    // Check replacement happened while still partitioned.
+    cluster.sim.at(SimTime::from_secs(45), move |sim| {
+        let caches = sim.components_of_kind(cluster_sns::core::intern_class("cache"));
+        let off_lonely = caches
+            .iter()
+            .filter(|&&c| sim.node_of(c) != Some(lonely))
+            .count() as u64;
+        sim.stats_mut()
+            .incr("test.caches_off_partition", off_lonely);
+    });
+    cluster.sim.at(SimTime::from_secs(60), |sim| {
+        sim.net_mut().heal();
+    });
+    cluster.sim.run_until(SimTime::from_secs(400));
+
+    let r = report.borrow();
+    assert_eq!(r.responses, n);
+    assert_eq!(r.errors, 0);
+    drop(r);
+    let stats = cluster.sim.stats();
+    assert!(
+        stats.counter("manager.report_timeouts") >= 1,
+        "silent (partitioned) workers were presumed lost"
+    );
+    assert!(
+        stats.counter("test.caches_off_partition") >= 2,
+        "full cache strength restored on visible nodes during the partition"
+    );
+    // After healing + reaping, the pinned class is back at exactly 2.
+    assert_eq!(
+        cluster
+            .sim
+            .components_of_kind(cluster_sns::core::intern_class("cache"))
+            .len(),
+        2
+    );
+}
+
+#[test]
+fn client_side_balancing_masks_front_end_failure() {
+    // §3.1.2: client-side logic "balances load across multiple front
+    // ends and masks transient front end failures". With two FEs, kill
+    // one mid-run: the client's round-robin skips the dead FE and every
+    // *new* request still succeeds (requests in flight at the instant of
+    // the kill are the client's to retry in the real system; the trace
+    // client counts them as unanswered, so we assert on the tail).
+    let mut cluster = TranSendBuilder {
+        worker_nodes: 6,
+        overflow_nodes: 1,
+        frontends: 2,
+        cache_partitions: 2,
+        min_distillers: 1,
+        origin_penalty_scale: 0.1,
+        ..Default::default()
+    }
+    .build();
+    let reqs = items(31, 4.0, 60);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+    let victim_fe = cluster.fes[1];
+    cluster.sim.at(SimTime::from_secs(20), move |sim| {
+        sim.kill_component(victim_fe)
+    });
+    cluster.sim.run_until(SimTime::from_secs(300));
+
+    let r = report.borrow();
+    assert_eq!(r.errors, 0);
+    // Only the requests in flight at the dead FE at kill time can be
+    // lost; everything sent afterwards is served by the survivor.
+    assert!(
+        n - r.responses <= 5,
+        "at most a handful of in-flight requests lost: {} of {}",
+        n - r.responses,
+        n
+    );
+    drop(r);
+    assert_eq!(
+        cluster.sim.components_of_kind("frontend").len(),
+        1,
+        "the surviving front end carries the service"
+    );
+}
+
+#[test]
+fn node_loss_with_workers_is_replaced_elsewhere() {
+    let mut cluster = small_cluster();
+    let reqs = items(23, 4.0, 60);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+    // Kill a whole worker node once things are running: every worker on
+    // it (cache partitions, distillers, …) must be replaced on the
+    // surviving nodes.
+    cluster.sim.at(SimTime::from_secs(20), |sim| {
+        let node = sim.nodes_with_tag("dedicated")[0];
+        sim.kill_node(node);
+    });
+    cluster.sim.run_until(SimTime::from_secs(300));
+    let r = report.borrow();
+    assert_eq!(r.responses, n);
+    assert_eq!(r.errors, 0);
+    drop(r);
+    // The pinned cache class is back at strength on other nodes.
+    assert_eq!(
+        cluster
+            .sim
+            .components_of_kind(cluster_sns::core::intern_class("cache"))
+            .len(),
+        2
+    );
+}

@@ -1,0 +1,137 @@
+//! Cross-crate scalability and load-balance sanity: small versions of
+//! the Table 2 claims that are cheap enough for the test suite.
+
+use std::time::Duration;
+
+use cluster_sns::core::SnsConfig;
+use cluster_sns::sim::{Pcg32, SimTime};
+use cluster_sns::transend::{TranSendBuilder, TranSendConfig};
+use cluster_sns::workload::trace::TraceRecord;
+use cluster_sns::workload::MimeType;
+
+fn fixed_jpeg_items(rate: f64, secs: f64, seed: u64) -> Vec<(Duration, TraceRecord)> {
+    let mut rng = Pcg32::new(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += rng.exp(1.0 / rate);
+        if t >= secs {
+            break;
+        }
+        let obj = rng.below(30);
+        out.push((
+            Duration::from_secs_f64(t),
+            TraceRecord {
+                at: Duration::from_secs_f64(t),
+                user: (obj % 20) as u32,
+                url: format!("http://fixed/{obj}.jpg"),
+                mime: MimeType::Jpeg,
+                size: 10 * 1024,
+            },
+        ));
+    }
+    out
+}
+
+fn run(rate: f64) -> (u64, u64, usize, f64) {
+    let mut cluster = TranSendBuilder {
+        seed: 0x5ca1e,
+        worker_nodes: 10,
+        overflow_nodes: 2,
+        cores_per_node: 2,
+        frontends: 1,
+        cache_partitions: 2,
+        min_distillers: 1,
+        distillers: vec!["jpeg".into()],
+        origin_penalty_scale: 0.05,
+        ts: TranSendConfig {
+            cache_distilled: false,
+            ..Default::default()
+        },
+        sns: SnsConfig {
+            spawn_threshold_h: 6.0,
+            spawn_cooldown_d: Duration::from_secs(4),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .build();
+    let items = fixed_jpeg_items(rate, 60.0, 11);
+    let n = items.len() as u64;
+    let report = cluster.attach_client(items, Duration::from_secs(4));
+    cluster.sim.run_until(SimTime::from_secs(90));
+    let r = report.borrow();
+    (
+        n,
+        r.responses,
+        cluster.distillers_of("distiller/jpeg").len(),
+        r.latency.mean(),
+    )
+}
+
+#[test]
+fn distiller_population_scales_with_offered_load() {
+    let (n1, done1, d1, _) = run(6.0);
+    let (n2, done2, d2, _) = run(45.0);
+    assert_eq!(done1, n1);
+    assert_eq!(done2, n2, "high load must still complete everything");
+    assert!(d2 > d1, "autoscaler must add distillers: {d1} -> {d2}");
+    // ~23 req/s per distiller: 45 req/s needs at least 2, and the
+    // autoscaler must not explode past a small multiple of the need.
+    assert!((2..=8).contains(&d2), "distillers at 45 req/s: {d2}");
+}
+
+#[test]
+fn per_user_latency_stays_bounded_as_load_grows_with_the_system() {
+    // The scalability *claim*: adding resources keeps per-user service
+    // roughly constant. Compare mean latency at light and at 7x load
+    // (where the system has grown): the ratio must stay small, nowhere
+    // near the 7x of an unscaled single server.
+    let (_, _, _, lat_light) = run(6.0);
+    let (_, _, _, lat_heavy) = run(42.0);
+    assert!(
+        lat_heavy < lat_light * 4.0,
+        "latency must not scale with load: {lat_light:.3}s -> {lat_heavy:.3}s"
+    );
+}
+
+#[test]
+fn load_spreads_across_distillers() {
+    // At a load needing several distillers, lottery + delta correction
+    // must not starve any of them: every live distiller's queue series
+    // shows activity.
+    let mut cluster = TranSendBuilder {
+        seed: 0xba1a,
+        worker_nodes: 8,
+        cores_per_node: 2,
+        frontends: 1,
+        cache_partitions: 2,
+        min_distillers: 3,
+        distillers: vec!["jpeg".into()],
+        origin_penalty_scale: 0.05,
+        ts: TranSendConfig {
+            cache_distilled: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .build();
+    let items = fixed_jpeg_items(40.0, 40.0, 5);
+    let report = cluster.attach_client(items, Duration::from_secs(4));
+    cluster.sim.run_until(SimTime::from_secs(70));
+    let _ = report.borrow().responses;
+
+    let stats = cluster.sim.stats();
+    let mut busy = 0;
+    let mut series_count = 0;
+    for (name, series) in stats.all_series() {
+        if name.starts_with("worker.qlen.distiller/jpeg.") {
+            series_count += 1;
+            if series.time_weighted_mean() > 0.05 {
+                busy += 1;
+            }
+        }
+    }
+    assert!(series_count >= 3);
+    assert_eq!(busy, series_count, "no distiller may be starved");
+}

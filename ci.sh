@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Hermetic CI for the workspace: everything runs --offline against an
+# empty registry. If any step here needs the network, that is the bug.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== guard: no registry dependencies"
+# Every [dependencies]/[dev-dependencies] entry in every crate manifest
+# must resolve inside the workspace: `foo.workspace = true` or an
+# explicit `path = ...`. A version requirement or git URL means someone
+# reintroduced an external crate — fail loudly before cargo even runs.
+bad=0
+for m in Cargo.toml crates/*/Cargo.toml; do
+  deps=$(awk '/^\[(dev-|build-)?dependencies/{on=1; next} /^\[/{on=0} on' "$m" \
+    | grep -vE '^\s*(#|$)' \
+    | grep -vE 'workspace\s*=\s*true|path\s*=' || true)
+  if [ -n "$deps" ]; then
+    echo "non-path dependency in $m:" >&2
+    echo "$deps" >&2
+    bad=1
+  fi
+done
+# The workspace dependency table itself must also be path-only.
+wsdeps=$(awk '/^\[workspace.dependencies\]/{on=1; next} /^\[/{on=0} on' Cargo.toml \
+  | grep -vE '^\s*(#|$)' \
+  | grep -vE 'path\s*=' || true)
+if [ -n "$wsdeps" ]; then
+  echo "non-path entry in [workspace.dependencies]:" >&2
+  echo "$wsdeps" >&2
+  bad=1
+fi
+[ "$bad" -eq 0 ] || exit 1
+echo "   ok: all dependencies are path deps"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (offline, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "== CI green"

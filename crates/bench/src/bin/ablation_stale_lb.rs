@@ -27,24 +27,22 @@ struct Outcome {
 
 fn run(delta_correction: bool) -> Outcome {
     let n_objects = 40;
-    let mut cluster = TranSendBuilder {
-        seed: 0xab1a7e,
-        worker_nodes: 8,
-        overflow_nodes: 2,
-        cores_per_node: 2,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 3,
-        distillers: vec!["jpeg".into()],
-        origin_penalty_scale: 0.05,
-        delta_correction,
-        ts: TranSendConfig {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0xab1a7e)
+        .with_worker_nodes(8)
+        .with_overflow_nodes(2)
+        .with_cores_per_node(2)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(3)
+        .with_distillers(["jpeg"])
+        .with_origin_penalty_scale(0.05)
+        .with_delta_correction(delta_correction)
+        .with_ts(TranSendConfig {
             cache_distilled: false,
             ..Default::default()
-        },
-        ..Default::default()
-    }
-    .build();
+        })
+        .build();
     // Steady 55 req/s across 3 distillers: high enough that misrouting a
     // beacon interval's worth of work visibly swings the queues.
     let mut items = warmup_workload(n_objects, 10 * 1024, Duration::from_millis(50));
@@ -74,7 +72,7 @@ fn run(delta_correction: bool) -> Outcome {
         series_n += 1;
         sparklines.push((id.to_string(), sparkline(&vals)));
     }
-    let r = report.borrow();
+    let mut r = report.borrow_mut();
     Outcome {
         oscillation: oscillation_sum / series_n.max(1) as f64,
         mean_queue: queue_sum / series_n.max(1) as f64,

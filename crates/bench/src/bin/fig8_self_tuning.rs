@@ -22,18 +22,16 @@ fn main() {
         "Fox et al., SOSP '97, §4.5 Figure 8 (a,b)",
     );
 
-    let mut cluster = TranSendBuilder {
-        worker_nodes: 8,
-        overflow_nodes: 2,
-        cores_per_node: 1,
-        frontends: 1,
-        cache_partitions: 0, // no caching: every request is distilled
-        min_distillers: 0,   // first distiller spawns on demand
-        distillers: vec!["jpeg".into()],
-        origin_penalty_scale: 0.02, // fast origin keeps distillation the bottleneck
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(8)
+        .with_overflow_nodes(2)
+        .with_cores_per_node(1)
+        .with_frontends(1)
+        .with_cache_partitions(0) // no caching: every request is distilled
+        .with_min_distillers(0) // first distiller spawns on demand
+        .with_distillers(["jpeg"])
+        .with_origin_penalty_scale(0.02) // fast origin keeps distillation the bottleneck
+        .build();
 
     // Offered load ramp (tasks/s), echoing the figure's right axis.
     let segments = [

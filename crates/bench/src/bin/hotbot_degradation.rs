@@ -16,14 +16,12 @@ fn main() {
         "§3.2 — HotBot: partition loss degrades coverage, not availability",
         "Fox et al., SOSP '97, §3.2 (54M → 51M documents example)",
     );
-    let mut cluster = HotBotBuilder {
-        partitions: 26,
-        corpus_docs: 5_400, // stands in for 54M pages at 1:10_000 scale
-        frontends: 2,
-        auto_restart_partitions: true,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = HotBotBuilder::new()
+        .with_partitions(26)
+        .with_corpus_docs(5_400) // stands in for 54M pages at 1:10_000 scale
+        .with_frontends(2)
+        .with_auto_restart_partitions(true)
+        .build();
     let total = cluster.total_docs();
     let lost = cluster.docs_per_partition[3];
     let report = cluster.attach_client(10.0, 1200, Duration::from_secs(5));

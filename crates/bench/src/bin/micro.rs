@@ -1,0 +1,220 @@
+//! Micro-benchmarks of the hot paths under the experiments: the event
+//! engine, the SAN model, cache structures, the WAL, the inverted index
+//! and the text distillers. Runs on the in-repo `sns-testkit` harness
+//! (no criterion) and records rows into `BENCH_micro.json`:
+//!
+//! ```sh
+//! cargo run -p sns-bench --release --bin micro [-- OUTPUT.json]
+//! ```
+
+use sns_testkit::BenchSuite;
+
+use sns_cache::lru::LruCache;
+use sns_cache::ring::HashRing;
+use sns_cache::simulator::CacheSim;
+use sns_cache::CacheKey;
+use sns_distillers::{GifDistiller, HtmlMunger, KeywordFilter};
+use sns_profiledb::{MemDevice, ProfileDb, Txn, Wal};
+use sns_san::{San, SanConfig};
+use sns_search::doc::CorpusGenerator;
+use sns_search::index::InvertedIndex;
+use sns_sim::engine::{Component, Ctx, NodeSpec, Sim, SimConfig, Wire};
+use sns_sim::network::{Delivery, Endpoint, IdealNetwork, Network, TrafficClass};
+use sns_sim::rng::Pcg32;
+use sns_sim::time::SimTime;
+use sns_sim::ComponentId;
+use sns_sim::NodeId;
+use sns_tacc::content::{synth_html, ContentObject};
+use sns_tacc::worker::{TaccArgs, TaccWorker};
+use sns_workload::sizes::SizeModel;
+use sns_workload::zipf::Zipf;
+use sns_workload::MimeType;
+
+fn bench_engine(suite: &mut BenchSuite) {
+    #[derive(Clone)]
+    struct Ping;
+    impl Wire for Ping {
+        fn wire_size(&self) -> u64 {
+            64
+        }
+    }
+    struct Echo;
+    impl Component<Ping> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, from: ComponentId, _msg: Ping) {
+            if from != ComponentId::EXTERNAL {
+                return;
+            }
+            ctx.send(ctx.me(), Ping); // self-message keeps the queue busy
+        }
+    }
+    suite.bench_batched(
+        "engine_dispatch_10k_events",
+        || {
+            let mut sim: Sim<Ping, IdealNetwork> =
+                Sim::new(SimConfig::default(), IdealNetwork::default());
+            let n = sim.add_node(NodeSpec::new(1, "dedicated"));
+            let e = sim.spawn(n, Box::new(Echo), "echo");
+            for _ in 0..10_000 {
+                sim.inject(e, Ping);
+            }
+            sim
+        },
+        |mut sim| {
+            sim.run_until(SimTime::from_millis(1));
+        },
+    );
+}
+
+fn bench_san(suite: &mut BenchSuite) {
+    let mut san = San::new(SanConfig::switched_100mbps());
+    for i in 0..8 {
+        san.register_node(NodeId(i));
+    }
+    let mut rng = Pcg32::new(1);
+    let mut t = 0u64;
+    suite.bench("san_unicast_routing", move || {
+        t += 1_000_000; // keep moving time forward so queues drain
+        let d = san.unicast(
+            SimTime::from_nanos(t),
+            &mut rng,
+            Endpoint {
+                node: NodeId((t % 8) as u32),
+                comp: ComponentId(1),
+            },
+            Endpoint {
+                node: NodeId(((t + 3) % 8) as u32),
+                comp: ComponentId(2),
+            },
+            1500,
+            TrafficClass::Reliable,
+        );
+        assert!(matches!(d, Delivery::At(_)));
+    });
+}
+
+fn bench_cache(suite: &mut BenchSuite) {
+    let mut cache: LruCache<CacheKey, Vec<u8>> = LruCache::new(1 << 24);
+    for i in 0..10_000 {
+        cache.put(
+            CacheKey::original(format!("http://h/{i}")),
+            vec![0u8; 256],
+            0,
+            None,
+        );
+    }
+    let mut i = 0u64;
+    suite.bench("lru_get_hit", move || {
+        i = (i + 7) % 10_000;
+        let key = CacheKey::original(format!("http://h/{i}"));
+        assert!(cache.get(&key, 0).is_some());
+    });
+
+    let mut ring = HashRing::with_vnodes(64);
+    for p in 0..16u32 {
+        ring.add(p);
+    }
+    let mut h = 0u64;
+    suite.bench("hash_ring_lookup", move || {
+        h = h.wrapping_add(0x9E3779B97F4A7C15);
+        assert!(ring.lookup(h).is_some());
+    });
+
+    let mut sim = CacheSim::new(64 << 20);
+    let mut rng = Pcg32::new(3);
+    suite.bench("cache_sim_access", move || {
+        let o = rng.below(50_000);
+        sim.access(&format!("u{o}"), 4096);
+    });
+}
+
+fn bench_wal(suite: &mut BenchSuite) {
+    let mut db = ProfileDb::open(Wal::new(MemDevice::new())).unwrap();
+    let mut i = 0u64;
+    suite.bench("profiledb_commit", move || {
+        i += 1;
+        db.commit(Txn::new().put(format!("u{}", i % 500), "quality", "25"))
+            .unwrap();
+    });
+}
+
+fn bench_index(suite: &mut BenchSuite) {
+    let mut ix = InvertedIndex::new();
+    for d in CorpusGenerator::with_defaults(11).generate(2_000) {
+        ix.add(&d);
+    }
+    let ix = std::rc::Rc::new(ix);
+    let common = std::rc::Rc::clone(&ix);
+    suite.bench("index_query_common_term", move || {
+        let hits = common.query("w0 w3", 10);
+        assert!(!hits.is_empty());
+    });
+    suite.bench("index_query_rare_terms", move || {
+        let _ = ix.query("w15000 w17890", 10);
+    });
+}
+
+fn bench_distillers(suite: &mut BenchSuite) {
+    let words: Vec<&str> = (0..600)
+        .map(|i| ["the", "page", "with", "words"][i % 4])
+        .collect();
+    let html = synth_html("http://h/page", 8, &words);
+    let input = ContentObject::text("http://h/page", MimeType::Html, html);
+
+    let mut m = HtmlMunger::new();
+    let margs = TaccArgs::default();
+    let mut mrng = Pcg32::new(4);
+    let minput = input.clone();
+    suite.bench("html_munger_transform", move || {
+        let out = m.transform(&minput, &margs, &mut mrng).unwrap();
+        assert!(!out.is_empty());
+    });
+
+    let mut f = KeywordFilter::new();
+    let fargs = TaccArgs::from_map(
+        [("keywords".to_string(), "page, words".to_string())]
+            .into_iter()
+            .collect(),
+    );
+    let mut frng = Pcg32::new(5);
+    suite.bench("keyword_filter_transform", move || {
+        let out = f.transform(&input, &fargs, &mut frng).unwrap();
+        assert!(!out.is_empty());
+    });
+
+    let mut d = GifDistiller::new();
+    let dargs = TaccArgs::default();
+    let mut drng = Pcg32::new(6);
+    let img = ContentObject::synthetic("u", MimeType::Gif, 10_240);
+    suite.bench("gif_distiller_transform", move || {
+        let out = d.transform(&img, &dargs, &mut drng).unwrap();
+        assert!(out.len() < img.len());
+    });
+}
+
+fn bench_workload(suite: &mut BenchSuite) {
+    let model = SizeModel::default();
+    let mut rng = Pcg32::new(7);
+    suite.bench("size_model_sample", move || {
+        model.sample(MimeType::Gif, &mut rng)
+    });
+
+    let z = Zipf::new(40_000, 0.85);
+    let mut zrng = Pcg32::new(8);
+    suite.bench("zipf_sample_40k", move || z.sample(&mut zrng));
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_micro.json".to_string());
+    let mut suite = BenchSuite::new("micro");
+    bench_engine(&mut suite);
+    bench_san(&mut suite);
+    bench_cache(&mut suite);
+    bench_wal(&mut suite);
+    bench_index(&mut suite);
+    bench_distillers(&mut suite);
+    bench_workload(&mut suite);
+    suite.write_json(&out).expect("write bench rows");
+    println!("wrote {} rows to {out}", suite.rows().len());
+}

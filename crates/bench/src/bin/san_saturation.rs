@@ -26,24 +26,22 @@ struct Outcome {
 fn run(san: SanConfig) -> Outcome {
     let n_objects = 40;
     let rate = 48.0;
-    let mut cluster = TranSendBuilder {
-        seed: 0x5a71,
-        san,
-        worker_nodes: 8,
-        overflow_nodes: 2,
-        cores_per_node: 2,
-        frontends: 1,
-        cache_partitions: 4,
-        min_distillers: 2,
-        distillers: vec!["jpeg".into()],
-        origin_penalty_scale: 0.05,
-        ts: TranSendConfig {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0x5a71)
+        .with_san(san)
+        .with_worker_nodes(8)
+        .with_overflow_nodes(2)
+        .with_cores_per_node(2)
+        .with_frontends(1)
+        .with_cache_partitions(4)
+        .with_min_distillers(2)
+        .with_distillers(["jpeg"])
+        .with_origin_penalty_scale(0.05)
+        .with_ts(TranSendConfig {
             cache_distilled: false,
             ..Default::default()
-        },
-        ..Default::default()
-    }
-    .build();
+        })
+        .build();
     let mut items = warmup_workload(n_objects, 10 * 1024, Duration::from_millis(50));
     let mut load = ramp_workload(&[(95.0, rate)], n_objects, 10 * 1024, 7);
     load.retain(|(at, _)| at.as_secs_f64() > 6.0);
@@ -52,7 +50,7 @@ fn run(san: SanConfig) -> Outcome {
     let report = cluster.attach_client(items, Duration::from_secs(3));
     cluster.sim.run_until(SimTime::from_secs(120));
 
-    let r = report.borrow();
+    let mut r = report.borrow_mut();
     Outcome {
         beacon_drops: cluster.sim.stats().counter("net.multicast_dropped"),
         datagram_drops: cluster.sim.net().stats().datagrams_dropped,

@@ -30,31 +30,29 @@ struct RunResult {
 /// hold for two minutes against `fes` front ends.
 fn run(rate: f64, fes: usize) -> RunResult {
     let n_objects = 40;
-    let mut cluster = TranSendBuilder {
-        seed: 0x7ab1e2,
-        worker_nodes: 16,
-        overflow_nodes: 4,
-        cores_per_node: 2,
-        frontends: fes,
-        cache_partitions: 4,
-        min_distillers: 1,
-        distillers: vec!["jpeg".into()],
-        origin_penalty_scale: 0.05,
-        fe_nic: Some(LinkParams::mbps(100.0).with_overhead(Duration::from_micros(3000))),
-        ts: TranSendConfig {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0x7ab1e2)
+        .with_worker_nodes(16)
+        .with_overflow_nodes(4)
+        .with_cores_per_node(2)
+        .with_frontends(fes)
+        .with_cache_partitions(4)
+        .with_min_distillers(1)
+        .with_distillers(["jpeg"])
+        .with_origin_penalty_scale(0.05)
+        .with_fe_nic(LinkParams::mbps(100.0).with_overhead(Duration::from_micros(3000)))
+        .with_ts(TranSendConfig {
             cache_distilled: false, // force re-distillation (§4.6)
             ..Default::default()
-        },
-        sns: SnsConfig {
+        })
+        .with_sns(SnsConfig {
             spawn_threshold_h: 8.0,
             spawn_cooldown_d: Duration::from_secs(5),
             reap_threshold: 0.8,
             reap_idle_for: Duration::from_secs(10),
             ..Default::default()
-        },
-        ..Default::default()
-    }
-    .build();
+        })
+        .build();
 
     // Warm-up pass (loads originals into the cache partitions), then a
     // half-rate ramp, then the full-rate plateau.
@@ -91,11 +89,11 @@ fn run(rate: f64, fes: usize) -> RunResult {
 
     let fe_backlog_p95_ms = cluster
         .sim
-        .stats()
-        .summary("fe.backlog_ms")
+        .stats_mut()
+        .summary_mut("fe.backlog_ms")
         .map(|s| s.quantile(0.95))
         .unwrap_or(0.0);
-    let r = report.borrow();
+    let mut r = report.borrow_mut();
     RunResult {
         completed: r.responses as f64 / offered as f64,
         p95_latency: r.latency.quantile(0.95),

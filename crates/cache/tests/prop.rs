@@ -2,7 +2,7 @@
 //! against a naive reference model; the consistent-hash ring against its
 //! minimal-remapping contract.
 
-use proptest::prelude::*;
+use sns_testkit::{gens, props, tk_assert, tk_assert_eq, tk_assert_ne, Gen};
 
 use sns_cache::lru::LruCache;
 use sns_cache::ring::HashRing;
@@ -45,16 +45,15 @@ enum Op {
     Put(u8, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..24).prop_map(Op::Get),
-        ((0u8..24), (1u64..400)).prop_map(|(k, s)| Op::Put(k, s)),
-    ]
+fn op_gen() -> Gen<Op> {
+    gens::one_of(vec![
+        gens::u8_in(0..24).map(Op::Get),
+        gens::u8_in(0..24).flat_map(|k| gens::u64_in(1..400).map(move |s| Op::Put(k, s))),
+    ])
 }
 
-proptest! {
-    #[test]
-    fn lru_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+props! {
+    fn lru_matches_reference_model(ops in gens::vec(op_gen(), 1..200)) {
         let mut real: LruCache<u8, Vec<u8>> = LruCache::new(1000);
         let mut model = ModelLru { cap: 1000, entries: Vec::new() };
         for op in ops {
@@ -62,7 +61,7 @@ proptest! {
                 Op::Get(k) => {
                     let r = real.get(&k, 0).is_some();
                     let m = model.get(k);
-                    prop_assert_eq!(r, m, "get({}) diverged", k);
+                    tk_assert_eq!(r, m, "get({}) diverged", k);
                 }
                 Op::Put(k, s) => {
                     real.put(k, vec![0u8; s as usize], 0, None);
@@ -70,17 +69,16 @@ proptest! {
                 }
             }
             let model_used: u64 = model.entries.iter().map(|&(_, s)| s).sum();
-            prop_assert_eq!(real.used(), model_used);
-            prop_assert_eq!(real.len(), model.entries.len());
-            prop_assert!(real.used() <= 1000);
+            tk_assert_eq!(real.used(), model_used);
+            tk_assert_eq!(real.len(), model.entries.len());
+            tk_assert!(real.used() <= 1000);
         }
     }
 
-    #[test]
     fn ring_remaps_minimally_on_any_removal(
-        partitions in proptest::collection::btree_set(0u32..32, 2..10),
-        victim_idx in 0usize..10,
-        keys in proptest::collection::vec("[a-z0-9]{1,16}", 50..150),
+        partitions in gens::btree_set(gens::u32_in(0..32), 2..10),
+        victim_idx in gens::usize_in(0..10),
+        keys in gens::vec(gens::string("[a-z0-9]{1,16}"), 50..150),
     ) {
         let parts: Vec<u32> = partitions.into_iter().collect();
         let victim = parts[victim_idx % parts.len()];
@@ -88,22 +86,24 @@ proptest! {
         for &p in &parts {
             ring.add(p);
         }
-        let before: Vec<u32> = keys.iter().map(|k| *ring.lookup(fnv1a(k.as_bytes())).unwrap()).collect();
+        let before: Vec<u32> = keys
+            .iter()
+            .map(|k| *ring.lookup(fnv1a(k.as_bytes())).unwrap())
+            .collect();
         ring.remove(&victim);
         for (key, &owner_before) in keys.iter().zip(&before) {
             let after = *ring.lookup(fnv1a(key.as_bytes())).unwrap();
             if owner_before != victim {
-                prop_assert_eq!(after, owner_before, "non-victim keys must not move");
+                tk_assert_eq!(after, owner_before, "non-victim keys must not move");
             } else {
-                prop_assert_ne!(after, victim);
+                tk_assert_ne!(after, victim);
             }
         }
     }
 
-    #[test]
     fn ring_lookup_is_total_and_stable(
-        partitions in proptest::collection::btree_set(0u32..64, 1..12),
-        hash in any::<u64>(),
+        partitions in gens::btree_set(gens::u32_in(0..64), 1..12),
+        hash in gens::any_u64(),
     ) {
         let mut ring = HashRing::new();
         for &p in &partitions {
@@ -111,14 +111,16 @@ proptest! {
         }
         let a = *ring.lookup(hash).unwrap();
         let b = *ring.lookup(hash).unwrap();
-        prop_assert_eq!(a, b);
-        prop_assert!(partitions.contains(&a));
+        tk_assert_eq!(a, b);
+        tk_assert!(partitions.contains(&a));
     }
 
-    #[test]
-    fn cache_key_variants_always_colocate(url in "[ -~]{1,64}", variant in any::<u64>()) {
+    fn cache_key_variants_always_colocate(
+        url in gens::string("[ -~]{1,64}"),
+        variant in gens::any_u64(),
+    ) {
         let a = CacheKey::original(&url);
         let b = CacheKey::variant(&url, variant);
-        prop_assert_eq!(a.placement_hash(), b.placement_hash());
+        tk_assert_eq!(a.placement_hash(), b.placement_hash());
     }
 }

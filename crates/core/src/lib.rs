@@ -44,6 +44,7 @@ pub mod manager;
 pub mod monitor;
 pub mod msg;
 pub mod stub;
+pub mod topology;
 pub mod worker;
 
 use std::any::Any;
@@ -56,6 +57,7 @@ pub use manager::{Manager, ManagerConfig, SpawnPolicy, WorkerFactory};
 pub use monitor::{Monitor, MonitorEvent};
 pub use msg::{BeaconData, ClientRequest, ClientResponse, Job, JobResult, SnsMsg, WorkerHint};
 pub use stub::ManagerStub;
+pub use topology::ClusterTopology;
 pub use worker::{WorkerError, WorkerLogic, WorkerStub, WorkerStubConfig};
 
 /// A worker class: the unit of replication, load balancing and spawning
@@ -106,18 +108,10 @@ pub fn payload_as<T: 'static>(p: &Payload) -> Option<&T> {
 
 /// Interns a worker-class name as a `&'static str` (the engine tags
 /// spawned components with static kind strings so harnesses can query
-/// components by class). Leaks one copy per distinct name.
+/// components by class). Delegates to the engine-wide interner that
+/// also backs [`sns_sim::MetricKey`].
 pub fn intern_class(name: &str) -> &'static str {
-    use std::collections::BTreeMap;
-    use std::sync::Mutex;
-    static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
-    let mut map = INTERNED.lock().expect("interner poisoned");
-    if let Some(&s) = map.get(name) {
-        return s;
-    }
-    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
-    map.insert(name.to_string(), leaked);
-    leaked
+    sns_sim::intern(name)
 }
 
 /// A simple byte-count payload for tests and synthetic content.

@@ -117,6 +117,9 @@ struct WorkerInfo {
 struct ClassRuntime {
     last_spawn: Option<SimTime>,
     low_since: Option<SimTime>,
+    /// Cached interned name of the class's average-queue series, so the
+    /// periodic rebalance pass never allocates.
+    avg_qlen_key: Option<sns_sim::MetricKey>,
 }
 
 /// A spawn issued whose worker has not yet registered.
@@ -404,8 +407,14 @@ impl Manager {
             }
 
             let avg: f64 = live.iter().map(|&(_, wma, _)| wma).sum::<f64>() / live_n as f64;
-            ctx.stats()
-                .sample(&format!("manager.avg_qlen.{class}"), now, avg);
+            if !self.runtime.contains_key(&class) {
+                self.runtime.insert(class.clone(), ClassRuntime::default());
+            }
+            let rt = self.runtime.get_mut(&class).expect("just ensured");
+            let key = *rt.avg_qlen_key.get_or_insert_with(|| {
+                sns_sim::MetricKey::new(&format!("manager.avg_qlen.{class}"))
+            });
+            ctx.stats().sample(key, now, avg);
 
             // Threshold-H spawning with cooldown D (§4.5).
             let in_cooldown = self

@@ -1,0 +1,85 @@
+//! Physical cluster shape shared by every service builder.
+//!
+//! The paper's services differ in their worker logic but not in their
+//! skeleton: a pool of worker nodes on a SAN, a handful of front-end
+//! nodes, and a seed for the deterministic engine (§2.1, Figure 1).
+//! [`ClusterTopology`] captures exactly that shape so service builders
+//! (`TranSendBuilder`, `HotBotBuilder`) can share one vocabulary and
+//! experiments can move a topology between services unchanged.
+
+use sns_san::SanConfig;
+
+/// Engine-level cluster shape: seed, interconnect, node counts.
+///
+/// Service builders embed one of these and expose it through
+/// `with_topology`; the per-field `with_*` helpers below make one-line
+/// tweaks read naturally:
+///
+/// ```
+/// use sns_core::topology::ClusterTopology;
+///
+/// let topo = ClusterTopology::default()
+///     .with_seed(42)
+///     .with_worker_nodes(16)
+///     .with_frontends(2);
+/// assert_eq!(topo.worker_nodes, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterTopology {
+    /// Deterministic engine seed.
+    pub seed: u64,
+    /// Interconnect (system-area network) model.
+    pub san: SanConfig,
+    /// Dedicated worker-pool nodes. Services reinterpret this as their
+    /// natural unit: TranSend's distiller pool, HotBot's index
+    /// partitions (one node each, §3.2).
+    pub worker_nodes: usize,
+    /// Front ends, each on its own node.
+    pub frontends: usize,
+    /// Cores per node (SPARC-era boxes: 1-2).
+    pub cores_per_node: u32,
+}
+
+impl Default for ClusterTopology {
+    fn default() -> Self {
+        ClusterTopology {
+            seed: 0x0053_4e53, // "SNS"
+            san: SanConfig::switched_100mbps(),
+            worker_nodes: 8,
+            frontends: 1,
+            cores_per_node: 2,
+        }
+    }
+}
+
+impl ClusterTopology {
+    /// Sets the engine seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the SAN model.
+    pub fn with_san(mut self, san: SanConfig) -> Self {
+        self.san = san;
+        self
+    }
+
+    /// Sets the number of dedicated worker nodes.
+    pub fn with_worker_nodes(mut self, n: usize) -> Self {
+        self.worker_nodes = n;
+        self
+    }
+
+    /// Sets the number of front ends.
+    pub fn with_frontends(mut self, n: usize) -> Self {
+        self.frontends = n;
+        self
+    }
+
+    /// Sets the cores per node.
+    pub fn with_cores_per_node(mut self, cores: u32) -> Self {
+        self.cores_per_node = cores;
+        self
+    }
+}

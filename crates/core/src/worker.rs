@@ -90,6 +90,9 @@ pub struct WorkerStub {
     manager: Option<(ComponentId, u64)>,
     draining: bool,
     jobs_done: u64,
+    /// Cached interned name of this stub's qlen series, built on the
+    /// first load report so the periodic path never allocates.
+    qlen_key: Option<sns_sim::MetricKey>,
 }
 
 impl WorkerStub {
@@ -107,6 +110,7 @@ impl WorkerStub {
             manager: None,
             draining: false,
             jobs_done: 0,
+            qlen_key: None,
         }
     }
 
@@ -304,8 +308,10 @@ impl Component<SnsMsg> for WorkerStub {
                 let qlen = self.qlen();
                 let now = ctx.now();
                 let class = self.logic.class();
-                ctx.stats()
-                    .sample(&format!("worker.qlen.{class}.{me}"), now, f64::from(qlen));
+                let key = *self.qlen_key.get_or_insert_with(|| {
+                    sns_sim::MetricKey::new(&format!("worker.qlen.{class}.{me}"))
+                });
+                ctx.stats().sample(key, now, f64::from(qlen));
                 // Datagram: load reports are soft state and may be lost
                 // under SAN saturation (§4.6).
                 ctx.send_datagram(

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+use sns_testkit::{gens, props, tk_assert, tk_assert_eq};
 
 use sns_distillers::{
     GifDistiller, HtmlMunger, JpegDistiller, KeywordFilter, RewebberDecrypt, RewebberEncrypt,
@@ -18,14 +18,13 @@ fn args(pairs: Vec<(String, String)>) -> TaccArgs {
     TaccArgs::from_map(pairs.into_iter().collect::<BTreeMap<_, _>>())
 }
 
-proptest! {
-    #[test]
+props! {
     fn image_distillation_never_grows(
-        size in 256u64..500_000,
-        scale in 1.0f64..8.0,
-        quality in 1.0f64..100.0,
-        is_gif in any::<bool>(),
-        seed in any::<u64>(),
+        size in gens::u64_in(256..500_000),
+        scale in gens::f64_in(1.0..8.0),
+        quality in gens::f64_in(1.0..100.0),
+        is_gif in gens::any_bool(),
+        seed in gens::any_u64(),
     ) {
         let mut rng = Pcg32::new(seed);
         let a = args(vec![
@@ -42,42 +41,48 @@ proptest! {
             (MimeType::Jpeg, d.transform(&input, &a, &mut rng).unwrap())
         };
         let _ = mime;
-        prop_assert!(out.len() <= size, "output {} > input {}", out.len(), size);
-        prop_assert!(!out.is_empty());
-        prop_assert!(out.quality <= 1.0 && out.quality > 0.0);
+        tk_assert!(out.len() <= size, "output {} > input {}", out.len(), size);
+        tk_assert!(!out.is_empty());
+        tk_assert!(out.quality <= 1.0 && out.quality > 0.0);
     }
 
-    #[test]
     fn quality_is_monotone_in_output_size(
-        size in 4096u64..200_000,
-        q_lo in 1.0f64..50.0,
-        dq in 1.0f64..50.0,
-        seed in any::<u64>(),
+        size in gens::u64_in(4096..200_000),
+        q_lo in gens::f64_in(1.0..50.0),
+        dq in gens::f64_in(1.0..50.0),
+        seed in gens::any_u64(),
     ) {
         let q_hi = q_lo + dq;
         let mut rng = Pcg32::new(seed);
         let mut d = JpegDistiller::new();
         let input = ContentObject::synthetic("u", MimeType::Jpeg, size);
-        let lo = d.transform(&input, &args(vec![("quality".into(), format!("{q_lo}"))]), &mut rng).unwrap();
-        let hi = d.transform(&input, &args(vec![("quality".into(), format!("{q_hi}"))]), &mut rng).unwrap();
-        prop_assert!(lo.len() <= hi.len(), "quality {q_lo} gave {} > quality {q_hi} gave {}", lo.len(), hi.len());
+        let lo = d
+            .transform(&input, &args(vec![("quality".into(), format!("{q_lo}"))]), &mut rng)
+            .unwrap();
+        let hi = d
+            .transform(&input, &args(vec![("quality".into(), format!("{q_hi}"))]), &mut rng)
+            .unwrap();
+        tk_assert!(
+            lo.len() <= hi.len(),
+            "quality {q_lo} gave {} > quality {q_hi} gave {}",
+            lo.len(),
+            hi.len()
+        );
     }
 
-    #[test]
-    fn munger_preserves_visible_text(body in "[a-z ]{0,200}") {
+    fn munger_preserves_visible_text(body in gens::string("[a-z ]{0,200}")) {
         let mut rng = Pcg32::new(1);
         let mut m = HtmlMunger::new();
         let html = format!("<html><body><p>{body}</p></body></html>");
         let input = ContentObject::text("u", MimeType::Html, html);
         let out = m.transform(&input, &TaccArgs::default(), &mut rng).unwrap();
         let Body::Text(t) = &out.body else { panic!("text") };
-        prop_assert!(t.contains(&body), "visible text must survive munging");
+        tk_assert!(t.contains(&body), "visible text must survive munging");
     }
 
-    #[test]
     fn keyword_filter_preserves_text_modulo_markers(
-        body in "[a-z ]{0,120}",
-        needle in "[a-z]{2,6}",
+        body in gens::string("[a-z ]{0,120}"),
+        needle in gens::string("[a-z]{2,6}"),
     ) {
         let mut rng = Pcg32::new(2);
         let mut f = KeywordFilter::new();
@@ -89,11 +94,13 @@ proptest! {
         let stripped = t
             .replace(r#"<b style="color:red;font-size:large">"#, "")
             .replace("</b>", "");
-        prop_assert_eq!(stripped, format!("<p>{}</p>", body));
+        tk_assert_eq!(stripped, format!("<p>{}</p>", body));
     }
 
-    #[test]
-    fn rewebber_roundtrips_arbitrary_text(text in "[ -~]{0,300}", key in "[a-z0-9]{1,16}") {
+    fn rewebber_roundtrips_arbitrary_text(
+        text in gens::string("[ -~]{0,300}"),
+        key in gens::string("[a-z0-9]{1,16}"),
+    ) {
         let mut rng = Pcg32::new(3);
         let mut enc = RewebberEncrypt::new();
         let mut dec = RewebberDecrypt::new();
@@ -102,6 +109,6 @@ proptest! {
         let ct = enc.transform(&plain, &a, &mut rng).unwrap();
         let pt = dec.transform(&ct, &a, &mut rng).unwrap();
         let Body::Text(t) = &pt.body else { panic!("text") };
-        prop_assert_eq!(t, &text);
+        tk_assert_eq!(t, &text);
     }
 }

@@ -11,7 +11,7 @@ use sns_core::manager::{Manager, ManagerConfig, SpawnPolicy};
 use sns_core::monitor::Monitor;
 use sns_core::msg::SnsMsg;
 use sns_core::worker::{WorkerStub, WorkerStubConfig};
-use sns_core::{FrontEnd, SnsConfig, WorkerClass};
+use sns_core::{ClusterTopology, FrontEnd, SnsConfig, WorkerClass};
 use sns_san::{San, SanConfig};
 use sns_search::doc::CorpusGenerator;
 use sns_search::index::InvertedIndex;
@@ -22,39 +22,108 @@ use crate::client::{HotBotClient, QueryReportHandle};
 use crate::logic::HotBotLogic;
 use crate::worker::SearchWorker;
 
-/// HotBot cluster parameters.
+/// Fluent HotBot cluster builder.
+///
+/// The physical shape is a shared [`ClusterTopology`]; HotBot reads its
+/// `worker_nodes` as the index partition count (one dedicated node per
+/// partition, §3.2). The `Default` preset is the paper's example: 26
+/// partitions on Myrinet with two front ends.
+///
+/// ```no_run
+/// use sns_hotbot::HotBotBuilder;
+///
+/// let cluster = HotBotBuilder::new()
+///     .with_partitions(4)
+///     .with_corpus_docs(400)
+///     .build();
+/// # let _ = cluster;
+/// ```
 pub struct HotBotBuilder {
-    /// Engine seed.
-    pub seed: u64,
-    /// SNS knobs.
-    pub sns: SnsConfig,
-    /// SAN model (HotBot ran Myrinet, §3.2).
-    pub san: SanConfig,
-    /// Index partitions, one worker node each (the paper's example: 26).
-    pub partitions: usize,
-    /// Synthetic corpus size in documents.
-    pub corpus_docs: usize,
-    /// Vocabulary size of the corpus generator.
-    pub vocab: usize,
-    /// Front ends.
-    pub frontends: usize,
-    /// Whether the manager restarts dead partition workers
-    /// automatically (disable to measure degradation windows).
-    pub auto_restart_partitions: bool,
+    topology: ClusterTopology,
+    sns: SnsConfig,
+    corpus_docs: usize,
+    vocab: usize,
+    auto_restart_partitions: bool,
 }
 
 impl Default for HotBotBuilder {
     fn default() -> Self {
         HotBotBuilder {
-            seed: 0x4077,
+            topology: ClusterTopology {
+                seed: 0x4077,
+                san: SanConfig::myrinet(),
+                worker_nodes: 26,
+                frontends: 2,
+                cores_per_node: 2,
+            },
             sns: SnsConfig::default(),
-            san: SanConfig::myrinet(),
-            partitions: 26,
             corpus_docs: 5_200,
             vocab: 20_000,
-            frontends: 2,
             auto_restart_partitions: true,
         }
+    }
+}
+
+impl HotBotBuilder {
+    /// The §3.2 preset; same as `Default`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole physical shape at once. `worker_nodes` is
+    /// read as the partition count.
+    pub fn with_topology(mut self, topology: ClusterTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the engine seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.topology.seed = seed;
+        self
+    }
+
+    /// Sets the SAN model (HotBot ran Myrinet, §3.2).
+    pub fn with_san(mut self, san: SanConfig) -> Self {
+        self.topology.san = san;
+        self
+    }
+
+    /// Sets the SNS-layer knobs.
+    pub fn with_sns(mut self, sns: SnsConfig) -> Self {
+        self.sns = sns;
+        self
+    }
+
+    /// Sets the number of index partitions (one worker node each).
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        self.topology.worker_nodes = n;
+        self
+    }
+
+    /// Sets the synthetic corpus size in documents.
+    pub fn with_corpus_docs(mut self, docs: usize) -> Self {
+        self.corpus_docs = docs;
+        self
+    }
+
+    /// Sets the vocabulary size of the corpus generator.
+    pub fn with_vocab(mut self, vocab: usize) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// Sets the number of front ends.
+    pub fn with_frontends(mut self, n: usize) -> Self {
+        self.topology.frontends = n;
+        self
+    }
+
+    /// Enables/disables automatic restart of dead partition workers
+    /// (disable to measure degradation windows).
+    pub fn with_auto_restart_partitions(mut self, on: bool) -> Self {
+        self.auto_restart_partitions = on;
+        self
     }
 }
 
@@ -83,19 +152,21 @@ pub struct HotBotCluster {
 impl HotBotBuilder {
     /// Builds the cluster.
     pub fn build(self) -> HotBotCluster {
+        let topo = &self.topology;
+        let partitions = topo.worker_nodes;
         // Generate and statically partition the corpus (random doc →
         // partition placement, §3.2).
-        let mut gen = CorpusGenerator::new(self.seed ^ 0xc0de, self.vocab, 120, 1.0);
+        let mut gen = CorpusGenerator::new(topo.seed ^ 0xc0de, self.vocab, 120, 1.0);
         let mut indexes: Vec<InvertedIndex> =
-            (0..self.partitions).map(|_| InvertedIndex::new()).collect();
-        let mut docs_per_partition = vec![0u64; self.partitions];
+            (0..partitions).map(|_| InvertedIndex::new()).collect();
+        let mut docs_per_partition = vec![0u64; partitions];
         for doc in gen.generate(self.corpus_docs) {
             // Stable splitmix placement (same scheme as
             // `sns_search::partition`).
             let mut z = doc.id.wrapping_mul(0x9E3779B97F4A7C15);
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            let p = ((z ^ (z >> 31)) % self.partitions as u64) as usize;
+            let p = ((z ^ (z >> 31)) % partitions as u64) as usize;
             indexes[p].add(&doc);
             docs_per_partition[p] += 1;
         }
@@ -103,18 +174,18 @@ impl HotBotBuilder {
 
         let mut sim: Sim<SnsMsg, San> = Sim::new(
             SimConfig {
-                seed: self.seed,
+                seed: topo.seed,
                 ..Default::default()
             },
-            San::new(self.san.clone()),
+            San::new(topo.san.clone()),
         );
         // One dedicated node per partition; workers are bound to them.
-        let partition_nodes: Vec<NodeId> = (0..self.partitions)
-            .map(|_| sim.add_node(NodeSpec::new(2, "dedicated")))
+        let partition_nodes: Vec<NodeId> = (0..partitions)
+            .map(|_| sim.add_node(NodeSpec::new(topo.cores_per_node, "dedicated")))
             .collect();
-        let infra = sim.add_node(NodeSpec::new(2, "infra"));
-        let fe_nodes: Vec<NodeId> = (0..self.frontends)
-            .map(|_| sim.add_node(NodeSpec::new(2, "frontend")))
+        let infra = sim.add_node(NodeSpec::new(topo.cores_per_node, "infra"));
+        let fe_nodes: Vec<NodeId> = (0..topo.frontends)
+            .map(|_| sim.add_node(NodeSpec::new(topo.cores_per_node, "frontend")))
             .collect();
         let client_node = sim.add_node(NodeSpec::new(4, "client"));
 
@@ -173,7 +244,7 @@ impl HotBotBuilder {
             fes.push(sim.spawn(
                 node,
                 Box::new(FrontEnd::new(
-                    Box::new(HotBotLogic::new(self.partitions)),
+                    Box::new(HotBotLogic::new(partitions)),
                     FeConfig {
                         sns: self.sns.clone(),
                         beacon_group: beacon,

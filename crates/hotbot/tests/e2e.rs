@@ -8,13 +8,11 @@ use sns_sim::time::SimTime;
 
 #[test]
 fn queries_fan_out_and_answer_with_full_coverage() {
-    let mut cluster = HotBotBuilder {
-        partitions: 8,
-        corpus_docs: 800,
-        frontends: 1,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = HotBotBuilder::new()
+        .with_partitions(8)
+        .with_corpus_docs(800)
+        .with_frontends(1)
+        .build();
     let report = cluster.attach_client(5.0, 50, Duration::from_secs(4));
     cluster.sim.run_until(SimTime::from_secs(40));
     let r = report.borrow();
@@ -27,14 +25,12 @@ fn queries_fan_out_and_answer_with_full_coverage() {
 
 #[test]
 fn partition_loss_degrades_coverage_then_recovers() {
-    let mut cluster = HotBotBuilder {
-        partitions: 26,
-        corpus_docs: 2600,
-        frontends: 1,
-        auto_restart_partitions: true,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = HotBotBuilder::new()
+        .with_partitions(26)
+        .with_corpus_docs(2600)
+        .with_frontends(1)
+        .with_auto_restart_partitions(true)
+        .build();
     let report = cluster.attach_client(8.0, 400, Duration::from_secs(5));
     // Kill one partition's node mid-run (the paper's example: one of 26
     // nodes dies; the database drops from 54M to ~51M docs), then "fast
@@ -132,13 +128,11 @@ fn incremental_delivery_pages_from_the_recent_search_cache() {
         }
     }
 
-    let mut cluster = HotBotBuilder {
-        partitions: 6,
-        corpus_docs: 600,
-        frontends: 1,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = HotBotBuilder::new()
+        .with_partitions(6)
+        .with_corpus_docs(600)
+        .with_frontends(1)
+        .build();
     let fe = cluster.fes[0];
     let node = cluster.client_node;
     cluster.sim.spawn(
@@ -170,13 +164,11 @@ fn incremental_delivery_pages_from_the_recent_search_cache() {
 #[test]
 fn deterministic_replay() {
     let run = || {
-        let mut cluster = HotBotBuilder {
-            partitions: 6,
-            corpus_docs: 600,
-            frontends: 1,
-            ..Default::default()
-        }
-        .build();
+        let mut cluster = HotBotBuilder::new()
+            .with_partitions(6)
+            .with_corpus_docs(600)
+            .with_frontends(1)
+            .build();
         let report = cluster.attach_client(5.0, 30, Duration::from_secs(4));
         cluster.sim.run_until(SimTime::from_secs(30));
         let r = report.borrow();

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+use sns_testkit::{gens, props, tk_assert, Gen};
 
 use sns_profiledb::{MemDevice, ProfileDb, Txn, Wal};
 
@@ -15,15 +15,15 @@ enum POp {
     DeleteUser(u8),
 }
 
-fn txn_strategy() -> impl Strategy<Value = Vec<POp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            ((0u8..6), (0u8..6), any::<u8>()).prop_map(|(u, k, v)| POp::Put(u, k, v)),
-            ((0u8..6), (0u8..6)).prop_map(|(u, k)| POp::Delete(u, k)),
-            (0u8..6).prop_map(POp::DeleteUser),
-        ],
-        1..5,
-    )
+fn txn_gen() -> Gen<Vec<POp>> {
+    let op = gens::one_of(vec![
+        gens::u8_in(0..6).flat_map(|u| {
+            gens::u8_in(0..6).flat_map(move |k| gens::any_u8().map(move |v| POp::Put(u, k, v)))
+        }),
+        gens::u8_in(0..6).flat_map(|u| gens::u8_in(0..6).map(move |k| POp::Delete(u, k))),
+        gens::u8_in(0..6).map(POp::DeleteUser),
+    ]);
+    gens::vec(op, 1..5)
 }
 
 fn to_txn(ops: &[POp]) -> Txn {
@@ -73,10 +73,9 @@ fn assert_matches_model(db: &mut ProfileDb<MemDevice>, model: &Model) {
     }
 }
 
-proptest! {
-    #[test]
+props! {
     fn recovery_replays_exactly_the_committed_history(
-        txns in proptest::collection::vec(txn_strategy(), 1..30),
+        txns in gens::vec(txn_gen(), 1..30),
     ) {
         let mut db = ProfileDb::open(Wal::new(MemDevice::new())).unwrap();
         let mut model: Model = BTreeMap::new();
@@ -90,10 +89,9 @@ proptest! {
         assert_matches_model(&mut recovered, &model);
     }
 
-    #[test]
     fn torn_tail_loses_at_most_the_final_txn_and_stays_atomic(
-        txns in proptest::collection::vec(txn_strategy(), 2..20),
-        torn in 1usize..8,
+        txns in gens::vec(txn_gen(), 2..20),
+        torn in gens::usize_in(1..8),
     ) {
         let mut db = ProfileDb::open(Wal::new(MemDevice::new())).unwrap();
         let mut prefix_models: Vec<Model> = Vec::new();
@@ -109,13 +107,12 @@ proptest! {
         // The recovered state must equal the model after N or N-1
         // transactions — never anything in between (atomicity).
         let n = recovered.stats().replayed as usize;
-        prop_assert!(n == txns.len() || n == txns.len() - 1, "replayed {n} of {}", txns.len());
+        tk_assert!(n == txns.len() || n == txns.len() - 1, "replayed {n} of {}", txns.len());
         assert_matches_model(&mut recovered, &prefix_models[n - 1]);
     }
 
-    #[test]
     fn checkpoint_is_state_preserving(
-        txns in proptest::collection::vec(txn_strategy(), 1..20),
+        txns in gens::vec(txn_gen(), 1..20),
     ) {
         let mut db = ProfileDb::open(Wal::new(MemDevice::new())).unwrap();
         let mut model: Model = BTreeMap::new();
@@ -126,7 +123,7 @@ proptest! {
         db.checkpoint(MemDevice::new()).unwrap();
         let dev = std::mem::replace(db.device_mut(), MemDevice::new());
         let mut recovered = ProfileDb::open(Wal::new(dev)).unwrap();
-        prop_assert!(recovered.stats().replayed <= 1, "compacted to one snapshot");
+        tk_assert!(recovered.stats().replayed <= 1, "compacted to one snapshot");
         assert_matches_model(&mut recovered, &model);
     }
 }

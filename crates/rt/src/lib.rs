@@ -8,8 +8,10 @@
 //! paper's "simple matter of software" claim made literal: the SNS
 //! mechanics — registration beacons, queue-length load reports, lottery
 //! scheduling on slightly stale hints, crash detection and process-peer
-//! restart — reappear here over `crossbeam` channels instead of the
-//! simulated SAN.
+//! restart — reappear here over plain `std::sync` primitives instead of
+//! the simulated SAN. Worker inboxes use the in-repo [`chan`] MPMC shim
+//! (clonable receivers let the manager salvage a crashed worker's queue
+//! for redispatch); one-shot replies use `std::sync::mpsc`.
 //!
 //! Scope: this is the laptop-scale runtime for examples and tests, not a
 //! distributed deployment; "nodes" are threads and the SAN is a channel
@@ -50,19 +52,23 @@
 
 #![warn(missing_docs)]
 
+pub mod chan;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 
 use sns_core::msg::{Job, JobResult, ProfileData};
 use sns_core::worker::{WorkerError, WorkerLogic};
 use sns_core::{Payload, WorkerClass};
 use sns_sim::rng::Pcg32;
 use sns_sim::time::SimTime;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -97,14 +103,17 @@ pub type RtWorkerFactory = Box<dyn Fn() -> Box<dyn WorkerLogic> + Send + Sync>;
 
 struct RtJob {
     job: Job,
-    reply: Sender<JobResult>,
+    reply: mpsc::SyncSender<JobResult>,
 }
 
 /// One live worker thread's handle.
 struct WorkerHandle {
     id: u64,
     class: WorkerClass,
-    inbox: Sender<RtJob>,
+    inbox: chan::Sender<RtJob>,
+    /// Second receiver on the inbox (MPMC): lets the manager drain jobs
+    /// a crashed worker left queued and redispatch them.
+    salvage: chan::Receiver<RtJob>,
     /// Shared queue-length gauge (inbox depth + in-service).
     qlen: Arc<AtomicU64>,
     alive: Arc<AtomicBool>,
@@ -141,6 +150,8 @@ pub struct RtCluster {
     pub crashes: Arc<AtomicU64>,
     /// Process-peer restarts performed.
     pub restarts: Arc<AtomicU64>,
+    /// Jobs salvaged from crashed workers' queues and redispatched.
+    pub redispatched: Arc<AtomicU64>,
 }
 
 impl RtCluster {
@@ -157,6 +168,7 @@ impl RtCluster {
             jobs_done: Arc::new(AtomicU64::new(0)),
             crashes: Arc::new(AtomicU64::new(0)),
             restarts: Arc::new(AtomicU64::new(0)),
+            redispatched: Arc::new(AtomicU64::new(0)),
         });
         // The manager thread: refresh hints from the workers' shared
         // queue gauges and restart dead workers (process peers).
@@ -167,14 +179,14 @@ impl RtCluster {
                 .spawn(move || cluster.manager_loop())
                 .expect("spawn manager thread")
         };
-        *cluster.manager.lock() = Some(mgr);
+        *lock(&cluster.manager) = Some(mgr);
         cluster
     }
 
     fn manager_loop(&self) {
         while self.running.load(Ordering::Relaxed) {
             std::thread::sleep(self.cfg.beacon_period);
-            let mut reg = self.inner.lock();
+            let mut reg = lock(&self.inner);
             // Collect load "reports" (the gauges are the report channel;
             // the staleness comes from the beacon period, as in §3.1.8).
             let mut hints = std::collections::BTreeMap::new();
@@ -212,6 +224,18 @@ impl RtCluster {
                     }
                     if let Some(factory) = factory {
                         let handle = self.spawn_worker_thread(factory());
+                        // Salvage the dead worker's queue: whatever it
+                        // never got to starts over on the replacement.
+                        let mut moved = 0u64;
+                        while let Ok(orphan) = old.salvage.try_recv() {
+                            if handle.inbox.send(orphan).is_ok() {
+                                moved += 1;
+                            }
+                        }
+                        if moved > 0 {
+                            handle.qlen.store(moved, Ordering::Relaxed);
+                            self.redispatched.fetch_add(moved, Ordering::Relaxed);
+                        }
                         reg.workers.push(handle);
                         self.restarts.fetch_add(1, Ordering::Relaxed);
                     }
@@ -223,7 +247,7 @@ impl RtCluster {
     fn spawn_worker_thread(&self, mut logic: Box<dyn WorkerLogic>) -> WorkerHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let class = logic.class();
-        let (tx, rx): (Sender<RtJob>, Receiver<RtJob>) = unbounded();
+        let (tx, rx) = chan::unbounded::<RtJob>();
         let qlen = Arc::new(AtomicU64::new(0));
         let alive = Arc::new(AtomicBool::new(true));
         let running = Arc::clone(&self.running);
@@ -234,15 +258,23 @@ impl RtCluster {
         let crashes = Arc::clone(&self.crashes);
         let qlen_t = Arc::clone(&qlen);
         let alive_t = Arc::clone(&alive);
+        let salvage = rx.clone();
         let join = std::thread::Builder::new()
             .name(format!("sns-rt-{}-{id}", class.name().replace('/', "-")))
             .spawn(move || {
                 let mut rng = Pcg32::new(seed);
-                while running.load(Ordering::Relaxed) {
+                loop {
                     let rt_job = match rx.recv_timeout(Duration::from_millis(50)) {
                         Ok(j) => j,
-                        Err(RecvTimeoutError::Timeout) => continue,
-                        Err(RecvTimeoutError::Disconnected) => break,
+                        Err(chan::RecvTimeoutError::Timeout) => {
+                            if running.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            break; // idle and shutting down
+                        }
+                        // Closed and drained: every queued job was served
+                        // before exit (shutdown drains queues).
+                        Err(chan::RecvTimeoutError::Disconnected) => break,
                     };
                     qlen_t.store(rx.len() as u64 + 1, Ordering::Relaxed);
                     let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
@@ -272,6 +304,7 @@ impl RtCluster {
             id,
             class,
             inbox: tx,
+            salvage,
             qlen,
             alive,
             join: Some(join),
@@ -286,7 +319,7 @@ impl RtCluster {
         factory: impl Fn() -> Box<dyn WorkerLogic> + Send + Sync + 'static,
     ) {
         let factory: Arc<RtWorkerFactory> = Arc::new(Box::new(factory));
-        let mut reg = self.inner.lock();
+        let mut reg = lock(&self.inner);
         reg.factories
             .push((WorkerClass::new(class), Arc::clone(&factory)));
         for _ in 0..n {
@@ -300,7 +333,7 @@ impl RtCluster {
     /// Forces an immediate hint refresh (otherwise hints update every
     /// beacon period, deliberately stale).
     pub fn refresh_hints_now(&self) {
-        let mut reg = self.inner.lock();
+        let mut reg = lock(&self.inner);
         let mut hints = std::collections::BTreeMap::new();
         for w in &reg.workers {
             if w.alive.load(Ordering::Relaxed) {
@@ -318,8 +351,7 @@ impl RtCluster {
 
     /// Live workers of a class.
     pub fn workers_of(&self, class: &str) -> usize {
-        self.inner
-            .lock()
+        lock(&self.inner)
             .workers
             .iter()
             .filter(|w| w.class.name() == class && w.alive.load(Ordering::Relaxed))
@@ -334,9 +366,13 @@ impl RtCluster {
         op: &str,
         input: Payload,
         profile: Option<ProfileData>,
-    ) -> Receiver<JobResult> {
-        let (reply_tx, reply_rx) = bounded(1);
-        let reg = self.inner.lock();
+    ) -> mpsc::Receiver<JobResult> {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        if !self.running.load(Ordering::Relaxed) {
+            let _ = reply_tx.send(JobResult::Failed("cluster is shut down".into()));
+            return reply_rx;
+        }
+        let reg = lock(&self.inner);
         let Some(hints) = reg.hints.get(class).filter(|h| !h.is_empty()) else {
             drop(reg);
             let _ = reply_tx.send(JobResult::Failed(format!("no workers of class {class}")));
@@ -344,7 +380,7 @@ impl RtCluster {
         };
         let tickets: Vec<f64> = hints.iter().map(|h| 1.0 / (1.0 + h.qlen as f64)).collect();
         let pick = {
-            let mut rng = self.rng.lock();
+            let mut rng = lock(&self.rng);
             hints[rng.weighted(&tickets)].worker
         };
         let job = Job {
@@ -367,19 +403,25 @@ impl RtCluster {
         reply_rx
     }
 
-    /// Stops every thread and waits for them.
+    /// Stops every thread and waits for them. Worker inboxes are closed
+    /// (not discarded): each worker drains its remaining queue — every
+    /// accepted job gets a reply — before exiting.
     pub fn shutdown(&self) {
         self.running.store(false, Ordering::Relaxed);
-        if let Some(m) = self.manager.lock().take() {
+        if let Some(m) = lock(&self.manager).take() {
             let _ = m.join();
         }
-        let mut reg = self.inner.lock();
-        for w in &mut reg.workers {
+        let mut reg = lock(&self.inner);
+        for w in &reg.workers {
+            w.inbox.close();
+        }
+        let mut workers = std::mem::take(&mut reg.workers);
+        drop(reg); // don't hold the registry lock while draining
+        for w in &mut workers {
             if let Some(j) = w.join.take() {
                 let _ = j.join();
             }
         }
-        reg.workers.clear();
     }
 }
 

@@ -1,0 +1,133 @@
+//! Integration tests for the std-only runtime: the paper's availability
+//! mechanics (§3.1.3 process-peer restart, queue salvage) exercised over
+//! real OS threads, fast enough for CI (`time_scale` keeps each test
+//! well under two seconds of wall clock).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sns_core::msg::{Job, JobResult};
+use sns_core::worker::{WorkerError, WorkerLogic};
+use sns_core::{Blob, Payload, WorkerClass};
+use sns_rt::{RtCluster, RtConfig};
+use sns_sim::rng::Pcg32;
+use sns_sim::time::SimTime;
+
+/// Echoes its input; crashes the hosting thread on inputs tagged
+/// "poison" (simulating a worker process dying mid-queue).
+struct Echo;
+
+impl WorkerLogic for Echo {
+    fn class(&self) -> WorkerClass {
+        "echo".into()
+    }
+    fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+        Duration::from_millis(5)
+    }
+    fn process(&mut self, job: &Job, _n: SimTime, _r: &mut Pcg32) -> Result<Payload, WorkerError> {
+        let blob = sns_core::payload_as::<Blob>(&job.input).expect("blob input");
+        if blob.tag == "poison" {
+            return Err(WorkerError::Crash);
+        }
+        Ok(Blob::payload(blob.len / 2, "echoed"))
+    }
+}
+
+fn fast_config() -> RtConfig {
+    RtConfig {
+        time_scale: 0.01,
+        report_period: Duration::from_millis(10),
+        beacon_period: Duration::from_millis(20),
+        seed: 0xc4a5,
+        restart_on_crash: true,
+    }
+}
+
+/// Worker crash with work still queued: the manager must notice the
+/// death, start a process peer, salvage the orphaned queue onto the
+/// replacement, and every salvaged job must still get an answer.
+#[test]
+fn crash_restart_redispatches_queued_jobs() {
+    let started = Instant::now();
+    let c: Arc<RtCluster> = RtCluster::start(fast_config());
+    // A single worker so the queued jobs are provably behind the poison.
+    c.add_workers("echo", 1, || Box::new(Echo));
+
+    // The poison goes first; five real jobs queue up behind it.
+    let poisoned = c.submit("echo", "echo", Blob::payload(10, "poison"), None);
+    let queued: Vec<_> = (0..5)
+        .map(|i| c.submit("echo", "echo", Blob::payload(1000 + i, "x"), None))
+        .collect();
+
+    // The crashed job never answers…
+    assert!(
+        poisoned.recv_timeout(Duration::from_millis(500)).is_err(),
+        "a crashed worker must not reply"
+    );
+    // …but every job it orphaned is salvaged onto the process peer.
+    for rx in queued {
+        match rx
+            .recv_timeout(Duration::from_secs(2))
+            .expect("salvaged reply")
+        {
+            JobResult::Ok(p) => assert!(p.wire_size() >= 500),
+            JobResult::Failed(e) => panic!("salvaged job failed: {e}"),
+        }
+    }
+    assert!(c.crashes.load(Ordering::Relaxed) >= 1, "crash observed");
+    assert!(
+        c.restarts.load(Ordering::Relaxed) >= 1,
+        "process peer started"
+    );
+    assert!(
+        c.redispatched.load(Ordering::Relaxed) >= 1,
+        "orphaned queue redispatched"
+    );
+    assert_eq!(c.workers_of("echo"), 1, "population restored");
+    c.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "test exceeded its wall-clock budget: {:?}",
+        started.elapsed()
+    );
+}
+
+/// Shutdown must drain, not drop: every job accepted before shutdown
+/// gets a reply even though the worker threads are being torn down.
+#[test]
+fn shutdown_drains_queues() {
+    let started = Instant::now();
+    let c: Arc<RtCluster> = RtCluster::start(fast_config());
+    c.add_workers("echo", 2, || Box::new(Echo));
+
+    let receivers: Vec<_> = (0..40)
+        .map(|i| c.submit("echo", "echo", Blob::payload(512 + i, "x"), None))
+        .collect();
+    // Tear down immediately — most of those jobs are still queued.
+    c.shutdown();
+
+    // shutdown() joined the workers, so every reply is already sent.
+    for rx in receivers {
+        match rx
+            .recv_timeout(Duration::from_millis(100))
+            .expect("drained reply")
+        {
+            JobResult::Ok(_) => {}
+            JobResult::Failed(e) => panic!("queued job dropped at shutdown: {e}"),
+        }
+    }
+    assert_eq!(c.jobs_done.load(Ordering::Relaxed), 40);
+
+    // After shutdown the cluster refuses new work, softly.
+    let rx = c.submit("echo", "echo", Blob::payload(1, "x"), None);
+    assert!(matches!(
+        rx.recv_timeout(Duration::from_millis(100)),
+        Ok(JobResult::Failed(_))
+    ));
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "test exceeded its wall-clock budget: {:?}",
+        started.elapsed()
+    );
+}

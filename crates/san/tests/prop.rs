@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use proptest::prelude::*;
+use sns_testkit::{gens, props, tk_assert, tk_assert_eq, Gen};
 
 use sns_san::{LinkParams, San, SanConfig};
 use sns_sim::network::{Delivery, Endpoint, Network, TrafficClass};
@@ -27,28 +27,26 @@ struct Msg {
     datagram: bool,
 }
 
-fn msg_strategy() -> impl Strategy<Value = Msg> {
-    (
-        0u64..2_000_000,
-        0u32..6,
-        0u32..6,
-        1u64..200_000,
-        any::<bool>(),
-    )
-        .prop_map(|(at_us, from, to, size, datagram)| Msg {
-            at_us,
-            from,
-            to,
-            size,
-            datagram,
-        })
+fn msg_gen() -> Gen<Msg> {
+    let at_us = gens::u64_in(0..2_000_000);
+    let from = gens::u32_in(0..6);
+    let to = gens::u32_in(0..6);
+    let size = gens::u64_in(1..200_000);
+    let datagram = gens::any_bool();
+    Gen::new(move |src| Msg {
+        at_us: at_us.run(src),
+        from: from.run(src),
+        to: to.run(src),
+        size: size.run(src),
+        datagram: datagram.run(src),
+    })
 }
 
-proptest! {
-    #[test]
+props! {
     fn deliveries_never_precede_sends_and_reliable_never_drops(
-        mut msgs in proptest::collection::vec(msg_strategy(), 1..80),
+        msgs in gens::vec(msg_gen(), 1..80),
     ) {
+        let mut msgs = msgs;
         msgs.sort_by_key(|m| m.at_us);
         let mut san = San::new(SanConfig::switched_100mbps());
         for n in 0..6 {
@@ -63,17 +61,16 @@ proptest! {
                 TrafficClass::Reliable
             };
             match san.unicast(now, &mut rng, ep(m.from, 1), ep(m.to, 2), m.size, class) {
-                Delivery::At(t) => prop_assert!(t > now, "delivery {t} not after send {now}"),
+                Delivery::At(t) => tk_assert!(t > now, "delivery {t} not after send {now}"),
                 Delivery::Dropped => {
-                    prop_assert!(m.datagram, "reliable traffic must never drop");
+                    tk_assert!(m.datagram, "reliable traffic must never drop");
                 }
             }
         }
     }
 
-    #[test]
     fn per_link_deliveries_are_fifo(
-        sizes in proptest::collection::vec(1u64..100_000, 2..40),
+        sizes in gens::vec(gens::u64_in(1..100_000), 2..40),
     ) {
         let mut san = San::new(SanConfig::switched_100mbps());
         san.register_node(NodeId(0));
@@ -90,7 +87,7 @@ proptest! {
                 TrafficClass::Reliable,
             ) {
                 Delivery::At(t) => {
-                    prop_assert!(t > last, "same-link messages must deliver in order");
+                    tk_assert!(t > last, "same-link messages must deliver in order");
                     last = t;
                 }
                 Delivery::Dropped => unreachable!("reliable"),
@@ -98,8 +95,10 @@ proptest! {
         }
     }
 
-    #[test]
-    fn faster_links_never_deliver_later(size in 1u64..500_000, at_ms in 0u64..100) {
+    fn faster_links_never_deliver_later(
+        size in gens::u64_in(1..500_000),
+        at_ms in gens::u64_in(0..100),
+    ) {
         let deliver = |mbps: f64| {
             let mut san = San::new(SanConfig {
                 default_nic: LinkParams::mbps(mbps).with_overhead(Duration::from_micros(50)),
@@ -122,13 +121,15 @@ proptest! {
                 Delivery::Dropped => unreachable!(),
             }
         };
-        prop_assert!(deliver(100.0) <= deliver(10.0));
+        tk_assert!(deliver(100.0) <= deliver(10.0));
     }
 
-    #[test]
     fn multicast_decisions_agree_per_node(
-        size in 1u64..50_000,
-        members in proptest::collection::vec((0u32..4, 1u64..40), 1..20),
+        size in gens::u64_in(1..50_000),
+        members in gens::vec(
+            gens::u32_in(0..4).flat_map(|n| gens::u64_in(1..40).map(move |c| (n, c))),
+            1..20,
+        ),
     ) {
         let mut san = San::new(SanConfig::switched_100mbps());
         for n in 0..4 {
@@ -144,13 +145,13 @@ proptest! {
             size,
             TrafficClass::Datagram,
         );
-        prop_assert_eq!(out.len(), eps.len());
+        tk_assert_eq!(out.len(), eps.len());
         // All members on the same node share one wire copy, hence one
         // decision and one delivery time.
         for (i, a) in eps.iter().enumerate() {
             for (j, b) in eps.iter().enumerate() {
                 if a.node == b.node {
-                    prop_assert_eq!(out[i], out[j]);
+                    tk_assert_eq!(out[i], out[j]);
                 }
             }
         }

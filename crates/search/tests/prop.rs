@@ -3,27 +3,30 @@
 //! must match a naive scorer, and degradation must only ever shrink the
 //! result set.
 
-use proptest::prelude::*;
+use sns_testkit::{gens, props, tk_assert, tk_assert_eq, Gen};
 
 use sns_search::doc::Document;
 use sns_search::index::InvertedIndex;
 use sns_search::partition::PartitionedIndex;
 use sns_search::tokenize;
 
-fn word() -> impl Strategy<Value = String> {
-    (0u32..40).prop_map(|w| format!("w{w}"))
+fn word() -> Gen<String> {
+    gens::u32_in(0..40).map(|w| format!("w{w}"))
 }
 
-fn doc_strategy(id: u64) -> impl Strategy<Value = Document> {
-    proptest::collection::vec(word(), 1..30).prop_map(move |words| Document {
-        id,
-        title: String::new(),
-        body: words.join(" "),
+fn corpus_gen() -> Gen<Vec<Document>> {
+    let n_gen = gens::usize_in(5..40);
+    let words_gen = gens::vec(word(), 1..30);
+    Gen::new(move |src| {
+        let n = n_gen.run(src);
+        (0..n as u64)
+            .map(|id| Document {
+                id,
+                title: String::new(),
+                body: words_gen.run(src).join(" "),
+            })
+            .collect()
     })
-}
-
-fn corpus_strategy() -> impl Strategy<Value = Vec<Document>> {
-    (5usize..40).prop_flat_map(|n| (0..n as u64).map(doc_strategy).collect::<Vec<_>>())
 }
 
 /// Naive scorer: identical semantics, O(corpus) per query.
@@ -48,9 +51,11 @@ fn naive_query(corpus: &[Document], q: &str, k: usize) -> Vec<(u64, f64)> {
     scored
 }
 
-proptest! {
-    #[test]
-    fn index_matches_naive_scan(corpus in corpus_strategy(), q in proptest::collection::vec(word(), 1..4)) {
+props! {
+    fn index_matches_naive_scan(
+        corpus in corpus_gen(),
+        q in gens::vec(word(), 1..4),
+    ) {
         let query = q.join(" ");
         let mut ix = InvertedIndex::new();
         for d in &corpus {
@@ -58,18 +63,17 @@ proptest! {
         }
         let got = ix.query(&query, 10);
         let want = naive_query(&corpus, &query, 10);
-        prop_assert_eq!(got.len(), want.len());
+        tk_assert_eq!(got.len(), want.len());
         for (hit, (doc, score)) in got.iter().zip(&want) {
-            prop_assert_eq!(hit.doc, *doc);
-            prop_assert!((hit.score - score).abs() < 1e-9);
+            tk_assert_eq!(hit.doc, *doc);
+            tk_assert!((hit.score - score).abs() < 1e-9);
         }
     }
 
-    #[test]
     fn partitioned_equals_monolithic(
-        corpus in corpus_strategy(),
-        nparts in 1usize..8,
-        q in proptest::collection::vec(word(), 1..4),
+        corpus in corpus_gen(),
+        nparts in gens::usize_in(1..8),
+        q in gens::vec(word(), 1..4),
     ) {
         let query = q.join(" ");
         let mut mono = InvertedIndex::new();
@@ -79,16 +83,15 @@ proptest! {
             parts.add(d);
         }
         let outcome = parts.query(&query, 10);
-        prop_assert_eq!((outcome.coverage - 1.0).abs() < 1e-12, true);
+        tk_assert_eq!((outcome.coverage - 1.0).abs() < 1e-12, true);
         let want = mono.query(&query, 10);
-        prop_assert_eq!(outcome.hits, want);
+        tk_assert_eq!(outcome.hits, want);
     }
 
-    #[test]
     fn degradation_only_removes_results(
-        corpus in corpus_strategy(),
-        down in 0usize..4,
-        q in proptest::collection::vec(word(), 1..3),
+        corpus in corpus_gen(),
+        down in gens::usize_in(0..4),
+        q in gens::vec(word(), 1..3),
     ) {
         let query = q.join(" ");
         let mut parts = PartitionedIndex::new(4);
@@ -98,20 +101,21 @@ proptest! {
         let full = parts.query(&query, 50);
         parts.set_down(down);
         let degraded = parts.query(&query, 50);
-        prop_assert!(degraded.coverage <= 1.0);
+        tk_assert!(degraded.coverage <= 1.0);
         // Every degraded hit was in the full result set.
         for h in &degraded.hits {
-            prop_assert!(full.hits.contains(h), "degradation invented a result");
+            tk_assert!(full.hits.contains(h), "degradation invented a result");
         }
         // Recovery is exact.
         parts.set_up(down);
         let back = parts.query(&query, 50);
-        prop_assert_eq!(back.hits, full.hits);
+        tk_assert_eq!(back.hits, full.hits);
     }
 
-    #[test]
-    fn tokenize_roundtrips_clean_words(words in proptest::collection::vec("[a-z]{1,8}", 0..20)) {
+    fn tokenize_roundtrips_clean_words(
+        words in gens::vec(gens::string("[a-z]{1,8}"), 0..20),
+    ) {
         let text = words.join(" ");
-        prop_assert_eq!(tokenize(&text), words);
+        tk_assert_eq!(tokenize(&text), words);
     }
 }

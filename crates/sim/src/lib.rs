@@ -84,8 +84,27 @@ pub struct GroupId(pub u32);
 pub use engine::{Component, Ctx, Kernel, NodeSpec, RunOutcome, Sim, SimConfig, Wire};
 pub use network::{Delivery, Endpoint, IdealNetwork, Network, TrafficClass};
 pub use rng::Pcg32;
-pub use stats::{Histogram, Series, StatsHub, Summary};
+pub use stats::{Histogram, MetricKey, Series, StatsHub, Summary};
 pub use time::SimTime;
+
+/// Interns a name, returning its canonical `&'static str`. Each distinct
+/// name leaks exactly one copy; repeated calls with the same content are
+/// allocation-free lookups. Backs [`stats::MetricKey`] and the engine's
+/// component-kind tags.
+pub fn intern(name: &str) -> &'static str {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut map = INTERNED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(&s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
 
 /// Commonly used items, for glob import in component code.
 pub mod prelude {

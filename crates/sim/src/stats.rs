@@ -3,12 +3,59 @@
 //! Components and the engine itself record observations into a shared
 //! [`StatsHub`]; experiment harnesses read them back after (or during) a
 //! run to regenerate the paper's tables and figures. All collections are
-//! keyed by `&'static str`-convertible names and stored in `BTreeMap`s so
-//! that report iteration order is deterministic.
+//! keyed by interned [`MetricKey`]s and stored in `BTreeMap`s so that
+//! report iteration order is deterministic. Recording under a `&str`
+//! name interns it on first touch and is allocation-free afterwards;
+//! hot paths can hold a `MetricKey` and skip even the intern lookup.
 
 use std::collections::BTreeMap;
 
 use crate::time::SimTime;
+
+/// An interned metric name: a cheap, `Copy` handle hot paths can cache
+/// so that repeated recording neither allocates nor re-interns.
+///
+/// Every `StatsHub` write method accepts `impl Into<MetricKey>`, so
+/// plain `&str` names keep working everywhere — they intern on the way
+/// in (an allocation only the first time a given name is seen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey(&'static str);
+
+impl MetricKey {
+    /// Interns `name` and returns its key.
+    pub fn new(name: &str) -> Self {
+        MetricKey(crate::intern(name))
+    }
+
+    /// The canonical name.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl From<&str> for MetricKey {
+    fn from(name: &str) -> Self {
+        MetricKey::new(name)
+    }
+}
+
+impl From<&String> for MetricKey {
+    fn from(name: &String) -> Self {
+        MetricKey::new(name)
+    }
+}
+
+impl From<String> for MetricKey {
+    fn from(name: String) -> Self {
+        MetricKey::new(&name)
+    }
+}
+
+impl std::fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
 
 /// A streaming summary of scalar observations (count / mean / min / max /
 /// variance via Welford, plus an exact reservoir-free percentile store for
@@ -22,6 +69,8 @@ pub struct Summary {
     max: f64,
     /// Exact samples retained for percentile queries (capped).
     samples: Vec<f64>,
+    /// Whether `samples` is currently sorted (lazy quantile support).
+    sorted: bool,
     cap: usize,
     /// Every `stride`-th observation is retained once the cap is hit.
     stride: u64,
@@ -67,6 +116,7 @@ impl Summary {
             }
             if self.count.is_multiple_of(self.stride) {
                 self.samples.push(x);
+                self.sorted = false;
             }
         }
     }
@@ -105,14 +155,23 @@ impl Summary {
     }
 
     /// Approximate `q`-quantile (`q` in `[0,1]`) from retained samples.
-    pub fn quantile(&self, q: f64) -> f64 {
+    ///
+    /// Sorts the retained samples in place the first time it is called
+    /// (and again only after new observations arrive), so a batch of
+    /// quantile reads after a run costs one sort instead of one
+    /// clone-and-sort per call. The retained set's ordering carries no
+    /// meaning — thinning keeps every other element, which is equally
+    /// representative of the distribution either way.
+    pub fn quantile(&mut self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut v = self.samples.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        v[idx]
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.sorted = true;
+        }
+        let idx = ((self.samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.samples[idx]
     }
 }
 
@@ -216,11 +275,16 @@ impl Series {
 }
 
 /// The shared sink all components record into.
+///
+/// Keys are interned `&'static str`s: recording under a `&str` name
+/// allocates only the first time that name is ever seen (anywhere in
+/// the process); after that, every touch is a pure map lookup. Reads
+/// take plain `&str` and never intern.
 #[derive(Debug, Default)]
 pub struct StatsHub {
-    counters: BTreeMap<String, u64>,
-    summaries: BTreeMap<String, Summary>,
-    series: BTreeMap<String, Series>,
+    counters: BTreeMap<&'static str, u64>,
+    summaries: BTreeMap<&'static str, Summary>,
+    series: BTreeMap<&'static str, Series>,
 }
 
 impl StatsHub {
@@ -230,8 +294,8 @@ impl StatsHub {
     }
 
     /// Adds `n` to the named counter.
-    pub fn incr(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    pub fn incr(&mut self, name: impl Into<MetricKey>, n: u64) {
+        *self.counters.entry(name.into().as_str()).or_insert(0) += n;
     }
 
     /// Reads a counter (0 if never written).
@@ -240,9 +304,9 @@ impl StatsHub {
     }
 
     /// Records a scalar observation into the named summary.
-    pub fn observe(&mut self, name: &str, x: f64) {
+    pub fn observe(&mut self, name: impl Into<MetricKey>, x: f64) {
         self.summaries
-            .entry(name.to_string())
+            .entry(name.into().as_str())
             .or_insert_with(|| Summary::with_capacity(16_384))
             .record(x);
     }
@@ -252,9 +316,17 @@ impl StatsHub {
         self.summaries.get(name)
     }
 
+    /// Mutable summary access (quantile reads sort lazily in place).
+    pub fn summary_mut(&mut self, name: &str) -> Option<&mut Summary> {
+        self.summaries.get_mut(name)
+    }
+
     /// Appends to the named time series.
-    pub fn sample(&mut self, name: &str, t: SimTime, v: f64) {
-        self.series.entry(name.to_string()).or_default().push(t, v);
+    pub fn sample(&mut self, name: impl Into<MetricKey>, t: SimTime, v: f64) {
+        self.series
+            .entry(name.into().as_str())
+            .or_default()
+            .push(t, v);
     }
 
     /// Reads a series if present.
@@ -264,17 +336,17 @@ impl StatsHub {
 
     /// Iterates all series (deterministic order), e.g. for plotting.
     pub fn all_series(&self) -> impl Iterator<Item = (&str, &Series)> {
-        self.series.iter().map(|(k, v)| (k.as_str(), v))
+        self.series.iter().map(|(&k, v)| (k, v))
     }
 
     /// Iterates all counters (deterministic order).
     pub fn all_counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
     /// Iterates all summaries (deterministic order).
     pub fn all_summaries(&self) -> impl Iterator<Item = (&str, &Summary)> {
-        self.summaries.iter().map(|(k, v)| (k.as_str(), v))
+        self.summaries.iter().map(|(&k, v)| (k, v))
     }
 }
 

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use proptest::prelude::*;
+use sns_testkit::{gens, props, tk_assert, tk_assert_eq, tk_assume};
 
 use sns_sim::engine::{Component, Ctx, NodeSpec, Sim, SimConfig, Wire};
 use sns_sim::network::IdealNetwork;
@@ -38,32 +38,35 @@ impl Component<Nop> for TimerProbe {
     }
 }
 
-proptest! {
-    #[test]
-    fn timers_fire_in_time_order_with_fifo_ties(delays in proptest::collection::vec(0u64..500, 1..40)) {
+props! {
+    fn timers_fire_in_time_order_with_fifo_ties(
+        delays in gens::vec(gens::u64_in(0..500), 1..40),
+    ) {
         let mut sim: Sim<Nop, IdealNetwork> =
             Sim::new(SimConfig::default(), IdealNetwork::default());
         let n = sim.add_node(NodeSpec::new(1, "d"));
         sim.spawn(n, Box::new(TimerProbe { delays_ms: delays.clone() }), "probe");
         sim.run();
         let fired = sim.stats().series("fired").unwrap().points().to_vec();
-        prop_assert_eq!(fired.len(), delays.len());
+        tk_assert_eq!(fired.len(), delays.len());
         // Non-decreasing fire times…
-        prop_assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0));
+        tk_assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0));
         // …each token at exactly its requested time…
         for &(at, token) in &fired {
-            prop_assert_eq!(at, SimTime::from_millis(delays[token as usize]));
+            tk_assert_eq!(at, SimTime::from_millis(delays[token as usize]));
         }
         // …and equal-time timers in scheduling (FIFO) order.
         for w in fired.windows(2) {
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "ties must fire in scheduling order");
+                tk_assert!(w[0].1 < w[1].1, "ties must fire in scheduling order");
             }
         }
     }
 
-    #[test]
-    fn replay_is_deterministic_for_any_seed(seed in any::<u64>(), delays in proptest::collection::vec(0u64..100, 1..20)) {
+    fn replay_is_deterministic_for_any_seed(
+        seed in gens::any_u64(),
+        delays in gens::vec(gens::u64_in(0..100), 1..20),
+    ) {
         let run = || {
             let mut sim: Sim<Nop, IdealNetwork> = Sim::new(
                 SimConfig { seed, ..Default::default() },
@@ -74,11 +77,12 @@ proptest! {
             sim.run();
             (sim.now(), sim.events_dispatched())
         };
-        prop_assert_eq!(run(), run());
+        tk_assert_eq!(run(), run());
     }
 
-    #[test]
-    fn summary_matches_naive_statistics(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+    fn summary_matches_naive_statistics(
+        xs in gens::vec(gens::f64_in(-1e6..1e6), 1..300),
+    ) {
         let mut s = Summary::with_capacity(1024);
         for &x in &xs {
             s.record(x);
@@ -86,33 +90,34 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        prop_assert_eq!(s.count(), xs.len() as u64);
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.stddev() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
+        tk_assert_eq!(s.count(), xs.len() as u64);
+        tk_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        tk_assert!((s.stddev() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min(), min);
-        prop_assert_eq!(s.max(), max);
+        tk_assert_eq!(s.min(), min);
+        tk_assert_eq!(s.max(), max);
     }
 
-    #[test]
-    fn rng_below_is_always_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+    fn rng_below_is_always_in_bounds(
+        seed in gens::any_u64(),
+        bound in gens::u64_in(1..1_000_000),
+    ) {
         let mut rng = sns_sim::rng::Pcg32::new(seed);
         for _ in 0..100 {
-            prop_assert!(rng.below(bound) < bound);
+            tk_assert!(rng.below(bound) < bound);
         }
     }
 
-    #[test]
     fn weighted_never_picks_zero_weight(
-        seed in any::<u64>(),
-        weights in proptest::collection::vec(0.0f64..10.0, 2..12),
+        seed in gens::any_u64(),
+        weights in gens::vec(gens::f64_in(0.0..10.0), 2..12),
     ) {
-        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        tk_assume!(weights.iter().any(|&w| w > 0.0));
         let mut rng = sns_sim::rng::Pcg32::new(seed);
         for _ in 0..50 {
             let i = rng.weighted(&weights);
-            prop_assert!(weights[i] > 0.0, "picked zero-weight index {i}");
+            tk_assert!(weights[i] > 0.0, "picked zero-weight index {i}");
         }
     }
 }

@@ -4,42 +4,46 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use sns_testkit::{gens, props, tk_assert_eq, tk_assert_ne, tk_assume, Gen};
 
 use sns_tacc::pipeline::PipelineSpec;
 use sns_tacc::worker::TaccArgs;
 
-fn kv_map() -> impl Strategy<Value = BTreeMap<String, String>> {
-    proptest::collection::btree_map("[a-z]{1,6}", "[a-z0-9]{0,6}", 0..6)
+fn kv_map() -> Gen<BTreeMap<String, String>> {
+    gens::btree_map(
+        gens::string("[a-z]{1,6}"),
+        gens::string("[a-z0-9]{0,6}"),
+        0..6,
+    )
 }
 
-fn stages() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec("[a-z]{1,8}", 0..5)
+fn stages() -> Gen<Vec<String>> {
+    gens::vec(gens::string("[a-z]{1,8}"), 0..5)
 }
 
-proptest! {
-    #[test]
+props! {
     fn profile_always_wins_over_defaults(defaults in kv_map(), profile in kv_map()) {
         let merged = TaccArgs::merged(&defaults, Some(&Arc::new(profile.clone())));
         for (k, v) in &profile {
-            prop_assert_eq!(merged.get(k), Some(v.as_str()));
+            tk_assert_eq!(merged.get(k), Some(v.as_str()));
         }
         for (k, v) in &defaults {
             if !profile.contains_key(k) {
-                prop_assert_eq!(merged.get(k), Some(v.as_str()));
+                tk_assert_eq!(merged.get(k), Some(v.as_str()));
             }
         }
     }
 
-    #[test]
-    fn variant_hash_is_stable_and_never_original(map in kv_map(), worker in "[a-z]{1,8}") {
+    fn variant_hash_is_stable_and_never_original(
+        map in kv_map(),
+        worker in gens::string("[a-z]{1,8}"),
+    ) {
         let a = TaccArgs::from_map(map.clone());
         let b = TaccArgs::from_map(map);
-        prop_assert_eq!(a.variant_hash(&worker), b.variant_hash(&worker));
-        prop_assert_ne!(a.variant_hash(&worker), 0, "0 is reserved for originals");
+        tk_assert_eq!(a.variant_hash(&worker), b.variant_hash(&worker));
+        tk_assert_ne!(a.variant_hash(&worker), 0, "0 is reserved for originals");
     }
 
-    #[test]
     fn pipeline_prefixes_share_variants_with_shorter_pipelines(
         st in stages(),
         map in kv_map(),
@@ -50,7 +54,7 @@ proptest! {
             let shorter = PipelineSpec::of(
                 &st[..cut].iter().map(String::as_str).collect::<Vec<_>>(),
             );
-            prop_assert_eq!(
+            tk_assert_eq!(
                 shorter.final_variant(&args),
                 full.variant_of_prefix(cut, &args),
                 "prefix {} must cache under the same variant",
@@ -59,29 +63,30 @@ proptest! {
         }
     }
 
-    #[test]
     fn composition_is_associative_for_arbitrary_pipelines(
         a in stages(), b in stages(), c in stages(),
     ) {
-        let p = |v: &Vec<String>| PipelineSpec::of(&v.iter().map(String::as_str).collect::<Vec<_>>());
+        let p = |v: &Vec<String>| {
+            PipelineSpec::of(&v.iter().map(String::as_str).collect::<Vec<_>>())
+        };
         let left = p(&a).compose(&p(&b)).compose(&p(&c));
         let right = p(&a).compose(&p(&b).compose(&p(&c)));
-        prop_assert_eq!(left, right);
+        tk_assert_eq!(left, right);
     }
 
-    #[test]
     fn distinct_stage_orders_get_distinct_variants(
-        mut st in proptest::collection::vec("[a-z]{2,6}", 2..5),
+        st in gens::vec(gens::string("[a-z]{2,6}"), 2..5),
         map in kv_map(),
     ) {
+        let mut st = st;
         st.dedup();
-        prop_assume!(st.len() >= 2);
+        tk_assume!(st.len() >= 2);
         let args = TaccArgs::from_map(map);
         let fwd = PipelineSpec::of(&st.iter().map(String::as_str).collect::<Vec<_>>());
         let mut rev_stages = st.clone();
         rev_stages.reverse();
-        prop_assume!(rev_stages != st);
+        tk_assume!(rev_stages != st);
         let rev = PipelineSpec::of(&rev_stages.iter().map(String::as_str).collect::<Vec<_>>());
-        prop_assert_ne!(fwd.final_variant(&args), rev.final_variant(&args));
+        tk_assert_ne!(fwd.final_variant(&args), rev.final_variant(&args));
     }
 }

@@ -1,0 +1,109 @@
+//! The generator abstraction: a total decoding function from a choice
+//! [`Source`] to a value. Totality is the contract that makes stream
+//! shrinking sound — any mutated stream must decode to *some* value.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::source::Source;
+
+/// A value generator. Cloning is cheap (shared function).
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Source) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a decoding function.
+    pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Decodes one value from the source.
+    pub fn run(&self, src: &mut Source) -> T {
+        (self.f)(src)
+    }
+
+    /// Applies `f` to every generated value. Shrinking passes through:
+    /// the underlying choices shrink and the mapped value is re-derived.
+    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let g = self.clone();
+        Gen::new(move |src| f(g.run(src)))
+    }
+
+    /// Generates an intermediate value, then runs the generator `f`
+    /// builds from it (dependent generation).
+    pub fn flat_map<U: 'static>(&self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        let g = self.clone();
+        Gen::new(move |src| f(g.run(src)).run(src))
+    }
+}
+
+impl<T> fmt::Debug for Gen<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Gen(..)")
+    }
+}
+
+/// A tuple of generators, as taken by [`crate::check`]: produces the
+/// tuple of argument values a property consumes.
+pub trait GenSet {
+    /// The generated argument tuple.
+    type Value: fmt::Debug;
+    /// Decodes the full argument tuple from one source.
+    fn generate(&self, src: &mut Source) -> Self::Value;
+}
+
+macro_rules! gen_set_tuple {
+    ($($G:ident $g:ident),+) => {
+        impl<$($G: fmt::Debug + 'static),+> GenSet for ($(Gen<$G>,)+) {
+            type Value = ($($G,)+);
+            fn generate(&self, src: &mut Source) -> Self::Value {
+                let ($($g,)+) = self;
+                ($($g.run(src),)+)
+            }
+        }
+    };
+}
+
+gen_set_tuple!(A a);
+gen_set_tuple!(A a, B b);
+gen_set_tuple!(A a, B b, C c);
+gen_set_tuple!(A a, B b, C c, D d);
+gen_set_tuple!(A a, B b, C c, D d, E e);
+gen_set_tuple!(A a, B b, C c, D d, E e, F f);
+gen_set_tuple!(A a, B b, C c, D d, E e, F f, G g);
+gen_set_tuple!(A a, B b, C c, D d, E e, F f, G g, H h);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gens;
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let g = gens::u64_in(1..10)
+            .map(|n| n * 2)
+            .flat_map(|n| gens::u64_in(0..n));
+        let mut src = Source::live(42);
+        for _ in 0..100 {
+            let v = g.run(&mut src);
+            assert!(v < 18);
+        }
+    }
+
+    #[test]
+    fn tuple_genset_draws_in_order() {
+        let gs = (gens::u64_in(0..10), gens::u64_in(10..20));
+        let mut src = Source::replay(vec![3, 4]);
+        let (a, b) = gs.generate(&mut src);
+        assert_eq!((a, b), (3, 14));
+    }
+}

@@ -1,0 +1,195 @@
+//! Choice-stream shrinking: given a recorded stream whose decoded value
+//! fails the property, search for a shorter/smaller stream that still
+//! fails. Works on the integer stream, so it shrinks *through* `map`,
+//! `flat_map` and collection structure without any per-type shrinkers.
+//!
+//! The search runs three pass families to a fixpoint (or budget):
+//! block deletion (structural shrinking — drops collection elements),
+//! block zeroing (simplest values), and per-element minimisation
+//! (binary-search toward zero). Every accepted candidate is replaced by
+//! the stream actually *recorded* while re-running it, which canonicalises
+//! away unread tail choices.
+
+/// Outcome of re-running the property on a candidate stream: does it
+/// still fail, and what stream was actually consumed?
+pub struct Rerun {
+    /// True when the property still fails on this stream.
+    pub fails: bool,
+    /// The choices actually drawn during the re-run.
+    pub consumed: Vec<u64>,
+}
+
+/// Shrinks `stream` against `rerun`, spending at most `budget` re-runs.
+/// Returns the smallest failing stream found and the number of accepted
+/// shrink steps.
+pub fn shrink(
+    stream: Vec<u64>,
+    budget: u32,
+    mut rerun: impl FnMut(Vec<u64>) -> Rerun,
+) -> (Vec<u64>, u32) {
+    // Trailing zeros are inert under replay (an exhausted stream yields
+    // zeros), but the recorded `consumed` stream re-grows them — trim so
+    // deletions genuinely shorten the stream instead of thrashing.
+    fn trim(mut v: Vec<u64>) -> Vec<u64> {
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+
+    let mut current = trim(stream);
+    let mut spent = 0u32;
+    let mut steps = 0u32;
+    let mut try_candidate = |cand: Vec<u64>, current: &mut Vec<u64>, spent: &mut u32| -> bool {
+        let cand = trim(cand);
+        if *spent >= budget || cand == *current {
+            return false;
+        }
+        *spent += 1;
+        let r = rerun(cand);
+        if r.fails {
+            *current = trim(r.consumed);
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete blocks, largest first (structural shrinking).
+        for size in [8usize, 4, 2, 1] {
+            let mut start = 0;
+            while start < current.len() && spent < budget {
+                if size > current.len() - start {
+                    break;
+                }
+                let mut cand = current.clone();
+                cand.drain(start..start + size);
+                if try_candidate(cand, &mut current, &mut spent) {
+                    improved = true;
+                    // Re-test the same offset: the stream shifted left.
+                } else {
+                    start += 1;
+                }
+            }
+        }
+
+        // Pass 2: zero blocks (simplest decoded values).
+        for size in [8usize, 4, 2, 1] {
+            let mut start = 0;
+            while start < current.len() && spent < budget {
+                let end = (start + size).min(current.len());
+                if current[start..end].iter().all(|&x| x == 0) {
+                    start += size;
+                    continue;
+                }
+                let mut cand = current.clone();
+                cand[start..end].iter_mut().for_each(|x| *x = 0);
+                if try_candidate(cand, &mut current, &mut spent) {
+                    improved = true;
+                }
+                start += size;
+            }
+        }
+
+        // Pass 3: minimise individual choices by bisection toward zero
+        // (`lo` always decodes to a pass, `current[i]` to a failure).
+        let mut i = 0;
+        while i < current.len() && spent < budget {
+            if current[i] > 0 {
+                let mut cand = current.clone();
+                cand[i] = 0;
+                if try_candidate(cand, &mut current, &mut spent) {
+                    improved = true;
+                } else {
+                    let mut lo = 0u64;
+                    while spent < budget {
+                        let v = match current.get(i) {
+                            Some(&v) if v > lo + 1 => v,
+                            _ => break,
+                        };
+                        let mid = lo + (v - lo) / 2;
+                        let mut cand = current.clone();
+                        cand[i] = mid;
+                        if try_candidate(cand, &mut current, &mut spent) {
+                            improved = true;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || spent >= budget {
+            break;
+        }
+        steps += 1;
+    }
+    (current, steps.max(u32::from(spent > 0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Property: fails whenever the first choice is >= 10. Minimal
+    /// failing stream should be exactly [10].
+    #[test]
+    fn shrinks_to_boundary() {
+        let rerun = |cand: Vec<u64>| {
+            let v = cand.first().copied().unwrap_or(0);
+            Rerun {
+                fails: v >= 10,
+                consumed: std::vec![v],
+            }
+        };
+        let (best, _) = shrink(std::vec![981, 55, 7, 3], 512, rerun);
+        assert_eq!(best, std::vec![10]);
+    }
+
+    /// Property over a decoded vector: fails when it contains any value
+    /// of 5 or more. Stream layout: `[len, e0, e1, ...]`. The minimal
+    /// failing case is a single-element vector `[5]`.
+    #[test]
+    fn shrinks_collections_structurally() {
+        let decode = |s: &[u64]| -> Vec<u64> {
+            let len = s.first().copied().unwrap_or(0) % 10;
+            (0..len as usize)
+                .map(|i| s.get(1 + i).copied().unwrap_or(0) % 100)
+                .collect()
+        };
+        let rerun = |cand: Vec<u64>| {
+            let v = decode(&cand);
+            let consumed: Vec<u64> = cand.iter().copied().take(1 + v.len()).collect();
+            Rerun {
+                fails: v.iter().any(|&x| x >= 5),
+                consumed,
+            }
+        };
+        let (best, _) = shrink(std::vec![7, 93, 2, 88, 4, 61, 9, 12], 2048, rerun);
+        let v = decode(&best);
+        assert_eq!(
+            v,
+            std::vec![5],
+            "expected minimal counterexample, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn budget_bounds_the_search() {
+        let mut runs = 0;
+        let rerun = |cand: Vec<u64>| {
+            runs += 1;
+            Rerun {
+                fails: true,
+                consumed: cand,
+            }
+        };
+        let _ = shrink((0..64).collect(), 10, rerun);
+        assert!(runs <= 10);
+    }
+}

@@ -1,0 +1,155 @@
+//! The choice stream underlying every generator.
+//!
+//! Generators never touch an RNG directly: they draw `u64` *choices* from
+//! a [`Source`], which records every draw. A live source forwards to a
+//! seeded [`Pcg32`]; a replay source plays back a recorded (possibly
+//! mutated) stream and substitutes `0` once the stream is exhausted.
+//! Because every generator maps the zero choice to its simplest value,
+//! shrinking reduces to minimising the recorded integer stream and
+//! re-decoding — structure-aware shrinking falls out for free, even
+//! through `map`/`flat_map`.
+
+use sns_sim::rng::Pcg32;
+
+/// A recording stream of `u64` choices, either live (RNG-backed) or
+/// replaying a fixed prefix.
+#[derive(Debug)]
+pub struct Source {
+    rng: Option<Pcg32>,
+    replay: Vec<u64>,
+    pos: usize,
+    recorded: Vec<u64>,
+}
+
+impl Source {
+    /// A live source drawing fresh choices from a seeded generator.
+    pub fn live(seed: u64) -> Self {
+        Source {
+            rng: Some(Pcg32::new(seed)),
+            replay: Vec::new(),
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// A replay source: draws come from `stream`, then `0` forever.
+    pub fn replay(stream: Vec<u64>) -> Self {
+        Source {
+            rng: None,
+            replay: stream,
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The next raw choice.
+    pub fn next_u64(&mut self) -> u64 {
+        let v = if self.pos < self.replay.len() {
+            self.replay[self.pos]
+        } else {
+            match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            }
+        };
+        self.pos += 1;
+        self.recorded.push(v);
+        v
+    }
+
+    /// Choices drawn so far (the stream that reproduces this run).
+    pub fn recorded(&self) -> &[u64] {
+        &self.recorded
+    }
+
+    /// Consumes the source, returning the recorded stream.
+    pub fn into_recorded(self) -> Vec<u64> {
+        self.recorded
+    }
+
+    /// Uniform-ish value in `[0, bound)`; the zero choice maps to `0`.
+    ///
+    /// Plain modulo on purpose: unlike [`Pcg32::below`] it never rejects,
+    /// so replaying a mutated stream is total, and smaller choices decode
+    /// to smaller values (the shrinking invariant).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.next_u64() % bound
+    }
+
+    /// Value in `[lo, hi)`; the zero choice maps to `lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// `f64` in `[0, 1)` with 53 bits of precision; zero maps to `0.0`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Boolean; the zero choice maps to `false`.
+    pub fn bool(&mut self) -> bool {
+        self.below(2) == 1
+    }
+
+    /// Index into `weights` proportional to weight; the zero choice maps
+    /// to the first positively-weighted index (put the simplest
+    /// alternative first).
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "weights must have positive sum");
+        let mut x = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_source_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut s = Source::live(seed);
+            (0..32).map(|_| s.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn replay_substitutes_zero_after_exhaustion() {
+        let mut s = Source::replay(vec![5, 6]);
+        assert_eq!(s.next_u64(), 5);
+        assert_eq!(s.next_u64(), 6);
+        assert_eq!(s.next_u64(), 0);
+        assert_eq!(s.recorded(), &[5, 6, 0]);
+    }
+
+    #[test]
+    fn zero_stream_decodes_to_minimal_values() {
+        let mut s = Source::replay(Vec::new());
+        assert_eq!(s.below(100), 0);
+        assert_eq!(s.range(7, 30), 7);
+        assert_eq!(s.unit_f64(), 0.0);
+        assert!(!s.bool());
+        assert_eq!(s.weighted(&[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn weighted_skips_zero_weights() {
+        let mut s = Source::live(3);
+        for _ in 0..200 {
+            let i = s.weighted(&[0, 4, 0, 1]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+}

@@ -10,7 +10,7 @@ use sns_core::manager::{Manager, ManagerConfig, SpawnPolicy, WorkerFactory};
 use sns_core::monitor::Monitor;
 use sns_core::msg::SnsMsg;
 use sns_core::worker::{WorkerStub, WorkerStubConfig};
-use sns_core::{FrontEnd, SnsConfig, WorkerClass};
+use sns_core::{ClusterTopology, FrontEnd, SnsConfig, WorkerClass};
 use sns_distillers::{
     CultureAggregator, GifDistiller, HtmlMunger, JpegDistiller, KeywordFilter,
     MetasearchAggregator, PdaSimplifier, RewebberDecrypt, RewebberEncrypt,
@@ -27,58 +27,53 @@ use sns_workload::trace::TraceRecord;
 use crate::client::{ClientReportHandle, TranSendClient};
 use crate::logic::{TranSendConfig, TranSendLogic};
 
-/// Cluster-shape parameters.
+/// Fluent TranSend cluster builder.
+///
+/// The physical shape lives in a shared [`ClusterTopology`]; everything
+/// else is a service knob with a `with_*` setter. The `Default` preset
+/// is the paper's §3.1 deployment (8 dedicated + 2 overflow nodes, one
+/// front end, 4 cache partitions, GIF/JPEG/HTML distillers):
+///
+/// ```no_run
+/// use sns_transend::TranSendBuilder;
+///
+/// let cluster = TranSendBuilder::new()
+///     .with_seed(7)
+///     .with_worker_nodes(4)
+///     .with_distillers(["gif"])
+///     .build();
+/// # let _ = cluster;
+/// ```
 pub struct TranSendBuilder {
-    /// Engine seed.
-    pub seed: u64,
-    /// SNS layer knobs.
-    pub sns: SnsConfig,
-    /// Service knobs.
-    pub ts: TranSendConfig,
-    /// Interconnect model.
-    pub san: SanConfig,
-    /// Dedicated worker-pool nodes.
-    pub worker_nodes: usize,
-    /// Overflow-pool nodes (§2.2.3).
-    pub overflow_nodes: usize,
-    /// Cores per node (SPARC-era boxes: 1-2).
-    pub cores_per_node: u32,
-    /// Front ends (each on its own node).
-    pub frontends: usize,
-    /// Cache partitions (TranSend ran 4, §3.1.5).
-    pub cache_partitions: u32,
-    /// Bytes per cache partition.
-    pub cache_capacity: u64,
-    /// Minimum distillers per class (0 = purely on-demand, §4.5).
-    pub min_distillers: u32,
-    /// Distiller classes to register (names of `sns-distillers` workers).
-    pub distillers: Vec<String>,
-    /// Aggregator classes to register.
-    pub aggregators: Vec<String>,
-    /// Origin miss-penalty scale (1.0 = the §4.4 distribution).
-    pub origin_penalty_scale: f64,
-    /// Pre-registered user profiles.
-    pub profiles: Vec<(String, Vec<(String, String)>)>,
-    /// NIC override for front-end nodes (the Table 2 bottleneck).
-    pub fe_nic: Option<LinkParams>,
-    /// Random crash probability for image distillers (fault injection).
-    pub distiller_crash_prob: f64,
-    /// The §4.5 queue-delta correction in the manager stubs (disable to
-    /// reproduce the load-balancing oscillations).
-    pub delta_correction: bool,
+    topology: ClusterTopology,
+    sns: SnsConfig,
+    ts: TranSendConfig,
+    overflow_nodes: usize,
+    cache_partitions: u32,
+    cache_capacity: u64,
+    min_distillers: u32,
+    distillers: Vec<String>,
+    aggregators: Vec<String>,
+    origin_penalty_scale: f64,
+    profiles: Vec<(String, Vec<(String, String)>)>,
+    fe_nic: Option<LinkParams>,
+    distiller_crash_prob: f64,
+    delta_correction: bool,
 }
 
 impl Default for TranSendBuilder {
     fn default() -> Self {
         TranSendBuilder {
-            seed: 0x7345,
+            topology: ClusterTopology {
+                seed: 0x7345,
+                san: SanConfig::switched_100mbps(),
+                worker_nodes: 8,
+                frontends: 1,
+                cores_per_node: 2,
+            },
             sns: SnsConfig::default(),
             ts: TranSendConfig::default(),
-            san: SanConfig::switched_100mbps(),
-            worker_nodes: 8,
             overflow_nodes: 2,
-            cores_per_node: 2,
-            frontends: 1,
             cache_partitions: 4,
             cache_capacity: 512 * 1024 * 1024,
             min_distillers: 0,
@@ -90,6 +85,136 @@ impl Default for TranSendBuilder {
             distiller_crash_prob: 0.0,
             delta_correction: true,
         }
+    }
+}
+
+impl TranSendBuilder {
+    /// The §3.1 preset; same as `Default`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole physical shape at once.
+    pub fn with_topology(mut self, topology: ClusterTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the engine seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.topology.seed = seed;
+        self
+    }
+
+    /// Sets the interconnect model.
+    pub fn with_san(mut self, san: SanConfig) -> Self {
+        self.topology.san = san;
+        self
+    }
+
+    /// Sets the SNS-layer knobs.
+    pub fn with_sns(mut self, sns: SnsConfig) -> Self {
+        self.sns = sns;
+        self
+    }
+
+    /// Sets the service knobs.
+    pub fn with_ts(mut self, ts: TranSendConfig) -> Self {
+        self.ts = ts;
+        self
+    }
+
+    /// Sets the number of dedicated worker-pool nodes.
+    pub fn with_worker_nodes(mut self, n: usize) -> Self {
+        self.topology.worker_nodes = n;
+        self
+    }
+
+    /// Sets the number of overflow-pool nodes (§2.2.3).
+    pub fn with_overflow_nodes(mut self, n: usize) -> Self {
+        self.overflow_nodes = n;
+        self
+    }
+
+    /// Sets the cores per node.
+    pub fn with_cores_per_node(mut self, cores: u32) -> Self {
+        self.topology.cores_per_node = cores;
+        self
+    }
+
+    /// Sets the number of front ends (each on its own node).
+    pub fn with_frontends(mut self, n: usize) -> Self {
+        self.topology.frontends = n;
+        self
+    }
+
+    /// Sets the number of cache partitions (TranSend ran 4, §3.1.5).
+    pub fn with_cache_partitions(mut self, n: u32) -> Self {
+        self.cache_partitions = n;
+        self
+    }
+
+    /// Sets the bytes per cache partition.
+    pub fn with_cache_capacity(mut self, bytes: u64) -> Self {
+        self.cache_capacity = bytes;
+        self
+    }
+
+    /// Sets the minimum distillers per class (0 = on-demand, §4.5).
+    pub fn with_min_distillers(mut self, n: u32) -> Self {
+        self.min_distillers = n;
+        self
+    }
+
+    /// Sets the distiller classes to register.
+    pub fn with_distillers<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.distillers = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the aggregator classes to register.
+    pub fn with_aggregators<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.aggregators = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Scales the origin miss penalty (1.0 = the §4.4 distribution).
+    pub fn with_origin_penalty_scale(mut self, scale: f64) -> Self {
+        self.origin_penalty_scale = scale;
+        self
+    }
+
+    /// Pre-registers user profiles.
+    pub fn with_profiles(mut self, profiles: Vec<(String, Vec<(String, String)>)>) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Overrides the front-end NIC (the Table 2 bottleneck).
+    pub fn with_fe_nic(mut self, nic: LinkParams) -> Self {
+        self.fe_nic = Some(nic);
+        self
+    }
+
+    /// Sets the random crash probability for image distillers.
+    pub fn with_distiller_crash_prob(mut self, p: f64) -> Self {
+        self.distiller_crash_prob = p;
+        self
+    }
+
+    /// Enables/disables the §4.5 queue-delta correction (disable to
+    /// reproduce the load-balancing oscillations).
+    pub fn with_delta_correction(mut self, on: bool) -> Self {
+        self.delta_correction = on;
+        self
     }
 }
 
@@ -246,10 +371,11 @@ impl TranSendBuilder {
     /// Builds the cluster. The caller then attaches clients and runs the
     /// simulation.
     pub fn build(self) -> TranSendCluster {
-        let san = San::new(self.san.clone());
+        let topo = &self.topology;
+        let san = San::new(topo.san.clone());
         let mut sim: Sim<SnsMsg, San> = Sim::new(
             SimConfig {
-                seed: self.seed,
+                seed: topo.seed,
                 ..Default::default()
             },
             san,
@@ -258,15 +384,15 @@ impl TranSendBuilder {
         // Nodes. Worker pool is "dedicated"/"overflow" (the manager's
         // placement tags); everything else is out of the autoscaler's
         // reach.
-        for _ in 0..self.worker_nodes {
-            sim.add_node(NodeSpec::new(self.cores_per_node, "dedicated"));
+        for _ in 0..topo.worker_nodes {
+            sim.add_node(NodeSpec::new(topo.cores_per_node, "dedicated"));
         }
         for _ in 0..self.overflow_nodes {
-            sim.add_node(NodeSpec::new(self.cores_per_node, "overflow"));
+            sim.add_node(NodeSpec::new(topo.cores_per_node, "overflow"));
         }
-        let infra_node = sim.add_node(NodeSpec::new(self.cores_per_node, "infra"));
-        let fe_nodes: Vec<NodeId> = (0..self.frontends)
-            .map(|_| sim.add_node(NodeSpec::new(self.cores_per_node, "frontend")))
+        let infra_node = sim.add_node(NodeSpec::new(topo.cores_per_node, "infra"));
+        let fe_nodes: Vec<NodeId> = (0..topo.frontends)
+            .map(|_| sim.add_node(NodeSpec::new(topo.cores_per_node, "frontend")))
             .collect();
         let client_node = sim.add_node(NodeSpec::new(4, "client"));
         let origin_node = sim.add_node(NodeSpec::new(8, "internet"));

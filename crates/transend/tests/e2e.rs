@@ -24,16 +24,14 @@ fn small_trace(seed: u64, rate: f64, secs: u64) -> Vec<(Duration, sns_workload::
 }
 
 fn build_small() -> TranSendCluster {
-    TranSendBuilder {
-        worker_nodes: 6,
-        overflow_nodes: 1,
-        frontends: 1,
-        cache_partitions: 3,
-        min_distillers: 1,
-        origin_penalty_scale: 0.2, // keep test wall-clock tight
-        ..Default::default()
-    }
-    .build()
+    TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_overflow_nodes(1)
+        .with_frontends(1)
+        .with_cache_partitions(3)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.2) // keep test wall-clock tight
+        .build()
 }
 
 #[test]
@@ -69,25 +67,23 @@ fn trace_run_distills_and_caches() {
 
 #[test]
 fn per_user_customization_reaches_workers() {
-    let mut builder = TranSendBuilder {
-        worker_nodes: 6,
-        overflow_nodes: 1,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 1,
-        origin_penalty_scale: 0.2,
-        ..Default::default()
-    };
     // One registered user insists on high quality: their images shrink
     // less than default users'.
-    builder.profiles = vec![(
-        "u1".to_string(),
-        vec![
-            ("quality".to_string(), "90".to_string()),
-            ("scale".to_string(), "1".to_string()),
-        ],
-    )];
-    let mut cluster = builder.build();
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_overflow_nodes(1)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.2)
+        .with_profiles(vec![(
+            "u1".to_string(),
+            vec![
+                ("quality".to_string(), "90".to_string()),
+                ("scale".to_string(), "1".to_string()),
+            ],
+        )])
+        .build();
     let items = small_trace(43, 4.0, 25);
     let n = items.len() as u64;
     let report = cluster.attach_client(items, Duration::from_secs(4));
@@ -99,17 +95,15 @@ fn per_user_customization_reaches_workers() {
 
 #[test]
 fn distiller_crashes_degrade_but_never_fail() {
-    let mut cluster = TranSendBuilder {
-        worker_nodes: 6,
-        overflow_nodes: 1,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 2,
-        origin_penalty_scale: 0.2,
-        distiller_crash_prob: 0.2, // pathological inputs (§3.1.6)
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_overflow_nodes(1)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(2)
+        .with_origin_penalty_scale(0.2)
+        .with_distiller_crash_prob(0.2) // pathological inputs (§3.1.6)
+        .build();
     let items = small_trace(44, 4.0, 40);
     let n = items.len() as u64;
     let report = cluster.attach_client(items, Duration::from_secs(4));

@@ -63,16 +63,14 @@ impl Component<SnsMsg> for RawClient {
 
 #[test]
 fn culture_page_service_collates_origin_pages_through_the_cluster() {
-    let mut cluster = TranSendBuilder {
-        worker_nodes: 6,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 1,
-        aggregators: vec!["culture".into()],
-        origin_penalty_scale: 0.1,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_aggregators(["culture"])
+        .with_origin_penalty_scale(0.1)
+        .build();
     let sources: Vec<FetchRequest> = (0..4)
         .map(|i| FetchRequest {
             url: format!("http://arts{i}.example/calendar.html"),
@@ -124,16 +122,14 @@ fn culture_page_tolerates_unreachable_sources() {
     // with the dispatch timeout it is treated as missing and the page is
     // produced from the remaining sources, degraded (BASE approximate
     // answers at the application layer, §5.1).
-    let mut cluster = TranSendBuilder {
-        worker_nodes: 6,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 1,
-        aggregators: vec!["culture".into()],
-        origin_penalty_scale: 3.0, // some fetches exceed the 5 s timeout
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_aggregators(["culture"])
+        .with_origin_penalty_scale(3.0) // some fetches exceed the 5 s timeout
+        .build();
     let sources: Vec<FetchRequest> = (0..6)
         .map(|i| FetchRequest {
             url: format!("http://slow{i}.example/cal.html"),
@@ -170,20 +166,18 @@ fn culture_page_tolerates_unreachable_sources() {
 
 #[test]
 fn pda_device_profile_gets_spoon_fed_markup() {
-    let mut builder = TranSendBuilder {
-        worker_nodes: 6,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 1,
-        distillers: vec!["gif".into(), "jpeg".into(), "html".into(), "pda".into()],
-        origin_penalty_scale: 0.1,
-        ..Default::default()
-    };
-    builder.profiles = vec![(
-        "palm-user".to_string(),
-        vec![("device".to_string(), "palm".to_string())],
-    )];
-    let mut cluster = builder.build();
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_distillers(["gif", "jpeg", "html", "pda"])
+        .with_origin_penalty_scale(0.1)
+        .with_profiles(vec![(
+            "palm-user".to_string(),
+            vec![("device".to_string(), "palm".to_string())],
+        )])
+        .build();
     let request = ClientRequest {
         id: 2,
         user: "palm-user".into(),

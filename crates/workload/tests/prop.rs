@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use proptest::prelude::*;
+use sns_testkit::{gens, props, tk_assert, tk_assert_eq, Gen};
 
 use sns_sim::rng::Pcg32;
 use sns_workload::playback::{Playback, Schedule};
@@ -12,41 +12,38 @@ use sns_workload::trace::{Trace, TraceGenerator, TraceRecord, WorkloadConfig};
 use sns_workload::zipf::Zipf;
 use sns_workload::MimeType;
 
-fn record_strategy() -> impl Strategy<Value = TraceRecord> {
-    (
-        0u64..1_000_000_000,
-        any::<u32>(),
-        "[a-zA-Z0-9/:._-]{1,40}",
-        0usize..4,
-        1u64..1_000_000,
-    )
-        .prop_map(|(ns, user, url, mime, size)| TraceRecord {
-            at: Duration::from_nanos(ns),
-            user,
-            url,
-            mime: [
-                MimeType::Gif,
-                MimeType::Html,
-                MimeType::Jpeg,
-                MimeType::Other,
-            ][mime],
-            size,
-        })
+fn record_gen() -> Gen<TraceRecord> {
+    let ns = gens::u64_in(0..1_000_000_000);
+    let user = gens::any_u32();
+    let url = gens::string("[a-zA-Z0-9/:._-]{1,40}");
+    let mime = gens::usize_in(0..4);
+    let size = gens::u64_in(1..1_000_000);
+    Gen::new(move |src| TraceRecord {
+        at: Duration::from_nanos(ns.run(src)),
+        user: user.run(src),
+        url: url.run(src),
+        mime: [
+            MimeType::Gif,
+            MimeType::Html,
+            MimeType::Jpeg,
+            MimeType::Other,
+        ][mime.run(src)],
+        size: size.run(src),
+    })
 }
 
-proptest! {
-    #[test]
-    fn tsv_roundtrip_arbitrary_records(mut records in proptest::collection::vec(record_strategy(), 0..40)) {
+props! {
+    fn tsv_roundtrip_arbitrary_records(records in gens::vec(record_gen(), 0..40)) {
+        let mut records = records;
         records.sort_by_key(|r| r.at);
         let trace = Trace { records };
         let parsed = Trace::from_tsv(&trace.to_tsv()).unwrap();
-        prop_assert_eq!(parsed.records, trace.records);
+        tk_assert_eq!(parsed.records, trace.records);
     }
 
-    #[test]
     fn playback_constant_rate_is_evenly_spaced(
-        n in 1usize..50,
-        rate in 0.5f64..100.0,
+        n in gens::usize_in(1..50),
+        rate in gens::f64_in(0.5..100.0),
     ) {
         let records: Vec<TraceRecord> = (0..n)
             .map(|i| TraceRecord {
@@ -63,14 +60,13 @@ proptest! {
             .collect();
         for (i, at) in times.iter().enumerate() {
             let expect = i as f64 / rate;
-            prop_assert!((at.as_secs_f64() - expect).abs() < 1e-9);
+            tk_assert!((at.as_secs_f64() - expect).abs() < 1e-9);
         }
     }
 
-    #[test]
     fn playback_acceleration_preserves_order_and_scales(
-        k in 0.1f64..16.0,
-        offsets in proptest::collection::vec(0u64..10_000, 1..30),
+        k in gens::f64_in(0.1..16.0),
+        offsets in gens::vec(gens::u64_in(0..10_000), 1..30),
     ) {
         let mut sorted = offsets.clone();
         sorted.sort_unstable();
@@ -92,11 +88,10 @@ proptest! {
                 at.as_secs_f64()
             })
             .collect();
-        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        tk_assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 
-    #[test]
-    fn object_identity_is_stable_across_generators(seed in any::<u64>()) {
+    fn object_identity_is_stable_across_generators(seed in gens::any_u64()) {
         let cfg = WorkloadConfig {
             seed,
             users: 20,
@@ -108,15 +103,18 @@ proptest! {
         let mut g2 = TraceGenerator::new(cfg);
         let t1 = g1.constant_rate(20.0, Duration::from_secs(10));
         let t2 = g2.constant_rate(20.0, Duration::from_secs(10));
-        prop_assert_eq!(t1.records, t2.records);
+        tk_assert_eq!(t1.records, t2.records);
     }
 
-    #[test]
-    fn zipf_samples_in_range(n in 1usize..5000, alpha in 0.1f64..2.5, seed in any::<u64>()) {
+    fn zipf_samples_in_range(
+        n in gens::usize_in(1..5000),
+        alpha in gens::f64_in(0.1..2.5),
+        seed in gens::any_u64(),
+    ) {
         let z = Zipf::new(n, alpha);
         let mut rng = Pcg32::new(seed);
         for _ in 0..200 {
-            prop_assert!(z.sample(&mut rng) < n);
+            tk_assert!(z.sample(&mut rng) < n);
         }
     }
 }

@@ -51,29 +51,27 @@ fn bursty_items() -> Vec<(Duration, TraceRecord)> {
 fn main() {
     // Small dedicated pool (2 nodes) + a big overflow pool (6 desktop
     // nodes). The dedicated pool alone cannot absorb the burst.
-    let mut cluster = TranSendBuilder {
-        worker_nodes: 2,
-        overflow_nodes: 6,
-        cores_per_node: 2,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 1,
-        distillers: vec!["jpeg".into()],
-        origin_penalty_scale: 0.05,
-        ts: TranSendConfig {
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(2)
+        .with_overflow_nodes(6)
+        .with_cores_per_node(2)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_distillers(["jpeg"])
+        .with_origin_penalty_scale(0.05)
+        .with_ts(TranSendConfig {
             cache_distilled: false, // keep the distillers busy
             ..Default::default()
-        },
-        sns: SnsConfig {
+        })
+        .with_sns(SnsConfig {
             spawn_threshold_h: 6.0,
             spawn_cooldown_d: Duration::from_secs(4),
             reap_threshold: 0.5,
             reap_idle_for: Duration::from_secs(20),
             ..Default::default()
-        },
-        ..Default::default()
-    }
-    .build();
+        })
+        .build();
 
     let items = bursty_items();
     println!(
@@ -115,7 +113,7 @@ fn main() {
         }
     }
 
-    let r = report.borrow();
+    let mut r = report.borrow_mut();
     println!(
         "\nresponses: {} / {} (errors {})",
         r.responses, r.sent, r.errors

@@ -11,13 +11,11 @@ use cluster_sns::hotbot::HotBotBuilder;
 use cluster_sns::sim::SimTime;
 
 fn main() {
-    let mut cluster = HotBotBuilder {
-        partitions: 26,
-        corpus_docs: 5_400,
-        frontends: 2,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = HotBotBuilder::new()
+        .with_partitions(26)
+        .with_corpus_docs(5_400)
+        .with_frontends(2)
+        .build();
     println!(
         "indexed {} synthetic documents across {} partitions (one node each)",
         cluster.total_docs(),
@@ -44,7 +42,7 @@ fn main() {
 
     cluster.sim.run_until(SimTime::from_secs(110));
 
-    let r = report.borrow();
+    let mut r = report.borrow_mut();
     println!("\n== results ==");
     println!(
         "queries answered    : {} / {} (errors: {})",

@@ -16,15 +16,13 @@ fn main() {
     // 1. Describe the cluster: worker nodes, front ends, cache
     //    partitions, which distillers exist. Everything else (manager,
     //    monitor, profile DB, origin model) comes with it.
-    let mut cluster = TranSendBuilder {
-        worker_nodes: 6,
-        frontends: 1,
-        cache_partitions: 3,
-        min_distillers: 1,
-        origin_penalty_scale: 0.2,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_frontends(1)
+        .with_cache_partitions(3)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.2)
+        .build();
 
     // 2. Generate a two-minute Web trace (50 users, the paper's MIME mix
     //    and size distributions) and attach a playback client.
@@ -46,7 +44,7 @@ fn main() {
     cluster.sim.run_until(SimTime::from_secs(400));
 
     // 4. Read the results.
-    let r = report.borrow();
+    let mut r = report.borrow_mut();
     println!("\n== client view ==");
     println!("requests sent        : {}", r.sent);
     println!(

@@ -14,15 +14,15 @@ use cluster_sns::workload::playback::{Playback, Schedule};
 use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
 
 fn main() {
-    let mut cluster = TranSendBuilder {
-        worker_nodes: 8,
-        overflow_nodes: 2,
-        frontends: 2,
-        cache_partitions: 4,
-        min_distillers: 1,
-        origin_penalty_scale: 0.1,
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(8)
+        .with_overflow_nodes(2)
+        .with_frontends(2)
+        .with_cache_partitions(4)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
         // Some registered users with custom preferences.
-        profiles: vec![
+        .with_profiles(vec![
             (
                 "u3".into(),
                 vec![
@@ -34,10 +34,8 @@ fn main() {
                 "u7".into(),
                 vec![("keywords".into(), "network, cluster".into())],
             ),
-        ],
-        ..Default::default()
-    }
-    .build();
+        ])
+        .build();
 
     // 20 minutes of the Figure 6 bursty arrival process, accelerated 2x.
     let mut gen = TraceGenerator::new(WorkloadConfig {
@@ -80,7 +78,7 @@ fn main() {
 
     cluster.sim.run_until(SimTime::from_secs(1000));
 
-    let r = report.borrow();
+    let mut r = report.borrow_mut();
     println!("\n== results ==");
     println!("responses           : {} / {} sent", r.responses, r.sent);
     println!("errors              : {}", r.errors);

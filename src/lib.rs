@@ -21,3 +21,23 @@ pub use sns_sim as sim;
 pub use sns_tacc as tacc;
 pub use sns_transend as transend;
 pub use sns_workload as workload;
+
+/// One-stop imports for building and driving clusters.
+///
+/// ```
+/// use cluster_sns::prelude::*;
+///
+/// let topo = ClusterTopology::default().with_worker_nodes(4);
+/// let builder = TranSendBuilder::new().with_topology(topo);
+/// # let _ = builder;
+/// ```
+pub mod prelude {
+    pub use sns_core::topology::ClusterTopology;
+    pub use sns_core::{SnsConfig, WorkerClass};
+    pub use sns_hotbot::{HotBotBuilder, HotBotCluster};
+    pub use sns_rt::{RtCluster, RtConfig};
+    pub use sns_san::{LinkParams, SanConfig};
+    pub use sns_transend::{TranSendBuilder, TranSendCluster, TranSendConfig};
+    pub use sns_workload::playback::{Playback, Schedule};
+    pub use sns_workload::trace::{Trace, TraceGenerator, WorkloadConfig};
+}

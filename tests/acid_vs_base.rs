@@ -37,15 +37,13 @@ fn acid_component_survives_crash_with_committed_prefix() {
 #[test]
 fn base_state_is_disposable_at_only_a_performance_cost() {
     let build = || {
-        TranSendBuilder {
-            worker_nodes: 6,
-            frontends: 1,
-            cache_partitions: 3,
-            min_distillers: 1,
-            origin_penalty_scale: 0.1,
-            ..Default::default()
-        }
-        .build()
+        TranSendBuilder::new()
+            .with_worker_nodes(6)
+            .with_frontends(1)
+            .with_cache_partitions(3)
+            .with_min_distillers(1)
+            .with_origin_penalty_scale(0.1)
+            .build()
     };
     let trace_items = || {
         let mut gen = TraceGenerator::new(WorkloadConfig {

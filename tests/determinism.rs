@@ -11,16 +11,14 @@ use cluster_sns::workload::playback::{Playback, Schedule};
 use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
 
 fn transend_fingerprint(seed: u64) -> (u64, u64, u64, String) {
-    let mut cluster = TranSendBuilder {
-        seed,
-        worker_nodes: 5,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 1,
-        origin_penalty_scale: 0.1,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(seed)
+        .with_worker_nodes(5)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .build();
     let mut gen = TraceGenerator::new(WorkloadConfig {
         seed: seed ^ 0x11,
         users: 30,
@@ -76,13 +74,11 @@ fn different_seeds_give_different_runs() {
 #[test]
 fn hotbot_runs_are_bit_identical_given_a_seed() {
     let run = || {
-        let mut cluster = HotBotBuilder {
-            partitions: 5,
-            corpus_docs: 400,
-            frontends: 1,
-            ..Default::default()
-        }
-        .build();
+        let mut cluster = HotBotBuilder::new()
+            .with_partitions(5)
+            .with_corpus_docs(400)
+            .with_frontends(1)
+            .build();
         let report = cluster.attach_client(6.0, 40, Duration::from_secs(4));
         cluster.sim.run_until(SimTime::from_secs(40));
         let r = report.borrow();

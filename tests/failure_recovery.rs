@@ -24,16 +24,14 @@ fn items(seed: u64, rate: f64, secs: u64) -> Vec<(Duration, cluster_sns::workloa
 }
 
 fn small_cluster() -> cluster_sns::transend::TranSendCluster {
-    TranSendBuilder {
-        worker_nodes: 6,
-        overflow_nodes: 1,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 1,
-        origin_penalty_scale: 0.1,
-        ..Default::default()
-    }
-    .build()
+    TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_overflow_nodes(1)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .build()
 }
 
 #[test]
@@ -228,16 +226,14 @@ fn client_side_balancing_masks_front_end_failure() {
     // *new* request still succeeds (requests in flight at the instant of
     // the kill are the client's to retry in the real system; the trace
     // client counts them as unanswered, so we assert on the tail).
-    let mut cluster = TranSendBuilder {
-        worker_nodes: 6,
-        overflow_nodes: 1,
-        frontends: 2,
-        cache_partitions: 2,
-        min_distillers: 1,
-        origin_penalty_scale: 0.1,
-        ..Default::default()
-    }
-    .build();
+    let mut cluster = TranSendBuilder::new()
+        .with_worker_nodes(6)
+        .with_overflow_nodes(1)
+        .with_frontends(2)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .build();
     let reqs = items(31, 4.0, 60);
     let n = reqs.len() as u64;
     let report = cluster.attach_client(reqs, Duration::from_secs(4));

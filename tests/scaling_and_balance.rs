@@ -34,28 +34,26 @@ fn fixed_jpeg_items(rate: f64, secs: f64, seed: u64) -> Vec<(Duration, TraceReco
 }
 
 fn run(rate: f64) -> (u64, u64, usize, f64) {
-    let mut cluster = TranSendBuilder {
-        seed: 0x5ca1e,
-        worker_nodes: 10,
-        overflow_nodes: 2,
-        cores_per_node: 2,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 1,
-        distillers: vec!["jpeg".into()],
-        origin_penalty_scale: 0.05,
-        ts: TranSendConfig {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0x5ca1e)
+        .with_worker_nodes(10)
+        .with_overflow_nodes(2)
+        .with_cores_per_node(2)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_distillers(["jpeg"])
+        .with_origin_penalty_scale(0.05)
+        .with_ts(TranSendConfig {
             cache_distilled: false,
             ..Default::default()
-        },
-        sns: SnsConfig {
+        })
+        .with_sns(SnsConfig {
             spawn_threshold_h: 6.0,
             spawn_cooldown_d: Duration::from_secs(4),
             ..Default::default()
-        },
-        ..Default::default()
-    }
-    .build();
+        })
+        .build();
     let items = fixed_jpeg_items(rate, 60.0, 11);
     let n = items.len() as u64;
     let report = cluster.attach_client(items, Duration::from_secs(4));
@@ -100,22 +98,20 @@ fn load_spreads_across_distillers() {
     // At a load needing several distillers, lottery + delta correction
     // must not starve any of them: every live distiller's queue series
     // shows activity.
-    let mut cluster = TranSendBuilder {
-        seed: 0xba1a,
-        worker_nodes: 8,
-        cores_per_node: 2,
-        frontends: 1,
-        cache_partitions: 2,
-        min_distillers: 3,
-        distillers: vec!["jpeg".into()],
-        origin_penalty_scale: 0.05,
-        ts: TranSendConfig {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0xba1a)
+        .with_worker_nodes(8)
+        .with_cores_per_node(2)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(3)
+        .with_distillers(["jpeg"])
+        .with_origin_penalty_scale(0.05)
+        .with_ts(TranSendConfig {
             cache_distilled: false,
             ..Default::default()
-        },
-        ..Default::default()
-    }
-    .build();
+        })
+        .build();
     let items = fixed_jpeg_items(40.0, 40.0, 5);
     let report = cluster.attach_client(items, Duration::from_secs(4));
     cluster.sim.run_until(SimTime::from_secs(70));

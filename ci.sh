@@ -44,4 +44,29 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== chaos stage: fault-injection suites under a pinned seed"
+# The chaos suites must both run and keep their full rosters: a test
+# that got #[ignore]d, filtered out or deleted would otherwise slip
+# through CI silently. Each suite's pass count is checked against the
+# number of tests it is supposed to carry.
+chaos_suite() {
+  pkg="$1"; suite="$2"; want="$3"
+  out=$(SNS_TESTKIT_SEED=3259 cargo test -q --offline -p "$pkg" --test "$suite" 2>&1) || {
+    echo "$out"
+    echo "chaos suite $pkg::$suite FAILED" >&2
+    exit 1
+  }
+  ran=$(printf '%s\n' "$out" | grep -oE '[0-9]+ passed' | awk '{s+=$1} END {print s+0}')
+  if [ "$ran" -lt "$want" ]; then
+    echo "$out"
+    echo "chaos suite $pkg::$suite ran $ran tests, expected >= $want (filtered or deleted?)" >&2
+    exit 1
+  fi
+  echo "   ok: $pkg::$suite ($ran tests)"
+}
+chaos_suite sns-chaos prop 4
+chaos_suite sns-chaos rt_chaos 2
+chaos_suite cluster-sns failure_recovery 9
+chaos_suite cluster-sns determinism 4
+
 echo "== CI green"

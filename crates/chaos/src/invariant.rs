@@ -1,0 +1,200 @@
+//! Concrete recovery invariants replayed over a recorded
+//! [`MonitorLog`](sns_core::MonitorLog) after a fault plan runs.
+//!
+//! Each checker implements [`sns_core::Invariant`]; tests combine them
+//! with the end-state laws asserted directly by the harness (job
+//! conservation `responses + errors == submitted`, drain bound "all
+//! answered by `plan.horizon(window)`", population restoration).
+
+use sns_core::{Invariant, MonitorEvent};
+use sns_sim::SimTime;
+
+/// Fails if the cluster spawned more workers than `max`.
+///
+/// Boot spawns alone are a deterministic function of the topology, so a
+/// budget of exactly that count makes *any* successful kill-then-respawn
+/// a violation — the intentionally-broken invariant the property suite
+/// uses to demonstrate shrinking to a minimal plan.
+#[derive(Debug, Clone)]
+pub struct SpawnBudget {
+    /// Maximum number of `spawned` events allowed.
+    pub max: usize,
+    seen: usize,
+}
+
+impl SpawnBudget {
+    /// Budget of at most `max` spawns.
+    pub fn new(max: usize) -> Self {
+        SpawnBudget { max, seen: 0 }
+    }
+}
+
+impl Invariant for SpawnBudget {
+    fn name(&self) -> &'static str {
+        "chaos.spawn_budget"
+    }
+    fn on_event(&mut self, _at: SimTime, event: &MonitorEvent) {
+        if event.kind_key() == "spawned" {
+            self.seen += 1;
+        }
+    }
+    fn verdict(&self) -> Result<(), String> {
+        if self.seen <= self.max {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} workers spawned, budget {}",
+                self.seen, self.max
+            ))
+        }
+    }
+}
+
+/// Fails unless the cluster spawned at least `min` workers — the
+/// "every kill was followed by a respawn" direction: with boot spawns
+/// at `B` and `K` kills of pinned classes, demand `B + K`.
+#[derive(Debug, Clone)]
+pub struct RespawnCoverage {
+    /// Minimum number of `spawned` events required.
+    pub min: usize,
+    seen: usize,
+}
+
+impl RespawnCoverage {
+    /// Requires at least `min` spawns.
+    pub fn new(min: usize) -> Self {
+        RespawnCoverage { min, seen: 0 }
+    }
+}
+
+impl Invariant for RespawnCoverage {
+    fn name(&self) -> &'static str {
+        "chaos.respawn_coverage"
+    }
+    fn on_event(&mut self, _at: SimTime, event: &MonitorEvent) {
+        if event.kind_key() == "spawned" {
+            self.seen += 1;
+        }
+    }
+    fn verdict(&self) -> Result<(), String> {
+        if self.seen >= self.min {
+            Ok(())
+        } else {
+            Err(format!(
+                "only {} workers spawned, expected at least {}",
+                self.seen, self.min
+            ))
+        }
+    }
+}
+
+/// Fails if more worker crashes were *observed* than the plan injected —
+/// the reconciliation law: no crash in the monitor stream without a
+/// matching fault in the plan (input-induced crashes aside, which tests
+/// account for in `max`).
+#[derive(Debug, Clone)]
+pub struct CrashBudget {
+    /// Maximum number of `crashed` events allowed.
+    pub max: usize,
+    seen: usize,
+}
+
+impl CrashBudget {
+    /// Budget of at most `max` observed crashes.
+    pub fn new(max: usize) -> Self {
+        CrashBudget { max, seen: 0 }
+    }
+}
+
+impl Invariant for CrashBudget {
+    fn name(&self) -> &'static str {
+        "chaos.crash_budget"
+    }
+    fn on_event(&mut self, _at: SimTime, event: &MonitorEvent) {
+        if event.kind_key() == "crashed" {
+            self.seen += 1;
+        }
+    }
+    fn verdict(&self) -> Result<(), String> {
+        if self.seen <= self.max {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} crashes observed, plan injected only {}",
+                self.seen, self.max
+            ))
+        }
+    }
+}
+
+/// The counter-reconciliation law: deaths the engine recorded
+/// (`sim.deaths`) must account for every kill the plan applied. More
+/// deaths than injections are fine only when `slack` covers collateral
+/// deaths (components co-located on a killed node); fewer mean a planned
+/// kill silently missed.
+pub fn check_death_reconciliation(
+    observed_deaths: u64,
+    applied_kills: u64,
+    slack: u64,
+) -> Result<(), String> {
+    if observed_deaths < applied_kills {
+        Err(format!(
+            "engine recorded {observed_deaths} deaths but the plan applied {applied_kills} kills"
+        ))
+    } else if observed_deaths > applied_kills + slack {
+        Err(format!(
+            "engine recorded {observed_deaths} deaths for {applied_kills} applied kills \
+             (+{slack} slack) — unplanned deaths occurred"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_core::{MonitorLog, WorkerClass};
+    use sns_sim::{ComponentId, NodeId};
+
+    fn spawned(node: u32) -> MonitorEvent {
+        MonitorEvent::SpawnedWorker {
+            class: WorkerClass::new("w"),
+            node: NodeId(node),
+            overflow: false,
+        }
+    }
+
+    #[test]
+    fn budgets_and_coverage_render_verdicts() {
+        let mut log = MonitorLog::default();
+        log.push(SimTime::from_secs(1), spawned(0));
+        log.push(SimTime::from_secs(2), spawned(1));
+
+        assert!(log.check(&mut SpawnBudget::new(2)).is_ok());
+        let err = log.check(&mut SpawnBudget::new(1)).unwrap_err();
+        assert!(err.contains("chaos.spawn_budget"), "{err}");
+
+        assert!(log.check(&mut RespawnCoverage::new(2)).is_ok());
+        let err = log.check(&mut RespawnCoverage::new(3)).unwrap_err();
+        assert!(err.contains("chaos.respawn_coverage"), "{err}");
+
+        assert!(log.check(&mut CrashBudget::new(0)).is_ok());
+        log.push(
+            SimTime::from_secs(3),
+            MonitorEvent::WorkerCrashed {
+                worker: ComponentId(9),
+                class: WorkerClass::new("w"),
+            },
+        );
+        assert!(log.check(&mut CrashBudget::new(0)).is_err());
+    }
+
+    #[test]
+    fn reconciliation_bounds_both_sides() {
+        assert!(check_death_reconciliation(3, 3, 0).is_ok());
+        assert!(check_death_reconciliation(5, 3, 2).is_ok());
+        assert!(check_death_reconciliation(2, 3, 0).is_err());
+        assert!(check_death_reconciliation(6, 3, 2).is_err());
+    }
+}

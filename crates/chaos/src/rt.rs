@@ -1,0 +1,113 @@
+//! Wall-clock injector: compiles a [`FaultPlan`] into a timeline a
+//! background thread executes against a live [`RtCluster`].
+//!
+//! The rt backend is a single-host thread model, so only the faults with
+//! a thread-level analogue apply: worker crashes (kill flags), manager
+//! failover (stop/start the manager thread) and beacon loss (suppress
+//! hint refreshes). Node and SAN faults have no rt analogue and are
+//! reported as skipped — the plan still type-checks against both
+//! backends, which is the point: one artifact, two interpreters.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use sns_rt::RtCluster;
+
+use crate::{FaultKind, FaultPlan};
+
+/// What the injector thread did, returned from its join handle.
+#[derive(Debug, Clone, Default)]
+pub struct RtChaosReport {
+    /// Grammar lines of events that landed (in execution order).
+    pub applied: Vec<String>,
+    /// Grammar lines of events with no rt analogue or no live target.
+    pub skipped: Vec<String>,
+    /// Worker kill flags that were actually set.
+    pub crashes_injected: usize,
+}
+
+enum Action {
+    CrashWorker(String),
+    KillManager,
+    StartManager,
+    BlackoutOn,
+    BlackoutOff,
+    Skip(String),
+}
+
+/// Spawns a thread that executes `plan` against `cluster` in wall-clock
+/// time, with modelled durations compressed by `time_scale` (use the
+/// same value as the cluster's `RtConfig`). Join the returned handle
+/// after the load phase to collect the [`RtChaosReport`].
+pub fn run_plan(
+    cluster: Arc<RtCluster>,
+    plan: &FaultPlan,
+    time_scale: f64,
+) -> thread::JoinHandle<RtChaosReport> {
+    // Expand window events (blackout on/off) into a flat timeline.
+    let mut timeline: Vec<(std::time::Duration, String, Action)> = Vec::new();
+    for ev in &plan.events {
+        let line = format!("+{:.3}s {}", ev.at.as_secs_f64(), ev.kind);
+        match &ev.kind {
+            FaultKind::KillWorker { class, .. } => {
+                timeline.push((ev.at, line, Action::CrashWorker(class.clone())));
+            }
+            FaultKind::KillManager => timeline.push((ev.at, line, Action::KillManager)),
+            FaultKind::RestartManager => timeline.push((ev.at, line, Action::StartManager)),
+            FaultKind::BeaconLoss { lasting } => {
+                timeline.push((ev.at, line.clone(), Action::BlackoutOn));
+                timeline.push((ev.at + *lasting, line, Action::BlackoutOff));
+            }
+            FaultKind::KillNode { .. }
+            | FaultKind::ReviveNode { .. }
+            | FaultKind::Partition { .. }
+            | FaultKind::Straggler { .. } => {
+                timeline.push((ev.at, line, Action::Skip("no rt analogue".into())));
+            }
+        }
+    }
+    timeline.sort_by_key(|(at, _, _)| *at);
+
+    thread::Builder::new()
+        .name("sns-chaos-rt".into())
+        .spawn(move || {
+            let started = Instant::now();
+            let mut report = RtChaosReport::default();
+            for (at, line, action) in timeline {
+                let due = at.mul_f64(time_scale.max(0.0));
+                let elapsed = started.elapsed();
+                if due > elapsed {
+                    thread::sleep(due - elapsed);
+                }
+                match action {
+                    Action::CrashWorker(class) => {
+                        if cluster.crash_worker(&class) {
+                            report.crashes_injected += 1;
+                            report.applied.push(line);
+                        } else {
+                            report.skipped.push(format!("{line} (no live worker)"));
+                        }
+                    }
+                    Action::KillManager => {
+                        cluster.kill_manager();
+                        report.applied.push(line);
+                    }
+                    Action::StartManager => {
+                        cluster.start_manager();
+                        report.applied.push(line);
+                    }
+                    Action::BlackoutOn => {
+                        cluster.set_beacon_blackout(true);
+                        report.applied.push(line);
+                    }
+                    Action::BlackoutOff => {
+                        cluster.set_beacon_blackout(false);
+                    }
+                    Action::Skip(why) => report.skipped.push(format!("{line} ({why})")),
+                }
+            }
+            report
+        })
+        .expect("spawn chaos injector thread")
+}

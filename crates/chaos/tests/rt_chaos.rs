@@ -1,0 +1,173 @@
+//! Wall-clock chaos: the same [`FaultPlan`] artifact the sim tests use,
+//! compiled against the threaded `sns-rt` backend. The conservation law
+//! under crashes is exact because rt crashes happen *between* jobs and
+//! dead queues are salvaged onto replacements: every accepted job is
+//! eventually completed, so `salvaged + completed-direct == submitted`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sns_chaos::{rt::run_plan, FaultKind, FaultPlan};
+use sns_core::msg::JobResult;
+use sns_core::worker::WorkerLogic;
+use sns_core::{Blob, Job, Payload, WorkerClass, WorkerError};
+use sns_rt::{RtCluster, RtConfig};
+use sns_sim::rng::Pcg32;
+use sns_sim::SimTime;
+
+const SCALE: f64 = 0.05;
+
+struct Slow;
+
+impl WorkerLogic for Slow {
+    fn class(&self) -> WorkerClass {
+        "slow".into()
+    }
+    fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+        Duration::from_millis(50)
+    }
+    fn process(&mut self, job: &Job, _n: SimTime, _r: &mut Pcg32) -> Result<Payload, WorkerError> {
+        let blob = sns_core::payload_as::<Blob>(&job.input).expect("blob");
+        Ok(Blob::payload(blob.len, "done"))
+    }
+}
+
+fn cluster() -> Arc<RtCluster> {
+    let c = RtCluster::start(RtConfig {
+        time_scale: SCALE,
+        report_period: Duration::from_millis(10),
+        beacon_period: Duration::from_millis(20),
+        ..Default::default()
+    });
+    c.add_workers("slow", 3, || Box::new(Slow));
+    c
+}
+
+fn await_population(c: &RtCluster, n: usize, restarts: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if c.workers_of("slow") == n && c.restarts.load(Ordering::Relaxed) >= restarts {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!(
+        "population not restored: {} workers, {} restarts",
+        c.workers_of("slow"),
+        c.restarts.load(Ordering::Relaxed)
+    );
+}
+
+#[test]
+fn three_crashes_under_load_conserve_every_job() {
+    let c = cluster();
+    // Three crashes spread across the load phase (modelled seconds;
+    // the injector scales them to wall clock like everything else).
+    let plan = FaultPlan::new()
+        .with(
+            Duration::from_secs(2),
+            FaultKind::KillWorker {
+                class: "slow".into(),
+                which: 0,
+            },
+        )
+        .with(
+            Duration::from_secs(4),
+            FaultKind::KillWorker {
+                class: "slow".into(),
+                which: 0,
+            },
+        )
+        .with(
+            Duration::from_secs(6),
+            FaultKind::KillWorker {
+                class: "slow".into(),
+                which: 0,
+            },
+        );
+    let injector = run_plan(Arc::clone(&c), &plan, SCALE);
+
+    // Deep queues: all jobs are accepted up front, so each crash strands
+    // a backlog for the salvage path to move.
+    let receivers: Vec<_> = (0..300)
+        .map(|i| c.submit("slow", "op", Blob::payload(100 + i, "x"), None))
+        .collect();
+
+    let report = injector.join().expect("injector thread");
+    assert_eq!(report.crashes_injected, 3, "{report:?}");
+    assert!(report.skipped.is_empty(), "{report:?}");
+
+    // Every accepted job must come back Ok — crashed workers' queues
+    // start over on their replacements, nothing is dropped.
+    for rx in receivers {
+        match rx.recv_timeout(Duration::from_secs(30)).expect("reply") {
+            JobResult::Ok(_) => {}
+            JobResult::Failed(e) => panic!("job failed under chaos: {e}"),
+        }
+    }
+
+    await_population(&c, 3, 3);
+    let submitted = c.submitted.load(Ordering::Relaxed);
+    let completed = c.jobs_done.load(Ordering::Relaxed);
+    let salvaged = c.redispatched.load(Ordering::Relaxed);
+    assert_eq!(submitted, 300);
+    // Conservation: salvaged jobs are completed by replacements, direct
+    // jobs by their original worker — together they account for every
+    // accepted job.
+    assert_eq!(
+        salvaged + (completed - salvaged),
+        submitted,
+        "salvaged {salvaged} + direct {} != submitted {submitted}",
+        completed - salvaged
+    );
+    assert_eq!(completed, submitted);
+    assert!(
+        salvaged >= 1,
+        "with deep queues, at least one crash must strand work to salvage"
+    );
+    assert_eq!(c.crashes.load(Ordering::Relaxed), 3);
+    c.shutdown();
+}
+
+#[test]
+fn manager_failover_during_load_conserves_jobs() {
+    // Same plan grammar, different fault: the manager dies mid-load and a
+    // new incarnation takes over 3 modelled seconds later. A worker crash
+    // in the gap stays dead until failover completes — then the new
+    // manager salvages and the conservation law still closes.
+    let c = cluster();
+    let plan = FaultPlan::new()
+        .with(Duration::from_secs(2), FaultKind::KillManager)
+        .with(
+            Duration::from_millis(2500),
+            FaultKind::KillWorker {
+                class: "slow".into(),
+                which: 0,
+            },
+        )
+        .with(Duration::from_secs(5), FaultKind::RestartManager);
+    let injector = run_plan(Arc::clone(&c), &plan, SCALE);
+
+    let receivers: Vec<_> = (0..200)
+        .map(|i| c.submit("slow", "op", Blob::payload(50 + i, "x"), None))
+        .collect();
+
+    let report = injector.join().expect("injector thread");
+    assert_eq!(report.applied.len(), 3, "{report:?}");
+    assert_eq!(report.crashes_injected, 1);
+
+    for rx in receivers {
+        match rx.recv_timeout(Duration::from_secs(30)).expect("reply") {
+            JobResult::Ok(_) => {}
+            JobResult::Failed(e) => panic!("job failed across failover: {e}"),
+        }
+    }
+    await_population(&c, 3, 1);
+    assert_eq!(
+        c.jobs_done.load(Ordering::Relaxed),
+        c.submitted.load(Ordering::Relaxed)
+    );
+    assert_eq!(c.submitted.load(Ordering::Relaxed), 200);
+    c.shutdown();
+}

@@ -1,0 +1,278 @@
+//! Recovery-invariant plumbing: a tap that records every
+//! [`MonitorEvent`] a cluster multicasts, and a trait for checkers that
+//! replay the recorded stream and render a verdict.
+//!
+//! The paper argues (§3.1.6, §4.5) that the SNS layer masks worker
+//! crashes, manager failover and beacon loss from clients. Asserting that
+//! requires more than end-state spot checks: fault-injection harnesses
+//! (see the `sns-chaos` crate) attach a [`MonitorTap`] to the monitor
+//! multicast group, run a fault plan, then feed the timestamped event log
+//! through [`Invariant`] implementations — "no unexplained crashes",
+//! "every kill was followed by a respawn", and so on. The log also has a
+//! [`MonitorLog::canonical`] rendering whose bytes are a pure function of
+//! the event sequence, which is what the determinism suite compares
+//! across same-seed same-plan runs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sns_sim::engine::{Component, Ctx};
+use sns_sim::time::SimTime;
+use sns_sim::{ComponentId, GroupId};
+
+use crate::monitor::MonitorEvent;
+use crate::msg::SnsMsg;
+
+/// A recovery property checked against a recorded monitor-event stream.
+///
+/// Implementations accumulate state in [`Invariant::on_event`] and
+/// deliver a pass/fail verdict afterwards; they are deliberately
+/// post-hoc (replayed over a [`MonitorLog`]) so a single run can be
+/// checked against many invariants without re-executing it.
+pub trait Invariant {
+    /// Stable name, used in failure reports (e.g. `"chaos.spawn_budget"`).
+    fn name(&self) -> &'static str;
+
+    /// Observes one event from the stream, in timestamp order.
+    fn on_event(&mut self, at: SimTime, event: &MonitorEvent);
+
+    /// The verdict after the whole stream was observed; `Err` carries a
+    /// human-readable explanation of the violation.
+    fn verdict(&self) -> Result<(), String>;
+}
+
+/// An ordered, timestamped record of every monitor event a tap saw.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorLog {
+    entries: Vec<(SimTime, MonitorEvent)>,
+}
+
+impl MonitorLog {
+    /// Appends an event (called by [`MonitorTap`]).
+    pub fn push(&mut self, at: SimTime, event: MonitorEvent) {
+        self.entries.push((at, event));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries in arrival order.
+    pub fn entries(&self) -> &[(SimTime, MonitorEvent)] {
+        &self.entries
+    }
+
+    /// Count of events whose [`MonitorEvent::kind_key`] matches `key`.
+    pub fn count(&self, key: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.kind_key() == key)
+            .count()
+    }
+
+    /// Arrival times of events whose kind key matches `key`.
+    pub fn times_of(&self, key: &str) -> Vec<SimTime> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.kind_key() == key)
+            .map(|&(at, _)| at)
+            .collect()
+    }
+
+    /// Replays the stream through a checker and returns its verdict.
+    pub fn check(&self, inv: &mut dyn Invariant) -> Result<(), String> {
+        for (at, ev) in &self.entries {
+            inv.on_event(*at, ev);
+        }
+        inv.verdict()
+            .map_err(|e| format!("invariant '{}' violated: {e}", inv.name()))
+    }
+
+    /// A byte-stable rendering of the whole log: one line per event,
+    /// `<nanoseconds> <canonical event>`. Two runs of the same seed and
+    /// the same fault plan must produce identical bytes here.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (at, ev) in &self.entries {
+            let _ = writeln!(out, "{}ns {}", at.as_nanos(), ev.canonical());
+        }
+        out
+    }
+}
+
+/// Shared handle to a tap's log. `Rc` is sound here: the engine is
+/// single-threaded and components never leave it.
+pub type TapHandle = Rc<RefCell<MonitorLog>>;
+
+/// A passive component that joins the monitor multicast group and records
+/// every [`MonitorEvent`] it receives into a shared [`MonitorLog`].
+///
+/// Unlike [`crate::Monitor`] it keeps no derived state and raises no
+/// alerts — it exists so harness code *outside* the simulation can
+/// inspect the full event stream after (or during) a run.
+pub struct MonitorTap {
+    group: GroupId,
+    log: TapHandle,
+}
+
+impl MonitorTap {
+    /// Creates a tap on `group`; returns the component and the log handle
+    /// the harness keeps.
+    pub fn new(group: GroupId) -> (Self, TapHandle) {
+        let log: TapHandle = Rc::new(RefCell::new(MonitorLog::default()));
+        (
+            MonitorTap {
+                group,
+                log: Rc::clone(&log),
+            },
+            log,
+        )
+    }
+}
+
+impl Component<SnsMsg> for MonitorTap {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        ctx.join(self.group);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _from: ComponentId, msg: SnsMsg) {
+        if let SnsMsg::Monitor(ev) = msg {
+            self.log.borrow_mut().push(ctx.now(), (*ev).clone());
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "montap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_sim::engine::{NodeSpec, Sim, SimConfig};
+    use sns_sim::network::IdealNetwork;
+    use sns_sim::NodeId;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct CountCrashes {
+        max: usize,
+        seen: usize,
+    }
+
+    impl Invariant for CountCrashes {
+        fn name(&self) -> &'static str {
+            "test.crash_budget"
+        }
+        fn on_event(&mut self, _at: SimTime, event: &MonitorEvent) {
+            if event.kind_key() == "crashed" {
+                self.seen += 1;
+            }
+        }
+        fn verdict(&self) -> Result<(), String> {
+            if self.seen <= self.max {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} crashes observed, budget {}",
+                    self.seen, self.max
+                ))
+            }
+        }
+    }
+
+    fn crash(worker: u64) -> MonitorEvent {
+        MonitorEvent::WorkerCrashed {
+            worker: ComponentId(worker),
+            class: crate::WorkerClass::new("w"),
+        }
+    }
+
+    #[test]
+    fn log_counts_and_checks() {
+        let mut log = MonitorLog::default();
+        log.push(SimTime::from_secs(1), crash(5));
+        log.push(SimTime::from_secs(2), MonitorEvent::Warning("hm".into()));
+        log.push(SimTime::from_secs(3), crash(6));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count("crashed"), 2);
+        assert_eq!(
+            log.times_of("crashed"),
+            vec![SimTime::from_secs(1), SimTime::from_secs(3)]
+        );
+        assert!(log.check(&mut CountCrashes { max: 2, seen: 0 }).is_ok());
+        let err = log
+            .check(&mut CountCrashes { max: 1, seen: 0 })
+            .unwrap_err();
+        assert!(err.contains("test.crash_budget"), "{err}");
+        assert!(err.contains("2 crashes"), "{err}");
+    }
+
+    #[test]
+    fn canonical_is_stable_and_line_oriented() {
+        let mut log = MonitorLog::default();
+        log.push(
+            SimTime::from_millis(1500),
+            MonitorEvent::Heartbeat {
+                who: ComponentId(3),
+                kind: "worker",
+                load: 1.5,
+            },
+        );
+        log.push(
+            SimTime::from_secs(2),
+            MonitorEvent::Started {
+                who: ComponentId(4),
+                kind: "manager",
+                node: NodeId(0),
+            },
+        );
+        assert_eq!(
+            log.canonical(),
+            "1500000000ns heartbeat who=c3 kind=worker load=1.500000\n\
+             2000000000ns started who=c4 kind=manager node=node0\n"
+        );
+    }
+
+    #[test]
+    fn tap_records_group_events() {
+        struct Emitter {
+            group: GroupId,
+        }
+        impl Component<SnsMsg> for Emitter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+                ctx.timer(Duration::from_millis(100), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, SnsMsg>, _: ComponentId, _: SnsMsg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _: u64) {
+                let me = ctx.me();
+                let node = ctx.my_node();
+                ctx.multicast(
+                    self.group,
+                    SnsMsg::Monitor(Arc::new(MonitorEvent::Started {
+                        who: me,
+                        kind: "emitter",
+                        node,
+                    })),
+                );
+            }
+        }
+        let mut sim: Sim<SnsMsg, IdealNetwork> =
+            Sim::new(SimConfig::default(), IdealNetwork::default());
+        let n = sim.add_node(NodeSpec::new(1, "infra"));
+        let g = sim.create_group();
+        let (tap, log) = MonitorTap::new(g);
+        sim.spawn(n, Box::new(tap), "montap");
+        sim.spawn(n, Box::new(Emitter { group: g }), "emitter");
+        sim.run();
+        assert_eq!(log.borrow().count("started"), 1);
+        assert!(log.borrow().canonical().contains("kind=emitter"));
+    }
+}

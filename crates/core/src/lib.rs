@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod frontend;
+pub mod invariant;
 pub mod manager;
 pub mod monitor;
 pub mod msg;
@@ -53,6 +54,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use frontend::{Action, FeEvent, FrontEnd, ReqState, ServiceLogic};
+pub use invariant::{Invariant, MonitorLog, MonitorTap, TapHandle};
 pub use manager::{Manager, ManagerConfig, SpawnPolicy, WorkerFactory};
 pub use monitor::{Monitor, MonitorEvent};
 pub use msg::{BeaconData, ClientRequest, ClientResponse, Job, JobResult, SnsMsg, WorkerHint};

@@ -401,6 +401,13 @@ impl Manager {
                     for &victim in ids.iter().rev().take((live_n - max) as usize) {
                         ctx.send(victim, SnsMsg::Shutdown);
                         ctx.stats().incr("manager.reaps", 1);
+                        self.monitor(
+                            ctx,
+                            MonitorEvent::ReapedWorker {
+                                worker: victim,
+                                class: class.clone(),
+                            },
+                        );
                     }
                 }
                 continue;

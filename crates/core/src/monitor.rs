@@ -74,6 +74,52 @@ pub enum MonitorEvent {
     Warning(String),
 }
 
+impl MonitorEvent {
+    /// Stable per-variant key, used for monitor counters and invariant
+    /// checkers (`"started"`, `"spawned"`, `"reaped"`, `"crashed"`,
+    /// `"peer_restarted"`, `"heartbeat"`, `"warning"`).
+    pub fn kind_key(&self) -> &'static str {
+        match self {
+            MonitorEvent::Started { .. } => "started",
+            MonitorEvent::SpawnedWorker { .. } => "spawned",
+            MonitorEvent::ReapedWorker { .. } => "reaped",
+            MonitorEvent::WorkerCrashed { .. } => "crashed",
+            MonitorEvent::PeerRestarted { .. } => "peer_restarted",
+            MonitorEvent::Heartbeat { .. } => "heartbeat",
+            MonitorEvent::Warning(_) => "warning",
+        }
+    }
+
+    /// A stable single-line rendering for byte-exact log comparison in
+    /// determinism tests. Floats are printed with fixed precision so the
+    /// text is a pure function of the event value.
+    pub fn canonical(&self) -> String {
+        match self {
+            MonitorEvent::Started { who, kind, node } => {
+                format!("started who={who} kind={kind} node={node}")
+            }
+            MonitorEvent::SpawnedWorker {
+                class,
+                node,
+                overflow,
+            } => format!("spawned class={class} node={node} overflow={overflow}"),
+            MonitorEvent::ReapedWorker { worker, class } => {
+                format!("reaped worker={worker} class={class}")
+            }
+            MonitorEvent::WorkerCrashed { worker, class } => {
+                format!("crashed worker={worker} class={class}")
+            }
+            MonitorEvent::PeerRestarted { by, kind } => {
+                format!("peer_restarted by={by} kind={kind}")
+            }
+            MonitorEvent::Heartbeat { who, kind, load } => {
+                format!("heartbeat who={who} kind={kind} load={load:.6}")
+            }
+            MonitorEvent::Warning(msg) => format!("warning {msg}"),
+        }
+    }
+}
+
 /// A timestamped log entry.
 #[derive(Debug, Clone)]
 pub struct LogEntry {
@@ -114,20 +160,8 @@ impl Monitor {
         }
     }
 
-    fn kind_key(ev: &MonitorEvent) -> &'static str {
-        match ev {
-            MonitorEvent::Started { .. } => "started",
-            MonitorEvent::SpawnedWorker { .. } => "spawned",
-            MonitorEvent::ReapedWorker { .. } => "reaped",
-            MonitorEvent::WorkerCrashed { .. } => "crashed",
-            MonitorEvent::PeerRestarted { .. } => "peer_restarted",
-            MonitorEvent::Heartbeat { .. } => "heartbeat",
-            MonitorEvent::Warning(_) => "warning",
-        }
-    }
-
     fn record(&mut self, at: SimTime, ev: MonitorEvent) {
-        *self.counters.entry(Self::kind_key(&ev)).or_insert(0) += 1;
+        *self.counters.entry(ev.kind_key()).or_insert(0) += 1;
         match &ev {
             MonitorEvent::Started { who, kind, .. } => {
                 self.last_seen.insert(*who, (at, kind));

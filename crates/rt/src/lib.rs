@@ -117,6 +117,9 @@ struct WorkerHandle {
     /// Shared queue-length gauge (inbox depth + in-service).
     qlen: Arc<AtomicU64>,
     alive: Arc<AtomicBool>,
+    /// Fault-injection flag: when set, the worker dies at the next loop
+    /// turn (between jobs, like a crash on pathological input).
+    kill: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -140,10 +143,16 @@ pub struct RtCluster {
     cfg: RtConfig,
     inner: Arc<Mutex<Registry>>,
     running: Arc<AtomicBool>,
+    manager_on: Arc<AtomicBool>,
+    /// While set, the manager skips hint refresh (beacons "lost"); hints
+    /// go stale but process-peer restarts continue.
+    beacon_blackout: Arc<AtomicBool>,
     next_id: AtomicU64,
     rng: Mutex<Pcg32>,
     manager: Mutex<Option<JoinHandle<()>>>,
     started: Instant,
+    /// Jobs accepted into some worker's inbox.
+    pub submitted: Arc<AtomicU64>,
     /// Jobs completed across all workers.
     pub jobs_done: Arc<AtomicU64>,
     /// Worker crashes observed.
@@ -161,48 +170,95 @@ impl RtCluster {
             cfg: cfg.clone(),
             inner: Arc::new(Mutex::new(Registry::default())),
             running: Arc::new(AtomicBool::new(true)),
+            manager_on: Arc::new(AtomicBool::new(true)),
+            beacon_blackout: Arc::new(AtomicBool::new(false)),
             next_id: AtomicU64::new(1),
             rng: Mutex::new(Pcg32::new(cfg.seed)),
             manager: Mutex::new(None),
             started: Instant::now(),
+            submitted: Arc::new(AtomicU64::new(0)),
             jobs_done: Arc::new(AtomicU64::new(0)),
             crashes: Arc::new(AtomicU64::new(0)),
             restarts: Arc::new(AtomicU64::new(0)),
             redispatched: Arc::new(AtomicU64::new(0)),
         });
-        // The manager thread: refresh hints from the workers' shared
-        // queue gauges and restart dead workers (process peers).
-        let mgr = {
-            let cluster = Arc::clone(&cluster);
-            std::thread::Builder::new()
-                .name("sns-rt-manager".into())
-                .spawn(move || cluster.manager_loop())
-                .expect("spawn manager thread")
-        };
-        *lock(&cluster.manager) = Some(mgr);
+        cluster.start_manager();
         cluster
     }
 
+    /// Starts the manager thread if none is running (initial start and
+    /// failover recovery after [`RtCluster::kill_manager`]).
+    pub fn start_manager(self: &Arc<Self>) {
+        let mut slot = lock(&self.manager);
+        if slot.is_some() || !self.running.load(Ordering::Relaxed) {
+            return;
+        }
+        self.manager_on.store(true, Ordering::Relaxed);
+        // The manager thread: refresh hints from the workers' shared
+        // queue gauges and restart dead workers (process peers).
+        let cluster = Arc::clone(self);
+        let mgr = std::thread::Builder::new()
+            .name("sns-rt-manager".into())
+            .spawn(move || cluster.manager_loop())
+            .expect("spawn manager thread");
+        *slot = Some(mgr);
+    }
+
+    /// Kills the manager thread (fault injection): hints freeze and dead
+    /// workers stay dead until [`RtCluster::start_manager`] brings a new
+    /// incarnation up. Worker threads keep serving their queues.
+    pub fn kill_manager(&self) {
+        self.manager_on.store(false, Ordering::Relaxed);
+        if let Some(m) = lock(&self.manager).take() {
+            let _ = m.join();
+        }
+    }
+
+    /// Forces (or lifts) a beacon blackout: while on, the manager keeps
+    /// restarting dead workers but stops refreshing hints, so front-end
+    /// submits run on increasingly stale data (§3.1.8, §4.6).
+    pub fn set_beacon_blackout(&self, on: bool) {
+        self.beacon_blackout.store(on, Ordering::Relaxed);
+    }
+
+    /// Injects a crash into one live worker of `class` (picked in
+    /// registration order): the thread dies between jobs, exactly like a
+    /// crash on pathological input. Returns whether a target was found.
+    pub fn crash_worker(&self, class: &str) -> bool {
+        let reg = lock(&self.inner);
+        for w in &reg.workers {
+            if w.class.name() == class
+                && w.alive.load(Ordering::Relaxed)
+                && !w.kill.swap(true, Ordering::Relaxed)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
     fn manager_loop(&self) {
-        while self.running.load(Ordering::Relaxed) {
+        while self.running.load(Ordering::Relaxed) && self.manager_on.load(Ordering::Relaxed) {
             std::thread::sleep(self.cfg.beacon_period);
             let mut reg = lock(&self.inner);
             // Collect load "reports" (the gauges are the report channel;
             // the staleness comes from the beacon period, as in §3.1.8).
-            let mut hints = std::collections::BTreeMap::new();
-            for w in &reg.workers {
-                if !w.alive.load(Ordering::Relaxed) {
-                    continue;
+            if !self.beacon_blackout.load(Ordering::Relaxed) {
+                let mut hints = std::collections::BTreeMap::new();
+                for w in &reg.workers {
+                    if !w.alive.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    hints
+                        .entry(w.class.name().to_string())
+                        .or_insert_with(Vec::new)
+                        .push(Hint {
+                            worker: w.id,
+                            qlen: w.qlen.load(Ordering::Relaxed),
+                        });
                 }
-                hints
-                    .entry(w.class.name().to_string())
-                    .or_insert_with(Vec::new)
-                    .push(Hint {
-                        worker: w.id,
-                        qlen: w.qlen.load(Ordering::Relaxed),
-                    });
+                reg.hints = hints;
             }
-            reg.hints = hints;
             // Process-peer restarts: replace dead workers.
             if self.cfg.restart_on_crash {
                 let dead: Vec<(usize, WorkerClass)> = reg
@@ -250,6 +306,7 @@ impl RtCluster {
         let (tx, rx) = chan::unbounded::<RtJob>();
         let qlen = Arc::new(AtomicU64::new(0));
         let alive = Arc::new(AtomicBool::new(true));
+        let kill = Arc::new(AtomicBool::new(false));
         let running = Arc::clone(&self.running);
         let time_scale = self.cfg.time_scale;
         let seed = self.cfg.seed ^ id;
@@ -258,12 +315,21 @@ impl RtCluster {
         let crashes = Arc::clone(&self.crashes);
         let qlen_t = Arc::clone(&qlen);
         let alive_t = Arc::clone(&alive);
+        let kill_t = Arc::clone(&kill);
         let salvage = rx.clone();
         let join = std::thread::Builder::new()
             .name(format!("sns-rt-{}-{id}", class.name().replace('/', "-")))
             .spawn(move || {
                 let mut rng = Pcg32::new(seed);
                 loop {
+                    // Injected crash: die *before* taking a job off the
+                    // queue, so anything still queued is salvageable and
+                    // no accepted job loses its reply.
+                    if kill_t.load(Ordering::Relaxed) {
+                        crashes.fetch_add(1, Ordering::Relaxed);
+                        alive_t.store(false, Ordering::Relaxed);
+                        return;
+                    }
                     let rt_job = match rx.recv_timeout(Duration::from_millis(50)) {
                         Ok(j) => j,
                         Err(chan::RecvTimeoutError::Timeout) => {
@@ -307,6 +373,7 @@ impl RtCluster {
             salvage,
             qlen,
             alive,
+            kill,
             join: Some(join),
         }
     }
@@ -391,12 +458,33 @@ impl RtCluster {
             profile,
             reply_to: sns_sim::ComponentId::EXTERNAL,
         };
-        if let Some(w) = reg.workers.iter().find(|w| w.id == pick) {
+        // The pick came from stale hints; if that worker has since died
+        // or vanished, recover with any live worker of the class rather
+        // than failing the request (§3.1.8 stale-choice recovery).
+        let target = reg
+            .workers
+            .iter()
+            .find(|w| w.id == pick && w.alive.load(Ordering::Relaxed))
+            .or_else(|| {
+                reg.workers
+                    .iter()
+                    .find(|w| w.class.name() == class && w.alive.load(Ordering::Relaxed))
+            });
+        if let Some(w) = target {
             w.qlen.fetch_add(1, Ordering::Relaxed); // local delta (§4.5)
-            let _ = w.inbox.send(RtJob {
+            match w.inbox.send(RtJob {
                 job,
                 reply: reply_tx,
-            });
+            }) {
+                Ok(()) => {
+                    self.submitted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(chan::SendError(rejected)) => {
+                    let _ = rejected
+                        .reply
+                        .send(JobResult::Failed("worker inbox closed".into()));
+                }
+            }
         } else {
             let _ = reply_tx.send(JobResult::Failed("worker vanished".into()));
         }
@@ -514,6 +602,68 @@ mod tests {
             rx.recv_timeout(Duration::from_secs(5)),
             Ok(JobResult::Ok(_))
         ));
+        c.shutdown();
+    }
+
+    #[test]
+    fn injected_crash_restores_population() {
+        let c = cluster();
+        assert!(c.crash_worker("echo"), "a live echo worker exists");
+        assert!(!c.crash_worker("ghost"), "unknown class has no target");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if c.workers_of("echo") == 3 && c.crashes.load(Ordering::Relaxed) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(c.workers_of("echo"), 3);
+        assert!(c.crashes.load(Ordering::Relaxed) >= 1);
+        assert!(c.restarts.load(Ordering::Relaxed) >= 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn manager_failover_pauses_then_resumes_restarts() {
+        let c = cluster();
+        c.kill_manager();
+        assert!(c.crash_worker("echo"));
+        // With no manager, the dead worker stays dead.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(c.workers_of("echo"), 2);
+        // A new incarnation recovers the population.
+        c.start_manager();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if c.workers_of("echo") == 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(c.workers_of("echo"), 3, "failover restart");
+        c.shutdown();
+    }
+
+    #[test]
+    fn submit_falls_back_when_hinted_worker_died() {
+        let c = cluster();
+        // Freeze hints, then kill a worker: hints now reference a dead id.
+        c.set_beacon_blackout(true);
+        c.refresh_hints_now();
+        assert!(c.crash_worker("echo"));
+        std::thread::sleep(Duration::from_millis(150)); // let it die
+                                                        // Every submit must still land on a live worker.
+        let receivers: Vec<_> = (0..20)
+            .map(|_| c.submit("echo", "echo", Blob::payload(64, "x"), None))
+            .collect();
+        for rx in receivers {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)),
+                Ok(JobResult::Ok(_))
+            ));
+        }
+        assert_eq!(c.submitted.load(Ordering::Relaxed), 20);
+        c.set_beacon_blackout(false);
         c.shutdown();
     }
 

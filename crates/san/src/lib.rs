@@ -141,6 +141,8 @@ pub struct SanStats {
     pub datagrams_dropped: u64,
     /// Messages dropped because of an active partition.
     pub partition_drops: u64,
+    /// Datagrams dropped by a forced blackout (burst-loss injection).
+    pub blackout_drops: u64,
     /// Total messages carried (delivered).
     pub delivered: u64,
     /// Total payload bytes carried off-node.
@@ -155,6 +157,10 @@ pub struct San {
     fabric_busy: SimTime,
     /// Partition group per node; `None` means no partition is active.
     partition_of: Option<BTreeMap<NodeId, u32>>,
+    /// While set, every off-node datagram is dropped (models the §4.6
+    /// saturation bursts that eat the manager's beacons). Loopback and
+    /// reliable traffic are unaffected.
+    datagram_blackout: bool,
     stats: SanStats,
 }
 
@@ -166,6 +172,7 @@ impl San {
             nics: BTreeMap::new(),
             fabric_busy: SimTime::ZERO,
             partition_of: None,
+            datagram_blackout: false,
             stats: SanStats::default(),
         }
     }
@@ -179,6 +186,28 @@ impl San {
             ingress_busy: SimTime::ZERO,
         });
         nic.params = params;
+    }
+
+    /// Current NIC parameters for a node (the configured default if the
+    /// node was never overridden). Lets injectors degrade and later
+    /// restore a link.
+    pub fn nic_params(&self, node: NodeId) -> LinkParams {
+        self.nics
+            .get(&node)
+            .map(|n| n.params.clone())
+            .unwrap_or_else(|| self.cfg.default_nic.clone())
+    }
+
+    /// Forces (or lifts) a total off-node datagram blackout: while on,
+    /// every beacon/report datagram crossing the wire is dropped,
+    /// reproducing the §4.6 multicast loss bursts under SAN saturation.
+    pub fn set_datagram_blackout(&mut self, on: bool) {
+        self.datagram_blackout = on;
+    }
+
+    /// Whether a datagram blackout is currently forced.
+    pub fn datagram_blackout(&self) -> bool {
+        self.datagram_blackout
     }
 
     /// Splits the cluster into isolated groups; traffic between groups is
@@ -306,6 +335,10 @@ impl Network for San {
             self.stats.partition_drops += 1;
             return Delivery::Dropped;
         }
+        if self.datagram_blackout && class == TrafficClass::Datagram {
+            self.stats.blackout_drops += 1;
+            return Delivery::Dropped;
+        }
         let Some(t1) = self.egress(now, from.node, size, class) else {
             return Delivery::Dropped;
         };
@@ -346,6 +379,9 @@ impl Network for San {
                 Delivery::At(now + self.cfg.loopback_latency)
             } else if self.partitioned(from.node, m.node) {
                 self.stats.partition_drops += 1;
+                Delivery::Dropped
+            } else if self.datagram_blackout && class == TrafficClass::Datagram {
+                self.stats.blackout_drops += 1;
                 Delivery::Dropped
             } else if let Some(at_fabric) = fabric_fin {
                 match self.ingress(at_fabric, m.node, size, class) {
@@ -600,6 +636,83 @@ mod tests {
         let d100 = drops(SanConfig::switched_100mbps());
         assert!(d10 > 0, "10 Mb/s SAN must drop beacons under load");
         assert_eq!(d100, 0, "100 Mb/s SAN must not drop at this load");
+    }
+
+    #[test]
+    fn blackout_drops_off_node_datagrams_only() {
+        let (mut s, mut rng) = san100();
+        s.set_datagram_blackout(true);
+        assert!(s.datagram_blackout());
+        // Off-node datagram: dropped.
+        let d = s.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(1, 2),
+            200,
+            TrafficClass::Datagram,
+        );
+        assert_eq!(d, Delivery::Dropped);
+        // Same-node datagram survives via loopback; reliable traffic is
+        // flow-controlled, not lossy, so it still goes through.
+        assert!(matches!(
+            s.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(0, 2),
+                200,
+                TrafficClass::Datagram
+            ),
+            Delivery::At(_)
+        ));
+        assert!(matches!(
+            s.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                200,
+                TrafficClass::Reliable
+            ),
+            Delivery::At(_)
+        ));
+        // Multicast members on other nodes are dropped during the burst.
+        let ds = s.multicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            &[ep(0, 5), ep(1, 2), ep(2, 3)],
+            200,
+            TrafficClass::Datagram,
+        );
+        assert!(matches!(ds[0], Delivery::At(_)), "loopback member passes");
+        assert_eq!(ds[1], Delivery::Dropped);
+        assert_eq!(ds[2], Delivery::Dropped);
+        assert_eq!(s.stats().blackout_drops, 3);
+        s.set_datagram_blackout(false);
+        assert!(matches!(
+            s.unicast(
+                SimTime::from_secs(10),
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                200,
+                TrafficClass::Datagram
+            ),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn nic_params_round_trip() {
+        let (mut s, _) = san100();
+        let before = s.nic_params(NodeId(1));
+        assert_eq!(before.bandwidth_bps, 100.0 * 1e6);
+        s.set_nic(NodeId(1), LinkParams::mbps(10.0));
+        assert_eq!(s.nic_params(NodeId(1)).bandwidth_bps, 10.0 * 1e6);
+        s.set_nic(NodeId(1), before);
+        assert_eq!(s.nic_params(NodeId(1)).bandwidth_bps, 100.0 * 1e6);
     }
 
     #[test]

@@ -794,6 +794,65 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             .collect()
     }
 
+    /// All live node ids, in id order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.kernel
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// All nodes carrying a given tag — including dead ones — with their
+    /// liveness flag. Fault injectors use this to find revival targets.
+    pub fn nodes_with_tag_all(&self, tag: &str) -> Vec<(NodeId, bool)> {
+        self.kernel
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.tag == tag)
+            .map(|(&id, n)| (id, n.alive))
+            .collect()
+    }
+
+    /// Whether a node is currently alive.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.kernel.nodes.get(&node).is_some_and(|n| n.alive)
+    }
+
+    /// Schedules a repeating closure at `start`, `start + period`, … up to
+    /// and including `until` (periodic probes, samplers, watchdogs). Note
+    /// that pending repetitions keep the event queue non-empty, so pair
+    /// this with [`Sim::run_until`] rather than an unbounded [`Sim::run`].
+    pub fn every_until(
+        &mut self,
+        start: SimTime,
+        period: Duration,
+        until: SimTime,
+        f: impl FnMut(&mut Sim<M, N>) + 'static,
+    ) where
+        N: 'static,
+    {
+        assert!(period > Duration::ZERO, "zero-period repeating script");
+        type Script<M, N> = Box<dyn FnMut(&mut Sim<M, N>)>;
+        fn arm<M: Wire + Clone + 'static, N: Network + 'static>(
+            sim: &mut Sim<M, N>,
+            at: SimTime,
+            period: Duration,
+            until: SimTime,
+            mut f: Script<M, N>,
+        ) {
+            if at > until {
+                return;
+            }
+            sim.at(at, move |s| {
+                f(s);
+                arm(s, at + period, period, until, f);
+            });
+        }
+        arm(self, start.max(self.kernel.now), period, until, Box::new(f));
+    }
+
     fn do_kill(&mut self, comp: ComponentId) {
         let Some(m) = self.kernel.meta.get_mut(&comp) else {
             return;
@@ -1343,6 +1402,39 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs(5));
         let outcome = sim.run();
         assert_eq!(outcome, RunOutcome::QueueEmpty);
+    }
+
+    #[test]
+    fn every_until_repeats_and_stops() {
+        let mut sim = small_sim();
+        let n0 = sim.add_node(NodeSpec::new(1, "dedicated"));
+        let _ = n0;
+        sim.every_until(
+            SimTime::from_secs(1),
+            Duration::from_secs(1),
+            SimTime::from_secs(5),
+            |s| s.stats_mut().incr("ticks", 1),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        // Fires at 1, 2, 3, 4, 5 — inclusive of the bound, then stops.
+        assert_eq!(sim.stats().counter("ticks"), 5);
+    }
+
+    #[test]
+    fn node_introspection_tracks_liveness() {
+        let mut sim = small_sim();
+        let n0 = sim.add_node(NodeSpec::new(1, "dedicated"));
+        let n1 = sim.add_node(NodeSpec::new(1, "dedicated"));
+        assert_eq!(sim.node_ids(), vec![n0, n1]);
+        assert!(sim.node_alive(n0));
+        sim.at(SimTime::from_millis(10), move |s| s.kill_node(n0));
+        sim.run();
+        assert_eq!(sim.node_ids(), vec![n1]);
+        assert!(!sim.node_alive(n0));
+        assert_eq!(
+            sim.nodes_with_tag_all("dedicated"),
+            vec![(n0, false), (n1, true)]
+        );
     }
 
     #[test]

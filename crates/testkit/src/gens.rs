@@ -63,6 +63,16 @@ pub fn f64_in(r: Range<f64>) -> Gen<f64> {
     Gen::new(move |src| r.start + (r.end - r.start) * src.unit_f64())
 }
 
+/// `Duration` in the half-open range at millisecond granularity (the zero
+/// choice maps to the low end). Millisecond steps keep the choice space
+/// small enough for the shrinker to binary-search event times.
+pub fn duration_in(r: Range<std::time::Duration>) -> Gen<std::time::Duration> {
+    assert!(r.start < r.end, "empty range {r:?}");
+    let lo = r.start.as_millis() as u64;
+    let hi = (r.end.as_millis() as u64).max(lo + 1);
+    Gen::new(move |src| std::time::Duration::from_millis(lo + src.below(hi - lo)))
+}
+
 /// `Vec` of `len` in `len_range` (half-open) elements; the zero stream
 /// maps to the shortest vector of simplest elements.
 pub fn vec<T: 'static>(g: Gen<T>, len_range: Range<usize>) -> Gen<Vec<T>> {

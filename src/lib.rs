@@ -10,6 +10,7 @@
 //! reproduced tables and figures.
 
 pub use sns_cache as cache;
+pub use sns_chaos as chaos;
 pub use sns_core as core;
 pub use sns_distillers as distillers;
 pub use sns_hotbot as hotbot;
@@ -32,6 +33,7 @@ pub use sns_workload as workload;
 /// # let _ = builder;
 /// ```
 pub mod prelude {
+    pub use sns_chaos::{FaultKind, FaultPlan, SimChaos, SimChaosConfig};
     pub use sns_core::topology::ClusterTopology;
     pub use sns_core::{SnsConfig, WorkerClass};
     pub use sns_hotbot::{HotBotBuilder, HotBotCluster};

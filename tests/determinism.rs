@@ -4,6 +4,8 @@
 
 use std::time::Duration;
 
+use cluster_sns::chaos::{FaultKind, FaultPlan, SimChaos, SimChaosConfig};
+use cluster_sns::core::MonitorTap;
 use cluster_sns::hotbot::HotBotBuilder;
 use cluster_sns::sim::SimTime;
 use cluster_sns::transend::TranSendBuilder;
@@ -69,6 +71,77 @@ fn different_seeds_give_different_runs() {
     let a = transend_fingerprint(0xd5);
     let b = transend_fingerprint(0xd6);
     assert_ne!(a.0, b.0, "different seeds must diverge");
+}
+
+/// One full chaos run: same seed, same fault plan, returns the
+/// byte-stable canonical rendering of the tapped monitor-event log.
+fn chaos_monitor_log(seed: u64) -> String {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(seed)
+        .with_worker_nodes(5)
+        .with_overflow_nodes(1)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .build();
+    let node = cluster.sim.nodes_with_tag("infra")[0];
+    let (tap, log) = MonitorTap::new(cluster.monitor_group);
+    cluster.sim.spawn(node, Box::new(tap), "montap");
+
+    let mut gen = TraceGenerator::new(WorkloadConfig {
+        seed: seed ^ 0x33,
+        users: 30,
+        shared_objects: 90,
+        private_per_user: 8,
+        ..Default::default()
+    });
+    let t = gen.constant_rate(3.0, Duration::from_secs(40));
+    let items: Vec<_> = Playback::new(&t, Schedule::Timestamps)
+        .map(|(at, r)| (at, r.clone()))
+        .collect();
+    let _report = cluster.attach_client(items, Duration::from_secs(3));
+
+    // Exercise every injection path the sim backend supports.
+    let plan = FaultPlan::new()
+        .with(
+            Duration::from_secs(15),
+            FaultKind::KillWorker {
+                class: "cache".into(),
+                which: 0,
+            },
+        )
+        .with(Duration::from_secs(22), FaultKind::KillManager)
+        .with(
+            Duration::from_secs(30),
+            FaultKind::Partition {
+                pool: "dedicated".into(),
+                which: 1,
+                heal_after: Duration::from_secs(8),
+            },
+        )
+        .with(
+            Duration::from_secs(45),
+            FaultKind::BeaconLoss {
+                lasting: Duration::from_secs(2),
+            },
+        );
+    SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + plan.horizon(Duration::from_secs(120)));
+    let rendered = log.borrow().canonical();
+    assert!(!rendered.is_empty(), "the tap must have seen events");
+    rendered
+}
+
+#[test]
+fn same_seed_same_plan_gives_byte_identical_monitor_logs() {
+    let a = chaos_monitor_log(0xFA);
+    let b = chaos_monitor_log(0xFA);
+    assert_eq!(a, b, "monitor-event logs must be byte-identical");
+    let c = chaos_monitor_log(0xFB);
+    assert_ne!(a, c, "a different seed must perturb the event stream");
 }
 
 #[test]

@@ -1,11 +1,21 @@
 //! Cross-crate fault-tolerance scenarios on the full TranSend stack:
 //! the §3.1.3 process-peer web (front end restarts manager, manager
 //! restarts workers), SAN partitions, and compound failures.
+//!
+//! Faults are expressed as declarative `sns-chaos` [`FaultPlan`]s where
+//! they have a plan vocabulary (kills, partitions, failover); each run
+//! records the monitor multicast through a [`MonitorTap`] and replays
+//! the log through recovery-invariant checkers on top of the end-state
+//! assertions.
 
 use std::time::Duration;
 
+use cluster_sns::chaos::{
+    check_death_reconciliation, FaultKind, FaultPlan, RespawnCoverage, SimChaos, SimChaosConfig,
+};
+use cluster_sns::core::{MonitorTap, TapHandle};
 use cluster_sns::sim::SimTime;
-use cluster_sns::transend::TranSendBuilder;
+use cluster_sns::transend::{TranSendBuilder, TranSendCluster};
 use cluster_sns::workload::playback::{Playback, Schedule};
 use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
 
@@ -34,27 +44,47 @@ fn small_cluster() -> cluster_sns::transend::TranSendCluster {
         .build()
 }
 
+/// Attaches a monitor tap so invariants can replay the event stream.
+fn tap(cluster: &mut TranSendCluster) -> TapHandle {
+    let node = cluster.sim.nodes_with_tag("infra")[0];
+    let (tap, log) = MonitorTap::new(cluster.monitor_group);
+    cluster.sim.spawn(node, Box::new(tap), "montap");
+    log
+}
+
+fn cache_count(cluster: &TranSendCluster) -> usize {
+    cluster
+        .sim
+        .components_of_kind(cluster_sns::core::intern_class("cache"))
+        .len()
+}
+
 #[test]
 fn full_process_peer_chain_manager_death_mid_service() {
     let mut cluster = small_cluster();
-    let manager = cluster.manager;
+    let log = tap(&mut cluster);
     let reqs = items(21, 4.0, 60);
     let n = reqs.len() as u64;
     let report = cluster.attach_client(reqs, Duration::from_secs(4));
-    cluster.sim.at(SimTime::from_secs(20), move |sim| {
-        sim.kill_component(manager)
-    });
-    cluster.sim.run_until(SimTime::from_secs(300));
+
+    let plan = FaultPlan::new().with(Duration::from_secs(20), FaultKind::KillManager);
+    let chaos = SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + plan.horizon(Duration::from_secs(280)));
 
     let r = report.borrow();
     assert_eq!(r.responses, n, "stale hints carry the FEs through (§3.1.8)");
     assert_eq!(r.errors, 0);
     drop(r);
+    assert_eq!(chaos.applied_count(), 1);
     let stats = cluster.sim.stats();
     assert!(
         stats.counter("fe.manager_restarts") >= 1,
         "FE restarted the manager"
     );
+    // Reconciliation: the only death the engine saw is the planned one.
+    check_death_reconciliation(stats.counter("sim.deaths"), plan.kills() as u64, 0).unwrap();
     assert_eq!(
         cluster.sim.components_of_kind("manager").len(),
         1,
@@ -62,13 +92,7 @@ fn full_process_peer_chain_manager_death_mid_service() {
     );
     // The new incarnation re-learned every pinned worker class without
     // double-spawning: still exactly 2 caches and 1 profile DB.
-    assert_eq!(
-        cluster
-            .sim
-            .components_of_kind(cluster_sns::core::intern_class("cache"))
-            .len(),
-        2
-    );
+    assert_eq!(cache_count(&cluster), 2);
     assert_eq!(
         cluster
             .sim
@@ -76,6 +100,9 @@ fn full_process_peer_chain_manager_death_mid_service() {
             .len(),
         1
     );
+    // The LB never kept routing to the corpse past the grace window.
+    let violations = chaos.stale_routing_violations(&log.borrow());
+    assert!(violations.is_empty(), "{violations:?}");
 }
 
 #[test]
@@ -87,22 +114,22 @@ fn san_partition_heals_and_service_recovers() {
 
     // Partition a worker node away from the rest of the cluster for 20 s
     // (§2.2.4: workers lost because of a SAN partition).
-    let lonely = cluster.sim.nodes_with_tag("dedicated")[0];
-    let everyone: Vec<_> = (0..32)
-        .map(cluster_sns::sim::NodeId)
-        .filter(|&n| n != lonely)
-        .collect();
-    cluster.sim.at(SimTime::from_secs(25), move |sim| {
-        sim.net_mut().partition(&[vec![lonely], everyone.clone()]);
-    });
-    cluster.sim.at(SimTime::from_secs(45), |sim| {
-        sim.net_mut().heal();
-    });
+    let plan = FaultPlan::new().with(
+        Duration::from_secs(25),
+        FaultKind::Partition {
+            pool: "dedicated".into(),
+            which: 0,
+            heal_after: Duration::from_secs(20),
+        },
+    );
+    let chaos = SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
     cluster.sim.run_until(SimTime::from_secs(400));
 
     let r = report.borrow();
     assert_eq!(r.responses, n, "partition must not lose requests");
     assert_eq!(r.errors, 0);
+    drop(r);
+    assert_eq!(chaos.applied_count(), 1);
 }
 
 #[test]
@@ -110,7 +137,9 @@ fn hot_upgrade_drains_and_restores_a_node() {
     // §2.2: "temporarily disable a subset of nodes and then upgrade them
     // in place ('hot upgrade')". Drain a worker node mid-service: its
     // workers shut down gracefully and are respawned elsewhere; requests
-    // keep flowing; after the upgrade the node rejoins the pool.
+    // keep flowing; after the upgrade the node rejoins the pool. Drains
+    // are administrative messages, not faults, so this scenario stays
+    // message-driven rather than plan-driven.
     let mut cluster = small_cluster();
     let manager = cluster.manager;
     let reqs = items(29, 4.0, 80);
@@ -150,13 +179,7 @@ fn hot_upgrade_drains_and_restores_a_node() {
         "the drained node must be empty during the upgrade window"
     );
     // The pinned classes are back at full strength on the other nodes.
-    assert_eq!(
-        cluster
-            .sim
-            .components_of_kind(cluster_sns::core::intern_class("cache"))
-            .len(),
-        2
-    );
+    assert_eq!(cache_count(&cluster), 2);
 }
 
 #[test]
@@ -173,13 +196,15 @@ fn partitioned_worker_is_replaced_by_timeout_inference() {
     let report = cluster.attach_client(reqs, Duration::from_secs(4));
 
     let lonely = cluster.sim.nodes_with_tag("dedicated")[0];
-    let everyone: Vec<_> = (0..32)
-        .map(cluster_sns::sim::NodeId)
-        .filter(|&nd| nd != lonely)
-        .collect();
-    cluster.sim.at(SimTime::from_secs(25), move |sim| {
-        sim.net_mut().partition(&[vec![lonely], everyone.clone()]);
-    });
+    let plan = FaultPlan::new().with(
+        Duration::from_secs(25),
+        FaultKind::Partition {
+            pool: "dedicated".into(),
+            which: 0,
+            heal_after: Duration::from_secs(35),
+        },
+    );
+    SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
     // Check replacement happened while still partitioned.
     cluster.sim.at(SimTime::from_secs(45), move |sim| {
         let caches = sim.components_of_kind(cluster_sns::core::intern_class("cache"));
@@ -189,9 +214,6 @@ fn partitioned_worker_is_replaced_by_timeout_inference() {
             .count() as u64;
         sim.stats_mut()
             .incr("test.caches_off_partition", off_lonely);
-    });
-    cluster.sim.at(SimTime::from_secs(60), |sim| {
-        sim.net_mut().heal();
     });
     cluster.sim.run_until(SimTime::from_secs(400));
 
@@ -209,13 +231,7 @@ fn partitioned_worker_is_replaced_by_timeout_inference() {
         "full cache strength restored on visible nodes during the partition"
     );
     // After healing + reaping, the pinned class is back at exactly 2.
-    assert_eq!(
-        cluster
-            .sim
-            .components_of_kind(cluster_sns::core::intern_class("cache"))
-            .len(),
-        2
-    );
+    assert_eq!(cache_count(&cluster), 2);
 }
 
 #[test]
@@ -237,10 +253,16 @@ fn client_side_balancing_masks_front_end_failure() {
     let reqs = items(31, 4.0, 60);
     let n = reqs.len() as u64;
     let report = cluster.attach_client(reqs, Duration::from_secs(4));
-    let victim_fe = cluster.fes[1];
-    cluster.sim.at(SimTime::from_secs(20), move |sim| {
-        sim.kill_component(victim_fe)
-    });
+
+    // A front end is just another component kind to the plan grammar.
+    let plan = FaultPlan::new().with(
+        Duration::from_secs(20),
+        FaultKind::KillWorker {
+            class: "frontend".into(),
+            which: 1,
+        },
+    );
+    let chaos = SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
     cluster.sim.run_until(SimTime::from_secs(300));
 
     let r = report.borrow();
@@ -254,6 +276,7 @@ fn client_side_balancing_masks_front_end_failure() {
         n
     );
     drop(r);
+    assert_eq!(chaos.applied_count(), 1);
     assert_eq!(
         cluster.sim.components_of_kind("frontend").len(),
         1,
@@ -264,27 +287,147 @@ fn client_side_balancing_masks_front_end_failure() {
 #[test]
 fn node_loss_with_workers_is_replaced_elsewhere() {
     let mut cluster = small_cluster();
+    let log = tap(&mut cluster);
     let reqs = items(23, 4.0, 60);
     let n = reqs.len() as u64;
     let report = cluster.attach_client(reqs, Duration::from_secs(4));
     // Kill a whole worker node once things are running: every worker on
     // it (cache partitions, distillers, …) must be replaced on the
     // surviving nodes.
-    cluster.sim.at(SimTime::from_secs(20), |sim| {
-        let node = sim.nodes_with_tag("dedicated")[0];
-        sim.kill_node(node);
-    });
+    let plan = FaultPlan::new().with(
+        Duration::from_secs(20),
+        FaultKind::KillNode {
+            pool: "dedicated".into(),
+            which: 0,
+        },
+    );
+    let chaos = SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
     cluster.sim.run_until(SimTime::from_secs(300));
     let r = report.borrow();
     assert_eq!(r.responses, n);
     assert_eq!(r.errors, 0);
     drop(r);
+    assert_eq!(chaos.applied_count(), 1);
     // The pinned cache class is back at strength on other nodes.
+    assert_eq!(cache_count(&cluster), 2);
+    let violations = chaos.stale_routing_violations(&log.borrow());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn crash_during_queue_salvage_still_conserves_jobs() {
+    // Kill a cache partition, then kill its replacement 500 ms later —
+    // inside the salvage window, while the front ends are still retrying
+    // the first victim's outstanding requests against the newborn. The
+    // manager must go around the spawn loop again and no request may be
+    // lost to the compound failure.
+    let mut cluster = small_cluster();
+    let log = tap(&mut cluster);
+    let reqs = items(41, 4.0, 60);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+
+    let plan = FaultPlan::new()
+        .with(
+            Duration::from_secs(20),
+            FaultKind::KillWorker {
+                class: "cache".into(),
+                which: 0,
+            },
+        )
+        .with(
+            Duration::from_millis(20_500),
+            FaultKind::KillWorker {
+                class: "cache".into(),
+                which: 0,
+            },
+        );
+    let chaos = SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + plan.horizon(Duration::from_secs(280)));
+
+    let r = report.borrow();
+    assert_eq!(r.responses, n, "no request lost to the compound crash");
+    assert_eq!(r.errors, 0);
+    drop(r);
+    assert_eq!(chaos.applied_count(), 2);
+    assert_eq!(cache_count(&cluster), 2, "population restored");
+    let log = log.borrow();
+    // Boot spawned 6 workers (2 caches + 1 profile DB + 3 distillers);
+    // both kills must have produced replacements on top of that.
+    log.check(&mut RespawnCoverage::new(8)).unwrap();
+    let violations = chaos.stale_routing_violations(&log);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn double_crash_of_same_logical_worker_recovers_twice() {
+    // The same logical worker (cache partition 0) dies twice, 10 s
+    // apart — recovery must be repeatable, not a one-shot: full strength
+    // and full service after each round.
+    let mut cluster = small_cluster();
+    let log = tap(&mut cluster);
+    let reqs = items(43, 4.0, 60);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+
+    let kill = FaultKind::KillWorker {
+        class: "cache".into(),
+        which: 0,
+    };
+    let plan = FaultPlan::new()
+        .with(Duration::from_secs(20), kill.clone())
+        .with(Duration::from_secs(30), kill);
+    let chaos = SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + plan.horizon(Duration::from_secs(280)));
+
+    let r = report.borrow();
+    assert_eq!(r.responses, n);
+    assert_eq!(r.errors, 0);
+    drop(r);
+    assert_eq!(chaos.applied_count(), 2);
+    assert_eq!(cache_count(&cluster), 2);
+    let log = log.borrow();
+    log.check(&mut RespawnCoverage::new(8)).unwrap();
+    let violations = chaos.stale_routing_violations(&log);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn manager_failover_with_beacon_in_flight() {
+    // Kill the manager 200 µs after a beacon left its NIC: the beacon is
+    // still in the SAN when its sender dies. The front ends must both
+    // consume that last beacon harmlessly and still detect the loss and
+    // restart the manager — a message from the dead must not postpone
+    // failover or confuse the new incarnation.
+    let mut cluster = small_cluster();
+    let reqs = items(47, 4.0, 60);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+
+    // Beacons go out every 1 s from boot; 20 s + 200 µs is just after
+    // one is emitted and well inside the ~ms SAN delivery time.
+    let plan = FaultPlan::new().with(Duration::from_micros(20_000_200), FaultKind::KillManager);
+    let chaos = SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + plan.horizon(Duration::from_secs(280)));
+
+    let r = report.borrow();
+    assert_eq!(r.responses, n);
+    assert_eq!(r.errors, 0);
+    drop(r);
+    assert_eq!(chaos.applied_count(), 1);
+    let stats = cluster.sim.stats();
+    assert!(stats.counter("fe.manager_restarts") >= 1);
+    check_death_reconciliation(stats.counter("sim.deaths"), plan.kills() as u64, 0).unwrap();
     assert_eq!(
-        cluster
-            .sim
-            .components_of_kind(cluster_sns::core::intern_class("cache"))
-            .len(),
-        2
+        cluster.sim.components_of_kind("manager").len(),
+        1,
+        "exactly one manager survives the in-flight beacon"
     );
+    assert_eq!(cache_count(&cluster), 2);
 }

@@ -44,6 +44,23 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== bench stage: sim_throughput macro-bench (release, 1M events/run)"
+# The scheduler macro-bench doubles as a determinism check: it asserts
+# in-process that heap and wheel runs of every profile dispatch the
+# exact same events, then records the rows. An empty or missing
+# BENCH_sim.json means the bench silently stopped measuring.
+cargo run -p sns-bench --release --offline --bin sim_throughput -- BENCH_sim.json
+if [ ! -s BENCH_sim.json ]; then
+  echo "BENCH_sim.json missing or empty after the bench stage" >&2
+  exit 1
+fi
+rows=$(grep -c '"bench"' BENCH_sim.json || true)
+if [ "$rows" -lt 6 ]; then
+  echo "BENCH_sim.json carries $rows rows, expected >= 6 (3 profiles x 2 schedulers)" >&2
+  exit 1
+fi
+echo "   ok: $rows bench rows in BENCH_sim.json"
+
 echo "== chaos stage: fault-injection suites under a pinned seed"
 # The chaos suites must both run and keep their full rosters: a test
 # that got #[ignore]d, filtered out or deleted would otherwise slip
@@ -67,6 +84,8 @@ chaos_suite() {
 chaos_suite sns-chaos prop 4
 chaos_suite sns-chaos rt_chaos 2
 chaos_suite cluster-sns failure_recovery 9
-chaos_suite cluster-sns determinism 4
+chaos_suite cluster-sns determinism 6
+chaos_suite cluster-sns paper_shapes 4
+chaos_suite sns-sim sched_equiv 3
 
 echo "== CI green"

@@ -1,0 +1,227 @@
+//! Macro-benchmark of the discrete-event engine's scheduling/dispatch
+//! hot path: whole simulation runs of 1M+ events, measured for both
+//! pending-event schedulers (`heap` baseline vs `wheel` + arenas) in
+//! the same process so the recorded ratio is apples-to-apples.
+//!
+//! Three profiles stress different parts of the hot path:
+//!
+//! * `route_1m` — a 64-component message ring over the ideal network;
+//!   small queue, many same-timestamp deliveries (batching + arena
+//!   dispatch dominate).
+//! * `spawn_1m` — components continuously spawning and killing
+//!   children (component-table churn, start/death bookkeeping).
+//! * `monitor_1m` — ~1M standing re-arming timers spread over 1000 s
+//!   of virtual time, the Section-2 monitoring workload shape: every
+//!   pop digs through a million-entry priority queue (heap) or drains
+//!   an O(1) wheel bucket.
+//!
+//! ```sh
+//! cargo run -p sns-bench --release --bin sim_throughput [-- OUTPUT.json]
+//! ```
+//!
+//! Rows land in `BENCH_sim.json`; events/sec and the wheel-vs-heap
+//! speedup per profile print at the end.
+
+use std::time::Duration;
+
+use sns_sim::engine::{Component, Ctx, NodeSpec, Sim, SimConfig, Wire};
+use sns_sim::network::IdealNetwork;
+use sns_sim::sched::SchedulerKind;
+use sns_sim::time::SimTime;
+use sns_sim::ComponentId;
+use sns_testkit::{BenchConfig, BenchSuite};
+
+/// Events per measured run, shared by all profiles.
+const EVENTS: u64 = 1_000_000;
+
+#[derive(Clone)]
+struct Ping;
+impl Wire for Ping {
+    fn wire_size(&self) -> u64 {
+        64
+    }
+}
+
+fn config(kind: SchedulerKind, max_events: u64) -> SimConfig {
+    SimConfig {
+        seed: 0x517,
+        scheduler: kind,
+        max_events,
+        ..Default::default()
+    }
+}
+
+/// 64 tokens circulating a component ring; each delivery forwards to
+/// the next member, so 64 messages are always in flight and most of
+/// them share timestamps.
+fn route_sim(kind: SchedulerKind) -> Sim<Ping, IdealNetwork> {
+    struct Fwd {
+        next: ComponentId,
+    }
+    impl Component<Ping> for Fwd {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, _from: ComponentId, msg: Ping) {
+            ctx.send(self.next, msg);
+        }
+    }
+    let mut sim: Sim<Ping, IdealNetwork> = Sim::new(config(kind, EVENTS), IdealNetwork::default());
+    let ring = 64u64;
+    let node = sim.add_node(NodeSpec::new(4, "dedicated"));
+    // Component ids are allocated sequentially from 1, so each member
+    // can name its successor before it exists.
+    let first = ComponentId(1);
+    for i in 0..ring {
+        let next = ComponentId(first.0 + (i + 1) % ring);
+        sim.spawn(node, Box::new(Fwd { next }), "fwd");
+    }
+    for i in 0..ring {
+        sim.inject(ComponentId(first.0 + i), Ping);
+    }
+    sim
+}
+
+/// Spawner components that kill their previous child and fork a new
+/// one on every timer tick (manager respawn-churn shape).
+fn spawn_sim(kind: SchedulerKind) -> Sim<Ping, IdealNetwork> {
+    struct Child;
+    impl Component<Ping> for Child {
+        fn on_message(&mut self, _: &mut Ctx<'_, Ping>, _: ComponentId, _: Ping) {}
+    }
+    struct Spawner {
+        child: Option<ComponentId>,
+    }
+    impl Component<Ping> for Spawner {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            ctx.timer(Duration::from_millis(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Ping>, _t: u64) {
+            if let Some(c) = self.child.take() {
+                ctx.kill(c);
+            }
+            self.child = ctx.spawn(ctx.my_node(), Box::new(Child), "child");
+            ctx.timer(Duration::from_millis(1), 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Ping>, _: ComponentId, _: Ping) {}
+    }
+    let mut sim: Sim<Ping, IdealNetwork> = Sim::new(config(kind, EVENTS), IdealNetwork::default());
+    for _ in 0..8 {
+        let node = sim.add_node(NodeSpec::new(4, "dedicated"));
+        for _ in 0..8 {
+            sim.spawn(node, Box::new(Spawner { child: None }), "spawner");
+        }
+    }
+    sim
+}
+
+/// ~1M standing timers uniformly spread over 1000 s of virtual time;
+/// each firing re-arms, so the pending population stays at ~1M for the
+/// whole run.
+fn monitor_sim(kind: SchedulerKind) -> Sim<Ping, IdealNetwork> {
+    const WATCHERS: u64 = 1_000;
+    const TIMERS_EACH: u64 = 1_000;
+    const SPREAD_NS: u64 = 1_000 * 1_000_000_000;
+    struct Watcher;
+    impl Component<Ping> for Watcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            for t in 0..TIMERS_EACH {
+                let delay = ctx.rng().below(SPREAD_NS);
+                ctx.timer(Duration::from_nanos(delay), t);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Ping>, t: u64) {
+            let delay = ctx.rng().below(SPREAD_NS);
+            ctx.timer(Duration::from_nanos(delay), t);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Ping>, _: ComponentId, _: Ping) {}
+    }
+    // Leave headroom for the Start events so the cap still cuts off at
+    // EVENTS-many timer firings.
+    let mut sim: Sim<Ping, IdealNetwork> =
+        Sim::new(config(kind, EVENTS + WATCHERS), IdealNetwork::default());
+    let node = sim.add_node(NodeSpec::new(4, "dedicated"));
+    for _ in 0..WATCHERS {
+        sim.spawn(node, Box::new(Watcher), "watcher");
+    }
+    // Dispatch the Start events now so every measured run begins with
+    // the full standing-timer population already queued.
+    sim.run_until(SimTime::ZERO);
+    assert_eq!(sim.events_dispatched(), WATCHERS);
+    sim
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    // Whole runs take seconds; tiny budgets still give one warmup run
+    // and at least one measured sample per benchmark.
+    let mut suite = BenchSuite::with_config(
+        "sim",
+        BenchConfig {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    type Builder = fn(SchedulerKind) -> Sim<Ping, IdealNetwork>;
+    let profiles: [(&str, Builder); 3] = [
+        ("route_1m", route_sim),
+        ("spawn_1m", spawn_sim),
+        ("monitor_1m", monitor_sim),
+    ];
+    for (profile, build) in profiles {
+        let mut per_kind: Vec<(SimTime, u64)> = Vec::new();
+        for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+            let tag = match kind {
+                SchedulerKind::Heap => "heap",
+                SchedulerKind::Wheel => "wheel",
+            };
+            let mut fingerprints: Vec<(SimTime, u64)> = Vec::new();
+            suite.bench_batched(
+                &format!("{profile}/{tag}"),
+                || build(kind),
+                |mut sim| {
+                    sim.run();
+                    fingerprints.push((sim.now(), sim.events_dispatched()));
+                },
+            );
+            let f = fingerprints.last().copied().expect("at least one run");
+            assert!(
+                fingerprints.iter().all(|&x| x == f),
+                "{profile}/{tag}: repeated runs diverged"
+            );
+            println!(
+                "    {profile}/{tag}: finished at {} after {} events",
+                f.0, f.1
+            );
+            per_kind.push(f);
+        }
+        // Both schedulers must have executed the exact same run.
+        assert_eq!(
+            per_kind[0], per_kind[1],
+            "{profile}: heap and wheel runs diverged"
+        );
+    }
+    suite.write_json(&out).expect("write bench rows");
+
+    println!("-- events/sec ({EVENTS} dispatched events per run)");
+    let row = |name: &str| {
+        suite
+            .rows()
+            .iter()
+            .find(|r| r.bench == name)
+            .expect("row exists")
+            .mean_ns
+    };
+    for (profile, _) in profiles {
+        let heap_ns = row(&format!("{profile}/heap"));
+        let wheel_ns = row(&format!("{profile}/wheel"));
+        let eps = |ns: f64| EVENTS as f64 / (ns / 1e9);
+        println!(
+            "  {profile:<12} heap {:>12.0} ev/s   wheel {:>12.0} ev/s   speedup {:.2}x",
+            eps(heap_ns),
+            eps(wheel_ns),
+            heap_ns / wheel_ns
+        );
+    }
+    println!("wrote {} rows to {out}", suite.rows().len());
+}

@@ -16,6 +16,7 @@ use sns_san::{San, SanConfig};
 use sns_search::doc::CorpusGenerator;
 use sns_search::index::InvertedIndex;
 use sns_sim::engine::{NodeSpec, Sim, SimConfig};
+use sns_sim::sched::SchedulerKind;
 use sns_sim::{ComponentId, GroupId, NodeId};
 
 use crate::client::{HotBotClient, QueryReportHandle};
@@ -44,6 +45,7 @@ pub struct HotBotBuilder {
     corpus_docs: usize,
     vocab: usize,
     auto_restart_partitions: bool,
+    scheduler: SchedulerKind,
 }
 
 impl Default for HotBotBuilder {
@@ -60,6 +62,7 @@ impl Default for HotBotBuilder {
             corpus_docs: 5_200,
             vocab: 20_000,
             auto_restart_partitions: true,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -80,6 +83,13 @@ impl HotBotBuilder {
     /// Sets the engine seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.topology.seed = seed;
+        self
+    }
+
+    /// Selects the engine's pending-event scheduler (both kinds dispatch
+    /// in bit-identical order; see [`SchedulerKind`]).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -175,6 +185,7 @@ impl HotBotBuilder {
         let mut sim: Sim<SnsMsg, San> = Sim::new(
             SimConfig {
                 seed: topo.seed,
+                scheduler: self.scheduler,
                 ..Default::default()
             },
             San::new(topo.san.clone()),

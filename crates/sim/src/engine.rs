@@ -8,11 +8,11 @@
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
-use std::collections::BinaryHeap;
 use std::time::Duration;
 
 use crate::network::{Delivery, Endpoint, Network, TrafficClass};
 use crate::rng::Pcg32;
+use crate::sched::{Scheduler, SchedulerKind};
 use crate::stats::StatsHub;
 use crate::time::SimTime;
 use crate::{ComponentId, GroupId, NodeId};
@@ -30,6 +30,9 @@ pub struct SimConfig {
     pub death_detect_latency: Duration,
     /// Hard cap on dispatched events (runaway-loop protection).
     pub max_events: u64,
+    /// Which pending-event scheduler the run loop pops from. Both kinds
+    /// dispatch in bit-identical order; see [`SchedulerKind`].
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -39,6 +42,7 @@ impl Default for SimConfig {
             spawn_latency: Duration::from_millis(300),
             death_detect_latency: Duration::from_millis(50),
             max_events: u64::MAX,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -134,30 +138,55 @@ enum Ev<M> {
     Script(u64),
 }
 
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    ev: Ev<M>,
+/// A dense arena keyed by the engine's monotonically allocated ids
+/// (component, node and group ids start near zero and are never reused).
+/// Replaces the `BTreeMap`s on the dispatch hot path: lookups are an
+/// index, iteration is a linear scan in id order — the same order the
+/// maps iterated in, so swapping them in changes nothing observable.
+struct Slab<T> {
+    items: Vec<Option<T>>,
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<T> Slab<T> {
+    fn new() -> Self {
+        Slab { items: Vec::new() }
     }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    fn get(&self, i: usize) -> Option<&T> {
+        self.items.get(i).and_then(|s| s.as_ref())
     }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+    fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        self.items.get_mut(i).and_then(|s| s.as_mut())
+    }
+
+    fn insert(&mut self, i: usize, v: T) {
+        if i >= self.items.len() {
+            self.items.resize_with(i + 1, || None);
+        }
+        self.items[i] = Some(v);
+    }
+
+    fn get_or_insert_with(&mut self, i: usize, f: impl FnOnce() -> T) -> &mut T {
+        if i >= self.items.len() {
+            self.items.resize_with(i + 1, || None);
+        }
+        self.items[i].get_or_insert_with(f)
+    }
+
+    fn remove(&mut self, i: usize) -> Option<T> {
+        self.items.get_mut(i).and_then(|s| s.take())
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut().filter_map(|s| s.as_mut())
     }
 }
 
@@ -168,12 +197,12 @@ pub struct Kernel<M, N> {
     now: SimTime,
     seq: u64,
     events_dispatched: u64,
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: Box<dyn Scheduler<Ev<M>>>,
     rng: Pcg32,
-    nodes: BTreeMap<NodeId, Node>,
-    groups: BTreeMap<GroupId, BTreeSet<ComponentId>>,
+    nodes: Slab<Node>,
+    groups: Slab<BTreeSet<ComponentId>>,
     watchers: BTreeMap<ComponentId, BTreeSet<ComponentId>>,
-    meta: BTreeMap<ComponentId, CompMeta>,
+    meta: Slab<CompMeta>,
     net: N,
     stats: StatsHub,
     cfg: SimConfig,
@@ -181,27 +210,25 @@ pub struct Kernel<M, N> {
     next_node: u32,
     next_group: u32,
     trace: bool,
+    /// Reusable endpoint buffer for multicast fan-out.
+    mcast_scratch: Vec<Endpoint>,
 }
 
 impl<M: Wire + Clone, N: Network> Kernel<M, N> {
     fn schedule(&mut self, at: SimTime, ev: Ev<M>) {
         debug_assert!(at >= self.now, "scheduling into the past");
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq: self.seq,
-            ev,
-        });
+        self.queue.push(at, self.seq, ev);
     }
 
     fn endpoint(&self, comp: ComponentId) -> Option<Endpoint> {
         self.meta
-            .get(&comp)
+            .get(comp.0 as usize)
             .map(|m| Endpoint { node: m.node, comp })
     }
 
     fn is_alive(&self, comp: ComponentId) -> bool {
-        self.meta.get(&comp).is_some_and(|m| m.alive)
+        self.meta.get(comp.0 as usize).is_some_and(|m| m.alive)
     }
 
     fn do_send(&mut self, from: ComponentId, to: ComponentId, msg: M, class: TrafficClass) {
@@ -226,13 +253,19 @@ impl<M: Wire + Clone, N: Network> Kernel<M, N> {
         let Some(src) = self.endpoint(from) else {
             return;
         };
-        let members: Vec<ComponentId> = self
-            .groups
-            .get(&group)
-            .map(|s| s.iter().copied().filter(|&c| c != from).collect())
-            .unwrap_or_default();
-        let endpoints: Vec<Endpoint> = members.iter().filter_map(|&c| self.endpoint(c)).collect();
+        // Fan out into the reusable scratch buffer (no per-call Vecs).
+        let mut endpoints = std::mem::take(&mut self.mcast_scratch);
+        endpoints.clear();
+        if let Some(members) = self.groups.get(group.0 as usize) {
+            endpoints.extend(
+                members
+                    .iter()
+                    .filter(|&&c| c != from)
+                    .filter_map(|&c| self.endpoint(c)),
+            );
+        }
         if endpoints.is_empty() {
+            self.mcast_scratch = endpoints;
             return;
         }
         let size = msg.wire_size();
@@ -252,12 +285,17 @@ impl<M: Wire + Clone, N: Network> Kernel<M, N> {
                 Delivery::Dropped => self.stats.incr("net.multicast_dropped", 1),
             }
         }
+        self.mcast_scratch = endpoints;
     }
 
     /// Occupies one core on `node` for `work`; returns the completion time.
     fn do_exec_cpu(&mut self, comp: ComponentId, work: Duration, token: u64) -> SimTime {
-        let node_id = self.meta[&comp].node;
-        let node = self.nodes.get_mut(&node_id).expect("node exists");
+        let node_id = self
+            .meta
+            .get(comp.0 as usize)
+            .expect("component exists")
+            .node;
+        let node = self.nodes.get_mut(node_id.0 as usize).expect("node exists");
         // Pick the earliest-available core.
         let (idx, avail) = node
             .cores
@@ -331,10 +369,12 @@ impl<M: Wire + Clone, N: Network> KernelOps<M> for Kernel<M, N> {
         self.do_multicast(from, group, msg, class);
     }
     fn join(&mut self, comp: ComponentId, group: GroupId) {
-        self.groups.entry(group).or_default().insert(comp);
+        self.groups
+            .get_or_insert_with(group.0 as usize, BTreeSet::new)
+            .insert(comp);
     }
     fn leave(&mut self, comp: ComponentId, group: GroupId) {
-        if let Some(g) = self.groups.get_mut(&group) {
+        if let Some(g) = self.groups.get_mut(group.0 as usize) {
             g.remove(&comp);
         }
     }
@@ -354,13 +394,13 @@ impl<M: Wire + Clone, N: Network> KernelOps<M> for Kernel<M, N> {
         }
     }
     fn alloc_component(&mut self, node: NodeId, kind: &'static str) -> Option<ComponentId> {
-        if !self.nodes.get(&node).is_some_and(|n| n.alive) {
+        if !self.nodes.get(node.0 as usize).is_some_and(|n| n.alive) {
             return None;
         }
         self.next_comp += 1;
         let id = ComponentId(self.next_comp);
         self.meta.insert(
-            id,
+            id.0 as usize,
             CompMeta {
                 node,
                 alive: true,
@@ -376,29 +416,29 @@ impl<M: Wire + Clone, N: Network> KernelOps<M> for Kernel<M, N> {
         self.cfg.spawn_latency
     }
     fn node_of(&self, comp: ComponentId) -> Option<NodeId> {
-        self.meta.get(&comp).map(|m| m.node)
+        self.meta.get(comp.0 as usize).map(|m| m.node)
     }
     fn node_tag(&self, node: NodeId) -> Option<String> {
-        self.nodes.get(&node).map(|n| n.tag.clone())
+        self.nodes.get(node.0 as usize).map(|n| n.tag.clone())
     }
     fn is_alive(&self, comp: ComponentId) -> bool {
         Kernel::is_alive(self, comp)
     }
     fn node_alive(&self, node: NodeId) -> bool {
-        self.nodes.get(&node).is_some_and(|n| n.alive)
+        self.nodes.get(node.0 as usize).is_some_and(|n| n.alive)
     }
     fn nodes_with_tag(&self, tag: &str) -> Vec<NodeId> {
         self.nodes
             .iter()
             .filter(|(_, n)| n.alive && n.tag == tag)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| NodeId(id as u32))
             .collect()
     }
     fn components_on(&self, node: NodeId) -> Vec<ComponentId> {
         self.meta
             .iter()
             .filter(|(_, m)| m.alive && m.node == node)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| ComponentId(id as u64))
             .collect()
     }
 }
@@ -560,26 +600,31 @@ type Script<M, N> = Box<dyn FnOnce(&mut Sim<M, N>)>;
 /// interconnect model and a virtual clock.
 pub struct Sim<M, N> {
     kernel: Kernel<M, N>,
-    components: BTreeMap<ComponentId, Slot<M>>,
+    components: Slab<Slot<M>>,
     scripts: BTreeMap<u64, Script<M, N>>,
     next_script: u64,
+    /// Reusable same-timestamp dispatch batch (run loop arena).
+    batch_buf: Vec<(SimTime, u64, Ev<M>)>,
+    /// Reusable side-effect buffers for component callbacks.
+    effects_pool: Vec<Vec<SideEffect<M>>>,
 }
 
 impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
     /// Creates a simulation over the given interconnect model.
     pub fn new(cfg: SimConfig, net: N) -> Self {
         let rng = Pcg32::new(cfg.seed);
+        let queue = cfg.scheduler.make();
         Sim {
             kernel: Kernel {
                 now: SimTime::ZERO,
                 seq: 0,
                 events_dispatched: 0,
-                queue: BinaryHeap::new(),
+                queue,
                 rng,
-                nodes: BTreeMap::new(),
-                groups: BTreeMap::new(),
+                nodes: Slab::new(),
+                groups: Slab::new(),
                 watchers: BTreeMap::new(),
-                meta: BTreeMap::new(),
+                meta: Slab::new(),
                 net,
                 stats: StatsHub::new(),
                 cfg,
@@ -587,10 +632,13 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
                 next_node: 0,
                 next_group: 0,
                 trace: false,
+                mcast_scratch: Vec::new(),
             },
-            components: BTreeMap::new(),
+            components: Slab::new(),
             scripts: BTreeMap::new(),
             next_script: 0,
+            batch_buf: Vec::new(),
+            effects_pool: Vec::new(),
         }
     }
 
@@ -630,7 +678,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
         let id = NodeId(self.kernel.next_node);
         self.kernel.next_node += 1;
         self.kernel.nodes.insert(
-            id,
+            id.0 as usize,
             Node {
                 alive: true,
                 cores: vec![SimTime::ZERO; spec.cores as usize],
@@ -645,7 +693,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
     pub fn create_group(&mut self) -> GroupId {
         let id = GroupId(self.kernel.next_group);
         self.kernel.next_group += 1;
-        self.kernel.groups.insert(id, BTreeSet::new());
+        self.kernel.groups.insert(id.0 as usize, BTreeSet::new());
         id
     }
 
@@ -670,13 +718,18 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
         kind: &'static str,
         delay: Duration,
     ) -> Option<ComponentId> {
-        if !self.kernel.nodes.get(&node).is_some_and(|n| n.alive) {
+        if !self
+            .kernel
+            .nodes
+            .get(node.0 as usize)
+            .is_some_and(|n| n.alive)
+        {
             return None;
         }
         self.kernel.next_comp += 1;
         let id = ComponentId(self.kernel.next_comp);
         self.kernel.meta.insert(
-            id,
+            id.0 as usize,
             CompMeta {
                 node,
                 alive: true,
@@ -687,7 +740,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
         let at = self.kernel.now + delay;
         self.kernel.schedule(at, Ev::Start { to: id });
         self.components.insert(
-            id,
+            id.0 as usize,
             Slot {
                 comp: Some(comp),
                 mailbox: Vec::new(),
@@ -732,12 +785,12 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             .meta
             .iter()
             .filter(|(_, m)| m.alive && m.node == node)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| ComponentId(id as u64))
             .collect();
         for v in victims {
             self.do_kill(v);
         }
-        if let Some(n) = self.kernel.nodes.get_mut(&node) {
+        if let Some(n) = self.kernel.nodes.get_mut(node.0 as usize) {
             n.alive = false;
         }
     }
@@ -745,7 +798,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
     /// Brings a previously killed node back (empty, cores idle).
     pub fn revive_node(&mut self, node: NodeId) {
         let now = self.kernel.now;
-        if let Some(n) = self.kernel.nodes.get_mut(&node) {
+        if let Some(n) = self.kernel.nodes.get_mut(node.0 as usize) {
             n.alive = true;
             for c in &mut n.cores {
                 *c = now;
@@ -760,7 +813,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
 
     /// Node hosting a component.
     pub fn node_of(&self, comp: ComponentId) -> Option<NodeId> {
-        self.kernel.meta.get(&comp).map(|m| m.node)
+        self.kernel.meta.get(comp.0 as usize).map(|m| m.node)
     }
 
     /// All live components of a given kind (as reported by
@@ -770,7 +823,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             .meta
             .iter()
             .filter(|(_, m)| m.alive && m.kind == kind)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| ComponentId(id as u64))
             .collect()
     }
 
@@ -780,7 +833,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             .meta
             .iter()
             .filter(|(_, m)| m.alive && m.node == node)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| ComponentId(id as u64))
             .collect()
     }
 
@@ -790,7 +843,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             .nodes
             .iter()
             .filter(|(_, n)| n.alive && n.tag == tag)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| NodeId(id as u32))
             .collect()
     }
 
@@ -800,7 +853,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             .nodes
             .iter()
             .filter(|(_, n)| n.alive)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| NodeId(id as u32))
             .collect()
     }
 
@@ -811,13 +864,16 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             .nodes
             .iter()
             .filter(|(_, n)| n.tag == tag)
-            .map(|(&id, n)| (id, n.alive))
+            .map(|(id, n)| (NodeId(id as u32), n.alive))
             .collect()
     }
 
     /// Whether a node is currently alive.
     pub fn node_alive(&self, node: NodeId) -> bool {
-        self.kernel.nodes.get(&node).is_some_and(|n| n.alive)
+        self.kernel
+            .nodes
+            .get(node.0 as usize)
+            .is_some_and(|n| n.alive)
     }
 
     /// Schedules a repeating closure at `start`, `start + period`, … up to
@@ -854,14 +910,14 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
     }
 
     fn do_kill(&mut self, comp: ComponentId) {
-        let Some(m) = self.kernel.meta.get_mut(&comp) else {
+        let Some(m) = self.kernel.meta.get_mut(comp.0 as usize) else {
             return;
         };
         if !m.alive {
             return;
         }
         m.alive = false;
-        self.components.remove(&comp);
+        self.components.remove(comp.0 as usize);
         self.kernel.stats.incr("sim.deaths", 1);
         // Notify watchers after the detection latency.
         let watchers: Vec<ComponentId> = self
@@ -885,28 +941,44 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
 
     /// Runs until the horizon; returns why the loop stopped. The clock
     /// always ends at exactly `horizon` unless the event cap was hit.
+    ///
+    /// Same-timestamp events are popped as one batch and dispatched in
+    /// seq order; events scheduled *during* the batch carry higher seqs
+    /// than everything already batched, so the delivered order is
+    /// identical to popping one event at a time.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
-        loop {
-            let Some(head) = self.kernel.queue.peek() else {
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        let outcome = loop {
+            let Some((at, _)) = self.kernel.queue.peek() else {
                 // Advance to a finite horizon; an "infinite" run leaves the
                 // clock at the last dispatched event.
                 if horizon != SimTime::MAX {
                     self.kernel.now = horizon.max(self.kernel.now);
                 }
-                return RunOutcome::QueueEmpty;
+                break RunOutcome::QueueEmpty;
             };
-            if head.at > horizon {
+            if at > horizon {
                 self.kernel.now = horizon;
-                return RunOutcome::HorizonReached;
+                break RunOutcome::HorizonReached;
             }
             if self.kernel.events_dispatched >= self.kernel.cfg.max_events {
-                return RunOutcome::EventCapReached;
+                break RunOutcome::EventCapReached;
             }
-            let sch = self.kernel.queue.pop().expect("peeked");
-            self.kernel.now = sch.at;
-            self.kernel.events_dispatched += 1;
-            self.dispatch(sch.ev);
-        }
+            // Never batch past the event cap, so EventCapReached fires at
+            // exactly the same point it would without batching.
+            let budget =
+                usize::try_from(self.kernel.cfg.max_events - self.kernel.events_dispatched)
+                    .unwrap_or(usize::MAX);
+            batch.clear();
+            self.kernel.queue.pop_batch(&mut batch, budget);
+            for (at, _, ev) in batch.drain(..) {
+                self.kernel.now = at;
+                self.kernel.events_dispatched += 1;
+                self.dispatch(ev);
+            }
+        };
+        self.batch_buf = batch;
+        outcome
     }
 
     /// Runs until the queue drains (or the event cap hits).
@@ -930,21 +1002,27 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
                 if !self.kernel.is_alive(to) {
                     return;
                 }
-                if let Some(m) = self.kernel.meta.get_mut(&to) {
+                if let Some(m) = self.kernel.meta.get_mut(to.0 as usize) {
                     m.started = true;
                 }
                 self.with_component(to, |comp, ctx| comp.on_start(ctx));
-                // Flush messages that arrived before start.
-                let pending: Vec<(ComponentId, M)> = self
+                // Flush messages that arrived before start, then hand the
+                // drained buffer back to the slot for reuse.
+                let mut pending: Vec<(ComponentId, M)> = self
                     .components
-                    .get_mut(&to)
+                    .get_mut(to.0 as usize)
                     .map(|s| std::mem::take(&mut s.mailbox))
                     .unwrap_or_default();
-                for (from, msg) in pending {
+                for (from, msg) in pending.drain(..) {
                     if !self.kernel.is_alive(to) {
                         break;
                     }
                     self.with_component(to, |comp, ctx| comp.on_message(ctx, from, msg));
+                }
+                if let Some(slot) = self.components.get_mut(to.0 as usize) {
+                    if slot.mailbox.is_empty() {
+                        slot.mailbox = pending;
+                    }
                 }
             }
             Ev::Msg { to, from, msg } => {
@@ -952,9 +1030,13 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
                     self.kernel.stats.incr("net.delivered_to_dead", 1);
                     return;
                 }
-                let started = self.kernel.meta.get(&to).is_some_and(|m| m.started);
+                let started = self
+                    .kernel
+                    .meta
+                    .get(to.0 as usize)
+                    .is_some_and(|m| m.started);
                 if !started {
-                    if let Some(slot) = self.components.get_mut(&to) {
+                    if let Some(slot) = self.components.get_mut(to.0 as usize) {
                         slot.mailbox.push((from, msg));
                     }
                     return;
@@ -984,7 +1066,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
         id: ComponentId,
         f: impl FnOnce(&mut Box<dyn Component<M>>, &mut Ctx<'_, M>),
     ) {
-        let Some(slot) = self.components.get_mut(&id) else {
+        let Some(slot) = self.components.get_mut(id.0 as usize) else {
             return;
         };
         let Some(mut comp) = slot.comp.take() else {
@@ -992,7 +1074,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             // single-threaded engine; a missing box means it is mid-kill.
             return;
         };
-        let mut effects: Vec<SideEffect<M>> = Vec::new();
+        let mut effects = self.effects_pool.pop().unwrap_or_default();
         {
             let mut ctx = Ctx {
                 kernel: &mut self.kernel,
@@ -1011,16 +1093,16 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
             }
         }
         if !self_killed {
-            if let Some(slot) = self.components.get_mut(&id) {
+            if let Some(slot) = self.components.get_mut(id.0 as usize) {
                 slot.comp = Some(comp);
             }
         }
-        // Apply side effects in order.
-        for e in effects {
+        // Apply side effects in order, then return the buffer to the pool.
+        for e in effects.drain(..) {
             match e {
                 SideEffect::Spawn { id, comp } => {
                     self.components.insert(
-                        id,
+                        id.0 as usize,
                         Slot {
                             comp: Some(comp),
                             mailbox: Vec::new(),
@@ -1030,6 +1112,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
                 SideEffect::Kill(victim) => self.do_kill(victim),
             }
         }
+        self.effects_pool.push(effects);
     }
 }
 

@@ -49,6 +49,7 @@
 pub mod engine;
 pub mod network;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
@@ -84,6 +85,7 @@ pub struct GroupId(pub u32);
 pub use engine::{Component, Ctx, Kernel, NodeSpec, RunOutcome, Sim, SimConfig, Wire};
 pub use network::{Delivery, Endpoint, IdealNetwork, Network, TrafficClass};
 pub use rng::Pcg32;
+pub use sched::{HeapScheduler, Scheduler, SchedulerKind, WheelScheduler};
 pub use stats::{Histogram, MetricKey, Series, StatsHub, Summary};
 pub use time::SimTime;
 
@@ -111,6 +113,7 @@ pub mod prelude {
     pub use crate::engine::{Component, Ctx, NodeSpec, RunOutcome, Sim, SimConfig, Wire};
     pub use crate::network::{Delivery, Endpoint, IdealNetwork, Network, TrafficClass};
     pub use crate::rng::Pcg32;
+    pub use crate::sched::SchedulerKind;
     pub use crate::stats::StatsHub;
     pub use crate::time::SimTime;
     pub use crate::{ComponentId, GroupId, NodeId};

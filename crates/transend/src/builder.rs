@@ -17,6 +17,7 @@ use sns_distillers::{
 };
 use sns_san::{LinkParams, San, SanConfig};
 use sns_sim::engine::{NodeSpec, Sim, SimConfig};
+use sns_sim::sched::SchedulerKind;
 use sns_sim::{ComponentId, GroupId, NodeId};
 use sns_tacc::cache_worker::CacheWorker;
 use sns_tacc::origin::OriginServer;
@@ -59,6 +60,7 @@ pub struct TranSendBuilder {
     fe_nic: Option<LinkParams>,
     distiller_crash_prob: f64,
     delta_correction: bool,
+    scheduler: SchedulerKind,
 }
 
 impl Default for TranSendBuilder {
@@ -84,6 +86,7 @@ impl Default for TranSendBuilder {
             fe_nic: None,
             distiller_crash_prob: 0.0,
             delta_correction: true,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -103,6 +106,13 @@ impl TranSendBuilder {
     /// Sets the engine seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.topology.seed = seed;
+        self
+    }
+
+    /// Selects the engine's pending-event scheduler (both kinds dispatch
+    /// in bit-identical order; see [`SchedulerKind`]).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -376,6 +386,7 @@ impl TranSendBuilder {
         let mut sim: Sim<SnsMsg, San> = Sim::new(
             SimConfig {
                 seed: topo.seed,
+                scheduler: self.scheduler,
                 ..Default::default()
             },
             san,

@@ -7,14 +7,15 @@ use std::time::Duration;
 use cluster_sns::chaos::{FaultKind, FaultPlan, SimChaos, SimChaosConfig};
 use cluster_sns::core::MonitorTap;
 use cluster_sns::hotbot::HotBotBuilder;
-use cluster_sns::sim::SimTime;
+use cluster_sns::sim::{SchedulerKind, SimTime};
 use cluster_sns::transend::TranSendBuilder;
 use cluster_sns::workload::playback::{Playback, Schedule};
 use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
 
-fn transend_fingerprint(seed: u64) -> (u64, u64, u64, String) {
+fn transend_fingerprint_on(seed: u64, scheduler: SchedulerKind) -> (u64, u64, u64, String) {
     let mut cluster = TranSendBuilder::new()
         .with_seed(seed)
+        .with_scheduler(scheduler)
         .with_worker_nodes(5)
         .with_frontends(1)
         .with_cache_partitions(2)
@@ -59,6 +60,10 @@ fn transend_fingerprint(seed: u64) -> (u64, u64, u64, String) {
     )
 }
 
+fn transend_fingerprint(seed: u64) -> (u64, u64, u64, String) {
+    transend_fingerprint_on(seed, SchedulerKind::default())
+}
+
 #[test]
 fn transend_runs_are_bit_identical_given_a_seed() {
     let a = transend_fingerprint(0xd5);
@@ -73,11 +78,22 @@ fn different_seeds_give_different_runs() {
     assert_ne!(a.0, b.0, "different seeds must diverge");
 }
 
+/// A full TranSend trace replay (fault injection included) produces the
+/// same event count, responses, bytes and counters on the heap baseline
+/// and the timer wheel.
+#[test]
+fn transend_replay_is_identical_across_schedulers() {
+    let heap = transend_fingerprint_on(0xd5, SchedulerKind::Heap);
+    let wheel = transend_fingerprint_on(0xd5, SchedulerKind::Wheel);
+    assert_eq!(heap, wheel, "heap and wheel replays must be bit-identical");
+}
+
 /// One full chaos run: same seed, same fault plan, returns the
 /// byte-stable canonical rendering of the tapped monitor-event log.
-fn chaos_monitor_log(seed: u64) -> String {
+fn chaos_monitor_log_on(seed: u64, scheduler: SchedulerKind) -> String {
     let mut cluster = TranSendBuilder::new()
         .with_seed(seed)
+        .with_scheduler(scheduler)
         .with_worker_nodes(5)
         .with_overflow_nodes(1)
         .with_frontends(1)
@@ -135,6 +151,10 @@ fn chaos_monitor_log(seed: u64) -> String {
     rendered
 }
 
+fn chaos_monitor_log(seed: u64) -> String {
+    chaos_monitor_log_on(seed, SchedulerKind::default())
+}
+
 #[test]
 fn same_seed_same_plan_gives_byte_identical_monitor_logs() {
     let a = chaos_monitor_log(0xFA);
@@ -142,6 +162,16 @@ fn same_seed_same_plan_gives_byte_identical_monitor_logs() {
     assert_eq!(a, b, "monitor-event logs must be byte-identical");
     let c = chaos_monitor_log(0xFB);
     assert_ne!(a, c, "a different seed must perturb the event stream");
+}
+
+/// The chaos demo plan (kill-worker, kill-manager, partition, beacon
+/// loss) must leave a byte-identical monitor-event log whether the
+/// engine schedules with the heap baseline or the timer wheel.
+#[test]
+fn chaos_monitor_logs_are_byte_identical_across_schedulers() {
+    let heap = chaos_monitor_log_on(0xFA, SchedulerKind::Heap);
+    let wheel = chaos_monitor_log_on(0xFA, SchedulerKind::Wheel);
+    assert_eq!(heap, wheel, "monitor logs must match byte-for-byte");
 }
 
 #[test]

@@ -61,11 +61,25 @@ if [ "$rows" -lt 6 ]; then
 fi
 echo "   ok: $rows bench rows in BENCH_sim.json"
 
-echo "== chaos stage: fault-injection suites under a pinned seed"
-# The chaos suites must both run and keep their full rosters: a test
-# that got #[ignore]d, filtered out or deleted would otherwise slip
-# through CI silently. Each suite's pass count is checked against the
-# number of tests it is supposed to carry.
+echo "== bench stage: rt_throughput macro-bench (release, threaded submit path)"
+cargo run -p sns-bench --release --offline --bin rt_throughput -- BENCH_rt.json
+if [ ! -s BENCH_rt.json ]; then
+  echo "BENCH_rt.json missing or empty after the rt bench stage" >&2
+  exit 1
+fi
+rows=$(grep -c '"bench"' BENCH_rt.json || true)
+if [ "$rows" -lt 2 ]; then
+  echo "BENCH_rt.json carries $rows rows, expected >= 2 (2 pool sizes)" >&2
+  exit 1
+fi
+echo "   ok: $rows bench rows in BENCH_rt.json"
+
+echo "== rt_parity stage: one control plane, two drivers"
+# The differential suite runs the same fault script through the sim and
+# rt drivers of the shared sans-IO control plane and diffs the canonical
+# decision streams; the rt chaos suite replays FaultPlans against real
+# threads. Both ride the same pinned seed and roster guard as the chaos
+# suites below.
 chaos_suite() {
   pkg="$1"; suite="$2"; want="$3"
   out=$(SNS_TESTKIT_SEED=3259 cargo test -q --offline -p "$pkg" --test "$suite" 2>&1) || {
@@ -81,9 +95,16 @@ chaos_suite() {
   fi
   echo "   ok: $pkg::$suite ($ran tests)"
 }
-chaos_suite sns-chaos prop 4
+chaos_suite cluster-sns control_plane_parity 1
 chaos_suite sns-chaos rt_chaos 2
-chaos_suite cluster-sns failure_recovery 9
+
+echo "== chaos stage: fault-injection suites under a pinned seed"
+# The chaos suites must both run and keep their full rosters: a test
+# that got #[ignore]d, filtered out or deleted would otherwise slip
+# through CI silently. Each suite's pass count is checked against the
+# number of tests it is supposed to carry.
+chaos_suite sns-chaos prop 4
+chaos_suite cluster-sns failure_recovery 11
 chaos_suite cluster-sns determinism 6
 chaos_suite cluster-sns paper_shapes 4
 chaos_suite sns-sim sched_equiv 3

@@ -1,0 +1,108 @@
+//! Macro-benchmark of the threaded runtime's submit path: jobs/sec
+//! through `RtCluster::submit` → shared `DispatchPlane` lottery →
+//! worker thread → reply channel, with `time_scale: 0` so service time
+//! is zero and the measurement isolates the control-plane and channel
+//! overhead per job.
+//!
+//! ```sh
+//! cargo run -p sns-bench --release --bin rt_throughput [-- OUTPUT.json]
+//! ```
+//!
+//! Rows land in `BENCH_rt.json`; jobs/sec per worker-pool size prints
+//! at the end.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sns_core::msg::{Job, JobResult};
+use sns_core::worker::{WorkerError, WorkerLogic};
+use sns_core::{Blob, Payload, WorkerClass};
+use sns_rt::{RtCluster, RtConfig};
+use sns_sim::rng::Pcg32;
+use sns_sim::time::SimTime;
+use sns_testkit::{BenchConfig, BenchSuite};
+
+/// Jobs per measured run, shared by all pool sizes.
+const JOBS: u64 = 1_000;
+
+struct Nop;
+
+impl WorkerLogic for Nop {
+    fn class(&self) -> WorkerClass {
+        "nop".into()
+    }
+    fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+        Duration::ZERO
+    }
+    fn process(&mut self, job: &Job, _n: SimTime, _r: &mut Pcg32) -> Result<Payload, WorkerError> {
+        Ok(Blob::payload(job.input.wire_size(), "done"))
+    }
+}
+
+fn cluster(workers: usize) -> Arc<RtCluster> {
+    let c = RtCluster::start(RtConfig {
+        time_scale: 0.0,
+        report_period: Duration::from_millis(10),
+        beacon_period: Duration::from_millis(20),
+        seed: 0x6274,
+        ..RtConfig::default()
+    });
+    c.add_workers("nop", workers, || Box::new(Nop));
+    c
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_rt.json".to_string());
+    // Each run pushes 1k jobs through real threads; small budgets still
+    // give one warmup run and at least one measured sample.
+    let mut suite = BenchSuite::with_config(
+        "rt",
+        BenchConfig {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    let pools = [1usize, 4];
+    for workers in pools {
+        suite.bench_batched(
+            &format!("submit_1k/workers{workers}"),
+            || cluster(workers),
+            |c| {
+                let receivers: Vec<_> = (0..JOBS)
+                    .map(|i| c.submit("nop", "op", Blob::payload(64 + i, "x"), None))
+                    .collect();
+                for rx in receivers {
+                    match rx.recv().expect("reply") {
+                        JobResult::Ok(_) => {}
+                        JobResult::Failed(e) => panic!("bench job failed: {e}"),
+                    }
+                }
+                assert_eq!(c.jobs_done.load(Ordering::Relaxed), JOBS);
+                c.shutdown();
+            },
+        );
+    }
+    suite.write_json(&out).expect("write bench rows");
+
+    println!("-- jobs/sec ({JOBS} jobs per run, zero service time)");
+    let row = |name: &str| {
+        suite
+            .rows()
+            .iter()
+            .find(|r| r.bench == name)
+            .expect("row exists")
+            .mean_ns
+    };
+    for workers in pools {
+        let ns = row(&format!("submit_1k/workers{workers}"));
+        println!(
+            "  workers{workers:<2}  {:>12.0} jobs/s",
+            JOBS as f64 / (ns / 1e9)
+        );
+    }
+    println!("wrote {} rows to {out}", suite.rows().len());
+}

@@ -1,11 +1,14 @@
 //! Wall-clock injector: compiles a [`FaultPlan`] into a timeline a
 //! background thread executes against a live [`RtCluster`].
 //!
-//! The rt backend is a single-host thread model, so only the faults with
-//! a thread-level analogue apply: worker crashes (kill flags), manager
-//! failover (stop/start the manager thread) and beacon loss (suppress
-//! hint refreshes). Node and SAN faults have no rt analogue and are
-//! reported as skipped — the plan still type-checks against both
+//! The rt backend is a single-host thread model, but nearly every fault
+//! has a thread-level analogue: worker crashes (kill flags), manager
+//! failover (stop/start the manager thread), beacon loss (suppress hint
+//! refreshes), node kills/revivals (virtual placement domains — every
+//! worker on the node crashes and replacements avoid it), and
+//! stragglers (per-node service-time inflation). Only SAN partitions
+//! have no analogue — there is no network between threads to cut — and
+//! are reported as skipped. The plan still type-checks against both
 //! backends, which is the point: one artifact, two interpreters.
 
 use std::sync::Arc;
@@ -33,6 +36,9 @@ enum Action {
     StartManager,
     BlackoutOn,
     BlackoutOff,
+    KillNode(usize),
+    ReviveNode(usize),
+    Slowdown(usize, f64),
     Skip(String),
 }
 
@@ -59,11 +65,31 @@ pub fn run_plan(
                 timeline.push((ev.at, line.clone(), Action::BlackoutOn));
                 timeline.push((ev.at + *lasting, line, Action::BlackoutOff));
             }
-            FaultKind::KillNode { .. }
-            | FaultKind::ReviveNode { .. }
-            | FaultKind::Partition { .. }
-            | FaultKind::Straggler { .. } => {
-                timeline.push((ev.at, line, Action::Skip("no rt analogue".into())));
+            FaultKind::KillNode { which, .. } => {
+                timeline.push((ev.at, line, Action::KillNode(*which)));
+            }
+            FaultKind::ReviveNode { which, .. } => {
+                timeline.push((ev.at, line, Action::ReviveNode(*which)));
+            }
+            FaultKind::Straggler {
+                which,
+                slowdown,
+                lasting,
+                ..
+            } => {
+                timeline.push((
+                    ev.at,
+                    line.clone(),
+                    Action::Slowdown(*which, *slowdown as f64),
+                ));
+                timeline.push((ev.at + *lasting, line, Action::Slowdown(*which, 1.0)));
+            }
+            FaultKind::Partition { .. } => {
+                timeline.push((
+                    ev.at,
+                    line,
+                    Action::Skip("no rt analogue (SAN partition)".into()),
+                ));
             }
         }
     }
@@ -103,6 +129,31 @@ pub fn run_plan(
                     }
                     Action::BlackoutOff => {
                         cluster.set_beacon_blackout(false);
+                    }
+                    Action::KillNode(which) => match cluster.kill_node(which) {
+                        Some(killed) => {
+                            report.crashes_injected += killed as usize;
+                            report.applied.push(line);
+                        }
+                        None => report.skipped.push(format!("{line} (no live node)")),
+                    },
+                    Action::ReviveNode(which) => {
+                        if cluster.revive_node(which) {
+                            report.applied.push(line);
+                        } else {
+                            report.skipped.push(format!("{line} (no dead node)"));
+                        }
+                    }
+                    Action::Slowdown(which, factor) => {
+                        if cluster.set_node_slowdown(which, factor) {
+                            // The restore at window end is part of the same
+                            // grammar line; only the onset is reported.
+                            if factor != 1.0 {
+                                report.applied.push(line);
+                            }
+                        } else if factor != 1.0 {
+                            report.skipped.push(format!("{line} (no live node)"));
+                        }
                     }
                     Action::Skip(why) => report.skipped.push(format!("{line} ({why})")),
                 }

@@ -1,0 +1,1564 @@
+//! The sans-IO control plane: backend-agnostic state machines for the
+//! manager and the manager stub.
+//!
+//! The paper's central claim (§3) is that one layered architecture —
+//! manager, front ends, worker stubs, monitor — carries every service.
+//! This module makes the *decision* half of that architecture a pure
+//! library: [`ControlPlane`] holds the manager's soft state (worker
+//! registry, load averages, spawn policies, drain set) and
+//! [`DispatchPlane`] holds the stub's (hint cache, outstanding
+//! dispatches, the §4.5 queue-delta correction). Neither owns a clock, a
+//! thread or a channel: every handler consumes explicit inputs (`now`, a
+//! [`ClusterView`], a registration, a death) and appends an ordered list
+//! of [`ControlEffect`]s / [`DispatchEffect`]s for the caller to apply.
+//!
+//! Two drivers interpret the effects today:
+//!
+//! * the simulator's [`crate::Manager`] / [`crate::ManagerStub`]
+//!   components, which map effects onto engine calls (`ctx.spawn`,
+//!   `ctx.send`, `ctx.multicast`, stats counters) — effect order is
+//!   exactly the old in-line call order, so simulation runs are
+//!   bit-for-bit unchanged;
+//! * the threaded runtime's `sns_rt::RtCluster`, which maps the same
+//!   effects onto OS threads, channel inboxes and a tapped
+//!   [`crate::MonitorLog`].
+//!
+//! The driver contract: build a [`ClusterView`] of the *currently alive*
+//! nodes, call one handler, then apply the returned effects **in
+//! order**, confirming each [`ControlEffect::Spawn`] with
+//! [`ControlPlane::confirm_spawn`] before invoking any further handler.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sns_sim::rng::Pcg32;
+use sns_sim::time::SimTime;
+use sns_sim::{ComponentId, MetricKey, NodeId};
+
+use crate::monitor::MonitorEvent;
+use crate::msg::{BeaconData, Job, ProfileData, WorkerHint};
+use crate::{Payload, SnsConfig, WorkerClass};
+
+/// Per-class scaling policy (pure data; the worker factory lives with
+/// the driver, see `WorkerSpec` in [`crate::manager`]).
+#[derive(Debug, Clone)]
+pub struct SpawnPolicy {
+    /// Never fewer than this many workers (bootstrap + crash restarts).
+    pub min_workers: u32,
+    /// Hard cap on concurrently live workers of this class (0 = no cap).
+    pub max_workers: u32,
+    /// At most this many workers of this class per node.
+    pub max_per_node: u32,
+    /// Whether the threshold-H autoscaler manages this class (HotBot's
+    /// pinned partition workers set this false, §3.2).
+    pub auto_scale: bool,
+    /// Restart crashed workers of this class.
+    pub restart_on_crash: bool,
+    /// Bind this class to one node (HotBot partition workers, §3.2:
+    /// "All workers bound to their nodes"). While the node is down the
+    /// class simply cannot run — coverage degrades instead.
+    pub pinned_node: Option<NodeId>,
+}
+
+impl SpawnPolicy {
+    /// Typical policy for an auto-scaled, restartable worker class.
+    pub fn scaled(min_workers: u32) -> Self {
+        SpawnPolicy {
+            min_workers,
+            max_workers: 0,
+            max_per_node: 4,
+            auto_scale: true,
+            restart_on_crash: true,
+            pinned_node: None,
+        }
+    }
+
+    /// Policy for pinned, non-scaled workers (cache partitions, search
+    /// partitions): exactly `n`, restarted on crash.
+    pub fn pinned(n: u32) -> Self {
+        SpawnPolicy {
+            min_workers: n,
+            max_workers: n,
+            max_per_node: 1,
+            auto_scale: false,
+            restart_on_crash: true,
+            pinned_node: None,
+        }
+    }
+}
+
+/// One placement candidate in a [`ClusterView`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeLoad {
+    /// The node.
+    pub node: NodeId,
+    /// Components currently running on it (all kinds).
+    pub components: u32,
+}
+
+/// The driver's snapshot of the cluster, taken at handler entry. Only
+/// *alive* nodes appear; a dead node is simply absent.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterView {
+    /// Alive dedicated-pool nodes, in id order.
+    pub dedicated: Vec<NodeLoad>,
+    /// Alive overflow-pool nodes, in id order (§2.2.3).
+    pub overflow: Vec<NodeLoad>,
+    /// Liveness of every pinned node referenced by a policy.
+    pub pinned_alive: BTreeMap<NodeId, bool>,
+    /// How long a spawn takes to come up (pending-expiry accounting).
+    pub spawn_latency: Duration,
+}
+
+/// Construction parameters for a [`ControlPlane`].
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// Layer timing/policy knobs.
+    pub sns: SnsConfig,
+    /// This incarnation (strictly greater than any predecessor's).
+    pub incarnation: u64,
+    /// Whether the driver can build replacement front ends (process-peer
+    /// restart of front ends, §3.1.3).
+    pub restart_front_ends: bool,
+}
+
+/// An instruction from the [`ControlPlane`] to its driver. Apply in
+/// order; the variants carry everything the driver needs.
+#[derive(Debug)]
+pub enum ControlEffect {
+    /// Start a worker of `class` on `node`. The driver builds the
+    /// component (its factory), places it, watches it, and reports the
+    /// assigned id via [`ControlPlane::confirm_spawn`] before the next
+    /// handler call.
+    Spawn {
+        /// Confirmation token for [`ControlPlane::confirm_spawn`].
+        token: u64,
+        /// Class to build.
+        class: WorkerClass,
+        /// Placement decision.
+        node: NodeId,
+        /// Whether `node` is in the overflow pool.
+        overflow: bool,
+    },
+    /// Start a replacement front end on `node` (driver's `fe_factory`).
+    SpawnFrontEnd {
+        /// Placement decision.
+        node: NodeId,
+    },
+    /// Ask a worker to drain and exit (reaping, hot upgrades).
+    Shutdown {
+        /// The worker.
+        worker: ComponentId,
+    },
+    /// Publish a beacon on the beacon group.
+    Beacon(Arc<BeaconData>),
+    /// Subscribe to death notification for a component.
+    Watch(ComponentId),
+    /// Unsubscribe.
+    Unwatch(ComponentId),
+    /// Publish a monitor event on the monitor group.
+    Emit(MonitorEvent),
+    /// Bump a stats counter.
+    Incr {
+        /// Counter name.
+        key: &'static str,
+        /// Amount.
+        n: u64,
+    },
+    /// Record a time series sample.
+    Sample {
+        /// Interned series name.
+        key: MetricKey,
+        /// Sample time.
+        at: SimTime,
+        /// Sample value.
+        value: f64,
+    },
+    /// A rival manager won (duplicate-restart resolution): this
+    /// incarnation must exit.
+    StepDown,
+}
+
+#[derive(Debug, Clone)]
+struct WorkerInfo {
+    class: WorkerClass,
+    node: NodeId,
+    overflow: bool,
+    /// Weighted moving average of reported queue length.
+    wma: f64,
+    last_report: SimTime,
+}
+
+#[derive(Debug, Default, Clone)]
+struct ClassRuntime {
+    last_spawn: Option<SimTime>,
+    low_since: Option<SimTime>,
+    /// Cached interned name of the class's average-queue series, so the
+    /// periodic rebalance pass never allocates.
+    avg_qlen_key: Option<MetricKey>,
+}
+
+/// A spawn issued whose worker has not yet registered.
+#[derive(Debug, Clone)]
+struct PendingSpawn {
+    class: WorkerClass,
+    node: NodeId,
+    at: SimTime,
+}
+
+/// Per-handler scratch: spawns issued during the current handler call,
+/// counted into placement totals so consecutive placements within one
+/// call see each other (exactly as the old in-engine code saw its own
+/// `ctx.spawn`s reflected in `components_on`).
+type ExtraSpawns = BTreeMap<NodeId, u32>;
+
+/// Placeholder registry key for a spawn the driver has not confirmed
+/// yet. Tokens count up from 0, so these sit far above any real id.
+fn placeholder(token: u64) -> ComponentId {
+    ComponentId(u64::MAX - token)
+}
+
+/// The manager's decision core: all soft state (§3.1.3), no I/O.
+pub struct ControlPlane {
+    cfg: ControlConfig,
+    policies: BTreeMap<WorkerClass, SpawnPolicy>,
+    me: ComponentId,
+    node: NodeId,
+    workers: BTreeMap<ComponentId, WorkerInfo>,
+    fes: BTreeMap<ComponentId, NodeId>,
+    runtime: BTreeMap<WorkerClass, ClassRuntime>,
+    pending: BTreeMap<ComponentId, PendingSpawn>,
+    /// Nodes taken out of service for hot upgrades (§2.2).
+    drained: BTreeSet<NodeId>,
+    load_reports_handled: u64,
+    started_at: Option<SimTime>,
+    next_token: u64,
+}
+
+impl ControlPlane {
+    /// Creates a plane with no classes registered.
+    pub fn new(cfg: ControlConfig) -> Self {
+        ControlPlane {
+            cfg,
+            policies: BTreeMap::new(),
+            me: ComponentId::EXTERNAL,
+            node: NodeId(0),
+            workers: BTreeMap::new(),
+            fes: BTreeMap::new(),
+            runtime: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            drained: BTreeSet::new(),
+            load_reports_handled: 0,
+            started_at: None,
+            next_token: 0,
+        }
+    }
+
+    /// Registers (or replaces) a class policy.
+    pub fn add_class(&mut self, class: WorkerClass, policy: SpawnPolicy) {
+        self.policies.insert(class, policy);
+    }
+
+    /// The policy for a class, if registered.
+    pub fn policy(&self, class: &WorkerClass) -> Option<&SpawnPolicy> {
+        self.policies.get(class)
+    }
+
+    /// Nodes any policy pins a class to (the driver reports their
+    /// liveness in [`ClusterView::pinned_alive`]).
+    pub fn pinned_nodes(&self) -> Vec<NodeId> {
+        self.policies
+            .values()
+            .filter_map(|p| p.pinned_node)
+            .collect()
+    }
+
+    /// This incarnation.
+    pub fn incarnation(&self) -> u64 {
+        self.cfg.incarnation
+    }
+
+    /// The layer configuration.
+    pub fn sns(&self) -> &SnsConfig {
+        &self.cfg.sns
+    }
+
+    /// Load reports processed (the §4.6 manager-capacity experiment reads
+    /// this).
+    pub fn load_reports_handled(&self) -> u64 {
+        self.load_reports_handled
+    }
+
+    /// Registered live workers + unconfirmed/unregistered spawns of a
+    /// class (rt drivers use this to compute ensure targets).
+    pub fn class_strength(&self, class: &WorkerClass) -> u32 {
+        self.live_of_class(class).len() as u32 + self.pending_of_class(class)
+    }
+
+    /// Registered live workers of a class, in id order.
+    pub fn workers_of_class(&self, class: &WorkerClass) -> Vec<ComponentId> {
+        self.live_of_class(class)
+            .iter()
+            .map(|&(id, _)| id)
+            .collect()
+    }
+
+    /// Binds a [`ControlEffect::Spawn`] to the component id the driver
+    /// assigned. Must be called while applying the effect list, before
+    /// the next handler call.
+    pub fn confirm_spawn(&mut self, token: u64, id: ComponentId) {
+        if let Some(p) = self.pending.remove(&placeholder(token)) {
+            self.pending.insert(id, p);
+        }
+    }
+
+    fn pending_of_class(&self, class: &WorkerClass) -> u32 {
+        self.pending.values().filter(|p| &p.class == class).count() as u32
+    }
+
+    fn live_of_class(&self, class: &WorkerClass) -> Vec<(ComponentId, &WorkerInfo)> {
+        self.workers
+            .iter()
+            .filter(|(_, w)| &w.class == class)
+            .map(|(&id, w)| (id, w))
+            .collect()
+    }
+
+    /// Chooses a node for a new worker of `class`: dedicated nodes first
+    /// (fewest workers of this class, then fewest total), then the
+    /// overflow pool (§2.2.3). Returns the node and whether it is
+    /// overflow.
+    fn choose_node(
+        &self,
+        view: &ClusterView,
+        extra: &ExtraSpawns,
+        class: &WorkerClass,
+        max_per_node: u32,
+    ) -> Option<(NodeId, bool)> {
+        for (pool, is_overflow) in [(&view.dedicated, false), (&view.overflow, true)] {
+            let mut best: Option<(u32, u32, NodeId)> = None;
+            for nl in pool {
+                let node = nl.node;
+                if self.drained.contains(&node) {
+                    continue;
+                }
+                let pending_here = self
+                    .pending
+                    .values()
+                    .filter(|p| p.node == node && &p.class == class)
+                    .count() as u32;
+                let mine = self
+                    .workers
+                    .values()
+                    .filter(|w| w.node == node && &w.class == class)
+                    .count() as u32
+                    + pending_here;
+                if max_per_node > 0 && mine >= max_per_node {
+                    continue;
+                }
+                let total = nl.components + extra.get(&node).copied().unwrap_or(0);
+                let cand = (mine, total, node);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+            if let Some((_, _, node)) = best {
+                return Some((node, is_overflow));
+            }
+        }
+        None
+    }
+
+    fn spawn_worker(
+        &mut self,
+        now: SimTime,
+        view: &ClusterView,
+        extra: &mut ExtraSpawns,
+        class: &WorkerClass,
+        out: &mut Vec<ControlEffect>,
+    ) -> bool {
+        let Some(policy) = self.policies.get(class) else {
+            return false;
+        };
+        let live = self.live_of_class(class).len() as u32;
+        let pending = self.pending_of_class(class);
+        if policy.max_workers > 0 && live + pending >= policy.max_workers {
+            return false;
+        }
+        let max_per_node = policy.max_per_node;
+        let placement = match policy.pinned_node {
+            Some(n) if self.drained.contains(&n) => None,
+            Some(n) if view.pinned_alive.get(&n).copied().unwrap_or(false) => Some((n, false)),
+            Some(_) => None, // pinned node is down: the class waits
+            None => self.choose_node(view, extra, class, max_per_node),
+        };
+        let Some((node, overflow)) = placement else {
+            out.push(ControlEffect::Emit(MonitorEvent::Warning(format!(
+                "no node available to spawn {class}"
+            ))));
+            out.push(ControlEffect::Incr {
+                key: "manager.spawn_no_node",
+                n: 1,
+            });
+            return false;
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        out.push(ControlEffect::Spawn {
+            token,
+            class: class.clone(),
+            node,
+            overflow,
+        });
+        *extra.entry(node).or_insert(0) += 1;
+        self.pending.insert(
+            placeholder(token),
+            PendingSpawn {
+                class: class.clone(),
+                node,
+                at: now,
+            },
+        );
+        let rt = self.runtime.entry(class.clone()).or_default();
+        rt.last_spawn = Some(now);
+        out.push(ControlEffect::Incr {
+            key: "manager.spawns",
+            n: 1,
+        });
+        if overflow {
+            out.push(ControlEffect::Incr {
+                key: "manager.overflow_spawns",
+                n: 1,
+            });
+        }
+        out.push(ControlEffect::Emit(MonitorEvent::SpawnedWorker {
+            class: class.clone(),
+            node,
+            overflow,
+        }));
+        true
+    }
+
+    /// The beacon this plane would publish at `now` (pure; drivers that
+    /// refresh hints out-of-band call this directly).
+    pub fn make_beacon(&self, now: SimTime) -> BeaconData {
+        let mut hints: BTreeMap<WorkerClass, Vec<WorkerHint>> = BTreeMap::new();
+        for (&id, w) in &self.workers {
+            hints.entry(w.class.clone()).or_default().push(WorkerHint {
+                worker: id,
+                node: w.node,
+                est_qlen: w.wma,
+                overflow: w.overflow,
+            });
+        }
+        BeaconData {
+            manager: self.me,
+            incarnation: self.cfg.incarnation,
+            hints,
+            at: now,
+        }
+    }
+
+    fn beacon(&mut self, now: SimTime, out: &mut Vec<ControlEffect>) {
+        out.push(ControlEffect::Beacon(Arc::new(self.make_beacon(now))));
+        out.push(ControlEffect::Incr {
+            key: "manager.beacons",
+            n: 1,
+        });
+    }
+
+    fn policy_tick(
+        &mut self,
+        now: SimTime,
+        view: &ClusterView,
+        extra: &mut ExtraSpawns,
+        out: &mut Vec<ControlEffect>,
+    ) {
+        // Soft-state rebuild grace: a (re)started manager waits two
+        // beacon rounds for surviving workers to re-register before
+        // enforcing class minimums, otherwise it would double-spawn
+        // workers that are alive and about to announce themselves
+        // (§3.1.3).
+        let grace = self.cfg.sns.beacon_period * 2;
+        let in_grace = self.started_at.is_some_and(|t| now.since(t) < grace);
+        // Expire pending spawns that never registered (their component is
+        // watched, so deaths are handled; this is a backstop against lost
+        // registrations).
+        let expiry = view.spawn_latency + self.cfg.sns.beacon_period * 2;
+        self.pending.retain(|_, p| now.since(p.at) < expiry);
+        // Timeout-based failure inference (§2.2.4): a worker whose load
+        // reports have stopped is presumed unreachable (SAN partition,
+        // wedged process). Drop it from the soft state — hints stop
+        // advertising it next beacon — and replace it on a still-visible
+        // node. If it was merely partitioned, it re-adopts itself with
+        // its next report and any surplus is reaped.
+        if !in_grace {
+            let report_timeout = self.cfg.sns.worker_report_timeout;
+            let silent: Vec<ComponentId> = self
+                .workers
+                .iter()
+                .filter(|(_, w)| now.since(w.last_report) > report_timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in silent {
+                let Some(info) = self.workers.remove(&id) else {
+                    continue;
+                };
+                out.push(ControlEffect::Unwatch(id));
+                out.push(ControlEffect::Incr {
+                    key: "manager.report_timeouts",
+                    n: 1,
+                });
+                out.push(ControlEffect::Emit(MonitorEvent::Warning(format!(
+                    "worker {id} ({}) stopped reporting; replacing it",
+                    info.class
+                ))));
+                let restart = self
+                    .policies
+                    .get(&info.class)
+                    .map(|p| p.restart_on_crash)
+                    .unwrap_or(false);
+                if restart {
+                    self.spawn_worker(now, view, extra, &info.class, out);
+                }
+            }
+        }
+        let classes: Vec<WorkerClass> = self.policies.keys().cloned().collect();
+        for class in classes {
+            let (min_workers, auto_scale, h, d) = {
+                let p = &self.policies[&class];
+                (
+                    p.min_workers,
+                    p.auto_scale,
+                    self.cfg.sns.spawn_threshold_h,
+                    self.cfg.sns.spawn_cooldown_d,
+                )
+            };
+            let live: Vec<(ComponentId, f64, bool)> = self
+                .workers
+                .iter()
+                .filter(|(_, w)| w.class == class)
+                .map(|(&id, w)| (id, w.wma, w.overflow))
+                .collect();
+            let live_n = live.len() as u32;
+            let pending = self.pending_of_class(&class);
+
+            // Bootstrap / crash replacement up to the class minimum.
+            if in_grace {
+                continue;
+            }
+            if live_n + pending < min_workers {
+                let need = min_workers - live_n - pending;
+                for _ in 0..need {
+                    if !self.spawn_worker(now, view, extra, &class, out) {
+                        break;
+                    }
+                }
+                continue;
+            }
+            if !auto_scale || live_n == 0 {
+                // Pinned classes can exceed strength when a partitioned
+                // worker re-adopts itself after its replacement spawned:
+                // reap the surplus gracefully.
+                let max = self.policies[&class].max_workers;
+                if max > 0 && live_n > max {
+                    let mut ids: Vec<ComponentId> = live.iter().map(|&(id, _, _)| id).collect();
+                    ids.sort();
+                    for &victim in ids.iter().rev().take((live_n - max) as usize) {
+                        out.push(ControlEffect::Shutdown { worker: victim });
+                        out.push(ControlEffect::Incr {
+                            key: "manager.reaps",
+                            n: 1,
+                        });
+                        out.push(ControlEffect::Emit(MonitorEvent::ReapedWorker {
+                            worker: victim,
+                            class: class.clone(),
+                        }));
+                    }
+                }
+                continue;
+            }
+
+            let avg: f64 = live.iter().map(|&(_, wma, _)| wma).sum::<f64>() / live_n as f64;
+            if !self.runtime.contains_key(&class) {
+                self.runtime.insert(class.clone(), ClassRuntime::default());
+            }
+            let rt = self.runtime.get_mut(&class).expect("just ensured");
+            let key = *rt
+                .avg_qlen_key
+                .get_or_insert_with(|| MetricKey::new(&format!("manager.avg_qlen.{class}")));
+            out.push(ControlEffect::Sample {
+                key,
+                at: now,
+                value: avg,
+            });
+
+            // Threshold-H spawning with cooldown D (§4.5).
+            let in_cooldown = self
+                .runtime
+                .get(&class)
+                .and_then(|r| r.last_spawn)
+                .is_some_and(|t| now.since(t) < d);
+            if avg > h && !in_cooldown {
+                self.spawn_worker(now, view, extra, &class, out);
+                continue;
+            }
+
+            // Reaping after sustained low load (overflow nodes first).
+            if avg < self.cfg.sns.reap_threshold && live_n > min_workers {
+                let rt = self.runtime.entry(class.clone()).or_default();
+                let since = *rt.low_since.get_or_insert(now);
+                if now.since(since) >= self.cfg.sns.reap_idle_for {
+                    rt.low_since = None;
+                    let victim = live
+                        .iter()
+                        .max_by_key(|&&(id, _, overflow)| (overflow, id))
+                        .map(|&(id, _, _)| id);
+                    if let Some(victim) = victim {
+                        out.push(ControlEffect::Shutdown { worker: victim });
+                        out.push(ControlEffect::Incr {
+                            key: "manager.reaps",
+                            n: 1,
+                        });
+                        out.push(ControlEffect::Emit(MonitorEvent::ReapedWorker {
+                            worker: victim,
+                            class: class.clone(),
+                        }));
+                    }
+                }
+            } else if let Some(rt) = self.runtime.get_mut(&class) {
+                rt.low_since = None;
+            }
+        }
+    }
+
+    /// The manager came up: announce, beacon, run one policy pass. The
+    /// driver joins the beacon group before applying the effects and
+    /// arms the periodic tick after.
+    pub fn on_start(
+        &mut self,
+        now: SimTime,
+        me: ComponentId,
+        node: NodeId,
+        view: &ClusterView,
+        out: &mut Vec<ControlEffect>,
+    ) {
+        self.started_at = Some(now);
+        self.me = me;
+        self.node = node;
+        out.push(ControlEffect::Emit(MonitorEvent::Started {
+            who: me,
+            kind: "manager",
+            node,
+        }));
+        self.beacon(now, out);
+        let mut extra = ExtraSpawns::new();
+        self.policy_tick(now, view, &mut extra, out);
+    }
+
+    /// The periodic beacon/policy tick. The driver re-arms the timer.
+    pub fn on_tick(&mut self, now: SimTime, view: &ClusterView, out: &mut Vec<ControlEffect>) {
+        self.beacon(now, out);
+        let mut extra = ExtraSpawns::new();
+        self.policy_tick(now, view, &mut extra, out);
+        out.push(ControlEffect::Emit(MonitorEvent::Heartbeat {
+            who: self.me,
+            kind: "manager",
+            load: self.workers.len() as f64,
+        }));
+    }
+
+    /// Spawns workers of `class` until live + pending reaches `target`,
+    /// bypassing the rebuild grace (rt bootstrap and failover top-up;
+    /// the simulator path always goes through [`ControlPlane::on_tick`]).
+    pub fn ensure_workers(
+        &mut self,
+        class: &WorkerClass,
+        target: u32,
+        now: SimTime,
+        view: &ClusterView,
+        out: &mut Vec<ControlEffect>,
+    ) {
+        let mut extra = ExtraSpawns::new();
+        while self.class_strength(class) < target {
+            if !self.spawn_worker(now, view, &mut extra, class, out) {
+                break;
+            }
+        }
+    }
+
+    /// A worker announced itself (on start or on a new incarnation).
+    pub fn on_register_worker(
+        &mut self,
+        worker: ComponentId,
+        class: WorkerClass,
+        node: NodeId,
+        overflow: bool,
+        now: SimTime,
+        out: &mut Vec<ControlEffect>,
+    ) {
+        if !self.workers.contains_key(&worker) {
+            out.push(ControlEffect::Watch(worker));
+            self.pending.remove(&worker);
+        }
+        self.workers.insert(
+            worker,
+            WorkerInfo {
+                class,
+                node,
+                overflow,
+                wma: 0.0,
+                last_report: now,
+            },
+        );
+    }
+
+    /// A worker signed off cleanly.
+    pub fn on_deregister_worker(&mut self, worker: ComponentId, out: &mut Vec<ControlEffect>) {
+        out.push(ControlEffect::Unwatch(worker));
+        self.workers.remove(&worker);
+    }
+
+    /// A periodic queue-length report (§3.1.2). `origin` resolves the
+    /// reporting worker's placement and is only consulted for workers
+    /// this plane has lost track of (soft-state adoption after a manager
+    /// restart).
+    pub fn on_load_report(
+        &mut self,
+        worker: ComponentId,
+        class: WorkerClass,
+        qlen: u32,
+        now: SimTime,
+        origin: impl FnOnce() -> (NodeId, bool),
+        out: &mut Vec<ControlEffect>,
+    ) {
+        self.load_reports_handled += 1;
+        out.push(ControlEffect::Incr {
+            key: "manager.load_reports",
+            n: 1,
+        });
+        let alpha = self.cfg.sns.wma_alpha;
+        match self.workers.get_mut(&worker) {
+            Some(info) => {
+                info.wma = alpha * f64::from(qlen) + (1.0 - alpha) * info.wma;
+                info.last_report = now;
+            }
+            None => {
+                // Report from a worker we lost track of (e.g. a
+                // restarted manager hearing loads before the
+                // worker re-registers): adopt it — soft state.
+                out.push(ControlEffect::Watch(worker));
+                let (node, overflow) = origin();
+                self.workers.insert(
+                    worker,
+                    WorkerInfo {
+                        class,
+                        node,
+                        overflow,
+                        wma: f64::from(qlen),
+                        last_report: now,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A front end found no worker of `class` (§3.1.2): locate or spawn
+    /// one, unless some are live or already on the way.
+    pub fn on_need_worker(
+        &mut self,
+        class: &WorkerClass,
+        now: SimTime,
+        view: &ClusterView,
+        out: &mut Vec<ControlEffect>,
+    ) {
+        if self.live_of_class(class).is_empty() && self.pending_of_class(class) == 0 {
+            let mut extra = ExtraSpawns::new();
+            self.spawn_worker(now, view, &mut extra, class, out);
+        }
+    }
+
+    /// A front end registered for supervision (process peers).
+    pub fn on_register_front_end(
+        &mut self,
+        fe: ComponentId,
+        node: NodeId,
+        out: &mut Vec<ControlEffect>,
+    ) {
+        if !self.fes.contains_key(&fe) {
+            out.push(ControlEffect::Watch(fe));
+        }
+        self.fes.insert(fe, node);
+    }
+
+    /// Operator request: drain a node for a hot upgrade (§2.2).
+    pub fn on_drain_node(&mut self, node: NodeId, out: &mut Vec<ControlEffect>) {
+        if self.drained.contains(&node) {
+            return;
+        }
+        self.drained.insert(node);
+        out.push(ControlEffect::Incr {
+            key: "manager.drains",
+            n: 1,
+        });
+        // Gracefully shut down every worker we run there; the
+        // graceful path deregisters, and the class minimums
+        // respawn replacements on other nodes.
+        let victims: Vec<ComponentId> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.node == node)
+            .map(|(&id, _)| id)
+            .collect();
+        for v in victims {
+            out.push(ControlEffect::Shutdown { worker: v });
+        }
+        out.push(ControlEffect::Emit(MonitorEvent::Warning(format!(
+            "{node} drained for hot upgrade"
+        ))));
+    }
+
+    /// Operator request: return an upgraded node to service.
+    pub fn on_undrain_node(&mut self, node: NodeId, out: &mut Vec<ControlEffect>) {
+        if !self.drained.contains(&node) {
+            return;
+        }
+        self.drained.remove(&node);
+        out.push(ControlEffect::Incr {
+            key: "manager.undrains",
+            n: 1,
+        });
+        out.push(ControlEffect::Emit(MonitorEvent::Warning(format!(
+            "{node} returned to service"
+        ))));
+    }
+
+    /// A beacon arrived on the manager's own group: the (incarnation,
+    /// id)-greater rival wins; the loser steps down (duplicate restart
+    /// resolution).
+    pub fn on_rival_beacon(&mut self, b: &BeaconData, out: &mut Vec<ControlEffect>) {
+        if b.manager != self.me && (b.incarnation, b.manager) >= (self.cfg.incarnation, self.me) {
+            out.push(ControlEffect::Incr {
+                key: "manager.stepdowns",
+                n: 1,
+            });
+            out.push(ControlEffect::StepDown);
+        }
+    }
+
+    /// A watched peer died (process-peer fault tolerance, §3.1.3).
+    pub fn on_peer_death(
+        &mut self,
+        peer: ComponentId,
+        now: SimTime,
+        view: &ClusterView,
+        out: &mut Vec<ControlEffect>,
+    ) {
+        let mut extra = ExtraSpawns::new();
+        // A spawn that died before registering counts as a worker death.
+        if let Some(p) = self.pending.remove(&peer) {
+            out.push(ControlEffect::Incr {
+                key: "manager.worker_deaths",
+                n: 1,
+            });
+            let restart = self
+                .policies
+                .get(&p.class)
+                .map(|pol| pol.restart_on_crash)
+                .unwrap_or(false);
+            if restart {
+                self.spawn_worker(now, view, &mut extra, &p.class, out);
+            }
+            return;
+        }
+        if let Some(info) = self.workers.remove(&peer) {
+            out.push(ControlEffect::Incr {
+                key: "manager.worker_deaths",
+                n: 1,
+            });
+            let restart = self
+                .policies
+                .get(&info.class)
+                .map(|p| p.restart_on_crash)
+                .unwrap_or(false);
+            if restart {
+                // Process-peer restart (§3.1.3): possibly on a different
+                // node (choose_node re-evaluates).
+                self.spawn_worker(now, view, &mut extra, &info.class, out);
+                out.push(ControlEffect::Emit(MonitorEvent::PeerRestarted {
+                    by: self.me,
+                    kind: "worker",
+                }));
+            }
+            return;
+        }
+        if self.fes.remove(&peer).is_some() {
+            out.push(ControlEffect::Incr {
+                key: "manager.fe_deaths",
+                n: 1,
+            });
+            // "The manager detects and restarts a crashed front end."
+            let spawned = if self.cfg.restart_front_ends {
+                match self.choose_node(view, &extra, &WorkerClass::new("frontend"), 0) {
+                    Some((n, _)) => {
+                        out.push(ControlEffect::SpawnFrontEnd { node: n });
+                        *extra.entry(n).or_insert(0) += 1;
+                        true
+                    }
+                    None => false,
+                }
+            } else {
+                false
+            };
+            if spawned {
+                out.push(ControlEffect::Emit(MonitorEvent::PeerRestarted {
+                    by: self.me,
+                    kind: "frontend",
+                }));
+            }
+        }
+    }
+}
+
+/// An instruction from the [`DispatchPlane`] to its driver.
+#[derive(Debug)]
+pub enum DispatchEffect {
+    /// Deliver a work request to a worker.
+    SendJob {
+        /// Chosen worker.
+        worker: ComponentId,
+        /// The job (shared; retries resend the same `Arc`).
+        job: Arc<Job>,
+    },
+    /// Ask the manager for a worker of `class`
+    /// ([`crate::msg::SnsMsg::NeedWorker`]).
+    NeedWorker {
+        /// The manager to ask.
+        manager: ComponentId,
+        /// Class needed.
+        class: WorkerClass,
+    },
+    /// Bump a stats counter.
+    Incr {
+        /// Counter name.
+        key: &'static str,
+        /// Amount.
+        n: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct HintEntry {
+    worker: ComponentId,
+    est_qlen: f64,
+}
+
+/// A dispatch awaiting a response.
+#[derive(Debug, Clone)]
+pub struct Outstanding {
+    /// Class the job targets.
+    pub class: WorkerClass,
+    /// Worker currently assigned (None while waiting for one to exist).
+    pub worker: Option<ComponentId>,
+    /// Attempts so far (1 = first try).
+    pub attempts: u32,
+    /// Whether the caller pinned the worker (no lottery, no retry).
+    pub explicit: bool,
+    op: String,
+    input: Payload,
+    profile: Option<ProfileData>,
+    reply_to: ComponentId,
+    workers_tried: Vec<ComponentId>,
+}
+
+/// Verdict of a dispatch timeout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeoutVerdict {
+    /// The job was re-sent to another worker; re-arm the timeout.
+    Retried,
+    /// Retries are exhausted (or the dispatch was pinned); the service
+    /// layer decides the fallback (§2.2.4).
+    GaveUp(WorkerClass),
+    /// The job id was unknown (already answered).
+    Unknown,
+}
+
+/// The stub's decision core: hint cache, lottery scheduling with the
+/// §4.5 queue-delta correction, timeout/retry verdicts (§3.1.8). No I/O:
+/// the caller supplies the RNG and applies the returned effects.
+pub struct DispatchPlane {
+    cfg: SnsConfig,
+    manager: Option<ComponentId>,
+    incarnation: u64,
+    last_beacon: Option<SimTime>,
+    hints: BTreeMap<WorkerClass, Vec<HintEntry>>,
+    /// Net dispatches (sent − answered) per worker since the last beacon.
+    inflight: BTreeMap<ComponentId, i64>,
+    outstanding: BTreeMap<u64, Outstanding>,
+    next_job: u64,
+    delta_correction: bool,
+}
+
+impl DispatchPlane {
+    /// Creates a plane.
+    pub fn new(cfg: SnsConfig) -> Self {
+        DispatchPlane {
+            cfg,
+            manager: None,
+            incarnation: 0,
+            last_beacon: None,
+            hints: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            next_job: 1,
+            delta_correction: true,
+        }
+    }
+
+    /// Enables/disables the §4.5 queue-delta correction (ablation knob).
+    pub fn set_delta_correction(&mut self, on: bool) {
+        self.delta_correction = on;
+    }
+
+    /// The manager, if one has been heard from.
+    pub fn manager(&self) -> Option<ComponentId> {
+        self.manager
+    }
+
+    /// Incarnation of the last manager heard from.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// When the last beacon arrived.
+    pub fn last_beacon(&self) -> Option<SimTime> {
+        self.last_beacon
+    }
+
+    /// Live workers of a class per the hint cache (the virtual-cache ring
+    /// is built from this, §3.1.5).
+    pub fn workers_of(&self, class: &WorkerClass) -> Vec<ComponentId> {
+        self.hints
+            .get(class)
+            .map(|v| v.iter().map(|h| h.worker).collect())
+            .unwrap_or_default()
+    }
+
+    /// Estimated queue length for a worker (report + local delta).
+    pub fn estimate(&self, class: &WorkerClass, worker: ComponentId) -> Option<f64> {
+        let base = self
+            .hints
+            .get(class)?
+            .iter()
+            .find(|h| h.worker == worker)?
+            .est_qlen;
+        let delta = if self.delta_correction {
+            self.inflight.get(&worker).copied().unwrap_or(0) as f64
+        } else {
+            0.0
+        };
+        Some((base + delta).max(0.0))
+    }
+
+    /// Ingests a beacon. Returns `true` when it announces a manager (or
+    /// incarnation) this stub has not registered with yet.
+    pub fn on_beacon(&mut self, b: &BeaconData) -> bool {
+        let new = self.manager != Some(b.manager) || self.incarnation != b.incarnation;
+        self.manager = Some(b.manager);
+        self.incarnation = b.incarnation;
+        self.last_beacon = Some(b.at);
+        self.hints = b
+            .hints
+            .iter()
+            .map(|(class, v)| {
+                (
+                    class.clone(),
+                    v.iter()
+                        .map(|h| HintEntry {
+                            worker: h.worker,
+                            est_qlen: h.est_qlen,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        // Fresh reports fold in everything we had dispatched before the
+        // report was made; restart the local delta.
+        self.inflight.clear();
+        for o in self.outstanding.values() {
+            if let Some(w) = o.worker {
+                *self.inflight.entry(w).or_insert(0) += 1;
+            }
+        }
+        new
+    }
+
+    /// Lottery-picks a worker of `class` (excluding `exclude`), tickets
+    /// inversely proportional to estimated queue length (§3.1.2).
+    fn pick(
+        &self,
+        rng: &mut Pcg32,
+        class: &WorkerClass,
+        exclude: &[ComponentId],
+    ) -> Option<ComponentId> {
+        let candidates: Vec<&HintEntry> = self
+            .hints
+            .get(class)?
+            .iter()
+            .filter(|h| !exclude.contains(&h.worker))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let tickets: Vec<f64> = candidates
+            .iter()
+            .map(|h| {
+                let delta = if self.delta_correction {
+                    self.inflight.get(&h.worker).copied().unwrap_or(0) as f64
+                } else {
+                    0.0
+                };
+                1.0 / (1.0 + (h.est_qlen + delta).max(0.0))
+            })
+            .collect();
+        let i = rng.weighted(&tickets);
+        Some(candidates[i].worker)
+    }
+
+    fn send_job(&mut self, job_id: u64, worker: ComponentId, out: &mut Vec<DispatchEffect>) {
+        let o = self.outstanding.get_mut(&job_id).expect("job exists");
+        o.worker = Some(worker);
+        o.workers_tried.push(worker);
+        *self.inflight.entry(worker).or_insert(0) += 1;
+        let job = Arc::new(Job {
+            id: job_id,
+            class: o.class.clone(),
+            op: o.op.clone(),
+            input: o.input.clone(),
+            profile: o.profile.clone(),
+            reply_to: o.reply_to,
+        });
+        out.push(DispatchEffect::SendJob { worker, job });
+        out.push(DispatchEffect::Incr {
+            key: "stub.dispatches",
+            n: 1,
+        });
+    }
+
+    fn request_worker(&self, class: &WorkerClass, out: &mut Vec<DispatchEffect>) {
+        if let Some(mgr) = self.manager {
+            out.push(DispatchEffect::NeedWorker {
+                manager: mgr,
+                class: class.clone(),
+            });
+        }
+    }
+
+    /// Dispatches a job to the least-loaded worker of `class` (lottery).
+    /// If no worker is known the dispatch stays pending — the caller's
+    /// timeout drives a retry once the manager has spawned one — and the
+    /// manager is asked via [`crate::msg::SnsMsg::NeedWorker`]. Returns
+    /// the job id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch(
+        &mut self,
+        rng: &mut Pcg32,
+        reply_to: ComponentId,
+        class: WorkerClass,
+        op: impl Into<String>,
+        input: Payload,
+        profile: Option<ProfileData>,
+        out: &mut Vec<DispatchEffect>,
+    ) -> u64 {
+        let job_id = self.next_job;
+        self.next_job += 1;
+        self.outstanding.insert(
+            job_id,
+            Outstanding {
+                class: class.clone(),
+                worker: None,
+                attempts: 1,
+                explicit: false,
+                op: op.into(),
+                input,
+                profile,
+                reply_to,
+                workers_tried: Vec::new(),
+            },
+        );
+        match self.pick(rng, &class, &[]) {
+            Some(w) => self.send_job(job_id, w, out),
+            None => self.request_worker(&class, out),
+        }
+        job_id
+    }
+
+    /// Dispatches to a pinned worker (cache-ring routing, search
+    /// partition fan-out). No lottery, no retry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch_to(
+        &mut self,
+        reply_to: ComponentId,
+        worker: ComponentId,
+        class: WorkerClass,
+        op: impl Into<String>,
+        input: Payload,
+        profile: Option<ProfileData>,
+        out: &mut Vec<DispatchEffect>,
+    ) -> u64 {
+        let job_id = self.next_job;
+        self.next_job += 1;
+        self.outstanding.insert(
+            job_id,
+            Outstanding {
+                class,
+                worker: None,
+                attempts: 1,
+                explicit: true,
+                op: op.into(),
+                input,
+                profile,
+                reply_to,
+                workers_tried: Vec::new(),
+            },
+        );
+        self.send_job(job_id, worker, out);
+        job_id
+    }
+
+    /// Records a response; returns the dispatch if it was outstanding.
+    pub fn on_response(&mut self, job_id: u64) -> Option<Outstanding> {
+        let o = self.outstanding.remove(&job_id)?;
+        if let Some(w) = o.worker {
+            *self.inflight.entry(w).or_insert(0) -= 1;
+        }
+        Some(o)
+    }
+
+    /// Handles a dispatch timeout: evict the suspected-dead worker from
+    /// the hint cache and retry elsewhere, or give up (§3.1.8).
+    pub fn on_timeout(
+        &mut self,
+        rng: &mut Pcg32,
+        job_id: u64,
+        out: &mut Vec<DispatchEffect>,
+    ) -> TimeoutVerdict {
+        let Some(o) = self.outstanding.get(&job_id) else {
+            return TimeoutVerdict::Unknown;
+        };
+        let class = o.class.clone();
+        let explicit = o.explicit;
+        let attempts = o.attempts;
+        let suspected = o.worker;
+        // A timed-out worker is suspect: drop it so other requests stop
+        // choosing it until the manager re-advertises it.
+        if let Some(w) = suspected {
+            if let Some(v) = self.hints.get_mut(&class) {
+                v.retain(|h| h.worker != w);
+            }
+            *self.inflight.entry(w).or_insert(0) -= 1;
+            out.push(DispatchEffect::Incr {
+                key: "stub.timeouts",
+                n: 1,
+            });
+        }
+        if explicit || attempts > self.cfg.max_retries {
+            self.outstanding.remove(&job_id);
+            out.push(DispatchEffect::Incr {
+                key: "stub.gave_up",
+                n: 1,
+            });
+            return TimeoutVerdict::GaveUp(class);
+        }
+        let tried = self
+            .outstanding
+            .get(&job_id)
+            .map(|o| o.workers_tried.clone())
+            .unwrap_or_default();
+        match self.pick(rng, &class, &tried) {
+            Some(w) => {
+                let o = self.outstanding.get_mut(&job_id).expect("still present");
+                o.attempts += 1;
+                self.send_job(job_id, w, out);
+                out.push(DispatchEffect::Incr {
+                    key: "stub.retries",
+                    n: 1,
+                });
+                TimeoutVerdict::Retried
+            }
+            None => {
+                // Nobody (left) to try: ask the manager and keep waiting;
+                // the re-armed timeout will try again.
+                let o = self.outstanding.get_mut(&job_id).expect("still present");
+                o.attempts += 1;
+                o.worker = None;
+                self.request_worker(&class, out);
+                TimeoutVerdict::Retried
+            }
+        }
+    }
+
+    /// Jobs currently outstanding (waiting on workers).
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Pending dispatches of `class` that have no worker yet get sent as
+    /// soon as hints advertise one (called after each beacon).
+    pub fn flush_pending(&mut self, rng: &mut Pcg32, out: &mut Vec<DispatchEffect>) {
+        let waiting: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.worker.is_none() && !o.explicit)
+            .map(|(&id, _)| id)
+            .collect();
+        for job_id in waiting {
+            let (class, tried) = {
+                let o = &self.outstanding[&job_id];
+                (o.class.clone(), o.workers_tried.clone())
+            };
+            if let Some(w) = self.pick(rng, &class, &tried) {
+                self.send_job(job_id, w, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Blob;
+
+    fn beacon(workers: &[(u64, f64)]) -> BeaconData {
+        let mut hints = BTreeMap::new();
+        hints.insert(
+            WorkerClass::new("w"),
+            workers
+                .iter()
+                .map(|&(id, q)| WorkerHint {
+                    worker: ComponentId(id),
+                    node: NodeId(0),
+                    est_qlen: q,
+                    overflow: false,
+                })
+                .collect(),
+        );
+        BeaconData {
+            manager: ComponentId(99),
+            incarnation: 1,
+            hints,
+            at: SimTime::from_secs(1),
+        }
+    }
+
+    fn view(nodes: &[(u32, u32)]) -> ClusterView {
+        ClusterView {
+            dedicated: nodes
+                .iter()
+                .map(|&(n, c)| NodeLoad {
+                    node: NodeId(n),
+                    components: c,
+                })
+                .collect(),
+            overflow: Vec::new(),
+            pinned_alive: BTreeMap::new(),
+            spawn_latency: Duration::from_millis(300),
+        }
+    }
+
+    fn plane(min: u32) -> ControlPlane {
+        let mut p = ControlPlane::new(ControlConfig {
+            sns: SnsConfig::default(),
+            incarnation: 1,
+            restart_front_ends: false,
+        });
+        p.add_class(WorkerClass::new("w"), SpawnPolicy::scaled(min));
+        p
+    }
+
+    fn spawns(out: &[ControlEffect]) -> Vec<(NodeId, u64)> {
+        out.iter()
+            .filter_map(|e| match e {
+                ControlEffect::Spawn { token, node, .. } => Some((*node, *token)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn estimate_includes_delta() {
+        let mut plane = DispatchPlane::new(SnsConfig::default());
+        plane.on_beacon(&beacon(&[(1, 2.0)]));
+        assert_eq!(plane.estimate(&"w".into(), ComponentId(1)), Some(2.0));
+        plane.inflight.insert(ComponentId(1), 3);
+        assert_eq!(plane.estimate(&"w".into(), ComponentId(1)), Some(5.0));
+        plane.set_delta_correction(false);
+        assert_eq!(plane.estimate(&"w".into(), ComponentId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn dispatch_routes_through_effects_and_responses_balance_inflight() {
+        let mut plane = DispatchPlane::new(SnsConfig::default());
+        plane.on_beacon(&beacon(&[(1, 0.0)]));
+        let mut rng = Pcg32::new(7);
+        let mut out = Vec::new();
+        let id = plane.dispatch(
+            &mut rng,
+            ComponentId(50),
+            "w".into(),
+            "op",
+            Blob::payload(10, "x"),
+            None,
+            &mut out,
+        );
+        assert!(matches!(
+            out[0],
+            DispatchEffect::SendJob { worker, ref job }
+                if worker == ComponentId(1) && job.id == id && job.reply_to == ComponentId(50)
+        ));
+        assert_eq!(plane.inflight.get(&ComponentId(1)), Some(&1));
+        let o = plane.on_response(id).expect("outstanding");
+        assert_eq!(o.worker, Some(ComponentId(1)));
+        assert_eq!(plane.inflight.get(&ComponentId(1)), Some(&0));
+        assert!(plane.on_response(id).is_none());
+    }
+
+    #[test]
+    fn timeout_evicts_suspect_and_retries_elsewhere() {
+        let mut plane = DispatchPlane::new(SnsConfig::default());
+        plane.on_beacon(&beacon(&[(1, 0.0), (2, 0.0)]));
+        let mut rng = Pcg32::new(7);
+        let mut out = Vec::new();
+        let id = plane.dispatch(
+            &mut rng,
+            ComponentId(50),
+            "w".into(),
+            "op",
+            Blob::payload(10, "x"),
+            None,
+            &mut out,
+        );
+        let first = plane.outstanding[&id].worker.unwrap();
+        out.clear();
+        let verdict = plane.on_timeout(&mut rng, id, &mut out);
+        assert_eq!(verdict, TimeoutVerdict::Retried);
+        let second = plane.outstanding[&id].worker.unwrap();
+        assert_ne!(first, second, "retry excludes the suspect");
+        assert!(!plane.workers_of(&"w".into()).contains(&first));
+        // Exhaust retries: each timeout evicts the current worker.
+        out.clear();
+        let verdict = plane.on_timeout(&mut rng, id, &mut out);
+        // attempts is now 2 (== default max_retries), one more allowed…
+        assert_eq!(verdict, TimeoutVerdict::Retried);
+        out.clear();
+        let verdict = plane.on_timeout(&mut rng, id, &mut out);
+        assert_eq!(verdict, TimeoutVerdict::GaveUp("w".into()));
+        assert_eq!(plane.outstanding_count(), 0);
+    }
+
+    #[test]
+    fn control_plane_bootstraps_to_minimum_with_effect_confirmation() {
+        let mut p = plane(2);
+        let v = view(&[(0, 1), (1, 0)]);
+        let mut out = Vec::new();
+        p.on_start(SimTime::ZERO, ComponentId(1), NodeId(0), &v, &mut out);
+        // Grace: no spawns in the first two beacon periods.
+        assert!(spawns(&out).is_empty());
+        let mut out = Vec::new();
+        p.on_tick(SimTime::from_secs(3), &v, &mut out);
+        let sp = spawns(&out);
+        assert_eq!(sp.len(), 2, "bootstrap to min_workers");
+        // Least-loaded node first; the second spawn sees the first via
+        // the in-call placement accounting.
+        assert_eq!(sp[0].0, NodeId(1));
+        assert_eq!(sp[1].0, NodeId(0));
+        for (i, &(_, token)) in sp.iter().enumerate() {
+            p.confirm_spawn(token, ComponentId(10 + i as u64));
+        }
+        // Registration clears pending; strength holds at 2.
+        let mut out = Vec::new();
+        p.on_register_worker(
+            ComponentId(10),
+            "w".into(),
+            NodeId(1),
+            false,
+            SimTime::from_secs(3),
+            &mut out,
+        );
+        assert!(matches!(out[0], ControlEffect::Watch(w) if w == ComponentId(10)));
+        assert_eq!(p.class_strength(&"w".into()), 2);
+        let mut out = Vec::new();
+        p.on_tick(SimTime::from_secs(4), &v, &mut out);
+        assert!(spawns(&out).is_empty(), "no over-spawn");
+    }
+
+    #[test]
+    fn death_triggers_respawn_and_peer_restarted() {
+        let mut p = plane(1);
+        let v = view(&[(0, 1)]);
+        let mut out = Vec::new();
+        p.on_start(SimTime::ZERO, ComponentId(1), NodeId(0), &v, &mut out);
+        p.on_register_worker(
+            ComponentId(7),
+            "w".into(),
+            NodeId(0),
+            false,
+            SimTime::ZERO,
+            &mut Vec::new(),
+        );
+        let mut out = Vec::new();
+        p.on_peer_death(ComponentId(7), SimTime::from_secs(5), &v, &mut out);
+        assert_eq!(spawns(&out).len(), 1, "process-peer restart");
+        assert!(out.iter().any(|e| matches!(
+            e,
+            ControlEffect::Emit(MonitorEvent::PeerRestarted { kind: "worker", .. })
+        )));
+    }
+
+    #[test]
+    fn ensure_workers_bypasses_grace_and_respects_target() {
+        let mut p = plane(0);
+        let v = view(&[(0, 0)]);
+        let mut out = Vec::new();
+        p.on_start(SimTime::ZERO, ComponentId(1), NodeId(0), &v, &mut out);
+        let mut out = Vec::new();
+        p.ensure_workers(&"w".into(), 3, SimTime::ZERO, &v, &mut out);
+        let sp = spawns(&out);
+        assert_eq!(sp.len(), 3);
+        for (i, &(_, token)) in sp.iter().enumerate() {
+            p.confirm_spawn(token, ComponentId(20 + i as u64));
+        }
+        assert_eq!(p.class_strength(&"w".into()), 3);
+        let mut out = Vec::new();
+        p.ensure_workers(&"w".into(), 3, SimTime::ZERO, &v, &mut out);
+        assert!(spawns(&out).is_empty(), "target already met");
+    }
+
+    #[test]
+    fn rival_beacon_steps_down_lower_incarnation() {
+        let mut p = plane(0);
+        let mut out = Vec::new();
+        p.on_start(
+            SimTime::ZERO,
+            ComponentId(1),
+            NodeId(0),
+            &view(&[]),
+            &mut out,
+        );
+        let mut rival = BeaconData {
+            manager: ComponentId(9),
+            incarnation: 2,
+            hints: BTreeMap::new(),
+            at: SimTime::ZERO,
+        };
+        let mut out = Vec::new();
+        p.on_rival_beacon(&rival, &mut out);
+        assert!(out.iter().any(|e| matches!(e, ControlEffect::StepDown)));
+        // Our own beacon is never a rival.
+        rival.manager = ComponentId(1);
+        let mut out = Vec::new();
+        p.on_rival_beacon(&rival, &mut out);
+        assert!(out.is_empty());
+    }
+}

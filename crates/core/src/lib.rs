@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod frontend;
 pub mod invariant;
 pub mod manager;
@@ -53,9 +54,13 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+pub use control::{
+    ClusterView, ControlConfig, ControlEffect, ControlPlane, DispatchEffect, DispatchPlane,
+    NodeLoad, SpawnPolicy,
+};
 pub use frontend::{Action, FeEvent, FrontEnd, ReqState, ServiceLogic};
 pub use invariant::{Invariant, MonitorLog, MonitorTap, TapHandle};
-pub use manager::{Manager, ManagerConfig, SpawnPolicy, WorkerFactory};
+pub use manager::{Manager, ManagerConfig, WorkerFactory, WorkerSpec};
 pub use monitor::{Monitor, MonitorEvent};
 pub use msg::{BeaconData, ClientRequest, ClientResponse, Job, JobResult, SnsMsg, WorkerHint};
 pub use stub::ManagerStub;

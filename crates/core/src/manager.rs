@@ -5,29 +5,26 @@
 //! figures are refreshed by periodic reports. A restarted manager
 //! therefore needs no recovery code at all.
 //!
-//! Responsibilities:
-//! * track workers and their loads (weighted moving averages of reported
-//!   queue lengths);
-//! * beacon its existence plus load-balancing hints on the well-known
-//!   multicast group (the level of indirection that lets components find
-//!   each other, §3.1.2);
-//! * spawn workers on demand: when a class's average queue estimate
-//!   crosses the threshold *H*, spawn one and disable spawning for *D*
-//!   seconds (§4.5); prefer dedicated nodes, then recruit the overflow
-//!   pool (§2.2.3);
-//! * reap workers (overflow first) after sustained low load;
-//! * process-peer fault tolerance: watch workers and front ends via the
-//!   engine's broken-connection detection and restart them (§3.1.3).
+//! Every *decision* — placement, threshold-H spawning, reaping, rival
+//! step-down, process-peer restarts — lives in the sans-IO
+//! [`ControlPlane`] ([`crate::control`]), which the threaded runtime
+//! drives too. This component is the simulator driver: it snapshots the
+//! cluster into a [`ClusterView`], invokes one plane handler per engine
+//! callback, and applies the returned [`ControlEffect`]s in order onto
+//! engine calls (`ctx.spawn`, `ctx.multicast`, `ctx.watch`, stats).
+//! Worker/front-end *factories* stay here — building components is I/O
+//! from the plane's point of view.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sns_sim::engine::{Component, Ctx};
-use sns_sim::time::SimTime;
 use sns_sim::{ComponentId, GroupId, NodeId};
 
-use crate::monitor::MonitorEvent;
-use crate::msg::{BeaconData, SnsMsg, WorkerHint};
+use crate::control::{
+    ClusterView, ControlConfig, ControlEffect, ControlPlane, NodeLoad, SpawnPolicy,
+};
+use crate::msg::SnsMsg;
 use crate::{SnsConfig, WorkerClass};
 
 /// Builds a fresh worker component (a `WorkerStub` around new service
@@ -37,51 +34,28 @@ pub type WorkerFactory = Box<dyn FnMut() -> Box<dyn Component<SnsMsg>> + Send>;
 /// Builds a replacement front end (process-peer restart).
 pub type FrontEndFactory = Box<dyn FnMut() -> Box<dyn Component<SnsMsg>> + Send>;
 
-/// Per-class scaling policy.
-pub struct SpawnPolicy {
-    /// Never fewer than this many workers (bootstrap + crash restarts).
-    pub min_workers: u32,
-    /// Hard cap on concurrently live workers of this class (0 = no cap).
-    pub max_workers: u32,
-    /// At most this many workers of this class per node.
-    pub max_per_node: u32,
-    /// Whether the threshold-H autoscaler manages this class (HotBot's
-    /// pinned partition workers set this false, §3.2).
-    pub auto_scale: bool,
-    /// Restart crashed workers of this class.
-    pub restart_on_crash: bool,
-    /// Bind this class to one node (HotBot partition workers, §3.2:
-    /// "All workers bound to their nodes"). While the node is down the
-    /// class simply cannot run — coverage degrades instead.
-    pub pinned_node: Option<NodeId>,
+/// A class's scaling policy plus the factory that builds its workers.
+pub struct WorkerSpec {
+    /// The pure scaling policy (shared with the threaded runtime).
+    pub policy: SpawnPolicy,
     /// The factory.
     pub factory: WorkerFactory,
 }
 
-impl SpawnPolicy {
-    /// Typical policy for an auto-scaled, restartable worker class.
+impl WorkerSpec {
+    /// Typical spec for an auto-scaled, restartable worker class.
     pub fn scaled(min_workers: u32, factory: WorkerFactory) -> Self {
-        SpawnPolicy {
-            min_workers,
-            max_workers: 0,
-            max_per_node: 4,
-            auto_scale: true,
-            restart_on_crash: true,
-            pinned_node: None,
+        WorkerSpec {
+            policy: SpawnPolicy::scaled(min_workers),
             factory,
         }
     }
 
-    /// Policy for pinned, non-scaled workers (cache partitions, search
+    /// Spec for pinned, non-scaled workers (cache partitions, search
     /// partitions): exactly `n`, restarted on crash.
     pub fn pinned(n: u32, factory: WorkerFactory) -> Self {
-        SpawnPolicy {
-            min_workers: n,
-            max_workers: n,
-            max_per_node: 1,
-            auto_scale: false,
-            restart_on_crash: true,
-            pinned_node: None,
+        WorkerSpec {
+            policy: SpawnPolicy::pinned(n),
             factory,
         }
     }
@@ -97,50 +71,19 @@ pub struct ManagerConfig {
     pub monitor_group: GroupId,
     /// This incarnation (strictly greater than any predecessor's).
     pub incarnation: u64,
-    /// Scaling policy per worker class.
-    pub classes: BTreeMap<WorkerClass, SpawnPolicy>,
+    /// Scaling policy + factory per worker class.
+    pub classes: BTreeMap<WorkerClass, WorkerSpec>,
     /// Factory for restarting dead front ends (process peers).
     pub fe_factory: Option<FrontEndFactory>,
 }
 
-#[derive(Debug, Clone)]
-struct WorkerInfo {
-    class: WorkerClass,
-    node: NodeId,
-    overflow: bool,
-    /// Weighted moving average of reported queue length.
-    wma: f64,
-    last_report: SimTime,
-}
-
-#[derive(Debug, Default, Clone)]
-struct ClassRuntime {
-    last_spawn: Option<SimTime>,
-    low_since: Option<SimTime>,
-    /// Cached interned name of the class's average-queue series, so the
-    /// periodic rebalance pass never allocates.
-    avg_qlen_key: Option<sns_sim::MetricKey>,
-}
-
-/// A spawn issued whose worker has not yet registered.
-#[derive(Debug, Clone)]
-struct PendingSpawn {
-    class: WorkerClass,
-    node: NodeId,
-    at: SimTime,
-}
-
-/// The manager component.
+/// The manager component: the simulator driver for [`ControlPlane`].
 pub struct Manager {
-    cfg: ManagerConfig,
-    workers: BTreeMap<ComponentId, WorkerInfo>,
-    fes: BTreeMap<ComponentId, NodeId>,
-    runtime: BTreeMap<WorkerClass, ClassRuntime>,
-    pending: BTreeMap<ComponentId, PendingSpawn>,
-    /// Nodes taken out of service for hot upgrades (§2.2).
-    drained: std::collections::BTreeSet<NodeId>,
-    load_reports_handled: u64,
-    started_at: Option<SimTime>,
+    beacon_group: GroupId,
+    monitor_group: GroupId,
+    factories: BTreeMap<WorkerClass, WorkerFactory>,
+    fe_factory: Option<FrontEndFactory>,
+    plane: ControlPlane,
 }
 
 impl Manager {
@@ -149,318 +92,96 @@ impl Manager {
 
     /// Creates a manager.
     pub fn new(cfg: ManagerConfig) -> Self {
+        let mut plane = ControlPlane::new(ControlConfig {
+            sns: cfg.sns,
+            incarnation: cfg.incarnation,
+            restart_front_ends: cfg.fe_factory.is_some(),
+        });
+        let mut factories = BTreeMap::new();
+        for (class, spec) in cfg.classes {
+            plane.add_class(class.clone(), spec.policy);
+            factories.insert(class, spec.factory);
+        }
         Manager {
-            cfg,
-            workers: BTreeMap::new(),
-            fes: BTreeMap::new(),
-            runtime: BTreeMap::new(),
-            pending: BTreeMap::new(),
-            drained: std::collections::BTreeSet::new(),
-            load_reports_handled: 0,
-            started_at: None,
+            beacon_group: cfg.beacon_group,
+            monitor_group: cfg.monitor_group,
+            factories,
+            fe_factory: cfg.fe_factory,
+            plane,
         }
     }
 
-    fn pending_of_class(&self, class: &WorkerClass) -> u32 {
-        self.pending.values().filter(|p| &p.class == class).count() as u32
+    /// The plane's beacon period (timer re-arm).
+    fn beacon_period(&self) -> std::time::Duration {
+        self.plane.sns().beacon_period
     }
 
-    fn live_of_class(&self, class: &WorkerClass) -> Vec<(ComponentId, &WorkerInfo)> {
-        self.workers
-            .iter()
-            .filter(|(_, w)| &w.class == class)
-            .map(|(&id, w)| (id, w))
-            .collect()
-    }
-
-    fn monitor(&self, ctx: &mut Ctx<'_, SnsMsg>, ev: MonitorEvent) {
-        ctx.multicast(self.cfg.monitor_group, SnsMsg::Monitor(Arc::new(ev)));
-    }
-
-    /// Chooses a node for a new worker of `class`: dedicated nodes first
-    /// (fewest workers of this class, then fewest total), then the
-    /// overflow pool (§2.2.3). Returns the node and whether it is
-    /// overflow.
-    fn choose_node(
-        &self,
-        ctx: &Ctx<'_, SnsMsg>,
-        class: &WorkerClass,
-        max_per_node: u32,
-    ) -> Option<(NodeId, bool)> {
-        for (tag, is_overflow) in [("dedicated", false), ("overflow", true)] {
-            let nodes = ctx.nodes_with_tag(tag);
-            let mut best: Option<(u32, u32, NodeId)> = None;
-            for node in nodes {
-                if self.drained.contains(&node) {
-                    continue;
-                }
-                let pending_here = self
-                    .pending
-                    .values()
-                    .filter(|p| p.node == node && &p.class == class)
-                    .count() as u32;
-                let mine = self
-                    .workers
-                    .values()
-                    .filter(|w| w.node == node && &w.class == class)
-                    .count() as u32
-                    + pending_here;
-                if max_per_node > 0 && mine >= max_per_node {
-                    continue;
-                }
-                let total = ctx.components_on(node).len() as u32;
-                let cand = (mine, total, node);
-                if best.is_none_or(|b| cand < b) {
-                    best = Some(cand);
-                }
-            }
-            if let Some((_, _, node)) = best {
-                return Some((node, is_overflow));
-            }
-        }
-        None
-    }
-
-    fn spawn_worker(&mut self, ctx: &mut Ctx<'_, SnsMsg>, class: &WorkerClass) -> bool {
-        let Some(policy) = self.cfg.classes.get(class) else {
-            return false;
+    /// Snapshots the alive cluster for the plane's placement decisions.
+    fn view(&self, ctx: &Ctx<'_, SnsMsg>) -> ClusterView {
+        let load = |ctx: &Ctx<'_, SnsMsg>, nodes: Vec<NodeId>| -> Vec<NodeLoad> {
+            nodes
+                .into_iter()
+                .map(|node| NodeLoad {
+                    node,
+                    components: ctx.components_on(node).len() as u32,
+                })
+                .collect()
         };
-        let live = self.live_of_class(class).len() as u32;
-        let pending = self.pending_of_class(class);
-        if policy.max_workers > 0 && live + pending >= policy.max_workers {
-            return false;
+        ClusterView {
+            dedicated: load(ctx, ctx.nodes_with_tag("dedicated")),
+            overflow: load(ctx, ctx.nodes_with_tag("overflow")),
+            pinned_alive: self
+                .plane
+                .pinned_nodes()
+                .into_iter()
+                .map(|n| (n, ctx.node_alive(n)))
+                .collect(),
+            spawn_latency: ctx.spawn_latency(),
         }
-        let max_per_node = policy.max_per_node;
-        let placement = match policy.pinned_node {
-            Some(n) if self.drained.contains(&n) => None,
-            Some(n) if ctx.node_alive(n) => Some((n, false)),
-            Some(_) => None, // pinned node is down: the class waits
-            None => self.choose_node(ctx, class, max_per_node),
-        };
-        let Some((node, overflow)) = placement else {
-            self.monitor(
-                ctx,
-                MonitorEvent::Warning(format!("no node available to spawn {class}")),
-            );
-            ctx.stats().incr("manager.spawn_no_node", 1);
-            return false;
-        };
-        let comp = (self
-            .cfg
-            .classes
-            .get_mut(class)
-            .expect("checked above")
-            .factory)();
-        let kind = crate::intern_class(class.name());
-        let Some(spawned) = ctx.spawn(node, comp, kind) else {
-            return false;
-        };
-        // Watch from birth: a worker dying before it registers must still
-        // trigger process-peer recovery.
-        ctx.watch(spawned);
-        let now = ctx.now();
-        self.pending.insert(
-            spawned,
-            PendingSpawn {
-                class: class.clone(),
-                node,
-                at: now,
-            },
-        );
-        let rt = self.runtime.entry(class.clone()).or_default();
-        rt.last_spawn = Some(now);
-        ctx.stats().incr("manager.spawns", 1);
-        if overflow {
-            ctx.stats().incr("manager.overflow_spawns", 1);
-        }
-        self.monitor(
-            ctx,
-            MonitorEvent::SpawnedWorker {
-                class: class.clone(),
-                node,
-                overflow,
-            },
-        );
-        true
     }
 
-    fn beacon(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
-        let mut hints: BTreeMap<WorkerClass, Vec<WorkerHint>> = BTreeMap::new();
-        for (&id, w) in &self.workers {
-            hints.entry(w.class.clone()).or_default().push(WorkerHint {
-                worker: id,
-                node: w.node,
-                est_qlen: w.wma,
-                overflow: w.overflow,
-            });
-        }
-        let me = ctx.me();
-        let data = BeaconData {
-            manager: me,
-            incarnation: self.cfg.incarnation,
-            hints,
-            at: ctx.now(),
-        };
-        ctx.multicast(self.cfg.beacon_group, SnsMsg::Beacon(Arc::new(data)));
-        ctx.stats().incr("manager.beacons", 1);
-    }
-
-    fn policy_tick(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
-        let now = ctx.now();
-        // Soft-state rebuild grace: a (re)started manager waits two
-        // beacon rounds for surviving workers to re-register before
-        // enforcing class minimums, otherwise it would double-spawn
-        // workers that are alive and about to announce themselves
-        // (§3.1.3).
-        let grace = self.cfg.sns.beacon_period * 2;
-        let in_grace = self.started_at.is_some_and(|t| now.since(t) < grace);
-        // Expire pending spawns that never registered (their component is
-        // watched, so deaths are handled; this is a backstop against lost
-        // registrations).
-        let expiry = ctx.spawn_latency() + self.cfg.sns.beacon_period * 2;
-        self.pending.retain(|_, p| now.since(p.at) < expiry);
-        // Timeout-based failure inference (§2.2.4): a worker whose load
-        // reports have stopped is presumed unreachable (SAN partition,
-        // wedged process). Drop it from the soft state — hints stop
-        // advertising it next beacon — and replace it on a still-visible
-        // node. If it was merely partitioned, it re-adopts itself with
-        // its next report and any surplus is reaped.
-        if !in_grace {
-            let report_timeout = self.cfg.sns.worker_report_timeout;
-            let silent: Vec<ComponentId> = self
-                .workers
-                .iter()
-                .filter(|(_, w)| now.since(w.last_report) > report_timeout)
-                .map(|(&id, _)| id)
-                .collect();
-            for id in silent {
-                let Some(info) = self.workers.remove(&id) else {
-                    continue;
-                };
-                ctx.unwatch(id);
-                ctx.stats().incr("manager.report_timeouts", 1);
-                self.monitor(
-                    ctx,
-                    MonitorEvent::Warning(format!(
-                        "worker {id} ({}) stopped reporting; replacing it",
-                        info.class
-                    )),
-                );
-                let restart = self
-                    .cfg
-                    .classes
-                    .get(&info.class)
-                    .map(|p| p.restart_on_crash)
-                    .unwrap_or(false);
-                if restart {
-                    self.spawn_worker(ctx, &info.class);
-                }
-            }
-        }
-        let classes: Vec<WorkerClass> = self.cfg.classes.keys().cloned().collect();
-        for class in classes {
-            let (min_workers, auto_scale, h, d) = {
-                let p = &self.cfg.classes[&class];
-                (
-                    p.min_workers,
-                    p.auto_scale,
-                    self.cfg.sns.spawn_threshold_h,
-                    self.cfg.sns.spawn_cooldown_d,
-                )
-            };
-            let live: Vec<(ComponentId, f64, bool)> = self
-                .workers
-                .iter()
-                .filter(|(_, w)| w.class == class)
-                .map(|(&id, w)| (id, w.wma, w.overflow))
-                .collect();
-            let live_n = live.len() as u32;
-            let pending = self.pending_of_class(&class);
-
-            // Bootstrap / crash replacement up to the class minimum.
-            if in_grace {
-                continue;
-            }
-            if live_n + pending < min_workers {
-                let need = min_workers - live_n - pending;
-                for _ in 0..need {
-                    if !self.spawn_worker(ctx, &class) {
-                        break;
+    /// Applies plane effects, in order, onto engine calls.
+    fn apply(&mut self, ctx: &mut Ctx<'_, SnsMsg>, effects: Vec<ControlEffect>) {
+        for effect in effects {
+            match effect {
+                ControlEffect::Spawn {
+                    token,
+                    class,
+                    node,
+                    overflow: _,
+                } => {
+                    let comp = (self
+                        .factories
+                        .get_mut(&class)
+                        .expect("plane only spawns registered classes"))(
+                    );
+                    let kind = crate::intern_class(class.name());
+                    if let Some(spawned) = ctx.spawn(node, comp, kind) {
+                        // Watch from birth: a worker dying before it
+                        // registers must still trigger process-peer
+                        // recovery.
+                        ctx.watch(spawned);
+                        self.plane.confirm_spawn(token, spawned);
                     }
                 }
-                continue;
-            }
-            if !auto_scale || live_n == 0 {
-                // Pinned classes can exceed strength when a partitioned
-                // worker re-adopts itself after its replacement spawned:
-                // reap the surplus gracefully.
-                let max = self.cfg.classes[&class].max_workers;
-                if max > 0 && live_n > max {
-                    let mut ids: Vec<ComponentId> = live.iter().map(|&(id, _, _)| id).collect();
-                    ids.sort();
-                    for &victim in ids.iter().rev().take((live_n - max) as usize) {
-                        ctx.send(victim, SnsMsg::Shutdown);
-                        ctx.stats().incr("manager.reaps", 1);
-                        self.monitor(
-                            ctx,
-                            MonitorEvent::ReapedWorker {
-                                worker: victim,
-                                class: class.clone(),
-                            },
-                        );
+                ControlEffect::SpawnFrontEnd { node } => {
+                    if let Some(factory) = self.fe_factory.as_mut() {
+                        let comp = factory();
+                        ctx.spawn(node, comp, "frontend");
                     }
                 }
-                continue;
-            }
-
-            let avg: f64 = live.iter().map(|&(_, wma, _)| wma).sum::<f64>() / live_n as f64;
-            if !self.runtime.contains_key(&class) {
-                self.runtime.insert(class.clone(), ClassRuntime::default());
-            }
-            let rt = self.runtime.get_mut(&class).expect("just ensured");
-            let key = *rt.avg_qlen_key.get_or_insert_with(|| {
-                sns_sim::MetricKey::new(&format!("manager.avg_qlen.{class}"))
-            });
-            ctx.stats().sample(key, now, avg);
-
-            // Threshold-H spawning with cooldown D (§4.5).
-            let in_cooldown = self
-                .runtime
-                .get(&class)
-                .and_then(|r| r.last_spawn)
-                .is_some_and(|t| now.since(t) < d);
-            if avg > h && !in_cooldown {
-                self.spawn_worker(ctx, &class);
-                continue;
-            }
-
-            // Reaping after sustained low load (overflow nodes first).
-            if avg < self.cfg.sns.reap_threshold && live_n > min_workers {
-                let rt = self.runtime.entry(class.clone()).or_default();
-                let since = *rt.low_since.get_or_insert(now);
-                if now.since(since) >= self.cfg.sns.reap_idle_for {
-                    rt.low_since = None;
-                    let victim = live
-                        .iter()
-                        .max_by_key(|&&(id, _, overflow)| (overflow, id))
-                        .map(|&(id, _, _)| id);
-                    if let Some(victim) = victim {
-                        let vclass = class.clone();
-                        ctx.send(victim, SnsMsg::Shutdown);
-                        ctx.stats().incr("manager.reaps", 1);
-                        self.monitor(
-                            ctx,
-                            MonitorEvent::ReapedWorker {
-                                worker: victim,
-                                class: vclass,
-                            },
-                        );
-                    }
+                ControlEffect::Shutdown { worker } => ctx.send(worker, SnsMsg::Shutdown),
+                ControlEffect::Beacon(data) => {
+                    ctx.multicast(self.beacon_group, SnsMsg::Beacon(data));
                 }
-            } else {
-                if let Some(rt) = self.runtime.get_mut(&class) {
-                    rt.low_since = None;
+                ControlEffect::Watch(id) => ctx.watch(id),
+                ControlEffect::Unwatch(id) => ctx.unwatch(id),
+                ControlEffect::Emit(ev) => {
+                    ctx.multicast(self.monitor_group, SnsMsg::Monitor(Arc::new(ev)));
                 }
+                ControlEffect::Incr { key, n } => ctx.stats().incr(key, n),
+                ControlEffect::Sample { key, at, value } => ctx.stats().sample(key, at, value),
+                ControlEffect::StepDown => ctx.exit(),
             }
         }
     }
@@ -468,32 +189,27 @@ impl Manager {
     /// Load reports processed (the §4.6 manager-capacity experiment reads
     /// this).
     pub fn load_reports_handled(&self) -> u64 {
-        self.load_reports_handled
+        self.plane.load_reports_handled()
     }
 }
 
 impl Component<SnsMsg> for Manager {
     fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
-        self.started_at = Some(ctx.now());
         // The manager listens on its own beacon group to detect rival
         // incarnations (duplicate-restart resolution).
-        ctx.join(self.cfg.beacon_group);
+        ctx.join(self.beacon_group);
+        let now = ctx.now();
         let me = ctx.me();
         let node = ctx.my_node();
-        self.monitor(
-            ctx,
-            MonitorEvent::Started {
-                who: me,
-                kind: "manager",
-                node,
-            },
-        );
-        self.beacon(ctx);
-        self.policy_tick(ctx);
-        ctx.timer(self.cfg.sns.beacon_period, Self::TICK);
+        let view = self.view(ctx);
+        let mut out = Vec::new();
+        self.plane.on_start(now, me, node, &view, &mut out);
+        self.apply(ctx, out);
+        ctx.timer(self.beacon_period(), Self::TICK);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _from: ComponentId, msg: SnsMsg) {
+        let mut out = Vec::new();
         match msg {
             SnsMsg::RegisterWorker {
                 worker,
@@ -501,196 +217,66 @@ impl Component<SnsMsg> for Manager {
                 node,
                 overflow,
             } => {
-                if !self.workers.contains_key(&worker) {
-                    ctx.watch(worker);
-                    self.pending.remove(&worker);
-                }
                 let now = ctx.now();
-                self.workers.insert(
-                    worker,
-                    WorkerInfo {
-                        class,
-                        node,
-                        overflow,
-                        wma: 0.0,
-                        last_report: now,
-                    },
-                );
+                self.plane
+                    .on_register_worker(worker, class, node, overflow, now, &mut out);
             }
             SnsMsg::DeregisterWorker { worker } => {
-                ctx.unwatch(worker);
-                self.workers.remove(&worker);
+                self.plane.on_deregister_worker(worker, &mut out);
             }
             SnsMsg::LoadReport {
                 worker,
                 class,
                 qlen,
             } => {
-                self.load_reports_handled += 1;
-                ctx.stats().incr("manager.load_reports", 1);
                 let now = ctx.now();
-                let alpha = self.cfg.sns.wma_alpha;
-                match self.workers.get_mut(&worker) {
-                    Some(info) => {
-                        info.wma = alpha * f64::from(qlen) + (1.0 - alpha) * info.wma;
-                        info.last_report = now;
-                    }
-                    None => {
-                        // Report from a worker we lost track of (e.g. a
-                        // restarted manager hearing loads before the
-                        // worker re-registers): adopt it — soft state.
-                        ctx.watch(worker);
-                        let node = ctx.node_of(worker).unwrap_or(NodeId(0));
-                        let overflow = ctx.node_tag(node).as_deref() == Some("overflow");
-                        self.workers.insert(
-                            worker,
-                            WorkerInfo {
-                                class,
-                                node,
-                                overflow,
-                                wma: f64::from(qlen),
-                                last_report: now,
-                            },
-                        );
-                    }
-                }
+                // Placement of an unknown (adopted) worker; pure queries,
+                // so resolving them up front is observably identical.
+                let node = ctx.node_of(worker).unwrap_or(NodeId(0));
+                let overflow = ctx.node_tag(node).as_deref() == Some("overflow");
+                self.plane
+                    .on_load_report(worker, class, qlen, now, || (node, overflow), &mut out);
             }
-            SnsMsg::NeedWorker { fe: _, class }
-                if self.live_of_class(&class).is_empty() && self.pending_of_class(&class) == 0 =>
-            {
-                self.spawn_worker(ctx, &class);
+            SnsMsg::NeedWorker { fe: _, class } => {
+                let now = ctx.now();
+                let view = self.view(ctx);
+                self.plane.on_need_worker(&class, now, &view, &mut out);
             }
             SnsMsg::RegisterFrontEnd { fe, node } => {
-                if !self.fes.contains_key(&fe) {
-                    ctx.watch(fe);
-                }
-                self.fes.insert(fe, node);
+                self.plane.on_register_front_end(fe, node, &mut out);
             }
-            SnsMsg::DrainNode { node } if !self.drained.contains(&node) => {
-                {
-                    self.drained.insert(node);
-                    ctx.stats().incr("manager.drains", 1);
-                    // Gracefully shut down every worker we run there; the
-                    // graceful path deregisters, and the class minimums
-                    // respawn replacements on other nodes.
-                    let victims: Vec<ComponentId> = self
-                        .workers
-                        .iter()
-                        .filter(|(_, w)| w.node == node)
-                        .map(|(&id, _)| id)
-                        .collect();
-                    for v in victims {
-                        ctx.send(v, SnsMsg::Shutdown);
-                    }
-                    self.monitor(
-                        ctx,
-                        MonitorEvent::Warning(format!("{node} drained for hot upgrade")),
-                    );
-                }
+            SnsMsg::DrainNode { node } => {
+                self.plane.on_drain_node(node, &mut out);
             }
-            SnsMsg::UndrainNode { node } if self.drained.contains(&node) => {
-                self.drained.remove(&node);
-                ctx.stats().incr("manager.undrains", 1);
-                self.monitor(
-                    ctx,
-                    MonitorEvent::Warning(format!("{node} returned to service")),
-                );
+            SnsMsg::UndrainNode { node } => {
+                self.plane.on_undrain_node(node, &mut out);
             }
             SnsMsg::Beacon(b) => {
-                // A rival manager: the (incarnation, id)-greater one wins;
-                // the loser steps down (duplicate restart resolution).
-                let me = ctx.me();
-                if b.manager != me && (b.incarnation, b.manager) >= (self.cfg.incarnation, me) {
-                    ctx.stats().incr("manager.stepdowns", 1);
-                    ctx.exit();
-                }
+                self.plane.on_rival_beacon(&b, &mut out);
             }
             _ => {}
         }
+        self.apply(ctx, out);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, token: u64) {
         if token != Self::TICK {
             return;
         }
-        self.beacon(ctx);
-        self.policy_tick(ctx);
-        let me = ctx.me();
-        self.monitor(
-            ctx,
-            MonitorEvent::Heartbeat {
-                who: me,
-                kind: "manager",
-                load: self.workers.len() as f64,
-            },
-        );
-        ctx.timer(self.cfg.sns.beacon_period, Self::TICK);
+        let now = ctx.now();
+        let view = self.view(ctx);
+        let mut out = Vec::new();
+        self.plane.on_tick(now, &view, &mut out);
+        self.apply(ctx, out);
+        ctx.timer(self.beacon_period(), Self::TICK);
     }
 
     fn on_peer_death(&mut self, ctx: &mut Ctx<'_, SnsMsg>, peer: ComponentId) {
-        // A spawn that died before registering counts as a worker death.
-        if let Some(p) = self.pending.remove(&peer) {
-            ctx.stats().incr("manager.worker_deaths", 1);
-            let restart = self
-                .cfg
-                .classes
-                .get(&p.class)
-                .map(|pol| pol.restart_on_crash)
-                .unwrap_or(false);
-            if restart {
-                self.spawn_worker(ctx, &p.class);
-            }
-            return;
-        }
-        if let Some(info) = self.workers.remove(&peer) {
-            ctx.stats().incr("manager.worker_deaths", 1);
-            let restart = self
-                .cfg
-                .classes
-                .get(&info.class)
-                .map(|p| p.restart_on_crash)
-                .unwrap_or(false);
-            if restart {
-                // Process-peer restart (§3.1.3): possibly on a different
-                // node (choose_node re-evaluates).
-                self.spawn_worker(ctx, &info.class);
-                let me = ctx.me();
-                self.monitor(
-                    ctx,
-                    MonitorEvent::PeerRestarted {
-                        by: me,
-                        kind: "worker",
-                    },
-                );
-            }
-            return;
-        }
-        if self.fes.remove(&peer).is_some() {
-            ctx.stats().incr("manager.fe_deaths", 1);
-            // "The manager detects and restarts a crashed front end."
-            let spawned = if let Some(factory) = self.cfg.fe_factory.as_mut() {
-                let comp = factory();
-                let node = self
-                    .choose_node(ctx, &WorkerClass::new("frontend"), 0)
-                    .map(|(n, _)| n);
-                match node {
-                    Some(n) => ctx.spawn(n, comp, "frontend").is_some(),
-                    None => false,
-                }
-            } else {
-                false
-            };
-            if spawned {
-                let me = ctx.me();
-                self.monitor(
-                    ctx,
-                    MonitorEvent::PeerRestarted {
-                        by: me,
-                        kind: "frontend",
-                    },
-                );
-            }
-        }
+        let now = ctx.now();
+        let view = self.view(ctx);
+        let mut out = Vec::new();
+        self.plane.on_peer_death(peer, now, &view, &mut out);
+        self.apply(ctx, out);
     }
 
     fn kind(&self) -> &'static str {
@@ -706,6 +292,7 @@ mod tests {
     use sns_sim::engine::{NodeSpec, Sim, SimConfig};
     use sns_sim::network::IdealNetwork;
     use sns_sim::rng::Pcg32;
+    use sns_sim::time::SimTime;
     use std::time::Duration;
 
     struct Sleepy;
@@ -763,7 +350,7 @@ mod tests {
         let mut classes = BTreeMap::new();
         classes.insert(
             WorkerClass::new("sleepy"),
-            SpawnPolicy::scaled(min_workers, factory(beacon, monitor)),
+            WorkerSpec::scaled(min_workers, factory(beacon, monitor)),
         );
         let mgr = Manager::new(ManagerConfig {
             sns: SnsConfig::default(),

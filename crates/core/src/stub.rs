@@ -13,215 +13,92 @@
 //! Timeouts infer failures from stale choices; timed-out workers are
 //! dropped from the hint cache and the request retried elsewhere
 //! (§3.1.8).
-
-use std::collections::BTreeMap;
-use std::sync::Arc;
+//!
+//! All of that decision logic lives in the sans-IO
+//! [`DispatchPlane`] ([`crate::control`]), shared with the threaded
+//! runtime's submit path. This type is the simulator driver: it feeds
+//! the plane the component's RNG and maps the returned
+//! [`DispatchEffect`]s onto `ctx.send` / stats calls, in order.
 
 use sns_sim::engine::Ctx;
 use sns_sim::time::SimTime;
 use sns_sim::ComponentId;
 
-use crate::msg::{BeaconData, Job, ProfileData, SnsMsg};
+use crate::control::{DispatchEffect, DispatchPlane};
+pub use crate::control::{Outstanding, TimeoutVerdict};
+use crate::msg::{BeaconData, ProfileData, SnsMsg};
 use crate::{Payload, SnsConfig, WorkerClass};
-
-#[derive(Debug, Clone)]
-struct HintEntry {
-    worker: ComponentId,
-    est_qlen: f64,
-}
-
-/// A dispatch awaiting a response.
-#[derive(Debug, Clone)]
-pub struct Outstanding {
-    /// Class the job targets.
-    pub class: WorkerClass,
-    /// Worker currently assigned (None while waiting for one to exist).
-    pub worker: Option<ComponentId>,
-    /// Attempts so far (1 = first try).
-    pub attempts: u32,
-    /// Whether the caller pinned the worker (no lottery, no retry).
-    pub explicit: bool,
-    op: String,
-    input: Payload,
-    profile: Option<ProfileData>,
-    reply_to: ComponentId,
-    workers_tried: Vec<ComponentId>,
-}
-
-/// Verdict of a dispatch timeout.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TimeoutVerdict {
-    /// The job was re-sent to another worker; re-arm the timeout.
-    Retried,
-    /// Retries are exhausted (or the dispatch was pinned); the service
-    /// layer decides the fallback (§2.2.4).
-    GaveUp(WorkerClass),
-    /// The job id was unknown (already answered).
-    Unknown,
-}
 
 /// The front-end-resident manager stub.
 pub struct ManagerStub {
-    cfg: SnsConfig,
-    manager: Option<ComponentId>,
-    incarnation: u64,
-    last_beacon: Option<SimTime>,
-    hints: BTreeMap<WorkerClass, Vec<HintEntry>>,
-    /// Net dispatches (sent − answered) per worker since the last beacon.
-    inflight: BTreeMap<ComponentId, i64>,
-    outstanding: BTreeMap<u64, Outstanding>,
-    next_job: u64,
-    delta_correction: bool,
+    plane: DispatchPlane,
 }
 
 impl ManagerStub {
     /// Creates a stub.
     pub fn new(cfg: SnsConfig) -> Self {
         ManagerStub {
-            cfg,
-            manager: None,
-            incarnation: 0,
-            last_beacon: None,
-            hints: BTreeMap::new(),
-            inflight: BTreeMap::new(),
-            outstanding: BTreeMap::new(),
-            next_job: 1,
-            delta_correction: true,
+            plane: DispatchPlane::new(cfg),
+        }
+    }
+
+    /// Applies plane effects, in order, onto engine calls.
+    fn apply(&mut self, ctx: &mut Ctx<'_, SnsMsg>, effects: Vec<DispatchEffect>) {
+        for effect in effects {
+            match effect {
+                DispatchEffect::SendJob { worker, job } => {
+                    ctx.send(worker, SnsMsg::WorkRequest(job));
+                }
+                DispatchEffect::NeedWorker { manager, class } => {
+                    let me = ctx.me();
+                    ctx.send(manager, SnsMsg::NeedWorker { fe: me, class });
+                }
+                DispatchEffect::Incr { key, n } => ctx.stats().incr(key, n),
+            }
         }
     }
 
     /// Enables/disables the §4.5 queue-delta correction (ablation knob).
     pub fn set_delta_correction(&mut self, on: bool) {
-        self.delta_correction = on;
+        self.plane.set_delta_correction(on);
     }
 
     /// The manager, if one has been heard from.
     pub fn manager(&self) -> Option<ComponentId> {
-        self.manager
+        self.plane.manager()
     }
 
     /// Incarnation of the last manager heard from.
     pub fn incarnation(&self) -> u64 {
-        self.incarnation
+        self.plane.incarnation()
     }
 
     /// When the last beacon arrived.
     pub fn last_beacon(&self) -> Option<SimTime> {
-        self.last_beacon
+        self.plane.last_beacon()
     }
 
     /// Live workers of a class per the hint cache (the virtual-cache ring
     /// is built from this, §3.1.5).
     pub fn workers_of(&self, class: &WorkerClass) -> Vec<ComponentId> {
-        self.hints
-            .get(class)
-            .map(|v| v.iter().map(|h| h.worker).collect())
-            .unwrap_or_default()
+        self.plane.workers_of(class)
     }
 
     /// Estimated queue length for a worker (report + local delta).
     pub fn estimate(&self, class: &WorkerClass, worker: ComponentId) -> Option<f64> {
-        let base = self
-            .hints
-            .get(class)?
-            .iter()
-            .find(|h| h.worker == worker)?
-            .est_qlen;
-        let delta = if self.delta_correction {
-            self.inflight.get(&worker).copied().unwrap_or(0) as f64
-        } else {
-            0.0
-        };
-        Some((base + delta).max(0.0))
+        self.plane.estimate(class, worker)
     }
 
     /// Ingests a beacon. Returns `true` when it announces a manager (or
     /// incarnation) this stub has not registered with yet.
     pub fn on_beacon(&mut self, b: &BeaconData) -> bool {
-        let new = self.manager != Some(b.manager) || self.incarnation != b.incarnation;
-        self.manager = Some(b.manager);
-        self.incarnation = b.incarnation;
-        self.last_beacon = Some(b.at);
-        self.hints = b
-            .hints
-            .iter()
-            .map(|(class, v)| {
-                (
-                    class.clone(),
-                    v.iter()
-                        .map(|h| HintEntry {
-                            worker: h.worker,
-                            est_qlen: h.est_qlen,
-                        })
-                        .collect(),
-                )
-            })
-            .collect();
-        // Fresh reports fold in everything we had dispatched before the
-        // report was made; restart the local delta.
-        self.inflight.clear();
-        for o in self.outstanding.values() {
-            if let Some(w) = o.worker {
-                *self.inflight.entry(w).or_insert(0) += 1;
-            }
-        }
-        new
-    }
-
-    /// Lottery-picks a worker of `class` (excluding `exclude`), tickets
-    /// inversely proportional to estimated queue length (§3.1.2).
-    fn pick(
-        &self,
-        ctx: &mut Ctx<'_, SnsMsg>,
-        class: &WorkerClass,
-        exclude: &[ComponentId],
-    ) -> Option<ComponentId> {
-        let candidates: Vec<&HintEntry> = self
-            .hints
-            .get(class)?
-            .iter()
-            .filter(|h| !exclude.contains(&h.worker))
-            .collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        let tickets: Vec<f64> = candidates
-            .iter()
-            .map(|h| {
-                let delta = if self.delta_correction {
-                    self.inflight.get(&h.worker).copied().unwrap_or(0) as f64
-                } else {
-                    0.0
-                };
-                1.0 / (1.0 + (h.est_qlen + delta).max(0.0))
-            })
-            .collect();
-        let i = ctx.rng().weighted(&tickets);
-        Some(candidates[i].worker)
-    }
-
-    fn send_job(&mut self, ctx: &mut Ctx<'_, SnsMsg>, job_id: u64, worker: ComponentId) {
-        let o = self.outstanding.get_mut(&job_id).expect("job exists");
-        o.worker = Some(worker);
-        o.workers_tried.push(worker);
-        *self.inflight.entry(worker).or_insert(0) += 1;
-        let job = Arc::new(Job {
-            id: job_id,
-            class: o.class.clone(),
-            op: o.op.clone(),
-            input: o.input.clone(),
-            profile: o.profile.clone(),
-            reply_to: o.reply_to,
-        });
-        ctx.send(worker, SnsMsg::WorkRequest(job));
-        ctx.stats().incr("stub.dispatches", 1);
+        self.plane.on_beacon(b)
     }
 
     /// Dispatches a job to the least-loaded worker of `class` (lottery).
     /// If no worker is known the dispatch stays pending — the caller's
     /// timeout drives a retry once the manager has spawned one — and the
     /// manager is asked via [`SnsMsg::NeedWorker`]. Returns the job id.
-    #[allow(clippy::too_many_arguments)]
     pub fn dispatch(
         &mut self,
         ctx: &mut Ctx<'_, SnsMsg>,
@@ -230,27 +107,12 @@ impl ManagerStub {
         input: Payload,
         profile: Option<ProfileData>,
     ) -> u64 {
-        let job_id = self.next_job;
-        self.next_job += 1;
         let me = ctx.me();
-        self.outstanding.insert(
-            job_id,
-            Outstanding {
-                class: class.clone(),
-                worker: None,
-                attempts: 1,
-                explicit: false,
-                op: op.into(),
-                input,
-                profile,
-                reply_to: me,
-                workers_tried: Vec::new(),
-            },
-        );
-        match self.pick(ctx, &class, &[]) {
-            Some(w) => self.send_job(ctx, job_id, w),
-            None => self.request_worker(ctx, &class),
-        }
+        let mut out = Vec::new();
+        let job_id = self
+            .plane
+            .dispatch(ctx.rng(), me, class, op, input, profile, &mut out);
+        self.apply(ctx, out);
         job_id
     }
 
@@ -265,121 +127,40 @@ impl ManagerStub {
         input: Payload,
         profile: Option<ProfileData>,
     ) -> u64 {
-        let job_id = self.next_job;
-        self.next_job += 1;
         let me = ctx.me();
-        self.outstanding.insert(
-            job_id,
-            Outstanding {
-                class,
-                worker: None,
-                attempts: 1,
-                explicit: true,
-                op: op.into(),
-                input,
-                profile,
-                reply_to: me,
-                workers_tried: Vec::new(),
-            },
-        );
-        self.send_job(ctx, job_id, worker);
+        let mut out = Vec::new();
+        let job_id = self
+            .plane
+            .dispatch_to(me, worker, class, op, input, profile, &mut out);
+        self.apply(ctx, out);
         job_id
-    }
-
-    fn request_worker(&self, ctx: &mut Ctx<'_, SnsMsg>, class: &WorkerClass) {
-        if let Some(mgr) = self.manager {
-            let me = ctx.me();
-            ctx.send(
-                mgr,
-                SnsMsg::NeedWorker {
-                    fe: me,
-                    class: class.clone(),
-                },
-            );
-        }
     }
 
     /// Records a response; returns the dispatch if it was outstanding.
     pub fn on_response(&mut self, job_id: u64) -> Option<Outstanding> {
-        let o = self.outstanding.remove(&job_id)?;
-        if let Some(w) = o.worker {
-            *self.inflight.entry(w).or_insert(0) -= 1;
-        }
-        Some(o)
+        self.plane.on_response(job_id)
     }
 
     /// Handles a dispatch timeout: evict the suspected-dead worker from
     /// the hint cache and retry elsewhere, or give up (§3.1.8).
     pub fn on_timeout(&mut self, ctx: &mut Ctx<'_, SnsMsg>, job_id: u64) -> TimeoutVerdict {
-        let Some(o) = self.outstanding.get(&job_id) else {
-            return TimeoutVerdict::Unknown;
-        };
-        let class = o.class.clone();
-        let explicit = o.explicit;
-        let attempts = o.attempts;
-        let suspected = o.worker;
-        // A timed-out worker is suspect: drop it so other requests stop
-        // choosing it until the manager re-advertises it.
-        if let Some(w) = suspected {
-            if let Some(v) = self.hints.get_mut(&class) {
-                v.retain(|h| h.worker != w);
-            }
-            *self.inflight.entry(w).or_insert(0) -= 1;
-            ctx.stats().incr("stub.timeouts", 1);
-        }
-        if explicit || attempts > self.cfg.max_retries {
-            self.outstanding.remove(&job_id);
-            ctx.stats().incr("stub.gave_up", 1);
-            return TimeoutVerdict::GaveUp(class);
-        }
-        let tried = self
-            .outstanding
-            .get(&job_id)
-            .map(|o| o.workers_tried.clone())
-            .unwrap_or_default();
-        match self.pick(ctx, &class, &tried) {
-            Some(w) => {
-                let o = self.outstanding.get_mut(&job_id).expect("still present");
-                o.attempts += 1;
-                self.send_job(ctx, job_id, w);
-                ctx.stats().incr("stub.retries", 1);
-                TimeoutVerdict::Retried
-            }
-            None => {
-                // Nobody (left) to try: ask the manager and keep waiting;
-                // the re-armed timeout will try again.
-                let o = self.outstanding.get_mut(&job_id).expect("still present");
-                o.attempts += 1;
-                o.worker = None;
-                self.request_worker(ctx, &class);
-                TimeoutVerdict::Retried
-            }
-        }
+        let mut out = Vec::new();
+        let verdict = self.plane.on_timeout(ctx.rng(), job_id, &mut out);
+        self.apply(ctx, out);
+        verdict
     }
 
     /// Jobs currently outstanding (waiting on workers).
     pub fn outstanding_count(&self) -> usize {
-        self.outstanding.len()
+        self.plane.outstanding_count()
     }
 
     /// Pending dispatches of `class` that have no worker yet get sent as
     /// soon as hints advertise one (called after each beacon).
     pub fn flush_pending(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
-        let waiting: Vec<u64> = self
-            .outstanding
-            .iter()
-            .filter(|(_, o)| o.worker.is_none() && !o.explicit)
-            .map(|(&id, _)| id)
-            .collect();
-        for job_id in waiting {
-            let (class, tried) = {
-                let o = &self.outstanding[&job_id];
-                (o.class.clone(), o.workers_tried.clone())
-            };
-            if let Some(w) = self.pick(ctx, &class, &tried) {
-                self.send_job(ctx, job_id, w);
-            }
-        }
+        let mut out = Vec::new();
+        self.plane.flush_pending(ctx.rng(), &mut out);
+        self.apply(ctx, out);
     }
 }
 
@@ -388,6 +169,7 @@ mod tests {
     use super::*;
     use crate::msg::WorkerHint;
     use sns_sim::NodeId;
+    use std::collections::BTreeMap;
 
     fn beacon(workers: &[(u64, f64)]) -> BeaconData {
         let mut hints = BTreeMap::new();
@@ -425,17 +207,6 @@ mod tests {
         let mut b2 = beacon(&[(1, 0.0)]);
         b2.incarnation = 2;
         assert!(stub.on_beacon(&b2), "new incarnation requires re-register");
-    }
-
-    #[test]
-    fn estimate_includes_delta() {
-        let mut stub = ManagerStub::new(SnsConfig::default());
-        stub.on_beacon(&beacon(&[(1, 2.0)]));
-        assert_eq!(stub.estimate(&"w".into(), ComponentId(1)), Some(2.0));
-        stub.inflight.insert(ComponentId(1), 3);
-        assert_eq!(stub.estimate(&"w".into(), ComponentId(1)), Some(5.0));
-        stub.set_delta_correction(false);
-        assert_eq!(stub.estimate(&"w".into(), ComponentId(1)), Some(2.0));
     }
 
     #[test]

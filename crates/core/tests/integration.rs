@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sns_core::frontend::{FeConfig, FeEvent, ManagerFactory, ReqState, SvcView};
-use sns_core::manager::{Manager, ManagerConfig, SpawnPolicy, WorkerFactory};
+use sns_core::manager::{Manager, ManagerConfig, WorkerFactory, WorkerSpec};
 use sns_core::monitor::Monitor;
 use sns_core::msg::{ClientRequest, Job, JobResult, SnsMsg};
 use sns_core::worker::{WorkerError, WorkerLogic, WorkerStub, WorkerStubConfig};
@@ -160,7 +160,7 @@ fn manager_factory(
         let mut classes = BTreeMap::new();
         classes.insert(
             WorkerClass::new("echo"),
-            SpawnPolicy::scaled(min_workers, worker_factory(beacon, monitor)),
+            WorkerSpec::scaled(min_workers, worker_factory(beacon, monitor)),
         );
         Box::new(Manager::new(ManagerConfig {
             sns: sns.clone(),
@@ -453,7 +453,7 @@ fn manager_restarts_dead_front_end() {
     let mut classes = BTreeMap::new();
     classes.insert(
         WorkerClass::new("echo"),
-        sns_core::manager::SpawnPolicy::scaled(1, worker_factory(beacon, monitor_group)),
+        sns_core::manager::WorkerSpec::scaled(1, worker_factory(beacon, monitor_group)),
     );
     let manager = Manager::new(ManagerConfig {
         sns: sns.clone(),

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sns_core::frontend::FeConfig;
-use sns_core::manager::{Manager, ManagerConfig, SpawnPolicy};
+use sns_core::manager::{Manager, ManagerConfig, WorkerSpec};
 use sns_core::monitor::Monitor;
 use sns_core::msg::SnsMsg;
 use sns_core::worker::{WorkerStub, WorkerStubConfig};
@@ -216,7 +216,7 @@ impl HotBotBuilder {
         for (p, index) in shared.iter().enumerate() {
             let index = Arc::clone(index);
             let cfg = stub_cfg.clone();
-            let mut policy = SpawnPolicy::pinned(
+            let mut spec = WorkerSpec::pinned(
                 1,
                 Box::new(move || {
                     Box::new(WorkerStub::new(
@@ -225,12 +225,12 @@ impl HotBotBuilder {
                     ))
                 }),
             );
-            policy.restart_on_crash = self.auto_restart_partitions;
+            spec.policy.restart_on_crash = self.auto_restart_partitions;
             // Workers are bound to their nodes (§3.2): partition p only
             // ever runs on its own node; while that node is down the
             // partition is simply unavailable.
-            policy.pinned_node = Some(partition_nodes[p]);
-            classes.insert(WorkerClass::new(crate::partition_class(p)), policy);
+            spec.policy.pinned_node = Some(partition_nodes[p]);
+            classes.insert(WorkerClass::new(crate::partition_class(p)), spec);
         }
         let manager = sim.spawn(
             infra,

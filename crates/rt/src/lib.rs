@@ -13,6 +13,16 @@
 //! (clonable receivers let the manager salvage a crashed worker's queue
 //! for redispatch); one-shot replies use `std::sync::mpsc`.
 //!
+//! Every scheduling and respawn *decision* is made by the sans-IO
+//! control plane shared with the simulator
+//! ([`sns_core::ControlPlane`] for the manager half,
+//! [`sns_core::DispatchPlane`] for the submit path): this crate only
+//! feeds those machines wall-clock timestamps, load reports and death
+//! notices, and maps the returned effect lists onto threads and
+//! channels. The simulator and this runtime therefore cannot drift —
+//! they *are* the same policy code, which the
+//! `control_plane_parity` differential test pins down.
+//!
 //! Scope: this is the laptop-scale runtime for examples and tests, not a
 //! distributed deployment; "nodes" are threads and the SAN is a channel
 //! fabric. Service times from the worker logic are honoured by sleeping
@@ -54,20 +64,39 @@
 
 pub mod chan;
 
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sns_core::msg::{Job, JobResult, ProfileData};
+use sns_core::control::{
+    ClusterView, ControlConfig, ControlEffect, ControlPlane, DispatchEffect, DispatchPlane,
+    NodeLoad, SpawnPolicy, TimeoutVerdict,
+};
+use sns_core::invariant::MonitorLog;
+use sns_core::monitor::MonitorEvent;
+use sns_core::msg::{JobResult, ProfileData};
 use sns_core::worker::{WorkerError, WorkerLogic};
-use sns_core::{Payload, WorkerClass};
+use sns_core::{Payload, SnsConfig, WorkerClass};
 use sns_sim::rng::Pcg32;
 use sns_sim::time::SimTime;
+use sns_sim::{ComponentId, NodeId};
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// Poison-aware lock: a thread that panicked while holding a lock left
+/// consistent-enough state (all invariants here are monotonic counters
+/// and maps that tolerate partial updates), so recover the guard instead
+/// of unwrapping — but *count* the event so operators and tests can see
+/// it happened.
+fn lock<'a, T>(m: &'a Mutex<T>, poisoned: &AtomicU64) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(e) => {
+            poisoned.fetch_add(1, Ordering::Relaxed);
+            e.into_inner()
+        }
+    }
 }
 
 /// Runtime configuration.
@@ -84,6 +113,14 @@ pub struct RtConfig {
     pub seed: u64,
     /// Restart crashed workers (process peers).
     pub restart_on_crash: bool,
+    /// Virtual nodes (placement domains for fault injection; threads do
+    /// not actually move).
+    pub nodes: usize,
+    /// Wall-clock backstop for a submitted job before the dispatch plane
+    /// is asked to retry or give up. Generous by default: the inline
+    /// refusal path already handles dead-worker retries, so this only
+    /// fires for jobs stranded with no live worker.
+    pub dispatch_timeout: Duration,
 }
 
 impl Default for RtConfig {
@@ -94,6 +131,8 @@ impl Default for RtConfig {
             beacon_period: Duration::from_millis(100),
             seed: 0x517e,
             restart_on_crash: true,
+            nodes: 1,
+            dispatch_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -102,7 +141,7 @@ impl Default for RtConfig {
 pub type RtWorkerFactory = Box<dyn Fn() -> Box<dyn WorkerLogic> + Send + Sync>;
 
 struct RtJob {
-    job: Job,
+    job: sns_core::msg::Job,
     reply: mpsc::SyncSender<JobResult>,
 }
 
@@ -110,6 +149,7 @@ struct RtJob {
 struct WorkerHandle {
     id: u64,
     class: WorkerClass,
+    node: NodeId,
     inbox: chan::Sender<RtJob>,
     /// Second receiver on the inbox (MPMC): lets the manager drain jobs
     /// a crashed worker left queued and redispatch them.
@@ -118,315 +158,383 @@ struct WorkerHandle {
     qlen: Arc<AtomicU64>,
     alive: Arc<AtomicBool>,
     /// Fault-injection flag: when set, the worker dies at the next loop
-    /// turn (between jobs, like a crash on pathological input).
+    /// iteration without replying (a modelled process crash).
     kill: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
 }
 
-/// A point-in-time load hint, as published by the manager thread.
-#[derive(Clone)]
-struct Hint {
-    worker: u64,
-    qlen: u64,
+/// A virtual placement domain: the control plane sees these as nodes;
+/// killing one crashes every worker placed on it and removes it from
+/// the placement view until revived.
+struct VNode {
+    node: NodeId,
+    alive: bool,
+    /// Service-time multiplier (f64 bits) — straggler injection.
+    slow: Arc<AtomicU64>,
 }
 
-#[derive(Default)]
-struct Registry {
+/// Everything the control and dispatch planes decide over, under one
+/// lock so every decision sees a consistent cluster.
+struct Inner {
+    control: ControlPlane,
+    dispatch: DispatchPlane,
     workers: Vec<WorkerHandle>,
-    factories: Vec<(WorkerClass, Arc<RtWorkerFactory>)>,
-    /// class → hints, refreshed by the manager thread ("beacons").
-    hints: std::collections::BTreeMap<String, Vec<Hint>>,
+    factories: BTreeMap<WorkerClass, Arc<RtWorkerFactory>>,
+    policies: BTreeMap<WorkerClass, SpawnPolicy>,
+    /// Salvage receivers of dead workers awaiting redispatch.
+    morgue: Vec<(WorkerClass, chan::Receiver<RtJob>)>,
+    /// Reply channel per outstanding job id.
+    replies: BTreeMap<u64, mpsc::SyncSender<JobResult>>,
+    /// Wall-clock dispatch deadline per outstanding job id.
+    deadlines: BTreeMap<u64, Instant>,
+    /// Job ids already counted in `submitted` (retries resend the same
+    /// id; the conservation ledger must count it once).
+    counted: BTreeSet<u64>,
+    rng: Pcg32,
+    vnodes: Vec<VNode>,
 }
 
-/// The threaded cluster.
+/// The component id the control plane runs under (workers count up
+/// from the next id).
+const MANAGER: ComponentId = ComponentId(1);
+
+/// A running cluster of real worker threads.
+///
+/// All policy — lottery scheduling with the §4.5 queue-delta
+/// correction, stale-hint eviction and retry, process-peer restart,
+/// class minimums — lives in the shared sans-IO planes; this type owns
+/// the threads, channels and clocks and applies the planes' effects.
 pub struct RtCluster {
     cfg: RtConfig,
-    inner: Arc<Mutex<Registry>>,
+    inner: Arc<Mutex<Inner>>,
     running: Arc<AtomicBool>,
     manager_on: Arc<AtomicBool>,
-    /// While set, the manager skips hint refresh (beacons "lost"); hints
-    /// go stale but process-peer restarts continue.
-    beacon_blackout: Arc<AtomicBool>,
+    /// Fault injection: suppress hint publication (beacons) so stubs
+    /// run on stale data (§3.1.8).
+    beacon_blackout: AtomicBool,
     next_id: AtomicU64,
-    rng: Mutex<Pcg32>,
+    incarnation: AtomicU64,
     manager: Mutex<Option<JoinHandle<()>>>,
     started: Instant,
-    /// Jobs accepted into some worker's inbox.
+    /// Decision log in canonical monitor-event form — the same stream
+    /// the simulator's `MonitorTap` captures, so chaos invariants and
+    /// the parity test run against either backend unchanged.
+    log: Arc<Mutex<MonitorLog>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    /// Jobs accepted into some worker's queue.
     pub submitted: Arc<AtomicU64>,
-    /// Jobs completed across all workers.
+    /// Jobs completed successfully.
     pub jobs_done: Arc<AtomicU64>,
-    /// Worker crashes observed.
+    /// Worker crashes (pathological input or injected).
     pub crashes: Arc<AtomicU64>,
     /// Process-peer restarts performed.
     pub restarts: Arc<AtomicU64>,
-    /// Jobs salvaged from crashed workers' queues and redispatched.
+    /// Orphaned jobs salvaged from dead workers' queues.
     pub redispatched: Arc<AtomicU64>,
+    /// Times a poisoned lock was recovered (a worker panicked while
+    /// holding it).
+    pub lock_poisoned: Arc<AtomicU64>,
 }
 
 impl RtCluster {
-    /// Starts the runtime (manager thread included).
-    pub fn start(cfg: RtConfig) -> Arc<Self> {
+    /// Starts a cluster (manager thread included, incarnation 1).
+    pub fn start(cfg: RtConfig) -> Arc<RtCluster> {
+        let plane_sns = Self::plane_sns(&cfg);
+        let vnodes = (0..cfg.nodes.max(1))
+            .map(|i| VNode {
+                node: NodeId(i as u32),
+                alive: true,
+                slow: Arc::new(AtomicU64::new(1.0f64.to_bits())),
+            })
+            .collect();
+        let seed = cfg.seed;
         let cluster = Arc::new(RtCluster {
-            cfg: cfg.clone(),
-            inner: Arc::new(Mutex::new(Registry::default())),
+            inner: Arc::new(Mutex::new(Inner {
+                // Placeholder incarnation 0; `start_manager` installs
+                // the real plane before any work is accepted.
+                control: ControlPlane::new(ControlConfig {
+                    sns: plane_sns.clone(),
+                    incarnation: 0,
+                    restart_front_ends: false,
+                }),
+                dispatch: DispatchPlane::new(plane_sns),
+                workers: Vec::new(),
+                factories: BTreeMap::new(),
+                policies: BTreeMap::new(),
+                morgue: Vec::new(),
+                replies: BTreeMap::new(),
+                deadlines: BTreeMap::new(),
+                counted: BTreeSet::new(),
+                rng: Pcg32::new(seed),
+                vnodes,
+            })),
             running: Arc::new(AtomicBool::new(true)),
-            manager_on: Arc::new(AtomicBool::new(true)),
-            beacon_blackout: Arc::new(AtomicBool::new(false)),
-            next_id: AtomicU64::new(1),
-            rng: Mutex::new(Pcg32::new(cfg.seed)),
+            manager_on: Arc::new(AtomicBool::new(false)),
+            beacon_blackout: AtomicBool::new(false),
+            next_id: AtomicU64::new(MANAGER.0 + 1),
+            incarnation: AtomicU64::new(0),
             manager: Mutex::new(None),
             started: Instant::now(),
+            log: Arc::new(Mutex::new(MonitorLog::default())),
+            counters: Mutex::new(BTreeMap::new()),
             submitted: Arc::new(AtomicU64::new(0)),
             jobs_done: Arc::new(AtomicU64::new(0)),
             crashes: Arc::new(AtomicU64::new(0)),
             restarts: Arc::new(AtomicU64::new(0)),
             redispatched: Arc::new(AtomicU64::new(0)),
+            lock_poisoned: Arc::new(AtomicU64::new(0)),
+            cfg,
         });
         cluster.start_manager();
         cluster
     }
 
-    /// Starts the manager thread if none is running (initial start and
-    /// failover recovery after [`RtCluster::kill_manager`]).
-    pub fn start_manager(self: &Arc<Self>) {
-        let mut slot = lock(&self.manager);
-        if slot.is_some() || !self.running.load(Ordering::Relaxed) {
-            return;
-        }
-        self.manager_on.store(true, Ordering::Relaxed);
-        // The manager thread: refresh hints from the workers' shared
-        // queue gauges and restart dead workers (process peers).
-        let cluster = Arc::clone(self);
-        let mgr = std::thread::Builder::new()
-            .name("sns-rt-manager".into())
-            .spawn(move || cluster.manager_loop())
-            .expect("spawn manager thread");
-        *slot = Some(mgr);
-    }
-
-    /// Kills the manager thread (fault injection): hints freeze and dead
-    /// workers stay dead until [`RtCluster::start_manager`] brings a new
-    /// incarnation up. Worker threads keep serving their queues.
-    pub fn kill_manager(&self) {
-        self.manager_on.store(false, Ordering::Relaxed);
-        if let Some(m) = lock(&self.manager).take() {
-            let _ = m.join();
+    /// The layer config the shared planes run under: rt timing, with
+    /// report-silence inference disabled — worker deaths here are
+    /// *observed* (thread exit), not inferred, so the explicit
+    /// death-notice path must be the only one that fires.
+    fn plane_sns(cfg: &RtConfig) -> SnsConfig {
+        SnsConfig {
+            report_period: cfg.report_period,
+            beacon_period: cfg.beacon_period,
+            dispatch_timeout: cfg.dispatch_timeout,
+            worker_report_timeout: Duration::from_secs(3600),
+            ..SnsConfig::default()
         }
     }
 
-    /// Forces (or lifts) a beacon blackout: while on, the manager keeps
-    /// restarting dead workers but stops refreshing hints, so front-end
-    /// submits run on increasingly stale data (§3.1.8, §4.6).
-    pub fn set_beacon_blackout(&self, on: bool) {
-        self.beacon_blackout.store(on, Ordering::Relaxed);
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
     }
 
-    /// Injects a crash into one live worker of `class` (picked in
-    /// registration order): the thread dies between jobs, exactly like a
-    /// crash on pathological input. Returns whether a target was found.
-    pub fn crash_worker(&self, class: &str) -> bool {
-        let reg = lock(&self.inner);
-        for w in &reg.workers {
-            if w.class.name() == class
-                && w.alive.load(Ordering::Relaxed)
-                && !w.kill.swap(true, Ordering::Relaxed)
-            {
-                return true;
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        lock(&self.inner, &self.lock_poisoned)
+    }
+
+    fn incr(&self, key: &'static str, n: u64) {
+        *lock(&self.counters, &self.lock_poisoned)
+            .entry(key)
+            .or_insert(0) += n;
+    }
+
+    /// The control plane's placement snapshot: alive virtual nodes with
+    /// their live-worker counts.
+    fn view_of(inner: &Inner) -> ClusterView {
+        let mut dedicated = Vec::new();
+        for v in &inner.vnodes {
+            if !v.alive {
+                continue;
             }
+            let components = inner
+                .workers
+                .iter()
+                .filter(|w| w.node == v.node && w.alive.load(Ordering::Relaxed))
+                .count() as u32;
+            dedicated.push(NodeLoad {
+                node: v.node,
+                components,
+            });
         }
-        false
-    }
-
-    fn manager_loop(&self) {
-        while self.running.load(Ordering::Relaxed) && self.manager_on.load(Ordering::Relaxed) {
-            std::thread::sleep(self.cfg.beacon_period);
-            let mut reg = lock(&self.inner);
-            // Collect load "reports" (the gauges are the report channel;
-            // the staleness comes from the beacon period, as in §3.1.8).
-            if !self.beacon_blackout.load(Ordering::Relaxed) {
-                let mut hints = std::collections::BTreeMap::new();
-                for w in &reg.workers {
-                    if !w.alive.load(Ordering::Relaxed) {
-                        continue;
-                    }
-                    hints
-                        .entry(w.class.name().to_string())
-                        .or_insert_with(Vec::new)
-                        .push(Hint {
-                            worker: w.id,
-                            qlen: w.qlen.load(Ordering::Relaxed),
-                        });
-                }
-                reg.hints = hints;
-            }
-            // Process-peer restarts: replace dead workers.
-            if self.cfg.restart_on_crash {
-                let dead: Vec<(usize, WorkerClass)> = reg
-                    .workers
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, w)| !w.alive.load(Ordering::Relaxed))
-                    .map(|(i, w)| (i, w.class.clone()))
-                    .collect();
-                for (idx, class) in dead.into_iter().rev() {
-                    let factory = reg
-                        .factories
-                        .iter()
-                        .find(|(c, _)| c == &class)
-                        .map(|(_, f)| Arc::clone(f));
-                    let mut old = reg.workers.remove(idx);
-                    if let Some(j) = old.join.take() {
-                        let _ = j.join();
-                    }
-                    if let Some(factory) = factory {
-                        let handle = self.spawn_worker_thread(factory());
-                        // Salvage the dead worker's queue: whatever it
-                        // never got to starts over on the replacement.
-                        let mut moved = 0u64;
-                        while let Ok(orphan) = old.salvage.try_recv() {
-                            if handle.inbox.send(orphan).is_ok() {
-                                moved += 1;
-                            }
-                        }
-                        if moved > 0 {
-                            handle.qlen.store(moved, Ordering::Relaxed);
-                            self.redispatched.fetch_add(moved, Ordering::Relaxed);
-                        }
-                        reg.workers.push(handle);
-                        self.restarts.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
+        ClusterView {
+            dedicated,
+            overflow: Vec::new(),
+            pinned_alive: BTreeMap::new(),
+            spawn_latency: Duration::ZERO,
         }
     }
 
-    fn spawn_worker_thread(&self, mut logic: Box<dyn WorkerLogic>) -> WorkerHandle {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let class = logic.class();
-        let (tx, rx) = chan::unbounded::<RtJob>();
-        let qlen = Arc::new(AtomicU64::new(0));
-        let alive = Arc::new(AtomicBool::new(true));
-        let kill = Arc::new(AtomicBool::new(false));
-        let running = Arc::clone(&self.running);
-        let time_scale = self.cfg.time_scale;
-        let seed = self.cfg.seed ^ id;
-        let started = self.started;
-        let jobs_done = Arc::clone(&self.jobs_done);
-        let crashes = Arc::clone(&self.crashes);
-        let qlen_t = Arc::clone(&qlen);
-        let alive_t = Arc::clone(&alive);
-        let kill_t = Arc::clone(&kill);
-        let salvage = rx.clone();
-        let join = std::thread::Builder::new()
-            .name(format!("sns-rt-{}-{id}", class.name().replace('/', "-")))
-            .spawn(move || {
-                let mut rng = Pcg32::new(seed);
-                loop {
-                    // Injected crash: die *before* taking a job off the
-                    // queue, so anything still queued is salvageable and
-                    // no accepted job loses its reply.
-                    if kill_t.load(Ordering::Relaxed) {
-                        crashes.fetch_add(1, Ordering::Relaxed);
-                        alive_t.store(false, Ordering::Relaxed);
-                        return;
-                    }
-                    let rt_job = match rx.recv_timeout(Duration::from_millis(50)) {
-                        Ok(j) => j,
-                        Err(chan::RecvTimeoutError::Timeout) => {
-                            if running.load(Ordering::Relaxed) {
-                                continue;
-                            }
-                            break; // idle and shutting down
-                        }
-                        // Closed and drained: every queued job was served
-                        // before exit (shutdown drains queues).
-                        Err(chan::RecvTimeoutError::Disconnected) => break,
-                    };
-                    qlen_t.store(rx.len() as u64 + 1, Ordering::Relaxed);
-                    let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
-                    let service = logic.service_time(&rt_job.job, now, &mut rng);
-                    std::thread::sleep(service.mul_f64(time_scale.max(0.0)));
-                    match logic.process(&rt_job.job, now, &mut rng) {
-                        Ok(payload) => {
-                            jobs_done.fetch_add(1, Ordering::Relaxed);
-                            let _ = rt_job.reply.send(JobResult::Ok(payload));
-                        }
-                        Err(WorkerError::Failed(reason)) => {
-                            let _ = rt_job.reply.send(JobResult::Failed(reason));
-                        }
-                        Err(WorkerError::Crash) => {
-                            // The worker process dies: no reply; the
-                            // manager notices and restarts (§3.1.3).
-                            crashes.fetch_add(1, Ordering::Relaxed);
-                            alive_t.store(false, Ordering::Relaxed);
-                            return;
-                        }
-                    }
-                    qlen_t.store(rx.len() as u64, Ordering::Relaxed);
-                }
-            })
-            .expect("spawn worker thread");
-        WorkerHandle {
-            id,
-            class,
-            inbox: tx,
-            salvage,
-            qlen,
-            alive,
-            kill,
-            join: Some(join),
-        }
-    }
-
-    /// Registers a class factory and starts `n` workers of it.
+    /// Adds `n` workers of a class built by `factory` (kept for
+    /// restarts). Hints are published immediately so submits can land
+    /// before the first beacon tick.
     pub fn add_workers(
         &self,
         class: &str,
         n: usize,
         factory: impl Fn() -> Box<dyn WorkerLogic> + Send + Sync + 'static,
     ) {
-        let factory: Arc<RtWorkerFactory> = Arc::new(Box::new(factory));
-        let mut reg = lock(&self.inner);
-        reg.factories
-            .push((WorkerClass::new(class), Arc::clone(&factory)));
-        for _ in 0..n {
-            let handle = self.spawn_worker_thread(factory());
-            reg.workers.push(handle);
+        let class = WorkerClass::new(class);
+        let mut guard = self.lock_inner();
+        let inner = &mut *guard;
+        inner
+            .factories
+            .insert(class.clone(), Arc::new(Box::new(factory)));
+        let policy = inner.policies.entry(class.clone()).or_insert(SpawnPolicy {
+            min_workers: 0,
+            max_workers: 0,
+            max_per_node: 0,
+            auto_scale: false,
+            restart_on_crash: self.cfg.restart_on_crash,
+            pinned_node: None,
+        });
+        if self.cfg.restart_on_crash {
+            policy.min_workers += n as u32;
         }
-        drop(reg);
-        self.refresh_hints_now();
+        let policy = policy.clone();
+        inner.control.add_class(class.clone(), policy);
+        let now = self.now();
+        let target = inner.control.class_strength(&class) + n as u32;
+        let view = Self::view_of(inner);
+        let mut out = Vec::new();
+        inner
+            .control
+            .ensure_workers(&class, target, now, &view, &mut out);
+        self.apply_control(inner, out, false, now);
+        self.refresh_hints(inner);
     }
 
-    /// Forces an immediate hint refresh (otherwise hints update every
-    /// beacon period, deliberately stale).
-    pub fn refresh_hints_now(&self) {
-        let mut reg = lock(&self.inner);
-        let mut hints = std::collections::BTreeMap::new();
-        for w in &reg.workers {
-            if w.alive.load(Ordering::Relaxed) {
-                hints
-                    .entry(w.class.name().to_string())
-                    .or_insert_with(Vec::new)
-                    .push(Hint {
-                        worker: w.id,
-                        qlen: w.qlen.load(Ordering::Relaxed),
-                    });
+    /// Applies control-plane effects, in order, onto threads/channels.
+    /// `count_restarts` distinguishes recovery spawns from bootstrap.
+    fn apply_control(
+        &self,
+        inner: &mut Inner,
+        effects: Vec<ControlEffect>,
+        count_restarts: bool,
+        now: SimTime,
+    ) {
+        for effect in effects {
+            match effect {
+                ControlEffect::Spawn {
+                    token,
+                    class,
+                    node,
+                    overflow: _,
+                } => {
+                    let Some(factory) = inner.factories.get(&class).map(Arc::clone) else {
+                        continue;
+                    };
+                    let slow = inner
+                        .vnodes
+                        .iter()
+                        .find(|v| v.node == node)
+                        .map(|v| Arc::clone(&v.slow))
+                        .unwrap_or_else(|| Arc::new(AtomicU64::new(1.0f64.to_bits())));
+                    let handle = self.spawn_worker_thread(factory(), node, slow);
+                    let id = ComponentId(handle.id);
+                    inner.control.confirm_spawn(token, id);
+                    // Registration is synchronous here (no SAN between
+                    // the manager and a thread it just started); the
+                    // Watch effect is meaningless to this driver.
+                    inner
+                        .control
+                        .on_register_worker(id, class, node, false, now, &mut Vec::new());
+                    inner.workers.push(handle);
+                    if count_restarts {
+                        self.restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                ControlEffect::Shutdown { worker } => {
+                    // Graceful reap: close the inbox; the thread drains
+                    // its queue and exits.
+                    if let Some(w) = inner.workers.iter().find(|w| ComponentId(w.id) == worker) {
+                        w.inbox.close();
+                    }
+                }
+                ControlEffect::Beacon(data) => {
+                    if self.beacon_blackout.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    {
+                        let Inner { dispatch, rng, .. } = inner;
+                        dispatch.on_beacon(&data);
+                        dispatch.flush_pending(rng, &mut out);
+                    }
+                    self.deliver(inner, out);
+                }
+                ControlEffect::Emit(ev) => {
+                    lock(&self.log, &self.lock_poisoned).push(now, ev);
+                }
+                ControlEffect::Incr { key, n } => self.incr(key, n),
+                // No front-end processes, no engine watch list, no
+                // stats hub, no rival managers in this runtime.
+                ControlEffect::SpawnFrontEnd { .. }
+                | ControlEffect::Watch(_)
+                | ControlEffect::Unwatch(_)
+                | ControlEffect::Sample { .. }
+                | ControlEffect::StepDown => {}
             }
         }
-        reg.hints = hints;
     }
 
-    /// Live workers of a class.
-    pub fn workers_of(&self, class: &str) -> usize {
-        lock(&self.inner)
-            .workers
-            .iter()
-            .filter(|w| w.class.name() == class && w.alive.load(Ordering::Relaxed))
-            .count()
+    /// Applies dispatch-plane effects. Jobs aimed at dead workers are
+    /// refused inline, which feeds the plane's timeout/retry path
+    /// immediately instead of waiting out a wall-clock timer.
+    fn deliver(&self, inner: &mut Inner, effects: Vec<DispatchEffect>) {
+        let mut queue: VecDeque<DispatchEffect> = effects.into();
+        while let Some(effect) = queue.pop_front() {
+            match effect {
+                DispatchEffect::SendJob { worker, job } => {
+                    let target = inner
+                        .workers
+                        .iter()
+                        .find(|w| ComponentId(w.id) == worker && w.alive.load(Ordering::Relaxed))
+                        .map(|w| (w.inbox.clone(), Arc::clone(&w.qlen)));
+                    let Some((inbox, qlen)) = target else {
+                        self.refuse(inner, job.id, &mut queue);
+                        continue;
+                    };
+                    let Some(reply) = inner.replies.get(&job.id).cloned() else {
+                        continue; // reply channel gone: job already settled
+                    };
+                    qlen.fetch_add(1, Ordering::Relaxed);
+                    match inbox.send(RtJob {
+                        job: (*job).clone(),
+                        reply,
+                    }) {
+                        Ok(()) => {
+                            if inner.counted.insert(job.id) {
+                                self.submitted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(chan::SendError(_)) => self.refuse(inner, job.id, &mut queue),
+                    }
+                }
+                DispatchEffect::NeedWorker { class, .. } => {
+                    if self.manager_on.load(Ordering::Relaxed) {
+                        let now = self.now();
+                        let view = Self::view_of(inner);
+                        let mut out = Vec::new();
+                        inner.control.on_need_worker(&class, now, &view, &mut out);
+                        self.apply_control(inner, out, true, now);
+                    }
+                }
+                DispatchEffect::Incr { key, n } => self.incr(key, n),
+            }
+        }
     }
 
-    /// Submits a job to the least-loaded worker of `class` (lottery over
-    /// the possibly-stale hints, §3.1.2) and returns the reply channel.
+    /// A job could not be handed to its chosen worker: run the plane's
+    /// timeout path now (evict the dead hint, retry elsewhere or give
+    /// up) and queue whatever it decides.
+    fn refuse(&self, inner: &mut Inner, job_id: u64, queue: &mut VecDeque<DispatchEffect>) {
+        let mut out = Vec::new();
+        let verdict = {
+            let Inner { dispatch, rng, .. } = inner;
+            dispatch.on_timeout(rng, job_id, &mut out)
+        };
+        match verdict {
+            TimeoutVerdict::Retried => {
+                inner
+                    .deadlines
+                    .insert(job_id, Instant::now() + self.cfg.dispatch_timeout);
+            }
+            TimeoutVerdict::GaveUp(_) => {
+                inner.deadlines.remove(&job_id);
+                if let Some(tx) = inner.replies.remove(&job_id) {
+                    let _ = tx.try_send(JobResult::Failed("no live worker".into()));
+                }
+            }
+            TimeoutVerdict::Unknown => {
+                inner.deadlines.remove(&job_id);
+            }
+        }
+        queue.extend(out);
+    }
+
+    /// Submits a job; the reply arrives on the returned channel. The
+    /// worker is chosen by the shared dispatch plane (lottery over
+    /// beacon hints with the §4.5 queue-delta correction); a stale pick
+    /// is refused by the driver and retried through the same plane.
     pub fn submit(
         &self,
         class: &str,
@@ -439,77 +547,541 @@ impl RtCluster {
             let _ = reply_tx.send(JobResult::Failed("cluster is shut down".into()));
             return reply_rx;
         }
-        let reg = lock(&self.inner);
-        let Some(hints) = reg.hints.get(class).filter(|h| !h.is_empty()) else {
-            drop(reg);
+        let class = WorkerClass::new(class);
+        let mut guard = self.lock_inner();
+        let inner = &mut *guard;
+        if !inner.factories.contains_key(&class) {
+            drop(guard);
             let _ = reply_tx.send(JobResult::Failed(format!("no workers of class {class}")));
             return reply_rx;
-        };
-        let tickets: Vec<f64> = hints.iter().map(|h| 1.0 / (1.0 + h.qlen as f64)).collect();
-        let pick = {
-            let mut rng = lock(&self.rng);
-            hints[rng.weighted(&tickets)].worker
-        };
-        let job = Job {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            class: WorkerClass::new(class),
-            op: op.to_string(),
-            input,
-            profile,
-            reply_to: sns_sim::ComponentId::EXTERNAL,
-        };
-        // The pick came from stale hints; if that worker has since died
-        // or vanished, recover with any live worker of the class rather
-        // than failing the request (§3.1.8 stale-choice recovery).
-        let target = reg
-            .workers
-            .iter()
-            .find(|w| w.id == pick && w.alive.load(Ordering::Relaxed))
-            .or_else(|| {
-                reg.workers
-                    .iter()
-                    .find(|w| w.class.name() == class && w.alive.load(Ordering::Relaxed))
-            });
-        if let Some(w) = target {
-            w.qlen.fetch_add(1, Ordering::Relaxed); // local delta (§4.5)
-            match w.inbox.send(RtJob {
-                job,
-                reply: reply_tx,
-            }) {
-                Ok(()) => {
-                    self.submitted.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(chan::SendError(rejected)) => {
-                    let _ = rejected
-                        .reply
-                        .send(JobResult::Failed("worker inbox closed".into()));
-                }
-            }
-        } else {
-            let _ = reply_tx.send(JobResult::Failed("worker vanished".into()));
         }
+        let mut out = Vec::new();
+        let job_id = {
+            let Inner { dispatch, rng, .. } = inner;
+            dispatch.dispatch(
+                rng,
+                ComponentId::EXTERNAL,
+                class,
+                op.to_string(),
+                input,
+                profile,
+                &mut out,
+            )
+        };
+        inner.replies.insert(job_id, reply_tx);
+        inner
+            .deadlines
+            .insert(job_id, Instant::now() + self.cfg.dispatch_timeout);
+        self.deliver(inner, out);
         reply_rx
     }
 
-    /// Stops every thread and waits for them. Worker inboxes are closed
-    /// (not discarded): each worker drains its remaining queue — every
-    /// accepted job gets a reply — before exiting.
+    /// Spawns one worker thread. The thread honours service times by
+    /// sleeping (scaled), crashes by *not replying* (the queue is
+    /// salvaged later), and reports completions straight into the
+    /// dispatch plane.
+    fn spawn_worker_thread(
+        &self,
+        mut logic: Box<dyn WorkerLogic>,
+        node: NodeId,
+        slow: Arc<AtomicU64>,
+    ) -> WorkerHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let class = logic.class();
+        let (tx, rx) = chan::unbounded::<RtJob>();
+        let salvage = rx.clone();
+        let qlen = Arc::new(AtomicU64::new(0));
+        let alive = Arc::new(AtomicBool::new(true));
+        let kill = Arc::new(AtomicBool::new(false));
+
+        let running = Arc::clone(&self.running);
+        let jobs_done = Arc::clone(&self.jobs_done);
+        let crashes = Arc::clone(&self.crashes);
+        let log = Arc::clone(&self.log);
+        let poisoned = Arc::clone(&self.lock_poisoned);
+        let weak: Weak<Mutex<Inner>> = Arc::downgrade(&self.inner);
+        let time_scale = self.cfg.time_scale;
+        let seed = self.cfg.seed ^ id;
+        let started = self.started;
+        let alive_t = Arc::clone(&alive);
+        let kill_t = Arc::clone(&kill);
+        let qlen_t = Arc::clone(&qlen);
+        let class_t = class.clone();
+
+        let crash = {
+            let crashes = Arc::clone(&crashes);
+            let log = Arc::clone(&log);
+            let poisoned = Arc::clone(&poisoned);
+            let alive = Arc::clone(&alive_t);
+            let class = class_t.clone();
+            move || {
+                crashes.fetch_add(1, Ordering::Relaxed);
+                let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+                lock(&log, &poisoned).push(
+                    now,
+                    MonitorEvent::WorkerCrashed {
+                        worker: ComponentId(id),
+                        class: class.clone(),
+                    },
+                );
+                // The store is last: once the manager sees !alive it
+                // will join this thread, which must not block again.
+                alive.store(false, Ordering::Relaxed);
+            }
+        };
+
+        let join = std::thread::Builder::new()
+            .name(format!("sns-rt-{}-{}", class.name().replace('/', "-"), id))
+            .spawn(move || {
+                let mut rng = Pcg32::new(seed);
+                loop {
+                    if kill_t.load(Ordering::Relaxed) {
+                        crash();
+                        return;
+                    }
+                    let rt_job = match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(j) => j,
+                        Err(chan::RecvTimeoutError::Timeout) => {
+                            if running.load(Ordering::Relaxed) {
+                                continue;
+                            } else {
+                                break;
+                            }
+                        }
+                        Err(chan::RecvTimeoutError::Disconnected) => break,
+                    };
+                    qlen_t.store(rx.len() as u64 + 1, Ordering::Relaxed);
+                    let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+                    let service = logic.service_time(&rt_job.job, now, &mut rng);
+                    let factor = time_scale.max(0.0) * f64::from_bits(slow.load(Ordering::Relaxed));
+                    std::thread::sleep(service.mul_f64(factor));
+                    match logic.process(&rt_job.job, now, &mut rng) {
+                        Ok(payload) => {
+                            jobs_done.fetch_add(1, Ordering::Relaxed);
+                            let _ = rt_job.reply.send(JobResult::Ok(payload));
+                            finish(&weak, &poisoned, rt_job.job.id);
+                        }
+                        Err(WorkerError::Failed(reason)) => {
+                            let _ = rt_job.reply.send(JobResult::Failed(reason));
+                            finish(&weak, &poisoned, rt_job.job.id);
+                        }
+                        Err(WorkerError::Crash) => {
+                            // No reply, no settlement: the job vanishes
+                            // with the "process" (§3.1.6); dispatch
+                            // state is reclaimed by the deadline sweep.
+                            crash();
+                            return;
+                        }
+                    }
+                    qlen_t.store(rx.len() as u64, Ordering::Relaxed);
+                }
+            })
+            .expect("spawn worker thread");
+
+        WorkerHandle {
+            id,
+            class,
+            node,
+            inbox: tx,
+            salvage,
+            qlen,
+            alive,
+            kill,
+            join: Some(join),
+        }
+    }
+
+    /// One manager-loop step: reconcile deaths, feed load reports,
+    /// tick the control plane (beacon + policy), salvage orphaned
+    /// queues, sweep dispatch deadlines.
+    fn control_step(&self) {
+        let now = self.now();
+        let mut guard = self.lock_inner();
+        let inner = &mut *guard;
+        self.process_deaths(inner, now);
+        let reports: Vec<(u64, WorkerClass, u32, NodeId)> = inner
+            .workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::Relaxed))
+            .map(|w| {
+                (
+                    w.id,
+                    w.class.clone(),
+                    w.qlen.load(Ordering::Relaxed) as u32,
+                    w.node,
+                )
+            })
+            .collect();
+        for (id, class, qlen, node) in reports {
+            let mut out = Vec::new();
+            inner.control.on_load_report(
+                ComponentId(id),
+                class,
+                qlen,
+                now,
+                || (node, false),
+                &mut out,
+            );
+            self.apply_control(inner, out, true, now);
+        }
+        let view = Self::view_of(inner);
+        let mut out = Vec::new();
+        inner.control.on_tick(now, &view, &mut out);
+        self.apply_control(inner, out, true, now);
+        self.drain_morgue(inner);
+        self.sweep_deadlines(inner);
+    }
+
+    /// Joins dead worker threads, moves their queues to the morgue and
+    /// notifies the control plane (which decides whether a process
+    /// peer is started, §3.1.3).
+    fn process_deaths(&self, inner: &mut Inner, now: SimTime) {
+        while let Some(idx) = inner
+            .workers
+            .iter()
+            .position(|w| !w.alive.load(Ordering::Relaxed))
+        {
+            let mut dead = inner.workers.remove(idx);
+            if let Some(j) = dead.join.take() {
+                let _ = j.join();
+            }
+            inner
+                .morgue
+                .push((dead.class.clone(), dead.salvage.clone()));
+            let view = Self::view_of(inner);
+            let mut out = Vec::new();
+            inner
+                .control
+                .on_peer_death(ComponentId(dead.id), now, &view, &mut out);
+            self.apply_control(inner, out, true, now);
+        }
+    }
+
+    /// Redispatches jobs stranded in dead workers' queues onto the
+    /// newest live worker of the class (the replacement, when there is
+    /// one).
+    fn drain_morgue(&self, inner: &mut Inner) {
+        let morgue = std::mem::take(&mut inner.morgue);
+        let mut kept = Vec::new();
+        for (class, salvage) in morgue {
+            let target = inner
+                .workers
+                .iter()
+                .filter(|w| w.class == class && w.alive.load(Ordering::Relaxed))
+                .max_by_key(|w| w.id)
+                .map(|w| (w.inbox.clone(), Arc::clone(&w.qlen)));
+            let Some((inbox, qlen)) = target else {
+                kept.push((class, salvage)); // no survivor yet: try next step
+                continue;
+            };
+            let mut moved = 0u64;
+            while let Ok(orphan) = salvage.try_recv() {
+                if inbox.send(orphan).is_ok() {
+                    moved += 1;
+                }
+            }
+            if moved > 0 {
+                qlen.fetch_add(moved, Ordering::Relaxed);
+                self.redispatched.fetch_add(moved, Ordering::Relaxed);
+            }
+        }
+        inner.morgue = kept;
+    }
+
+    /// Runs the dispatch plane's timeout handler for every job past its
+    /// wall-clock deadline.
+    fn sweep_deadlines(&self, inner: &mut Inner) {
+        let wall = Instant::now();
+        let expired: Vec<u64> = inner
+            .deadlines
+            .iter()
+            .filter(|&(_, d)| *d <= wall)
+            .map(|(&id, _)| id)
+            .collect();
+        for job_id in expired {
+            let mut queue = VecDeque::new();
+            self.refuse(inner, job_id, &mut queue);
+            let effects: Vec<DispatchEffect> = queue.into_iter().collect();
+            self.deliver(inner, effects);
+        }
+    }
+
+    /// Publishes the control plane's current hints to the dispatch
+    /// plane immediately (test hook; ignores the beacon blackout since
+    /// the call is explicit).
+    pub fn refresh_hints_now(&self) {
+        let mut guard = self.lock_inner();
+        self.refresh_hints(&mut guard);
+    }
+
+    fn refresh_hints(&self, inner: &mut Inner) {
+        let b = inner.control.make_beacon(self.now());
+        let mut out = Vec::new();
+        {
+            let Inner { dispatch, rng, .. } = inner;
+            dispatch.on_beacon(&b);
+            dispatch.flush_pending(rng, &mut out);
+        }
+        self.deliver(inner, out);
+    }
+
+    /// Live workers of a class.
+    pub fn workers_of(&self, class: &str) -> usize {
+        let class = WorkerClass::new(class);
+        self.lock_inner()
+            .workers
+            .iter()
+            .filter(|w| w.class == class && w.alive.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Injects a crash into one live worker of `class`. Returns whether
+    /// a victim existed.
+    pub fn crash_worker(&self, class: &str) -> bool {
+        let class = WorkerClass::new(class);
+        let inner = self.lock_inner();
+        for w in &inner.workers {
+            if w.class == class
+                && w.alive.load(Ordering::Relaxed)
+                && !w.kill.load(Ordering::Relaxed)
+            {
+                w.kill.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Kills virtual node `which` (mod the alive count): every worker
+    /// placed on it crashes and the node leaves the placement view, so
+    /// replacements cannot land there until [`RtCluster::revive_node`].
+    /// Returns the number of workers killed, or `None` when no node is
+    /// alive.
+    pub fn kill_node(&self, which: usize) -> Option<u64> {
+        let mut inner = self.lock_inner();
+        let alive: Vec<usize> = inner
+            .vnodes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.alive)
+            .map(|(i, _)| i)
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let idx = alive[which % alive.len()];
+        inner.vnodes[idx].alive = false;
+        let node = inner.vnodes[idx].node;
+        let mut killed = 0;
+        for w in &inner.workers {
+            if w.node == node
+                && w.alive.load(Ordering::Relaxed)
+                && !w.kill.swap(true, Ordering::Relaxed)
+            {
+                killed += 1;
+            }
+        }
+        Some(killed)
+    }
+
+    /// Revives a dead virtual node (mod the dead count); the class
+    /// minimums repopulate it on the next manager tick. Returns whether
+    /// a dead node existed.
+    pub fn revive_node(&self, which: usize) -> bool {
+        let mut inner = self.lock_inner();
+        let dead: Vec<usize> = inner
+            .vnodes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.alive)
+            .map(|(i, _)| i)
+            .collect();
+        if dead.is_empty() {
+            return false;
+        }
+        inner.vnodes[dead[which % dead.len()]].alive = true;
+        true
+    }
+
+    /// Multiplies service times of workers on alive virtual node
+    /// `which` (mod the alive count) by `factor` (straggler injection;
+    /// 1.0 restores). Returns whether a node was targeted.
+    pub fn set_node_slowdown(&self, which: usize, factor: f64) -> bool {
+        let inner = self.lock_inner();
+        let alive: Vec<&VNode> = inner.vnodes.iter().filter(|v| v.alive).collect();
+        if alive.is_empty() {
+            return false;
+        }
+        alive[which % alive.len()]
+            .slow
+            .store(factor.to_bits(), Ordering::Relaxed);
+        true
+    }
+
+    /// Suppresses/permits hint publication (fault injection: front-end
+    /// stubs keep scheduling on stale hints, §3.1.8).
+    pub fn set_beacon_blackout(&self, on: bool) {
+        self.beacon_blackout.store(on, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the decision log (same canonical event stream as the
+    /// simulator's monitor tap).
+    pub fn monitor_log(&self) -> MonitorLog {
+        lock(&self.log, &self.lock_poisoned).clone()
+    }
+
+    /// A control/dispatch plane counter (e.g. `"manager.load_reports"`,
+    /// `"stub.retries"`).
+    pub fn counter(&self, key: &str) -> u64 {
+        lock(&self.counters, &self.lock_poisoned)
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Stops the manager thread (fault injection). Workers keep
+    /// serving; crashed workers stay dead until a new incarnation.
+    pub fn kill_manager(&self) {
+        self.manager_on.store(false, Ordering::Relaxed);
+        let handle = lock(&self.manager, &self.lock_poisoned).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    /// Starts a manager thread under a fresh incarnation: rebuilds the
+    /// control plane's soft state from the live workers (§3.1.3 — "all
+    /// state is rebuilt from registrations and load reports"),
+    /// reconciles deaths that happened while no manager ran, and tops
+    /// populations back up to their class minimums.
+    pub fn start_manager(self: &Arc<Self>) {
+        let mut slot = lock(&self.manager, &self.lock_poisoned);
+        if slot.is_some() || !self.running.load(Ordering::Relaxed) {
+            return;
+        }
+        self.manager_on.store(true, Ordering::Relaxed);
+        let inc = self.incarnation.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut guard = self.lock_inner();
+            let inner = &mut *guard;
+            let now = self.now();
+            let mut control = ControlPlane::new(ControlConfig {
+                sns: Self::plane_sns(&self.cfg),
+                incarnation: inc,
+                restart_front_ends: false,
+            });
+            for (class, policy) in &inner.policies {
+                control.add_class(class.clone(), policy.clone());
+            }
+            inner.control = control;
+            let view = Self::view_of(inner);
+            let mut out = Vec::new();
+            inner
+                .control
+                .on_start(now, MANAGER, NodeId(0), &view, &mut out);
+            self.apply_control(inner, out, true, now);
+            // Reconcile deaths from the manager-less window, then adopt
+            // the survivors into the fresh incarnation's soft state.
+            self.process_deaths(inner, now);
+            let live: Vec<(u64, WorkerClass, NodeId)> = inner
+                .workers
+                .iter()
+                .filter(|w| w.alive.load(Ordering::Relaxed))
+                .map(|w| (w.id, w.class.clone(), w.node))
+                .collect();
+            for (id, class, node) in live {
+                inner.control.on_register_worker(
+                    ComponentId(id),
+                    class,
+                    node,
+                    false,
+                    now,
+                    &mut Vec::new(),
+                );
+            }
+            let classes: Vec<(WorkerClass, u32)> = inner
+                .policies
+                .iter()
+                .map(|(c, p)| (c.clone(), p.min_workers))
+                .collect();
+            for (class, min) in classes {
+                let view = Self::view_of(inner);
+                let mut out = Vec::new();
+                inner
+                    .control
+                    .ensure_workers(&class, min, now, &view, &mut out);
+                self.apply_control(inner, out, true, now);
+            }
+            self.drain_morgue(inner);
+            self.refresh_hints(inner);
+        }
+        let weak = Arc::downgrade(self);
+        let handle = std::thread::Builder::new()
+            .name("sns-rt-manager".into())
+            .spawn(move || loop {
+                let Some(cluster) = weak.upgrade() else {
+                    return;
+                };
+                if !cluster.running.load(Ordering::Relaxed)
+                    || !cluster.manager_on.load(Ordering::Relaxed)
+                {
+                    return;
+                }
+                cluster.control_step();
+                let period = cluster.cfg.beacon_period;
+                drop(cluster); // don't keep the cluster alive while asleep
+                std::thread::sleep(period);
+            })
+            .expect("spawn manager thread");
+        *slot = Some(handle);
+    }
+
+    /// Stops everything: the manager thread first, then the workers
+    /// (closing their inboxes so queued work is *drained*, not
+    /// dropped). Jobs stranded in dead workers' queues are failed.
     pub fn shutdown(&self) {
         self.running.store(false, Ordering::Relaxed);
-        if let Some(m) = lock(&self.manager).take() {
-            let _ = m.join();
-        }
-        let mut reg = lock(&self.inner);
-        for w in &reg.workers {
+        self.kill_manager();
+        let mut inner = self.lock_inner();
+        for w in &inner.workers {
             w.inbox.close();
         }
-        let mut workers = std::mem::take(&mut reg.workers);
-        drop(reg); // don't hold the registry lock while draining
+        let mut workers = std::mem::take(&mut inner.workers);
+        drop(inner); // don't hold the cluster lock while draining
         for w in &mut workers {
             if let Some(j) = w.join.take() {
                 let _ = j.join();
             }
         }
+        let mut inner = self.lock_inner();
+        let morgue = std::mem::take(&mut inner.morgue);
+        for (_class, salvage) in morgue {
+            while let Ok(orphan) = salvage.try_recv() {
+                let _ = orphan
+                    .reply
+                    .try_send(JobResult::Failed("cluster is shut down".into()));
+            }
+        }
+        for w in &workers {
+            while let Ok(orphan) = w.salvage.try_recv() {
+                let _ = orphan
+                    .reply
+                    .try_send(JobResult::Failed("cluster is shut down".into()));
+            }
+        }
+        inner.replies.clear();
+        inner.deadlines.clear();
+    }
+}
+
+/// Settles a completed job in the dispatch plane (called from worker
+/// threads; the weak ref breaks the `Arc` cycle with the cluster).
+fn finish(weak: &Weak<Mutex<Inner>>, poisoned: &AtomicU64, job_id: u64) {
+    if let Some(m) = weak.upgrade() {
+        let mut inner = lock(&m, poisoned);
+        inner.dispatch.on_response(job_id);
+        inner.replies.remove(&job_id);
+        inner.deadlines.remove(&job_id);
     }
 }
 
@@ -522,6 +1094,7 @@ impl Drop for RtCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sns_core::msg::Job;
     use sns_core::Blob;
 
     struct Echo {
@@ -688,5 +1261,60 @@ mod tests {
             assert!(rx.recv_timeout(Duration::from_secs(10)).is_ok());
         }
         c.shutdown();
+    }
+
+    #[test]
+    fn node_kill_and_revive_round_trip() {
+        let c = RtCluster::start(RtConfig {
+            time_scale: 0.05,
+            report_period: Duration::from_millis(10),
+            beacon_period: Duration::from_millis(20),
+            nodes: 2,
+            ..Default::default()
+        });
+        c.add_workers("echo", 4, || Box::new(Echo { _private: () }));
+        assert_eq!(c.workers_of("echo"), 4);
+        let killed = c.kill_node(0).expect("a node is alive");
+        assert!(killed >= 1, "node held at least one worker");
+        // The survivor node absorbs the class minimum.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if c.workers_of("echo") == 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(c.workers_of("echo"), 4, "respawned on the surviving node");
+        assert!(c.revive_node(0));
+        assert!(!c.revive_node(0), "no dead node remains");
+        assert!(c.set_node_slowdown(0, 2.0));
+        assert!(c.set_node_slowdown(0, 1.0));
+        let rx = c.submit("echo", "echo", Blob::payload(64, "x"), None);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Ok(JobResult::Ok(_))
+        ));
+        c.shutdown();
+    }
+
+    #[test]
+    fn monitor_log_records_decision_stream() {
+        let c = cluster();
+        assert!(c.crash_worker("echo"));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if c.restarts.load(Ordering::Relaxed) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        c.shutdown();
+        let log = c.monitor_log();
+        assert!(log.count("started") >= 1, "manager start logged");
+        assert_eq!(log.count("spawned"), 4, "3 bootstrap + 1 restart");
+        assert_eq!(log.count("crashed"), 1);
+        assert_eq!(log.count("peer_restarted"), 1);
+        assert!(c.counter("manager.load_reports") >= 1);
+        assert_eq!(c.lock_poisoned.load(Ordering::Relaxed), 0);
     }
 }

@@ -41,6 +41,7 @@ fn fast_config() -> RtConfig {
         beacon_period: Duration::from_millis(20),
         seed: 0xc4a5,
         restart_on_crash: true,
+        ..RtConfig::default()
     }
 }
 

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use sns_core::frontend::{FeConfig, ManagerFactory};
-use sns_core::manager::{Manager, ManagerConfig, SpawnPolicy, WorkerFactory};
+use sns_core::manager::{Manager, ManagerConfig, WorkerFactory, WorkerSpec};
 use sns_core::monitor::Monitor;
 use sns_core::msg::SnsMsg;
 use sns_core::worker::{WorkerStub, WorkerStubConfig};
@@ -322,24 +322,24 @@ fn make_manager_factory(
     crash_prob: f64,
 ) -> ManagerFactory {
     Box::new(move |incarnation| {
-        let mut classes: BTreeMap<WorkerClass, SpawnPolicy> = BTreeMap::new();
+        let mut classes: BTreeMap<WorkerClass, WorkerSpec> = BTreeMap::new();
         for d in &distillers {
             classes.insert(
                 WorkerClass::new(format!("distiller/{d}")),
-                SpawnPolicy::scaled(min_distillers, distiller_factory(d, &w, crash_prob)),
+                WorkerSpec::scaled(min_distillers, distiller_factory(d, &w, crash_prob)),
             );
         }
         for a in &aggregators {
             classes.insert(
                 WorkerClass::new(format!("aggregator/{a}")),
-                SpawnPolicy::scaled(min_distillers.max(1), aggregator_factory(a, &w)),
+                WorkerSpec::scaled(min_distillers.max(1), aggregator_factory(a, &w)),
             );
         }
         if cache_partitions > 0 {
             let cfg = stub_cfg(&w);
             classes.insert(
                 WorkerClass::new(CacheWorker::CLASS),
-                SpawnPolicy::pinned(
+                WorkerSpec::pinned(
                     cache_partitions,
                     Box::new(move || {
                         Box::new(WorkerStub::new(
@@ -355,7 +355,7 @@ fn make_manager_factory(
             let profiles = profiles.clone();
             classes.insert(
                 WorkerClass::new(ProfileWorker::CLASS),
-                SpawnPolicy::pinned(
+                WorkerSpec::pinned(
                     1,
                     Box::new(move || {
                         Box::new(WorkerStub::new(

@@ -1,0 +1,185 @@
+//! Differential test of the shared sans-IO control plane: the same
+//! fault script — bootstrap three echo workers, kill one twice — runs
+//! through the *simulator* driver (`sns_core::Manager` over the SAN)
+//! and the *threaded runtime* driver (`sns_rt::RtCluster` over OS
+//! threads), and both must produce the identical canonical decision
+//! sequence in their monitor logs. The backends share
+//! [`sns_core::ControlPlane`], so a divergence here means a driver is
+//! feeding the machine different inputs, not that policy forked.
+//!
+//! Timestamps and raw ids necessarily differ between a virtual-time
+//! simulation and wall-clock threads, so the comparison normalises:
+//! events are filtered to the control plane's *decisions* (`spawned`,
+//! `peer_restarted`), timestamps are stripped, and component/node
+//! tokens are renamed by first appearance.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cluster_sns::core::invariant::MonitorLog;
+use cluster_sns::core::manager::{Manager, ManagerConfig, WorkerSpec};
+use cluster_sns::core::msg::{Job, SnsMsg};
+use cluster_sns::core::worker::{WorkerError, WorkerLogic, WorkerStub, WorkerStubConfig};
+use cluster_sns::core::{Blob, MonitorTap, Payload, SnsConfig, WorkerClass};
+use cluster_sns::rt::{RtCluster, RtConfig};
+use cluster_sns::san::{San, SanConfig};
+use cluster_sns::sim::engine::{NodeSpec, Sim, SimConfig};
+use cluster_sns::sim::rng::Pcg32;
+use cluster_sns::sim::SimTime;
+
+struct Echo;
+
+impl WorkerLogic for Echo {
+    fn class(&self) -> WorkerClass {
+        "echo".into()
+    }
+    fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+        Duration::from_millis(20)
+    }
+    fn process(&mut self, job: &Job, _n: SimTime, _r: &mut Pcg32) -> Result<Payload, WorkerError> {
+        Ok(Blob::payload(job.input.wire_size() / 2, "echoed"))
+    }
+}
+
+/// The canonical decision sequence: spawn and process-peer-restart
+/// events with ids renamed by first appearance ("C0", "N0", …) so the
+/// two backends' arbitrary id spaces compare equal.
+fn decisions(log: &MonitorLog) -> Vec<String> {
+    let mut comps: BTreeMap<String, usize> = BTreeMap::new();
+    let mut nodes: BTreeMap<String, usize> = BTreeMap::new();
+    let mut rename = |tok: &str| -> String {
+        let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+        if let Some(rest) = tok.strip_prefix("node") {
+            if digits(rest) {
+                let next = nodes.len();
+                return format!("N{}", *nodes.entry(tok.to_string()).or_insert(next));
+            }
+        }
+        if let Some(rest) = tok.strip_prefix('c') {
+            if digits(rest) {
+                let next = comps.len();
+                return format!("C{}", *comps.entry(tok.to_string()).or_insert(next));
+            }
+        }
+        tok.to_string()
+    };
+    log.entries()
+        .iter()
+        .filter(|(_, ev)| matches!(ev.kind_key(), "spawned" | "peer_restarted"))
+        .map(|(_, ev)| {
+            ev.canonical()
+                .split(' ')
+                .map(|field| match field.split_once('=') {
+                    Some((k, v)) => format!("{k}={}", rename(v)),
+                    None => field.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// Simulator run of the script: 3 echo workers, kill one at 6 s and
+/// again at 12 s, stop at 18 s. Returns the tapped monitor log.
+fn sim_run() -> MonitorLog {
+    let mut sim: Sim<SnsMsg, San> = Sim::new(
+        SimConfig::default(),
+        San::new(SanConfig::switched_100mbps()),
+    );
+    let infra = sim.add_node(NodeSpec::new(2, "infra"));
+    // One dedicated node, like the rt cluster's single default vnode,
+    // so placement decisions line up 1:1.
+    sim.add_node(NodeSpec::new(8, "dedicated"));
+    let beacon = sim.create_group();
+    let monitor_group = sim.create_group();
+    let sns = SnsConfig::default();
+    let report_period = sns.report_period;
+
+    let mut classes = BTreeMap::new();
+    classes.insert(
+        WorkerClass::new("echo"),
+        WorkerSpec::scaled(
+            3,
+            Box::new(move || {
+                Box::new(WorkerStub::new(
+                    Box::new(Echo),
+                    WorkerStubConfig {
+                        beacon_group: beacon,
+                        monitor_group,
+                        report_period,
+                        cost_weight_unit: None,
+                    },
+                ))
+            }),
+        ),
+    );
+    sim.spawn(
+        infra,
+        Box::new(Manager::new(ManagerConfig {
+            sns,
+            beacon_group: beacon,
+            monitor_group,
+            incarnation: 1,
+            classes,
+            fe_factory: None,
+        })),
+        "manager",
+    );
+    let (tap, log) = MonitorTap::new(monitor_group);
+    sim.spawn(infra, Box::new(tap), "montap");
+
+    for at in [6u64, 12] {
+        sim.at(SimTime::from_secs(at), |sim| {
+            let victims = sim.components_of_kind(cluster_sns::core::intern_class("echo"));
+            let victim = *victims.first().expect("a live echo worker");
+            sim.kill_component(victim);
+        });
+    }
+    sim.run_until(SimTime::from_secs(18));
+    let out = log.borrow().clone();
+    out
+}
+
+/// Threaded-runtime run of the same script: 3 echo workers, crash one,
+/// wait for recovery, crash another, wait again.
+fn rt_run() -> MonitorLog {
+    let c: Arc<RtCluster> = RtCluster::start(RtConfig {
+        time_scale: 0.0, // service instantly; only the script order matters
+        report_period: Duration::from_millis(10),
+        beacon_period: Duration::from_millis(20),
+        ..RtConfig::default()
+    });
+    c.add_workers("echo", 3, || Box::new(Echo));
+    for round in 1..=2u64 {
+        assert!(c.crash_worker("echo"), "a live echo worker exists");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if c.workers_of("echo") == 3 && c.restarts.load(Ordering::Relaxed) >= round {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(c.workers_of("echo"), 3, "round {round} recovered");
+    }
+    c.shutdown();
+    c.monitor_log()
+}
+
+#[test]
+fn sim_and_rt_drivers_agree_on_control_decisions() {
+    let sim_decisions = decisions(&sim_run());
+    let rt_decisions = decisions(&rt_run());
+    // Sanity on the shape before the full diff: 3 bootstrap spawns plus
+    // a (spawn, peer-restart) pair per kill.
+    assert_eq!(
+        sim_decisions.len(),
+        7,
+        "sim decision stream: {sim_decisions:?}"
+    );
+    assert_eq!(
+        sim_decisions, rt_decisions,
+        "the two drivers of the shared control plane diverged"
+    );
+}

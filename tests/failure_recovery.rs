@@ -8,12 +8,19 @@
 //! the log through recovery-invariant checkers on top of the end-state
 //! assertions.
 
-use std::time::Duration;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cluster_sns::chaos::{
-    check_death_reconciliation, FaultKind, FaultPlan, RespawnCoverage, SimChaos, SimChaosConfig,
+    check_death_reconciliation, CrashBudget, FaultKind, FaultPlan, RespawnCoverage, SimChaos,
+    SimChaosConfig, SpawnBudget,
 };
-use cluster_sns::core::{MonitorTap, TapHandle};
+use cluster_sns::core::msg::{Job, JobResult};
+use cluster_sns::core::worker::{WorkerError, WorkerLogic};
+use cluster_sns::core::{Blob, MonitorTap, Payload, TapHandle, WorkerClass};
+use cluster_sns::rt::{RtCluster, RtConfig};
+use cluster_sns::sim::rng::Pcg32;
 use cluster_sns::sim::SimTime;
 use cluster_sns::transend::{TranSendBuilder, TranSendCluster};
 use cluster_sns::workload::playback::{Playback, Schedule};
@@ -430,4 +437,144 @@ fn manager_failover_with_beacon_in_flight() {
         "exactly one manager survives the in-flight beacon"
     );
     assert_eq!(cache_count(&cluster), 2);
+}
+
+// ---------------------------------------------------------------------------
+// The same plans, the same checkers — against the threaded runtime.
+//
+// Since the control plane moved into shared sans-IO machines, the rt
+// backend emits the same canonical monitor stream the sim does, so the
+// recovery invariants below (`SpawnBudget`, `RespawnCoverage`,
+// `CrashBudget`, death reconciliation) replay over an `RtCluster`'s
+// `MonitorLog` completely unchanged.
+// ---------------------------------------------------------------------------
+
+/// Modelled-to-wall-clock compression for the rt scenarios.
+const RT_SCALE: f64 = 0.05;
+
+struct RtEcho;
+
+impl WorkerLogic for RtEcho {
+    fn class(&self) -> WorkerClass {
+        "echo".into()
+    }
+    fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+        Duration::from_millis(20)
+    }
+    fn process(&mut self, job: &Job, _n: SimTime, _r: &mut Pcg32) -> Result<Payload, WorkerError> {
+        Ok(Blob::payload(job.input.wire_size(), "echoed"))
+    }
+}
+
+fn rt_cluster() -> Arc<RtCluster> {
+    let c = RtCluster::start(RtConfig {
+        time_scale: RT_SCALE,
+        report_period: Duration::from_millis(10),
+        beacon_period: Duration::from_millis(20),
+        ..RtConfig::default()
+    });
+    c.add_workers("echo", 3, || Box::new(RtEcho));
+    c
+}
+
+fn rt_await_population(c: &RtCluster, n: usize, restarts: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if c.workers_of("echo") == n && c.restarts.load(Ordering::Relaxed) >= restarts {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!(
+        "rt population not restored: {} workers, {} restarts",
+        c.workers_of("echo"),
+        c.restarts.load(Ordering::Relaxed)
+    );
+}
+
+#[test]
+fn rt_kill_worker_plan_passes_sim_recovery_invariants() {
+    let c = rt_cluster();
+    let kill = FaultKind::KillWorker {
+        class: "echo".into(),
+        which: 0,
+    };
+    let plan = FaultPlan::new()
+        .with(Duration::from_secs(2), kill.clone())
+        .with(Duration::from_secs(4), kill);
+    let injector = cluster_sns::chaos::rt::run_plan(Arc::clone(&c), &plan, RT_SCALE);
+
+    let receivers: Vec<_> = (0..100)
+        .map(|i| c.submit("echo", "op", Blob::payload(100 + i, "x"), None))
+        .collect();
+
+    let report = injector.join().expect("injector thread");
+    assert_eq!(report.applied.len(), 2, "{report:?}");
+    assert!(report.skipped.is_empty(), "{report:?}");
+    assert_eq!(report.crashes_injected, 2);
+
+    for rx in receivers {
+        match rx.recv_timeout(Duration::from_secs(30)).expect("reply") {
+            JobResult::Ok(_) => {}
+            JobResult::Failed(e) => panic!("job failed under rt chaos: {e}"),
+        }
+    }
+    rt_await_population(&c, 3, 2);
+    c.shutdown();
+
+    let log = c.monitor_log();
+    // 3 bootstrap spawns + exactly one respawn per planned kill.
+    log.check(&mut SpawnBudget::new(5)).unwrap();
+    log.check(&mut RespawnCoverage::new(5)).unwrap();
+    log.check(&mut CrashBudget::new(2)).unwrap();
+    check_death_reconciliation(
+        c.crashes.load(Ordering::Relaxed),
+        report.crashes_injected as u64,
+        0,
+    )
+    .unwrap();
+}
+
+#[test]
+fn rt_kill_manager_plan_passes_sim_recovery_invariants() {
+    // Manager failover with a worker death in the gap: the replacement
+    // spawn is deferred until the new incarnation takes over, and the
+    // checkers still close over the resulting monitor stream. (The
+    // failover respawn comes from the new incarnation's ensure pass, so
+    // it is a plain spawn — no peer_restarted attribution.)
+    let c = rt_cluster();
+    let plan = FaultPlan::new()
+        .with(Duration::from_secs(2), FaultKind::KillManager)
+        .with(
+            Duration::from_millis(2500),
+            FaultKind::KillWorker {
+                class: "echo".into(),
+                which: 0,
+            },
+        )
+        .with(Duration::from_secs(5), FaultKind::RestartManager);
+    let injector = cluster_sns::chaos::rt::run_plan(Arc::clone(&c), &plan, RT_SCALE);
+
+    let receivers: Vec<_> = (0..100)
+        .map(|i| c.submit("echo", "op", Blob::payload(50 + i, "x"), None))
+        .collect();
+
+    let report = injector.join().expect("injector thread");
+    assert_eq!(report.applied.len(), 3, "{report:?}");
+    assert!(report.skipped.is_empty(), "{report:?}");
+    assert_eq!(report.crashes_injected, 1);
+
+    for rx in receivers {
+        match rx.recv_timeout(Duration::from_secs(30)).expect("reply") {
+            JobResult::Ok(_) => {}
+            JobResult::Failed(e) => panic!("job failed across rt failover: {e}"),
+        }
+    }
+    rt_await_population(&c, 3, 1);
+    c.shutdown();
+
+    let log = c.monitor_log();
+    log.check(&mut RespawnCoverage::new(4)).unwrap();
+    log.check(&mut CrashBudget::new(1)).unwrap();
+    check_death_reconciliation(c.crashes.load(Ordering::Relaxed), 1, 0).unwrap();
 }

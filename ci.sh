@@ -44,6 +44,14 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== docs stage: rustdoc (warnings are errors) + doctests"
+# The public API carries #![warn(missing_docs)]; promoting rustdoc
+# warnings to errors here keeps every exported item documented and every
+# intra-doc link resolvable. Doctests keep the examples in those docs
+# compiling.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+cargo test --doc -q --offline --workspace
+
 echo "== bench stage: sim_throughput macro-bench (release, 1M events/run)"
 # The scheduler macro-bench doubles as a determinism check: it asserts
 # in-process that heap and wheel runs of every profile dispatch the
@@ -54,9 +62,17 @@ if [ ! -s BENCH_sim.json ]; then
   echo "BENCH_sim.json missing or empty after the bench stage" >&2
   exit 1
 fi
+echo "== bench stage: trace_overhead (disabled-path regression guard)"
+# Runs the TranSend request-path profile disabled / disabled-again /
+# enabled in one process, asserts the traced run dispatched a
+# bit-identical event stream, and fails if the disabled path regresses
+# more than 2% against its A/A control. Appends request_path/* rows to
+# BENCH_sim.json (replacing stale ones), so the row guard covers both
+# bench binaries.
+cargo run -p sns-bench --release --offline --bin trace_overhead -- BENCH_sim.json
 rows=$(grep -c '"bench"' BENCH_sim.json || true)
-if [ "$rows" -lt 6 ]; then
-  echo "BENCH_sim.json carries $rows rows, expected >= 6 (3 profiles x 2 schedulers)" >&2
+if [ "$rows" -lt 9 ]; then
+  echo "BENCH_sim.json carries $rows rows, expected >= 9 (3 profiles x 2 schedulers + 3 trace_overhead)" >&2
   exit 1
 fi
 echo "   ok: $rows bench rows in BENCH_sim.json"
@@ -95,7 +111,7 @@ chaos_suite() {
   fi
   echo "   ok: $pkg::$suite ($ran tests)"
 }
-chaos_suite cluster-sns control_plane_parity 1
+chaos_suite cluster-sns control_plane_parity 2
 chaos_suite sns-chaos rt_chaos 2
 
 echo "== chaos stage: fault-injection suites under a pinned seed"
@@ -105,8 +121,9 @@ echo "== chaos stage: fault-injection suites under a pinned seed"
 # number of tests it is supposed to carry.
 chaos_suite sns-chaos prop 4
 chaos_suite cluster-sns failure_recovery 11
-chaos_suite cluster-sns determinism 6
+chaos_suite cluster-sns determinism 7
 chaos_suite cluster-sns paper_shapes 4
+chaos_suite cluster-sns trace_shapes 1
 chaos_suite sns-sim sched_equiv 3
 
 echo "== CI green"

@@ -1,0 +1,158 @@
+//! Cost of the tracing instrumentation on the request hot path.
+//!
+//! The span-emission sites (`sns_core::trace`) are wired permanently
+//! through the front end, dispatch plane and worker stub; when tracing
+//! is disabled each site costs one `Option` branch. This bench proves
+//! that cost is inside the noise floor: the same TranSend request-path
+//! profile (pass-through requests through admission → lottery dispatch
+//! → queue → service → reply) is measured three times in one process —
+//!
+//! * `request_path/base` — tracing disabled, first measurement;
+//! * `request_path/off`  — tracing disabled again (the A/A control:
+//!   any base↔off gap is pure measurement noise);
+//! * `request_path/on`   — tracing enabled, every span recorded.
+//!
+//! The bin asserts the disabled path's A/A regression stays ≤ 2%
+//! (fastest-batch means), and that all three configurations dispatch
+//! bit-identical simulations — recording spans must observe the run,
+//! never perturb it. Rows are *appended* to `BENCH_sim.json` alongside
+//! the `sim_throughput` scheduler rows.
+//!
+//! ```sh
+//! cargo run -p sns-bench --release --bin trace_overhead [-- OUTPUT.json]
+//! ```
+
+use std::time::Duration;
+
+use sns_sim::time::SimTime;
+use sns_testkit::{BenchConfig, BenchSuite};
+use sns_transend::client::ClientReportHandle;
+use sns_transend::{TranSendBuilder, TranSendCluster};
+use sns_workload::trace::TraceRecord;
+use sns_workload::MimeType;
+
+/// Requests per measured run.
+const REQUESTS: u64 = 200;
+
+/// Pass-through objects (identity pipeline), one every 5 ms.
+fn items() -> Vec<(Duration, TraceRecord)> {
+    (0..REQUESTS)
+        .map(|i| {
+            (
+                Duration::from_millis(5 * i),
+                TraceRecord {
+                    at: Duration::from_millis(5 * i),
+                    user: (i % 16) as u32,
+                    url: format!("bin://object/{}", i % 64),
+                    mime: MimeType::Other,
+                    size: 16 * 1024,
+                },
+            )
+        })
+        .collect()
+}
+
+fn build(traced: bool) -> (TranSendCluster, ClientReportHandle) {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0x0b5e)
+        .with_worker_nodes(4)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .with_tracing(traced)
+        .build();
+    let report = cluster.attach_client(items(), Duration::from_secs(2));
+    (cluster, report)
+}
+
+/// Rebuilds `path` as one JSON row array: every pre-existing row except
+/// stale `request_path/*` ones, then the given freshly rendered rows.
+fn append_rows(path: &str, new_rows_json: &str) {
+    let row_lines = |s: &str, drop_ours: bool| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("\"bench\":"))
+            .filter(|l| !(drop_ours && l.contains("\"bench\":\"request_path/")))
+            .map(|l| l.trim_end().trim_end_matches(',').to_string())
+            .collect()
+    };
+    let mut rows = match std::fs::read_to_string(path) {
+        Ok(existing) => row_lines(&existing, true),
+        Err(_) => Vec::new(),
+    };
+    rows.extend(row_lines(new_rows_json, false));
+    let body = rows.join(",\n");
+    std::fs::write(path, format!("[\n{body}\n]")).expect("write bench rows");
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let mut suite = BenchSuite::with_config(
+        "sim",
+        BenchConfig {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(400),
+            ..Default::default()
+        },
+    );
+
+    let mut fingerprints: Vec<(u64, u64, u64)> = Vec::new();
+    let mut spans_recorded = 0usize;
+    for (tag, traced) in [("base", false), ("off", false), ("on", true)] {
+        let mut last = None;
+        suite.bench_batched(
+            &format!("request_path/{tag}"),
+            || build(traced),
+            |(mut cluster, report)| {
+                cluster.sim.run_until(SimTime::from_secs(30));
+                let r = report.borrow();
+                assert_eq!(r.responses, REQUESTS, "every request must be answered");
+                last = Some((
+                    cluster.sim.events_dispatched(),
+                    r.responses,
+                    r.bytes_received,
+                ));
+                if traced {
+                    spans_recorded = cluster.trace().expect("tracing enabled").len();
+                }
+            },
+        );
+        fingerprints.push(last.expect("at least one measured run"));
+    }
+    // Tracing must observe the run, not perturb it: all three
+    // configurations executed the bit-identical simulation.
+    assert!(
+        fingerprints.iter().all(|f| *f == fingerprints[0]),
+        "enabling tracing changed the simulation: {fingerprints:?}"
+    );
+    assert!(
+        spans_recorded > REQUESTS as usize,
+        "the traced run should record more than one span per request"
+    );
+
+    let row = |name: &str| {
+        suite
+            .rows()
+            .iter()
+            .find(|r| r.bench == name)
+            .expect("row exists")
+    };
+    let base = row("request_path/base").min_ns;
+    let off = row("request_path/off").min_ns;
+    let on = row("request_path/on").min_ns;
+    println!(
+        "-- disabled-path A/A delta {:+.2}%   enabled cost {:+.2}%   ({spans_recorded} spans/run when on)",
+        (off / base - 1.0) * 100.0,
+        (on / base - 1.0) * 100.0,
+    );
+    assert!(
+        off <= base * 1.02,
+        "disabled tracing path regressed the request profile by more than 2%: \
+         base {base:.0} ns vs off {off:.0} ns"
+    );
+
+    append_rows(&out, &suite.to_json());
+    println!("appended {} rows to {out}", suite.rows().len());
+}

@@ -38,7 +38,8 @@ use sns_sim::{ComponentId, MetricKey, NodeId};
 
 use crate::monitor::MonitorEvent;
 use crate::msg::{BeaconData, Job, ProfileData, WorkerHint};
-use crate::{Payload, SnsConfig, WorkerClass};
+use crate::trace::{self, SpanId, SpanRecord};
+use crate::{intern_class, Payload, SnsConfig, WorkerClass};
 
 /// Per-class scaling policy (pure data; the worker factory lives with
 /// the driver, see `WorkerSpec` in [`crate::manager`]).
@@ -946,6 +947,10 @@ pub enum DispatchEffect {
         /// Amount.
         n: u64,
     },
+    /// Record a completed dispatch span (only emitted while
+    /// [`DispatchPlane::set_tracing`] is on; see [`crate::trace`]). The
+    /// driver forwards it to its tracer.
+    Span(SpanRecord),
 }
 
 #[derive(Debug, Clone)]
@@ -965,11 +970,17 @@ pub struct Outstanding {
     pub attempts: u32,
     /// Whether the caller pinned the worker (no lottery, no retry).
     pub explicit: bool,
+    /// When the dispatch was first requested (the dispatch span's
+    /// start; covers pending waits and retries).
+    pub requested_at: SimTime,
     op: String,
     input: Payload,
     profile: Option<ProfileData>,
     reply_to: ComponentId,
     workers_tried: Vec<ComponentId>,
+    /// Causal parent for the dispatch span (the front end's request
+    /// span), when tracing.
+    parent: Option<SpanId>,
 }
 
 /// Verdict of a dispatch timeout.
@@ -998,6 +1009,7 @@ pub struct DispatchPlane {
     outstanding: BTreeMap<u64, Outstanding>,
     next_job: u64,
     delta_correction: bool,
+    tracing: bool,
 }
 
 impl DispatchPlane {
@@ -1013,12 +1025,19 @@ impl DispatchPlane {
             outstanding: BTreeMap::new(),
             next_job: 1,
             delta_correction: true,
+            tracing: false,
         }
     }
 
     /// Enables/disables the §4.5 queue-delta correction (ablation knob).
     pub fn set_delta_correction(&mut self, on: bool) {
         self.delta_correction = on;
+    }
+
+    /// Enables/disables span emission ([`DispatchEffect::Span`]). Off by
+    /// default; the disabled path is a single branch per response.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
     }
 
     /// The manager, if one has been heard from.
@@ -1159,16 +1178,20 @@ impl DispatchPlane {
     /// If no worker is known the dispatch stays pending — the caller's
     /// timeout drives a retry once the manager has spawned one — and the
     /// manager is asked via [`crate::msg::SnsMsg::NeedWorker`]. Returns
-    /// the job id.
+    /// the job id. `now` stamps the dispatch span's start; `parent`
+    /// links it under the caller's request span (both ignored unless
+    /// [`DispatchPlane::set_tracing`] is on).
     #[allow(clippy::too_many_arguments)]
     pub fn dispatch(
         &mut self,
         rng: &mut Pcg32,
+        now: SimTime,
         reply_to: ComponentId,
         class: WorkerClass,
         op: impl Into<String>,
         input: Payload,
         profile: Option<ProfileData>,
+        parent: Option<SpanId>,
         out: &mut Vec<DispatchEffect>,
     ) -> u64 {
         let job_id = self.next_job;
@@ -1180,11 +1203,13 @@ impl DispatchPlane {
                 worker: None,
                 attempts: 1,
                 explicit: false,
+                requested_at: now,
                 op: op.into(),
                 input,
                 profile,
                 reply_to,
                 workers_tried: Vec::new(),
+                parent,
             },
         );
         match self.pick(rng, &class, &[]) {
@@ -1199,12 +1224,14 @@ impl DispatchPlane {
     #[allow(clippy::too_many_arguments)]
     pub fn dispatch_to(
         &mut self,
+        now: SimTime,
         reply_to: ComponentId,
         worker: ComponentId,
         class: WorkerClass,
         op: impl Into<String>,
         input: Payload,
         profile: Option<ProfileData>,
+        parent: Option<SpanId>,
         out: &mut Vec<DispatchEffect>,
     ) -> u64 {
         let job_id = self.next_job;
@@ -1216,31 +1243,63 @@ impl DispatchPlane {
                 worker: None,
                 attempts: 1,
                 explicit: true,
+                requested_at: now,
                 op: op.into(),
                 input,
                 profile,
                 reply_to,
                 workers_tried: Vec::new(),
+                parent,
             },
         );
         self.send_job(job_id, worker, out);
         job_id
     }
 
+    /// Builds the dispatch span for a settled job (span start is the
+    /// original request time, so pending waits and retries are counted).
+    fn dispatch_span(&self, job_id: u64, o: &Outstanding, end: SimTime, ok: bool) -> SpanRecord {
+        trace::span(
+            trace::job_span_id(o.reply_to, job_id),
+            o.parent,
+            trace::DISPATCH,
+            trace::CAT_STUB,
+            o.worker.unwrap_or(o.reply_to),
+            intern_class(o.class.name()),
+            o.requested_at,
+            end,
+            o.input.wire_size(),
+            ok,
+        )
+    }
+
     /// Records a response; returns the dispatch if it was outstanding.
-    pub fn on_response(&mut self, job_id: u64) -> Option<Outstanding> {
+    /// `now` closes the dispatch span appended to `out` when tracing.
+    pub fn on_response(
+        &mut self,
+        job_id: u64,
+        now: SimTime,
+        out: &mut Vec<DispatchEffect>,
+    ) -> Option<Outstanding> {
         let o = self.outstanding.remove(&job_id)?;
         if let Some(w) = o.worker {
             *self.inflight.entry(w).or_insert(0) -= 1;
+        }
+        if self.tracing {
+            out.push(DispatchEffect::Span(
+                self.dispatch_span(job_id, &o, now, true),
+            ));
         }
         Some(o)
     }
 
     /// Handles a dispatch timeout: evict the suspected-dead worker from
-    /// the hint cache and retry elsewhere, or give up (§3.1.8).
+    /// the hint cache and retry elsewhere, or give up (§3.1.8). `now`
+    /// closes the failed dispatch span on give-up when tracing.
     pub fn on_timeout(
         &mut self,
         rng: &mut Pcg32,
+        now: SimTime,
         job_id: u64,
         out: &mut Vec<DispatchEffect>,
     ) -> TimeoutVerdict {
@@ -1264,11 +1323,16 @@ impl DispatchPlane {
             });
         }
         if explicit || attempts > self.cfg.max_retries {
-            self.outstanding.remove(&job_id);
+            let o = self.outstanding.remove(&job_id).expect("still present");
             out.push(DispatchEffect::Incr {
                 key: "stub.gave_up",
                 n: 1,
             });
+            if self.tracing {
+                out.push(DispatchEffect::Span(
+                    self.dispatch_span(job_id, &o, now, false),
+                ));
+            }
             return TimeoutVerdict::GaveUp(class);
         }
         let tried = self
@@ -1405,10 +1469,12 @@ mod tests {
         let mut out = Vec::new();
         let id = plane.dispatch(
             &mut rng,
+            SimTime::ZERO,
             ComponentId(50),
             "w".into(),
             "op",
             Blob::payload(10, "x"),
+            None,
             None,
             &mut out,
         );
@@ -1418,10 +1484,52 @@ mod tests {
                 if worker == ComponentId(1) && job.id == id && job.reply_to == ComponentId(50)
         ));
         assert_eq!(plane.inflight.get(&ComponentId(1)), Some(&1));
-        let o = plane.on_response(id).expect("outstanding");
+        let o = plane
+            .on_response(id, SimTime::from_secs(1), &mut out)
+            .expect("outstanding");
         assert_eq!(o.worker, Some(ComponentId(1)));
         assert_eq!(plane.inflight.get(&ComponentId(1)), Some(&0));
-        assert!(plane.on_response(id).is_none());
+        assert!(plane
+            .on_response(id, SimTime::from_secs(1), &mut out)
+            .is_none());
+    }
+
+    #[test]
+    fn tracing_emits_dispatch_spans_through_effects() {
+        let mut plane = DispatchPlane::new(SnsConfig::default());
+        plane.set_tracing(true);
+        plane.on_beacon(&beacon(&[(1, 0.0)]));
+        let mut rng = Pcg32::new(7);
+        let mut out = Vec::new();
+        let parent = trace::request_span_id(ComponentId(50), 9);
+        let id = plane.dispatch(
+            &mut rng,
+            SimTime::from_secs(2),
+            ComponentId(50),
+            "w".into(),
+            "op",
+            Blob::payload(10, "x"),
+            None,
+            Some(parent),
+            &mut out,
+        );
+        out.clear();
+        plane
+            .on_response(id, SimTime::from_secs(3), &mut out)
+            .expect("outstanding");
+        let span = out
+            .iter()
+            .find_map(|e| match e {
+                DispatchEffect::Span(s) => Some(*s),
+                _ => None,
+            })
+            .expect("span effect");
+        assert_eq!(span.id, trace::job_span_id(ComponentId(50), id));
+        assert_eq!(span.parent, Some(parent));
+        assert_eq!(span.start, SimTime::from_secs(2));
+        assert_eq!(span.end, SimTime::from_secs(3));
+        assert_eq!(span.who, ComponentId(1));
+        assert!(span.ok);
     }
 
     #[test]
@@ -1432,27 +1540,29 @@ mod tests {
         let mut out = Vec::new();
         let id = plane.dispatch(
             &mut rng,
+            SimTime::ZERO,
             ComponentId(50),
             "w".into(),
             "op",
             Blob::payload(10, "x"),
             None,
+            None,
             &mut out,
         );
         let first = plane.outstanding[&id].worker.unwrap();
         out.clear();
-        let verdict = plane.on_timeout(&mut rng, id, &mut out);
+        let verdict = plane.on_timeout(&mut rng, SimTime::from_secs(5), id, &mut out);
         assert_eq!(verdict, TimeoutVerdict::Retried);
         let second = plane.outstanding[&id].worker.unwrap();
         assert_ne!(first, second, "retry excludes the suspect");
         assert!(!plane.workers_of(&"w".into()).contains(&first));
         // Exhaust retries: each timeout evicts the current worker.
         out.clear();
-        let verdict = plane.on_timeout(&mut rng, id, &mut out);
+        let verdict = plane.on_timeout(&mut rng, SimTime::from_secs(10), id, &mut out);
         // attempts is now 2 (== default max_retries), one more allowed…
         assert_eq!(verdict, TimeoutVerdict::Retried);
         out.clear();
-        let verdict = plane.on_timeout(&mut rng, id, &mut out);
+        let verdict = plane.on_timeout(&mut rng, SimTime::from_secs(15), id, &mut out);
         assert_eq!(verdict, TimeoutVerdict::GaveUp("w".into()));
         assert_eq!(plane.outstanding_count(), 0);
     }

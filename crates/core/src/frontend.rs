@@ -27,6 +27,7 @@ use sns_sim::{ComponentId, GroupId};
 use crate::monitor::MonitorEvent;
 use crate::msg::{ClientRequest, ClientResponse, JobResult, ProfileData, SnsMsg};
 use crate::stub::{ManagerStub, TimeoutVerdict};
+use crate::trace;
 use crate::{Payload, SnsConfig, WorkerClass};
 
 /// What service logic can ask the framework to do.
@@ -183,8 +184,8 @@ pub struct FrontEnd {
     requests: BTreeMap<u64, ReqState>,
     /// job id → (request, tag).
     jobs: BTreeMap<u64, (u64, u64)>,
-    /// compute token id → (request, tag).
-    computes: BTreeMap<u64, (u64, u64)>,
+    /// compute token id → (request, tag, when requested).
+    computes: BTreeMap<u64, (u64, u64, SimTime)>,
     accept_queue: VecDeque<(ComponentId, Arc<ClientRequest>)>,
     active: u32,
     next_req: u64,
@@ -277,7 +278,8 @@ impl FrontEnd {
                     input,
                     profile,
                 } => {
-                    let job_id = self.stub.dispatch(ctx, class, op, input, profile);
+                    let parent = Some(trace::request_span_id(ctx.me(), req_id));
+                    let job_id = self.stub.dispatch(ctx, class, op, input, profile, parent);
                     self.jobs.insert(job_id, (req_id, tag));
                     ctx.timer(self.cfg.sns.dispatch_timeout, K_DISPATCH | job_id);
                 }
@@ -289,16 +291,17 @@ impl FrontEnd {
                     input,
                     profile,
                 } => {
+                    let parent = Some(trace::request_span_id(ctx.me(), req_id));
                     let job_id = self
                         .stub
-                        .dispatch_to(ctx, worker, class, op, input, profile);
+                        .dispatch_to(ctx, worker, class, op, input, profile, parent);
                     self.jobs.insert(job_id, (req_id, tag));
                     ctx.timer(self.cfg.sns.dispatch_timeout, K_DISPATCH | job_id);
                 }
                 Action::Compute { tag, cost } => {
                     let cid = self.next_compute;
                     self.next_compute += 1;
-                    self.computes.insert(cid, (req_id, tag));
+                    self.computes.insert(cid, (req_id, tag, ctx.now()));
                     ctx.exec_cpu(cost, K_COMPUTE | cid);
                 }
                 Action::MarkDegraded => {
@@ -311,6 +314,22 @@ impl FrontEnd {
                         continue;
                     };
                     let now = ctx.now();
+                    if ctx.tracer().is_enabled() {
+                        let me = ctx.me();
+                        let bytes = result.as_ref().map(|p| p.wire_size()).unwrap_or(0);
+                        ctx.tracer().record(trace::span(
+                            trace::request_span_id(me, req_id),
+                            None,
+                            trace::REQUEST,
+                            trace::CAT_FE,
+                            me,
+                            "",
+                            req.started,
+                            now,
+                            bytes,
+                            result.is_ok(),
+                        ));
+                    }
                     let latency = now.since(req.started);
                     ctx.stats().observe("fe.latency_s", latency.as_secs_f64());
                     ctx.stats().incr("fe.replies", 1);
@@ -381,6 +400,7 @@ impl FrontEnd {
 
 impl Component<SnsMsg> for FrontEnd {
     fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        self.stub.set_tracing(ctx.tracer().is_enabled());
         ctx.join(self.cfg.beacon_group);
         let me = ctx.me();
         let node = ctx.my_node();
@@ -418,7 +438,7 @@ impl Component<SnsMsg> for FrontEnd {
                 self.stub.flush_pending(ctx);
             }
             SnsMsg::WorkResponse { job_id, result, .. } => {
-                if self.stub.on_response(job_id).is_none() {
+                if self.stub.on_response(ctx, job_id).is_none() {
                     return; // late duplicate after timeout
                 }
                 let Some(&(req_id, tag)) = self.jobs.get(&job_id) else {
@@ -468,12 +488,44 @@ impl Component<SnsMsg> for FrontEnd {
         let id = token & ID_MASK;
         match kind {
             K_OVERHEAD => {
+                if ctx.tracer().is_enabled() {
+                    if let Some(req) = self.requests.get(&id) {
+                        let me = ctx.me();
+                        ctx.tracer().record(trace::span(
+                            trace::overhead_span_id(me, id),
+                            Some(trace::request_span_id(me, id)),
+                            trace::OVERHEAD,
+                            trace::CAT_FE,
+                            me,
+                            "",
+                            req.started,
+                            ctx.now(),
+                            0,
+                            true,
+                        ));
+                    }
+                }
                 self.run_logic(ctx, id, |logic, req, view, out| {
                     logic.on_request(req, view, out);
                 });
             }
             K_COMPUTE => {
-                if let Some((req_id, tag)) = self.computes.remove(&id) {
+                if let Some((req_id, tag, started)) = self.computes.remove(&id) {
+                    if ctx.tracer().is_enabled() {
+                        let me = ctx.me();
+                        ctx.tracer().record(trace::span(
+                            trace::compute_span_id(me, id),
+                            Some(trace::request_span_id(me, req_id)),
+                            trace::COMPUTE,
+                            trace::CAT_FE,
+                            me,
+                            "",
+                            started,
+                            ctx.now(),
+                            0,
+                            true,
+                        ));
+                    }
                     self.run_logic(ctx, req_id, |logic, req, view, out| {
                         logic.on_event(req, FeEvent::ComputeDone { tag }, view, out);
                     });

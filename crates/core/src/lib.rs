@@ -47,6 +47,7 @@ pub mod monitor;
 pub mod msg;
 pub mod stub;
 pub mod topology;
+pub mod trace;
 pub mod worker;
 
 use std::any::Any;

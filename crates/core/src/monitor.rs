@@ -222,9 +222,16 @@ impl Component<SnsMsg> for Monitor {
         ctx.timer(self.silence_alert_after, Self::SWEEP);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _from: ComponentId, msg: SnsMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, from: ComponentId, msg: SnsMsg) {
         if let SnsMsg::Monitor(ev) = msg {
             let now = ctx.now();
+            // Mirror operator-visible events (not periodic heartbeats)
+            // into the trace as instants, so failures and restarts line
+            // up with the request spans they perturb.
+            if ctx.tracer().is_enabled() && !matches!(*ev, MonitorEvent::Heartbeat { .. }) {
+                ctx.tracer()
+                    .instant(ev.kind_key(), crate::trace::CAT_MONITOR, from, now);
+            }
             self.record(now, (*ev).clone());
             ctx.stats().incr("monitor.events", 1);
         }

@@ -27,6 +27,7 @@ use sns_sim::ComponentId;
 use crate::control::{DispatchEffect, DispatchPlane};
 pub use crate::control::{Outstanding, TimeoutVerdict};
 use crate::msg::{BeaconData, ProfileData, SnsMsg};
+use crate::trace::SpanId;
 use crate::{Payload, SnsConfig, WorkerClass};
 
 /// The front-end-resident manager stub.
@@ -54,6 +55,7 @@ impl ManagerStub {
                     ctx.send(manager, SnsMsg::NeedWorker { fe: me, class });
                 }
                 DispatchEffect::Incr { key, n } => ctx.stats().incr(key, n),
+                DispatchEffect::Span(s) => ctx.tracer().record(s),
             }
         }
     }
@@ -61,6 +63,12 @@ impl ManagerStub {
     /// Enables/disables the §4.5 queue-delta correction (ablation knob).
     pub fn set_delta_correction(&mut self, on: bool) {
         self.plane.set_delta_correction(on);
+    }
+
+    /// Turns dispatch-span emission on/off (the front end mirrors the
+    /// engine tracer's state here on start).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.plane.set_tracing(on);
     }
 
     /// The manager, if one has been heard from.
@@ -99,6 +107,8 @@ impl ManagerStub {
     /// If no worker is known the dispatch stays pending — the caller's
     /// timeout drives a retry once the manager has spawned one — and the
     /// manager is asked via [`SnsMsg::NeedWorker`]. Returns the job id.
+    /// `parent` (usually the front end's request span) becomes the
+    /// dispatch span's parent when tracing is on.
     pub fn dispatch(
         &mut self,
         ctx: &mut Ctx<'_, SnsMsg>,
@@ -106,18 +116,29 @@ impl ManagerStub {
         op: impl Into<String>,
         input: Payload,
         profile: Option<ProfileData>,
+        parent: Option<SpanId>,
     ) -> u64 {
         let me = ctx.me();
+        let now = ctx.now();
         let mut out = Vec::new();
-        let job_id = self
-            .plane
-            .dispatch(ctx.rng(), me, class, op, input, profile, &mut out);
+        let job_id = self.plane.dispatch(
+            ctx.rng(),
+            now,
+            me,
+            class,
+            op,
+            input,
+            profile,
+            parent,
+            &mut out,
+        );
         self.apply(ctx, out);
         job_id
     }
 
     /// Dispatches to a pinned worker (cache-ring routing, search
     /// partition fan-out). No lottery, no retry.
+    #[allow(clippy::too_many_arguments)]
     pub fn dispatch_to(
         &mut self,
         ctx: &mut Ctx<'_, SnsMsg>,
@@ -126,26 +147,33 @@ impl ManagerStub {
         op: impl Into<String>,
         input: Payload,
         profile: Option<ProfileData>,
+        parent: Option<SpanId>,
     ) -> u64 {
         let me = ctx.me();
+        let now = ctx.now();
         let mut out = Vec::new();
         let job_id = self
             .plane
-            .dispatch_to(me, worker, class, op, input, profile, &mut out);
+            .dispatch_to(now, me, worker, class, op, input, profile, parent, &mut out);
         self.apply(ctx, out);
         job_id
     }
 
     /// Records a response; returns the dispatch if it was outstanding.
-    pub fn on_response(&mut self, job_id: u64) -> Option<Outstanding> {
-        self.plane.on_response(job_id)
+    pub fn on_response(&mut self, ctx: &mut Ctx<'_, SnsMsg>, job_id: u64) -> Option<Outstanding> {
+        let now = ctx.now();
+        let mut out = Vec::new();
+        let o = self.plane.on_response(job_id, now, &mut out);
+        self.apply(ctx, out);
+        o
     }
 
     /// Handles a dispatch timeout: evict the suspected-dead worker from
     /// the hint cache and retry elsewhere, or give up (§3.1.8).
     pub fn on_timeout(&mut self, ctx: &mut Ctx<'_, SnsMsg>, job_id: u64) -> TimeoutVerdict {
+        let now = ctx.now();
         let mut out = Vec::new();
-        let verdict = self.plane.on_timeout(ctx.rng(), job_id, &mut out);
+        let verdict = self.plane.on_timeout(ctx.rng(), now, job_id, &mut out);
         self.apply(ctx, out);
         verdict
     }
@@ -212,6 +240,9 @@ mod tests {
     #[test]
     fn unknown_job_response_is_none() {
         let mut stub = ManagerStub::new(SnsConfig::default());
-        assert!(stub.on_response(42).is_none());
+        assert!(stub
+            .plane
+            .on_response(42, SimTime::ZERO, &mut Vec::new())
+            .is_none());
     }
 }

@@ -1,0 +1,499 @@
+//! End-to-end request tracing (see `OBSERVABILITY.md`): the span model
+//! the SNS layer emits and the std-only exporters that turn a recorded
+//! [`TraceLog`] into something a human (or a trace viewer) can read.
+//!
+//! The recording substrate — [`Tracer`], [`SpanId`], [`SpanRecord`],
+//! [`TraceLog`] — lives in `sns_sim::trace` because the engine kernel
+//! holds the tracer; this module re-exports it and adds everything
+//! SNS-specific on top:
+//!
+//! * **the id scheme**: request spans are numbered by the front end
+//!   that admitted them ([`request_span_id`]); job spans are derived
+//!   from the dispatching component and the [`crate::msg::Job`] id
+//!   ([`job_span_id`]), which is exactly the pair (`reply_to`, `id`)
+//!   that travels inside the job message — so a worker can parent its
+//!   queue/service spans under the dispatch span *without any extra
+//!   protocol field*, in both backends;
+//! * **exporters**: newline-delimited JSON ([`JsonlSink`]) and the
+//!   Chrome `trace_event` format ([`ChromeSink`]), loadable directly in
+//!   `chrome://tracing` / Perfetto;
+//! * **the parity rendering** ([`normalized`]): a timestamp-free,
+//!   identity-free rendering of the causal forest, byte-comparable
+//!   between a simulator run (virtual time) and a threaded-runtime run
+//!   (wall-clock time) of the same scenario.
+//!
+//! Span names, categories and class tags are interned `&'static str`s
+//! (the `sns_sim::intern` pool that also backs `MetricKey`), so span
+//! construction on the hot path never allocates.
+//!
+//! ## Example
+//!
+//! ```
+//! use sns_core::trace::{self, Tracer};
+//! use sns_sim::{ComponentId, SimTime};
+//!
+//! let tracer = Tracer::enabled();
+//! tracer.record(trace::span(
+//!     trace::request_span_id(ComponentId(7), 1),
+//!     None,
+//!     trace::REQUEST,
+//!     trace::CAT_FE,
+//!     ComponentId(7),
+//!     "",
+//!     SimTime::ZERO,
+//!     SimTime::from_millis(12),
+//!     1024,
+//!     true,
+//! ));
+//! let log = tracer.snapshot().unwrap();
+//! assert!(trace::to_jsonl(&log).starts_with("{\"id\":\"req:c7:1\""));
+//! assert!(trace::to_chrome(&log).starts_with("{\"traceEvents\":["));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sns_sim::time::SimTime;
+use sns_sim::ComponentId;
+
+pub use sns_sim::trace::{SpanId, SpanRecord, TraceLog, Tracer};
+
+/// Root span covering one client request inside a front end.
+pub const REQUEST: &str = "request";
+/// Per-request TCP/kernel overhead burned before service logic runs.
+pub const OVERHEAD: &str = "overhead";
+/// A local front-end compute burst (page assembly, collation).
+pub const COMPUTE: &str = "compute";
+/// A dispatched job, from lottery to response (includes queue wait,
+/// retries and the network in both directions).
+pub const DISPATCH: &str = "dispatch";
+/// Time a job waited in a worker's queue before service began.
+pub const QUEUE: &str = "queue";
+/// Time a worker spent servicing a job.
+pub const SERVICE: &str = "service";
+
+/// Category for spans emitted by the front-end framework.
+pub const CAT_FE: &str = "fe";
+/// Category for spans emitted by the dispatch plane (manager stub).
+pub const CAT_STUB: &str = "stub";
+/// Category for spans emitted by worker stubs / worker threads.
+pub const CAT_WORKER: &str = "worker";
+/// Category for instantaneous monitor events mirrored into the trace.
+pub const CAT_MONITOR: &str = "monitor";
+
+/// Id of the root span for request `req_id` admitted by front end `fe`.
+pub fn request_span_id(fe: ComponentId, req_id: u64) -> SpanId {
+    SpanId {
+        kind: "req",
+        owner: fe,
+        n: req_id,
+    }
+}
+
+/// Id of the dispatch span for job `job_id` dispatched by `reply_to`.
+/// Both values travel inside [`crate::msg::Job`], so the worker side
+/// derives the same id without extra protocol state.
+pub fn job_span_id(reply_to: ComponentId, job_id: u64) -> SpanId {
+    SpanId {
+        kind: "job",
+        owner: reply_to,
+        n: job_id,
+    }
+}
+
+/// Id of the admission-overhead span for request `req_id` on front end
+/// `fe` (the §4.4 TCP/kernel cost burned before service logic runs).
+pub fn overhead_span_id(fe: ComponentId, req_id: u64) -> SpanId {
+    SpanId {
+        kind: "ovh",
+        owner: fe,
+        n: req_id,
+    }
+}
+
+/// Id of a local front-end compute span (`compute_id` is the front
+/// end's compute counter, unique across its requests).
+pub fn compute_span_id(fe: ComponentId, compute_id: u64) -> SpanId {
+    SpanId {
+        kind: "cpu",
+        owner: fe,
+        n: compute_id,
+    }
+}
+
+/// Id of the queue-wait span for job `job_id` inside worker `worker`.
+pub fn queue_span_id(worker: ComponentId, job_id: u64) -> SpanId {
+    SpanId {
+        kind: "wq",
+        owner: worker,
+        n: job_id,
+    }
+}
+
+/// Id of the service span for job `job_id` inside worker `worker`.
+pub fn service_span_id(worker: ComponentId, job_id: u64) -> SpanId {
+    SpanId {
+        kind: "ws",
+        owner: worker,
+        n: job_id,
+    }
+}
+
+/// Builds a [`SpanRecord`] (plain constructor, mirrors the field
+/// order; keeps emission sites to one expression).
+#[allow(clippy::too_many_arguments)]
+pub fn span(
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    cat: &'static str,
+    who: ComponentId,
+    class: &'static str,
+    start: SimTime,
+    end: SimTime,
+    bytes: u64,
+    ok: bool,
+) -> SpanRecord {
+    SpanRecord {
+        id,
+        parent,
+        name,
+        cat,
+        who,
+        class,
+        start,
+        end,
+        bytes,
+        ok,
+    }
+}
+
+/// A consumer of spans during export. Implementations accumulate into
+/// an internal buffer; [`TraceSink::into_string`] closes any framing
+/// and returns the finished document.
+pub trait TraceSink {
+    /// Consumes one span, in log order.
+    fn span(&mut self, s: &SpanRecord);
+    /// Finishes the export and returns the rendered document.
+    fn into_string(self: Box<Self>) -> String;
+}
+
+/// Drives every span of `log` through `sink` and returns the document.
+pub fn export(log: &TraceLog, mut sink: Box<dyn TraceSink>) -> String {
+    for s in log.spans() {
+        sink.span(s);
+    }
+    sink.into_string()
+}
+
+/// Renders `log` as newline-delimited JSON, one span per line, in
+/// emission order. Same-seed runs produce byte-identical output (this
+/// is the determinism surface checked in `tests/determinism.rs`).
+pub fn to_jsonl(log: &TraceLog) -> String {
+    export(log, Box::new(JsonlSink::new()))
+}
+
+/// Renders `log` in the Chrome `trace_event` format (a JSON object
+/// with a `traceEvents` array), loadable in `chrome://tracing` and
+/// Perfetto. Complete spans become `ph:"X"` events with microsecond
+/// `ts`/`dur`; instants become `ph:"i"` events.
+pub fn to_chrome(log: &TraceLog) -> String {
+    export(log, Box::new(ChromeSink::new()))
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Newline-delimited JSON exporter: one object per span with the raw
+/// model fields (`id`, `parent`, `name`, `cat`, `who`, `class`,
+/// `start_ns`, `end_ns`, `bytes`, `ok`).
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    out: String,
+}
+
+impl JsonlSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn span(&mut self, s: &SpanRecord) {
+        let out = &mut self.out;
+        let _ = write!(out, "{{\"id\":\"{}\",", s.id.render());
+        match s.parent {
+            Some(p) => {
+                let _ = write!(out, "\"parent\":\"{}\",", p.render());
+            }
+            None => out.push_str("\"parent\":null,"),
+        }
+        out.push_str("\"name\":\"");
+        escape_into(out, s.name);
+        out.push_str("\",\"cat\":\"");
+        escape_into(out, s.cat);
+        let _ = write!(out, "\",\"who\":{},\"class\":\"", s.who.0);
+        escape_into(out, s.class);
+        let _ = writeln!(
+            out,
+            "\",\"start_ns\":{},\"end_ns\":{},\"bytes\":{},\"ok\":{}}}",
+            s.start.as_nanos(),
+            s.end.as_nanos(),
+            s.bytes,
+            s.ok
+        );
+    }
+
+    fn into_string(self: Box<Self>) -> String {
+        self.out
+    }
+}
+
+/// Chrome `trace_event` exporter. `pid` is always 1; `tid` is the
+/// emitting component id, so each component gets its own track in the
+/// viewer. Timestamps are microseconds with nanosecond precision kept
+/// in three decimal places (rendered deterministically, no floats).
+#[derive(Debug, Default)]
+pub struct ChromeSink {
+    out: String,
+    any: bool,
+}
+
+impl ChromeSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        ChromeSink::default()
+    }
+
+    fn event_head(&mut self, s: &SpanRecord) {
+        if self.any {
+            self.out.push(',');
+        } else {
+            self.out.push_str("{\"traceEvents\":[");
+            self.any = true;
+        }
+        self.out.push_str("{\"name\":\"");
+        escape_into(&mut self.out, s.name);
+        self.out.push_str("\",\"cat\":\"");
+        escape_into(&mut self.out, s.cat);
+        let ns = s.start.as_nanos();
+        let _ = write!(
+            self.out,
+            "\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}",
+            ns / 1_000,
+            ns % 1_000,
+            s.who.0
+        );
+    }
+
+    fn event_tail(&mut self, s: &SpanRecord) {
+        let _ = write!(self.out, ",\"args\":{{\"id\":\"{}\"", s.id.render());
+        if let Some(p) = s.parent {
+            let _ = write!(self.out, ",\"parent\":\"{}\"", p.render());
+        }
+        if !s.class.is_empty() {
+            self.out.push_str(",\"class\":\"");
+            escape_into(&mut self.out, s.class);
+            self.out.push('"');
+        }
+        let _ = write!(self.out, ",\"bytes\":{},\"ok\":{}}}}}", s.bytes, s.ok);
+    }
+}
+
+impl TraceSink for ChromeSink {
+    fn span(&mut self, s: &SpanRecord) {
+        self.event_head(s);
+        if s.start == s.end {
+            self.out.push_str(",\"ph\":\"i\",\"s\":\"g\"");
+        } else {
+            let dur = s.end.since(s.start).as_nanos() as u64;
+            let _ = write!(
+                self.out,
+                ",\"ph\":\"X\",\"dur\":{}.{:03}",
+                dur / 1_000,
+                dur % 1_000
+            );
+        }
+        self.event_tail(s);
+    }
+
+    fn into_string(self: Box<Self>) -> String {
+        let mut out = self.out;
+        if self.any {
+            out.push_str("]}");
+        } else {
+            out.push_str("{\"traceEvents\":[]}");
+        }
+        out
+    }
+}
+
+/// Renders the causal forest without timestamps or component
+/// identities: one line per span — `kind:n name cat class=<c> ok|fail`
+/// — indented under its parent, roots sorted by (`kind`, `n`) and
+/// children by (`start`, `kind`, `n`). Monitor instants are excluded.
+///
+/// Because worker *identity* is a scheduling decision (the lottery
+/// draws from backend-local RNG streams) while the causal *shape* is
+/// policy, this rendering is the sim-vs-rt parity surface used by
+/// `tests/control_plane_parity.rs`: same scenario, byte-equal forests.
+pub fn normalized(log: &TraceLog) -> String {
+    let spans = log.spans();
+    let mut roots: Vec<usize> = Vec::new();
+    let mut children: BTreeMap<SpanId, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.id.kind == "mon" {
+            continue;
+        }
+        match s.parent {
+            Some(p) => children.entry(p).or_default().push(i),
+            None => roots.push(i),
+        }
+    }
+    let order = |&i: &usize| {
+        let s = &spans[i];
+        (s.start, s.id.kind, s.id.n)
+    };
+    roots.sort_by_key(|&i| (spans[i].id.kind, spans[i].id.n));
+    for v in children.values_mut() {
+        v.sort_by_key(order);
+    }
+    let mut out = String::new();
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let s = &spans[i];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = writeln!(
+            out,
+            "{}:{} {} {} class={} {}",
+            s.id.kind,
+            s.id.n,
+            s.name,
+            s.cat,
+            if s.class.is_empty() { "-" } else { s.class },
+            if s.ok { "ok" } else { "fail" }
+        );
+        if let Some(kids) = children.get(&s.id) {
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Direct children of `parent` in `log`, in emission order.
+pub fn children_of(log: &TraceLog, parent: SpanId) -> Vec<&SpanRecord> {
+    log.spans()
+        .iter()
+        .filter(|s| s.parent == Some(parent))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> TraceLog {
+        let t = Tracer::enabled();
+        let fe = ComponentId(5);
+        let w = ComponentId(9);
+        let req = request_span_id(fe, 1);
+        let job = job_span_id(fe, 1);
+        t.record(span(
+            job,
+            Some(req),
+            DISPATCH,
+            CAT_STUB,
+            w,
+            "echo",
+            SimTime::from_millis(2),
+            SimTime::from_millis(9),
+            640,
+            true,
+        ));
+        t.record(span(
+            queue_span_id(w, 1),
+            Some(job),
+            QUEUE,
+            CAT_WORKER,
+            w,
+            "echo",
+            SimTime::from_millis(3),
+            SimTime::from_millis(4),
+            0,
+            true,
+        ));
+        t.record(span(
+            req,
+            None,
+            REQUEST,
+            CAT_FE,
+            fe,
+            "",
+            SimTime::ZERO,
+            SimTime::from_millis(9),
+            640,
+            true,
+        ));
+        t.instant("spawned", CAT_MONITOR, ComponentId(1), SimTime::ZERO);
+        t.snapshot().unwrap()
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let out = to_jsonl(&log());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"id\":\"job:c5:1\",\"parent\":\"req:c5:1\""));
+        assert!(lines[2].contains("\"parent\":null"));
+        assert!(lines[2].contains("\"start_ns\":0,\"end_ns\":9000000"));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(l.matches('"').count() % 2, 0, "balanced quotes: {l}");
+        }
+    }
+
+    #[test]
+    fn chrome_export_frames_complete_and_instant_events() {
+        let out = to_chrome(&log());
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.ends_with("]}"));
+        // 7 ms dispatch span → ts 2000 µs, dur 7000 µs.
+        assert!(out.contains("\"ts\":2000.000,\"pid\":1,\"tid\":9,\"ph\":\"X\",\"dur\":7000.000"));
+        assert!(out.contains("\"ph\":\"i\",\"s\":\"g\""));
+        assert!(out.contains("\"class\":\"echo\""));
+        let empty = to_chrome(&TraceLog::new());
+        assert_eq!(empty, "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn normalized_drops_identity_and_time_but_keeps_shape() {
+        let n = normalized(&log());
+        assert_eq!(
+            n,
+            "req:1 request fe class=- ok\n  job:1 dispatch stub class=echo ok\n    wq:1 queue worker class=echo ok\n"
+        );
+    }
+
+    #[test]
+    fn children_lookup_follows_parent_links() {
+        let l = log();
+        let kids = children_of(&l, request_span_id(ComponentId(5), 1));
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].name, DISPATCH);
+    }
+}

@@ -25,7 +25,8 @@ use sns_sim::{ComponentId, GroupId};
 
 use crate::monitor::MonitorEvent;
 use crate::msg::{Job, JobResult, SnsMsg};
-use crate::{Payload, WorkerClass};
+use crate::trace;
+use crate::{intern_class, Payload, WorkerClass};
 
 /// How a worker job can fail.
 #[derive(Debug, Clone)]
@@ -84,8 +85,10 @@ pub struct WorkerStubConfig {
 pub struct WorkerStub {
     logic: Box<dyn WorkerLogic>,
     cfg: WorkerStubConfig,
-    queue: VecDeque<(Arc<Job>, Duration)>,
-    in_service: BTreeMap<u64, (Arc<Job>, Duration)>,
+    /// Queued jobs: (job, estimated cost, when enqueued).
+    queue: VecDeque<(Arc<Job>, Duration, SimTime)>,
+    /// Jobs in service: token → (job, estimated cost, service start).
+    in_service: BTreeMap<u64, (Arc<Job>, Duration, SimTime)>,
     next_token: u64,
     manager: Option<(ComponentId, u64)>,
     draining: bool,
@@ -123,8 +126,8 @@ impl WorkerStub {
                 let total: Duration = self
                     .queue
                     .iter()
-                    .map(|(_, c)| *c)
-                    .chain(self.in_service.values().map(|(_, c)| *c))
+                    .map(|(_, c, _)| *c)
+                    .chain(self.in_service.values().map(|(_, c, _)| *c))
                     .sum();
                 (total.as_secs_f64() / unit.as_secs_f64().max(1e-9)).ceil() as u32
             }
@@ -152,12 +155,27 @@ impl WorkerStub {
 
     fn try_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
         while (self.in_service.len() as u32) < self.logic.concurrency() {
-            let Some((job, est)) = self.queue.pop_front() else {
+            let Some((job, est, enqueued)) = self.queue.pop_front() else {
                 break;
             };
             let token = self.next_token;
             self.next_token += 1;
             let now = ctx.now();
+            if ctx.tracer().is_enabled() {
+                let me = ctx.me();
+                ctx.tracer().record(trace::span(
+                    trace::queue_span_id(me, job.id),
+                    Some(trace::job_span_id(job.reply_to, job.id)),
+                    trace::QUEUE,
+                    trace::CAT_WORKER,
+                    me,
+                    intern_class(self.logic.class().name()),
+                    enqueued,
+                    now,
+                    0,
+                    true,
+                ));
+            }
             let d = {
                 // Fork the stream: service_time needs &mut logic + rng.
                 let mut fork = ctx.rng().fork();
@@ -168,12 +186,39 @@ impl WorkerStub {
             } else {
                 ctx.timer(d, token);
             }
-            self.in_service.insert(token, (job, est));
+            self.in_service.insert(token, (job, est, now));
+        }
+    }
+
+    /// Records the service span for a finished (or crashed) job.
+    fn service_span(
+        &mut self,
+        ctx: &mut Ctx<'_, SnsMsg>,
+        job: &Job,
+        started: SimTime,
+        bytes: u64,
+        ok: bool,
+    ) {
+        if ctx.tracer().is_enabled() {
+            let me = ctx.me();
+            let now = ctx.now();
+            ctx.tracer().record(trace::span(
+                trace::service_span_id(me, job.id),
+                Some(trace::job_span_id(job.reply_to, job.id)),
+                trace::SERVICE,
+                trace::CAT_WORKER,
+                me,
+                intern_class(self.logic.class().name()),
+                started,
+                now,
+                bytes,
+                ok,
+            ));
         }
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_, SnsMsg>, token: u64) {
-        let Some((job, _)) = self.in_service.remove(&token) else {
+        let Some((job, _, started)) = self.in_service.remove(&token) else {
             return;
         };
         let now = ctx.now();
@@ -184,6 +229,7 @@ impl WorkerStub {
             Ok(payload) => {
                 self.jobs_done += 1;
                 ctx.stats().incr("worker.jobs_done", 1);
+                self.service_span(ctx, &job, started, payload.wire_size(), true);
                 ctx.send(
                     job.reply_to,
                     SnsMsg::WorkResponse {
@@ -195,6 +241,7 @@ impl WorkerStub {
             }
             Err(WorkerError::Failed(reason)) => {
                 ctx.stats().incr("worker.jobs_failed", 1);
+                self.service_span(ctx, &job, started, 0, false);
                 ctx.send(
                     job.reply_to,
                     SnsMsg::WorkResponse {
@@ -209,6 +256,7 @@ impl WorkerStub {
                 // Front-end timeouts and the manager's broken-connection
                 // detection recover (§3.1.3).
                 ctx.stats().incr("worker.crashes", 1);
+                self.service_span(ctx, &job, started, 0, false);
                 ctx.multicast(
                     self.cfg.monitor_group,
                     SnsMsg::Monitor(Arc::new(MonitorEvent::WorkerCrashed {
@@ -290,7 +338,7 @@ impl Component<SnsMsg> for WorkerStub {
                     let mut fork = ctx.rng().fork();
                     self.logic.service_time(&job, now, &mut fork)
                 };
-                self.queue.push_back((job, est));
+                self.queue.push_back((job, est, ctx.now()));
                 self.try_start(ctx);
             }
             SnsMsg::Shutdown => {
@@ -516,8 +564,10 @@ mod tests {
             });
             counting
                 .queue
-                .push_back((job.clone(), Duration::from_millis(10)));
-            weighted.queue.push_back((job, Duration::from_millis(10)));
+                .push_back((job.clone(), Duration::from_millis(10), SimTime::ZERO));
+            weighted
+                .queue
+                .push_back((job, Duration::from_millis(10), SimTime::ZERO));
         }
         assert_eq!(counting.qlen(), 4, "item count");
         assert_eq!(weighted.qlen(), 8, "40 ms of work in 5 ms units");

@@ -46,6 +46,7 @@ pub struct HotBotBuilder {
     vocab: usize,
     auto_restart_partitions: bool,
     scheduler: SchedulerKind,
+    tracing: bool,
 }
 
 impl Default for HotBotBuilder {
@@ -63,6 +64,7 @@ impl Default for HotBotBuilder {
             vocab: 20_000,
             auto_restart_partitions: true,
             scheduler: SchedulerKind::default(),
+            tracing: false,
         }
     }
 }
@@ -135,6 +137,15 @@ impl HotBotBuilder {
         self.auto_restart_partitions = on;
         self
     }
+
+    /// Enables end-to-end request tracing: every query, partition
+    /// fan-out dispatch, queue wait and service stage is recorded as a
+    /// span, exportable via [`HotBotCluster::trace`] — see
+    /// `OBSERVABILITY.md`.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
 }
 
 /// The built HotBot cluster.
@@ -190,6 +201,9 @@ impl HotBotBuilder {
             },
             San::new(topo.san.clone()),
         );
+        if self.tracing {
+            sim.set_tracer(sns_core::trace::Tracer::enabled());
+        }
         // One dedicated node per partition; workers are bound to them.
         let partition_nodes: Vec<NodeId> = (0..partitions)
             .map(|_| sim.add_node(NodeSpec::new(topo.cores_per_node, "dedicated")))
@@ -282,6 +296,14 @@ impl HotBotBuilder {
 }
 
 impl HotBotCluster {
+    /// Snapshot of the recorded request trace, or `None` unless the
+    /// cluster was built with [`HotBotBuilder::with_tracing`]. Export
+    /// with [`sns_core::trace::to_jsonl`] or
+    /// [`sns_core::trace::to_chrome`].
+    pub fn trace(&self) -> Option<sns_core::trace::TraceLog> {
+        self.sim.tracer().snapshot()
+    }
+
     /// Attaches a query client; returns its report handle.
     pub fn attach_client(
         &mut self,

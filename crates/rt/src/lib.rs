@@ -78,8 +78,9 @@ use sns_core::control::{
 use sns_core::invariant::MonitorLog;
 use sns_core::monitor::MonitorEvent;
 use sns_core::msg::{JobResult, ProfileData};
+use sns_core::trace::{self, TraceLog, Tracer};
 use sns_core::worker::{WorkerError, WorkerLogic};
-use sns_core::{Payload, SnsConfig, WorkerClass};
+use sns_core::{intern_class, Payload, SnsConfig, WorkerClass};
 use sns_sim::rng::Pcg32;
 use sns_sim::time::SimTime;
 use sns_sim::{ComponentId, NodeId};
@@ -121,6 +122,10 @@ pub struct RtConfig {
     /// refusal path already handles dead-worker retries, so this only
     /// fires for jobs stranded with no live worker.
     pub dispatch_timeout: Duration,
+    /// Record end-to-end spans (dispatch, queue wait, service) into an
+    /// in-memory trace, exportable via [`RtCluster::trace_snapshot`].
+    /// Timestamps are wall-clock nanoseconds since cluster start.
+    pub tracing: bool,
 }
 
 impl Default for RtConfig {
@@ -133,6 +138,7 @@ impl Default for RtConfig {
             restart_on_crash: true,
             nodes: 1,
             dispatch_timeout: Duration::from_secs(60),
+            tracing: false,
         }
     }
 }
@@ -143,6 +149,9 @@ pub type RtWorkerFactory = Box<dyn Fn() -> Box<dyn WorkerLogic> + Send + Sync>;
 struct RtJob {
     job: sns_core::msg::Job,
     reply: mpsc::SyncSender<JobResult>,
+    /// When the job entered a worker inbox (queue-wait span start;
+    /// survives salvage/redispatch so the wait covers the whole gap).
+    enqueued: SimTime,
 }
 
 /// One live worker thread's handle.
@@ -234,6 +243,9 @@ pub struct RtCluster {
     /// Times a poisoned lock was recovered (a worker panicked while
     /// holding it).
     pub lock_poisoned: Arc<AtomicU64>,
+    /// Span recorder shared by the submit path and the worker threads;
+    /// disabled (no-op) unless [`RtConfig::tracing`] is set.
+    tracer: Tracer,
 }
 
 impl RtCluster {
@@ -257,7 +269,11 @@ impl RtCluster {
                     incarnation: 0,
                     restart_front_ends: false,
                 }),
-                dispatch: DispatchPlane::new(plane_sns),
+                dispatch: {
+                    let mut d = DispatchPlane::new(plane_sns);
+                    d.set_tracing(cfg.tracing);
+                    d
+                },
                 workers: Vec::new(),
                 factories: BTreeMap::new(),
                 policies: BTreeMap::new(),
@@ -283,6 +299,11 @@ impl RtCluster {
             restarts: Arc::new(AtomicU64::new(0)),
             redispatched: Arc::new(AtomicU64::new(0)),
             lock_poisoned: Arc::new(AtomicU64::new(0)),
+            tracer: if cfg.tracing {
+                Tracer::enabled()
+            } else {
+                Tracer::disabled()
+            },
             cfg,
         });
         cluster.start_manager();
@@ -442,6 +463,13 @@ impl RtCluster {
                     self.deliver(inner, out);
                 }
                 ControlEffect::Emit(ev) => {
+                    // Mirror decisions into the trace as instants (the
+                    // sim monitor does the same), so recoveries line up
+                    // with the request spans they perturb.
+                    if self.tracer.is_enabled() && !matches!(ev, MonitorEvent::Heartbeat { .. }) {
+                        self.tracer
+                            .instant(ev.kind_key(), trace::CAT_MONITOR, MANAGER, now);
+                    }
                     lock(&self.log, &self.lock_poisoned).push(now, ev);
                 }
                 ControlEffect::Incr { key, n } => self.incr(key, n),
@@ -480,6 +508,7 @@ impl RtCluster {
                     match inbox.send(RtJob {
                         job: (*job).clone(),
                         reply,
+                        enqueued: self.now(),
                     }) {
                         Ok(()) => {
                             if inner.counted.insert(job.id) {
@@ -499,6 +528,7 @@ impl RtCluster {
                     }
                 }
                 DispatchEffect::Incr { key, n } => self.incr(key, n),
+                DispatchEffect::Span(s) => self.tracer.record(s),
             }
         }
     }
@@ -507,10 +537,11 @@ impl RtCluster {
     /// timeout path now (evict the dead hint, retry elsewhere or give
     /// up) and queue whatever it decides.
     fn refuse(&self, inner: &mut Inner, job_id: u64, queue: &mut VecDeque<DispatchEffect>) {
+        let now = self.now();
         let mut out = Vec::new();
         let verdict = {
             let Inner { dispatch, rng, .. } = inner;
-            dispatch.on_timeout(rng, job_id, &mut out)
+            dispatch.on_timeout(rng, now, job_id, &mut out)
         };
         match verdict {
             TimeoutVerdict::Retried => {
@@ -555,16 +586,19 @@ impl RtCluster {
             let _ = reply_tx.send(JobResult::Failed(format!("no workers of class {class}")));
             return reply_rx;
         }
+        let now = self.now();
         let mut out = Vec::new();
         let job_id = {
             let Inner { dispatch, rng, .. } = inner;
             dispatch.dispatch(
                 rng,
+                now,
                 ComponentId::EXTERNAL,
                 class,
                 op.to_string(),
                 input,
                 profile,
+                None,
                 &mut out,
             )
         };
@@ -603,6 +637,8 @@ impl RtCluster {
         let time_scale = self.cfg.time_scale;
         let seed = self.cfg.seed ^ id;
         let started = self.started;
+        let tracer = self.tracer.clone();
+        let class_key = intern_class(class.name());
         let alive_t = Arc::clone(&alive);
         let kill_t = Arc::clone(&kill);
         let qlen_t = Arc::clone(&qlen);
@@ -652,23 +688,59 @@ impl RtCluster {
                     };
                     qlen_t.store(rx.len() as u64 + 1, Ordering::Relaxed);
                     let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+                    let me = ComponentId(id);
+                    let parent = trace::job_span_id(rt_job.job.reply_to, rt_job.job.id);
+                    if tracer.is_enabled() {
+                        tracer.record(trace::span(
+                            trace::queue_span_id(me, rt_job.job.id),
+                            Some(parent),
+                            trace::QUEUE,
+                            trace::CAT_WORKER,
+                            me,
+                            class_key,
+                            rt_job.enqueued,
+                            now,
+                            0,
+                            true,
+                        ));
+                    }
                     let service = logic.service_time(&rt_job.job, now, &mut rng);
                     let factor = time_scale.max(0.0) * f64::from_bits(slow.load(Ordering::Relaxed));
                     std::thread::sleep(service.mul_f64(factor));
+                    let done = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+                    let service_span = |bytes: u64, ok: bool| {
+                        if tracer.is_enabled() {
+                            tracer.record(trace::span(
+                                trace::service_span_id(me, rt_job.job.id),
+                                Some(parent),
+                                trace::SERVICE,
+                                trace::CAT_WORKER,
+                                me,
+                                class_key,
+                                now,
+                                done,
+                                bytes,
+                                ok,
+                            ));
+                        }
+                    };
                     match logic.process(&rt_job.job, now, &mut rng) {
                         Ok(payload) => {
                             jobs_done.fetch_add(1, Ordering::Relaxed);
+                            service_span(payload.wire_size(), true);
                             let _ = rt_job.reply.send(JobResult::Ok(payload));
-                            finish(&weak, &poisoned, rt_job.job.id);
+                            finish(&weak, &poisoned, &tracer, done, rt_job.job.id);
                         }
                         Err(WorkerError::Failed(reason)) => {
+                            service_span(0, false);
                             let _ = rt_job.reply.send(JobResult::Failed(reason));
-                            finish(&weak, &poisoned, rt_job.job.id);
+                            finish(&weak, &poisoned, &tracer, done, rt_job.job.id);
                         }
                         Err(WorkerError::Crash) => {
                             // No reply, no settlement: the job vanishes
                             // with the "process" (§3.1.6); dispatch
                             // state is reclaimed by the deadline sweep.
+                            service_span(0, false);
                             crash();
                             return;
                         }
@@ -930,6 +1002,19 @@ impl RtCluster {
         lock(&self.log, &self.lock_poisoned).clone()
     }
 
+    /// The cluster's span recorder (disabled unless
+    /// [`RtConfig::tracing`] was set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshot of the recorded trace, or `None` when tracing is off.
+    /// Timestamps are wall-clock nanoseconds since cluster start; use
+    /// [`sns_core::trace::normalized`] for time-free comparisons.
+    pub fn trace_snapshot(&self) -> Option<TraceLog> {
+        self.tracer.snapshot()
+    }
+
     /// A control/dispatch plane counter (e.g. `"manager.load_reports"`,
     /// `"stub.retries"`).
     pub fn counter(&self, key: &str) -> u64 {
@@ -1076,12 +1161,27 @@ impl RtCluster {
 
 /// Settles a completed job in the dispatch plane (called from worker
 /// threads; the weak ref breaks the `Arc` cycle with the cluster).
-fn finish(weak: &Weak<Mutex<Inner>>, poisoned: &AtomicU64, job_id: u64) {
+/// Span effects the plane emits (the closed dispatch span) go straight
+/// to `tracer`.
+fn finish(
+    weak: &Weak<Mutex<Inner>>,
+    poisoned: &AtomicU64,
+    tracer: &Tracer,
+    now: SimTime,
+    job_id: u64,
+) {
     if let Some(m) = weak.upgrade() {
         let mut inner = lock(&m, poisoned);
-        inner.dispatch.on_response(job_id);
+        let mut out = Vec::new();
+        inner.dispatch.on_response(job_id, now, &mut out);
         inner.replies.remove(&job_id);
         inner.deadlines.remove(&job_id);
+        drop(inner);
+        for effect in out {
+            if let DispatchEffect::Span(s) = effect {
+                tracer.record(s);
+            }
+        }
     }
 }
 

@@ -15,6 +15,7 @@ use crate::rng::Pcg32;
 use crate::sched::{Scheduler, SchedulerKind};
 use crate::stats::StatsHub;
 use crate::time::SimTime;
+use crate::trace::Tracer;
 use crate::{ComponentId, GroupId, NodeId};
 
 /// Engine configuration knobs shared by all experiments.
@@ -210,6 +211,7 @@ pub struct Kernel<M, N> {
     next_node: u32,
     next_group: u32,
     trace: bool,
+    tracer: Tracer,
     /// Reusable endpoint buffer for multicast fan-out.
     mcast_scratch: Vec<Endpoint>,
 }
@@ -334,6 +336,7 @@ trait KernelOps<M> {
     fn now(&self) -> SimTime;
     fn rng(&mut self) -> &mut Pcg32;
     fn stats(&mut self) -> &mut StatsHub;
+    fn tracer(&self) -> &Tracer;
     fn send(&mut self, from: ComponentId, to: ComponentId, msg: M, class: TrafficClass);
     fn multicast(&mut self, from: ComponentId, group: GroupId, msg: M, class: TrafficClass);
     fn join(&mut self, comp: ComponentId, group: GroupId);
@@ -361,6 +364,9 @@ impl<M: Wire + Clone, N: Network> KernelOps<M> for Kernel<M, N> {
     }
     fn stats(&mut self) -> &mut StatsHub {
         &mut self.stats
+    }
+    fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
     fn send(&mut self, from: ComponentId, to: ComponentId, msg: M, class: TrafficClass) {
         self.do_send(from, to, msg, class);
@@ -462,6 +468,11 @@ impl<'a, M> Ctx<'a, M> {
     /// The shared measurement sink.
     pub fn stats(&mut self) -> &mut StatsHub {
         self.kernel.stats()
+    }
+
+    /// The span recorder (disabled by default; see [`Sim::set_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        self.kernel.tracer()
     }
 
     /// Sends a reliable (TCP-like) unicast message.
@@ -632,6 +643,7 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
                 next_node: 0,
                 next_group: 0,
                 trace: false,
+                tracer: Tracer::disabled(),
                 mcast_scratch: Vec::new(),
             },
             components: Slab::new(),
@@ -645,6 +657,19 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
     /// Enables verbose event tracing to stderr (debugging aid).
     pub fn set_trace(&mut self, on: bool) {
         self.kernel.trace = on;
+    }
+
+    /// Installs a span recorder; components reach it through
+    /// [`Ctx::tracer`]. Install an enabled tracer *before* the run and
+    /// keep a clone to read the log afterwards.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.kernel.tracer = tracer;
+    }
+
+    /// The installed span recorder (disabled unless [`Sim::set_tracer`]
+    /// was called with an enabled one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.kernel.tracer
     }
 
     /// Current virtual time.

@@ -52,6 +52,7 @@ pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 /// A cluster node identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -88,6 +89,7 @@ pub use rng::Pcg32;
 pub use sched::{HeapScheduler, Scheduler, SchedulerKind, WheelScheduler};
 pub use stats::{Histogram, MetricKey, Series, StatsHub, Summary};
 pub use time::SimTime;
+pub use trace::{SpanId, SpanRecord, TraceLog, Tracer};
 
 /// Interns a name, returning its canonical `&'static str`. Each distinct
 /// name leaks exactly one copy; repeated calls with the same content are

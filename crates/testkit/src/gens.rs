@@ -227,9 +227,9 @@ fn parse_pattern(pattern: &str) -> Vec<Atom> {
     atoms
 }
 
-/// Strings matching a `[class]{m,n}` pattern (see [`parse_pattern`] for
-/// the supported subset). The zero stream maps to the shortest string of
-/// first-in-class characters.
+/// Strings matching a `[class]{m,n}` pattern (literals, `[a-z0-9_]`
+/// classes and `{m}`/`{m,n}` quantifiers). The zero stream maps to the
+/// shortest string of first-in-class characters.
 pub fn string(pattern: &str) -> Gen<String> {
     let atoms = parse_pattern(pattern);
     Gen::new(move |src| {

@@ -61,6 +61,7 @@ pub struct TranSendBuilder {
     distiller_crash_prob: f64,
     delta_correction: bool,
     scheduler: SchedulerKind,
+    tracing: bool,
 }
 
 impl Default for TranSendBuilder {
@@ -87,6 +88,7 @@ impl Default for TranSendBuilder {
             distiller_crash_prob: 0.0,
             delta_correction: true,
             scheduler: SchedulerKind::default(),
+            tracing: false,
         }
     }
 }
@@ -224,6 +226,15 @@ impl TranSendBuilder {
     /// reproduce the load-balancing oscillations).
     pub fn with_delta_correction(mut self, on: bool) -> Self {
         self.delta_correction = on;
+        self
+    }
+
+    /// Enables end-to-end request tracing: every request, dispatch,
+    /// queue wait and service stage is recorded as a span (virtual-time
+    /// stamps), exportable via [`TranSendCluster::trace`] — see
+    /// `OBSERVABILITY.md`.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 }
@@ -391,6 +402,9 @@ impl TranSendBuilder {
             },
             san,
         );
+        if self.tracing {
+            sim.set_tracer(sns_core::trace::Tracer::enabled());
+        }
 
         // Nodes. Worker pool is "dedicated"/"overflow" (the manager's
         // placement tags); everything else is out of the autoscaler's
@@ -549,5 +563,13 @@ impl TranSendCluster {
     /// All live distiller workers of a class (e.g. `"distiller/jpeg"`).
     pub fn distillers_of(&self, class: &str) -> Vec<ComponentId> {
         self.sim.components_of_kind(sns_core::intern_class(class))
+    }
+
+    /// Snapshot of the recorded request trace, or `None` unless the
+    /// cluster was built with [`TranSendBuilder::with_tracing`]. Export
+    /// with [`sns_core::trace::to_jsonl`] or
+    /// [`sns_core::trace::to_chrome`].
+    pub fn trace(&self) -> Option<sns_core::trace::TraceLog> {
+        self.sim.tracer().snapshot()
     }
 }

@@ -3,10 +3,17 @@
 //!
 //! ```sh
 //! cargo run --release --example transend_trace
+//! # Also capture a request trace (see OBSERVABILITY.md):
+//! cargo run --release --example transend_trace -- transend.trace.json
 //! ```
+//!
+//! With an output path the run records every request as a span tree and
+//! writes a Chrome `trace_event` file loadable in `chrome://tracing` or
+//! https://ui.perfetto.dev.
 
 use std::time::Duration;
 
+use cluster_sns::core::trace::to_chrome;
 use cluster_sns::sim::SimTime;
 use cluster_sns::transend::TranSendBuilder;
 use cluster_sns::workload::bursts::ArrivalProcess;
@@ -14,7 +21,9 @@ use cluster_sns::workload::playback::{Playback, Schedule};
 use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
 
 fn main() {
+    let trace_out = std::env::args().nth(1);
     let mut cluster = TranSendBuilder::new()
+        .with_tracing(trace_out.is_some())
         .with_worker_nodes(8)
         .with_overflow_nodes(2)
         .with_frontends(2)
@@ -109,4 +118,13 @@ fn main() {
         stats.counter("monitor.events"),
         stats.counter("monitor.pages")
     );
+
+    if let Some(path) = trace_out {
+        let log = cluster.trace().expect("tracing was enabled");
+        std::fs::write(&path, to_chrome(&log)).expect("write trace file");
+        println!(
+            "trace               : {} spans → {path} (load in chrome://tracing or ui.perfetto.dev)",
+            log.len()
+        );
+    }
 }

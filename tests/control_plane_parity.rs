@@ -12,6 +12,12 @@
 //! events are filtered to the control plane's *decisions* (`spawned`,
 //! `peer_restarted`), timestamps are stripped, and component/node
 //! tokens are renamed by first appearance.
+//!
+//! The request *traces* are a second parity surface: both runs submit
+//! the same four echo jobs through the shared [`DispatchPlane`], and
+//! the [`sns_core::trace::normalized`] rendering — identity and
+//! timestamps stripped, trees sorted structurally — must be
+//! byte-identical across the two backends.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -21,13 +27,17 @@ use std::time::{Duration, Instant};
 use cluster_sns::core::invariant::MonitorLog;
 use cluster_sns::core::manager::{Manager, ManagerConfig, WorkerSpec};
 use cluster_sns::core::msg::{Job, SnsMsg};
+use cluster_sns::core::trace::{normalized, Tracer};
 use cluster_sns::core::worker::{WorkerError, WorkerLogic, WorkerStub, WorkerStubConfig};
-use cluster_sns::core::{Blob, MonitorTap, Payload, SnsConfig, WorkerClass};
+use cluster_sns::core::{Blob, ManagerStub, MonitorTap, Payload, SnsConfig, WorkerClass};
 use cluster_sns::rt::{RtCluster, RtConfig};
 use cluster_sns::san::{San, SanConfig};
-use cluster_sns::sim::engine::{NodeSpec, Sim, SimConfig};
+use cluster_sns::sim::engine::{Component, Ctx, NodeSpec, Sim, SimConfig};
 use cluster_sns::sim::rng::Pcg32;
-use cluster_sns::sim::SimTime;
+use cluster_sns::sim::{ComponentId, GroupId, SimTime};
+
+/// Jobs each backend pushes through the shared dispatch plane.
+const JOBS: u64 = 4;
 
 struct Echo;
 
@@ -81,13 +91,72 @@ fn decisions(log: &MonitorLog) -> Vec<String> {
         .collect()
 }
 
-/// Simulator run of the script: 3 echo workers, kill one at 6 s and
-/// again at 12 s, stop at 18 s. Returns the tapped monitor log.
-fn sim_run() -> MonitorLog {
+/// A bare dispatch-plane client for the sim side: mirrors the rt
+/// cluster's `submit` path (jobs enter the plane with no parent span),
+/// sending the next job as each response lands.
+struct Submitter {
+    beacon: GroupId,
+    stub: ManagerStub,
+    sent: u64,
+}
+
+impl Submitter {
+    fn send_next(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        if self.sent >= JOBS {
+            return;
+        }
+        self.sent += 1;
+        self.stub.dispatch(
+            ctx,
+            WorkerClass::new("echo"),
+            "echo",
+            Blob::payload(256, "probe"),
+            None,
+            None,
+        );
+    }
+}
+
+impl Component<SnsMsg> for Submitter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        self.stub.set_tracing(ctx.tracer().is_enabled());
+        ctx.join(self.beacon);
+        // First dispatch once beacons have populated the hint cache.
+        ctx.timer(Duration::from_secs(2), 1);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _from: ComponentId, msg: SnsMsg) {
+        match msg {
+            SnsMsg::Beacon(b) => {
+                self.stub.on_beacon(&b);
+                self.stub.flush_pending(ctx);
+            }
+            SnsMsg::WorkResponse { job_id, .. } => {
+                self.stub.on_response(ctx, job_id);
+                self.send_next(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _token: u64) {
+        self.send_next(ctx);
+    }
+
+    fn kind(&self) -> &'static str {
+        "submitter"
+    }
+}
+
+/// Simulator run of the script: 3 echo workers, 4 echo jobs from 2 s,
+/// kill a worker at 6 s and again at 12 s, stop at 18 s. Returns the
+/// tapped monitor log and the normalized trace rendering.
+fn sim_run() -> (MonitorLog, String) {
     let mut sim: Sim<SnsMsg, San> = Sim::new(
         SimConfig::default(),
         San::new(SanConfig::switched_100mbps()),
     );
+    sim.set_tracer(Tracer::enabled());
     let infra = sim.add_node(NodeSpec::new(2, "infra"));
     // One dedicated node, like the rt cluster's single default vnode,
     // so placement decisions line up 1:1.
@@ -129,6 +198,15 @@ fn sim_run() -> MonitorLog {
     );
     let (tap, log) = MonitorTap::new(monitor_group);
     sim.spawn(infra, Box::new(tap), "montap");
+    sim.spawn(
+        infra,
+        Box::new(Submitter {
+            beacon,
+            stub: ManagerStub::new(SnsConfig::default()),
+            sent: 0,
+        }),
+        "submitter",
+    );
 
     for at in [6u64, 12] {
         sim.at(SimTime::from_secs(at), |sim| {
@@ -138,20 +216,28 @@ fn sim_run() -> MonitorLog {
         });
     }
     sim.run_until(SimTime::from_secs(18));
+    let trace = sim.tracer().snapshot().expect("tracing was enabled");
     let out = log.borrow().clone();
-    out
+    (out, normalized(&trace))
 }
 
-/// Threaded-runtime run of the same script: 3 echo workers, crash one,
-/// wait for recovery, crash another, wait again.
-fn rt_run() -> MonitorLog {
+/// Threaded-runtime run of the same script: 3 echo workers, 4 echo
+/// jobs, crash a worker, wait for recovery, crash another, wait again.
+fn rt_run() -> (MonitorLog, String) {
     let c: Arc<RtCluster> = RtCluster::start(RtConfig {
         time_scale: 0.0, // service instantly; only the script order matters
         report_period: Duration::from_millis(10),
         beacon_period: Duration::from_millis(20),
+        tracing: true,
         ..RtConfig::default()
     });
     c.add_workers("echo", 3, || Box::new(Echo));
+    c.refresh_hints_now();
+    for _ in 0..JOBS {
+        let rx = c.submit("echo", "echo", Blob::payload(256, "probe"), None);
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("echo job must be answered");
+    }
     for round in 1..=2u64 {
         assert!(c.crash_worker("echo"), "a live echo worker exists");
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -164,13 +250,14 @@ fn rt_run() -> MonitorLog {
         assert_eq!(c.workers_of("echo"), 3, "round {round} recovered");
     }
     c.shutdown();
-    c.monitor_log()
+    let trace = c.trace_snapshot().expect("tracing was enabled");
+    (c.monitor_log(), normalized(&trace))
 }
 
 #[test]
 fn sim_and_rt_drivers_agree_on_control_decisions() {
-    let sim_decisions = decisions(&sim_run());
-    let rt_decisions = decisions(&rt_run());
+    let sim_decisions = decisions(&sim_run().0);
+    let rt_decisions = decisions(&rt_run().0);
     // Sanity on the shape before the full diff: 3 bootstrap spawns plus
     // a (spawn, peer-restart) pair per kill.
     assert_eq!(
@@ -181,5 +268,23 @@ fn sim_and_rt_drivers_agree_on_control_decisions() {
     assert_eq!(
         sim_decisions, rt_decisions,
         "the two drivers of the shared control plane diverged"
+    );
+}
+
+/// Virtual-time spans and wall-clock spans normalise to the same causal
+/// tree: one `job` root per submitted echo job, each covering the
+/// worker-side `queue` and `service` spans it caused.
+#[test]
+fn sim_and_rt_traces_normalise_to_the_same_span_tree() {
+    let sim_tree = sim_run().1;
+    let rt_tree = rt_run().1;
+    assert_eq!(
+        sim_tree.lines().filter(|l| l.starts_with("job:")).count(),
+        JOBS as usize,
+        "one root per submitted job:\n{sim_tree}"
+    );
+    assert_eq!(
+        sim_tree, rt_tree,
+        "normalized span trees diverged between the sim and rt drivers"
     );
 }

@@ -174,6 +174,48 @@ fn chaos_monitor_logs_are_byte_identical_across_schedulers() {
     assert_eq!(heap, wheel, "monitor logs must match byte-for-byte");
 }
 
+/// One traced TranSend run, exported as JSONL. Trace emission rides the
+/// engine's event order, so the export must inherit the engine's
+/// scheduler-independence.
+fn transend_trace_jsonl_on(seed: u64, scheduler: SchedulerKind) -> String {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(seed)
+        .with_scheduler(scheduler)
+        .with_worker_nodes(5)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .with_tracing(true)
+        .build();
+    let mut gen = TraceGenerator::new(WorkloadConfig {
+        seed: seed ^ 0x55,
+        users: 20,
+        shared_objects: 60,
+        private_per_user: 6,
+        ..Default::default()
+    });
+    let t = gen.constant_rate(4.0, Duration::from_secs(15));
+    let items: Vec<_> = Playback::new(&t, Schedule::Timestamps)
+        .map(|(at, r)| (at, r.clone()))
+        .collect();
+    let _report = cluster.attach_client(items, Duration::from_secs(3));
+    cluster.sim.run_until(SimTime::from_secs(90));
+    let log = cluster.trace().expect("tracing was enabled");
+    assert!(!log.is_empty(), "the run must have recorded spans");
+    cluster_sns::core::trace::to_jsonl(&log)
+}
+
+/// Same seed, same workload: the JSONL trace export is byte-identical
+/// whether the engine schedules with the heap baseline or the timer
+/// wheel — traces are as replayable as the runs they observe.
+#[test]
+fn same_seed_trace_exports_are_byte_identical_across_schedulers() {
+    let heap = transend_trace_jsonl_on(0xd7, SchedulerKind::Heap);
+    let wheel = transend_trace_jsonl_on(0xd7, SchedulerKind::Wheel);
+    assert_eq!(heap, wheel, "trace exports must match byte-for-byte");
+}
+
 #[test]
 fn hotbot_runs_are_bit_identical_given_a_seed() {
     let run = || {

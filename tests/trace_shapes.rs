@@ -1,0 +1,137 @@
+//! Shape checks on the end-to-end request traces (`sns_core::trace`):
+//! a TranSend run with tracing on must export valid Chrome
+//! `trace_event` JSON, and each request's depth-1 child spans —
+//! front-end overhead plus the dispatches issued on its behalf — must
+//! partition the request's lifetime exactly, so the per-stage latency
+//! breakdown (Figure 7) sums to the measured end-to-end latency.
+//!
+//! The workload is pass-through (`MimeType::Other` → identity
+//! pipeline): the only dispatch that *overlaps* the reply is the
+//! fire-and-forget cache inject, which starts exactly at reply time
+//! and is therefore excluded by the strict `start < end` filter below.
+
+use std::time::Duration;
+
+use cluster_sns::core::trace::{normalized, to_chrome, to_jsonl};
+use cluster_sns::sim::SimTime;
+use cluster_sns::transend::TranSendBuilder;
+use cluster_sns::workload::trace::TraceRecord;
+use cluster_sns::workload::MimeType;
+
+/// A small pass-through workload: distinct binary objects, one request
+/// every 400 ms.
+fn passthrough_items(n: u64) -> Vec<(Duration, TraceRecord)> {
+    (0..n)
+        .map(|i| {
+            (
+                Duration::from_millis(400 * i),
+                TraceRecord {
+                    at: Duration::from_millis(400 * i),
+                    user: 7,
+                    url: format!("bin://object/{i}"),
+                    mime: MimeType::Other,
+                    size: 16 * 1024,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Minimal structural JSON validation: balanced braces/brackets outside
+/// strings, correct escape handling, nothing after the top-level value.
+fn assert_valid_json(s: &str) {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut closed = false;
+    for c in s.chars() {
+        if closed {
+            panic!("trailing garbage after top-level JSON value");
+        }
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced close");
+                if depth == 0 {
+                    closed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(closed, "JSON value never closed");
+}
+
+#[test]
+fn transend_trace_is_valid_chrome_json_and_spans_sum_to_latency() {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0x7a11)
+        .with_worker_nodes(5)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .with_tracing(true)
+        .build();
+    let report = cluster.attach_client(passthrough_items(12), Duration::from_secs(3));
+    cluster.sim.run_until(SimTime::from_secs(60));
+    assert_eq!(report.borrow().responses, 12, "all requests answered");
+
+    let log = cluster.trace().expect("tracing was enabled");
+    assert!(!log.is_empty());
+
+    // Chrome export: structurally valid JSON with one event per span.
+    let chrome = to_chrome(&log);
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with("]}"));
+    assert_valid_json(&chrome);
+    assert_eq!(chrome.matches("\"ph\":").count(), log.len());
+
+    // JSONL export: one line per span.
+    let jsonl = to_jsonl(&log);
+    assert_eq!(jsonl.lines().count(), log.len());
+
+    // The normalized rendering has one root per answered request.
+    let tree = normalized(&log);
+    let roots = tree.lines().filter(|l| l.starts_with("req:")).count();
+    assert_eq!(roots, 12, "one request root per response:\n{tree}");
+
+    // Figure-7 property: every request's depth-1 children (overhead +
+    // dispatches started strictly before the reply) partition its
+    // lifetime, so stage durations sum to end-to-end latency.
+    let mut requests = 0u64;
+    for root in log.spans().iter().filter(|s| s.id.kind == "req") {
+        requests += 1;
+        let children: Vec<_> = log
+            .spans()
+            .iter()
+            .filter(|s| s.parent == Some(root.id) && s.start < root.end)
+            .collect();
+        assert!(
+            children.len() >= 2,
+            "request {} should break into overhead + dispatches",
+            root.id.render()
+        );
+        let stage_sum: u128 = children.iter().map(|s| s.duration().as_nanos()).sum();
+        assert_eq!(
+            stage_sum,
+            root.duration().as_nanos(),
+            "stages of {} must sum to its end-to-end latency (children: {:?})",
+            root.id.render(),
+            children
+        );
+    }
+    assert_eq!(requests, 12);
+}

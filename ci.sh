@@ -37,6 +37,10 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy (offline, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+# The sharded dispatch plane and its core scaffolding get a second,
+# explicit pass so a future narrowing of the workspace lint scope can't
+# silently drop them.
+cargo clippy --offline -p sns-core -p sns-rt --all-targets -- -D warnings
 
 echo "== cargo build --release --offline"
 cargo build --release --offline --workspace
@@ -84,11 +88,32 @@ if [ ! -s BENCH_rt.json ]; then
   exit 1
 fi
 rows=$(grep -c '"bench"' BENCH_rt.json || true)
-if [ "$rows" -lt 2 ]; then
-  echo "BENCH_rt.json carries $rows rows, expected >= 2 (2 pool sizes)" >&2
+if [ "$rows" -lt 7 ]; then
+  echo "BENCH_rt.json carries $rows rows, expected >= 7 (2 submit pools + 5 scaling pools)" >&2
   exit 1
 fi
 echo "   ok: $rows bench rows in BENCH_rt.json"
+
+echo "== rt_scaling stage: worker-scaling curve guard"
+# The sharded dispatch plane must keep the scaling curve near-linear:
+# 8 workers at least 2x the 1-worker throughput on the service-bound
+# batch (the bench itself reports ~7.7x; 2.0 leaves headroom for a
+# loaded single-core runner). A regression here means submits are
+# serializing on a shared lock again.
+scaling_mean() {
+  grep "\"bench\":\"scaling/workers$1\"" BENCH_rt.json \
+    | sed -E 's/.*"mean_ns":([0-9.]+).*/\1/'
+}
+w1=$(scaling_mean 1)
+w8=$(scaling_mean 8)
+ratio=$(awk -v a="$w1" -v b="$w8" \
+  'BEGIN { if (a > 0 && b > 0) printf "%.2f", a / b; else print "0" }')
+echo "   scaling 1->8 workers: ${ratio}x"
+if ! awk -v r="$ratio" 'BEGIN { exit !(r >= 2.0) }'; then
+  echo "rt scaling ratio $ratio < 2.0: dispatch plane is serializing" >&2
+  exit 1
+fi
+echo "   ok: scaling ratio $ratio >= 2.0"
 
 echo "== rt_parity stage: one control plane, two drivers"
 # The differential suite runs the same fault script through the sim and
@@ -112,7 +137,9 @@ chaos_suite() {
   echo "   ok: $pkg::$suite ($ran tests)"
 }
 chaos_suite cluster-sns control_plane_parity 2
+chaos_suite cluster-sns cluster_api 2
 chaos_suite sns-chaos rt_chaos 2
+chaos_suite sns-rt scaling 2
 
 echo "== chaos stage: fault-injection suites under a pinned seed"
 # The chaos suites must both run and keep their full rosters: a test

@@ -1,15 +1,24 @@
-//! Macro-benchmark of the threaded runtime's submit path: jobs/sec
-//! through `RtCluster::submit` → shared `DispatchPlane` lottery →
-//! worker thread → reply channel, with `time_scale: 0` so service time
-//! is zero and the measurement isolates the control-plane and channel
-//! overhead per job.
+//! Macro-benchmark of the threaded runtime's dispatch path, in two
+//! parts:
+//!
+//! * `submit_1k/workers{1,4}` — jobs/sec through `RtCluster::submit`
+//!   → sharded `DispatchPlane` lottery → worker thread → reply
+//!   channel, with `time_scale: 0` so service time is zero and the
+//!   measurement isolates dispatch and channel overhead per job.
+//! * `scaling/workers{1,2,4,8,16}` — the worker-scaling curve: a
+//!   fixed batch of jobs with a real (slept) service time, submitted
+//!   from several threads, with one dispatch shard per worker and
+//!   work stealing on. Service sleeps overlap across worker threads,
+//!   so wall time should fall near-linearly with the pool size until
+//!   the dispatch plane stops being the bottleneck — this is the curve
+//!   `ci.sh`'s `rt_scaling` stage guards (1→8 workers must be ≥ 2×).
 //!
 //! ```sh
 //! cargo run -p sns-bench --release --bin rt_throughput [-- OUTPUT.json]
 //! ```
 //!
-//! Rows land in `BENCH_rt.json`; jobs/sec per worker-pool size prints
-//! at the end.
+//! Rows land in `BENCH_rt.json`; jobs/sec per pool size prints at the
+//! end.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -23,8 +32,14 @@ use sns_sim::rng::Pcg32;
 use sns_sim::time::SimTime;
 use sns_testkit::{BenchConfig, BenchSuite};
 
-/// Jobs per measured run, shared by all pool sizes.
+/// Jobs per measured zero-service run.
 const JOBS: u64 = 1_000;
+
+/// Jobs per scaling-curve run (smaller: each carries a real sleep).
+const SCALE_JOBS: u64 = 256;
+
+/// Modelled service time per job in the scaling runs.
+const SERVICE: Duration = Duration::from_millis(4);
 
 struct Nop;
 
@@ -40,24 +55,81 @@ impl WorkerLogic for Nop {
     }
 }
 
+struct Sleeper;
+
+impl WorkerLogic for Sleeper {
+    fn class(&self) -> WorkerClass {
+        "nop".into()
+    }
+    fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+        SERVICE
+    }
+    fn process(&mut self, job: &Job, _n: SimTime, _r: &mut Pcg32) -> Result<Payload, WorkerError> {
+        Ok(Blob::payload(job.input.wire_size(), "done"))
+    }
+}
+
 fn cluster(workers: usize) -> Arc<RtCluster> {
-    let c = RtCluster::start(RtConfig {
-        time_scale: 0.0,
-        report_period: Duration::from_millis(10),
-        beacon_period: Duration::from_millis(20),
-        seed: 0x6274,
-        ..RtConfig::default()
-    });
+    let c = RtCluster::start(
+        RtConfig::new()
+            .with_time_scale(0.0)
+            .with_report_period(Duration::from_millis(10))
+            .with_beacon_period(Duration::from_millis(20))
+            .with_seed(0x6274),
+    );
     c.add_workers("nop", workers, || Box::new(Nop));
     c
+}
+
+/// Scaling cluster: real (scaled 1:1) service sleeps, one dispatch
+/// shard per worker, stealing on so a momentarily unlucky lottery
+/// cannot serialize the batch behind one queue.
+fn scaling_cluster(workers: usize) -> Arc<RtCluster> {
+    let c = RtCluster::start(
+        RtConfig::new()
+            .with_time_scale(1.0)
+            .with_report_period(Duration::from_millis(10))
+            .with_beacon_period(Duration::from_millis(20))
+            .with_seed(0x6274)
+            .with_shards(workers)
+            .with_work_stealing(true),
+    );
+    c.add_workers("nop", workers, || Box::new(Sleeper));
+    c
+}
+
+/// Pushes `SCALE_JOBS` through the cluster from several submitter
+/// threads and waits for every reply.
+fn scaling_run(c: &Arc<RtCluster>, workers: usize) {
+    let submitters = workers.clamp(1, 8);
+    let per = SCALE_JOBS / submitters as u64;
+    let extra = SCALE_JOBS % submitters as u64;
+    std::thread::scope(|s| {
+        for t in 0..submitters {
+            let share = per + u64::from((t as u64) < extra);
+            let c = Arc::clone(c);
+            s.spawn(move || {
+                let receivers: Vec<_> = (0..share)
+                    .map(|i| c.submit("nop", "op", Blob::payload(64 + i, "x"), None))
+                    .collect();
+                for rx in receivers {
+                    match rx.recv().expect("reply") {
+                        JobResult::Ok(_) => {}
+                        JobResult::Failed(e) => panic!("scaling job failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(c.jobs_done.load(Ordering::Relaxed), SCALE_JOBS);
 }
 
 fn main() {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_rt.json".to_string());
-    // Each run pushes 1k jobs through real threads; small budgets still
-    // give one warmup run and at least one measured sample.
+    // Each run pushes a full batch through real threads; small budgets
+    // still give one warmup run and at least one measured sample.
     let mut suite = BenchSuite::with_config(
         "rt",
         BenchConfig {
@@ -86,9 +158,19 @@ fn main() {
             },
         );
     }
+    let scale_pools = [1usize, 2, 4, 8, 16];
+    for workers in scale_pools {
+        suite.bench_batched(
+            &format!("scaling/workers{workers}"),
+            || scaling_cluster(workers),
+            |c| {
+                scaling_run(&c, workers);
+                c.shutdown();
+            },
+        );
+    }
     suite.write_json(&out).expect("write bench rows");
 
-    println!("-- jobs/sec ({JOBS} jobs per run, zero service time)");
     let row = |name: &str| {
         suite
             .rows()
@@ -97,11 +179,22 @@ fn main() {
             .expect("row exists")
             .mean_ns
     };
+    println!("-- jobs/sec ({JOBS} jobs per run, zero service time)");
     for workers in pools {
         let ns = row(&format!("submit_1k/workers{workers}"));
         println!(
             "  workers{workers:<2}  {:>12.0} jobs/s",
             JOBS as f64 / (ns / 1e9)
+        );
+    }
+    println!("-- scaling ({SCALE_JOBS} jobs per run, {SERVICE:?} service, shards = workers)");
+    let base = row("scaling/workers1");
+    for workers in scale_pools {
+        let ns = row(&format!("scaling/workers{workers}"));
+        println!(
+            "  workers{workers:<2}  {:>12.0} jobs/s  ({:.2}x vs 1 worker)",
+            SCALE_JOBS as f64 / (ns / 1e9),
+            base / ns,
         );
     }
     println!("wrote {} rows to {out}", suite.rows().len());

@@ -1,0 +1,544 @@
+//! The simulator as a [`Cluster`]: wraps the discrete-event engine,
+//! a [`Manager`] and a dispatch-stub driver component behind the
+//! backend-agnostic trait, so harness code written against
+//! `&dyn Cluster` runs unchanged over virtual time.
+//!
+//! Where `sns_rt::RtCluster` is inherently concurrent, the simulator
+//! is single-threaded and only advances when *run*; this wrapper keeps
+//! the duality honest by making every trait call a synchronous
+//! mutation of engine state ([`Cluster::submit`] queues into a driver
+//! component, fault injectors kill components/nodes directly) and
+//! letting [`Cluster::settle`] be the only place virtual time moves.
+//! The trait's `budget` is therefore *virtual* seconds here and wall
+//! seconds on rt — the same plan text means the same modelled
+//! schedule, which is exactly the parity discipline.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sns_core::cluster::{Cluster, SettleStats};
+use sns_core::invariant::{MonitorLog, MonitorTap};
+use sns_core::manager::{Manager, ManagerConfig, WorkerSpec};
+use sns_core::msg::{JobResult, SnsMsg};
+use sns_core::trace::{TraceLog, Tracer};
+use sns_core::worker::{WorkerLogic, WorkerStub, WorkerStubConfig};
+use sns_core::{intern_class, ManagerStub, Payload, SnsConfig, WorkerClass};
+use sns_san::{San, SanConfig};
+use sns_sim::engine::{Component, Ctx, NodeSpec, SimConfig};
+use sns_sim::{ComponentId, GroupId, MetricKey, SimTime};
+
+use crate::sim::SnsSim;
+
+/// How often the driver component drains its submit queue and how
+/// finely [`Cluster::settle`] slices its budget.
+const PUMP: Duration = Duration::from_millis(100);
+
+/// Node-pool tag the harness places workers on (the injector grammar's
+/// `pool` name for this backend).
+pub const POOL: &str = "dedicated";
+
+/// Shared cells between [`SimCluster`] (outside the engine) and its
+/// driver component (inside it).
+#[derive(Default)]
+struct DriverShared {
+    /// Submits queued by the trait, drained at the next pump tick.
+    queue: RefCell<VecDeque<(WorkerClass, String, Payload)>>,
+    /// Jobs resolved with `JobResult::Ok` since cluster start.
+    answered: Cell<u64>,
+    /// Jobs resolved with `JobResult::Failed` since cluster start.
+    failed: Cell<u64>,
+}
+
+/// In-sim component owning the [`ManagerStub`]: ingests beacons,
+/// dispatches queued submissions, counts resolutions. This is the
+/// front-end role of Figure 1 reduced to its dispatch duties.
+struct Driver {
+    beacon: GroupId,
+    stub: ManagerStub,
+    shared: Rc<DriverShared>,
+}
+
+impl Component<SnsMsg> for Driver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
+        self.stub.set_tracing(ctx.tracer().is_enabled());
+        ctx.join(self.beacon);
+        ctx.timer(PUMP, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _from: ComponentId, msg: SnsMsg) {
+        match msg {
+            SnsMsg::Beacon(b) => {
+                self.stub.on_beacon(&b);
+                self.stub.flush_pending(ctx);
+            }
+            SnsMsg::WorkResponse { job_id, result, .. } => {
+                // on_response returns None for replies the stub no
+                // longer tracks (already timed out); only live ones
+                // count toward the settle tally.
+                if self.stub.on_response(ctx, job_id).is_none() {
+                    return;
+                }
+                let cell = match result {
+                    JobResult::Ok(_) => &self.shared.answered,
+                    JobResult::Failed(_) => &self.shared.failed,
+                };
+                cell.set(cell.get() + 1);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _token: u64) {
+        while let Some((class, op, input)) = self.shared.queue.borrow_mut().pop_front() {
+            self.stub.dispatch(ctx, class, op, input, None, None);
+        }
+        ctx.timer(PUMP, 0);
+    }
+
+    fn kind(&self) -> &'static str {
+        "driver"
+    }
+}
+
+type LogicFactory = Arc<dyn Fn() -> Box<dyn WorkerLogic> + Send + Sync>;
+
+/// Builder for [`SimCluster`] — the sim-side analogue of configuring
+/// an `RtConfig` and calling `add_workers`.
+pub struct SimClusterBuilder {
+    seed: u64,
+    nodes: usize,
+    tracing: bool,
+    sns: SnsConfig,
+    classes: Vec<(WorkerClass, u32, LogicFactory)>,
+}
+
+impl Default for SimClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimClusterBuilder {
+    /// Starts a builder with one worker node and default SNS timing.
+    pub fn new() -> Self {
+        SimClusterBuilder {
+            seed: 0x517e,
+            nodes: 1,
+            tracing: false,
+            sns: SnsConfig::default(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// Sets the engine RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker nodes (pool tag [`POOL`]).
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.nodes = n.max(1);
+        self
+    }
+
+    /// Enables span tracing.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Overrides the SNS layer timing/policy config.
+    pub fn with_sns(mut self, sns: SnsConfig) -> Self {
+        self.sns = sns;
+        self
+    }
+
+    /// Registers `n` workers of `class` built by `factory` (kept for
+    /// restarts and fresh manager incarnations).
+    pub fn with_workers(
+        mut self,
+        class: &str,
+        n: u32,
+        factory: impl Fn() -> Box<dyn WorkerLogic> + Send + Sync + 'static,
+    ) -> Self {
+        self.classes
+            .push((WorkerClass::new(class), n, Arc::new(factory)));
+        self
+    }
+
+    /// Builds the engine, spawns the manager, monitor tap and driver,
+    /// and runs a short warm-up so the first beacon lands before any
+    /// trait call.
+    pub fn start(self) -> SimCluster {
+        let mut sim: SnsSim = SnsSim::new(
+            SimConfig {
+                seed: self.seed,
+                ..SimConfig::default()
+            },
+            San::new(SanConfig::switched_100mbps()),
+        );
+        if self.tracing {
+            sim.set_tracer(Tracer::enabled());
+        }
+        let infra = sim.add_node(NodeSpec::new(2, "infra"));
+        for _ in 0..self.nodes {
+            sim.add_node(NodeSpec::new(8, POOL));
+        }
+        let beacon = sim.create_group();
+        let monitor_group = sim.create_group();
+        let (tap, log) = MonitorTap::new(monitor_group);
+        sim.spawn(infra, Box::new(tap), "montap");
+
+        let shared = Rc::new(DriverShared::default());
+        sim.spawn(
+            infra,
+            Box::new(Driver {
+                beacon,
+                stub: ManagerStub::new(self.sns.clone()),
+                shared: Rc::clone(&shared),
+            }),
+            "driver",
+        );
+
+        let warmup = self.sns.beacon_period + self.sns.beacon_period;
+        let cluster = SimCluster {
+            sim: RefCell::new(sim),
+            shared,
+            log,
+            sns: self.sns,
+            classes: self.classes,
+            beacon,
+            monitor_group,
+            infra,
+            incarnation: Cell::new(0),
+            settled: Cell::new(0),
+            nic_orig: RefCell::new(BTreeMap::new()),
+        };
+        cluster.spawn_manager();
+        // Warm-up: let the bootstrap spawns register and the first
+        // beacon populate the driver's hint cache.
+        // Warm-up must outlast spawn latency: run until every class's
+        // bootstrap population is live and registered (capped), plus
+        // one beacon so the driver's hint cache is populated.
+        let cap = cluster.now() + Duration::from_secs(30);
+        while cluster.now() < cap {
+            let ready = cluster.classes.iter().all(|(class, n, _)| {
+                cluster
+                    .sim
+                    .borrow()
+                    .components_of_kind(intern_class(class.name()))
+                    .len()
+                    >= *n as usize
+            });
+            if ready {
+                break;
+            }
+            let horizon = cluster.now() + PUMP;
+            cluster.sim.borrow_mut().run_until(horizon);
+        }
+        let horizon = cluster.now() + warmup;
+        cluster.sim.borrow_mut().run_until(horizon);
+        cluster
+    }
+}
+
+/// A simulated SNS cluster behind the [`Cluster`] trait. Single
+/// threaded: trait calls mutate engine state synchronously and
+/// [`Cluster::settle`] advances virtual time.
+pub struct SimCluster {
+    sim: RefCell<SnsSim>,
+    shared: Rc<DriverShared>,
+    log: Rc<RefCell<MonitorLog>>,
+    sns: SnsConfig,
+    classes: Vec<(WorkerClass, u32, LogicFactory)>,
+    beacon: GroupId,
+    monitor_group: GroupId,
+    infra: sns_sim::NodeId,
+    incarnation: Cell<u64>,
+    /// Jobs accounted for by previous settles (`answered + failed`
+    /// high-water mark).
+    settled: Cell<u64>,
+    /// Original NIC parameters of slowed nodes, for factor-1.0 restore.
+    nic_orig: RefCell<BTreeMap<sns_sim::NodeId, sns_san::LinkParams>>,
+}
+
+impl SimCluster {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.borrow().now()
+    }
+
+    /// Runs the engine to `horizon` (test hook — [`Cluster::settle`]
+    /// is the trait-level way to advance time).
+    pub fn run_until(&self, horizon: SimTime) {
+        self.sim.borrow_mut().run_until(horizon);
+    }
+
+    /// Spawns a fresh manager incarnation with the registered classes.
+    fn spawn_manager(&self) {
+        let inc = self.incarnation.get() + 1;
+        self.incarnation.set(inc);
+        let mut classes = BTreeMap::new();
+        for (class, n, factory) in &self.classes {
+            let factory = Arc::clone(factory);
+            let beacon_group = self.beacon;
+            let monitor_group = self.monitor_group;
+            let report_period = self.sns.report_period;
+            classes.insert(
+                class.clone(),
+                WorkerSpec::scaled(
+                    *n,
+                    Box::new(move || {
+                        Box::new(WorkerStub::new(
+                            factory(),
+                            WorkerStubConfig {
+                                beacon_group,
+                                monitor_group,
+                                report_period,
+                                cost_weight_unit: None,
+                            },
+                        ))
+                    }),
+                ),
+            );
+        }
+        self.sim.borrow_mut().spawn(
+            self.infra,
+            Box::new(Manager::new(ManagerConfig {
+                sns: self.sns.clone(),
+                beacon_group: self.beacon,
+                monitor_group: self.monitor_group,
+                incarnation: inc,
+                classes,
+                fe_factory: None,
+            })),
+            "manager",
+        );
+    }
+}
+
+impl Cluster for SimCluster {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn submit(&self, class: &str, op: &str, input: Payload) {
+        self.shared
+            .queue
+            .borrow_mut()
+            .push_back((WorkerClass::new(class), op.to_string(), input));
+    }
+
+    fn settle(&self, budget: Duration) -> SettleStats {
+        let base_answered = self.shared.answered.get();
+        let base_failed = self.shared.failed.get();
+        let pending = (base_answered + base_failed - self.settled.get())
+            + self.shared.queue.borrow().len() as u64;
+        let horizon = self.now() + budget;
+        loop {
+            let resolved =
+                self.shared.answered.get() + self.shared.failed.get() - self.settled.get();
+            let now = self.now();
+            if now >= horizon || (pending > 0 && resolved >= pending) {
+                break;
+            }
+            let step = (horizon - now).min(PUMP);
+            self.sim.borrow_mut().run_until(now + step);
+        }
+        let answered = self.shared.answered.get() - base_answered;
+        let failed = self.shared.failed.get() - base_failed;
+        let stats = SettleStats {
+            answered,
+            // Jobs that never resolved inside the budget count as
+            // failed, like an rt receive timing out.
+            failed: failed + pending.saturating_sub(answered + failed),
+        };
+        self.settled.set(self.settled.get() + pending);
+        stats
+    }
+
+    fn workers_of(&self, class: &str) -> usize {
+        self.sim
+            .borrow()
+            .components_of_kind(intern_class(class))
+            .len()
+    }
+
+    fn crash_worker(&self, class: &str) -> bool {
+        let mut sim = self.sim.borrow_mut();
+        let victims = sim.components_of_kind(intern_class(class));
+        match victims.first() {
+            Some(&victim) => {
+                sim.kill_component(victim);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn kill_manager(&self) {
+        let mut sim = self.sim.borrow_mut();
+        let managers = sim.components_of_kind("manager");
+        for m in managers {
+            sim.kill_component(m);
+        }
+    }
+
+    fn restart_manager(&self) {
+        if !self.sim.borrow().components_of_kind("manager").is_empty() {
+            return; // one incarnation at a time, like the rt slot
+        }
+        self.spawn_manager();
+    }
+
+    fn kill_node(&self, which: usize) -> Option<u64> {
+        let mut sim = self.sim.borrow_mut();
+        let alive: Vec<_> = sim
+            .nodes_with_tag_all(POOL)
+            .into_iter()
+            .filter(|&(_, alive)| alive)
+            .map(|(n, _)| n)
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let node = alive[which % alive.len()];
+        let died = sim.components_on_node(node).len() as u64;
+        sim.kill_node(node);
+        Some(died)
+    }
+
+    fn revive_node(&self, which: usize) -> bool {
+        let mut sim = self.sim.borrow_mut();
+        let dead: Vec<_> = sim
+            .nodes_with_tag_all(POOL)
+            .into_iter()
+            .filter(|&(_, alive)| !alive)
+            .map(|(n, _)| n)
+            .collect();
+        if dead.is_empty() {
+            return false;
+        }
+        sim.revive_node(dead[which % dead.len()]);
+        true
+    }
+
+    fn set_node_slowdown(&self, which: usize, factor: f64) -> bool {
+        let mut sim = self.sim.borrow_mut();
+        let alive: Vec<_> = sim
+            .nodes_with_tag_all(POOL)
+            .into_iter()
+            .filter(|&(_, alive)| alive)
+            .map(|(n, _)| n)
+            .collect();
+        if alive.is_empty() {
+            return false;
+        }
+        let node = alive[which % alive.len()];
+        let mut orig = self.nic_orig.borrow_mut();
+        if factor <= 1.0 {
+            if let Some(params) = orig.remove(&node) {
+                sim.net_mut().set_nic(node, params);
+            }
+            return true;
+        }
+        let base = orig
+            .entry(node)
+            .or_insert_with(|| sim.net().nic_params(node))
+            .clone();
+        let mut slow = base.clone();
+        slow.bandwidth_bps = (base.bandwidth_bps / factor).max(1.0);
+        sim.net_mut().set_nic(node, slow);
+        true
+    }
+
+    fn set_beacon_blackout(&self, on: bool) {
+        self.sim.borrow_mut().net_mut().set_datagram_blackout(on);
+    }
+
+    fn monitor_log(&self) -> MonitorLog {
+        self.log.borrow().clone()
+    }
+
+    fn counter(&self, key: MetricKey) -> u64 {
+        self.sim.borrow().stats().counter(key.as_str())
+    }
+
+    fn trace_snapshot(&self) -> Option<TraceLog> {
+        self.sim.borrow().tracer().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sns_core::msg::Job;
+    use sns_core::worker::WorkerError;
+    use sns_core::Blob;
+    use sns_sim::rng::Pcg32;
+
+    struct Echo;
+
+    impl WorkerLogic for Echo {
+        fn class(&self) -> WorkerClass {
+            "echo".into()
+        }
+        fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+            Duration::from_millis(20)
+        }
+        fn process(
+            &mut self,
+            job: &Job,
+            _n: SimTime,
+            _r: &mut Pcg32,
+        ) -> Result<Payload, WorkerError> {
+            Ok(Blob::payload(job.input.wire_size() / 2, "echoed"))
+        }
+    }
+
+    #[test]
+    fn sim_cluster_answers_submits_through_the_trait() {
+        let c = SimClusterBuilder::new()
+            .with_workers("echo", 3, || Box::new(Echo))
+            .start();
+        let h: &dyn Cluster = &c;
+        assert_eq!(h.backend(), "sim");
+        assert_eq!(h.workers_of("echo"), 3);
+        for _ in 0..6 {
+            h.submit("echo", "echo", Blob::payload(256, "probe"));
+        }
+        let s = h.settle(Duration::from_secs(20));
+        assert_eq!(s.answered, 6, "all jobs answered: {s:?}");
+        assert_eq!(s.failed, 0);
+        assert!(h.counter(MetricKey::new("manager.load_reports")) >= 1);
+    }
+
+    #[test]
+    fn sim_cluster_recovers_from_injected_faults() {
+        let c = SimClusterBuilder::new()
+            .with_workers("echo", 3, || Box::new(Echo))
+            .start();
+        let h: &dyn Cluster = &c;
+        assert!(h.crash_worker("echo"));
+        let _ = h.settle(Duration::from_secs(30));
+        assert_eq!(h.workers_of("echo"), 3, "process peer restored");
+        // Manager failover: new incarnation rebuilds its soft state.
+        h.kill_manager();
+        let _ = h.settle(Duration::from_secs(5));
+        h.restart_manager();
+        let _ = h.settle(Duration::from_secs(30));
+        h.submit("echo", "echo", Blob::payload(64, "x"));
+        let s = h.settle(Duration::from_secs(20));
+        assert_eq!(s.answered, 1, "cluster serves after failover: {s:?}");
+        let log = h.monitor_log();
+        // kill_component is a hard process death: the manager observes
+        // it and process-peer-restarts ("crashed" is the stub-survives
+        // path for logic crashes, which this is not).
+        assert!(log.count("peer_restarted") >= 1);
+        assert!(log.count("spawned") >= 4);
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod harness;
 pub mod invariant;
 pub mod rt;
 pub mod sim;
@@ -36,6 +37,7 @@ use std::fmt;
 use std::time::Duration;
 
 pub use gen::{fault_plan, PlanSpace};
+pub use harness::{SimCluster, SimClusterBuilder};
 pub use invariant::{check_death_reconciliation, CrashBudget, RespawnCoverage, SpawnBudget};
 pub use sim::{SimChaos, SimChaosConfig};
 

@@ -1,21 +1,25 @@
 //! Wall-clock injector: compiles a [`FaultPlan`] into a timeline a
-//! background thread executes against a live [`RtCluster`].
+//! background thread executes against any live [`Cluster`].
 //!
-//! The rt backend is a single-host thread model, but nearly every fault
-//! has a thread-level analogue: worker crashes (kill flags), manager
-//! failover (stop/start the manager thread), beacon loss (suppress hint
-//! refreshes), node kills/revivals (virtual placement domains — every
-//! worker on the node crashes and replacements avoid it), and
-//! stragglers (per-node service-time inflation). Only SAN partitions
-//! have no analogue — there is no network between threads to cut — and
-//! are reported as skipped. The plan still type-checks against both
-//! backends, which is the point: one artifact, two interpreters.
+//! Historically this drove `sns_rt::RtCluster` directly; it is now
+//! generic over the backend-agnostic [`Cluster`] trait, so the same
+//! wall-clock interpreter can drive the threaded runtime or the
+//! paced simulator harness ([`crate::harness::SimCluster`]). For the
+//! rt backend nearly every fault has a thread-level analogue: worker
+//! crashes (kill flags), manager failover (stop/start the manager
+//! thread), beacon loss (suppress hint refreshes), node
+//! kills/revivals (virtual placement domains — every worker on the
+//! node crashes and replacements avoid it), and stragglers (per-node
+//! service-time inflation). Only SAN partitions have no analogue —
+//! there is no network between threads to cut — and are reported as
+//! skipped. The plan still type-checks against both backends, which is
+//! the point: one artifact, two interpreters.
 
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-use sns_rt::RtCluster;
+use sns_core::cluster::Cluster;
 
 use crate::{FaultKind, FaultPlan};
 
@@ -44,10 +48,11 @@ enum Action {
 
 /// Spawns a thread that executes `plan` against `cluster` in wall-clock
 /// time, with modelled durations compressed by `time_scale` (use the
-/// same value as the cluster's `RtConfig`). Join the returned handle
-/// after the load phase to collect the [`RtChaosReport`].
-pub fn run_plan(
-    cluster: Arc<RtCluster>,
+/// same value as the cluster's `RtConfig`, or `1.0` for a backend that
+/// paces itself). Join the returned handle after the load phase to
+/// collect the [`RtChaosReport`].
+pub fn run_plan<C: Cluster + Send + Sync + 'static>(
+    cluster: Arc<C>,
     plan: &FaultPlan,
     time_scale: f64,
 ) -> thread::JoinHandle<RtChaosReport> {
@@ -120,7 +125,7 @@ pub fn run_plan(
                         report.applied.push(line);
                     }
                     Action::StartManager => {
-                        cluster.start_manager();
+                        cluster.restart_manager();
                         report.applied.push(line);
                     }
                     Action::BlackoutOn => {

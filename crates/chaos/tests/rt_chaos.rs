@@ -34,12 +34,12 @@ impl WorkerLogic for Slow {
 }
 
 fn cluster() -> Arc<RtCluster> {
-    let c = RtCluster::start(RtConfig {
-        time_scale: SCALE,
-        report_period: Duration::from_millis(10),
-        beacon_period: Duration::from_millis(20),
-        ..Default::default()
-    });
+    let c = RtCluster::start(
+        RtConfig::new()
+            .with_time_scale(SCALE)
+            .with_report_period(Duration::from_millis(10))
+            .with_beacon_period(Duration::from_millis(20)),
+    );
     c.add_workers("slow", 3, || Box::new(Slow));
     c
 }

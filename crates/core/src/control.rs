@@ -1008,6 +1008,10 @@ pub struct DispatchPlane {
     inflight: BTreeMap<ComponentId, i64>,
     outstanding: BTreeMap<u64, Outstanding>,
     next_job: u64,
+    /// Increment between consecutive job ids (1 unless this plane is one
+    /// shard of a [`crate::shard::ShardedDispatch`], in which case each
+    /// shard strides by the shard count over a disjoint residue class).
+    id_stride: u64,
     delta_correction: bool,
     tracing: bool,
 }
@@ -1024,9 +1028,24 @@ impl DispatchPlane {
             inflight: BTreeMap::new(),
             outstanding: BTreeMap::new(),
             next_job: 1,
+            id_stride: 1,
             delta_correction: true,
             tracing: false,
         }
+    }
+
+    /// Carves this plane's job-id space into a residue class: ids start
+    /// at `first` and step by `stride`. Shard *i* of *n* uses
+    /// `(i + 1, n)` so that concurrent shards never collide and
+    /// `(id - 1) % n` recovers the owning shard. Must be called before
+    /// the first dispatch; `stride` of 0 is treated as 1.
+    pub fn set_job_id_space(&mut self, first: u64, stride: u64) {
+        debug_assert!(
+            self.outstanding.is_empty(),
+            "job-id space must be set before dispatching"
+        );
+        self.next_job = first.max(1);
+        self.id_stride = stride.max(1);
     }
 
     /// Enables/disables the §4.5 queue-delta correction (ablation knob).
@@ -1195,7 +1214,7 @@ impl DispatchPlane {
         out: &mut Vec<DispatchEffect>,
     ) -> u64 {
         let job_id = self.next_job;
-        self.next_job += 1;
+        self.next_job += self.id_stride;
         self.outstanding.insert(
             job_id,
             Outstanding {
@@ -1235,7 +1254,7 @@ impl DispatchPlane {
         out: &mut Vec<DispatchEffect>,
     ) -> u64 {
         let job_id = self.next_job;
-        self.next_job += 1;
+        self.next_job += self.id_stride;
         self.outstanding.insert(
             job_id,
             Outstanding {

@@ -39,12 +39,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod control;
 pub mod frontend;
 pub mod invariant;
 pub mod manager;
 pub mod monitor;
 pub mod msg;
+pub mod shard;
 pub mod stub;
 pub mod topology;
 pub mod trace;
@@ -55,6 +57,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+pub use cluster::{Cluster, SettleStats};
 pub use control::{
     ClusterView, ControlConfig, ControlEffect, ControlPlane, DispatchEffect, DispatchPlane,
     NodeLoad, SpawnPolicy,
@@ -64,6 +67,7 @@ pub use invariant::{Invariant, MonitorLog, MonitorTap, TapHandle};
 pub use manager::{Manager, ManagerConfig, WorkerFactory, WorkerSpec};
 pub use monitor::{Monitor, MonitorEvent};
 pub use msg::{BeaconData, ClientRequest, ClientResponse, Job, JobResult, SnsMsg, WorkerHint};
+pub use shard::{DispatchShard, ShardedDispatch};
 pub use stub::ManagerStub;
 pub use topology::ClusterTopology;
 pub use worker::{WorkerError, WorkerLogic, WorkerStub, WorkerStubConfig};

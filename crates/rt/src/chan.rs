@@ -182,6 +182,20 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Steals one message from the *back* of the queue without ever
+    /// blocking: returns `None` immediately if the lock is contended or
+    /// the queue is empty. Work-stealing consumers take the newest
+    /// message so the queue's owner — draining from the front — keeps
+    /// FIFO order for everything it processes itself, and a thief never
+    /// waits behind a busy owner.
+    pub fn try_steal(&self) -> Option<T> {
+        let mut st = self.0.state.try_lock().ok()?;
+        let v = st.queue.pop_back()?;
+        drop(st);
+        self.0.not_full.notify_one();
+        Some(v)
+    }
+
     /// Messages currently queued.
     pub fn len(&self) -> usize {
         self.0.len()
@@ -279,6 +293,32 @@ mod tests {
         }
         t.join().unwrap();
         assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn steal_takes_newest_and_never_blocks() {
+        let (tx, rx) = unbounded();
+        for i in 0..4u32 {
+            tx.send(i).unwrap();
+        }
+        let thief = rx.clone();
+        assert_eq!(thief.try_steal(), Some(3), "thief takes the back");
+        assert_eq!(rx.try_recv(), Ok(0), "owner keeps FIFO at the front");
+        assert_eq!(thief.try_steal(), Some(2));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(thief.try_steal(), None, "empty queue steals nothing");
+        // A bounded channel's blocked sender wakes when a thief frees a
+        // slot.
+        let (btx, brx) = bounded(1);
+        btx.send(10u32).unwrap();
+        let t = std::thread::spawn(move || btx.send(11).unwrap());
+        let mut stolen = None;
+        while stolen.is_none() {
+            stolen = brx.try_steal();
+        }
+        t.join().unwrap();
+        assert_eq!(stolen, Some(10));
+        assert_eq!(brx.try_recv(), Ok(11));
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! restart — reappear here over plain `std::sync` primitives instead of
 //! the simulated SAN. Worker inboxes use the in-repo [`chan`] MPMC shim
 //! (clonable receivers let the manager salvage a crashed worker's queue
-//! for redispatch); one-shot replies use `std::sync::mpsc`.
+//! for redispatch, and let idle workers steal queued jobs); one-shot
+//! replies use `std::sync::mpsc`.
 //!
 //! Every scheduling and respawn *decision* is made by the sans-IO
 //! control plane shared with the simulator
@@ -22,6 +23,19 @@
 //! channels. The simulator and this runtime therefore cannot drift —
 //! they *are* the same policy code, which the
 //! `control_plane_parity` differential test pins down.
+//!
+//! ## Lock topology
+//!
+//! The submit path never takes a global lock. Dispatch state lives in a
+//! [`sns_core::ShardedDispatch`] — N independent
+//! [`DispatchPlane`](sns_core::control::DispatchPlane)
+//! shards, each behind its own mutex, with job-id spaces strided so a
+//! response routes back to its shard arithmetically. Control state
+//! (policy, membership, spawn decisions) stays behind a single mutex
+//! that only the manager thread and fault injectors touch; worker
+//! lookup is a read-mostly `RwLock` routing table. The lock order is
+//! `control → shard → routes` and no path ever acquires two shard
+//! locks at once (see DESIGN.md §6g).
 //!
 //! Scope: this is the laptop-scale runtime for examples and tests, not a
 //! distributed deployment; "nodes" are threads and the SAN is a channel
@@ -50,7 +64,7 @@
 //!     }
 //! }
 //!
-//! let cluster = RtCluster::start(RtConfig::default());
+//! let cluster = RtCluster::start(RtConfig::new());
 //! cluster.add_workers("echo", 2, || Box::new(Echo));
 //! let reply = cluster
 //!     .submit("echo", "echo", Blob::payload(1000, "hi"), None)
@@ -67,23 +81,27 @@ pub mod chan;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard, Weak};
+use std::sync::{
+    Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak,
+};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use sns_core::cluster::{Cluster, SettleStats};
 use sns_core::control::{
-    ClusterView, ControlConfig, ControlEffect, ControlPlane, DispatchEffect, DispatchPlane,
-    NodeLoad, SpawnPolicy, TimeoutVerdict,
+    ClusterView, ControlConfig, ControlEffect, ControlPlane, DispatchEffect, NodeLoad, SpawnPolicy,
+    TimeoutVerdict,
 };
 use sns_core::invariant::MonitorLog;
 use sns_core::monitor::MonitorEvent;
-use sns_core::msg::{JobResult, ProfileData};
+use sns_core::msg::{BeaconData, JobResult, ProfileData};
+use sns_core::shard::{DispatchShard, ShardedDispatch};
 use sns_core::trace::{self, TraceLog, Tracer};
 use sns_core::worker::{WorkerError, WorkerLogic};
 use sns_core::{intern_class, Payload, SnsConfig, WorkerClass};
 use sns_sim::rng::Pcg32;
 use sns_sim::time::SimTime;
-use sns_sim::{ComponentId, NodeId};
+use sns_sim::{ComponentId, MetricKey, NodeId};
 
 /// Poison-aware lock: a thread that panicked while holding a lock left
 /// consistent-enough state (all invariants here are monotonic counters
@@ -100,7 +118,13 @@ fn lock<'a, T>(m: &'a Mutex<T>, poisoned: &AtomicU64) -> MutexGuard<'a, T> {
     }
 }
 
-/// Runtime configuration.
+fn read_routes(r: &RwLock<Routes>) -> RwLockReadGuard<'_, Routes> {
+    r.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runtime configuration. Build with [`RtConfig::new`] and the fluent
+/// `with_*` methods; direct struct construction still works but the
+/// builder is the supported surface going forward.
 #[derive(Debug, Clone)]
 pub struct RtConfig {
     /// Multiplier applied to worker service times (0.01 = run the
@@ -126,6 +150,20 @@ pub struct RtConfig {
     /// in-memory trace, exportable via [`RtCluster::trace_snapshot`].
     /// Timestamps are wall-clock nanoseconds since cluster start.
     pub tracing: bool,
+    /// Dispatch shards (`0` = auto: the machine's available
+    /// parallelism, clamped to 2..=16). Each shard is an independent
+    /// lottery + outstanding-job tracker behind its own lock; submits
+    /// round-robin across them, so concurrent submitters contend
+    /// 1/shards of the time.
+    pub shards: usize,
+    /// Let idle workers steal queued jobs from same-class siblings
+    /// (newest-first, via [`chan::Receiver::try_steal`]). Off by
+    /// default: stealing empties a crashed worker's queue before the
+    /// manager can salvage it, which is correct (the thief *completes*
+    /// the work) but makes salvage-path assertions vacuous — chaos
+    /// tests that exercise salvage leave this off; throughput runs
+    /// turn it on.
+    pub work_stealing: bool,
 }
 
 impl Default for RtConfig {
@@ -139,6 +177,89 @@ impl Default for RtConfig {
             nodes: 1,
             dispatch_timeout: Duration::from_secs(60),
             tracing: false,
+            shards: 0,
+            work_stealing: false,
+        }
+    }
+}
+
+impl RtConfig {
+    /// Default configuration; chain `with_*` methods to customise.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the service-time multiplier.
+    pub fn with_time_scale(mut self, v: f64) -> Self {
+        self.time_scale = v;
+        self
+    }
+
+    /// Sets the worker load-report period.
+    pub fn with_report_period(mut self, v: Duration) -> Self {
+        self.report_period = v;
+        self
+    }
+
+    /// Sets the manager beacon period.
+    pub fn with_beacon_period(mut self, v: Duration) -> Self {
+        self.beacon_period = v;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, v: u64) -> Self {
+        self.seed = v;
+        self
+    }
+
+    /// Enables/disables process-peer restart of crashed workers.
+    pub fn with_restart_on_crash(mut self, v: bool) -> Self {
+        self.restart_on_crash = v;
+        self
+    }
+
+    /// Sets the number of virtual placement nodes.
+    pub fn with_nodes(mut self, v: usize) -> Self {
+        self.nodes = v;
+        self
+    }
+
+    /// Sets the wall-clock dispatch timeout backstop.
+    pub fn with_dispatch_timeout(mut self, v: Duration) -> Self {
+        self.dispatch_timeout = v;
+        self
+    }
+
+    /// Enables span tracing.
+    pub fn with_tracing(mut self, v: bool) -> Self {
+        self.tracing = v;
+        self
+    }
+
+    /// Sets the dispatch shard count (`0` = auto).
+    pub fn with_shards(mut self, v: usize) -> Self {
+        self.shards = v;
+        self
+    }
+
+    /// Enables same-class work stealing between worker queues.
+    pub fn with_work_stealing(mut self, v: bool) -> Self {
+        self.work_stealing = v;
+        self
+    }
+
+    /// The shard count a cluster built from this config will use: the
+    /// explicit value (capped at 64), or — when `shards == 0` — the
+    /// machine's available parallelism clamped to 2..=16.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(2, 16)
+        } else {
+            self.shards.min(64)
         }
     }
 }
@@ -182,16 +303,32 @@ struct VNode {
     slow: Arc<AtomicU64>,
 }
 
-/// Everything the control and dispatch planes decide over, under one
-/// lock so every decision sees a consistent cluster.
-struct Inner {
-    control: ControlPlane,
-    dispatch: DispatchPlane,
-    workers: Vec<WorkerHandle>,
-    factories: BTreeMap<WorkerClass, Arc<RtWorkerFactory>>,
-    policies: BTreeMap<WorkerClass, SpawnPolicy>,
-    /// Salvage receivers of dead workers awaiting redispatch.
-    morgue: Vec<(WorkerClass, chan::Receiver<RtJob>)>,
+/// Data-path view of one worker: enough to hand a job over (or steal
+/// one back) without touching the control lock. The `alive` and `qlen`
+/// cells are shared with the [`WorkerHandle`], so this entry observes
+/// deaths without bookkeeping.
+struct Route {
+    class: WorkerClass,
+    inbox: chan::Sender<RtJob>,
+    /// Extra receiver on the worker's inbox, used by thieves.
+    queue: chan::Receiver<RtJob>,
+    qlen: Arc<AtomicU64>,
+    alive: Arc<AtomicBool>,
+}
+
+/// The read-mostly routing table: worker id → channel endpoints, plus
+/// the set of classes that have ever been registered (submit's
+/// fail-fast check for unknown classes).
+#[derive(Default)]
+struct Routes {
+    classes: BTreeSet<WorkerClass>,
+    workers: BTreeMap<u64, Route>,
+}
+
+/// Per-shard driver state living under the shard lock, so one
+/// acquisition covers both the plane's decision and this bookkeeping.
+#[derive(Default)]
+struct ShardExt {
     /// Reply channel per outstanding job id.
     replies: BTreeMap<u64, mpsc::SyncSender<JobResult>>,
     /// Wall-clock dispatch deadline per outstanding job id.
@@ -199,7 +336,22 @@ struct Inner {
     /// Job ids already counted in `submitted` (retries resend the same
     /// id; the conservation ledger must count it once).
     counted: BTreeSet<u64>,
-    rng: Pcg32,
+    /// Dispatch-plane counters (`stub.*`), rolled up by
+    /// [`RtCluster::counter`]. Keyed by interned name so the hot path
+    /// never touches a global intern table.
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// Control-plane state: policy, membership, spawn/restart machinery.
+/// Only the manager thread, fault injectors and `add_workers` take
+/// this lock — never the submit or response path.
+struct ControlInner {
+    control: ControlPlane,
+    workers: Vec<WorkerHandle>,
+    factories: BTreeMap<WorkerClass, Arc<RtWorkerFactory>>,
+    policies: BTreeMap<WorkerClass, SpawnPolicy>,
+    /// Salvage receivers of dead workers awaiting redispatch.
+    morgue: Vec<(WorkerClass, chan::Receiver<RtJob>)>,
     vnodes: Vec<VNode>,
 }
 
@@ -215,7 +367,11 @@ const MANAGER: ComponentId = ComponentId(1);
 /// the threads, channels and clocks and applies the planes' effects.
 pub struct RtCluster {
     cfg: RtConfig,
-    inner: Arc<Mutex<Inner>>,
+    control: Mutex<ControlInner>,
+    /// The sharded dispatch state: submits round-robin across shards,
+    /// responses route back by job id.
+    shards: Arc<ShardedDispatch<ShardExt>>,
+    routes: Arc<RwLock<Routes>>,
     running: Arc<AtomicBool>,
     manager_on: Arc<AtomicBool>,
     /// Fault injection: suppress hint publication (beacons) so stubs
@@ -229,7 +385,15 @@ pub struct RtCluster {
     /// the simulator's `MonitorTap` captures, so chaos invariants and
     /// the parity test run against either backend unchanged.
     log: Arc<Mutex<MonitorLog>>,
+    /// Control-plane counters (`manager.*`); dispatch counters live in
+    /// the shards.
     counters: Mutex<BTreeMap<&'static str, u64>>,
+    /// Reply channels for jobs submitted through the [`Cluster`] trait,
+    /// drained by [`Cluster::settle`].
+    pending: Mutex<Vec<mpsc::Receiver<JobResult>>>,
+    /// Back-reference set by [`RtCluster::start`], so `&self` methods
+    /// (trait-object safe) can hand the manager thread a weak handle.
+    self_weak: OnceLock<Weak<RtCluster>>,
     /// Jobs accepted into some worker's queue.
     pub submitted: Arc<AtomicU64>,
     /// Jobs completed successfully.
@@ -259,31 +423,30 @@ impl RtCluster {
                 slow: Arc::new(AtomicU64::new(1.0f64.to_bits())),
             })
             .collect();
-        let seed = cfg.seed;
+        let shards = Arc::new(ShardedDispatch::new(
+            &plane_sns,
+            cfg.resolved_shards(),
+            cfg.seed,
+            cfg.tracing,
+            |_| ShardExt::default(),
+        ));
         let cluster = Arc::new(RtCluster {
-            inner: Arc::new(Mutex::new(Inner {
+            control: Mutex::new(ControlInner {
                 // Placeholder incarnation 0; `start_manager` installs
                 // the real plane before any work is accepted.
                 control: ControlPlane::new(ControlConfig {
-                    sns: plane_sns.clone(),
+                    sns: plane_sns,
                     incarnation: 0,
                     restart_front_ends: false,
                 }),
-                dispatch: {
-                    let mut d = DispatchPlane::new(plane_sns);
-                    d.set_tracing(cfg.tracing);
-                    d
-                },
                 workers: Vec::new(),
                 factories: BTreeMap::new(),
                 policies: BTreeMap::new(),
                 morgue: Vec::new(),
-                replies: BTreeMap::new(),
-                deadlines: BTreeMap::new(),
-                counted: BTreeSet::new(),
-                rng: Pcg32::new(seed),
                 vnodes,
-            })),
+            }),
+            shards,
+            routes: Arc::new(RwLock::new(Routes::default())),
             running: Arc::new(AtomicBool::new(true)),
             manager_on: Arc::new(AtomicBool::new(false)),
             beacon_blackout: AtomicBool::new(false),
@@ -293,6 +456,8 @@ impl RtCluster {
             started: Instant::now(),
             log: Arc::new(Mutex::new(MonitorLog::default())),
             counters: Mutex::new(BTreeMap::new()),
+            pending: Mutex::new(Vec::new()),
+            self_weak: OnceLock::new(),
             submitted: Arc::new(AtomicU64::new(0)),
             jobs_done: Arc::new(AtomicU64::new(0)),
             crashes: Arc::new(AtomicU64::new(0)),
@@ -306,6 +471,7 @@ impl RtCluster {
             },
             cfg,
         });
+        let _ = cluster.self_weak.set(Arc::downgrade(&cluster));
         cluster.start_manager();
         cluster
     }
@@ -328,8 +494,12 @@ impl RtCluster {
         SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
     }
 
-    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
-        lock(&self.inner, &self.lock_poisoned)
+    fn lock_control(&self) -> MutexGuard<'_, ControlInner> {
+        lock(&self.control, &self.lock_poisoned)
+    }
+
+    fn write_routes(&self) -> RwLockWriteGuard<'_, Routes> {
+        self.routes.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn incr(&self, key: &'static str, n: u64) {
@@ -340,7 +510,7 @@ impl RtCluster {
 
     /// The control plane's placement snapshot: alive virtual nodes with
     /// their live-worker counts.
-    fn view_of(inner: &Inner) -> ClusterView {
+    fn view_of(inner: &ControlInner) -> ClusterView {
         let mut dedicated = Vec::new();
         for v in &inner.vnodes {
             if !v.alive {
@@ -374,7 +544,8 @@ impl RtCluster {
         factory: impl Fn() -> Box<dyn WorkerLogic> + Send + Sync + 'static,
     ) {
         let class = WorkerClass::new(class);
-        let mut guard = self.lock_inner();
+        self.write_routes().classes.insert(class.clone());
+        let mut guard = self.lock_control();
         let inner = &mut *guard;
         inner
             .factories
@@ -405,9 +576,11 @@ impl RtCluster {
 
     /// Applies control-plane effects, in order, onto threads/channels.
     /// `count_restarts` distinguishes recovery spawns from bootstrap.
+    /// Caller holds the control lock (`inner`); shard and route locks
+    /// are taken underneath it, per the lock order.
     fn apply_control(
         &self,
-        inner: &mut Inner,
+        inner: &mut ControlInner,
         effects: Vec<ControlEffect>,
         count_restarts: bool,
         now: SimTime,
@@ -435,9 +608,24 @@ impl RtCluster {
                     // Registration is synchronous here (no SAN between
                     // the manager and a thread it just started); the
                     // Watch effect is meaningless to this driver.
-                    inner
-                        .control
-                        .on_register_worker(id, class, node, false, now, &mut Vec::new());
+                    inner.control.on_register_worker(
+                        id,
+                        class.clone(),
+                        node,
+                        false,
+                        now,
+                        &mut Vec::new(),
+                    );
+                    self.write_routes().workers.insert(
+                        handle.id,
+                        Route {
+                            class,
+                            inbox: handle.inbox.clone(),
+                            queue: handle.salvage.clone(),
+                            qlen: Arc::clone(&handle.qlen),
+                            alive: Arc::clone(&handle.alive),
+                        },
+                    );
                     inner.workers.push(handle);
                     if count_restarts {
                         self.restarts.fetch_add(1, Ordering::Relaxed);
@@ -454,13 +642,7 @@ impl RtCluster {
                     if self.beacon_blackout.load(Ordering::Relaxed) {
                         continue;
                     }
-                    let mut out = Vec::new();
-                    {
-                        let Inner { dispatch, rng, .. } = inner;
-                        dispatch.on_beacon(&data);
-                        dispatch.flush_pending(rng, &mut out);
-                    }
-                    self.deliver(inner, out);
+                    self.publish_beacon(inner, &data);
                 }
                 ControlEffect::Emit(ev) => {
                     // Mirror decisions into the trace as instants (the
@@ -484,24 +666,71 @@ impl RtCluster {
         }
     }
 
-    /// Applies dispatch-plane effects. Jobs aimed at dead workers are
-    /// refused inline, which feeds the plane's timeout/retry path
+    /// Broadcasts a hint snapshot to every dispatch shard and delivers
+    /// whatever each shard flushes. Caller holds the control lock.
+    fn publish_beacon(&self, inner: &mut ControlInner, data: &BeaconData) {
+        let mut need = Vec::new();
+        self.shards.broadcast_beacon(data, |_, shard, out| {
+            self.deliver_shard(shard, out, &mut need)
+        });
+        self.need_workers_locked(inner, need);
+    }
+
+    /// Runs the control plane's on-demand spawn path for each class a
+    /// dispatch shard reported starved. Caller holds the control lock.
+    fn need_workers_locked(&self, inner: &mut ControlInner, need: Vec<WorkerClass>) {
+        for class in need {
+            if !self.manager_on.load(Ordering::Relaxed) {
+                continue;
+            }
+            let now = self.now();
+            let view = Self::view_of(inner);
+            let mut out = Vec::new();
+            inner.control.on_need_worker(&class, now, &view, &mut out);
+            self.apply_control(inner, out, true, now);
+        }
+    }
+
+    /// Like [`Self::need_workers_locked`] but acquires the control lock
+    /// — the deferred half of the submit path (shard locks are released
+    /// before this runs, preserving the `control → shard` order).
+    fn need_workers(&self, need: Vec<WorkerClass>) {
+        if need.is_empty() {
+            return;
+        }
+        let mut guard = self.lock_control();
+        self.need_workers_locked(&mut guard, need);
+    }
+
+    /// Applies one shard's dispatch effects. Jobs aimed at dead workers
+    /// are refused inline, which feeds the plane's timeout/retry path
     /// immediately instead of waiting out a wall-clock timer.
-    fn deliver(&self, inner: &mut Inner, effects: Vec<DispatchEffect>) {
+    /// `NeedWorker` effects are *deferred* into `need` — handling them
+    /// requires the control lock, which must never be acquired while a
+    /// shard is held.
+    fn deliver_shard(
+        &self,
+        shard: &mut DispatchShard<ShardExt>,
+        effects: Vec<DispatchEffect>,
+        need: &mut Vec<WorkerClass>,
+    ) {
         let mut queue: VecDeque<DispatchEffect> = effects.into();
         while let Some(effect) = queue.pop_front() {
             match effect {
                 DispatchEffect::SendJob { worker, job } => {
-                    let target = inner
-                        .workers
-                        .iter()
-                        .find(|w| ComponentId(w.id) == worker && w.alive.load(Ordering::Relaxed))
-                        .map(|w| (w.inbox.clone(), Arc::clone(&w.qlen)));
+                    let target = {
+                        let routes = read_routes(&self.routes);
+                        routes
+                            .workers
+                            .get(&worker.0)
+                            .filter(|r| r.alive.load(Ordering::Relaxed))
+                            .map(|r| (r.inbox.clone(), Arc::clone(&r.qlen)))
+                    };
                     let Some((inbox, qlen)) = target else {
-                        self.refuse(inner, job.id, &mut queue);
+                        self.refuse_in_shard(shard, job.id, &mut queue);
                         continue;
                     };
-                    let Some(reply) = inner.replies.get(&job.id).cloned() else {
+                    let Some(reply) = shard.ext.replies.get(&job.id).cloned() else {
                         continue; // reply channel gone: job already settled
                     };
                     qlen.fetch_add(1, Ordering::Relaxed);
@@ -511,52 +740,52 @@ impl RtCluster {
                         enqueued: self.now(),
                     }) {
                         Ok(()) => {
-                            if inner.counted.insert(job.id) {
+                            if shard.ext.counted.insert(job.id) {
                                 self.submitted.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        Err(chan::SendError(_)) => self.refuse(inner, job.id, &mut queue),
+                        Err(chan::SendError(_)) => self.refuse_in_shard(shard, job.id, &mut queue),
                     }
                 }
-                DispatchEffect::NeedWorker { class, .. } => {
-                    if self.manager_on.load(Ordering::Relaxed) {
-                        let now = self.now();
-                        let view = Self::view_of(inner);
-                        let mut out = Vec::new();
-                        inner.control.on_need_worker(&class, now, &view, &mut out);
-                        self.apply_control(inner, out, true, now);
-                    }
+                DispatchEffect::NeedWorker { class, .. } => need.push(class),
+                DispatchEffect::Incr { key, n } => {
+                    *shard.ext.counters.entry(key).or_insert(0) += n;
                 }
-                DispatchEffect::Incr { key, n } => self.incr(key, n),
                 DispatchEffect::Span(s) => self.tracer.record(s),
             }
         }
     }
 
-    /// A job could not be handed to its chosen worker: run the plane's
+    /// A job could not be handed to its chosen worker: run the shard's
     /// timeout path now (evict the dead hint, retry elsewhere or give
     /// up) and queue whatever it decides.
-    fn refuse(&self, inner: &mut Inner, job_id: u64, queue: &mut VecDeque<DispatchEffect>) {
+    fn refuse_in_shard(
+        &self,
+        shard: &mut DispatchShard<ShardExt>,
+        job_id: u64,
+        queue: &mut VecDeque<DispatchEffect>,
+    ) {
         let now = self.now();
         let mut out = Vec::new();
         let verdict = {
-            let Inner { dispatch, rng, .. } = inner;
-            dispatch.on_timeout(rng, now, job_id, &mut out)
+            let DispatchShard { plane, rng, .. } = &mut *shard;
+            plane.on_timeout(rng, now, job_id, &mut out)
         };
         match verdict {
             TimeoutVerdict::Retried => {
-                inner
+                shard
+                    .ext
                     .deadlines
                     .insert(job_id, Instant::now() + self.cfg.dispatch_timeout);
             }
             TimeoutVerdict::GaveUp(_) => {
-                inner.deadlines.remove(&job_id);
-                if let Some(tx) = inner.replies.remove(&job_id) {
+                shard.ext.deadlines.remove(&job_id);
+                if let Some(tx) = shard.ext.replies.remove(&job_id) {
                     let _ = tx.try_send(JobResult::Failed("no live worker".into()));
                 }
             }
             TimeoutVerdict::Unknown => {
-                inner.deadlines.remove(&job_id);
+                shard.ext.deadlines.remove(&job_id);
             }
         }
         queue.extend(out);
@@ -566,6 +795,10 @@ impl RtCluster {
     /// worker is chosen by the shared dispatch plane (lottery over
     /// beacon hints with the §4.5 queue-delta correction); a stale pick
     /// is refused by the driver and retried through the same plane.
+    ///
+    /// Hot path: one round-robin shard lock plus a routing-table read —
+    /// never the control lock, so submits from many threads scale with
+    /// the shard count.
     pub fn submit(
         &self,
         class: &str,
@@ -579,41 +812,43 @@ impl RtCluster {
             return reply_rx;
         }
         let class = WorkerClass::new(class);
-        let mut guard = self.lock_inner();
-        let inner = &mut *guard;
-        if !inner.factories.contains_key(&class) {
-            drop(guard);
+        if !read_routes(&self.routes).classes.contains(&class) {
             let _ = reply_tx.send(JobResult::Failed(format!("no workers of class {class}")));
             return reply_rx;
         }
         let now = self.now();
-        let mut out = Vec::new();
-        let job_id = {
-            let Inner { dispatch, rng, .. } = inner;
-            dispatch.dispatch(
-                rng,
-                now,
-                ComponentId::EXTERNAL,
-                class,
-                op.to_string(),
-                input,
-                profile,
-                None,
-                &mut out,
-            )
-        };
-        inner.replies.insert(job_id, reply_tx);
-        inner
-            .deadlines
-            .insert(job_id, Instant::now() + self.cfg.dispatch_timeout);
-        self.deliver(inner, out);
+        let mut need = Vec::new();
+        {
+            let mut shard = self.shards.lock(self.shards.pick());
+            let mut out = Vec::new();
+            {
+                let DispatchShard { plane, rng, ext } = &mut *shard;
+                let job_id = plane.dispatch(
+                    rng,
+                    now,
+                    ComponentId::EXTERNAL,
+                    class,
+                    op.to_string(),
+                    input,
+                    profile,
+                    None,
+                    &mut out,
+                );
+                ext.replies.insert(job_id, reply_tx);
+                ext.deadlines
+                    .insert(job_id, Instant::now() + self.cfg.dispatch_timeout);
+            }
+            self.deliver_shard(&mut shard, out, &mut need);
+        }
+        self.need_workers(need);
         reply_rx
     }
 
     /// Spawns one worker thread. The thread honours service times by
     /// sleeping (scaled), crashes by *not replying* (the queue is
-    /// salvaged later), and reports completions straight into the
-    /// dispatch plane.
+    /// salvaged later), and reports completions straight into its
+    /// dispatch shard. With work stealing on, an idle worker drains
+    /// same-class siblings' queues (newest job first) before sleeping.
     fn spawn_worker_thread(
         &self,
         mut logic: Box<dyn WorkerLogic>,
@@ -633,7 +868,9 @@ impl RtCluster {
         let crashes = Arc::clone(&self.crashes);
         let log = Arc::clone(&self.log);
         let poisoned = Arc::clone(&self.lock_poisoned);
-        let weak: Weak<Mutex<Inner>> = Arc::downgrade(&self.inner);
+        let weak: Weak<ShardedDispatch<ShardExt>> = Arc::downgrade(&self.shards);
+        let routes = Arc::clone(&self.routes);
+        let stealing = self.cfg.work_stealing;
         let time_scale = self.cfg.time_scale;
         let seed = self.cfg.seed ^ id;
         let started = self.started;
@@ -670,21 +907,62 @@ impl RtCluster {
             .name(format!("sns-rt-{}-{}", class.name().replace('/', "-"), id))
             .spawn(move || {
                 let mut rng = Pcg32::new(seed);
+                // Stealing polls its own queue, so idle sleeps are short;
+                // without stealing the condvar wakes us and 50 ms is just
+                // the shutdown-check cadence.
+                let idle = if stealing {
+                    Duration::from_millis(5)
+                } else {
+                    Duration::from_millis(50)
+                };
+                let steal = |my: u64| -> Option<RtJob> {
+                    if !stealing {
+                        return None;
+                    }
+                    let r = read_routes(&routes);
+                    let victims: Vec<u64> = r
+                        .workers
+                        .iter()
+                        .filter(|(&wid, route)| {
+                            wid != my && route.class == class_t && !route.queue.is_empty()
+                        })
+                        .map(|(&wid, _)| wid)
+                        .collect();
+                    if victims.is_empty() {
+                        return None;
+                    }
+                    // Rotate the scan start per thief so a burst of idle
+                    // workers doesn't pile onto one victim's lock.
+                    let start = my as usize % victims.len();
+                    victims
+                        .iter()
+                        .cycle()
+                        .skip(start)
+                        .take(victims.len())
+                        .find_map(|wid| r.workers[wid].queue.try_steal())
+                };
                 loop {
                     if kill_t.load(Ordering::Relaxed) {
                         crash();
                         return;
                     }
-                    let rt_job = match rx.recv_timeout(Duration::from_millis(50)) {
+                    let rt_job = match rx.try_recv() {
                         Ok(j) => j,
-                        Err(chan::RecvTimeoutError::Timeout) => {
-                            if running.load(Ordering::Relaxed) {
-                                continue;
-                            } else {
-                                break;
-                            }
-                        }
-                        Err(chan::RecvTimeoutError::Disconnected) => break,
+                        Err(chan::TryRecvError::Disconnected) => break,
+                        Err(chan::TryRecvError::Empty) => match steal(id) {
+                            Some(j) => j,
+                            None => match rx.recv_timeout(idle) {
+                                Ok(j) => j,
+                                Err(chan::RecvTimeoutError::Timeout) => {
+                                    if running.load(Ordering::Relaxed) {
+                                        continue;
+                                    } else {
+                                        break;
+                                    }
+                                }
+                                Err(chan::RecvTimeoutError::Disconnected) => break,
+                            },
+                        },
                     };
                     qlen_t.store(rx.len() as u64 + 1, Ordering::Relaxed);
                     let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
@@ -729,12 +1007,12 @@ impl RtCluster {
                             jobs_done.fetch_add(1, Ordering::Relaxed);
                             service_span(payload.wire_size(), true);
                             let _ = rt_job.reply.send(JobResult::Ok(payload));
-                            finish(&weak, &poisoned, &tracer, done, rt_job.job.id);
+                            finish(&weak, &tracer, done, rt_job.job.id);
                         }
                         Err(WorkerError::Failed(reason)) => {
                             service_span(0, false);
                             let _ = rt_job.reply.send(JobResult::Failed(reason));
-                            finish(&weak, &poisoned, &tracer, done, rt_job.job.id);
+                            finish(&weak, &tracer, done, rt_job.job.id);
                         }
                         Err(WorkerError::Crash) => {
                             // No reply, no settlement: the job vanishes
@@ -768,7 +1046,7 @@ impl RtCluster {
     /// queues, sweep dispatch deadlines.
     fn control_step(&self) {
         let now = self.now();
-        let mut guard = self.lock_inner();
+        let mut guard = self.lock_control();
         let inner = &mut *guard;
         self.process_deaths(inner, now);
         let reports: Vec<(u64, WorkerClass, u32, NodeId)> = inner
@@ -807,7 +1085,7 @@ impl RtCluster {
     /// Joins dead worker threads, moves their queues to the morgue and
     /// notifies the control plane (which decides whether a process
     /// peer is started, §3.1.3).
-    fn process_deaths(&self, inner: &mut Inner, now: SimTime) {
+    fn process_deaths(&self, inner: &mut ControlInner, now: SimTime) {
         while let Some(idx) = inner
             .workers
             .iter()
@@ -817,6 +1095,7 @@ impl RtCluster {
             if let Some(j) = dead.join.take() {
                 let _ = j.join();
             }
+            self.write_routes().workers.remove(&dead.id);
             inner
                 .morgue
                 .push((dead.class.clone(), dead.salvage.clone()));
@@ -832,7 +1111,7 @@ impl RtCluster {
     /// Redispatches jobs stranded in dead workers' queues onto the
     /// newest live worker of the class (the replacement, when there is
     /// one).
-    fn drain_morgue(&self, inner: &mut Inner) {
+    fn drain_morgue(&self, inner: &mut ControlInner) {
         let morgue = std::mem::take(&mut inner.morgue);
         let mut kept = Vec::new();
         for (class, salvage) in morgue {
@@ -860,47 +1139,47 @@ impl RtCluster {
         inner.morgue = kept;
     }
 
-    /// Runs the dispatch plane's timeout handler for every job past its
-    /// wall-clock deadline.
-    fn sweep_deadlines(&self, inner: &mut Inner) {
+    /// Runs each shard's timeout handler for every job past its
+    /// wall-clock deadline. Caller holds the control lock; shards are
+    /// visited one at a time underneath it.
+    fn sweep_deadlines(&self, inner: &mut ControlInner) {
         let wall = Instant::now();
-        let expired: Vec<u64> = inner
-            .deadlines
-            .iter()
-            .filter(|&(_, d)| *d <= wall)
-            .map(|(&id, _)| id)
-            .collect();
-        for job_id in expired {
-            let mut queue = VecDeque::new();
-            self.refuse(inner, job_id, &mut queue);
-            let effects: Vec<DispatchEffect> = queue.into_iter().collect();
-            self.deliver(inner, effects);
-        }
+        let mut need = Vec::new();
+        self.shards.for_each(|_, shard| {
+            let expired: Vec<u64> = shard
+                .ext
+                .deadlines
+                .iter()
+                .filter(|&(_, d)| *d <= wall)
+                .map(|(&id, _)| id)
+                .collect();
+            for job_id in expired {
+                let mut queue = VecDeque::new();
+                self.refuse_in_shard(shard, job_id, &mut queue);
+                let effects: Vec<DispatchEffect> = queue.into_iter().collect();
+                self.deliver_shard(shard, effects, &mut need);
+            }
+        });
+        self.need_workers_locked(inner, need);
     }
 
     /// Publishes the control plane's current hints to the dispatch
-    /// plane immediately (test hook; ignores the beacon blackout since
+    /// shards immediately (test hook; ignores the beacon blackout since
     /// the call is explicit).
     pub fn refresh_hints_now(&self) {
-        let mut guard = self.lock_inner();
+        let mut guard = self.lock_control();
         self.refresh_hints(&mut guard);
     }
 
-    fn refresh_hints(&self, inner: &mut Inner) {
+    fn refresh_hints(&self, inner: &mut ControlInner) {
         let b = inner.control.make_beacon(self.now());
-        let mut out = Vec::new();
-        {
-            let Inner { dispatch, rng, .. } = inner;
-            dispatch.on_beacon(&b);
-            dispatch.flush_pending(rng, &mut out);
-        }
-        self.deliver(inner, out);
+        self.publish_beacon(inner, &b);
     }
 
     /// Live workers of a class.
     pub fn workers_of(&self, class: &str) -> usize {
         let class = WorkerClass::new(class);
-        self.lock_inner()
+        self.lock_control()
             .workers
             .iter()
             .filter(|w| w.class == class && w.alive.load(Ordering::Relaxed))
@@ -911,7 +1190,7 @@ impl RtCluster {
     /// a victim existed.
     pub fn crash_worker(&self, class: &str) -> bool {
         let class = WorkerClass::new(class);
-        let inner = self.lock_inner();
+        let inner = self.lock_control();
         for w in &inner.workers {
             if w.class == class
                 && w.alive.load(Ordering::Relaxed)
@@ -930,7 +1209,7 @@ impl RtCluster {
     /// Returns the number of workers killed, or `None` when no node is
     /// alive.
     pub fn kill_node(&self, which: usize) -> Option<u64> {
-        let mut inner = self.lock_inner();
+        let mut inner = self.lock_control();
         let alive: Vec<usize> = inner
             .vnodes
             .iter()
@@ -960,7 +1239,7 @@ impl RtCluster {
     /// minimums repopulate it on the next manager tick. Returns whether
     /// a dead node existed.
     pub fn revive_node(&self, which: usize) -> bool {
-        let mut inner = self.lock_inner();
+        let mut inner = self.lock_control();
         let dead: Vec<usize> = inner
             .vnodes
             .iter()
@@ -979,7 +1258,7 @@ impl RtCluster {
     /// `which` (mod the alive count) by `factor` (straggler injection;
     /// 1.0 restores). Returns whether a node was targeted.
     pub fn set_node_slowdown(&self, which: usize, factor: f64) -> bool {
-        let inner = self.lock_inner();
+        let inner = self.lock_control();
         let alive: Vec<&VNode> = inner.vnodes.iter().filter(|v| v.alive).collect();
         if alive.is_empty() {
             return false;
@@ -1016,12 +1295,18 @@ impl RtCluster {
     }
 
     /// A control/dispatch plane counter (e.g. `"manager.load_reports"`,
-    /// `"stub.retries"`).
-    pub fn counter(&self, key: &str) -> u64 {
-        lock(&self.counters, &self.lock_poisoned)
+    /// `"stub.retries"`), summed across the control plane's counters
+    /// and every dispatch shard's. Accepts a [`MetricKey`] or anything
+    /// that interns into one (plain `&str` keeps working).
+    pub fn counter(&self, key: impl Into<MetricKey>) -> u64 {
+        let key = key.into().as_str();
+        let mut total = lock(&self.counters, &self.lock_poisoned)
             .get(key)
             .copied()
-            .unwrap_or(0)
+            .unwrap_or(0);
+        self.shards
+            .for_each(|_, s| total += s.ext.counters.get(key).copied().unwrap_or(0));
+        total
     }
 
     /// Stops the manager thread (fault injection). Workers keep
@@ -1039,7 +1324,7 @@ impl RtCluster {
     /// state is rebuilt from registrations and load reports"),
     /// reconciles deaths that happened while no manager ran, and tops
     /// populations back up to their class minimums.
-    pub fn start_manager(self: &Arc<Self>) {
+    pub fn start_manager(&self) {
         let mut slot = lock(&self.manager, &self.lock_poisoned);
         if slot.is_some() || !self.running.load(Ordering::Relaxed) {
             return;
@@ -1047,7 +1332,7 @@ impl RtCluster {
         self.manager_on.store(true, Ordering::Relaxed);
         let inc = self.incarnation.fetch_add(1, Ordering::Relaxed) + 1;
         {
-            let mut guard = self.lock_inner();
+            let mut guard = self.lock_control();
             let inner = &mut *guard;
             let now = self.now();
             let mut control = ControlPlane::new(ControlConfig {
@@ -1100,7 +1385,11 @@ impl RtCluster {
             self.drain_morgue(inner);
             self.refresh_hints(inner);
         }
-        let weak = Arc::downgrade(self);
+        let weak = self
+            .self_weak
+            .get()
+            .cloned()
+            .expect("RtCluster is built via RtCluster::start");
         let handle = std::thread::Builder::new()
             .name("sns-rt-manager".into())
             .spawn(move || loop {
@@ -1127,19 +1416,20 @@ impl RtCluster {
     pub fn shutdown(&self) {
         self.running.store(false, Ordering::Relaxed);
         self.kill_manager();
-        let mut inner = self.lock_inner();
+        let mut inner = self.lock_control();
         for w in &inner.workers {
             w.inbox.close();
         }
         let mut workers = std::mem::take(&mut inner.workers);
-        drop(inner); // don't hold the cluster lock while draining
+        drop(inner); // don't hold the control lock while draining
         for w in &mut workers {
             if let Some(j) = w.join.take() {
                 let _ = j.join();
             }
         }
-        let mut inner = self.lock_inner();
+        let mut inner = self.lock_control();
         let morgue = std::mem::take(&mut inner.morgue);
+        drop(inner);
         for (_class, salvage) in morgue {
             while let Ok(orphan) = salvage.try_recv() {
                 let _ = orphan
@@ -1154,29 +1444,105 @@ impl RtCluster {
                     .try_send(JobResult::Failed("cluster is shut down".into()));
             }
         }
-        inner.replies.clear();
-        inner.deadlines.clear();
+        self.write_routes().workers.clear();
+        self.shards.for_each(|_, s| {
+            s.ext.replies.clear();
+            s.ext.deadlines.clear();
+        });
     }
 }
 
-/// Settles a completed job in the dispatch plane (called from worker
+/// The backend-agnostic harness surface. Inherent methods keep their
+/// richer signatures (e.g. [`RtCluster::submit`] returns the reply
+/// channel); these implementations adapt them to the narrow trait so
+/// chaos plans and invariant checkers drive rt and sim identically.
+impl Cluster for RtCluster {
+    fn backend(&self) -> &'static str {
+        "rt"
+    }
+
+    fn submit(&self, class: &str, op: &str, input: Payload) {
+        let rx = RtCluster::submit(self, class, op, input, None);
+        lock(&self.pending, &self.lock_poisoned).push(rx);
+    }
+
+    fn settle(&self, budget: Duration) -> SettleStats {
+        let pending = std::mem::take(&mut *lock(&self.pending, &self.lock_poisoned));
+        let mut stats = SettleStats::default();
+        if pending.is_empty() {
+            // Nothing to wait for: let wall-clock recovery play out.
+            std::thread::sleep(budget);
+            return stats;
+        }
+        let deadline = Instant::now() + budget;
+        for rx in pending {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(JobResult::Ok(_)) => stats.answered += 1,
+                Ok(JobResult::Failed(_)) | Err(_) => stats.failed += 1,
+            }
+        }
+        stats
+    }
+
+    fn workers_of(&self, class: &str) -> usize {
+        RtCluster::workers_of(self, class)
+    }
+
+    fn crash_worker(&self, class: &str) -> bool {
+        RtCluster::crash_worker(self, class)
+    }
+
+    fn kill_manager(&self) {
+        RtCluster::kill_manager(self);
+    }
+
+    fn restart_manager(&self) {
+        RtCluster::start_manager(self);
+    }
+
+    fn kill_node(&self, which: usize) -> Option<u64> {
+        RtCluster::kill_node(self, which)
+    }
+
+    fn revive_node(&self, which: usize) -> bool {
+        RtCluster::revive_node(self, which)
+    }
+
+    fn set_node_slowdown(&self, which: usize, factor: f64) -> bool {
+        RtCluster::set_node_slowdown(self, which, factor)
+    }
+
+    fn set_beacon_blackout(&self, on: bool) {
+        RtCluster::set_beacon_blackout(self, on);
+    }
+
+    fn monitor_log(&self) -> MonitorLog {
+        RtCluster::monitor_log(self)
+    }
+
+    fn counter(&self, key: MetricKey) -> u64 {
+        RtCluster::counter(self, key)
+    }
+
+    fn trace_snapshot(&self) -> Option<TraceLog> {
+        RtCluster::trace_snapshot(self)
+    }
+}
+
+/// Settles a completed job in its dispatch shard (called from worker
 /// threads; the weak ref breaks the `Arc` cycle with the cluster).
 /// Span effects the plane emits (the closed dispatch span) go straight
 /// to `tracer`.
-fn finish(
-    weak: &Weak<Mutex<Inner>>,
-    poisoned: &AtomicU64,
-    tracer: &Tracer,
-    now: SimTime,
-    job_id: u64,
-) {
-    if let Some(m) = weak.upgrade() {
-        let mut inner = lock(&m, poisoned);
+fn finish(weak: &Weak<ShardedDispatch<ShardExt>>, tracer: &Tracer, now: SimTime, job_id: u64) {
+    if let Some(shards) = weak.upgrade() {
         let mut out = Vec::new();
-        inner.dispatch.on_response(job_id, now, &mut out);
-        inner.replies.remove(&job_id);
-        inner.deadlines.remove(&job_id);
-        drop(inner);
+        {
+            let (_, mut shard) = shards.lock_for(job_id);
+            shard.plane.on_response(job_id, now, &mut out);
+            shard.ext.replies.remove(&job_id);
+            shard.ext.deadlines.remove(&job_id);
+        }
         for effect in out {
             if let DispatchEffect::Span(s) = effect {
                 tracer.record(s);
@@ -1224,12 +1590,12 @@ mod tests {
     }
 
     fn cluster() -> Arc<RtCluster> {
-        let c = RtCluster::start(RtConfig {
-            time_scale: 0.05,
-            report_period: Duration::from_millis(10),
-            beacon_period: Duration::from_millis(20),
-            ..Default::default()
-        });
+        let c = RtCluster::start(
+            RtConfig::new()
+                .with_time_scale(0.05)
+                .with_report_period(Duration::from_millis(10))
+                .with_beacon_period(Duration::from_millis(20)),
+        );
         c.add_workers("echo", 3, || Box::new(Echo { _private: () }));
         c
     }
@@ -1365,13 +1731,13 @@ mod tests {
 
     #[test]
     fn node_kill_and_revive_round_trip() {
-        let c = RtCluster::start(RtConfig {
-            time_scale: 0.05,
-            report_period: Duration::from_millis(10),
-            beacon_period: Duration::from_millis(20),
-            nodes: 2,
-            ..Default::default()
-        });
+        let c = RtCluster::start(
+            RtConfig::new()
+                .with_time_scale(0.05)
+                .with_report_period(Duration::from_millis(10))
+                .with_beacon_period(Duration::from_millis(20))
+                .with_nodes(2),
+        );
         c.add_workers("echo", 4, || Box::new(Echo { _private: () }));
         assert_eq!(c.workers_of("echo"), 4);
         let killed = c.kill_node(0).expect("a node is alive");
@@ -1416,5 +1782,47 @@ mod tests {
         assert_eq!(log.count("peer_restarted"), 1);
         assert!(c.counter("manager.load_reports") >= 1);
         assert_eq!(c.lock_poisoned.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn work_stealing_drains_a_hot_queue() {
+        // 4 workers, hints frozen onto one victim: with stealing on,
+        // its siblings drain the pile-up anyway.
+        let c = RtCluster::start(
+            RtConfig::new()
+                .with_time_scale(1.0)
+                .with_report_period(Duration::from_millis(10))
+                .with_beacon_period(Duration::from_millis(20))
+                .with_shards(1)
+                .with_work_stealing(true),
+        );
+        c.add_workers("echo", 4, || Box::new(Echo { _private: () }));
+        let receivers: Vec<_> = (0..40)
+            .map(|_| c.submit("echo", "echo", Blob::payload(64, "x"), None))
+            .collect();
+        for rx in receivers {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(20)),
+                Ok(JobResult::Ok(_))
+            ));
+        }
+        assert_eq!(c.jobs_done.load(Ordering::Relaxed), 40);
+        c.shutdown();
+    }
+
+    #[test]
+    fn cluster_trait_drives_rt_end_to_end() {
+        let c = cluster();
+        let h: &dyn Cluster = &*c;
+        assert_eq!(h.backend(), "rt");
+        for _ in 0..8 {
+            h.submit("echo", "echo", Blob::payload(128, "x"));
+        }
+        let s = h.settle(Duration::from_secs(20));
+        assert_eq!(s.answered, 8, "all trait-submitted jobs answered");
+        assert_eq!(s.failed, 0);
+        assert_eq!(h.workers_of("echo"), 3);
+        assert!(h.counter(MetricKey::new("stub.dispatches")) >= 8);
+        c.shutdown();
     }
 }

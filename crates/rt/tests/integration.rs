@@ -35,14 +35,12 @@ impl WorkerLogic for Echo {
 }
 
 fn fast_config() -> RtConfig {
-    RtConfig {
-        time_scale: 0.01,
-        report_period: Duration::from_millis(10),
-        beacon_period: Duration::from_millis(20),
-        seed: 0xc4a5,
-        restart_on_crash: true,
-        ..RtConfig::default()
-    }
+    RtConfig::new()
+        .with_time_scale(0.01)
+        .with_report_period(Duration::from_millis(10))
+        .with_beacon_period(Duration::from_millis(20))
+        .with_seed(0xc4a5)
+        .with_restart_on_crash(true)
 }
 
 /// Worker crash with work still queued: the manager must notice the

@@ -20,10 +20,8 @@ use cluster_sns::tacc::worker::TaccWorkerHost;
 use cluster_sns::workload::MimeType;
 
 fn main() {
-    let cluster = RtCluster::start(RtConfig {
-        time_scale: 0.2, // run the modelled hardware 5x faster
-        ..Default::default()
-    });
+    // run the modelled hardware 5x faster
+    let cluster = RtCluster::start(RtConfig::new().with_time_scale(0.2));
     // The *identical* worker implementations the simulator uses:
     cluster.add_workers("distiller/gif", 3, || {
         Box::new(TaccWorkerHost::transformer(

@@ -33,9 +33,9 @@ pub use sns_workload as workload;
 /// # let _ = builder;
 /// ```
 pub mod prelude {
-    pub use sns_chaos::{FaultKind, FaultPlan, SimChaos, SimChaosConfig};
+    pub use sns_chaos::{FaultKind, FaultPlan, SimChaos, SimChaosConfig, SimClusterBuilder};
     pub use sns_core::topology::ClusterTopology;
-    pub use sns_core::{SnsConfig, WorkerClass};
+    pub use sns_core::{Cluster, SettleStats, SnsConfig, WorkerClass};
     pub use sns_hotbot::{HotBotBuilder, HotBotCluster};
     pub use sns_rt::{RtCluster, RtConfig};
     pub use sns_san::{LinkParams, SanConfig};

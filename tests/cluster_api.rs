@@ -1,0 +1,141 @@
+//! The backend-agnostic [`Cluster`] trait, driven end-to-end over both
+//! backends with the *same* harness function: submit waves, crash a
+//! worker, verify recovery, check invariants over the decision log and
+//! read counters by typed key. The simulator advances virtual time
+//! inside `settle`; the threaded runtime waits on wall-clock replies —
+//! the harness cannot tell and must not care. This is the parity
+//! discipline lifted from one hand-written differential test to an API
+//! contract any chaos plan or invariant checker can rely on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cluster_sns::chaos::harness::SimClusterBuilder;
+use cluster_sns::chaos::{CrashBudget, RespawnCoverage, SpawnBudget};
+use cluster_sns::core::cluster::Cluster;
+use cluster_sns::core::msg::Job;
+use cluster_sns::core::worker::{WorkerError, WorkerLogic};
+use cluster_sns::core::{Blob, Payload, WorkerClass};
+use cluster_sns::rt::{RtCluster, RtConfig};
+use cluster_sns::sim::rng::Pcg32;
+use cluster_sns::sim::{MetricKey, SimTime};
+
+struct Echo;
+
+impl WorkerLogic for Echo {
+    fn class(&self) -> WorkerClass {
+        "echo".into()
+    }
+    fn service_time(&mut self, _j: &Job, _n: SimTime, _r: &mut Pcg32) -> Duration {
+        Duration::from_millis(20)
+    }
+    fn process(&mut self, job: &Job, _n: SimTime, _r: &mut Pcg32) -> Result<Payload, WorkerError> {
+        Ok(Blob::payload(job.input.wire_size() / 2, "echoed"))
+    }
+}
+
+fn sim_cluster() -> impl Cluster {
+    SimClusterBuilder::new()
+        .with_workers("echo", 3, || Box::new(Echo))
+        .start()
+}
+
+fn rt_cluster() -> Arc<RtCluster> {
+    let c = RtCluster::start(
+        RtConfig::new()
+            .with_time_scale(0.02)
+            .with_report_period(Duration::from_millis(10))
+            .with_beacon_period(Duration::from_millis(20)),
+    );
+    c.add_workers("echo", 3, || Box::new(Echo));
+    c
+}
+
+/// The shared script: a load wave, a worker crash, recovery, another
+/// wave — asserting the same outcomes whichever backend is underneath.
+/// `budget` is the settle allowance per phase (virtual for sim, wall
+/// for rt — rt compresses service times, so a smaller budget works).
+fn drive(c: &dyn Cluster, budget: Duration) {
+    assert_eq!(c.workers_of("echo"), 3, "[{}] bootstrap", c.backend());
+    for i in 0..6 {
+        c.submit("echo", "echo", Blob::payload(256 + i, "wave1"));
+    }
+    let s = c.settle(budget);
+    assert_eq!(s.answered, 6, "[{}] wave1: {s:?}", c.backend());
+    assert_eq!(s.failed, 0, "[{}] wave1 clean", c.backend());
+
+    assert!(c.crash_worker("echo"), "[{}] a victim exists", c.backend());
+    let _ = c.settle(budget);
+    assert_eq!(
+        c.workers_of("echo"),
+        3,
+        "[{}] process peer restored",
+        c.backend()
+    );
+
+    for i in 0..4 {
+        c.submit("echo", "echo", Blob::payload(128 + i, "wave2"));
+    }
+    let s = c.settle(budget);
+    assert_eq!(s.answered, 4, "[{}] wave2: {s:?}", c.backend());
+
+    // The decision log satisfies the same invariants on both backends:
+    // 3 bootstrap spawns + 1 recovery spawn covering the 1 injected
+    // crash.
+    let log = c.monitor_log();
+    log.check(&mut SpawnBudget::new(4)).unwrap();
+    log.check(&mut RespawnCoverage::new(4)).unwrap();
+    log.check(&mut CrashBudget::new(1)).unwrap();
+
+    // Typed counter keys resolve on both backends.
+    assert!(
+        c.counter(MetricKey::new("manager.load_reports")) >= 1,
+        "[{}] load reports flowed",
+        c.backend()
+    );
+    assert!(
+        c.counter(MetricKey::new("stub.dispatches")) >= 10,
+        "[{}] dispatch counters rolled up",
+        c.backend()
+    );
+}
+
+#[test]
+fn one_harness_drives_both_backends() {
+    let sim = sim_cluster();
+    drive(&sim, Duration::from_secs(30));
+    let rt = rt_cluster();
+    drive(&*rt, Duration::from_secs(3));
+    rt.shutdown();
+}
+
+/// Beacon blackout through the trait: with hints frozen, submits keep
+/// landing from the stale cache (§3.1.8) on both backends.
+#[test]
+fn blackout_serves_from_stale_hints_on_both_backends() {
+    fn script(c: &dyn Cluster, budget: Duration) {
+        // Warm hint caches, then freeze them.
+        for _ in 0..2 {
+            c.submit("echo", "echo", Blob::payload(64, "warm"));
+        }
+        let s = c.settle(budget);
+        assert_eq!(s.answered, 2, "[{}] warm-up: {s:?}", c.backend());
+        c.set_beacon_blackout(true);
+        for _ in 0..4 {
+            c.submit("echo", "echo", Blob::payload(64, "dark"));
+        }
+        let s = c.settle(budget);
+        assert_eq!(
+            s.answered,
+            4,
+            "[{}] stale hints keep serving: {s:?}",
+            c.backend()
+        );
+        c.set_beacon_blackout(false);
+    }
+    let sim = sim_cluster();
+    script(&sim, Duration::from_secs(30));
+    let rt = rt_cluster();
+    script(&*rt, Duration::from_secs(3));
+    rt.shutdown();
+}

@@ -224,13 +224,13 @@ fn sim_run() -> (MonitorLog, String) {
 /// Threaded-runtime run of the same script: 3 echo workers, 4 echo
 /// jobs, crash a worker, wait for recovery, crash another, wait again.
 fn rt_run() -> (MonitorLog, String) {
-    let c: Arc<RtCluster> = RtCluster::start(RtConfig {
-        time_scale: 0.0, // service instantly; only the script order matters
-        report_period: Duration::from_millis(10),
-        beacon_period: Duration::from_millis(20),
-        tracing: true,
-        ..RtConfig::default()
-    });
+    let c: Arc<RtCluster> = RtCluster::start(
+        RtConfig::new()
+            .with_time_scale(0.0) // service instantly; only the script order matters
+            .with_report_period(Duration::from_millis(10))
+            .with_beacon_period(Duration::from_millis(20))
+            .with_tracing(true),
+    );
     c.add_workers("echo", 3, || Box::new(Echo));
     c.refresh_hints_now();
     for _ in 0..JOBS {

@@ -467,12 +467,12 @@ impl WorkerLogic for RtEcho {
 }
 
 fn rt_cluster() -> Arc<RtCluster> {
-    let c = RtCluster::start(RtConfig {
-        time_scale: RT_SCALE,
-        report_period: Duration::from_millis(10),
-        beacon_period: Duration::from_millis(20),
-        ..RtConfig::default()
-    });
+    let c = RtCluster::start(
+        RtConfig::new()
+            .with_time_scale(RT_SCALE)
+            .with_report_period(Duration::from_millis(10))
+            .with_beacon_period(Duration::from_millis(20)),
+    );
     c.add_workers("echo", 3, || Box::new(RtEcho));
     c
 }

@@ -146,11 +146,19 @@ echo "== chaos stage: fault-injection suites under a pinned seed"
 # that got #[ignore]d, filtered out or deleted would otherwise slip
 # through CI silently. Each suite's pass count is checked against the
 # number of tests it is supposed to carry.
-chaos_suite sns-chaos prop 4
-chaos_suite cluster-sns failure_recovery 11
-chaos_suite cluster-sns determinism 7
+chaos_suite sns-chaos prop 5
+chaos_suite cluster-sns failure_recovery 12
+chaos_suite cluster-sns determinism 8
 chaos_suite cluster-sns paper_shapes 4
 chaos_suite cluster-sns trace_shapes 1
 chaos_suite sns-sim sched_equiv 3
+
+echo "== cluster_ops stage: operations chaos under a pinned seed"
+# Rolling upgrades under load (UpgradeNoJobLoss on both backends),
+# quorum regroup (minority kill survives QuorumSafety, majority kill is
+# detected unrecoverable), drain/rejoin parity diffs, stable-index
+# fault skips, and the multi-tenant flash-crowd isolation scenario —
+# all deterministic under the pinned seed.
+chaos_suite cluster-sns cluster_ops 10
 
 echo "== CI green"

@@ -36,6 +36,13 @@ pub struct PlanSpace {
     /// Longest beacon-loss burst (keep under the 4s beacon-loss and
     /// worker-report timeouts so soft state refreshes between bursts).
     pub max_burst: Duration,
+    /// Whether cluster-operations verbs (drain, rejoin, rolling
+    /// upgrade) over the pools may be drawn.
+    pub cluster_ops: bool,
+    /// Manager replica count for quorum-regroup plans: when > 0,
+    /// `KillManagerReplica` (over `0..manager_replicas`) and
+    /// `RestartManager` events may be drawn.
+    pub manager_replicas: usize,
 }
 
 impl PlanSpace {
@@ -51,6 +58,8 @@ impl PlanSpace {
             kill_manager: false,
             net_faults: false,
             max_burst: Duration::from_secs(3),
+            cluster_ops: false,
+            manager_replicas: 0,
         }
     }
 
@@ -65,6 +74,46 @@ impl PlanSpace {
             kill_manager: true,
             net_faults: true,
             max_burst: Duration::from_secs(3),
+            cluster_ops: false,
+            manager_replicas: 0,
+        }
+    }
+
+    /// A space of cluster-operations verbs — drains, rejoins and
+    /// rolling upgrades over `pools`, mixed with worker kills from
+    /// `classes`. No unrecoverable faults, so a healthy implementation
+    /// must keep serving through every plan.
+    pub fn cluster_ops(classes: &[&str], pools: &[&str]) -> Self {
+        PlanSpace {
+            classes: classes.iter().map(|c| c.to_string()).collect(),
+            pools: pools.iter().map(|p| p.to_string()).collect(),
+            earliest: Duration::from_secs(15),
+            latest: Duration::from_secs(45),
+            max_events: 4,
+            kill_manager: false,
+            net_faults: false,
+            max_burst: Duration::from_secs(3),
+            cluster_ops: true,
+            manager_replicas: 0,
+        }
+    }
+
+    /// A space of manager-replica kills and restarts for the quorum
+    /// regroup rig. The zero alternative is `KillManagerReplica` of
+    /// replica 0 (the boot leader) at the earliest time, so failing
+    /// plans shrink toward the minimal kill-the-leader witness.
+    pub fn regroup(replicas: usize) -> Self {
+        PlanSpace {
+            classes: vec![],
+            pools: vec![],
+            earliest: Duration::from_secs(2),
+            latest: Duration::from_secs(30),
+            max_events: 4,
+            kill_manager: false,
+            net_faults: false,
+            max_burst: Duration::from_secs(3),
+            cluster_ops: false,
+            manager_replicas: replicas.max(1),
         }
     }
 }
@@ -74,8 +123,8 @@ impl PlanSpace {
 /// `KillWorker` of the first class at the earliest time.
 pub fn fault_plan(space: &PlanSpace) -> Gen<FaultPlan> {
     assert!(
-        !space.classes.is_empty(),
-        "plan space needs at least one worker class"
+        !space.classes.is_empty() || space.manager_replicas > 0,
+        "plan space needs worker classes or manager replicas"
     );
     assert!(space.earliest < space.latest, "empty time window");
 
@@ -88,12 +137,66 @@ fn fault_event(space: &PlanSpace) -> Gen<FaultEvent> {
 
     // KillWorker first and heaviest: the zero alternative is the shrink
     // target, and worker crashes are the paper's headline fault (§3.1.6).
-    let classes = space.classes.clone();
-    let kill_worker = gens::usize_in(0..classes.len() * 4).map(move |raw| FaultKind::KillWorker {
-        class: classes[raw % classes.len()].clone(),
-        which: raw / classes.len(),
-    });
-    let mut alts: Vec<(u32, Gen<FaultKind>)> = vec![(6, kill_worker)];
+    // (In a replica-only space, KillManagerReplica takes that slot and
+    // failing plans shrink toward a kill of the boot leader instead.)
+    let mut alts: Vec<(u32, Gen<FaultKind>)> = Vec::new();
+    if !space.classes.is_empty() {
+        let classes = space.classes.clone();
+        let kill_worker =
+            gens::usize_in(0..classes.len() * 4).map(move |raw| FaultKind::KillWorker {
+                class: classes[raw % classes.len()].clone(),
+                which: raw / classes.len(),
+            });
+        alts.push((6, kill_worker));
+    }
+    if space.manager_replicas > 0 {
+        let replicas = space.manager_replicas;
+        alts.push((
+            6,
+            gens::usize_in(0..replicas).map(|which| FaultKind::KillManagerReplica { which }),
+        ));
+        alts.push((3, gens::just(FaultKind::RestartManager)));
+    }
+    if space.cluster_ops && !space.pools.is_empty() {
+        let pools = space.pools.clone();
+        let drain = gens::usize_in(0..pools.len() * 4).map(move |raw| FaultKind::DrainNode {
+            pool: pools[raw % pools.len()].clone(),
+            which: raw / pools.len(),
+        });
+        alts.push((3, drain));
+
+        let pools = space.pools.clone();
+        let rejoin = gens::usize_in(0..pools.len() * 4).map(move |raw| FaultKind::RejoinNode {
+            pool: pools[raw % pools.len()].clone(),
+            which: raw / pools.len(),
+        });
+        alts.push((3, rejoin));
+
+        let pools = space.pools.clone();
+        let pick = gens::usize_in(0..pools.len());
+        let nodes = gens::usize_in(1..5);
+        let batch = gens::usize_in(1..3);
+        let settle = gens::duration_in(Duration::from_secs(2)..Duration::from_secs(8));
+        let upgrade = pick.flat_map(move |p| {
+            let pool = pools[p].clone();
+            let batch = batch.clone();
+            let settle = settle.clone();
+            nodes.flat_map(move |nodes| {
+                let pool = pool.clone();
+                let settle = settle.clone();
+                batch.flat_map(move |batch| {
+                    let pool = pool.clone();
+                    settle.map(move |settle| FaultKind::RollingUpgrade {
+                        pool: pool.clone(),
+                        nodes,
+                        batch,
+                        settle,
+                    })
+                })
+            })
+        });
+        alts.push((2, upgrade));
+    }
 
     if space.kill_manager {
         alts.push((2, gens::just(FaultKind::KillManager)));
@@ -184,5 +287,52 @@ mod tests {
                 assert!(matches!(ev.kind, FaultKind::KillWorker { .. }));
             }
         }
+    }
+
+    #[test]
+    fn regroup_space_draws_only_replica_verbs() {
+        let space = PlanSpace::regroup(3);
+        let g = fault_plan(&space);
+        let mut src = Source::live(11);
+        let mut kills = 0;
+        for _ in 0..200 {
+            for ev in &g.run(&mut src).events {
+                match &ev.kind {
+                    FaultKind::KillManagerReplica { which } => {
+                        assert!(*which < 3, "{}", ev.kind);
+                        kills += 1;
+                    }
+                    FaultKind::RestartManager => {}
+                    other => panic!("unexpected verb in regroup space: {other}"),
+                }
+            }
+        }
+        assert!(kills > 0, "replica kills must be drawn");
+    }
+
+    #[test]
+    fn cluster_ops_space_draws_the_new_verbs() {
+        let space = PlanSpace::cluster_ops(&["cache"], &["dedicated"]);
+        let g = fault_plan(&space);
+        let mut src = Source::live(13);
+        let (mut drains, mut rejoins, mut upgrades) = (0, 0, 0);
+        for _ in 0..300 {
+            for ev in &g.run(&mut src).events {
+                match &ev.kind {
+                    FaultKind::KillWorker { .. } => {}
+                    FaultKind::DrainNode { .. } => drains += 1,
+                    FaultKind::RejoinNode { .. } => rejoins += 1,
+                    FaultKind::RollingUpgrade { nodes, batch, .. } => {
+                        assert!(*nodes >= 1 && *batch >= 1, "{}", ev.kind);
+                        upgrades += 1;
+                    }
+                    other => panic!("unexpected verb in cluster-ops space: {other}"),
+                }
+            }
+        }
+        assert!(
+            drains > 0 && rejoins > 0 && upgrades > 0,
+            "every ops verb must be drawn: {drains} drains, {rejoins} rejoins, {upgrades} upgrades"
+        );
     }
 }

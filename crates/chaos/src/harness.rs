@@ -23,6 +23,7 @@ use sns_core::cluster::{Cluster, SettleStats};
 use sns_core::invariant::{MonitorLog, MonitorTap};
 use sns_core::manager::{Manager, ManagerConfig, WorkerSpec};
 use sns_core::msg::{JobResult, SnsMsg};
+use sns_core::stub::TimeoutVerdict;
 use sns_core::trace::{TraceLog, Tracer};
 use sns_core::worker::{WorkerLogic, WorkerStub, WorkerStubConfig};
 use sns_core::{intern_class, ManagerStub, Payload, SnsConfig, WorkerClass};
@@ -35,6 +36,9 @@ use crate::sim::SnsSim;
 /// How often the driver component drains its submit queue and how
 /// finely [`Cluster::settle`] slices its budget.
 const PUMP: Duration = Duration::from_millis(100);
+
+/// Timer-token tag for per-job dispatch timeouts (token 0 is the pump).
+const K_DISPATCH: u64 = 1 << 63;
 
 /// Node-pool tag the harness places workers on (the injector grammar's
 /// `pool` name for this backend).
@@ -50,6 +54,9 @@ struct DriverShared {
     answered: Cell<u64>,
     /// Jobs resolved with `JobResult::Failed` since cluster start.
     failed: Cell<u64>,
+    /// Dispatch-to-reply latency of every answered job, per class —
+    /// the raw material for tenant-isolation p99 checks.
+    latencies: RefCell<BTreeMap<WorkerClass, Vec<Duration>>>,
 }
 
 /// In-sim component owning the [`ManagerStub`]: ingests beacons,
@@ -59,6 +66,11 @@ struct Driver {
     beacon: GroupId,
     stub: ManagerStub,
     shared: Rc<DriverShared>,
+    /// Outstanding dispatches: job id → (class, dispatch time).
+    pending: BTreeMap<u64, (WorkerClass, SimTime)>,
+    /// Per-dispatch timeout, armed alongside every dispatch so jobs
+    /// aimed at a drained or dead worker resolve instead of hanging.
+    timeout: Duration,
 }
 
 impl Component<SnsMsg> for Driver {
@@ -81,6 +93,16 @@ impl Component<SnsMsg> for Driver {
                 if self.stub.on_response(ctx, job_id).is_none() {
                     return;
                 }
+                if let Some((class, at)) = self.pending.remove(&job_id) {
+                    if matches!(result, JobResult::Ok(_)) {
+                        self.shared
+                            .latencies
+                            .borrow_mut()
+                            .entry(class)
+                            .or_default()
+                            .push(ctx.now() - at);
+                    }
+                }
                 let cell = match result {
                     JobResult::Ok(_) => &self.shared.answered,
                     JobResult::Failed(_) => &self.shared.failed,
@@ -91,9 +113,38 @@ impl Component<SnsMsg> for Driver {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, _token: u64) {
-        while let Some((class, op, input)) = self.shared.queue.borrow_mut().pop_front() {
-            self.stub.dispatch(ctx, class, op, input, None, None);
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnsMsg>, token: u64) {
+        if token & K_DISPATCH != 0 {
+            let id = token & !K_DISPATCH;
+            match self.stub.on_timeout(ctx, id) {
+                TimeoutVerdict::Retried => ctx.timer(self.timeout, K_DISPATCH | id),
+                TimeoutVerdict::GaveUp(_) => {
+                    if self.pending.remove(&id).is_some() {
+                        self.shared.failed.set(self.shared.failed.get() + 1);
+                    }
+                }
+                TimeoutVerdict::Unknown => {}
+            }
+            return;
+        }
+        loop {
+            let next = self.shared.queue.borrow_mut().pop_front();
+            let Some((class, op, input)) = next else {
+                break;
+            };
+            // Tenant admission before dispatch: a Drop verdict resolves
+            // the job as failed without ever reaching a worker, exactly
+            // like the rt submit path.
+            if self.stub.admit(ctx, &class) == sns_core::Admission::Drop {
+                self.shared.failed.set(self.shared.failed.get() + 1);
+                continue;
+            }
+            let at = ctx.now();
+            let id = self
+                .stub
+                .dispatch(ctx, class.clone(), op, input, None, None);
+            self.pending.insert(id, (class, at));
+            ctx.timer(self.timeout, K_DISPATCH | id);
         }
         ctx.timer(PUMP, 0);
     }
@@ -113,6 +164,8 @@ pub struct SimClusterBuilder {
     tracing: bool,
     sns: SnsConfig,
     classes: Vec<(WorkerClass, u32, LogicFactory)>,
+    tenants: Vec<(WorkerClass, &'static str)>,
+    tenant_policies: Vec<(&'static str, sns_core::TenantPolicy)>,
 }
 
 impl Default for SimClusterBuilder {
@@ -130,6 +183,8 @@ impl SimClusterBuilder {
             tracing: false,
             sns: SnsConfig::default(),
             classes: Vec::new(),
+            tenants: Vec::new(),
+            tenant_policies: Vec::new(),
         }
     }
 
@@ -170,6 +225,24 @@ impl SimClusterBuilder {
         self
     }
 
+    /// Assigns `class` to `tenant` for multi-tenant admission
+    /// accounting in the driver front end.
+    pub fn with_tenant(mut self, class: &str, tenant: &'static str) -> Self {
+        self.tenants.push((WorkerClass::new(class), tenant));
+        self
+    }
+
+    /// Installs `tenant`'s overload policy (outstanding quota + drop
+    /// vs. degrade behavior past it) on the driver front end.
+    pub fn with_tenant_policy(
+        mut self,
+        tenant: &'static str,
+        policy: sns_core::TenantPolicy,
+    ) -> Self {
+        self.tenant_policies.push((tenant, policy));
+        self
+    }
+
     /// Builds the engine, spawns the manager, monitor tap and driver,
     /// and runs a short warm-up so the first beacon lands before any
     /// trait call.
@@ -194,12 +267,21 @@ impl SimClusterBuilder {
         sim.spawn(infra, Box::new(tap), "montap");
 
         let shared = Rc::new(DriverShared::default());
+        let mut stub = ManagerStub::new(self.sns.clone());
+        for (class, tenant) in &self.tenants {
+            stub.set_tenant(class.clone(), tenant);
+        }
+        for (tenant, policy) in &self.tenant_policies {
+            stub.set_tenant_policy(tenant, *policy);
+        }
         sim.spawn(
             infra,
             Box::new(Driver {
                 beacon,
-                stub: ManagerStub::new(self.sns.clone()),
+                stub,
                 shared: Rc::clone(&shared),
+                pending: BTreeMap::new(),
+                timeout: self.sns.dispatch_timeout,
             }),
             "driver",
         );
@@ -217,6 +299,7 @@ impl SimClusterBuilder {
             incarnation: Cell::new(0),
             settled: Cell::new(0),
             nic_orig: RefCell::new(BTreeMap::new()),
+            drained: RefCell::new(std::collections::BTreeSet::new()),
         };
         cluster.spawn_manager();
         // Warm-up: let the bootstrap spawns register and the first
@@ -264,6 +347,10 @@ pub struct SimCluster {
     settled: Cell<u64>,
     /// Original NIC parameters of slowed nodes, for factor-1.0 restore.
     nic_orig: RefCell<BTreeMap<sns_sim::NodeId, sns_san::LinkParams>>,
+    /// Stable indices of pool nodes drained via the trait, so a second
+    /// drain (or a rejoin of an undrained node) reports a skip — the
+    /// same semantics the rt backend derives from its control plane.
+    drained: RefCell<std::collections::BTreeSet<usize>>,
 }
 
 impl SimCluster {
@@ -276,6 +363,42 @@ impl SimCluster {
     /// is the trait-level way to advance time).
     pub fn run_until(&self, horizon: SimTime) {
         self.sim.borrow_mut().run_until(horizon);
+    }
+
+    /// Dispatch-to-reply latencies of every answered `class` job, in
+    /// resolution order — the victim-tenant series for
+    /// [`crate::invariant::check_tenant_isolation`].
+    pub fn latencies_of(&self, class: &str) -> Vec<Duration> {
+        self.shared
+            .latencies
+            .borrow()
+            .get(&WorkerClass::new(class))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The `which`-th pool node in stable creation order, required to
+    /// be in `want_alive` state (the anti-wrap rule: wrong state is a
+    /// skip, never a re-aim).
+    fn pool_node(&self, which: usize, want_alive: bool) -> Option<sns_sim::NodeId> {
+        self.sim
+            .borrow()
+            .nodes_with_tag_all(POOL)
+            .get(which)
+            .filter(|&&(_, alive)| alive == want_alive)
+            .map(|&(n, _)| n)
+    }
+
+    /// Sends an operator message to the live manager, if any.
+    fn tell_manager(&self, msg: SnsMsg) -> bool {
+        let mut sim = self.sim.borrow_mut();
+        match sim.components_of_kind("manager").first() {
+            Some(&mgr) => {
+                sim.inject(mgr, msg);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Spawns a fresh manager incarnation with the registered classes.
@@ -396,49 +519,26 @@ impl Cluster for SimCluster {
     }
 
     fn kill_node(&self, which: usize) -> Option<u64> {
+        let node = self.pool_node(which, true)?;
         let mut sim = self.sim.borrow_mut();
-        let alive: Vec<_> = sim
-            .nodes_with_tag_all(POOL)
-            .into_iter()
-            .filter(|&(_, alive)| alive)
-            .map(|(n, _)| n)
-            .collect();
-        if alive.is_empty() {
-            return None;
-        }
-        let node = alive[which % alive.len()];
         let died = sim.components_on_node(node).len() as u64;
         sim.kill_node(node);
         Some(died)
     }
 
     fn revive_node(&self, which: usize) -> bool {
-        let mut sim = self.sim.borrow_mut();
-        let dead: Vec<_> = sim
-            .nodes_with_tag_all(POOL)
-            .into_iter()
-            .filter(|&(_, alive)| !alive)
-            .map(|(n, _)| n)
-            .collect();
-        if dead.is_empty() {
+        let Some(node) = self.pool_node(which, false) else {
             return false;
-        }
-        sim.revive_node(dead[which % dead.len()]);
+        };
+        self.sim.borrow_mut().revive_node(node);
         true
     }
 
     fn set_node_slowdown(&self, which: usize, factor: f64) -> bool {
-        let mut sim = self.sim.borrow_mut();
-        let alive: Vec<_> = sim
-            .nodes_with_tag_all(POOL)
-            .into_iter()
-            .filter(|&(_, alive)| alive)
-            .map(|(n, _)| n)
-            .collect();
-        if alive.is_empty() {
+        let Some(node) = self.pool_node(which, true) else {
             return false;
-        }
-        let node = alive[which % alive.len()];
+        };
+        let mut sim = self.sim.borrow_mut();
         let mut orig = self.nic_orig.borrow_mut();
         if factor <= 1.0 {
             if let Some(params) = orig.remove(&node) {
@@ -453,6 +553,39 @@ impl Cluster for SimCluster {
         let mut slow = base.clone();
         slow.bandwidth_bps = (base.bandwidth_bps / factor).max(1.0);
         sim.net_mut().set_nic(node, slow);
+        true
+    }
+
+    fn drain_node(&self, which: usize) -> bool {
+        if self.drained.borrow().contains(&which) {
+            return false;
+        }
+        let Some(node) = self.pool_node(which, true) else {
+            return false;
+        };
+        if !self.tell_manager(SnsMsg::DrainNode { node }) {
+            return false;
+        }
+        self.drained.borrow_mut().insert(which);
+        true
+    }
+
+    fn rejoin_node(&self, which: usize, upgraded: bool) -> bool {
+        if !self.drained.borrow().contains(&which) {
+            return false;
+        }
+        let Some(node) = self.pool_node(which, true) else {
+            return false;
+        };
+        let msg = if upgraded {
+            SnsMsg::UpgradeNode { node }
+        } else {
+            SnsMsg::UndrainNode { node }
+        };
+        if !self.tell_manager(msg) {
+            return false;
+        }
+        self.drained.borrow_mut().remove(&which);
         true
     }
 

@@ -1,12 +1,16 @@
 //! Concrete recovery invariants replayed over a recorded
-//! [`MonitorLog`](sns_core::MonitorLog) after a fault plan runs.
+//! [`MonitorLog`] after a fault plan runs.
 //!
 //! Each checker implements [`sns_core::Invariant`]; tests combine them
 //! with the end-state laws asserted directly by the harness (job
 //! conservation `responses + errors == submitted`, drain bound "all
 //! answered by `plan.horizon(window)`", population restoration).
 
-use sns_core::{Invariant, MonitorEvent};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use sns_core::cluster::SettleStats;
+use sns_core::{Invariant, MonitorEvent, MonitorLog};
 use sns_sim::SimTime;
 
 /// Fails if the cluster spawned more workers than `max`.
@@ -151,6 +155,124 @@ pub fn check_death_reconciliation(
     }
 }
 
+/// `QuorumSafety`: never two live incarnations acting as manager.
+///
+/// Replays `leader_elected` / `leader_lost` events and fails if a
+/// replica is elected while another replica still holds leadership —
+/// the split-brain the majority-vote regroup rule exists to prevent
+/// (and which the legacy single-beacon rule permits when a deposed
+/// leader is revived with its old state).
+#[derive(Debug, Clone, Default)]
+pub struct QuorumSafety {
+    leading: BTreeSet<u32>,
+    violations: Vec<String>,
+}
+
+impl QuorumSafety {
+    /// A fresh checker (no leader known yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Invariant for QuorumSafety {
+    fn name(&self) -> &'static str {
+        "chaos.quorum_safety"
+    }
+    fn on_event(&mut self, at: SimTime, event: &MonitorEvent) {
+        match event {
+            MonitorEvent::LeaderElected {
+                replica,
+                incarnation,
+                ..
+            } => {
+                if let Some(&other) = self.leading.iter().find(|&&r| r != *replica) {
+                    self.violations.push(format!(
+                        "at {at}: replica {replica} elected (incarnation {incarnation}) \
+                         while replica {other} still leads"
+                    ));
+                }
+                self.leading.insert(*replica);
+            }
+            MonitorEvent::LeaderLost { replica, .. } => {
+                self.leading.remove(replica);
+            }
+            _ => {}
+        }
+    }
+    fn verdict(&self) -> Result<(), String> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(self.violations.join("; "))
+        }
+    }
+}
+
+/// Runs [`QuorumSafety`] over a recorded log.
+pub fn check_quorum_safety(log: &MonitorLog) -> Result<(), String> {
+    log.check(&mut QuorumSafety::new())
+}
+
+/// `UpgradeNoJobLoss`: a rolling upgrade must not lose work or nodes.
+///
+/// After an upgrade plan settles, demand that (a) every submitted job
+/// was answered (`failed == 0` — drained workers empty their queues
+/// before exiting, so in-flight work survives the drain), and (b) every
+/// node the plan drained came back (`node_drained` and `node_rejoined`
+/// counts match, with at least one round actually performed).
+pub fn check_upgrade_no_job_loss(stats: &SettleStats, log: &MonitorLog) -> Result<(), String> {
+    let drained = log.count("node_drained");
+    let rejoined = log.count("node_rejoined");
+    if stats.failed > 0 {
+        Err(format!(
+            "upgrade lost work: {} of {} jobs failed or timed out",
+            stats.failed,
+            stats.total()
+        ))
+    } else if drained == 0 {
+        Err("no node_drained events — the upgrade plan never ran".into())
+    } else if drained != rejoined {
+        Err(format!(
+            "{drained} nodes drained but {rejoined} rejoined — nodes left out of service"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The p99 latency of a sample set (nearest-rank on the sorted samples;
+/// `Duration::ZERO` for an empty set).
+pub fn p99(samples: &[Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let rank = (samples.len() * 99).div_ceil(100);
+    sorted[rank.saturating_sub(1)]
+}
+
+/// `TenantIsolation`: the victim tenant keeps serving within a latency
+/// band while the aggressor tenant is saturated. Fails when the victim
+/// answered nothing at all (starvation) or its p99 exceeds `band`.
+pub fn check_tenant_isolation(victim_latencies: &[Duration], band: Duration) -> Result<(), String> {
+    if victim_latencies.is_empty() {
+        return Err("victim tenant answered no requests at all — starved".into());
+    }
+    let p = p99(victim_latencies);
+    if p > band {
+        Err(format!(
+            "victim-tenant p99 {:.3}s exceeds the {:.3}s isolation band ({} samples)",
+            p.as_secs_f64(),
+            band.as_secs_f64(),
+            victim_latencies.len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +318,89 @@ mod tests {
         assert!(check_death_reconciliation(5, 3, 2).is_ok());
         assert!(check_death_reconciliation(2, 3, 0).is_err());
         assert!(check_death_reconciliation(6, 3, 2).is_err());
+    }
+
+    #[test]
+    fn quorum_safety_flags_concurrent_leaders() {
+        let mut log = MonitorLog::default();
+        log.push(
+            SimTime::from_secs(1),
+            MonitorEvent::LeaderElected {
+                replica: 0,
+                incarnation: 1,
+                votes: 3,
+            },
+        );
+        log.push(
+            SimTime::from_secs(5),
+            MonitorEvent::LeaderLost {
+                replica: 0,
+                incarnation: 1,
+            },
+        );
+        log.push(
+            SimTime::from_secs(6),
+            MonitorEvent::LeaderElected {
+                replica: 1,
+                incarnation: 2,
+                votes: 2,
+            },
+        );
+        assert!(check_quorum_safety(&log).is_ok(), "clean handover");
+        // Replica 0 comes back leading while 1 still leads: split brain.
+        log.push(
+            SimTime::from_secs(7),
+            MonitorEvent::LeaderElected {
+                replica: 0,
+                incarnation: 1,
+                votes: 1,
+            },
+        );
+        let err = check_quorum_safety(&log).unwrap_err();
+        assert!(err.contains("still leads"), "{err}");
+    }
+
+    #[test]
+    fn upgrade_no_job_loss_demands_balance() {
+        let mut log = MonitorLog::default();
+        log.push(
+            SimTime::from_secs(1),
+            MonitorEvent::NodeDrained { node: NodeId(0) },
+        );
+        let ok = SettleStats {
+            answered: 10,
+            failed: 0,
+        };
+        assert!(
+            check_upgrade_no_job_loss(&ok, &log).is_err(),
+            "not rejoined"
+        );
+        log.push(
+            SimTime::from_secs(2),
+            MonitorEvent::NodeRejoined {
+                node: NodeId(0),
+                epoch: 1,
+            },
+        );
+        assert!(check_upgrade_no_job_loss(&ok, &log).is_ok());
+        let lossy = SettleStats {
+            answered: 9,
+            failed: 1,
+        };
+        assert!(check_upgrade_no_job_loss(&lossy, &log).is_err());
+        assert!(
+            check_upgrade_no_job_loss(&ok, &MonitorLog::default()).is_err(),
+            "a plan that never drained is a failed upgrade run"
+        );
+    }
+
+    #[test]
+    fn p99_and_isolation_band() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(p99(&samples), Duration::from_millis(99));
+        assert_eq!(p99(&[]), Duration::ZERO);
+        assert!(check_tenant_isolation(&samples, Duration::from_millis(99)).is_ok());
+        assert!(check_tenant_isolation(&samples, Duration::from_millis(98)).is_err());
+        assert!(check_tenant_isolation(&[], Duration::from_secs(1)).is_err());
     }
 }

@@ -30,6 +30,7 @@
 pub mod gen;
 pub mod harness;
 pub mod invariant;
+pub mod regroup;
 pub mod rt;
 pub mod sim;
 
@@ -38,13 +39,24 @@ use std::time::Duration;
 
 pub use gen::{fault_plan, PlanSpace};
 pub use harness::{SimCluster, SimClusterBuilder};
-pub use invariant::{check_death_reconciliation, CrashBudget, RespawnCoverage, SpawnBudget};
+pub use invariant::{
+    check_death_reconciliation, check_quorum_safety, check_tenant_isolation,
+    check_upgrade_no_job_loss, p99, CrashBudget, QuorumSafety, RespawnCoverage, SpawnBudget,
+};
+pub use regroup::{run_regroup, RegroupMode, RegroupOutcome};
 pub use sim::{SimChaos, SimChaosConfig};
 
-/// One fault to inject. `which` fields index into the *currently live*
+/// One fault or cluster operation to inject.
+///
+/// *Component* verbs (`KillWorker`) index into the currently live
 /// candidates (sorted by id) modulo their count, so plans stay valid as
-/// the cluster changes underneath them; an event whose candidate set is
-/// empty at fire time is recorded as skipped, not an error.
+/// the population changes underneath them. *Node* verbs (`KillNode`,
+/// `ReviveNode`, `Partition`, `Straggler`, `DrainNode`, `RejoinNode`)
+/// index the pool's nodes in stable creation order: a `which` whose
+/// node is missing or in the wrong state (already dead, not drained, …)
+/// is recorded as skipped, never silently re-aimed at a different live
+/// node. An event whose candidate set is empty at fire time is likewise
+/// a skip, not an error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultKind {
     /// Kill the `which`-th live component of `class` (a worker class such
@@ -107,6 +119,51 @@ pub enum FaultKind {
         /// How long the degradation lasts.
         lasting: Duration,
     },
+    /// Drain the `which`-th node of `pool`: the manager stops placing
+    /// work there and gracefully shuts the node's workers down once
+    /// their queues empty (the §2.2 "temporarily disable a subset of
+    /// nodes" operator verb). Skipped if the node is dead or already
+    /// drained.
+    DrainNode {
+        /// Node pool tag.
+        pool: String,
+        /// Stable index into the pool's nodes.
+        which: usize,
+    },
+    /// Return the `which`-th (drained) node of `pool` to service
+    /// unchanged. Skipped if the node is dead or not drained.
+    RejoinNode {
+        /// Node pool tag.
+        pool: String,
+        /// Stable index into the pool's nodes.
+        which: usize,
+    },
+    /// A rolling upgrade over the first `nodes` nodes of `pool`, `batch`
+    /// at a time: each round drains a batch, waits `settle` for queues
+    /// to empty and replacements to spawn elsewhere, then rejoins the
+    /// batch at a bumped upgrade epoch (drain → restart at new
+    /// incarnation → rejoin, §2.2 "upgrade them in place"). Rounds are
+    /// `settle`-spaced, so the whole operation spans
+    /// `ceil(nodes / batch) × settle`.
+    RollingUpgrade {
+        /// Node pool tag.
+        pool: String,
+        /// How many nodes (stable indices `0..nodes`) to upgrade.
+        nodes: usize,
+        /// Nodes taken down per round (≥ 1; clamped to 1 if 0).
+        batch: usize,
+        /// Per-round settle window between drain and upgraded rejoin.
+        settle: Duration,
+    },
+    /// Kill manager replica `which` of the quorum regroup rig. In the
+    /// sim/rt backends only replica 0 (the real manager process) exists:
+    /// `which == 0` maps to [`FaultKind::KillManager`] and higher
+    /// replicas are reported as skips. The N-replica dynamics are
+    /// exercised by the deterministic [`regroup`] rig.
+    KillManagerReplica {
+        /// Replica index (0 = the leader-eligible real manager).
+        which: usize,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -145,6 +202,25 @@ impl fmt::Display for FaultKind {
                 "straggler pool={pool} which={which} slowdown={slowdown}x lasting={:.3}s",
                 lasting.as_secs_f64()
             ),
+            FaultKind::DrainNode { pool, which } => {
+                write!(f, "drain-node pool={pool} which={which}")
+            }
+            FaultKind::RejoinNode { pool, which } => {
+                write!(f, "rejoin-node pool={pool} which={which}")
+            }
+            FaultKind::RollingUpgrade {
+                pool,
+                nodes,
+                batch,
+                settle,
+            } => write!(
+                f,
+                "rolling-upgrade pool={pool} nodes={nodes} batch={batch} settle={:.3}s",
+                settle.as_secs_f64()
+            ),
+            FaultKind::KillManagerReplica { which } => {
+                write!(f, "kill-manager-replica which={which}")
+            }
         }
     }
 }
@@ -210,6 +286,15 @@ impl FaultPlan {
                 FaultKind::Partition { heal_after, .. } => e.at + *heal_after,
                 FaultKind::BeaconLoss { lasting } => e.at + *lasting,
                 FaultKind::Straggler { lasting, .. } => e.at + *lasting,
+                FaultKind::RollingUpgrade {
+                    nodes,
+                    batch,
+                    settle,
+                    ..
+                } => {
+                    let rounds = nodes.div_ceil((*batch).max(1)) as u32;
+                    e.at + settle.saturating_mul(rounds)
+                }
                 _ => e.at,
             })
             .max()

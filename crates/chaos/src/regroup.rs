@@ -1,0 +1,326 @@
+//! Deterministic N-replica manager-regroup rig.
+//!
+//! The sim and rt backends run one real manager process, so plans can
+//! only kill and restart "replica 0". This rig runs N
+//! [`Quorum`] membership machines — the same state
+//! machine `ControlPlane::on_rival_beacon` delegates to — over a fixed
+//! virtual tick, exchanging leader ballots and replaying a
+//! [`FaultPlan`]'s `KillManagerReplica` / `RestartManager` events
+//! against them. The output is an ordinary
+//! [`MonitorLog`] of `leader_elected` /
+//! `leader_lost` events that [`crate::invariant::QuorumSafety`] checks,
+//! so quorum scenarios use the same invariant plumbing as every other
+//! chaos test.
+//!
+//! Two modes pin down *why* the majority rule exists:
+//!
+//! * [`RegroupMode::Quorum`] — machines built with the real replica
+//!   count: takeover needs a majority of live votes, a minority island
+//!   reports itself unrecoverable, and a revived ex-leader re-enters as
+//!   a standby (its soft state died with it, §3.1.5).
+//! * [`RegroupMode::Legacy`] — the paper's single rival-beacon rule,
+//!   modelled as the N=1 degenerate machine (no majority gate) plus
+//!   stateful revival: a restarted leader resumes with its old "I am
+//!   the manager" state. Kill the leader, let a standby take over, then
+//!   restart it — and for one beacon interval two incarnations both act
+//!   as manager. That interval is exactly the `QuorumSafety` violation,
+//!   and shrinking any failing legacy plan reduces it to that minimal
+//!   kill-then-restart pair.
+
+use std::time::Duration;
+
+use sns_core::{Ballot, MonitorEvent, MonitorLog, Quorum, QuorumDecision};
+use sns_sim::SimTime;
+
+use crate::{FaultKind, FaultPlan};
+
+/// Which takeover rule the rig applies (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegroupMode {
+    /// The paper's single rival-beacon rule: no majority requirement,
+    /// revived leaders resume their old state.
+    Legacy,
+    /// Majority-vote regroup: takeover needs a quorum of live replicas
+    /// and revived replicas re-enter as standbys.
+    Quorum,
+}
+
+/// What a [`run_regroup`] replay produced.
+#[derive(Debug, Clone)]
+pub struct RegroupOutcome {
+    /// `leader_elected` / `leader_lost` / warning stream, checkable by
+    /// [`crate::invariant::check_quorum_safety`].
+    pub log: MonitorLog,
+    /// Whether the surviving replicas ended below a majority — detected
+    /// (and logged) only in [`RegroupMode::Quorum`].
+    pub unrecoverable: bool,
+    /// The replica leading when the replay ended, if any.
+    pub leader: Option<u32>,
+}
+
+/// The fixed ballot-exchange cadence of the rig.
+const TICK: Duration = Duration::from_millis(250);
+/// How long a silent peer stays in the live set (mirrors the default
+/// `beacon_loss_timeout`).
+const VOTE_TIMEOUT: Duration = Duration::from_secs(4);
+/// Extra replay time past the plan's last event, so elections triggered
+/// by the final fault still play out.
+const SETTLE: Duration = Duration::from_secs(20);
+
+struct Replica {
+    q: Quorum,
+    alive: bool,
+}
+
+/// Replays `plan` against `replicas` manager replicas under `mode`.
+///
+/// Replica 0 boots as the leader at incarnation 1; the rest are
+/// standbys. Only `KillManagerReplica` and `RestartManager` (revive the
+/// most recently killed replica) events apply — everything else in the
+/// plan is ignored, so regroup scenarios can ride inside larger plans.
+/// Fully deterministic: no RNG, fixed tick, stable iteration order.
+pub fn run_regroup(replicas: u32, plan: &FaultPlan, mode: RegroupMode) -> RegroupOutcome {
+    let n = replicas.max(1);
+    // Legacy = the N=1 degenerate machine: majority(1) == 1, so any
+    // standby that stops hearing the leader elects itself unilaterally.
+    let machine_replicas = match mode {
+        RegroupMode::Legacy => 1,
+        RegroupMode::Quorum => n,
+    };
+    let mut log = MonitorLog::default();
+    let mut reps: Vec<Replica> = (0..n)
+        .map(|id| Replica {
+            q: if id == 0 {
+                Quorum::leader(machine_replicas, u64::from(id), 1, VOTE_TIMEOUT)
+            } else {
+                Quorum::standby(machine_replicas, u64::from(id), VOTE_TIMEOUT)
+            },
+            alive: true,
+        })
+        .collect();
+    let mut killed_stack: Vec<usize> = Vec::new();
+    let mut unrecoverable = false;
+    let mut events: Vec<(Duration, FaultKind)> =
+        plan.events.iter().map(|e| (e.at, e.kind.clone())).collect();
+    events.sort_by_key(|(at, _)| *at);
+    let mut next_event = 0usize;
+
+    let horizon = plan.last_effect_at() + SETTLE;
+    let mut t = Duration::ZERO;
+    while t <= horizon {
+        let now = SimTime::ZERO + t;
+        // 1. Apply plan events due by this tick.
+        while next_event < events.len() && events[next_event].0 <= t {
+            let kind = events[next_event].1.clone();
+            next_event += 1;
+            match kind {
+                FaultKind::KillManagerReplica { which } => {
+                    let Some(r) = reps.get_mut(which) else {
+                        continue;
+                    };
+                    if !r.alive {
+                        continue;
+                    }
+                    r.alive = false;
+                    killed_stack.push(which);
+                    if r.q.is_leading() {
+                        log.push(
+                            now,
+                            MonitorEvent::LeaderLost {
+                                replica: which as u32,
+                                incarnation: r.q.incarnation(),
+                            },
+                        );
+                    }
+                }
+                FaultKind::RestartManager => {
+                    let Some(which) = killed_stack.pop() else {
+                        continue;
+                    };
+                    let r = &mut reps[which];
+                    r.alive = true;
+                    match mode {
+                        RegroupMode::Quorum => {
+                            // Soft state died with the process: the
+                            // replica re-enters as a standby and must
+                            // win a fresh majority to ever lead again.
+                            r.q = Quorum::standby(machine_replicas, which as u64, VOTE_TIMEOUT);
+                        }
+                        RegroupMode::Legacy => {
+                            // The old process resumes with its stale
+                            // state. If it believed it led, it acts as
+                            // manager again the moment it is back — the
+                            // split-brain interval QuorumSafety flags.
+                            if r.q.is_leading() {
+                                log.push(
+                                    now,
+                                    MonitorEvent::LeaderElected {
+                                        replica: which as u32,
+                                        incarnation: r.q.incarnation(),
+                                        votes: 1,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                // Everything else has no replica-level meaning here.
+                _ => {}
+            }
+        }
+
+        // 2. Ballot exchange: every live replica broadcasts, every
+        //    other live replica ingests. Deterministic order by id.
+        let ballots: Vec<(usize, Ballot)> = reps
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.alive)
+            .map(|(i, r)| (i, r.q.ballot(now)))
+            .collect();
+        for (from, b) in &ballots {
+            for (i, r) in reps.iter_mut().enumerate() {
+                if i == *from || !r.alive {
+                    continue;
+                }
+                let was_leading = r.q.is_leading();
+                if r.q.on_ballot(b) == QuorumDecision::StepDown && was_leading {
+                    log.push(
+                        now,
+                        MonitorEvent::LeaderLost {
+                            replica: i as u32,
+                            incarnation: r.q.incarnation(),
+                        },
+                    );
+                }
+            }
+        }
+
+        // 3. Election / liveness tick, deterministic order by id.
+        for (i, r) in reps.iter_mut().enumerate() {
+            if !r.alive {
+                continue;
+            }
+            let was_leading = r.q.is_leading();
+            match r.q.tick(now) {
+                QuorumDecision::TakeOver { incarnation } => {
+                    log.push(
+                        now,
+                        MonitorEvent::LeaderElected {
+                            replica: i as u32,
+                            incarnation,
+                            votes: r.q.live(now),
+                        },
+                    );
+                }
+                QuorumDecision::Unrecoverable { live, need } => {
+                    // A leader marooned in a minority island steps down
+                    // as it reports the lost quorum.
+                    if was_leading {
+                        log.push(
+                            now,
+                            MonitorEvent::LeaderLost {
+                                replica: i as u32,
+                                incarnation: r.q.incarnation(),
+                            },
+                        );
+                    }
+                    if !unrecoverable {
+                        unrecoverable = true;
+                        log.push(
+                            now,
+                            MonitorEvent::Warning(format!(
+                                "quorum lost: {live} live replicas, majority needs {need}"
+                            )),
+                        );
+                    }
+                }
+                QuorumDecision::Hold | QuorumDecision::StepDown => {}
+            }
+        }
+
+        t += TICK;
+    }
+
+    // A lost quorum can be regained (revivals): report the end state.
+    let live = reps.iter().filter(|r| r.alive).count() as u32;
+    let majority = match mode {
+        RegroupMode::Quorum => n / 2 + 1,
+        RegroupMode::Legacy => 1,
+    };
+    let leader = reps
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.alive && r.q.is_leading())
+        .map(|(i, _)| i as u32)
+        .next();
+    RegroupOutcome {
+        log,
+        unrecoverable: unrecoverable && live < majority,
+        leader,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::check_quorum_safety;
+
+    fn kill(at: u64, which: usize) -> (Duration, FaultKind) {
+        (
+            Duration::from_secs(at),
+            FaultKind::KillManagerReplica { which },
+        )
+    }
+
+    fn plan(events: Vec<(Duration, FaultKind)>) -> FaultPlan {
+        events
+            .into_iter()
+            .fold(FaultPlan::new(), |p, (at, k)| p.with(at, k))
+    }
+
+    #[test]
+    fn minority_kill_keeps_quorum_safe() {
+        let out = run_regroup(3, &plan(vec![kill(5, 2)]), RegroupMode::Quorum);
+        assert!(check_quorum_safety(&out.log).is_ok());
+        assert!(!out.unrecoverable);
+        assert_eq!(out.leader, Some(0), "the leader never went away");
+        assert_eq!(out.log.count("leader_elected"), 0);
+    }
+
+    #[test]
+    fn leader_kill_elects_majority_successor() {
+        let out = run_regroup(3, &plan(vec![kill(5, 0)]), RegroupMode::Quorum);
+        assert!(check_quorum_safety(&out.log).is_ok());
+        assert!(!out.unrecoverable);
+        assert_eq!(out.leader, Some(1), "lowest live standby takes over");
+        assert_eq!(out.log.count("leader_elected"), 1);
+    }
+
+    #[test]
+    fn majority_kill_is_unrecoverable_without_takeover() {
+        let out = run_regroup(3, &plan(vec![kill(5, 0), kill(5, 2)]), RegroupMode::Quorum);
+        assert!(out.unrecoverable, "1 of 3 live is below majority");
+        assert_eq!(out.leader, None, "no minority self-election");
+        assert_eq!(out.log.count("leader_elected"), 0);
+        assert!(check_quorum_safety(&out.log).is_ok());
+    }
+
+    #[test]
+    fn legacy_revival_splits_the_brain_quorum_does_not() {
+        let events = vec![
+            kill(2, 0),
+            (Duration::from_secs(10), FaultKind::RestartManager),
+        ];
+        let legacy = run_regroup(3, &plan(events.clone()), RegroupMode::Legacy);
+        assert!(
+            check_quorum_safety(&legacy.log).is_err(),
+            "revived legacy leader resumes while the successor leads"
+        );
+        let quorum = run_regroup(3, &plan(events), RegroupMode::Quorum);
+        assert!(
+            check_quorum_safety(&quorum.log).is_ok(),
+            "quorum revival re-enters as a standby"
+        );
+        assert_eq!(quorum.leader, Some(1));
+    }
+}

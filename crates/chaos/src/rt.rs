@@ -43,6 +43,8 @@ enum Action {
     KillNode(usize),
     ReviveNode(usize),
     Slowdown(usize, f64),
+    Drain(usize),
+    Rejoin { which: usize, upgraded: bool },
     Skip(String),
 }
 
@@ -95,6 +97,61 @@ pub fn run_plan<C: Cluster + Send + Sync + 'static>(
                     line,
                     Action::Skip("no rt analogue (SAN partition)".into()),
                 ));
+            }
+            FaultKind::DrainNode { which, .. } => {
+                timeline.push((ev.at, line, Action::Drain(*which)));
+            }
+            FaultKind::RejoinNode { which, .. } => {
+                timeline.push((
+                    ev.at,
+                    line,
+                    Action::Rejoin {
+                        which: *which,
+                        upgraded: false,
+                    },
+                ));
+            }
+            FaultKind::RollingUpgrade {
+                nodes,
+                batch,
+                settle,
+                ..
+            } => {
+                // Same expansion as the sim injector: round r drains at
+                // +r·settle and rejoins (upgraded) at +(r+1)·settle, so
+                // a batch is back before the next goes down.
+                let batch_size = (*batch).max(1);
+                for (r, chunk) in (0..*nodes)
+                    .collect::<Vec<_>>()
+                    .chunks(batch_size)
+                    .enumerate()
+                {
+                    let drain_at = ev.at + settle.saturating_mul(r as u32);
+                    for &which in chunk {
+                        timeline.push((drain_at, line.clone(), Action::Drain(which)));
+                        timeline.push((
+                            drain_at + *settle,
+                            line.clone(),
+                            Action::Rejoin {
+                                which,
+                                upgraded: true,
+                            },
+                        ));
+                    }
+                }
+            }
+            // Only replica 0 (the real manager thread) exists here; the
+            // N-replica quorum dynamics run in the `regroup` rig.
+            FaultKind::KillManagerReplica { which } => {
+                if *which == 0 {
+                    timeline.push((ev.at, line, Action::KillManager));
+                } else {
+                    timeline.push((
+                        ev.at,
+                        line,
+                        Action::Skip("no standby replicas in this backend".into()),
+                    ));
+                }
             }
         }
     }
@@ -158,6 +215,28 @@ pub fn run_plan<C: Cluster + Send + Sync + 'static>(
                             }
                         } else if factor != 1.0 {
                             report.skipped.push(format!("{line} (no live node)"));
+                        }
+                    }
+                    Action::Drain(which) => {
+                        if cluster.drain_node(which) {
+                            report.applied.push(line);
+                        } else {
+                            report
+                                .skipped
+                                .push(format!("{line} (node dead or already drained)"));
+                        }
+                    }
+                    Action::Rejoin { which, upgraded } => {
+                        if cluster.rejoin_node(which, upgraded) {
+                            // Rolling-upgrade rejoins share their round's
+                            // grammar line; report the onset only.
+                            if !upgraded {
+                                report.applied.push(line);
+                            }
+                        } else if !upgraded {
+                            report
+                                .skipped
+                                .push(format!("{line} (node dead or not drained)"));
                         }
                     }
                     Action::Skip(why) => report.skipped.push(format!("{line} ({why})")),

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use sns_core::{intern_class, MonitorLog, SnsMsg};
 use sns_san::San;
-use sns_sim::{Sim, SimTime};
+use sns_sim::{NodeId, Sim, SimTime};
 
 use crate::{FaultKind, FaultPlan};
 
@@ -116,6 +116,7 @@ impl SimChaos {
             .filter_map(|e| match &e.kind {
                 FaultKind::KillWorker { .. }
                 | FaultKind::KillManager
+                | FaultKind::KillManagerReplica { which: 0 }
                 | FaultKind::KillNode { .. } => {
                     Some((SimTime::ZERO + e.at, SimTime::ZERO + e.at + cfg.grace))
                 }
@@ -182,6 +183,28 @@ impl SimChaos {
     }
 }
 
+/// Resolves the `which`-th node of `pool` in stable creation order,
+/// requiring it to be in `want_alive` state — the anti-wrap rule: a
+/// fault aimed at a node in the wrong state is a skip, never a re-aim.
+fn pool_node(s: &SnsSim, pool: &str, which: usize, want_alive: bool) -> Option<NodeId> {
+    s.nodes_with_tag_all(pool)
+        .get(which)
+        .filter(|&&(_, alive)| alive == want_alive)
+        .map(|&(n, _)| n)
+}
+
+/// Sends an operator message to the current manager component, if one
+/// is alive at fire time.
+fn tell_manager(s: &mut SnsSim, msg: SnsMsg) -> bool {
+    match s.components_of_kind("manager").first() {
+        Some(&mgr) => {
+            s.inject(mgr, msg);
+            true
+        }
+        None => false,
+    }
+}
+
 fn apply(s: &mut SnsSim, kind: &FaultKind, blackout_depth: &Rc<Cell<u32>>) -> bool {
     match kind {
         FaultKind::KillWorker { class, which } => {
@@ -207,38 +230,26 @@ fn apply(s: &mut SnsSim, kind: &FaultKind, blackout_depth: &Rc<Cell<u32>>) -> bo
         // Front ends restart the manager themselves in this backend
         // (process-peer supervision); nothing to do here.
         FaultKind::RestartManager => false,
-        FaultKind::KillNode { pool, which } => {
-            let nodes = s.nodes_with_tag(pool);
-            match nodes.get(which % nodes.len().max(1)) {
-                Some(&node) => {
-                    s.kill_node(node);
-                    true
-                }
-                None => false,
+        FaultKind::KillNode { pool, which } => match pool_node(s, pool, *which, true) {
+            Some(node) => {
+                s.kill_node(node);
+                true
             }
-        }
-        FaultKind::ReviveNode { pool, which } => {
-            let dead: Vec<_> = s
-                .nodes_with_tag_all(pool)
-                .into_iter()
-                .filter(|&(_, alive)| !alive)
-                .map(|(n, _)| n)
-                .collect();
-            match dead.get(which % dead.len().max(1)) {
-                Some(&node) => {
-                    s.revive_node(node);
-                    true
-                }
-                None => false,
+            None => false,
+        },
+        FaultKind::ReviveNode { pool, which } => match pool_node(s, pool, *which, false) {
+            Some(node) => {
+                s.revive_node(node);
+                true
             }
-        }
+            None => false,
+        },
         FaultKind::Partition {
             pool,
             which,
             heal_after,
         } => {
-            let nodes = s.nodes_with_tag(pool);
-            let Some(&target) = nodes.get(which % nodes.len().max(1)) else {
+            let Some(target) = pool_node(s, pool, *which, true) else {
                 return false;
             };
             let rest: Vec<_> = s.node_ids().into_iter().filter(|&n| n != target).collect();
@@ -266,8 +277,7 @@ fn apply(s: &mut SnsSim, kind: &FaultKind, blackout_depth: &Rc<Cell<u32>>) -> bo
             slowdown,
             lasting,
         } => {
-            let nodes = s.nodes_with_tag(pool);
-            let Some(&node) = nodes.get(which % nodes.len().max(1)) else {
+            let Some(node) = pool_node(s, pool, *which, true) else {
                 return false;
             };
             let orig = s.net().nic_params(node);
@@ -277,6 +287,67 @@ fn apply(s: &mut SnsSim, kind: &FaultKind, blackout_depth: &Rc<Cell<u32>>) -> bo
             let end = s.now() + *lasting;
             s.at(end, move |s| s.net_mut().set_nic(node, orig));
             true
+        }
+        FaultKind::DrainNode { pool, which } => match pool_node(s, pool, *which, true) {
+            Some(node) => tell_manager(s, SnsMsg::DrainNode { node }),
+            None => false,
+        },
+        FaultKind::RejoinNode { pool, which } => match pool_node(s, pool, *which, true) {
+            Some(node) => tell_manager(s, SnsMsg::UndrainNode { node }),
+            None => false,
+        },
+        FaultKind::RollingUpgrade {
+            pool,
+            nodes,
+            batch,
+            settle,
+        } => {
+            let all = s.nodes_with_tag_all(pool);
+            let count = (*nodes).min(all.len());
+            if count == 0 || s.components_of_kind("manager").is_empty() {
+                return false;
+            }
+            let batch_size = (*batch).max(1);
+            let settle = *settle;
+            // Expand into per-round drain / upgraded-rejoin steps.
+            // Round r drains at now + r·settle and rejoins at
+            // now + (r+1)·settle, so a batch is always back in service
+            // before the next one goes down. Targets resolve at step
+            // fire time (the manager may have failed over meanwhile).
+            for (r, chunk) in (0..count)
+                .collect::<Vec<_>>()
+                .chunks(batch_size)
+                .enumerate()
+            {
+                let round: Vec<NodeId> = chunk.iter().map(|&i| all[i].0).collect();
+                let drain_at = s.now() + settle.saturating_mul(r as u32);
+                let rejoin_at = drain_at + settle;
+                let drained = round.clone();
+                s.at(drain_at, move |s| {
+                    for node in drained {
+                        if s.node_alive(node) {
+                            tell_manager(s, SnsMsg::DrainNode { node });
+                        }
+                    }
+                });
+                s.at(rejoin_at, move |s| {
+                    for node in round.iter().copied() {
+                        if s.node_alive(node) {
+                            tell_manager(s, SnsMsg::UpgradeNode { node });
+                        }
+                    }
+                });
+            }
+            true
+        }
+        // Only replica 0 — the real manager process — exists in this
+        // backend; standby-replica kills are skips here (the N-replica
+        // quorum dynamics run in the deterministic `regroup` rig).
+        FaultKind::KillManagerReplica { which } => {
+            if *which != 0 {
+                return false;
+            }
+            apply(s, &FaultKind::KillManager, blackout_depth)
         }
     }
 }

@@ -48,13 +48,14 @@ impl SettleStats {
 /// faults, observe decisions. Implemented by the threaded
 /// `sns_rt::RtCluster` and by the simulator harness in `sns-chaos`.
 ///
-/// Fault injectors index *nodes* by position (`which`) among the nodes
-/// currently eligible for the operation (alive nodes for kill/slowdown,
-/// dead nodes for revive), wrapping modulo the eligible count — both
-/// backends create nodes in a stable order, so position is the portable
-/// name and any `which` hits *some* eligible node. Methods with no
-/// eligible target (reviving when every node is up, crashing a class
-/// with no workers) return `false`/`None` and change nothing.
+/// Fault injectors index *nodes* by position (`which`) in the stable
+/// creation order of the worker pool — both backends create nodes in
+/// the same order, so position is the portable name. A verb whose
+/// target is not currently eligible (killing a node that is already
+/// dead or drained, reviving one that is up, an index past the pool)
+/// returns `false`/`None` and changes nothing: the injector reports a
+/// skip instead of silently re-aiming the fault at a different live
+/// node, so a plan always hits the node it names or visibly misses.
 pub trait Cluster {
     /// Short backend name for diagnostics (`"sim"`, `"rt"`).
     fn backend(&self) -> &'static str;
@@ -83,19 +84,32 @@ pub trait Cluster {
     /// re-registrations and load reports.
     fn restart_manager(&self);
 
-    /// Kills the `which`-th alive node (mod the alive count) — all
-    /// components on it die — returning how many components died, or
-    /// `None` when no node is alive.
+    /// Kills the `which`-th pool node — all components on it die —
+    /// returning how many components died, or `None` when the index is
+    /// out of range or that node is already dead (a skip, not a re-aim).
     fn kill_node(&self, which: usize) -> Option<u64>;
 
-    /// Brings the `which`-th dead node (mod the dead count) back, empty
-    /// — the manager must repopulate it; `false` when every node is up.
+    /// Brings the `which`-th pool node back, empty — the manager must
+    /// repopulate it; `false` when the index is out of range or that
+    /// node is already up.
     fn revive_node(&self, which: usize) -> bool;
 
-    /// Slows the `which`-th alive node (mod the alive count) by
-    /// `factor` (`1.0` restores normal speed); `false` when no node is
-    /// alive.
+    /// Slows the `which`-th pool node by `factor` (`1.0` restores
+    /// normal speed); `false` when the index is out of range or that
+    /// node is dead.
     fn set_node_slowdown(&self, which: usize, factor: f64) -> bool;
+
+    /// Drains the `which`-th pool node: the manager stops placing work
+    /// there and its workers shut down once their queues empty; `false`
+    /// when the index is out of range or the node is dead or already
+    /// drained.
+    fn drain_node(&self, which: usize) -> bool;
+
+    /// Returns the `which`-th pool node to service after a drain. With
+    /// `upgraded` the node rejoins at a bumped upgrade epoch (a
+    /// rolling-upgrade round completing); `false` when the index is out
+    /// of range or the node is dead or not drained.
+    fn rejoin_node(&self, which: usize, upgraded: bool) -> bool;
 
     /// Drops (or restores) all beacon traffic — the §3.1.8 "front ends
     /// keep serving from cached hints" partition.

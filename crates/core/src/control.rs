@@ -60,6 +60,11 @@ pub struct SpawnPolicy {
     /// "All workers bound to their nodes"). While the node is down the
     /// class simply cannot run — coverage degrades instead.
     pub pinned_node: Option<NodeId>,
+    /// Tenant this class bills its workers to when several services
+    /// share one cluster (TranSend + HotBot mixes). Spawn caps set via
+    /// [`ControlPlane::set_tenant_cap`] apply across all classes of the
+    /// same tenant; `"shared"` (the default) means uncapped co-tenancy.
+    pub tenant: &'static str,
 }
 
 impl SpawnPolicy {
@@ -72,6 +77,7 @@ impl SpawnPolicy {
             auto_scale: true,
             restart_on_crash: true,
             pinned_node: None,
+            tenant: "shared",
         }
     }
 
@@ -85,7 +91,14 @@ impl SpawnPolicy {
             auto_scale: false,
             restart_on_crash: true,
             pinned_node: None,
+            tenant: "shared",
         }
+    }
+
+    /// Bills this class's workers to `tenant` (builder style).
+    pub fn for_tenant(mut self, tenant: &'static str) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -232,6 +245,17 @@ pub struct ControlPlane {
     pending: BTreeMap<ComponentId, PendingSpawn>,
     /// Nodes taken out of service for hot upgrades (§2.2).
     drained: BTreeSet<NodeId>,
+    /// Software epoch per node, bumped by in-place upgrades
+    /// ([`ControlPlane::on_upgrade_node`]); absent means epoch 0.
+    node_epoch: BTreeMap<NodeId, u64>,
+    /// Max live+pending workers per tenant (absent = uncapped).
+    tenant_caps: BTreeMap<&'static str, u32>,
+    /// Manager replica-group size for the regroup rule (1 = the paper's
+    /// single-manager deployment).
+    manager_replicas: u32,
+    /// Membership machine behind rival-beacon resolution; built at
+    /// [`ControlPlane::on_start`] once `me` is known.
+    quorum: Option<Quorum>,
     load_reports_handled: u64,
     started_at: Option<SimTime>,
     next_token: u64,
@@ -250,6 +274,10 @@ impl ControlPlane {
             runtime: BTreeMap::new(),
             pending: BTreeMap::new(),
             drained: BTreeSet::new(),
+            node_epoch: BTreeMap::new(),
+            tenant_caps: BTreeMap::new(),
+            manager_replicas: 1,
+            quorum: None,
             load_reports_handled: 0,
             started_at: None,
             next_token: 0,
@@ -259,6 +287,31 @@ impl ControlPlane {
     /// Registers (or replaces) a class policy.
     pub fn add_class(&mut self, class: WorkerClass, policy: SpawnPolicy) {
         self.policies.insert(class, policy);
+    }
+
+    /// Caps live + pending workers billed to `tenant` across all of its
+    /// classes; spawns beyond the cap are refused (and counted under
+    /// `manager.tenant_capped`), so one tenant's autoscaler cannot eat
+    /// the other tenant's node budget.
+    pub fn set_tenant_cap(&mut self, tenant: &'static str, cap: u32) {
+        self.tenant_caps.insert(tenant, cap);
+    }
+
+    /// Sets the manager replica-group size consulted by the regroup
+    /// rule. Must be called before [`ControlPlane::on_start`]; the
+    /// default of 1 reproduces the paper's single-manager rival-beacon
+    /// behavior exactly.
+    pub fn set_manager_replicas(&mut self, replicas: u32) {
+        self.manager_replicas = replicas.max(1);
+    }
+
+    /// Live + pending workers billed to `tenant`.
+    fn tenant_strength(&self, tenant: &str) -> u32 {
+        self.policies
+            .iter()
+            .filter(|(_, p)| p.tenant == tenant)
+            .map(|(class, _)| self.class_strength(class))
+            .sum()
     }
 
     /// The policy for a class, if registered.
@@ -386,6 +439,16 @@ impl ControlPlane {
         let pending = self.pending_of_class(class);
         if policy.max_workers > 0 && live + pending >= policy.max_workers {
             return false;
+        }
+        let tenant = policy.tenant;
+        if let Some(&cap) = self.tenant_caps.get(tenant) {
+            if self.tenant_strength(tenant) >= cap {
+                out.push(ControlEffect::Incr {
+                    key: "manager.tenant_capped",
+                    n: 1,
+                });
+                return false;
+            }
         }
         let max_per_node = policy.max_per_node;
         let placement = match policy.pinned_node {
@@ -648,6 +711,12 @@ impl ControlPlane {
         self.started_at = Some(now);
         self.me = me;
         self.node = node;
+        self.quorum = Some(Quorum::leader(
+            self.manager_replicas,
+            me.0,
+            self.cfg.incarnation,
+            self.cfg.sns.beacon_loss_timeout,
+        ));
         out.push(ControlEffect::Emit(MonitorEvent::Started {
             who: me,
             kind: "manager",
@@ -815,12 +884,10 @@ impl ControlPlane {
         for v in victims {
             out.push(ControlEffect::Shutdown { worker: v });
         }
-        out.push(ControlEffect::Emit(MonitorEvent::Warning(format!(
-            "{node} drained for hot upgrade"
-        ))));
+        out.push(ControlEffect::Emit(MonitorEvent::NodeDrained { node }));
     }
 
-    /// Operator request: return an upgraded node to service.
+    /// Operator request: return a node to service unchanged.
     pub fn on_undrain_node(&mut self, node: NodeId, out: &mut Vec<ControlEffect>) {
         if !self.drained.contains(&node) {
             return;
@@ -830,16 +897,58 @@ impl ControlPlane {
             key: "manager.undrains",
             n: 1,
         });
-        out.push(ControlEffect::Emit(MonitorEvent::Warning(format!(
-            "{node} returned to service"
-        ))));
+        out.push(ControlEffect::Emit(MonitorEvent::NodeRejoined {
+            node,
+            epoch: self.node_epoch.get(&node).copied().unwrap_or(0),
+        }));
     }
 
-    /// A beacon arrived on the manager's own group: the (incarnation,
-    /// id)-greater rival wins; the loser steps down (duplicate restart
-    /// resolution).
+    /// Operator request: return a drained node to service at the next
+    /// software epoch — the "restart at new incarnation" step of a
+    /// rolling upgrade (§2.2 "upgrade them in place"). Idempotent in
+    /// the same way as [`ControlPlane::on_undrain_node`]: a node that
+    /// is not drained is left alone (no epoch bump).
+    pub fn on_upgrade_node(&mut self, node: NodeId, out: &mut Vec<ControlEffect>) {
+        if !self.drained.contains(&node) {
+            return;
+        }
+        self.drained.remove(&node);
+        let epoch = self.node_epoch.entry(node).or_insert(0);
+        *epoch += 1;
+        let epoch = *epoch;
+        out.push(ControlEffect::Incr {
+            key: "manager.undrains",
+            n: 1,
+        });
+        out.push(ControlEffect::Incr {
+            key: "manager.upgrades",
+            n: 1,
+        });
+        out.push(ControlEffect::Emit(MonitorEvent::NodeRejoined {
+            node,
+            epoch,
+        }));
+    }
+
+    /// A beacon arrived on the manager's own group (a rival incarnation
+    /// is announcing itself). Resolution is delegated to the [`Quorum`]
+    /// membership machine; with `manager_replicas == 1` (the default)
+    /// its ballot rule degenerates to the paper's original comparison —
+    /// the (incarnation, id)-greater rival wins and the loser steps
+    /// down (duplicate restart resolution).
     pub fn on_rival_beacon(&mut self, b: &BeaconData, out: &mut Vec<ControlEffect>) {
-        if b.manager != self.me && (b.incarnation, b.manager) >= (self.cfg.incarnation, self.me) {
+        let ballot = Ballot {
+            id: b.manager.0,
+            incarnation: b.incarnation,
+            leading: true,
+            at: b.at,
+        };
+        let decision = match self.quorum.as_mut() {
+            Some(q) => q.on_ballot(&ballot),
+            // Before on_start there is nothing to step down; ignore.
+            None => QuorumDecision::Hold,
+        };
+        if matches!(decision, QuorumDecision::StepDown) {
             out.push(ControlEffect::Incr {
                 key: "manager.stepdowns",
                 n: 1,
@@ -922,6 +1031,214 @@ impl ControlPlane {
     }
 }
 
+/// One manager replica's periodic membership announcement — the vote
+/// currency of the [`Quorum`] machine. In the degenerate single-manager
+/// deployment the only ballots are rival-manager beacons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ballot {
+    /// Stable identity of the sender (replica index, or `ComponentId.0`
+    /// when the ballot is a manager beacon).
+    pub id: u64,
+    /// The sender's incarnation number.
+    pub incarnation: u64,
+    /// Whether the sender currently acts as the manager.
+    pub leading: bool,
+    /// When the ballot was cast (liveness bookkeeping).
+    pub at: SimTime,
+}
+
+/// What a [`Quorum`] handler decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumDecision {
+    /// Nothing to do.
+    Hold,
+    /// A better-qualified leader exists: stop acting as the manager.
+    StepDown,
+    /// This replica won the election and must start acting as the
+    /// manager at the given (fresh) incarnation.
+    TakeOver {
+        /// The new leader incarnation (strictly above anything seen).
+        incarnation: u64,
+    },
+    /// Fewer than a majority of replicas are reachable: the group must
+    /// not elect (split-brain risk) — surface to the operator instead.
+    Unrecoverable {
+        /// Replicas currently reachable (including self).
+        live: u32,
+        /// The majority threshold that was missed.
+        need: u32,
+    },
+}
+
+/// MSCS-style quorum membership for the manager group (Vogels et al.,
+/// PAPERS.md): N replicas exchange [`Ballot`]s; a majority of live
+/// replicas is required before any takeover, and a rejoining replica
+/// re-enters as a standby until elected. With `replicas == 1` the
+/// machine degenerates exactly to the paper's single rival-beacon rule:
+/// the (incarnation, id)-greater claimant wins and the loser steps down.
+///
+/// Sans-IO like the planes: callers deliver ballots and drive
+/// [`Quorum::tick`] on their own clock, then act on the returned
+/// [`QuorumDecision`].
+#[derive(Debug, Clone)]
+pub struct Quorum {
+    replicas: u32,
+    me: u64,
+    incarnation: u64,
+    leading: bool,
+    vote_timeout: Duration,
+    /// Last ballot time per peer replica.
+    last_heard: BTreeMap<u64, SimTime>,
+    /// The (incarnation, id) ballot currently believed to lead.
+    leader: Option<(u64, u64)>,
+    /// Highest incarnation observed anywhere (takeover fencing).
+    seen_incarnation: u64,
+}
+
+impl Quorum {
+    /// A replica that starts out acting as the manager (the bootstrap
+    /// leader, or the single manager of an N=1 deployment).
+    pub fn leader(replicas: u32, me: u64, incarnation: u64, vote_timeout: Duration) -> Self {
+        Quorum {
+            replicas: replicas.max(1),
+            me,
+            incarnation,
+            leading: true,
+            vote_timeout,
+            last_heard: BTreeMap::new(),
+            leader: Some((incarnation, me)),
+            seen_incarnation: incarnation,
+        }
+    }
+
+    /// A replica that starts out (or rejoins) as a standby: it acts
+    /// only if elected by [`Quorum::tick`] — the MSCS regroup
+    /// discipline that prevents a revived old leader from resuming
+    /// leadership it no longer holds.
+    pub fn standby(replicas: u32, me: u64, vote_timeout: Duration) -> Self {
+        Quorum {
+            replicas: replicas.max(1),
+            me,
+            incarnation: 0,
+            leading: false,
+            vote_timeout,
+            last_heard: BTreeMap::new(),
+            leader: None,
+            seen_incarnation: 0,
+        }
+    }
+
+    /// Whether this replica currently acts as the manager.
+    pub fn is_leading(&self) -> bool {
+        self.leading
+    }
+
+    /// This replica's incarnation (0 for a never-elected standby).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Votes needed for any takeover: a strict majority of the group.
+    pub fn majority(&self) -> u32 {
+        self.replicas / 2 + 1
+    }
+
+    /// The ballot this replica broadcasts.
+    pub fn ballot(&self, at: SimTime) -> Ballot {
+        Ballot {
+            id: self.me,
+            incarnation: self.incarnation,
+            leading: self.leading,
+            at,
+        }
+    }
+
+    /// Ingests a peer's ballot. A leading replica steps down when a
+    /// rival leader's (incarnation, id) is ≥ its own — byte-identical
+    /// to the old rival-beacon comparison when `replicas == 1`.
+    pub fn on_ballot(&mut self, b: &Ballot) -> QuorumDecision {
+        if b.id == self.me {
+            return QuorumDecision::Hold;
+        }
+        self.last_heard.insert(b.id, b.at);
+        self.seen_incarnation = self.seen_incarnation.max(b.incarnation);
+        if !b.leading {
+            return QuorumDecision::Hold;
+        }
+        if self.leading {
+            if (b.incarnation, b.id) >= (self.incarnation, self.me) {
+                self.leading = false;
+                self.leader = Some((b.incarnation, b.id));
+                return QuorumDecision::StepDown;
+            }
+            return QuorumDecision::Hold;
+        }
+        // Standby: adopt the highest-qualified claimant as leader.
+        if self
+            .leader
+            .is_none_or(|(inc, id)| (b.incarnation, b.id) >= (inc, id))
+        {
+            self.leader = Some((b.incarnation, b.id));
+        }
+        QuorumDecision::Hold
+    }
+
+    /// Live replicas (self plus peers heard within the vote timeout).
+    pub fn live(&self, now: SimTime) -> u32 {
+        1 + self
+            .last_heard
+            .values()
+            .filter(|&&t| now.since(t) <= self.vote_timeout)
+            .count() as u32
+    }
+
+    /// Periodic membership pass: checks quorum, detects leader silence,
+    /// and elects the lowest-id live replica with majority backing.
+    /// A leader that can no longer hear a majority relinquishes
+    /// leadership as it reports [`QuorumDecision::Unrecoverable`] — a
+    /// minority island must stop acting as the manager.
+    pub fn tick(&mut self, now: SimTime) -> QuorumDecision {
+        let live = self.live(now);
+        let need = self.majority();
+        if live < need {
+            self.leading = false;
+            return QuorumDecision::Unrecoverable { live, need };
+        }
+        if self.leading {
+            return QuorumDecision::Hold;
+        }
+        let leader_live = match self.leader {
+            Some((_, id)) => self
+                .last_heard
+                .get(&id)
+                .is_some_and(|&t| now.since(t) <= self.vote_timeout),
+            None => false,
+        };
+        if leader_live {
+            return QuorumDecision::Hold;
+        }
+        // Election among live replicas: the lowest id wins (every live
+        // replica computes the same winner from the same ballots).
+        let min_live = self
+            .last_heard
+            .iter()
+            .filter(|(_, &t)| now.since(t) <= self.vote_timeout)
+            .map(|(&id, _)| id)
+            .chain(std::iter::once(self.me))
+            .min()
+            .expect("self is always a candidate");
+        if min_live == self.me {
+            let incarnation = self.seen_incarnation + 1;
+            self.incarnation = incarnation;
+            self.seen_incarnation = incarnation;
+            self.leading = true;
+            self.leader = Some((incarnation, self.me));
+            return QuorumDecision::TakeOver { incarnation };
+        }
+        QuorumDecision::Hold
+    }
+}
+
 /// An instruction from the [`DispatchPlane`] to its driver.
 #[derive(Debug)]
 pub enum DispatchEffect {
@@ -995,6 +1312,42 @@ pub enum TimeoutVerdict {
     Unknown,
 }
 
+/// What a tenant's dispatches do once the tenant is over its
+/// outstanding-job quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Refuse new dispatches outright (TranSend's policy: a timed-out
+    /// or refused request is re-fetched by the client, §2.2.4).
+    Drop,
+    /// Keep admitting — flagged degraded so the service layer can shed
+    /// quality instead of requests (HotBot's policy) — up to twice the
+    /// quota, beyond which even degraded dispatches are dropped.
+    Degrade,
+}
+
+/// Per-tenant overload protection for a [`DispatchPlane`]: a quota on
+/// outstanding jobs plus what to do beyond it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Outstanding-dispatch quota for the tenant.
+    pub max_outstanding: usize,
+    /// Behavior beyond the quota.
+    pub overload: OverloadPolicy,
+}
+
+/// Verdict of [`DispatchPlane::admit`] for one prospective dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Within quota — dispatch normally.
+    Accept,
+    /// Over quota under [`OverloadPolicy::Degrade`]: dispatch, but the
+    /// service layer should degrade the answer (smaller distillation,
+    /// cached-only results, …).
+    Degrade,
+    /// Over quota (or over the degrade ceiling): do not dispatch.
+    Drop,
+}
+
 /// The stub's decision core: hint cache, lottery scheduling with the
 /// §4.5 queue-delta correction, timeout/retry verdicts (§3.1.8). No I/O:
 /// the caller supplies the RNG and applies the returned effects.
@@ -1007,6 +1360,12 @@ pub struct DispatchPlane {
     /// Net dispatches (sent − answered) per worker since the last beacon.
     inflight: BTreeMap<ComponentId, i64>,
     outstanding: BTreeMap<u64, Outstanding>,
+    /// Tenant each class bills to (absent = `"shared"`).
+    class_tenant: BTreeMap<WorkerClass, &'static str>,
+    /// Overload policy per tenant (absent = always admit).
+    tenant_policy: BTreeMap<&'static str, TenantPolicy>,
+    /// Outstanding dispatches per tenant (only tenants seen dispatching).
+    tenant_out: BTreeMap<&'static str, usize>,
     next_job: u64,
     /// Increment between consecutive job ids (1 unless this plane is one
     /// shard of a [`crate::shard::ShardedDispatch`], in which case each
@@ -1027,10 +1386,79 @@ impl DispatchPlane {
             hints: BTreeMap::new(),
             inflight: BTreeMap::new(),
             outstanding: BTreeMap::new(),
+            class_tenant: BTreeMap::new(),
+            tenant_policy: BTreeMap::new(),
+            tenant_out: BTreeMap::new(),
             next_job: 1,
             id_stride: 1,
             delta_correction: true,
             tracing: false,
+        }
+    }
+
+    /// Bills dispatches of `class` to `tenant` (default `"shared"`).
+    pub fn set_tenant(&mut self, class: WorkerClass, tenant: &'static str) {
+        self.class_tenant.insert(class, tenant);
+    }
+
+    /// Installs (or replaces) a tenant's overload policy. Tenants
+    /// without a policy are always admitted.
+    pub fn set_tenant_policy(&mut self, tenant: &'static str, policy: TenantPolicy) {
+        self.tenant_policy.insert(tenant, policy);
+    }
+
+    /// The tenant `class` bills to.
+    pub fn tenant_of(&self, class: &WorkerClass) -> &'static str {
+        self.class_tenant.get(class).copied().unwrap_or("shared")
+    }
+
+    /// Outstanding dispatches currently billed to `tenant`.
+    pub fn tenant_outstanding(&self, tenant: &str) -> usize {
+        self.tenant_out.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Admission control for one prospective dispatch of `class` — call
+    /// before [`DispatchPlane::dispatch`] when tenant isolation is on.
+    /// Within quota ⇒ [`Admission::Accept`]; over quota the tenant's
+    /// [`OverloadPolicy`] picks degrade vs. drop (counted under
+    /// `stub.tenant_degraded` / `stub.tenant_dropped`). Tenants without
+    /// a policy are always accepted, so the default path is untouched.
+    pub fn admit(&mut self, class: &WorkerClass, out: &mut Vec<DispatchEffect>) -> Admission {
+        let tenant = self.tenant_of(class);
+        let Some(policy) = self.tenant_policy.get(tenant) else {
+            return Admission::Accept;
+        };
+        let in_flight = self.tenant_out.get(tenant).copied().unwrap_or(0);
+        if in_flight < policy.max_outstanding {
+            return Admission::Accept;
+        }
+        match policy.overload {
+            OverloadPolicy::Degrade if in_flight < policy.max_outstanding * 2 => {
+                out.push(DispatchEffect::Incr {
+                    key: "stub.tenant_degraded",
+                    n: 1,
+                });
+                Admission::Degrade
+            }
+            _ => {
+                out.push(DispatchEffect::Incr {
+                    key: "stub.tenant_dropped",
+                    n: 1,
+                });
+                Admission::Drop
+            }
+        }
+    }
+
+    fn tenant_charge(&mut self, class: &WorkerClass) {
+        let tenant = self.tenant_of(class);
+        *self.tenant_out.entry(tenant).or_insert(0) += 1;
+    }
+
+    fn tenant_release(&mut self, class: &WorkerClass) {
+        let tenant = self.tenant_of(class);
+        if let Some(n) = self.tenant_out.get_mut(tenant) {
+            *n = n.saturating_sub(1);
         }
     }
 
@@ -1215,6 +1643,7 @@ impl DispatchPlane {
     ) -> u64 {
         let job_id = self.next_job;
         self.next_job += self.id_stride;
+        self.tenant_charge(&class);
         self.outstanding.insert(
             job_id,
             Outstanding {
@@ -1255,6 +1684,7 @@ impl DispatchPlane {
     ) -> u64 {
         let job_id = self.next_job;
         self.next_job += self.id_stride;
+        self.tenant_charge(&class);
         self.outstanding.insert(
             job_id,
             Outstanding {
@@ -1301,6 +1731,7 @@ impl DispatchPlane {
         out: &mut Vec<DispatchEffect>,
     ) -> Option<Outstanding> {
         let o = self.outstanding.remove(&job_id)?;
+        self.tenant_release(&o.class);
         if let Some(w) = o.worker {
             *self.inflight.entry(w).or_insert(0) -= 1;
         }
@@ -1343,6 +1774,7 @@ impl DispatchPlane {
         }
         if explicit || attempts > self.cfg.max_retries {
             let o = self.outstanding.remove(&job_id).expect("still present");
+            self.tenant_release(&o.class);
             out.push(DispatchEffect::Incr {
                 key: "stub.gave_up",
                 n: 1,
@@ -1689,5 +2121,221 @@ mod tests {
         let mut out = Vec::new();
         p.on_rival_beacon(&rival, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rival_beacon_n1_rule_survives_lower_rival() {
+        // The quorum delegation must keep the exact degenerate rule: a
+        // rival with a *lower* (incarnation, id) loses and we stay up.
+        let mut p = plane(0);
+        let mut out = Vec::new();
+        p.on_start(
+            SimTime::ZERO,
+            ComponentId(5),
+            NodeId(0),
+            &view(&[]),
+            &mut out,
+        );
+        let rival = BeaconData {
+            manager: ComponentId(3),
+            incarnation: 1,
+            hints: BTreeMap::new(),
+            at: SimTime::from_secs(1),
+        };
+        let mut out = Vec::new();
+        p.on_rival_beacon(&rival, &mut out);
+        assert!(out.is_empty(), "lower rival must not unseat us");
+    }
+
+    #[test]
+    fn quorum_majority_elects_lowest_standby() {
+        let vt = Duration::from_secs(4);
+        let mut q = Quorum::standby(3, 1, vt);
+        let now = SimTime::from_secs(10);
+        // Hear replica 2 (standby); leader 0 stays silent.
+        assert_eq!(
+            q.on_ballot(&Ballot {
+                id: 2,
+                incarnation: 0,
+                leading: false,
+                at: now
+            }),
+            QuorumDecision::Hold
+        );
+        assert_eq!(q.live(now), 2);
+        assert_eq!(q.majority(), 2);
+        let d = q.tick(now);
+        assert_eq!(d, QuorumDecision::TakeOver { incarnation: 1 });
+        assert!(q.is_leading());
+        // Replica 2 sees our leader ballot and holds.
+        let mut peer = Quorum::standby(3, 2, vt);
+        peer.on_ballot(&q.ballot(now));
+        assert_eq!(peer.tick(now), QuorumDecision::Hold);
+    }
+
+    #[test]
+    fn quorum_minority_is_unrecoverable_not_electing() {
+        let vt = Duration::from_secs(4);
+        let mut q = Quorum::standby(3, 1, vt);
+        // Nobody else heard from: 1 of 3 live, need 2.
+        assert_eq!(
+            q.tick(SimTime::from_secs(10)),
+            QuorumDecision::Unrecoverable { live: 1, need: 2 }
+        );
+        assert!(!q.is_leading(), "no election without a majority");
+    }
+
+    #[test]
+    fn quorum_leader_steps_down_in_minority_island() {
+        let vt = Duration::from_secs(4);
+        let mut q = Quorum::leader(3, 0, 1, vt);
+        let peer = Quorum::standby(3, 1, vt);
+        assert_eq!(
+            q.on_ballot(&peer.ballot(SimTime::from_secs(1))),
+            QuorumDecision::Hold
+        );
+        assert_eq!(q.tick(SimTime::from_secs(2)), QuorumDecision::Hold);
+        // The peers go silent past the vote timeout: the leader loses
+        // its majority and must stop acting as the manager.
+        assert_eq!(
+            q.tick(SimTime::from_secs(10)),
+            QuorumDecision::Unrecoverable { live: 1, need: 2 }
+        );
+        assert!(!q.is_leading(), "a minority island relinquishes leadership");
+    }
+
+    #[test]
+    fn quorum_rejoined_old_leader_defers_to_new_one() {
+        let vt = Duration::from_secs(4);
+        let now = SimTime::from_secs(20);
+        // Replica 1 took over at incarnation 2; old leader 0 rejoins as
+        // a standby, hears the new leader, and never re-elects itself.
+        let mut rejoined = Quorum::standby(3, 0, vt);
+        assert_eq!(
+            rejoined.on_ballot(&Ballot {
+                id: 1,
+                incarnation: 2,
+                leading: true,
+                at: now
+            }),
+            QuorumDecision::Hold
+        );
+        assert_eq!(rejoined.tick(now), QuorumDecision::Hold);
+        assert!(!rejoined.is_leading());
+    }
+
+    #[test]
+    fn tenant_cap_refuses_spawns_over_budget() {
+        let mut p = ControlPlane::new(ControlConfig {
+            sns: SnsConfig::default(),
+            incarnation: 1,
+            restart_front_ends: false,
+        });
+        p.add_class(
+            WorkerClass::new("a"),
+            SpawnPolicy::scaled(0).for_tenant("transend"),
+        );
+        p.add_class(
+            WorkerClass::new("b"),
+            SpawnPolicy::scaled(0).for_tenant("transend"),
+        );
+        p.set_tenant_cap("transend", 2);
+        let v = view(&[(0, 0), (1, 0)]);
+        let mut out = Vec::new();
+        p.on_start(SimTime::ZERO, ComponentId(1), NodeId(0), &v, &mut out);
+        let mut out = Vec::new();
+        p.ensure_workers(&"a".into(), 2, SimTime::ZERO, &v, &mut out);
+        assert_eq!(spawns(&out).len(), 2);
+        for (i, &(_, token)) in spawns(&out).iter().enumerate() {
+            p.confirm_spawn(token, ComponentId(30 + i as u64));
+        }
+        // Class "b" shares the tenant: cap already consumed.
+        let mut out = Vec::new();
+        p.ensure_workers(&"b".into(), 1, SimTime::ZERO, &v, &mut out);
+        assert!(spawns(&out).is_empty(), "tenant cap must refuse");
+        assert!(out.iter().any(|e| matches!(
+            e,
+            ControlEffect::Incr {
+                key: "manager.tenant_capped",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn upgrade_bumps_node_epoch_and_rejoins() {
+        let mut p = plane(0);
+        let v = view(&[(0, 0), (1, 0)]);
+        let mut out = Vec::new();
+        p.on_start(SimTime::ZERO, ComponentId(1), NodeId(0), &v, &mut out);
+        let mut out = Vec::new();
+        p.on_drain_node(NodeId(1), &mut out);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, ControlEffect::Emit(MonitorEvent::NodeDrained { node }) if *node == NodeId(1))));
+        let mut out = Vec::new();
+        p.on_upgrade_node(NodeId(1), &mut out);
+        assert!(out.iter().any(|e| matches!(
+            e,
+            ControlEffect::Emit(MonitorEvent::NodeRejoined { node, epoch })
+                if *node == NodeId(1) && *epoch == 1
+        )));
+        // Upgrading a node that is not drained is a no-op.
+        let mut out = Vec::new();
+        p.on_upgrade_node(NodeId(1), &mut out);
+        assert!(out.is_empty());
+        // A second round lands at epoch 2.
+        p.on_drain_node(NodeId(1), &mut Vec::new());
+        let mut out = Vec::new();
+        p.on_upgrade_node(NodeId(1), &mut out);
+        assert!(out.iter().any(|e| matches!(
+            e,
+            ControlEffect::Emit(MonitorEvent::NodeRejoined { epoch: 2, .. })
+        )));
+    }
+
+    #[test]
+    fn tenant_admission_drops_and_degrades_over_quota() {
+        let mut plane = DispatchPlane::new(SnsConfig::default());
+        plane.on_beacon(&beacon(&[(1, 0.0)]));
+        plane.set_tenant("w".into(), "hotbot");
+        plane.set_tenant_policy(
+            "hotbot",
+            TenantPolicy {
+                max_outstanding: 1,
+                overload: OverloadPolicy::Drop,
+            },
+        );
+        let mut rng = Pcg32::new(7);
+        let mut out = Vec::new();
+        assert_eq!(plane.admit(&"w".into(), &mut out), Admission::Accept);
+        let id = plane.dispatch(
+            &mut rng,
+            SimTime::ZERO,
+            ComponentId(50),
+            "w".into(),
+            "op",
+            Blob::payload(10, "x"),
+            None,
+            None,
+            &mut out,
+        );
+        assert_eq!(plane.tenant_outstanding("hotbot"), 1);
+        assert_eq!(plane.admit(&"w".into(), &mut out), Admission::Drop);
+        // Degrade policy admits up to 2× the quota.
+        plane.set_tenant_policy(
+            "hotbot",
+            TenantPolicy {
+                max_outstanding: 1,
+                overload: OverloadPolicy::Degrade,
+            },
+        );
+        assert_eq!(plane.admit(&"w".into(), &mut out), Admission::Degrade);
+        // Settle the job: quota frees up.
+        plane.on_response(id, SimTime::from_secs(1), &mut out);
+        assert_eq!(plane.tenant_outstanding("hotbot"), 0);
+        assert_eq!(plane.admit(&"w".into(), &mut out), Admission::Accept);
+        // Untracked tenants are always accepted.
+        assert_eq!(plane.admit(&"other".into(), &mut out), Admission::Accept);
     }
 }

@@ -251,6 +251,9 @@ impl Component<SnsMsg> for Manager {
             SnsMsg::UndrainNode { node } => {
                 self.plane.on_undrain_node(node, &mut out);
             }
+            SnsMsg::UpgradeNode { node } => {
+                self.plane.on_upgrade_node(node, &mut out);
+            }
             SnsMsg::Beacon(b) => {
                 self.plane.on_rival_beacon(&b, &mut out);
             }

@@ -70,6 +70,37 @@ pub enum MonitorEvent {
         /// Load metric (queue length, active requests, …).
         load: f64,
     },
+    /// A node was drained by the operator: no new placements land there
+    /// and its workers shut down once their queues empty.
+    NodeDrained {
+        /// The drained node.
+        node: NodeId,
+    },
+    /// A drained node rejoined the eligible set. `epoch > 0` means the
+    /// rejoin completed a rolling-upgrade round (the node restarted at a
+    /// new software incarnation); `epoch == 0` is a plain undrain.
+    NodeRejoined {
+        /// The rejoining node.
+        node: NodeId,
+        /// Upgrade epoch of the node after rejoin (0 = never upgraded).
+        epoch: u64,
+    },
+    /// A manager replica won a majority vote and took over leadership.
+    LeaderElected {
+        /// Replica id of the new leader.
+        replica: u32,
+        /// Incarnation it leads at.
+        incarnation: u64,
+        /// Live replicas (votes) observed at election time.
+        votes: u32,
+    },
+    /// A leading manager replica stopped leading (killed or stepped down).
+    LeaderLost {
+        /// Replica id that lost leadership.
+        replica: u32,
+        /// Incarnation it was leading at.
+        incarnation: u64,
+    },
     /// Free-form operator-visible warning.
     Warning(String),
 }
@@ -86,6 +117,10 @@ impl MonitorEvent {
             MonitorEvent::WorkerCrashed { .. } => "crashed",
             MonitorEvent::PeerRestarted { .. } => "peer_restarted",
             MonitorEvent::Heartbeat { .. } => "heartbeat",
+            MonitorEvent::NodeDrained { .. } => "node_drained",
+            MonitorEvent::NodeRejoined { .. } => "node_rejoined",
+            MonitorEvent::LeaderElected { .. } => "leader_elected",
+            MonitorEvent::LeaderLost { .. } => "leader_lost",
             MonitorEvent::Warning(_) => "warning",
         }
     }
@@ -115,6 +150,21 @@ impl MonitorEvent {
             MonitorEvent::Heartbeat { who, kind, load } => {
                 format!("heartbeat who={who} kind={kind} load={load:.6}")
             }
+            MonitorEvent::NodeDrained { node } => format!("node_drained node={node}"),
+            MonitorEvent::NodeRejoined { node, epoch } => {
+                format!("node_rejoined node={node} epoch={epoch}")
+            }
+            MonitorEvent::LeaderElected {
+                replica,
+                incarnation,
+                votes,
+            } => {
+                format!("leader_elected replica={replica} incarnation={incarnation} votes={votes}")
+            }
+            MonitorEvent::LeaderLost {
+                replica,
+                incarnation,
+            } => format!("leader_lost replica={replica} incarnation={incarnation}"),
             MonitorEvent::Warning(msg) => format!("warning {msg}"),
         }
     }

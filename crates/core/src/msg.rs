@@ -173,6 +173,13 @@ pub enum SnsMsg {
         /// Node to return to the placement pool.
         node: NodeId,
     },
+    /// Operator → manager: a drained node finished its in-place upgrade
+    /// and restarts at a new incarnation; return it to service and bump
+    /// its upgrade epoch (rolling-upgrade rounds, §2.2).
+    UpgradeNode {
+        /// Node rejoining at a new incarnation.
+        node: NodeId,
+    },
     /// Client → front end.
     Request(Arc<ClientRequest>),
     /// Front end → client.
@@ -215,7 +222,9 @@ impl Wire for SnsMsg {
                 }
             }
             SnsMsg::Shutdown => HDR,
-            SnsMsg::DrainNode { .. } | SnsMsg::UndrainNode { .. } => HDR + 8,
+            SnsMsg::DrainNode { .. } | SnsMsg::UndrainNode { .. } | SnsMsg::UpgradeNode { .. } => {
+                HDR + 8
+            }
             SnsMsg::Request(r) => {
                 HDR + r.url.len() as u64
                     + r.user.len() as u64

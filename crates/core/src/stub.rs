@@ -71,6 +71,27 @@ impl ManagerStub {
         self.plane.set_tracing(on);
     }
 
+    /// Assigns a worker class to a tenant for admission accounting.
+    pub fn set_tenant(&mut self, class: WorkerClass, tenant: &'static str) {
+        self.plane.set_tenant(class, tenant);
+    }
+
+    /// Installs a tenant's overload policy (outstanding quota + drop vs.
+    /// degrade behavior past it).
+    pub fn set_tenant_policy(&mut self, tenant: &'static str, policy: crate::TenantPolicy) {
+        self.plane.set_tenant_policy(tenant, policy);
+    }
+
+    /// Admission check for one job of `class` against its tenant's
+    /// overload policy; call before [`ManagerStub::dispatch`] and skip
+    /// (or degrade) the dispatch on a non-[`Admission::Accept`](crate::Admission::Accept) verdict.
+    pub fn admit(&mut self, ctx: &mut Ctx<'_, SnsMsg>, class: &WorkerClass) -> crate::Admission {
+        let mut out = Vec::new();
+        let verdict = self.plane.admit(class, &mut out);
+        self.apply(ctx, out);
+        verdict
+    }
+
     /// The manager, if one has been heard from.
     pub fn manager(&self) -> Option<ComponentId> {
         self.plane.manager()

@@ -557,6 +557,7 @@ impl RtCluster {
             auto_scale: false,
             restart_on_crash: self.cfg.restart_on_crash,
             pinned_node: None,
+            tenant: "shared",
         });
         if self.cfg.restart_on_crash {
             policy.min_workers += n as u32;
@@ -633,9 +634,13 @@ impl RtCluster {
                 }
                 ControlEffect::Shutdown { worker } => {
                     // Graceful reap: close the inbox; the thread drains
-                    // its queue and exits.
+                    // its queue and exits. Deregister now (the sim
+                    // worker does the same on drain completion) so the
+                    // later thread-exit reap is not mistaken for a
+                    // crash and respawned as a process peer.
                     if let Some(w) = inner.workers.iter().find(|w| ComponentId(w.id) == worker) {
                         w.inbox.close();
+                        inner.control.on_deregister_worker(worker, &mut Vec::new());
                     }
                 }
                 ControlEffect::Beacon(data) => {
@@ -821,6 +826,15 @@ impl RtCluster {
         {
             let mut shard = self.shards.lock(self.shards.pick());
             let mut out = Vec::new();
+            // Multi-tenant admission: over-quota tenants are refused
+            // (or degraded) before the lottery runs, so a flash crowd
+            // on one tenant cannot occupy dispatch state that another
+            // tenant's jobs need.
+            if shard.plane.admit(&class, &mut out) == sns_core::Admission::Drop {
+                let _ = reply_tx.try_send(JobResult::Failed("tenant over quota".into()));
+                self.deliver_shard(&mut shard, out, &mut need);
+                return reply_rx;
+            }
             {
                 let DispatchShard { plane, rng, ext } = &mut *shard;
                 let job_id = plane.dispatch(
@@ -1025,6 +1039,12 @@ impl RtCluster {
                     }
                     qlen_t.store(rx.len() as u64, Ordering::Relaxed);
                 }
+                // Clean exit (inbox closed and drained): publish the
+                // death so the manager reaps this handle. The graceful
+                // Shutdown path deregistered us already, so the reap is
+                // a join + route removal, not a peer restart.
+                qlen_t.store(0, Ordering::Relaxed);
+                alive_t.store(false, Ordering::Relaxed);
             })
             .expect("spawn worker thread");
 
@@ -1203,26 +1223,18 @@ impl RtCluster {
         false
     }
 
-    /// Kills virtual node `which` (mod the alive count): every worker
-    /// placed on it crashes and the node leaves the placement view, so
-    /// replacements cannot land there until [`RtCluster::revive_node`].
-    /// Returns the number of workers killed, or `None` when no node is
-    /// alive.
+    /// Kills virtual node `which` (stable creation-order index): every
+    /// worker placed on it crashes and the node leaves the placement
+    /// view, so replacements cannot land there until
+    /// [`RtCluster::revive_node`]. Returns the number of workers
+    /// killed, or `None` when the index is out of range or the node is
+    /// already dead — a reported skip, never a silent re-aim at a
+    /// different live node.
     pub fn kill_node(&self, which: usize) -> Option<u64> {
         let mut inner = self.lock_control();
-        let alive: Vec<usize> = inner
-            .vnodes
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.alive)
-            .map(|(i, _)| i)
-            .collect();
-        if alive.is_empty() {
-            return None;
-        }
-        let idx = alive[which % alive.len()];
-        inner.vnodes[idx].alive = false;
-        let node = inner.vnodes[idx].node;
+        let v = inner.vnodes.get_mut(which).filter(|v| v.alive)?;
+        v.alive = false;
+        let node = v.node;
         let mut killed = 0;
         for w in &inner.workers {
             if w.node == node
@@ -1235,38 +1247,99 @@ impl RtCluster {
         Some(killed)
     }
 
-    /// Revives a dead virtual node (mod the dead count); the class
-    /// minimums repopulate it on the next manager tick. Returns whether
-    /// a dead node existed.
+    /// Revives dead virtual node `which` (stable index); the class
+    /// minimums repopulate it on the next manager tick. `false` when
+    /// the index is out of range or the node is already up.
     pub fn revive_node(&self, which: usize) -> bool {
         let mut inner = self.lock_control();
-        let dead: Vec<usize> = inner
-            .vnodes
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| !v.alive)
-            .map(|(i, _)| i)
-            .collect();
-        if dead.is_empty() {
-            return false;
+        match inner.vnodes.get_mut(which) {
+            Some(v) if !v.alive => {
+                v.alive = true;
+                true
+            }
+            _ => false,
         }
-        inner.vnodes[dead[which % dead.len()]].alive = true;
+    }
+
+    /// Multiplies service times of workers on virtual node `which`
+    /// (stable index) by `factor` (straggler injection; 1.0 restores).
+    /// `false` when the index is out of range or the node is dead.
+    pub fn set_node_slowdown(&self, which: usize, factor: f64) -> bool {
+        let inner = self.lock_control();
+        match inner.vnodes.get(which) {
+            Some(v) if v.alive => {
+                v.slow.store(factor.to_bits(), Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drains virtual node `which` (stable index): the control plane
+    /// stops placing workers there and gracefully shuts down the ones
+    /// it runs (they drain their queues, deregister and exit; the class
+    /// minimums respawn replacements on other nodes). `false` when the
+    /// index is out of range, the node is dead, or it is already
+    /// drained.
+    pub fn drain_node(&self, which: usize) -> bool {
+        let mut guard = self.lock_control();
+        let inner = &mut *guard;
+        let Some(node) = inner.vnodes.get(which).filter(|v| v.alive).map(|v| v.node) else {
+            return false;
+        };
+        let now = self.now();
+        let mut out = Vec::new();
+        inner.control.on_drain_node(node, &mut out);
+        if out.is_empty() {
+            return false; // already drained: idempotent no-op upstream
+        }
+        self.apply_control(inner, out, false, now);
+        self.refresh_hints(inner);
         true
     }
 
-    /// Multiplies service times of workers on alive virtual node
-    /// `which` (mod the alive count) by `factor` (straggler injection;
-    /// 1.0 restores). Returns whether a node was targeted.
-    pub fn set_node_slowdown(&self, which: usize, factor: f64) -> bool {
-        let inner = self.lock_control();
-        let alive: Vec<&VNode> = inner.vnodes.iter().filter(|v| v.alive).collect();
-        if alive.is_empty() {
+    /// Returns drained virtual node `which` (stable index) to service;
+    /// with `upgraded` the node rejoins at a bumped upgrade epoch (the
+    /// rolling-upgrade "restart at new incarnation" step). `false` when
+    /// the index is out of range, the node is dead, or it was not
+    /// drained.
+    pub fn rejoin_node(&self, which: usize, upgraded: bool) -> bool {
+        let mut guard = self.lock_control();
+        let inner = &mut *guard;
+        let Some(node) = inner.vnodes.get(which).filter(|v| v.alive).map(|v| v.node) else {
             return false;
+        };
+        let now = self.now();
+        let mut out = Vec::new();
+        if upgraded {
+            inner.control.on_upgrade_node(node, &mut out);
+        } else {
+            inner.control.on_undrain_node(node, &mut out);
         }
-        alive[which % alive.len()]
-            .slow
-            .store(factor.to_bits(), Ordering::Relaxed);
+        if out.is_empty() {
+            return false; // was not drained
+        }
+        self.apply_control(inner, out, false, now);
+        self.refresh_hints(inner);
         true
+    }
+
+    /// Assigns a worker class to a tenant on every dispatch shard (the
+    /// multi-tenant admission bookkeeping; see
+    /// [`sns_core::TenantPolicy`]).
+    pub fn set_tenant(&self, class: &str, tenant: &'static str) {
+        let class = WorkerClass::new(class);
+        self.shards
+            .for_each(|_, s| s.plane.set_tenant(class.clone(), tenant));
+    }
+
+    /// Installs a tenant's overload policy on every dispatch shard.
+    /// Each shard enforces its own share of the quota
+    /// (`max_outstanding` is per shard), which keeps admission off the
+    /// global lock; size quotas accordingly.
+    pub fn set_tenant_policy(&self, tenant: &'static str, policy: sns_core::TenantPolicy) {
+        self.shards
+            .for_each(|_, s| s.plane.set_tenant_policy(tenant, policy));
     }
 
     /// Suppresses/permits hint publication (fault injection: front-end
@@ -1511,6 +1584,14 @@ impl Cluster for RtCluster {
 
     fn set_node_slowdown(&self, which: usize, factor: f64) -> bool {
         RtCluster::set_node_slowdown(self, which, factor)
+    }
+
+    fn drain_node(&self, which: usize) -> bool {
+        RtCluster::drain_node(self, which)
+    }
+
+    fn rejoin_node(&self, which: usize, upgraded: bool) -> bool {
+        RtCluster::rejoin_node(self, which, upgraded)
     }
 
     fn set_beacon_blackout(&self, on: bool) {

@@ -174,6 +174,70 @@ fn chaos_monitor_logs_are_byte_identical_across_schedulers() {
     assert_eq!(heap, wheel, "monitor logs must match byte-for-byte");
 }
 
+/// One rolling-upgrade-under-load chaos run: a `RollingUpgrade` plan
+/// verb walks two dedicated nodes through drain → upgraded rejoin while
+/// a trace replays, and the byte-stable canonical monitor log (drains,
+/// rejoins, respawns, and all) is returned.
+fn rolling_upgrade_log_on(seed: u64, scheduler: SchedulerKind) -> String {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(seed)
+        .with_scheduler(scheduler)
+        .with_worker_nodes(5)
+        .with_overflow_nodes(1)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .build();
+    let node = cluster.sim.nodes_with_tag("infra")[0];
+    let (tap, log) = MonitorTap::new(cluster.monitor_group);
+    cluster.sim.spawn(node, Box::new(tap), "montap");
+
+    let mut gen = TraceGenerator::new(WorkloadConfig {
+        seed: seed ^ 0x77,
+        users: 30,
+        shared_objects: 90,
+        private_per_user: 8,
+        ..Default::default()
+    });
+    let t = gen.constant_rate(3.0, Duration::from_secs(60));
+    let items: Vec<_> = Playback::new(&t, Schedule::Timestamps)
+        .map(|(at, r)| (at, r.clone()))
+        .collect();
+    let _report = cluster.attach_client(items, Duration::from_secs(3));
+
+    let plan = FaultPlan::new().with(
+        Duration::from_secs(15),
+        FaultKind::RollingUpgrade {
+            pool: "dedicated".into(),
+            nodes: 2,
+            batch: 1,
+            settle: Duration::from_secs(12),
+        },
+    );
+    SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + plan.horizon(Duration::from_secs(120)));
+    let rendered = log.borrow().canonical();
+    assert!(
+        rendered.contains("node_drained") && rendered.contains("node_rejoined"),
+        "the upgrade must have rolled: {rendered}"
+    );
+    rendered
+}
+
+/// A rolling upgrade under live load — the most schedule-sensitive
+/// cluster operation, since drains race in-flight dispatches — must
+/// leave a byte-identical monitor log on the heap baseline and the
+/// timer wheel.
+#[test]
+fn rolling_upgrade_monitor_logs_are_byte_identical_across_schedulers() {
+    let heap = rolling_upgrade_log_on(0xFA, SchedulerKind::Heap);
+    let wheel = rolling_upgrade_log_on(0xFA, SchedulerKind::Wheel);
+    assert_eq!(heap, wheel, "upgrade logs must match byte-for-byte");
+}
+
 /// One traced TranSend run, exported as JSONL. Trace emission rides the
 /// engine's event order, so the export must inherit the engine's
 /// scheduler-independence.

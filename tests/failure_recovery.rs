@@ -190,6 +190,53 @@ fn hot_upgrade_drains_and_restores_a_node() {
 }
 
 #[test]
+fn drain_rejoin_plan_verbs_run_the_hot_upgrade() {
+    // The plan-driven twin of `hot_upgrade_drains_and_restores_a_node`:
+    // the same drain → rejoin cycle expressed as `DrainNode` /
+    // `RejoinNode` fault-plan verbs, so cluster operations shrink,
+    // replay, and diff exactly like faults do.
+    let mut cluster = small_cluster();
+    let log = tap(&mut cluster);
+    let reqs = items(29, 4.0, 80);
+    let n = reqs.len() as u64;
+    let report = cluster.attach_client(reqs, Duration::from_secs(4));
+
+    let plan = FaultPlan::new()
+        .with(
+            Duration::from_secs(20),
+            FaultKind::DrainNode {
+                pool: "dedicated".into(),
+                which: 0,
+            },
+        )
+        .with(
+            Duration::from_secs(55),
+            FaultKind::RejoinNode {
+                pool: "dedicated".into(),
+                which: 0,
+            },
+        );
+    let chaos = SimChaos::install(&mut cluster.sim, &plan, SimChaosConfig::default());
+    cluster
+        .sim
+        .run_until(SimTime::ZERO + plan.horizon(Duration::from_secs(300)));
+
+    let r = report.borrow();
+    assert_eq!(r.responses, n, "drain/rejoin must not lose requests");
+    assert_eq!(r.errors, 0);
+    drop(r);
+    assert_eq!(chaos.applied_count(), 2, "both verbs applied, no skips");
+    let stats = cluster.sim.stats();
+    assert_eq!(stats.counter("manager.drains"), 1);
+    assert_eq!(stats.counter("manager.undrains"), 1);
+    let tapped = log.borrow();
+    assert_eq!(tapped.count("node_drained"), 1);
+    assert_eq!(tapped.count("node_rejoined"), 1);
+    drop(tapped);
+    assert_eq!(cache_count(&cluster), 2);
+}
+
+#[test]
 fn partitioned_worker_is_replaced_by_timeout_inference() {
     // §2.2.4: "if workers lost because of a SAN partition can be
     // restarted on still-visible nodes, the manager performs the

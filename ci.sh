@@ -66,17 +66,19 @@ if [ ! -s BENCH_sim.json ]; then
   echo "BENCH_sim.json missing or empty after the bench stage" >&2
   exit 1
 fi
-echo "== bench stage: trace_overhead (disabled-path regression guard)"
+echo "== bench stage: trace_overhead (disabled-path + sampled-path guards)"
 # Runs the TranSend request-path profile disabled / disabled-again /
-# enabled in one process, asserts the traced run dispatched a
-# bit-identical event stream, and fails if the disabled path regresses
-# more than 2% against its A/A control. Appends request_path/* rows to
-# BENCH_sim.json (replacing stale ones), so the row guard covers both
-# bench binaries.
+# enabled / head-sampled-1-in-64 in one process, asserts all four runs
+# dispatched bit-identical event streams, and fails if the disabled
+# path regresses more than 2% against its A/A control or the
+# enabled-but-sampled-out path costs more than 2% over disabled.
+# Appends request_path/* rows and the span-derived slo/* summary rows
+# to BENCH_sim.json (replacing stale ones), so the row guard covers
+# both bench binaries and the SLO pipeline.
 cargo run -p sns-bench --release --offline --bin trace_overhead -- BENCH_sim.json
 rows=$(grep -c '"bench"' BENCH_sim.json || true)
-if [ "$rows" -lt 9 ]; then
-  echo "BENCH_sim.json carries $rows rows, expected >= 9 (3 profiles x 2 schedulers + 3 trace_overhead)" >&2
+if [ "$rows" -lt 15 ]; then
+  echo "BENCH_sim.json carries $rows rows, expected >= 15 (6 scheduler + 4 trace_overhead + >= 5 slo)" >&2
   exit 1
 fi
 echo "   ok: $rows bench rows in BENCH_sim.json"
@@ -88,11 +90,25 @@ if [ ! -s BENCH_rt.json ]; then
   exit 1
 fi
 rows=$(grep -c '"bench"' BENCH_rt.json || true)
-if [ "$rows" -lt 7 ]; then
-  echo "BENCH_rt.json carries $rows rows, expected >= 7 (2 submit pools + 5 scaling pools)" >&2
+if [ "$rows" -lt 11 ]; then
+  echo "BENCH_rt.json carries $rows rows, expected >= 11 (2 submit + 5 scaling + >= 4 slo)" >&2
   exit 1
 fi
 echo "   ok: $rows bench rows in BENCH_rt.json"
+
+echo "== trace_diff stage: request-path latency composition gate"
+# Replays a pinned-seed TranSend profile fully traced and diffs the
+# normalized latency breakdown (overhead/compute/queue/service/net
+# shares) against the checked-in TRACE_BASELINE.json. Virtual time
+# makes the shares bit-deterministic, so any drift is a real change to
+# the request path's shape. The second run proves the gate has teeth:
+# a synthetic 10% dispatch-path slowdown must make it fail.
+cargo run -p sns-bench --release --offline --bin trace_diff
+if SNS_TRACE_DIFF_INJECT=dispatch:1.10 cargo run -p sns-bench --release --offline --bin trace_diff >/dev/null 2>&1; then
+  echo "trace_diff did not fail under an injected 10% dispatch-path slowdown" >&2
+  exit 1
+fi
+echo "   ok: gate passes clean and catches the injected slowdown"
 
 echo "== rt_scaling stage: worker-scaling curve guard"
 # The sharded dispatch plane must keep the scaling curve near-linear:
@@ -136,7 +152,7 @@ chaos_suite() {
   fi
   echo "   ok: $pkg::$suite ($ran tests)"
 }
-chaos_suite cluster-sns control_plane_parity 2
+chaos_suite cluster-sns control_plane_parity 3
 chaos_suite cluster-sns cluster_api 2
 chaos_suite sns-chaos rt_chaos 2
 chaos_suite sns-rt scaling 2
@@ -148,9 +164,9 @@ echo "== chaos stage: fault-injection suites under a pinned seed"
 # number of tests it is supposed to carry.
 chaos_suite sns-chaos prop 5
 chaos_suite cluster-sns failure_recovery 12
-chaos_suite cluster-sns determinism 8
+chaos_suite cluster-sns determinism 9
 chaos_suite cluster-sns paper_shapes 4
-chaos_suite cluster-sns trace_shapes 1
+chaos_suite cluster-sns trace_shapes 3
 chaos_suite sns-sim sched_equiv 3
 
 echo "== cluster_ops stage: operations chaos under a pinned seed"
@@ -159,6 +175,6 @@ echo "== cluster_ops stage: operations chaos under a pinned seed"
 # detected unrecoverable), drain/rejoin parity diffs, stable-index
 # fault skips, and the multi-tenant flash-crowd isolation scenario —
 # all deterministic under the pinned seed.
-chaos_suite cluster-sns cluster_ops 10
+chaos_suite cluster-sns cluster_ops 11
 
 echo "== CI green"

@@ -17,14 +17,16 @@
 //! cargo run -p sns-bench --release --bin rt_throughput [-- OUTPUT.json]
 //! ```
 //!
-//! Rows land in `BENCH_rt.json`; jobs/sec per pool size prints at the
-//! end.
+//! Rows land in `BENCH_rt.json` together with span-derived `slo/*`
+//! summary rows from a separate head-sampled traced run; jobs/sec per
+//! pool size prints at the end.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use sns_core::msg::{Job, JobResult};
+use sns_core::slo::SloAggregator;
 use sns_core::worker::{WorkerError, WorkerLogic};
 use sns_core::{Blob, Payload, WorkerClass};
 use sns_rt::{RtCluster, RtConfig};
@@ -128,13 +130,16 @@ fn main() {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_rt.json".to_string());
-    // Each run pushes a full batch through real threads; small budgets
-    // still give one warmup run and at least one measured sample.
+    // Each run pushes a full batch through real threads; the nominal
+    // wall-clock budget means `min_samples` drives the loop: ≥ 5
+    // measured runs per benchmark, so the recorded p50/p99 are a
+    // distribution, not a point estimate.
     let mut suite = BenchSuite::with_config(
         "rt",
         BenchConfig {
             warmup: Duration::from_millis(1),
             measure: Duration::from_millis(1),
+            min_samples: 5,
             ..Default::default()
         },
     );
@@ -171,6 +176,58 @@ fn main() {
     }
     suite.write_json(&out).expect("write bench rows");
 
+    // Span-derived SLO rows from an unmeasured head-sampled traced run
+    // (the always-on production configuration): request percentiles and
+    // the depth-1 queue/service/net breakdown, scaled back up by the
+    // sampling rate.
+    const SLO_RATE: u32 = 4;
+    let slo_rows = {
+        let c = RtCluster::start(
+            RtConfig::new()
+                .with_time_scale(0.0)
+                .with_report_period(Duration::from_millis(10))
+                .with_beacon_period(Duration::from_millis(20))
+                .with_seed(0x6274)
+                .with_tracing(true)
+                .with_trace_sampling(SLO_RATE),
+        );
+        c.add_workers("nop", 4, || Box::new(Nop));
+        let receivers: Vec<_> = (0..JOBS)
+            .map(|i| c.submit("nop", "op", Blob::payload(64 + i, "x"), None))
+            .collect();
+        for rx in receivers {
+            match rx.recv().expect("reply") {
+                JobResult::Ok(_) => {}
+                JobResult::Failed(e) => panic!("slo job failed: {e}"),
+            }
+        }
+        c.shutdown();
+        let log = c.trace_snapshot().expect("tracing enabled");
+        let mut slo = SloAggregator::new(SLO_RATE);
+        slo.ingest(&log);
+        // Sampling closure: the 1-in-SLO_RATE slice, scaled back up,
+        // must account for the admitted batch within a generous band.
+        let est = slo.sampled_requests() * u64::from(SLO_RATE);
+        assert!(
+            (JOBS / 2..=JOBS * 2).contains(&est),
+            "sampled-request estimate {est} is not within 2x of {JOBS} admitted jobs"
+        );
+        slo.to_json_rows("rt")
+    };
+    let merged = {
+        let bench = std::fs::read_to_string(&out).expect("read bench rows");
+        let body = |s: &str| {
+            s.trim()
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .trim_matches('\n')
+                .trim_end_matches(',')
+                .to_string()
+        };
+        format!("[\n{},\n{}\n]", body(&bench), body(&slo_rows))
+    };
+    std::fs::write(&out, merged).expect("write merged rows");
+
     let row = |name: &str| {
         suite
             .rows()
@@ -197,5 +254,8 @@ fn main() {
             base / ns,
         );
     }
-    println!("wrote {} rows to {out}", suite.rows().len());
+    println!(
+        "wrote {} bench + slo rows to {out} (sample rate 1/{SLO_RATE})",
+        suite.rows().len()
+    );
 }

@@ -152,13 +152,15 @@ fn main() {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
-    // Whole runs take seconds; tiny budgets still give one warmup run
-    // and at least one measured sample per benchmark.
+    // Whole runs take seconds, so the wall-clock budget is nominal and
+    // `min_samples` drives the loop: ≥ 5 measured runs per benchmark,
+    // so the recorded p50/p99 are a distribution, not a point estimate.
     let mut suite = BenchSuite::with_config(
         "sim",
         BenchConfig {
             warmup: Duration::from_millis(1),
             measure: Duration::from_millis(1),
+            min_samples: 5,
             ..Default::default()
         },
     );

@@ -1,0 +1,200 @@
+//! The trace-diff regression gate: replays a pinned-seed TranSend
+//! profile with full tracing, derives the normalized request-path
+//! latency breakdown (overhead / compute / queue / service / net) from
+//! the span stream, and compares each component's *share* of total
+//! request time against the checked-in `TRACE_BASELINE.json`.
+//!
+//! Because the replay runs in virtual time the shares are
+//! bit-deterministic for the pinned seed — a shifted share means the
+//! *shape* of the request path changed (more queueing, a slower
+//! dispatch hop, extra front-end overhead), which wall-clock
+//! throughput benches routinely miss. The gate fails when any
+//! component's share drifts more than 0.02 absolute or 5% relative
+//! from the baseline.
+//!
+//! ```sh
+//! cargo run -p sns-bench --release --bin trace_diff                    # gate
+//! cargo run -p sns-bench --release --bin trace_diff -- --write-baseline
+//! ```
+//!
+//! `--write-baseline` refreshes `TRACE_BASELINE.json` after an
+//! *intentional* request-path change (commit it with the change that
+//! moved the shares). `SNS_TRACE_DIFF_INJECT=<component>:<factor>`
+//! multiplies one component's time before normalizing — CI uses
+//! `dispatch:1.10` to prove the gate actually fails on a synthetic 10%
+//! dispatch-path slowdown.
+
+use std::time::Duration;
+
+use sns_core::slo::SloAggregator;
+use sns_sim::time::SimTime;
+use sns_transend::TranSendBuilder;
+use sns_workload::trace::TraceRecord;
+use sns_workload::MimeType;
+
+/// Pinned replay seed; changing it invalidates the baseline.
+const SEED: u64 = 0x7d1f;
+
+/// Requests in the replayed profile.
+const REQUESTS: u64 = 200;
+
+/// Maximum absolute share drift before the gate fails.
+const ABS_BAND: f64 = 0.02;
+
+/// Maximum relative share drift before the gate fails (for components
+/// whose baseline share is non-negligible).
+const REL_BAND: f64 = 0.05;
+
+/// Baseline shares below this are compared absolutely only.
+const REL_FLOOR: f64 = 0.01;
+
+/// The same pass-through request shape as `trace_overhead`, replayed
+/// under the gate's own pinned seed.
+fn items() -> Vec<(Duration, TraceRecord)> {
+    (0..REQUESTS)
+        .map(|i| {
+            (
+                Duration::from_millis(5 * i),
+                TraceRecord {
+                    at: Duration::from_millis(5 * i),
+                    user: (i % 16) as u32,
+                    url: format!("bin://object/{}", i % 64),
+                    mime: MimeType::Other,
+                    size: 16 * 1024,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Runs the pinned profile fully traced and returns the component
+/// share map, normalized to sum to 1.
+fn measured_shares() -> Vec<(&'static str, f64)> {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(SEED)
+        .with_worker_nodes(4)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .with_tracing(true)
+        .build();
+    let report = cluster.attach_client(items(), Duration::from_secs(2));
+    cluster.sim.run_until(SimTime::from_secs(30));
+    assert_eq!(
+        report.borrow().responses,
+        REQUESTS,
+        "the pinned replay must answer every request"
+    );
+    let mut slo = SloAggregator::new(1);
+    slo.ingest(&cluster.trace().expect("tracing enabled"));
+    assert_eq!(
+        slo.sampled_requests(),
+        REQUESTS,
+        "rate-1 closure: one request span per answered request"
+    );
+
+    let mut sums = slo.breakdown_sums();
+    if let Ok(spec) = std::env::var("SNS_TRACE_DIFF_INJECT") {
+        let (name, factor) = spec
+            .split_once(':')
+            .expect("SNS_TRACE_DIFF_INJECT takes <component>:<factor>");
+        let factor: f64 = factor.parse().expect("injection factor must be a number");
+        // "dispatch" is the operator-facing name for the non-queue,
+        // non-service remainder of a dispatch round trip.
+        let name = if name == "dispatch" { "net" } else { name };
+        let entry = sums
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("unknown breakdown component '{name}'"));
+        entry.1 *= factor;
+        println!("injected synthetic slowdown: {name} x {factor}");
+    }
+    let total: f64 = sums.iter().map(|(_, ns)| ns).sum();
+    assert!(total > 0.0, "the traced replay recorded no breakdown time");
+    sums.into_iter().map(|(n, ns)| (n, ns / total)).collect()
+}
+
+fn render_baseline(shares: &[(&'static str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"profile\": \"transend_request_path\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"requests\": {REQUESTS},\n"));
+    out.push_str("  \"shares\": {\n");
+    for (i, (name, share)) in shares.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {share:.6}{}\n",
+            if i + 1 < shares.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Minimal fixed-schema reader: every breakdown component name appears
+/// exactly once in the baseline, as `"<name>": <float>`.
+fn baseline_share(baseline: &str, name: &str) -> f64 {
+    let key = format!("\"{name}\":");
+    let at = baseline
+        .find(&key)
+        .unwrap_or_else(|| panic!("baseline is missing component '{name}'"));
+    let rest = &baseline[at + key.len()..];
+    let end = rest
+        .find([',', '\n', '}'])
+        .unwrap_or_else(|| panic!("malformed baseline after '{name}'"));
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("malformed share for '{name}': {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write-baseline");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "TRACE_BASELINE.json".to_string());
+
+    let shares = measured_shares();
+    if write {
+        std::fs::write(&path, render_baseline(&shares)).expect("write baseline");
+        println!("wrote baseline shares to {path}");
+        for (name, share) in &shares {
+            println!("  {name:<10} {share:>8.4}");
+        }
+        return;
+    }
+
+    let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read baseline {path}: {e} (generate with --write-baseline)")
+    });
+    let mut failed = false;
+    println!("-- request-path breakdown shares vs {path}");
+    for (name, share) in &shares {
+        let expect = baseline_share(&baseline, name);
+        let abs = (share - expect).abs();
+        let rel = if expect > REL_FLOOR {
+            abs / expect
+        } else {
+            0.0
+        };
+        let ok = abs <= ABS_BAND && rel <= REL_BAND;
+        failed |= !ok;
+        println!(
+            "  {name:<10} now {share:>8.4}  baseline {expect:>8.4}  drift {abs:>7.4} abs / {:>5.1}% rel  {}",
+            rel * 100.0,
+            if ok { "ok" } else { "DRIFTED" }
+        );
+    }
+    if failed {
+        eprintln!(
+            "trace_diff: request-path latency composition drifted beyond the band \
+             (> {ABS_BAND} abs or > {:.0}% rel); if intentional, refresh with --write-baseline",
+            REL_BAND * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("trace_diff: composition matches the baseline");
+}

@@ -5,18 +5,24 @@
 //! is disabled each site costs one `Option` branch. This bench proves
 //! that cost is inside the noise floor: the same TranSend request-path
 //! profile (pass-through requests through admission → lottery dispatch
-//! → queue → service → reply) is measured three times in one process —
+//! → queue → service → reply) is measured four times in one process —
 //!
 //! * `request_path/base` — tracing disabled, first measurement;
 //! * `request_path/off`  — tracing disabled again (the A/A control:
 //!   any base↔off gap is pure measurement noise);
-//! * `request_path/on`   — tracing enabled, every span recorded.
+//! * `request_path/on`   — tracing enabled, every span recorded;
+//! * `request_path/sampled` — tracing enabled, head-sampled 1-in-64:
+//!   the always-on production configuration, where almost every
+//!   request takes the enabled-but-sampled-out path.
 //!
 //! The bin asserts the disabled path's A/A regression stays ≤ 2%
-//! (fastest-batch means), and that all three configurations dispatch
-//! bit-identical simulations — recording spans must observe the run,
-//! never perturb it. Rows are *appended* to `BENCH_sim.json` alongside
-//! the `sim_throughput` scheduler rows.
+//! (fastest-batch means), that the enabled-but-sampled-out path also
+//! stays ≤ 2% over the disabled baseline, and that all four
+//! configurations dispatch bit-identical simulations — recording (or
+//! deciding not to record) spans must observe the run, never perturb
+//! it. Rows are *appended* to `BENCH_sim.json` alongside the
+//! `sim_throughput` scheduler rows, together with the span-derived
+//! `slo/*` summary rows aggregated from the fully traced run.
 //!
 //! ```sh
 //! cargo run -p sns-bench --release --bin trace_overhead [-- OUTPUT.json]
@@ -24,6 +30,8 @@
 
 use std::time::Duration;
 
+use sns_core::slo::SloAggregator;
+use sns_core::trace::TraceLog;
 use sns_sim::time::SimTime;
 use sns_testkit::{BenchConfig, BenchSuite};
 use sns_transend::client::ClientReportHandle;
@@ -52,7 +60,7 @@ fn items() -> Vec<(Duration, TraceRecord)> {
         .collect()
 }
 
-fn build(traced: bool) -> (TranSendCluster, ClientReportHandle) {
+fn build(traced: bool, sample_rate: u32) -> (TranSendCluster, ClientReportHandle) {
     let mut cluster = TranSendBuilder::new()
         .with_seed(0x0b5e)
         .with_worker_nodes(4)
@@ -61,18 +69,23 @@ fn build(traced: bool) -> (TranSendCluster, ClientReportHandle) {
         .with_min_distillers(1)
         .with_origin_penalty_scale(0.1)
         .with_tracing(traced)
+        .with_trace_sampling(sample_rate)
         .build();
     let report = cluster.attach_client(items(), Duration::from_secs(2));
     (cluster, report)
 }
 
 /// Rebuilds `path` as one JSON row array: every pre-existing row except
-/// stale `request_path/*` ones, then the given freshly rendered rows.
+/// stale `request_path/*` and `slo/*` ones, then the given freshly
+/// rendered rows.
 fn append_rows(path: &str, new_rows_json: &str) {
     let row_lines = |s: &str, drop_ours: bool| -> Vec<String> {
         s.lines()
             .filter(|l| l.contains("\"bench\":"))
-            .filter(|l| !(drop_ours && l.contains("\"bench\":\"request_path/")))
+            .filter(|l| {
+                !(drop_ours
+                    && (l.contains("\"bench\":\"request_path/") || l.contains("\"bench\":\"slo/")))
+            })
             .map(|l| l.trim_end().trim_end_matches(',').to_string())
             .collect()
     };
@@ -98,13 +111,22 @@ fn main() {
         },
     );
 
+    /// Head-sampling rate of the always-on configuration.
+    const SAMPLE_RATE: u32 = 64;
     let mut fingerprints: Vec<(u64, u64, u64)> = Vec::new();
-    let mut spans_recorded = 0usize;
-    for (tag, traced) in [("base", false), ("off", false), ("on", true)] {
+    let mut full_trace: Option<TraceLog> = None;
+    let mut sampled_spans = 0usize;
+    let configs = [
+        ("base", false, 1),
+        ("off", false, 1),
+        ("on", true, 1),
+        ("sampled", true, SAMPLE_RATE),
+    ];
+    for (tag, traced, rate) in configs {
         let mut last = None;
         suite.bench_batched(
             &format!("request_path/{tag}"),
-            || build(traced),
+            || build(traced, rate),
             |(mut cluster, report)| {
                 cluster.sim.run_until(SimTime::from_secs(30));
                 let r = report.borrow();
@@ -114,22 +136,32 @@ fn main() {
                     r.responses,
                     r.bytes_received,
                 ));
-                if traced {
-                    spans_recorded = cluster.trace().expect("tracing enabled").len();
+                if traced && rate == 1 {
+                    full_trace = Some(cluster.trace().expect("tracing enabled"));
+                } else if traced {
+                    sampled_spans = cluster.trace().expect("tracing enabled").len();
                 }
             },
         );
         fingerprints.push(last.expect("at least one measured run"));
     }
-    // Tracing must observe the run, not perturb it: all three
-    // configurations executed the bit-identical simulation.
+    // Tracing — on, off, or sampled — must observe the run, not
+    // perturb it: all four configurations executed the bit-identical
+    // simulation (the sampling decision never touches component RNGs).
     assert!(
         fingerprints.iter().all(|f| *f == fingerprints[0]),
         "enabling tracing changed the simulation: {fingerprints:?}"
     );
+    let full_trace = full_trace.expect("the traced run ran");
+    let spans_recorded = full_trace.len();
     assert!(
         spans_recorded > REQUESTS as usize,
         "the traced run should record more than one span per request"
+    );
+    assert!(
+        sampled_spans > 0 && sampled_spans < spans_recorded / 4,
+        "1-in-{SAMPLE_RATE} sampling must keep a small non-empty slice: \
+         {sampled_spans} of {spans_recorded} spans"
     );
 
     let row = |name: &str| {
@@ -142,17 +174,45 @@ fn main() {
     let base = row("request_path/base").min_ns;
     let off = row("request_path/off").min_ns;
     let on = row("request_path/on").min_ns;
+    let sampled = row("request_path/sampled").min_ns;
     println!(
-        "-- disabled-path A/A delta {:+.2}%   enabled cost {:+.2}%   ({spans_recorded} spans/run when on)",
+        "-- disabled-path A/A delta {:+.2}%   enabled cost {:+.2}%   sampled-out cost {:+.2}%   \
+         ({spans_recorded} spans/run on, {sampled_spans} at 1/{SAMPLE_RATE})",
         (off / base - 1.0) * 100.0,
         (on / base - 1.0) * 100.0,
+        (sampled / base - 1.0) * 100.0,
     );
     assert!(
         off <= base * 1.02,
         "disabled tracing path regressed the request profile by more than 2%: \
          base {base:.0} ns vs off {off:.0} ns"
     );
+    assert!(
+        sampled <= base * 1.02,
+        "enabled-but-sampled-out tracing costs more than 2% over disabled: \
+         base {base:.0} ns vs sampled {sampled:.0} ns"
+    );
 
-    append_rows(&out, &suite.to_json());
-    println!("appended {} rows to {out}", suite.rows().len());
+    // Span-derived SLO summary rows from the fully traced run: request
+    // and per-service percentiles plus the depth-1 breakdown, in the
+    // same trajectory format as the bench rows.
+    let mut slo = SloAggregator::new(1);
+    slo.ingest(&full_trace);
+    assert_eq!(
+        slo.sampled_requests(),
+        REQUESTS,
+        "rate-1 SLO closure: every answered request has a request span"
+    );
+
+    // One append: a second call would treat the first call's fresh
+    // rows as stale and drop them.
+    append_rows(
+        &out,
+        &format!("{}\n{}", suite.to_json(), slo.to_json_rows("sim")),
+    );
+    println!(
+        "appended {} bench + {} slo rows to {out}",
+        suite.rows().len(),
+        slo.rows().len()
+    );
 }

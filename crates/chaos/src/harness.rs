@@ -76,6 +76,7 @@ struct Driver {
 impl Component<SnsMsg> for Driver {
     fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
         self.stub.set_tracing(ctx.tracer().is_enabled());
+        self.stub.set_sampling(ctx.tracer().sampling());
         ctx.join(self.beacon);
         ctx.timer(PUMP, 0);
     }
@@ -140,9 +141,14 @@ impl Component<SnsMsg> for Driver {
                 continue;
             }
             let at = ctx.now();
-            let id = self
-                .stub
-                .dispatch(ctx, class.clone(), op, input, None, None);
+            let id = self.stub.dispatch(
+                ctx,
+                class.clone(),
+                op,
+                input,
+                None,
+                sns_core::trace::SpanCtx::root(),
+            );
             self.pending.insert(id, (class, at));
             ctx.timer(self.timeout, K_DISPATCH | id);
         }
@@ -162,6 +168,7 @@ pub struct SimClusterBuilder {
     seed: u64,
     nodes: usize,
     tracing: bool,
+    trace_sample_rate: u32,
     sns: SnsConfig,
     classes: Vec<(WorkerClass, u32, LogicFactory)>,
     tenants: Vec<(WorkerClass, &'static str)>,
@@ -181,6 +188,7 @@ impl SimClusterBuilder {
             seed: 0x517e,
             nodes: 1,
             tracing: false,
+            trace_sample_rate: 1,
             sns: SnsConfig::default(),
             classes: Vec::new(),
             tenants: Vec::new(),
@@ -203,6 +211,14 @@ impl SimClusterBuilder {
     /// Enables span tracing.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Sets the head-sampling rate used when tracing (keep ~1 request
+    /// in `rate`; the decision stream derives from the builder seed, so
+    /// an `RtConfig` with the same seed and rate samples identically).
+    pub fn with_trace_sampling(mut self, rate: u32) -> Self {
+        self.trace_sample_rate = rate;
         self
     }
 
@@ -255,7 +271,10 @@ impl SimClusterBuilder {
             San::new(SanConfig::switched_100mbps()),
         );
         if self.tracing {
-            sim.set_tracer(Tracer::enabled());
+            sim.set_tracer(Tracer::sampled(sns_core::trace::Sampling::per(
+                self.trace_sample_rate,
+                self.seed,
+            )));
         }
         let infra = sim.add_node(NodeSpec::new(2, "infra"));
         for _ in 0..self.nodes {

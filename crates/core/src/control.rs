@@ -38,7 +38,7 @@ use sns_sim::{ComponentId, MetricKey, NodeId};
 
 use crate::monitor::MonitorEvent;
 use crate::msg::{BeaconData, Job, ProfileData, WorkerHint};
-use crate::trace::{self, SpanId, SpanRecord};
+use crate::trace::{self, Sampling, SpanCtx, SpanId, SpanRecord};
 use crate::{intern_class, Payload, SnsConfig, WorkerClass};
 
 /// Per-class scaling policy (pure data; the worker factory lives with
@@ -1298,6 +1298,10 @@ pub struct Outstanding {
     /// Causal parent for the dispatch span (the front end's request
     /// span), when tracing.
     parent: Option<SpanId>,
+    /// Head-sampling decision carried with the job (the front end's
+    /// per-request decision, or the plane's own per-job decision for
+    /// root dispatches). Gates every span this dispatch emits.
+    sampled: bool,
 }
 
 /// Verdict of a dispatch timeout.
@@ -1373,6 +1377,9 @@ pub struct DispatchPlane {
     id_stride: u64,
     delta_correction: bool,
     tracing: bool,
+    /// Head-sampling policy for root dispatches (and the default the
+    /// driver mirrors from its tracer); see [`crate::trace::Sampling`].
+    sampling: Sampling,
 }
 
 impl DispatchPlane {
@@ -1393,6 +1400,7 @@ impl DispatchPlane {
             id_stride: 1,
             delta_correction: true,
             tracing: false,
+            sampling: Sampling::ALL,
         }
     }
 
@@ -1485,6 +1493,20 @@ impl DispatchPlane {
     /// default; the disabled path is a single branch per response.
     pub fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
+    }
+
+    /// Installs the head-sampling policy this plane applies to *root*
+    /// dispatches (jobs submitted without an enclosing request; the
+    /// decision keys on the job id, which both backends assign
+    /// identically). Dispatches that arrive with a
+    /// [`SpanCtx::under`] decision carry it unchanged.
+    pub fn set_sampling(&mut self, sampling: Sampling) {
+        self.sampling = sampling;
+    }
+
+    /// This plane's head-sampling policy.
+    pub fn sampling(&self) -> Sampling {
+        self.sampling
     }
 
     /// The manager, if one has been heard from.
@@ -1604,6 +1626,7 @@ impl DispatchPlane {
             input: o.input.clone(),
             profile: o.profile.clone(),
             reply_to: o.reply_to,
+            sampled: o.sampled,
         });
         out.push(DispatchEffect::SendJob { worker, job });
         out.push(DispatchEffect::Incr {
@@ -1621,13 +1644,25 @@ impl DispatchPlane {
         }
     }
 
+    /// The head-sampling decision for a new job: the caller's
+    /// per-request decision when it made one, else this plane's policy
+    /// keyed on the job id (root dispatches — job ids are assigned
+    /// identically by both backends, so they sample the same set).
+    fn head_decision(&self, job_id: u64, span: &SpanCtx) -> bool {
+        match span.sampled {
+            Some(decided) => decided,
+            None => self.sampling.decide(job_id),
+        }
+    }
+
     /// Dispatches a job to the least-loaded worker of `class` (lottery).
     /// If no worker is known the dispatch stays pending — the caller's
     /// timeout drives a retry once the manager has spawned one — and the
     /// manager is asked via [`crate::msg::SnsMsg::NeedWorker`]. Returns
-    /// the job id. `now` stamps the dispatch span's start; `parent`
-    /// links it under the caller's request span (both ignored unless
-    /// [`DispatchPlane::set_tracing`] is on).
+    /// the job id. `now` stamps the dispatch span's start; `span`
+    /// carries the caller's request-span parent and head-sampling
+    /// decision (both ignored unless [`DispatchPlane::set_tracing`] is
+    /// on).
     #[allow(clippy::too_many_arguments)]
     pub fn dispatch(
         &mut self,
@@ -1638,12 +1673,13 @@ impl DispatchPlane {
         op: impl Into<String>,
         input: Payload,
         profile: Option<ProfileData>,
-        parent: Option<SpanId>,
+        span: SpanCtx,
         out: &mut Vec<DispatchEffect>,
     ) -> u64 {
         let job_id = self.next_job;
         self.next_job += self.id_stride;
         self.tenant_charge(&class);
+        let sampled = self.head_decision(job_id, &span);
         self.outstanding.insert(
             job_id,
             Outstanding {
@@ -1657,7 +1693,8 @@ impl DispatchPlane {
                 profile,
                 reply_to,
                 workers_tried: Vec::new(),
-                parent,
+                parent: span.parent,
+                sampled,
             },
         );
         match self.pick(rng, &class, &[]) {
@@ -1679,12 +1716,13 @@ impl DispatchPlane {
         op: impl Into<String>,
         input: Payload,
         profile: Option<ProfileData>,
-        parent: Option<SpanId>,
+        span: SpanCtx,
         out: &mut Vec<DispatchEffect>,
     ) -> u64 {
         let job_id = self.next_job;
         self.next_job += self.id_stride;
         self.tenant_charge(&class);
+        let sampled = self.head_decision(job_id, &span);
         self.outstanding.insert(
             job_id,
             Outstanding {
@@ -1698,7 +1736,8 @@ impl DispatchPlane {
                 profile,
                 reply_to,
                 workers_tried: Vec::new(),
-                parent,
+                parent: span.parent,
+                sampled,
             },
         );
         self.send_job(job_id, worker, out);
@@ -1735,7 +1774,7 @@ impl DispatchPlane {
         if let Some(w) = o.worker {
             *self.inflight.entry(w).or_insert(0) -= 1;
         }
-        if self.tracing {
+        if self.tracing && o.sampled {
             out.push(DispatchEffect::Span(
                 self.dispatch_span(job_id, &o, now, true),
             ));
@@ -1779,7 +1818,7 @@ impl DispatchPlane {
                 key: "stub.gave_up",
                 n: 1,
             });
-            if self.tracing {
+            if self.tracing && o.sampled {
                 out.push(DispatchEffect::Span(
                     self.dispatch_span(job_id, &o, now, false),
                 ));
@@ -1926,7 +1965,7 @@ mod tests {
             "op",
             Blob::payload(10, "x"),
             None,
-            None,
+            SpanCtx::root(),
             &mut out,
         );
         assert!(matches!(
@@ -1961,7 +2000,7 @@ mod tests {
             "op",
             Blob::payload(10, "x"),
             None,
-            Some(parent),
+            SpanCtx::under(parent, true),
             &mut out,
         );
         out.clear();
@@ -1997,7 +2036,7 @@ mod tests {
             "op",
             Blob::payload(10, "x"),
             None,
-            None,
+            SpanCtx::root(),
             &mut out,
         );
         let first = plane.outstanding[&id].worker.unwrap();
@@ -2317,7 +2356,7 @@ mod tests {
             "op",
             Blob::payload(10, "x"),
             None,
-            None,
+            SpanCtx::root(),
             &mut out,
         );
         assert_eq!(plane.tenant_outstanding("hotbot"), 1);

@@ -87,6 +87,9 @@ pub struct ReqState {
     /// When the framework started processing.
     pub started: SimTime,
     client: ComponentId,
+    /// Head-sampling decision, made once on arrival and gating every
+    /// span of this request (see `crate::trace::Sampling`).
+    sampled: bool,
 }
 
 /// Context available to service-logic callbacks: the clock, the RNG and
@@ -224,11 +227,26 @@ impl FrontEnd {
         self.active
     }
 
+    /// The span context dispatches of `req_id` carry: its request span
+    /// as parent and its stored head-sampling decision.
+    fn span_ctx(&self, ctx: &mut Ctx<'_, SnsMsg>, req_id: u64) -> trace::SpanCtx {
+        let sampled = self
+            .requests
+            .get(&req_id)
+            .map(|req| req.sampled)
+            .unwrap_or(true);
+        trace::SpanCtx::under(trace::request_span_id(ctx.me(), req_id), sampled)
+    }
+
     fn begin(&mut self, ctx: &mut Ctx<'_, SnsMsg>, client: ComponentId, r: Arc<ClientRequest>) {
         let req_id = self.next_req;
         self.next_req += 1;
         self.active += 1;
         let now = ctx.now();
+        // The head-sampling decision: made exactly once, here, where the
+        // request enters the system; everything downstream (overhead,
+        // compute, dispatch, worker queue/service spans) inherits it.
+        let sampled = ctx.tracer().decide(req_id);
         self.requests.insert(
             req_id,
             ReqState {
@@ -237,6 +255,7 @@ impl FrontEnd {
                 degraded: false,
                 started: now,
                 client,
+                sampled,
             },
         );
         // Per-request TCP/kernel overhead occupies the FE's CPU first
@@ -278,8 +297,8 @@ impl FrontEnd {
                     input,
                     profile,
                 } => {
-                    let parent = Some(trace::request_span_id(ctx.me(), req_id));
-                    let job_id = self.stub.dispatch(ctx, class, op, input, profile, parent);
+                    let span = self.span_ctx(ctx, req_id);
+                    let job_id = self.stub.dispatch(ctx, class, op, input, profile, span);
                     self.jobs.insert(job_id, (req_id, tag));
                     ctx.timer(self.cfg.sns.dispatch_timeout, K_DISPATCH | job_id);
                 }
@@ -291,10 +310,10 @@ impl FrontEnd {
                     input,
                     profile,
                 } => {
-                    let parent = Some(trace::request_span_id(ctx.me(), req_id));
+                    let span = self.span_ctx(ctx, req_id);
                     let job_id = self
                         .stub
-                        .dispatch_to(ctx, worker, class, op, input, profile, parent);
+                        .dispatch_to(ctx, worker, class, op, input, profile, span);
                     self.jobs.insert(job_id, (req_id, tag));
                     ctx.timer(self.cfg.sns.dispatch_timeout, K_DISPATCH | job_id);
                 }
@@ -314,7 +333,7 @@ impl FrontEnd {
                         continue;
                     };
                     let now = ctx.now();
-                    if ctx.tracer().is_enabled() {
+                    if req.sampled && ctx.tracer().is_enabled() {
                         let me = ctx.me();
                         let bytes = result.as_ref().map(|p| p.wire_size()).unwrap_or(0);
                         ctx.tracer().record(trace::span(
@@ -401,6 +420,7 @@ impl FrontEnd {
 impl Component<SnsMsg> for FrontEnd {
     fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
         self.stub.set_tracing(ctx.tracer().is_enabled());
+        self.stub.set_sampling(ctx.tracer().sampling());
         ctx.join(self.cfg.beacon_group);
         let me = ctx.me();
         let node = ctx.my_node();
@@ -489,7 +509,7 @@ impl Component<SnsMsg> for FrontEnd {
         match kind {
             K_OVERHEAD => {
                 if ctx.tracer().is_enabled() {
-                    if let Some(req) = self.requests.get(&id) {
+                    if let Some(req) = self.requests.get(&id).filter(|req| req.sampled) {
                         let me = ctx.me();
                         ctx.tracer().record(trace::span(
                             trace::overhead_span_id(me, id),
@@ -511,7 +531,12 @@ impl Component<SnsMsg> for FrontEnd {
             }
             K_COMPUTE => {
                 if let Some((req_id, tag, started)) = self.computes.remove(&id) {
-                    if ctx.tracer().is_enabled() {
+                    let sampled = self
+                        .requests
+                        .get(&req_id)
+                        .map(|req| req.sampled)
+                        .unwrap_or(false);
+                    if sampled && ctx.tracer().is_enabled() {
                         let me = ctx.me();
                         ctx.tracer().record(trace::span(
                             trace::compute_span_id(me, id),

@@ -47,6 +47,7 @@ pub mod manager;
 pub mod monitor;
 pub mod msg;
 pub mod shard;
+pub mod slo;
 pub mod stub;
 pub mod topology;
 pub mod trace;
@@ -68,6 +69,7 @@ pub use manager::{Manager, ManagerConfig, WorkerFactory, WorkerSpec};
 pub use monitor::{Monitor, MonitorEvent};
 pub use msg::{BeaconData, ClientRequest, ClientResponse, Job, JobResult, SnsMsg, WorkerHint};
 pub use shard::{DispatchShard, ShardedDispatch};
+pub use slo::SloAggregator;
 pub use stub::ManagerStub;
 pub use topology::ClusterTopology;
 pub use worker::{WorkerError, WorkerLogic, WorkerStub, WorkerStubConfig};

@@ -35,6 +35,13 @@ pub struct Job {
     pub profile: Option<ProfileData>,
     /// Component to send the [`SnsMsg::WorkResponse`] to.
     pub reply_to: ComponentId,
+    /// Head-sampling decision of the request this job belongs to
+    /// (see [`crate::trace::Sampling`]): workers emit queue/service
+    /// spans only for sampled jobs, so a sampled request keeps its
+    /// whole span tree in both backends. Always `true` when tracing
+    /// runs unsampled; ignored when tracing is off. Costs no wire
+    /// bytes — it is telemetry metadata, not payload.
+    pub sampled: bool,
 }
 
 /// Result of a job.
@@ -255,6 +262,7 @@ mod tests {
             input: Blob::payload(10_000, "gif"),
             profile: None,
             reply_to: ComponentId(7),
+            sampled: true,
         });
         let msg = SnsMsg::WorkRequest(job);
         assert!(msg.wire_size() > 10_000);
@@ -307,6 +315,7 @@ mod tests {
             input: Blob::payload(100, "b"),
             profile: Some(Arc::new(profile)),
             reply_to: ComponentId(1),
+            sampled: true,
         }));
         let without = SnsMsg::WorkRequest(Arc::new(Job {
             id: 1,
@@ -315,6 +324,7 @@ mod tests {
             input: Blob::payload(100, "b"),
             profile: None,
             reply_to: ComponentId(1),
+            sampled: true,
         }));
         assert!(with.wire_size() > without.wire_size());
     }

@@ -37,6 +37,7 @@ use sns_sim::rng::Pcg32;
 
 use crate::control::{DispatchEffect, DispatchPlane};
 use crate::msg::BeaconData;
+use crate::trace::Sampling;
 use crate::SnsConfig;
 
 /// One shard: a [`DispatchPlane`] with its own RNG and driver-specific
@@ -64,12 +65,16 @@ pub struct ShardedDispatch<X> {
 impl<X> ShardedDispatch<X> {
     /// Builds `count` shards (at least 1). Shard RNGs derive from
     /// `seed` with a per-shard offset; `ext` builds each shard's
-    /// driver extension. `tracing` arms span emission on every shard.
+    /// driver extension. `tracing` arms span emission on every shard;
+    /// `sampling` installs the same head-sampling policy on each (the
+    /// decision keys on globally-unique job ids, so the sampled set is
+    /// independent of which shard issued an id).
     pub fn new(
         cfg: &SnsConfig,
         count: usize,
         seed: u64,
         tracing: bool,
+        sampling: Sampling,
         mut ext: impl FnMut(usize) -> X,
     ) -> Self {
         let count = count.max(1);
@@ -78,6 +83,7 @@ impl<X> ShardedDispatch<X> {
                 let mut plane = DispatchPlane::new(cfg.clone());
                 plane.set_job_id_space(i as u64 + 1, count as u64);
                 plane.set_tracing(tracing);
+                plane.set_sampling(sampling);
                 Mutex::new(DispatchShard {
                     plane,
                     rng: Pcg32::new(
@@ -216,14 +222,14 @@ mod tests {
             "op",
             Blob::payload(10, "x"),
             None,
-            None,
+            crate::trace::SpanCtx::root(),
             &mut Vec::new(),
         )
     }
 
     #[test]
     fn strided_ids_are_disjoint_and_route_back() {
-        let sd = ShardedDispatch::new(&SnsConfig::default(), 4, 7, false, |_| ());
+        let sd = ShardedDispatch::new(&SnsConfig::default(), 4, 7, false, Sampling::ALL, |_| ());
         sd.broadcast_beacon(&beacon(&[(5, 0.0)]), |_, _, _| {});
         let mut seen = Vec::new();
         for round in 0..3 {
@@ -242,7 +248,7 @@ mod tests {
 
     #[test]
     fn single_shard_matches_unsharded_id_sequence() {
-        let sd = ShardedDispatch::new(&SnsConfig::default(), 1, 7, false, |_| ());
+        let sd = ShardedDispatch::new(&SnsConfig::default(), 1, 7, false, Sampling::ALL, |_| ());
         sd.broadcast_beacon(&beacon(&[(5, 0.0)]), |_, _, _| {});
         let ids: Vec<u64> = (0..3).map(|_| dispatch_one(&sd, sd.pick())).collect();
         assert_eq!(ids, vec![1, 2, 3], "n = 1 degenerates to the old space");
@@ -250,7 +256,7 @@ mod tests {
 
     #[test]
     fn broadcast_reaches_every_shard_and_flushes_pending() {
-        let sd = ShardedDispatch::new(&SnsConfig::default(), 3, 7, false, |_| ());
+        let sd = ShardedDispatch::new(&SnsConfig::default(), 3, 7, false, Sampling::ALL, |_| ());
         // Dispatch with no hints: stays pending in each shard.
         for i in 0..3 {
             dispatch_one(&sd, i);

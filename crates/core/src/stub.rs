@@ -27,7 +27,7 @@ use sns_sim::ComponentId;
 use crate::control::{DispatchEffect, DispatchPlane};
 pub use crate::control::{Outstanding, TimeoutVerdict};
 use crate::msg::{BeaconData, ProfileData, SnsMsg};
-use crate::trace::SpanId;
+use crate::trace::{Sampling, SpanCtx};
 use crate::{Payload, SnsConfig, WorkerClass};
 
 /// The front-end-resident manager stub.
@@ -69,6 +69,13 @@ impl ManagerStub {
     /// engine tracer's state here on start).
     pub fn set_tracing(&mut self, on: bool) {
         self.plane.set_tracing(on);
+    }
+
+    /// Installs the head-sampling policy used for root dispatches that
+    /// arrive without a caller decision (mirrored from the engine
+    /// tracer on start, like [`ManagerStub::set_tracing`]).
+    pub fn set_sampling(&mut self, sampling: Sampling) {
+        self.plane.set_sampling(sampling);
     }
 
     /// Assigns a worker class to a tenant for admission accounting.
@@ -128,8 +135,8 @@ impl ManagerStub {
     /// If no worker is known the dispatch stays pending — the caller's
     /// timeout drives a retry once the manager has spawned one — and the
     /// manager is asked via [`SnsMsg::NeedWorker`]. Returns the job id.
-    /// `parent` (usually the front end's request span) becomes the
-    /// dispatch span's parent when tracing is on.
+    /// `span` carries the caller's request-span parent and head-sampling
+    /// decision (pass [`SpanCtx::root`] for root dispatches).
     pub fn dispatch(
         &mut self,
         ctx: &mut Ctx<'_, SnsMsg>,
@@ -137,7 +144,7 @@ impl ManagerStub {
         op: impl Into<String>,
         input: Payload,
         profile: Option<ProfileData>,
-        parent: Option<SpanId>,
+        span: SpanCtx,
     ) -> u64 {
         let me = ctx.me();
         let now = ctx.now();
@@ -150,7 +157,7 @@ impl ManagerStub {
             op,
             input,
             profile,
-            parent,
+            span,
             &mut out,
         );
         self.apply(ctx, out);
@@ -168,14 +175,14 @@ impl ManagerStub {
         op: impl Into<String>,
         input: Payload,
         profile: Option<ProfileData>,
-        parent: Option<SpanId>,
+        span: SpanCtx,
     ) -> u64 {
         let me = ctx.me();
         let now = ctx.now();
         let mut out = Vec::new();
         let job_id = self
             .plane
-            .dispatch_to(now, me, worker, class, op, input, profile, parent, &mut out);
+            .dispatch_to(now, me, worker, class, op, input, profile, span, &mut out);
         self.apply(ctx, out);
         job_id
     }

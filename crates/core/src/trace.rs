@@ -14,9 +14,15 @@
 //!   that travels inside the job message — so a worker can parent its
 //!   queue/service spans under the dispatch span *without any extra
 //!   protocol field*, in both backends;
-//! * **exporters**: newline-delimited JSON ([`JsonlSink`]) and the
+//! * **exporters**: newline-delimited JSON ([`JsonlSink`]), the
 //!   Chrome `trace_event` format ([`ChromeSink`]), loadable directly in
-//!   `chrome://tracing` / Perfetto;
+//!   `chrome://tracing` / Perfetto, and the Perfetto *protobuf* format
+//!   ([`PerfettoSink`]) — a hand-rolled, std-only TrackEvent encoder
+//!   that streams packets with bounded memory, for ui.perfetto.dev;
+//! * **head sampling** ([`Sampling`], [`SpanCtx`]): the always-on
+//!   production mode — one keep/skip decision per request made where
+//!   the request enters the system and carried through the `Job`, so
+//!   both backends sample identical request sets for the same seed;
 //! * **the parity rendering** ([`normalized`]): a timestamp-free,
 //!   identity-free rendering of the causal forest, byte-comparable
 //!   between a simulator run (virtual time) and a threaded-runtime run
@@ -50,13 +56,49 @@
 //! assert!(trace::to_chrome(&log).starts_with("{\"traceEvents\":["));
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::io;
 
 use sns_sim::time::SimTime;
 use sns_sim::ComponentId;
 
-pub use sns_sim::trace::{SpanId, SpanRecord, TraceLog, Tracer};
+pub use sns_sim::trace::{Sampling, SpanId, SpanRecord, TraceLog, Tracer};
+
+/// Span context a caller hands to a dispatch: the causal parent (the
+/// front end's request span) plus the request's head-sampling decision.
+/// Both travel together because a dispatch span must never be kept
+/// while its request span is dropped (or vice versa) — sampling keeps
+/// whole trees.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// Causal parent for the dispatch span, when the caller has one.
+    pub parent: Option<SpanId>,
+    /// The head decision already made for this request, or `None` for a
+    /// root dispatch — then the dispatch plane decides from the job id.
+    pub sampled: Option<bool>,
+}
+
+impl SpanCtx {
+    /// A root dispatch with no enclosing request: the plane makes the
+    /// head decision from the job id, so sim and rt (where job ids
+    /// align) sample the same set.
+    pub fn root() -> Self {
+        SpanCtx {
+            parent: None,
+            sampled: None,
+        }
+    }
+
+    /// A dispatch under `parent` whose request already decided
+    /// `sampled` at admission.
+    pub fn under(parent: SpanId, sampled: bool) -> Self {
+        SpanCtx {
+            parent: Some(parent),
+            sampled: Some(sampled),
+        }
+    }
+}
 
 /// Root span covering one client request inside a front end.
 pub const REQUEST: &str = "request";
@@ -339,6 +381,193 @@ impl TraceSink for ChromeSink {
     }
 }
 
+// ---------------------------------------------------------------------
+// Perfetto protobuf (TrackEvent) — hand-rolled, std-only.
+//
+// Wire layout (field numbers from perfetto's trace.proto family):
+//   Trace            { repeated TracePacket packet = 1; }
+//   TracePacket      { uint64 timestamp = 8;
+//                      uint32 trusted_packet_sequence_id = 10;
+//                      TrackEvent track_event = 11;
+//                      TrackDescriptor track_descriptor = 60; }
+//   TrackDescriptor  { uint64 uuid = 1; string name = 2;
+//                      uint64 parent_uuid = 5; }
+//   TrackEvent       { Type type = 9;  // 1=BEGIN 2=END 3=INSTANT
+//                      uint64 track_uuid = 11;
+//                      repeated string categories = 22;
+//                      string name = 23; }
+// ---------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn put_field_varint(out: &mut Vec<u8>, field: u32, v: u64) {
+    put_varint(out, (field as u64) << 3); // wire type 0
+    put_varint(out, v);
+}
+
+fn put_field_bytes(out: &mut Vec<u8>, field: u32, bytes: &[u8]) {
+    put_varint(out, ((field as u64) << 3) | 2);
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// The TrackEvent `type` enum values this exporter emits.
+const SLICE_BEGIN: u64 = 1;
+const SLICE_END: u64 = 2;
+const INSTANT: u64 = 3;
+
+/// Track uuid of the component-level track for `who` (the parent of
+/// root spans and the home of monitor instants). Offset by one so
+/// `ComponentId(0)` never maps to uuid 0 (unset in proto semantics).
+fn component_track_uuid(who: ComponentId) -> u64 {
+    who.0 + 1
+}
+
+/// Track uuid of the per-span track: FNV-1a over the id triple with
+/// the high bit forced, so span tracks can never collide with the
+/// low-numbered component tracks.
+fn span_track_uuid(id: SpanId) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(id.kind.as_bytes());
+    eat(&[0xff]);
+    eat(&id.owner.0.to_le_bytes());
+    eat(&id.n.to_le_bytes());
+    h | (1 << 63)
+}
+
+/// Streaming Perfetto protobuf exporter: feed spans in log order via
+/// [`PerfettoSink::span`], then [`PerfettoSink::finish`]. Memory is
+/// bounded by the number of distinct *components* seen (one `u64` per
+/// component track already described), never by the span count — each
+/// span's track descriptor and begin/end events are written and
+/// forgotten as the span arrives, so a long-running capture can stream
+/// to disk indefinitely. Open the output at <https://ui.perfetto.dev>.
+///
+/// Every span gets its own track, parented (via `parent_uuid`) under
+/// its causal parent's track — or under its component's track for
+/// roots — so the viewer renders the exact causal tree and sibling
+/// spans never collapse into one another.
+pub struct PerfettoSink<W: io::Write> {
+    w: W,
+    /// Component tracks already described (bounded by component count).
+    components: BTreeSet<u64>,
+    err: Option<io::Error>,
+}
+
+impl<W: io::Write> PerfettoSink<W> {
+    /// Creates a sink streaming packets into `w`.
+    pub fn new(w: W) -> Self {
+        PerfettoSink {
+            w,
+            components: BTreeSet::new(),
+            err: None,
+        }
+    }
+
+    fn packet(&mut self, body: &[u8]) {
+        if self.err.is_some() {
+            return;
+        }
+        let mut framed = Vec::with_capacity(body.len() + 4);
+        put_field_bytes(&mut framed, 1, body); // Trace.packet
+        if let Err(e) = self.w.write_all(&framed) {
+            self.err = Some(e);
+        }
+    }
+
+    /// Emits the component track descriptor once per component.
+    fn ensure_component_track(&mut self, who: ComponentId) -> u64 {
+        let uuid = component_track_uuid(who);
+        if self.components.insert(uuid) {
+            let mut desc = Vec::new();
+            put_field_varint(&mut desc, 1, uuid);
+            put_field_bytes(&mut desc, 2, format!("c{}", who.0).as_bytes());
+            let mut body = Vec::new();
+            put_field_varint(&mut body, 10, 1);
+            put_field_bytes(&mut body, 60, &desc);
+            self.packet(&body);
+        }
+        uuid
+    }
+
+    fn event(&mut self, ts: u64, track: u64, kind: u64, s: Option<&SpanRecord>) {
+        let mut ev = Vec::new();
+        put_field_varint(&mut ev, 9, kind);
+        put_field_varint(&mut ev, 11, track);
+        if let Some(s) = s {
+            put_field_bytes(&mut ev, 22, s.cat.as_bytes());
+            put_field_bytes(&mut ev, 23, s.name.as_bytes());
+        }
+        let mut body = Vec::new();
+        put_field_varint(&mut body, 8, ts);
+        put_field_varint(&mut body, 10, 1);
+        put_field_bytes(&mut body, 11, &ev);
+        self.packet(&body);
+    }
+
+    /// Consumes one span, in log order.
+    pub fn span(&mut self, s: &SpanRecord) {
+        let component = self.ensure_component_track(s.who);
+        if s.id.kind == "mon" {
+            // Monitor instants live on the component track directly.
+            self.event(s.start.as_nanos(), component, INSTANT, Some(s));
+            return;
+        }
+        let track = span_track_uuid(s.id);
+        let parent = s.parent.map(span_track_uuid).unwrap_or(component);
+        let mut desc = Vec::new();
+        put_field_varint(&mut desc, 1, track);
+        put_field_bytes(&mut desc, 2, s.id.render().as_bytes());
+        put_field_varint(&mut desc, 5, parent);
+        let mut body = Vec::new();
+        put_field_varint(&mut body, 10, 1);
+        put_field_bytes(&mut body, 60, &desc);
+        self.packet(&body);
+        if s.start == s.end {
+            self.event(s.start.as_nanos(), track, INSTANT, Some(s));
+        } else {
+            self.event(s.start.as_nanos(), track, SLICE_BEGIN, Some(s));
+            self.event(s.end.as_nanos(), track, SLICE_END, None);
+        }
+    }
+
+    /// Flushes and returns the writer (or the first write error).
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Renders `log` as a complete Perfetto protobuf trace in memory.
+/// Byte-deterministic per log; open the result at
+/// <https://ui.perfetto.dev> (see `OBSERVABILITY.md`).
+pub fn to_perfetto(log: &TraceLog) -> Vec<u8> {
+    let mut sink = PerfettoSink::new(Vec::new());
+    for s in log.spans() {
+        sink.span(s);
+    }
+    sink.finish().expect("Vec<u8> writes are infallible")
+}
+
 /// Renders the causal forest without timestamps or component
 /// identities: one line per span — `kind:n name cat class=<c> ok|fail`
 /// — indented under its parent, roots sorted by (`kind`, `n`) and
@@ -495,5 +724,64 @@ mod tests {
         let kids = children_of(&l, request_span_id(ComponentId(5), 1));
         assert_eq!(kids.len(), 1);
         assert_eq!(kids[0].name, DISPATCH);
+    }
+
+    #[test]
+    fn varints_encode_the_protobuf_base128_scheme() {
+        let enc = |v: u64| {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            out
+        };
+        assert_eq!(enc(0), [0x00]);
+        assert_eq!(enc(1), [0x01]);
+        assert_eq!(enc(127), [0x7f]);
+        assert_eq!(enc(128), [0x80, 0x01]);
+        assert_eq!(enc(300), [0xac, 0x02]);
+        assert_eq!(enc(u64::MAX).len(), 10);
+    }
+
+    #[test]
+    fn perfetto_track_uuids_partition_components_and_spans() {
+        assert_eq!(component_track_uuid(ComponentId(0)), 1, "uuid 0 is unset");
+        let a = span_track_uuid(request_span_id(ComponentId(5), 1));
+        let b = span_track_uuid(request_span_id(ComponentId(5), 2));
+        let c = span_track_uuid(job_span_id(ComponentId(5), 1));
+        assert!(a != b && a != c && b != c, "distinct ids, distinct tracks");
+        for u in [a, b, c] {
+            assert!(u & (1 << 63) != 0, "span tracks carry the high bit");
+        }
+    }
+
+    #[test]
+    fn perfetto_export_is_framed_as_trace_packets() {
+        let bytes = to_perfetto(&log());
+        assert!(!bytes.is_empty());
+        // Every top-level field is Trace.packet (tag 0x0A) and the
+        // declared lengths tile the buffer exactly.
+        let mut i = 0;
+        let mut packets = 0;
+        while i < bytes.len() {
+            assert_eq!(bytes[i], 0x0A, "Trace.packet tag at {i}");
+            i += 1;
+            let mut len = 0u64;
+            let mut shift = 0;
+            loop {
+                let b = bytes[i];
+                i += 1;
+                len |= ((b & 0x7f) as u64) << shift;
+                shift += 7;
+                if b & 0x80 == 0 {
+                    break;
+                }
+            }
+            i += len as usize;
+            packets += 1;
+        }
+        assert_eq!(i, bytes.len(), "packet lengths tile the trace");
+        // 3 spans (descriptor + begin + end each) + 1 instant + its
+        // component track + 2 span-owning component tracks.
+        assert!(packets >= 12, "got {packets} packets");
+        assert_eq!(bytes, to_perfetto(&log()), "byte-deterministic");
     }
 }

@@ -161,7 +161,7 @@ impl WorkerStub {
             let token = self.next_token;
             self.next_token += 1;
             let now = ctx.now();
-            if ctx.tracer().is_enabled() {
+            if job.sampled && ctx.tracer().is_enabled() {
                 let me = ctx.me();
                 ctx.tracer().record(trace::span(
                     trace::queue_span_id(me, job.id),
@@ -199,7 +199,7 @@ impl WorkerStub {
         bytes: u64,
         ok: bool,
     ) {
-        if ctx.tracer().is_enabled() {
+        if job.sampled && ctx.tracer().is_enabled() {
             let me = ctx.me();
             let now = ctx.now();
             ctx.tracer().record(trace::span(
@@ -436,6 +436,7 @@ mod tests {
                     input: Blob::payload(1000, *tag),
                     profile: None,
                     reply_to: me,
+                    sampled: true,
                 });
                 ctx.send(self.stub_target, SnsMsg::WorkRequest(job));
             }
@@ -524,6 +525,7 @@ mod tests {
                     input: Blob::payload(1000, "x"),
                     profile: None,
                     reply_to: ComponentId::EXTERNAL,
+                    sampled: true,
                 });
                 sim.inject(stub, SnsMsg::WorkRequest(job));
             }
@@ -561,6 +563,7 @@ mod tests {
                 input: Blob::payload(1000, "x"),
                 profile: None,
                 reply_to: ComponentId::EXTERNAL,
+                sampled: true,
             });
             counting
                 .queue

@@ -47,6 +47,7 @@ pub struct HotBotBuilder {
     auto_restart_partitions: bool,
     scheduler: SchedulerKind,
     tracing: bool,
+    trace_sample_rate: u32,
 }
 
 impl Default for HotBotBuilder {
@@ -65,6 +66,7 @@ impl Default for HotBotBuilder {
             auto_restart_partitions: true,
             scheduler: SchedulerKind::default(),
             tracing: false,
+            trace_sample_rate: 1,
         }
     }
 }
@@ -146,6 +148,14 @@ impl HotBotBuilder {
         self.tracing = on;
         self
     }
+
+    /// Sets the head-sampling rate used when tracing: keep roughly one
+    /// query in `rate` (`<= 1` keeps all), decided from the topology
+    /// seed (see `OBSERVABILITY.md`).
+    pub fn with_trace_sampling(mut self, rate: u32) -> Self {
+        self.trace_sample_rate = rate;
+        self
+    }
 }
 
 /// The built HotBot cluster.
@@ -202,7 +212,9 @@ impl HotBotBuilder {
             San::new(topo.san.clone()),
         );
         if self.tracing {
-            sim.set_tracer(sns_core::trace::Tracer::enabled());
+            sim.set_tracer(sns_core::trace::Tracer::sampled(
+                sns_core::trace::Sampling::per(self.trace_sample_rate, topo.seed),
+            ));
         }
         // One dedicated node per partition; workers are bound to them.
         let partition_nodes: Vec<NodeId> = (0..partitions)

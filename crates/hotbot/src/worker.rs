@@ -139,6 +139,7 @@ mod tests {
             }),
             profile: None,
             reply_to: ComponentId(1),
+            sampled: true,
         };
         let out = w.process(&job, SimTime::ZERO, &mut rng).unwrap();
         let r = sns_core::payload_as::<PartitionResults>(&out).unwrap();
@@ -168,6 +169,7 @@ mod tests {
             }),
             profile: None,
             reply_to: ComponentId(1),
+            sampled: true,
         };
         let avg = |w: &mut SearchWorker, j: &Job, rng: &mut Pcg32| -> Duration {
             (0..200)

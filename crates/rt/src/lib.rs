@@ -96,7 +96,7 @@ use sns_core::invariant::MonitorLog;
 use sns_core::monitor::MonitorEvent;
 use sns_core::msg::{BeaconData, JobResult, ProfileData};
 use sns_core::shard::{DispatchShard, ShardedDispatch};
-use sns_core::trace::{self, TraceLog, Tracer};
+use sns_core::trace::{self, Sampling, SpanCtx, TraceLog, Tracer};
 use sns_core::worker::{WorkerError, WorkerLogic};
 use sns_core::{intern_class, Payload, SnsConfig, WorkerClass};
 use sns_sim::rng::Pcg32;
@@ -164,6 +164,11 @@ pub struct RtConfig {
     /// tests that exercise salvage leave this off; throughput runs
     /// turn it on.
     pub work_stealing: bool,
+    /// Head-sampling rate when tracing: keep roughly one request in
+    /// `trace_sample_rate` (`<= 1` keeps all). The decision stream is
+    /// seeded from [`RtConfig::seed`], so the sampled request set
+    /// matches the simulator's for the same seed and rate.
+    pub trace_sample_rate: u32,
 }
 
 impl Default for RtConfig {
@@ -179,6 +184,7 @@ impl Default for RtConfig {
             tracing: false,
             shards: 0,
             work_stealing: false,
+            trace_sample_rate: 1,
         }
     }
 }
@@ -247,6 +253,20 @@ impl RtConfig {
     pub fn with_work_stealing(mut self, v: bool) -> Self {
         self.work_stealing = v;
         self
+    }
+
+    /// Sets the head-sampling rate used when tracing (keep ~1 in `v`).
+    pub fn with_trace_sampling(mut self, v: u32) -> Self {
+        self.trace_sample_rate = v;
+        self
+    }
+
+    /// The head-sampling policy a cluster built from this config uses:
+    /// the configured rate over a decision stream derived from the
+    /// cluster seed (the same derivation the sim-side builders use, so
+    /// both backends sample the same request set).
+    pub fn sampling(&self) -> Sampling {
+        Sampling::per(self.trace_sample_rate, self.seed)
     }
 
     /// The shard count a cluster built from this config will use: the
@@ -428,6 +448,7 @@ impl RtCluster {
             cfg.resolved_shards(),
             cfg.seed,
             cfg.tracing,
+            cfg.sampling(),
             |_| ShardExt::default(),
         ));
         let cluster = Arc::new(RtCluster {
@@ -465,7 +486,7 @@ impl RtCluster {
             redispatched: Arc::new(AtomicU64::new(0)),
             lock_poisoned: Arc::new(AtomicU64::new(0)),
             tracer: if cfg.tracing {
-                Tracer::enabled()
+                Tracer::sampled(cfg.sampling())
             } else {
                 Tracer::disabled()
             },
@@ -845,7 +866,7 @@ impl RtCluster {
                     op.to_string(),
                     input,
                     profile,
-                    None,
+                    SpanCtx::root(),
                     &mut out,
                 );
                 ext.replies.insert(job_id, reply_tx);
@@ -982,7 +1003,7 @@ impl RtCluster {
                     let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
                     let me = ComponentId(id);
                     let parent = trace::job_span_id(rt_job.job.reply_to, rt_job.job.id);
-                    if tracer.is_enabled() {
+                    if rt_job.job.sampled && tracer.is_enabled() {
                         tracer.record(trace::span(
                             trace::queue_span_id(me, rt_job.job.id),
                             Some(parent),
@@ -1001,7 +1022,7 @@ impl RtCluster {
                     std::thread::sleep(service.mul_f64(factor));
                     let done = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
                     let service_span = |bytes: u64, ok: bool| {
-                        if tracer.is_enabled() {
+                        if rt_job.job.sampled && tracer.is_enabled() {
                             tracer.record(trace::span(
                                 trace::service_span_id(me, rt_job.job.id),
                                 Some(parent),

@@ -137,6 +137,50 @@ impl TraceLog {
     }
 }
 
+/// Head-sampling policy: one keep/skip decision per request (or root
+/// job), made once where the request enters the system and carried with
+/// it, so every span of a sampled request is kept and every span of a
+/// skipped one is dropped — never a half-traced tree.
+///
+/// The decision is a pure function of `(seed, n)` — a splitmix-style
+/// scramble of the request number feeding a fresh [`Pcg32`](crate::rng::Pcg32)
+/// stream — so it is independent of event interleaving (sim and rt
+/// agree for the same seed) and never draws from any component's RNG
+/// (sampled and unsampled runs stay bit-identical in behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sampling {
+    /// Keep roughly one request in `rate` (`rate <= 1` keeps all).
+    pub rate: u32,
+    /// Seed of the decision stream (independent of engine seeds).
+    pub seed: u64,
+}
+
+/// Keep every request (`rate` 1): the exact-tracing default.
+impl Default for Sampling {
+    fn default() -> Self {
+        Sampling::ALL
+    }
+}
+
+impl Sampling {
+    /// Keep every request.
+    pub const ALL: Sampling = Sampling { rate: 1, seed: 0 };
+
+    /// Keep roughly one request in `rate`, decided by `seed`.
+    pub fn per(rate: u32, seed: u64) -> Self {
+        Sampling { rate, seed }
+    }
+
+    /// The head decision for request (or root job) number `n`.
+    pub fn decide(&self, n: u64) -> bool {
+        if self.rate <= 1 {
+            return true;
+        }
+        let key = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        crate::rng::Pcg32::new(key).below(self.rate as u64) == 0
+    }
+}
+
 /// A cheaply clonable recording handle. `Tracer::default()` is
 /// disabled: emission sites cost a single `Option` branch and no
 /// allocation, which keeps the disabled path inside the &lt;2% budget
@@ -144,18 +188,31 @@ impl TraceLog {
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
     inner: Option<Arc<Mutex<TraceLog>>>,
+    sampling: Sampling,
 }
 
 impl Tracer {
     /// A tracer that records nothing.
     pub fn disabled() -> Self {
-        Tracer { inner: None }
+        Tracer {
+            inner: None,
+            sampling: Sampling::ALL,
+        }
     }
 
-    /// A tracer recording into a fresh shared log.
+    /// A tracer recording into a fresh shared log (every request kept).
     pub fn enabled() -> Self {
         Tracer {
             inner: Some(Arc::new(Mutex::new(TraceLog::new()))),
+            sampling: Sampling::ALL,
+        }
+    }
+
+    /// A recording tracer that head-samples requests per `sampling`.
+    pub fn sampled(sampling: Sampling) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TraceLog::new()))),
+            sampling,
         }
     }
 
@@ -163,6 +220,19 @@ impl Tracer {
     /// work to *construct* a span should branch on this first.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// This tracer's head-sampling policy ([`Sampling::ALL`] unless
+    /// built via [`Tracer::sampled`]).
+    pub fn sampling(&self) -> Sampling {
+        self.sampling
+    }
+
+    /// The head decision for request number `n`: enabled *and* sampled
+    /// in. Decision sites store this once per request and gate every
+    /// span of the request on the stored bit.
+    pub fn decide(&self, n: u64) -> bool {
+        self.inner.is_some() && self.sampling.decide(n)
     }
 
     /// Records a completed span (no-op when disabled).
@@ -236,6 +306,40 @@ mod tests {
             log.spans()[0].duration(),
             std::time::Duration::from_millis(4)
         );
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_seed_and_n() {
+        let s = Sampling::per(4, 0xfeed);
+        let first: Vec<bool> = (0..256).map(|n| s.decide(n)).collect();
+        let again: Vec<bool> = (0..256).map(|n| s.decide(n)).collect();
+        assert_eq!(first, again, "order/time independent");
+        let kept = first.iter().filter(|&&k| k).count();
+        assert!(
+            (32..=96).contains(&kept),
+            "rate 4 keeps roughly a quarter, kept {kept}/256"
+        );
+        let other = Sampling::per(4, 0xbeef);
+        assert_ne!(
+            first,
+            (0..256).map(|n| other.decide(n)).collect::<Vec<_>>(),
+            "different seeds pick different requests"
+        );
+        assert!(Sampling::ALL.decide(7), "rate 1 keeps everything");
+        assert!(Sampling::per(0, 1).decide(7), "rate 0 treated as keep-all");
+    }
+
+    #[test]
+    fn tracer_decide_combines_enablement_and_sampling() {
+        let off = Tracer::disabled();
+        assert!(!off.decide(1), "disabled never samples");
+        let all = Tracer::enabled();
+        assert!(all.decide(1) && all.decide(2));
+        assert_eq!(all.sampling(), Sampling::ALL);
+        let sampled = Tracer::sampled(Sampling::per(4, 9));
+        let kept = (0..64).filter(|&n| sampled.decide(n)).count();
+        assert!(kept < 64, "rate 4 skips some requests");
+        assert!(kept > 0, "…but not all");
     }
 
     #[test]

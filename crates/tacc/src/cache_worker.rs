@@ -192,6 +192,7 @@ mod tests {
             input,
             profile: None,
             reply_to: ComponentId(1),
+            sampled: true,
         }
     }
 

@@ -161,6 +161,7 @@ mod tests {
             input: Arc::new(req),
             profile: None,
             reply_to: ComponentId(1),
+            sampled: true,
         }
     }
 

@@ -298,6 +298,7 @@ mod tests {
             input: obj.into_payload(),
             profile,
             reply_to: ComponentId(1),
+            sampled: true,
         }
     }
 

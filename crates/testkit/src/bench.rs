@@ -22,6 +22,12 @@ pub struct BenchConfig {
     pub measure: Duration,
     /// Target wall-clock per timed batch (controls batch size).
     pub batch_target: Duration,
+    /// Minimum timed batches per benchmark, regardless of the
+    /// wall-clock budget. A routine slower than `measure` would
+    /// otherwise report a single sample — a point estimate masquerading
+    /// as a distribution — making any p50/p99 regression band
+    /// meaningless. Macro benches set this ≥ 5.
+    pub min_samples: u64,
 }
 
 impl Default for BenchConfig {
@@ -30,6 +36,7 @@ impl Default for BenchConfig {
             warmup: Duration::from_millis(150),
             measure: Duration::from_millis(500),
             batch_target: Duration::from_micros(50),
+            min_samples: 1,
         }
     }
 }
@@ -100,7 +107,7 @@ impl BenchSuite {
         let mut summary = Summary::with_capacity(16_384);
         let mut iters = 0u64;
         let measure_until = Instant::now() + self.cfg.measure;
-        while Instant::now() < measure_until {
+        while Instant::now() < measure_until || summary.count() < self.cfg.min_samples {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());
@@ -138,7 +145,7 @@ impl BenchSuite {
             black_box(routine(input));
             summary.record(t.elapsed().as_nanos() as f64);
             iters += 1;
-            if Instant::now() >= measure_until {
+            if Instant::now() >= measure_until && summary.count() >= self.cfg.min_samples {
                 break;
             }
         }
@@ -224,6 +231,7 @@ mod tests {
             warmup: Duration::from_millis(5),
             measure: Duration::from_millis(20),
             batch_target: Duration::from_micros(20),
+            min_samples: 1,
         }
     }
 
@@ -248,6 +256,30 @@ mod tests {
         assert!(json.contains("\"bench\":\"sum_1k\""));
         assert!(json.contains("\"group\":\"selftest\""));
         assert_eq!(json.matches("mean_ns").count(), 2);
+    }
+
+    #[test]
+    fn min_samples_floors_the_batch_count_for_slow_routines() {
+        // A routine slower than the whole measurement budget: without
+        // the floor both loops would stop after one timed batch.
+        let mut suite = BenchSuite::with_config(
+            "selftest",
+            BenchConfig {
+                warmup: Duration::from_millis(1),
+                measure: Duration::from_millis(1),
+                batch_target: Duration::from_micros(1),
+                min_samples: 5,
+            },
+        );
+        suite.bench("slow", || std::thread::sleep(Duration::from_millis(2)));
+        suite.bench_batched(
+            "slow_batched",
+            || (),
+            |()| std::thread::sleep(Duration::from_millis(2)),
+        );
+        for r in suite.rows() {
+            assert!(r.samples >= 5, "{} got {} samples", r.bench, r.samples);
+        }
     }
 
     #[test]

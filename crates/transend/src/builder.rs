@@ -62,6 +62,7 @@ pub struct TranSendBuilder {
     delta_correction: bool,
     scheduler: SchedulerKind,
     tracing: bool,
+    trace_sample_rate: u32,
 }
 
 impl Default for TranSendBuilder {
@@ -89,6 +90,7 @@ impl Default for TranSendBuilder {
             delta_correction: true,
             scheduler: SchedulerKind::default(),
             tracing: false,
+            trace_sample_rate: 1,
         }
     }
 }
@@ -235,6 +237,16 @@ impl TranSendBuilder {
     /// `OBSERVABILITY.md`.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Sets the head-sampling rate used when tracing: keep roughly one
+    /// request in `rate` (`<= 1` keeps all). The decision stream is
+    /// seeded from the topology seed, so the sampled set is a pure
+    /// function of `(seed, rate)` — identical across schedulers and
+    /// backends (see `OBSERVABILITY.md`).
+    pub fn with_trace_sampling(mut self, rate: u32) -> Self {
+        self.trace_sample_rate = rate;
         self
     }
 }
@@ -403,7 +415,9 @@ impl TranSendBuilder {
             san,
         );
         if self.tracing {
-            sim.set_tracer(sns_core::trace::Tracer::enabled());
+            sim.set_tracer(sns_core::trace::Tracer::sampled(
+                sns_core::trace::Sampling::per(self.trace_sample_rate, topo.seed),
+            ));
         }
 
         // Nodes. Worker pool is "dedicated"/"overflow" (the manager's

@@ -22,6 +22,7 @@ use cluster_sns::core::cluster::{Cluster, SettleStats};
 use cluster_sns::core::invariant::MonitorLog;
 use cluster_sns::core::msg::{Job, JobResult};
 use cluster_sns::core::worker::{WorkerError, WorkerLogic};
+use cluster_sns::core::SloAggregator;
 use cluster_sns::core::{Blob, MonitorTap, OverloadPolicy, Payload, TenantPolicy, WorkerClass};
 use cluster_sns::rt::{RtCluster, RtConfig};
 use cluster_sns::sim::rng::Pcg32;
@@ -433,6 +434,90 @@ fn flash_crowd_on_one_tenant_cannot_starve_the_other() {
         "victim p99 {:?} vs aggressor p99 {:?}",
         p99(&victim),
         p99(&aggressor)
+    );
+}
+
+#[test]
+fn sampled_slo_rows_stay_closed_under_the_flash_crowd() {
+    // The flash-crowd plan again, but with always-on sampled tracing:
+    // the span-derived per-tenant SLO rows must stay *closed* — the
+    // sampled request count, scaled back up by the sampling rate, has
+    // to account for the admitted (non-shed) requests of each tenant
+    // within a band. A leak here means overload shedding or chaos is
+    // dropping sampled spans, and the operator's percentiles silently
+    // stop describing the traffic they claim to.
+    const RATE: u32 = 2;
+    let c = SimClusterBuilder::new()
+        .with_nodes(2)
+        .with_workers("tsreq", 2, || {
+            Box::new(SlowEcho("tsreq", Duration::from_millis(40)))
+        })
+        .with_workers("hbchat", 2, || {
+            Box::new(SlowEcho("hbchat", Duration::from_millis(20)))
+        })
+        .with_tenant("tsreq", "transend")
+        .with_tenant("hbchat", "hotbot")
+        .with_tenant_policy(
+            "transend",
+            TenantPolicy {
+                max_outstanding: 4,
+                overload: OverloadPolicy::Drop,
+            },
+        )
+        .with_tracing(true)
+        .with_trace_sampling(RATE)
+        .start();
+
+    for i in 0..300 {
+        c.submit("tsreq", "req", Blob::payload(256 + i, "crowd"));
+        if i % 15 == 0 {
+            c.submit("hbchat", "chat", Blob::payload(128, "msg"));
+        }
+    }
+    c.settle(Duration::from_secs(60));
+    let dropped = c.counter(MetricKey::new("stub.tenant_dropped"));
+    let admitted: BTreeMap<&str, u64> =
+        BTreeMap::from([("transend", 300 - dropped), ("hotbot", 20)]);
+
+    let mut slo = SloAggregator::new(RATE);
+    slo.set_tenant("tsreq", "transend");
+    slo.set_tenant("hbchat", "hotbot");
+    slo.ingest(&c.trace_snapshot().expect("tracing enabled"));
+
+    let rows = slo.rows();
+    let total_admitted: u64 = admitted.values().sum();
+    let est = slo.sampled_requests() * u64::from(RATE);
+    assert!(
+        (total_admitted / 2..=total_admitted * 2).contains(&est),
+        "request closure: {} sampled x {RATE} = {est} vs {total_admitted} admitted",
+        slo.sampled_requests()
+    );
+    for (tenant, &served) in &admitted {
+        let row = rows
+            .iter()
+            .find(|r| r.bench == format!("slo/tenant/{tenant}"))
+            .unwrap_or_else(|| panic!("tenant {tenant} has a percentile row"));
+        assert!(
+            (served / 2..=served * 2).contains(&row.iters),
+            "{tenant} closure: {} sampled x {RATE} = {} vs {served} admitted",
+            row.samples,
+            row.iters
+        );
+        assert!(
+            row.p50_ns <= row.p99_ns && row.p99_ns <= row.max_ns,
+            "{tenant} percentiles are ordered"
+        );
+    }
+    // The shed excess must NOT appear in the SLO stream: admission
+    // drops happen before a job span is ever opened.
+    assert!(dropped >= 200, "the plan still sheds the flash crowd");
+    let ts_row = rows
+        .iter()
+        .find(|r| r.bench == "slo/tenant/transend")
+        .expect("row");
+    assert!(
+        ts_row.iters < 300,
+        "shed requests leaked into the aggressor's SLO rows"
     );
 }
 

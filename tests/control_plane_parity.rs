@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 use cluster_sns::core::invariant::MonitorLog;
 use cluster_sns::core::manager::{Manager, ManagerConfig, WorkerSpec};
 use cluster_sns::core::msg::{Job, SnsMsg};
-use cluster_sns::core::trace::{normalized, Tracer};
+use cluster_sns::core::trace::{normalized, Sampling, SpanCtx, Tracer};
 use cluster_sns::core::worker::{WorkerError, WorkerLogic, WorkerStub, WorkerStubConfig};
 use cluster_sns::core::{Blob, ManagerStub, MonitorTap, Payload, SnsConfig, WorkerClass};
 use cluster_sns::rt::{RtCluster, RtConfig};
@@ -112,7 +112,7 @@ impl Submitter {
             "echo",
             Blob::payload(256, "probe"),
             None,
-            None,
+            SpanCtx::root(),
         );
     }
 }
@@ -120,6 +120,7 @@ impl Submitter {
 impl Component<SnsMsg> for Submitter {
     fn on_start(&mut self, ctx: &mut Ctx<'_, SnsMsg>) {
         self.stub.set_tracing(ctx.tracer().is_enabled());
+        self.stub.set_sampling(ctx.tracer().sampling());
         ctx.join(self.beacon);
         // First dispatch once beacons have populated the hint cache.
         ctx.timer(Duration::from_secs(2), 1);
@@ -152,11 +153,16 @@ impl Component<SnsMsg> for Submitter {
 /// kill a worker at 6 s and again at 12 s, stop at 18 s. Returns the
 /// tapped monitor log and the normalized trace rendering.
 fn sim_run() -> (MonitorLog, String) {
+    sim_run_sampled(Sampling::ALL)
+}
+
+/// Same script with an explicit head-sampling policy on the tracer.
+fn sim_run_sampled(sampling: Sampling) -> (MonitorLog, String) {
     let mut sim: Sim<SnsMsg, San> = Sim::new(
         SimConfig::default(),
         San::new(SanConfig::switched_100mbps()),
     );
-    sim.set_tracer(Tracer::enabled());
+    sim.set_tracer(Tracer::sampled(sampling));
     let infra = sim.add_node(NodeSpec::new(2, "infra"));
     // One dedicated node, like the rt cluster's single default vnode,
     // so placement decisions line up 1:1.
@@ -224,12 +230,19 @@ fn sim_run() -> (MonitorLog, String) {
 /// Threaded-runtime run of the same script: 3 echo workers, 4 echo
 /// jobs, crash a worker, wait for recovery, crash another, wait again.
 fn rt_run() -> (MonitorLog, String) {
+    rt_run_sampled(1)
+}
+
+/// Same script with head sampling at `rate` (decision seed = the
+/// cluster seed, matching `sim_run_sampled`'s explicit policy).
+fn rt_run_sampled(rate: u32) -> (MonitorLog, String) {
     let c: Arc<RtCluster> = RtCluster::start(
         RtConfig::new()
             .with_time_scale(0.0) // service instantly; only the script order matters
             .with_report_period(Duration::from_millis(10))
             .with_beacon_period(Duration::from_millis(20))
-            .with_tracing(true),
+            .with_tracing(true)
+            .with_trace_sampling(rate),
     );
     c.add_workers("echo", 3, || Box::new(Echo));
     c.refresh_hints_now();
@@ -286,5 +299,33 @@ fn sim_and_rt_traces_normalise_to_the_same_span_tree() {
     assert_eq!(
         sim_tree, rt_tree,
         "normalized span trees diverged between the sim and rt drivers"
+    );
+}
+
+/// Head sampling keeps the backends in lock-step: the decision is a
+/// pure function of the (shared) seed and the job id, so the *set* of
+/// sampled jobs — and therefore the normalized span forest — is
+/// byte-identical between the sim and rt drivers at any rate.
+#[test]
+fn sim_and_rt_sample_the_same_request_set() {
+    // Match the rt side's derivation: rate over the default cluster seed.
+    let rate = 2;
+    let sampling = Sampling::per(rate, RtConfig::new().seed);
+    let sim_tree = sim_run_sampled(sampling).1;
+    let rt_tree = rt_run_sampled(rate).1;
+    // Jobs get plane ids 1..=JOBS in both backends; predict the kept set.
+    let expected: usize = (1..=JOBS).filter(|&n| sampling.decide(n)).count();
+    assert!(
+        expected < JOBS as usize,
+        "rate {rate} must drop at least one of {JOBS} jobs for this seed"
+    );
+    assert_eq!(
+        sim_tree.lines().filter(|l| l.starts_with("job:")).count(),
+        expected,
+        "sim kept exactly the predicted sampled set:\n{sim_tree}"
+    );
+    assert_eq!(
+        sim_tree, rt_tree,
+        "sampled span forests diverged between the sim and rt drivers"
     );
 }

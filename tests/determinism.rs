@@ -242,6 +242,11 @@ fn rolling_upgrade_monitor_logs_are_byte_identical_across_schedulers() {
 /// engine's event order, so the export must inherit the engine's
 /// scheduler-independence.
 fn transend_trace_jsonl_on(seed: u64, scheduler: SchedulerKind) -> String {
+    transend_trace_jsonl_sampled(seed, scheduler, 1)
+}
+
+/// The same traced run, head-sampled 1-in-`rate` at the front end.
+fn transend_trace_jsonl_sampled(seed: u64, scheduler: SchedulerKind, rate: u32) -> String {
     let mut cluster = TranSendBuilder::new()
         .with_seed(seed)
         .with_scheduler(scheduler)
@@ -251,6 +256,7 @@ fn transend_trace_jsonl_on(seed: u64, scheduler: SchedulerKind) -> String {
         .with_min_distillers(1)
         .with_origin_penalty_scale(0.1)
         .with_tracing(true)
+        .with_trace_sampling(rate)
         .build();
     let mut gen = TraceGenerator::new(WorkloadConfig {
         seed: seed ^ 0x55,
@@ -268,6 +274,34 @@ fn transend_trace_jsonl_on(seed: u64, scheduler: SchedulerKind) -> String {
     let log = cluster.trace().expect("tracing was enabled");
     assert!(!log.is_empty(), "the run must have recorded spans");
     cluster_sns::core::trace::to_jsonl(&log)
+}
+
+/// Head sampling is a pure function of the request number, so a
+/// sampled export must be (a) byte-identical across schedulers, like
+/// the full export, and (b) a strict, non-empty line-subset of the
+/// full export for the same seed — sampling drops whole requests, it
+/// never invents or reorders spans.
+#[test]
+fn sampled_trace_exports_are_deterministic_and_subset_the_full_export() {
+    let full = transend_trace_jsonl_on(0xd7, SchedulerKind::Heap);
+    let heap = transend_trace_jsonl_sampled(0xd7, SchedulerKind::Heap, 4);
+    let wheel = transend_trace_jsonl_sampled(0xd7, SchedulerKind::Wheel, 4);
+    assert_eq!(heap, wheel, "sampled exports must match byte-for-byte");
+    assert!(
+        heap.lines().count() > 0,
+        "1-in-4 sampling should keep some spans"
+    );
+    assert!(
+        heap.lines().count() < full.lines().count(),
+        "1-in-4 sampling should drop some spans"
+    );
+    let full_lines: std::collections::BTreeSet<&str> = full.lines().collect();
+    for line in heap.lines() {
+        assert!(
+            full_lines.contains(line),
+            "sampled span missing from the full export: {line}"
+        );
+    }
 }
 
 /// Same seed, same workload: the JSONL trace export is byte-identical

@@ -29,6 +29,7 @@ fn run_stage(
         input: obj.into_payload(),
         profile: Some(Arc::new(profile.clone())),
         reply_to: ComponentId(1),
+        sampled: true,
     };
     let out = host.process(&job, SimTime::ZERO, rng).expect("stage ok");
     payload_as::<ContentObject>(&out).expect("content").clone()
@@ -103,6 +104,7 @@ fn worker_host_enforces_mime_discipline_across_the_chain() {
         input: once.into_payload(),
         profile: None,
         reply_to: ComponentId(1),
+        sampled: true,
     };
     let err = gif.process(&job, SimTime::ZERO, &mut rng);
     assert!(matches!(

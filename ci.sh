@@ -37,10 +37,11 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy (offline, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
-# The sharded dispatch plane and its core scaffolding get a second,
-# explicit pass so a future narrowing of the workspace lint scope can't
-# silently drop them.
-cargo clippy --offline -p sns-core -p sns-rt --all-targets -- -D warnings
+# The sharded dispatch plane, the exec layer and the crates carrying
+# async-ported bodies get a second, explicit pass so a future narrowing
+# of the workspace lint scope can't silently drop them.
+cargo clippy --offline -p sns-core -p sns-rt -p sns-transend -p sns-tacc -p sns-chaos \
+  --all-targets -- -D warnings
 
 echo "== cargo build --release --offline"
 cargo build --release --offline --workspace
@@ -164,10 +165,19 @@ echo "== chaos stage: fault-injection suites under a pinned seed"
 # number of tests it is supposed to carry.
 chaos_suite sns-chaos prop 5
 chaos_suite cluster-sns failure_recovery 12
-chaos_suite cluster-sns determinism 9
+chaos_suite cluster-sns determinism 12
 chaos_suite cluster-sns paper_shapes 4
 chaos_suite cluster-sns trace_shapes 3
 chaos_suite sns-sim sched_equiv 3
+
+echo "== exec stage: deterministic executor + async request path"
+# The executor-contract property suite (wake-order replay, timeout /
+# race cancellation under engine-ordered timer delivery) and the
+# whole-stack async path: legacy-vs-async client equivalence plus the
+# same pipeline body serving on the sim and rt backends. Roster-guarded
+# like the chaos suites — a filtered-out determinism proof is no proof.
+chaos_suite sns-core exec 4
+chaos_suite cluster-sns async_path 3
 
 echo "== cluster_ops stage: operations chaos under a pinned seed"
 # Rolling upgrades under load (UpgradeNoJobLoss on both backends),

@@ -326,24 +326,17 @@ impl SimClusterBuilder {
         // Warm-up must outlast spawn latency: run until every class's
         // bootstrap population is live and registered (capped), plus
         // one beacon so the driver's hint cache is populated.
-        let cap = cluster.now() + Duration::from_secs(30);
-        while cluster.now() < cap {
-            let ready = cluster.classes.iter().all(|(class, n, _)| {
+        cluster.sleep_until(Duration::from_secs(30), || {
+            cluster.classes.iter().all(|(class, n, _)| {
                 cluster
                     .sim
                     .borrow()
                     .components_of_kind(intern_class(class.name()))
                     .len()
                     >= *n as usize
-            });
-            if ready {
-                break;
-            }
-            let horizon = cluster.now() + PUMP;
-            cluster.sim.borrow_mut().run_until(horizon);
-        }
-        let horizon = cluster.now() + warmup;
-        cluster.sim.borrow_mut().run_until(horizon);
+            })
+        });
+        cluster.sleep(warmup);
         cluster
     }
 }
@@ -382,6 +375,28 @@ impl SimCluster {
     /// is the trait-level way to advance time).
     pub fn run_until(&self, horizon: SimTime) {
         self.sim.borrow_mut().run_until(horizon);
+    }
+
+    /// Virtual sleep: advances the engine by `d` in one shot.
+    fn sleep(&self, d: Duration) {
+        let horizon = self.now() + d;
+        self.sim.borrow_mut().run_until(horizon);
+    }
+
+    /// Sleep-based settle: sleeps in [`PUMP`] slices until `done()`
+    /// reports true or `budget` elapses. The fault verbs' shared
+    /// wait-for-condition primitive — replaces the hand-rolled
+    /// `while now < cap { run_until(now + PUMP) }` tick loops.
+    fn sleep_until(&self, budget: Duration, mut done: impl FnMut() -> bool) {
+        let horizon = self.now() + budget;
+        loop {
+            let now = self.now();
+            if now >= horizon || done() {
+                break;
+            }
+            let step = (horizon - now).min(PUMP);
+            self.sim.borrow_mut().run_until(now + step);
+        }
     }
 
     /// Dispatch-to-reply latencies of every answered `class` job, in
@@ -480,17 +495,11 @@ impl Cluster for SimCluster {
         let base_failed = self.shared.failed.get();
         let pending = (base_answered + base_failed - self.settled.get())
             + self.shared.queue.borrow().len() as u64;
-        let horizon = self.now() + budget;
-        loop {
+        self.sleep_until(budget, || {
             let resolved =
                 self.shared.answered.get() + self.shared.failed.get() - self.settled.get();
-            let now = self.now();
-            if now >= horizon || (pending > 0 && resolved >= pending) {
-                break;
-            }
-            let step = (horizon - now).min(PUMP);
-            self.sim.borrow_mut().run_until(now + step);
-        }
+            pending > 0 && resolved >= pending
+        });
         let answered = self.shared.answered.get() - base_answered;
         let failed = self.shared.failed.get() - base_failed;
         let stats = SettleStats {

@@ -41,6 +41,7 @@
 
 pub mod cluster;
 pub mod control;
+pub mod exec;
 pub mod frontend;
 pub mod invariant;
 pub mod manager;

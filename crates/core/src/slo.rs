@@ -35,7 +35,7 @@ use std::collections::BTreeMap;
 
 use sns_sim::time::SimTime;
 
-use crate::trace::{SpanRecord, TraceLog};
+use crate::trace::{SpanId, SpanRecord, TraceLog};
 
 /// Subbucket resolution: 2^3 = 8 subbuckets per octave, bounding the
 /// relative quantile error at ~1/16 ≈ 6%.
@@ -53,6 +53,9 @@ pub struct Histogram {
     sum: f64,
     min: u64,
     max: u64,
+    /// Last sampled span id to land in each occupied bucket: the
+    /// exemplar link from a percentile back to a concrete trace.
+    exemplars: BTreeMap<usize, SpanId>,
 }
 
 impl Default for Histogram {
@@ -90,6 +93,7 @@ impl Histogram {
             sum: 0.0,
             min: u64::MAX,
             max: 0,
+            exemplars: BTreeMap::new(),
         }
     }
 
@@ -100,6 +104,53 @@ impl Histogram {
         self.sum += ns as f64;
         self.min = self.min.min(ns);
         self.max = self.max.max(ns);
+    }
+
+    /// Records one duration and remembers `id` as the bucket's
+    /// exemplar (last writer wins; storage is bounded by the 512
+    /// buckets). Quantile rows then link back to a concrete trace via
+    /// [`Histogram::exemplar`].
+    pub fn record_exemplar(&mut self, ns: u64, id: SpanId) {
+        self.record(ns);
+        self.exemplars.insert(bucket_of(ns), id);
+    }
+
+    /// The exemplar nearest the `q`-quantile's bucket: the span id of
+    /// a real observation with approximately that latency. `None` when
+    /// nothing was recorded via [`Histogram::record_exemplar`].
+    pub fn exemplar(&self, q: f64) -> Option<SpanId> {
+        if self.total == 0 || self.exemplars.is_empty() {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * (self.total - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        let mut idx = BUCKETS - 1;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen > target {
+                idx = i;
+                break;
+            }
+        }
+        if let Some(id) = self.exemplars.get(&idx) {
+            return Some(*id);
+        }
+        // Nearest occupied bucket with an exemplar, preferring the
+        // slower side (the more interesting tail witness).
+        for d in 1..BUCKETS {
+            if let Some(id) = self.exemplars.get(&(idx + d)) {
+                return Some(*id);
+            }
+            if d <= idx {
+                if let Some(id) = self.exemplars.get(&(idx - d)) {
+                    return Some(*id);
+                }
+            }
+        }
+        None
     }
 
     /// Number of recorded durations.
@@ -180,6 +231,14 @@ pub struct SloRow {
     pub max_ns: f64,
     /// Observed (sampled) count.
     pub samples: u64,
+    /// Trace id (canonical `kind:c<owner>:<n>` form) of a sampled
+    /// observation near the p50 bucket — a concrete trace to pull up
+    /// next to the number.
+    pub p50_exemplar: Option<String>,
+    /// Exemplar near the p95 bucket.
+    pub p95_exemplar: Option<String>,
+    /// Exemplar near the p99 bucket: the row's tail witness.
+    pub p99_exemplar: Option<String>,
 }
 
 /// Partially joined per-job breakdown state (bounded by in-flight
@@ -248,9 +307,9 @@ impl SloAggregator {
     /// the response reaches the submitter).
     pub fn observe(&mut self, s: &SpanRecord) {
         match s.id.kind {
-            "req" => self.request.record(dur_ns(s)),
-            "ovh" => self.overhead.record(dur_ns(s)),
-            "cpu" => self.compute.record(dur_ns(s)),
+            "req" => self.request.record_exemplar(dur_ns(s), s.id),
+            "ovh" => self.overhead.record_exemplar(dur_ns(s), s.id),
+            "cpu" => self.compute.record_exemplar(dur_ns(s), s.id),
             "wq" | "ws" => {
                 if let Some(p) = s.parent {
                     let open = self.open.entry((p.owner.0, p.n)).or_default();
@@ -261,9 +320,9 @@ impl SloAggregator {
                     }
                 }
                 if s.id.kind == "wq" {
-                    self.queue.record(dur_ns(s));
+                    self.queue.record_exemplar(dur_ns(s), s.id);
                 } else {
-                    self.service.record(dur_ns(s));
+                    self.service.record_exemplar(dur_ns(s), s.id);
                 }
             }
             "job" => {
@@ -271,18 +330,18 @@ impl SloAggregator {
                 if s.parent.is_none() {
                     // Plane-root dispatch: the request-level latency for
                     // drivers without a front end.
-                    self.request.record(total);
+                    self.request.record_exemplar(total, s.id);
                 }
                 if !s.class.is_empty() {
                     self.by_class
                         .entry(s.class.to_string())
                         .or_default()
-                        .record(total);
+                        .record_exemplar(total, s.id);
                     if let Some(tenant) = self.tenants.get(s.class) {
                         self.by_tenant
                             .entry(tenant.clone())
                             .or_default()
-                            .record(total);
+                            .record_exemplar(total, s.id);
                     }
                 }
                 let open = self
@@ -290,7 +349,7 @@ impl SloAggregator {
                     .remove(&(s.id.owner.0, s.id.n))
                     .unwrap_or_default();
                 self.net
-                    .record(total.saturating_sub(open.queue_ns + open.service_ns));
+                    .record_exemplar(total.saturating_sub(open.queue_ns + open.service_ns), s.id);
             }
             _ => {}
         }
@@ -340,6 +399,9 @@ impl SloAggregator {
                 min_ns: h.min_ns() as f64,
                 max_ns: h.max_ns() as f64,
                 samples: h.count(),
+                p50_exemplar: h.exemplar(0.50).map(|id| id.render()),
+                p95_exemplar: h.exemplar(0.95).map(|id| id.render()),
+                p99_exemplar: h.exemplar(0.99).map(|id| id.render()),
             });
         };
         push("slo/request".into(), &self.request);
@@ -367,10 +429,20 @@ impl SloAggregator {
         let rows = self.rows();
         let mut out = String::from("[\n");
         for (i, r) in rows.iter().enumerate() {
+            let mut exemplars = String::new();
+            for (field, ex) in [
+                ("p50_exemplar", &r.p50_exemplar),
+                ("p95_exemplar", &r.p95_exemplar),
+                ("p99_exemplar", &r.p99_exemplar),
+            ] {
+                if let Some(id) = ex {
+                    exemplars.push_str(&format!(",\"{field}\":\"{id}\""));
+                }
+            }
             out.push_str(&format!(
                 "  {{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"mean_ns\":{:.1},\
                  \"p50_ns\":{:.1},\"p95_ns\":{:.1},\"p99_ns\":{:.1},\"min_ns\":{:.1},\
-                 \"max_ns\":{:.1},\"samples\":{}}}{}\n",
+                 \"max_ns\":{:.1},\"samples\":{}{}}}{}\n",
                 group,
                 r.bench,
                 r.iters,
@@ -381,6 +453,7 @@ impl SloAggregator {
                 r.min_ns,
                 r.max_ns,
                 r.samples,
+                exemplars,
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }
@@ -496,5 +569,42 @@ mod tests {
         assert!(json.contains("\"bench\":\"slo/request\""));
         assert!(json.contains("\"p95_ns\":"), "superset field present");
         assert!(json.contains("\"samples\":1"));
+        assert!(
+            json.contains("\"p99_exemplar\":\"req:c3:1\""),
+            "the row links to the concrete trace: {json}"
+        );
+    }
+
+    #[test]
+    fn exemplars_link_percentile_buckets_to_trace_ids() {
+        let mut h = Histogram::new();
+        // 97 fast observations and three slow outliers: the p99
+        // exemplar must name a slow span, the p50 one a fast span.
+        for i in 0..97u64 {
+            h.record_exemplar(
+                1_000_000 + i,
+                SpanId {
+                    kind: "req",
+                    owner: ComponentId(7),
+                    n: i,
+                },
+            );
+        }
+        for i in 997..1000u64 {
+            h.record_exemplar(
+                900_000_000,
+                SpanId {
+                    kind: "req",
+                    owner: ComponentId(7),
+                    n: i,
+                },
+            );
+        }
+        assert!(h.exemplar(0.99).expect("tail exemplar").n >= 997);
+        assert!(h.exemplar(0.50).expect("median exemplar").n < 97);
+        // A histogram fed without exemplars yields none.
+        let mut plain = Histogram::new();
+        plain.record(5);
+        assert!(plain.exemplar(0.5).is_none());
     }
 }

@@ -1,0 +1,230 @@
+//! Executor-contract suite: the properties the deterministic executor
+//! must hold for async bodies to replay bit-identically. Failures
+//! shrink to a minimal operation sequence via the testkit's
+//! choice-stream shrinking (`SNS_TESTKIT_SEED` / `SNS_TESTKIT_CASES`).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sns_testkit::{gens, props, tk_assert, tk_assert_eq};
+
+use sns_core::exec::{
+    mailbox, race, sleep, timeout, BoxFut, Either, Executor, MailboxSender, TimerHub, VirtualClock,
+};
+use sns_sim::time::SimTime;
+
+/// Drives a hub like the sim adapter does: pops armed timers in
+/// `(deadline, id)` order — exactly how the engine's scheduler would
+/// deliver them — advancing the clock and running the executor after
+/// each fire.
+struct HarnessClock {
+    clock: Arc<VirtualClock>,
+    hub: Arc<TimerHub>,
+    pending: Vec<(SimTime, u64)>,
+}
+
+impl HarnessClock {
+    fn new() -> Self {
+        let clock = VirtualClock::new();
+        let hub = TimerHub::new(clock.clone());
+        HarnessClock {
+            clock,
+            hub,
+            pending: Vec::new(),
+        }
+    }
+
+    fn drain(&mut self) {
+        for (id, deadline) in self.hub.drain_armed() {
+            self.pending.push((deadline, id));
+        }
+        self.pending.sort();
+    }
+
+    /// Fires the next armed timer (tombstones included, like a stale
+    /// engine timer popping into nothing); false when none remain.
+    fn fire_next(&mut self, ex: &mut Executor) -> bool {
+        self.drain();
+        if self.pending.is_empty() {
+            return false;
+        }
+        let (deadline, id) = self.pending.remove(0);
+        self.clock.set(deadline);
+        self.hub.fire(id);
+        ex.run_ready();
+        true
+    }
+}
+
+props! {
+    /// Poll order is a pure function of wake order: for any interleaving
+    /// of wakes and run_ready flushes, tasks are polled in FIFO wake
+    /// order with duplicate wakes suppressed — the model below *is* the
+    /// spec, and the executor must match it word for word.
+    fn poll_order_replays_wake_order(
+        words in gens::vec(gens::any_u64(), 1..160),
+        n_tasks in gens::u64_in(1..8),
+    ) {
+        let n = n_tasks as usize;
+        let mut ex = Executor::new();
+        let polled: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut txs: Vec<MailboxSender<()>> = Vec::new();
+        for i in 0..n {
+            let (tx, rx) = mailbox::<()>();
+            txs.push(tx);
+            let log = Arc::clone(&polled);
+            ex.spawn(Box::pin(async move {
+                // Each recv that yields marks one poll-after-wake.
+                while rx.recv().await.is_some() {
+                    log.lock().unwrap().push(i as u64);
+                }
+            }) as BoxFut);
+        }
+        ex.run_ready(); // initial polls park every task
+        polled.lock().unwrap().clear();
+
+        // Model: FIFO wake queue with duplicate suppression; a woken
+        // task drains its whole mailbox in one poll, so a flush emits
+        // each queued task once per value it had pending, tasks in wake
+        // order.
+        let mut queue: VecDeque<u64> = VecDeque::new();
+        let mut queued: BTreeSet<u64> = BTreeSet::new();
+        let mut values = vec![0u64; n];
+        let mut expected: Vec<u64> = Vec::new();
+        let flush = |queue: &mut VecDeque<u64>,
+                         queued: &mut BTreeSet<u64>,
+                         values: &mut Vec<u64>,
+                         expected: &mut Vec<u64>| {
+            while let Some(t) = queue.pop_front() {
+                queued.remove(&t);
+                for _ in 0..values[t as usize] {
+                    expected.push(t);
+                }
+                values[t as usize] = 0;
+            }
+        };
+        for &w in &words {
+            if w % 4 == 0 {
+                ex.run_ready();
+                flush(&mut queue, &mut queued, &mut values, &mut expected);
+            } else {
+                let t = (w >> 2) % n_tasks;
+                txs[t as usize].send(());
+                values[t as usize] += 1;
+                // The mailbox wakes only on the transition to a parked
+                // waker; a second send before the poll queues the value
+                // but not another wake.
+                if queued.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        ex.run_ready();
+        flush(&mut queue, &mut queued, &mut values, &mut expected);
+        tk_assert_eq!(*polled.lock().unwrap(), expected);
+    }
+
+    /// Timeout truth table under engine-ordered timer delivery: the body
+    /// (a sleep) beats the deadline iff it expires no later, losers are
+    /// dropped, and the hub ends every round with zero pending timers —
+    /// cancellation leaks nothing, no matter the delays.
+    fn timeout_resolves_by_deadline_and_cancels_cleanly(
+        rounds in gens::vec(gens::any_u64(), 1..40),
+    ) {
+        let mut h = HarnessClock::new();
+        let mut ex = Executor::new();
+        for (i, &w) in rounds.iter().enumerate() {
+            let body_ms = w % 512;
+            let deadline_ms = (w >> 9) % 512;
+            let body = sleep(&h.hub, Duration::from_millis(body_ms));
+            let deadline = sleep(&h.hub, Duration::from_millis(deadline_ms));
+            let out: Arc<Mutex<Option<Option<()>>>> = Arc::new(Mutex::new(None));
+            let sink = Arc::clone(&out);
+            let id = ex.spawn(Box::pin(async move {
+                *sink.lock().unwrap() = Some(timeout(body, deadline).await);
+            }));
+            ex.run_ready();
+            while ex.is_live(id) {
+                tk_assert!(h.fire_next(&mut ex), "task starved at round {i}");
+            }
+            // Ties go to the body: race polls it first.
+            let want = body_ms <= deadline_ms;
+            tk_assert_eq!(out.lock().unwrap().take(), Some(want.then_some(())));
+            tk_assert_eq!(h.hub.pending(), 0);
+        }
+    }
+
+    /// Race truth table: first expiry wins (body-side on ties), the
+    /// loser's sleep is cancelled by the drop — its already-armed engine
+    /// timer pops into a tombstone, never a wake.
+    fn race_picks_the_earlier_side_and_drops_the_loser(
+        rounds in gens::vec(gens::any_u64(), 1..40),
+    ) {
+        let mut h = HarnessClock::new();
+        let mut ex = Executor::new();
+        for (i, &w) in rounds.iter().enumerate() {
+            let a_ms = w % 512;
+            let b_ms = (w >> 9) % 512;
+            let a = sleep(&h.hub, Duration::from_millis(a_ms));
+            let b = sleep(&h.hub, Duration::from_millis(b_ms));
+            let won: Arc<Mutex<Option<bool>>> = Arc::new(Mutex::new(None));
+            let sink = Arc::clone(&won);
+            let id = ex.spawn(Box::pin(async move {
+                let left = matches!(race(a, b).await, Either::Left(()));
+                *sink.lock().unwrap() = Some(left);
+            }));
+            ex.run_ready();
+            while ex.is_live(id) {
+                tk_assert!(h.fire_next(&mut ex), "race starved at round {i}");
+            }
+            tk_assert_eq!(won.lock().unwrap().take(), Some(a_ms <= b_ms));
+            tk_assert_eq!(h.hub.pending(), 0, "loser leaked a timer");
+        }
+    }
+}
+
+/// Integration shape of the hedged distill stage: primary races a
+/// delayed hedge under a give-up deadline, driven purely by
+/// engine-ordered timer pops. The winner flips with the delays; the
+/// executor and hub end empty either way.
+#[test]
+fn hedged_race_under_timeout_resolves_deterministically() {
+    // (primary_ms, hedge_after_ms, give_up_ms) → expect Some(left?)
+    // (None = gave up).
+    let cases = [
+        (50u64, 200u64, 1_000u64, Some(true)), // primary wins
+        (400, 100, 1_000, Some(false)),        // hedge fires and wins
+        (900, 800, 700, None),                 // neither beats give-up
+    ];
+    for (primary_ms, hedge_ms, give_up_ms, want) in cases {
+        let mut h = HarnessClock::new();
+        let mut ex = Executor::new();
+        let hub = Arc::clone(&h.hub);
+        let out: Arc<Mutex<Option<Option<bool>>>> = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&out);
+        let id = ex.spawn(Box::pin(async move {
+            let primary = sleep(&hub, Duration::from_millis(primary_ms));
+            let hedge: BoxFut = Box::pin({
+                let hub = Arc::clone(&hub);
+                async move {
+                    sleep(&hub, Duration::from_millis(hedge_ms)).await;
+                }
+            });
+            let give_up = sleep(&hub, Duration::from_millis(give_up_ms));
+            let r = timeout(race(primary, hedge), give_up).await;
+            *sink.lock().unwrap() = Some(r.map(|e| matches!(e, Either::Left(()))));
+        }));
+        ex.run_ready();
+        while ex.is_live(id) {
+            assert!(h.fire_next(&mut ex), "stage starved");
+        }
+        assert_eq!(
+            out.lock().unwrap().take(),
+            Some(want),
+            "case ({primary_ms},{hedge_ms},{give_up_ms})"
+        );
+        assert_eq!(h.hub.pending(), 0, "cancellation must clean the hub");
+        assert!(ex.is_empty());
+    }
+}

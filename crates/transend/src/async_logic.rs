@@ -1,0 +1,499 @@
+//! TranSend's request path as one `async fn` (`DESIGN.md` §6i).
+//!
+//! [`TranSendAsync`] is the async re-expression of
+//! [`crate::logic::TranSendLogic`]: the same profile → cache → origin →
+//! distill → inject flow, written top-to-bottom in one body instead of
+//! smeared across `on_event` match arms. It runs behind the unchanged
+//! front-end framework via [`sns_core::exec::service::AsyncSvcLogic`]
+//! (select it with [`crate::TranSendBuilder::with_async_logic`]) and
+//! the same body type runs against a live cluster under `sns-rt`'s
+//! wall-clock driver.
+//!
+//! Fidelity: every stat increment, BASE fallback and dispatch the
+//! legacy state machine emits appears here at the same point in the
+//! same order, so an async front end is action-for-action equivalent
+//! to a legacy one (asserted by `tests/async_path.rs`). Only the
+//! dispatch *tags* differ — the adapter allocates await tokens
+//! sequentially where the legacy logic used fixed tag constants — and
+//! tags never leave the front end.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use sns_cache::{CacheKey, VirtualCache};
+use sns_core::exec::service::{AsyncService, EventOutcome, SvcHandle};
+use sns_core::exec::{select_some, BoxFut};
+use sns_core::msg::{ClientRequest, JobResult, ProfileData};
+use sns_core::{payload_as, WorkerClass};
+use sns_sim::ComponentId;
+use sns_tacc::cache_worker::{CacheGet, CacheGetResult, CacheInject, CacheWorker};
+use sns_tacc::content::ContentObject;
+use sns_tacc::origin::{FetchRequest, OriginServer};
+use sns_tacc::pipeline::PipelineSpec;
+use sns_tacc::profile_worker::{ProfileGet, ProfilePut, ProfileReply, ProfileWorker};
+use sns_tacc::worker::TaccArgs;
+use sns_workload::MimeType;
+
+use crate::logic::{AggregateServiceRequest, PrefUpdate, TranSendConfig};
+
+/// State shared across requests (the legacy logic's `&mut self`): the
+/// consistent-hash ring and the write-through profile cache.
+struct TsShared {
+    cfg: TranSendConfig,
+    vcache: VirtualCache<ComponentId>,
+    profile_cache: BTreeMap<String, Option<ProfileData>>,
+    profile_order: VecDeque<String>,
+}
+
+/// The async TranSend service: one body per request.
+pub struct TranSendAsync {
+    shared: Arc<Mutex<TsShared>>,
+}
+
+impl TranSendAsync {
+    /// Creates the service.
+    pub fn new(cfg: TranSendConfig) -> Self {
+        TranSendAsync {
+            shared: Arc::new(Mutex::new(TsShared {
+                cfg,
+                vcache: VirtualCache::new(),
+                profile_cache: BTreeMap::new(),
+                profile_order: VecDeque::new(),
+            })),
+        }
+    }
+}
+
+impl AsyncService for TranSendAsync {
+    fn hint_classes(&self) -> Vec<WorkerClass> {
+        vec![
+            WorkerClass::new(CacheWorker::CLASS),
+            WorkerClass::new(ProfileWorker::CLASS),
+        ]
+    }
+
+    fn handle(&mut self, request: Arc<ClientRequest>, svc: SvcHandle) -> BoxFut {
+        let shared = Arc::clone(&self.shared);
+        Box::pin(run(shared, request, svc))
+    }
+}
+
+fn lock(shared: &Arc<Mutex<TsShared>>) -> std::sync::MutexGuard<'_, TsShared> {
+    shared.lock().expect("transend shared state poisoned")
+}
+
+/// Syncs the ring with the live cache-worker set from the latest beacon
+/// snapshot (§3.1.5) — the same membership a legacy callback reads
+/// mid-event from the stub.
+fn refresh_ring(shared: &Arc<Mutex<TsShared>>, svc: &SvcHandle) {
+    let live = svc.workers_of(&WorkerClass::new(CacheWorker::CLASS));
+    let mut sh = lock(shared);
+    let current: Vec<_> = sh.vcache.partitions().to_vec();
+    for gone in current.iter().filter(|p| !live.contains(p)) {
+        sh.vcache.remove_partition(gone);
+    }
+    for fresh in live.iter().filter(|p| !current.contains(p)) {
+        sh.vcache.add_partition(*fresh);
+    }
+}
+
+fn route(shared: &Arc<Mutex<TsShared>>, key: &CacheKey) -> Option<ComponentId> {
+    lock(shared).vcache.route(key).copied()
+}
+
+fn cache_profile(shared: &Arc<Mutex<TsShared>>, user: &str, profile: Option<ProfileData>) {
+    let mut sh = lock(shared);
+    if !sh.profile_cache.contains_key(user) {
+        sh.profile_order.push_back(user.to_string());
+        if sh.profile_order.len() > sh.cfg.profile_cache_cap {
+            if let Some(victim) = sh.profile_order.pop_front() {
+                sh.profile_cache.remove(&victim);
+            }
+        }
+    }
+    sh.profile_cache.insert(user.to_string(), profile);
+}
+
+fn plan(
+    cfg: &TranSendConfig,
+    fetch: &FetchRequest,
+    profile: Option<&ProfileData>,
+) -> (TaccArgs, PipelineSpec) {
+    let args = TaccArgs::merged(&cfg.defaults, profile);
+    let mut pipeline = match fetch.mime {
+        MimeType::Gif => PipelineSpec::single("gif"),
+        MimeType::Jpeg => PipelineSpec::single("jpeg"),
+        MimeType::Html => PipelineSpec::single("html"),
+        MimeType::Other => PipelineSpec::identity(),
+    };
+    if fetch.mime == MimeType::Html && args.get("keywords").is_some() {
+        pipeline = pipeline.then("keyword");
+    }
+    if fetch.mime == MimeType::Html && args.get("device") == Some("palm") {
+        pipeline = pipeline.then("pda");
+    }
+    if fetch.size < cfg.distill_threshold || args.get_bool("originals", false) {
+        pipeline = PipelineSpec::identity();
+    }
+    (args, pipeline)
+}
+
+fn final_key(fetch: &FetchRequest, pipeline: &PipelineSpec, args: &TaccArgs) -> CacheKey {
+    let v = pipeline.final_variant(args);
+    if pipeline.is_empty() {
+        CacheKey::original(&fetch.url)
+    } else {
+        CacheKey::variant(&fetch.url, v)
+    }
+}
+
+/// Fire-and-forget cache injection: the `Pending` is dropped on the
+/// spot, so the dispatch still runs but nobody awaits the ack (the
+/// legacy `TAG_INJECT` early-return).
+fn cache_inject(
+    shared: &Arc<Mutex<TsShared>>,
+    svc: &SvcHandle,
+    key: CacheKey,
+    object: ContentObject,
+) {
+    if let Some(worker) = route(shared, &key) {
+        drop(svc.dispatch_to(
+            worker,
+            CacheWorker::CLASS.into(),
+            "inject",
+            Arc::new(CacheInject { key, object }),
+            None,
+        ));
+    }
+}
+
+fn reply_original_degraded(svc: &SvcHandle, original: &Option<ContentObject>, why: &str) {
+    if let Some(orig) = original {
+        svc.incr("ts.fallback_original", 1);
+        svc.observe("ts.response_bytes", orig.len() as f64);
+        svc.mark_degraded();
+        svc.reply(Ok(orig.clone().into_payload()));
+    } else {
+        svc.incr("ts.errors", 1);
+        svc.reply(Err(format!("service degraded: {why}")));
+    }
+}
+
+/// One TranSend request, top to bottom.
+async fn run(shared: Arc<Mutex<TsShared>>, req: Arc<ClientRequest>, svc: SvcHandle) {
+    svc.incr("ts.requests", 1);
+    // Preference updates go to the ACID database (§3.1.4).
+    if let Some(body) = &req.body {
+        if let Some(update) = payload_as::<PrefUpdate>(body) {
+            lock(&shared).profile_cache.remove(&req.user);
+            let ack = svc
+                .dispatch(
+                    ProfileWorker::CLASS.into(),
+                    "put",
+                    Arc::new(ProfilePut {
+                        user: req.user.clone(),
+                        settings: update.settings.clone(),
+                    }),
+                    None,
+                )
+                .await;
+            if matches!(ack, EventOutcome::Reply(JobResult::Ok(_))) {
+                svc.incr("ts.pref_updates", 1);
+                svc.reply(Ok(ContentObject::text(
+                    "transend://prefs",
+                    MimeType::Html,
+                    "<html><body>preferences saved</body></html>",
+                )
+                .into_payload()));
+            } else {
+                svc.reply(Err("preference update failed".into()));
+            }
+            return;
+        }
+        if let Some(agg) = payload_as::<AggregateServiceRequest>(body).cloned() {
+            run_aggregate(agg, &svc).await;
+            return;
+        }
+    }
+    let fetch = req
+        .body
+        .as_ref()
+        .and_then(|b| payload_as::<FetchRequest>(b).cloned())
+        .unwrap_or(FetchRequest {
+            url: req.url.clone(),
+            mime: MimeType::Other,
+            size: 8 * 1024,
+        });
+
+    // Profile: write-through cache absorbs reads (§3.1.4); a missing
+    // profile database means default preferences (BASE).
+    let cached = lock(&shared).profile_cache.get(&req.user).cloned();
+    let profile = if let Some(hit) = cached {
+        svc.incr("ts.profile_cache_hits", 1);
+        hit
+    } else if !svc
+        .workers_of(&WorkerClass::new(ProfileWorker::CLASS))
+        .is_empty()
+    {
+        match svc
+            .dispatch(
+                ProfileWorker::CLASS.into(),
+                "get",
+                Arc::new(ProfileGet {
+                    user: req.user.clone(),
+                }),
+                None,
+            )
+            .await
+        {
+            EventOutcome::Reply(JobResult::Ok(p)) => {
+                let profile = payload_as::<ProfileReply>(&p).and_then(|r| r.profile.clone());
+                cache_profile(&shared, &req.user, profile.clone());
+                profile
+            }
+            _ => {
+                svc.incr("ts.profile_unavailable", 1);
+                None
+            }
+        }
+    } else {
+        svc.incr("ts.profile_unavailable", 1);
+        None
+    };
+
+    let (args, pipeline) = {
+        let sh = lock(&shared);
+        plan(&sh.cfg, &fetch, profile.as_ref())
+    };
+    refresh_ring(&shared, &svc);
+    let cache_distilled = lock(&shared).cfg.cache_distilled;
+
+    // Cache lookups, falling through to the origin — the legacy
+    // `start_processing`/`TAG_CACHE_*` arms, flattened. The block
+    // produces the original object to distill; hits on the *final*
+    // variant reply inside and return.
+    let mut original: Option<ContentObject> = None;
+    let obj: ContentObject = 'have: {
+        if !cache_distilled && !pipeline.is_empty() {
+            // Distilled variants are not cached: look up the original
+            // and re-distill per request (the §4.6 measurement mode).
+            let key = CacheKey::original(&fetch.url);
+            if let Some(worker) = route(&shared, &key) {
+                match svc
+                    .dispatch_to(
+                        worker,
+                        CacheWorker::CLASS.into(),
+                        "get",
+                        Arc::new(CacheGet { key }),
+                        None,
+                    )
+                    .await
+                {
+                    EventOutcome::Reply(JobResult::Ok(p)) => {
+                        let hit = payload_as::<CacheGetResult>(&p).and_then(|r| r.object.clone());
+                        if let Some(obj) = hit {
+                            svc.incr("ts.cache_hit_orig", 1);
+                            break 'have obj;
+                        }
+                    }
+                    _ => svc.incr("ts.cache_unavailable", 1),
+                }
+            } else {
+                // No cache workers known (bootstrap or total cache
+                // loss): the cache is only an optimisation.
+                svc.incr("ts.no_cache_available", 1);
+            }
+        } else {
+            let key = final_key(&fetch, &pipeline, &args);
+            if let Some(worker) = route(&shared, &key) {
+                match svc
+                    .dispatch_to(
+                        worker,
+                        CacheWorker::CLASS.into(),
+                        "get",
+                        Arc::new(CacheGet { key }),
+                        None,
+                    )
+                    .await
+                {
+                    EventOutcome::Reply(JobResult::Ok(p)) => {
+                        let hit = payload_as::<CacheGetResult>(&p).and_then(|r| r.object.clone());
+                        match hit {
+                            Some(obj) => {
+                                svc.incr("ts.cache_hit_final", 1);
+                                svc.observe("ts.response_bytes", obj.len() as f64);
+                                svc.reply(Ok(obj.into_payload()));
+                                return;
+                            }
+                            None if pipeline.is_empty() => svc.incr("ts.cache_miss", 1),
+                            None => {
+                                svc.incr("ts.cache_miss", 1);
+                                let key = CacheKey::original(&fetch.url);
+                                if let Some(worker) = route(&shared, &key) {
+                                    match svc
+                                        .dispatch_to(
+                                            worker,
+                                            CacheWorker::CLASS.into(),
+                                            "get",
+                                            Arc::new(CacheGet { key }),
+                                            None,
+                                        )
+                                        .await
+                                    {
+                                        EventOutcome::Reply(JobResult::Ok(p)) => {
+                                            let hit = payload_as::<CacheGetResult>(&p)
+                                                .and_then(|r| r.object.clone());
+                                            if let Some(obj) = hit {
+                                                svc.incr("ts.cache_hit_orig", 1);
+                                                break 'have obj;
+                                            }
+                                        }
+                                        _ => svc.incr("ts.cache_unavailable", 1),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        // Cache timeout/failure = miss (§3.1.5).
+                        svc.incr("ts.cache_unavailable", 1);
+                    }
+                }
+            } else {
+                svc.incr("ts.no_cache_available", 1);
+            }
+        }
+        // Origin fetch.
+        match svc
+            .dispatch(
+                OriginServer::CLASS.into(),
+                "fetch",
+                Arc::new(fetch.clone()),
+                None,
+            )
+            .await
+        {
+            EventOutcome::Reply(JobResult::Ok(p)) => {
+                let Some(obj) = ContentObject::from_payload(&p).cloned() else {
+                    svc.reply(Err("origin returned garbage".into()));
+                    return;
+                };
+                svc.incr("ts.origin_fetches", 1);
+                refresh_ring(&shared, &svc);
+                cache_inject(&shared, &svc, CacheKey::original(&fetch.url), obj.clone());
+                break 'have obj;
+            }
+            _ => {
+                reply_original_degraded(&svc, &original, "origin unreachable");
+                return;
+            }
+        }
+    };
+
+    // The original is in hand: pass through or distill (legacy
+    // `have_original` + the `TAG_DISTILL0` ladder as a plain loop).
+    original = Some(obj.clone());
+    if pipeline.is_empty() {
+        svc.incr("ts.passthrough", 1);
+        svc.observe("ts.response_bytes", obj.len() as f64);
+        svc.reply(Ok(obj.into_payload()));
+        return;
+    }
+    let mut cur = obj;
+    for stage_name in pipeline.stages() {
+        match svc
+            .dispatch(
+                WorkerClass::new(format!("distiller/{stage_name}")),
+                "transform",
+                cur.clone().into_payload(),
+                Some(Arc::new(args.as_map().clone())),
+            )
+            .await
+        {
+            EventOutcome::Reply(JobResult::Ok(p)) => {
+                let Some(next) = ContentObject::from_payload(&p).cloned() else {
+                    reply_original_degraded(&svc, &original, "distiller garbage");
+                    return;
+                };
+                cur = next;
+            }
+            _ => {
+                // Distiller failed or timed out after retries: the user
+                // gets the original — approximate but fast (§3.1.8).
+                reply_original_degraded(&svc, &original, "distiller unavailable");
+                return;
+            }
+        }
+    }
+    svc.incr("ts.distilled", 1);
+    if let Some(orig) = &original {
+        let saved = orig.len().saturating_sub(cur.len());
+        svc.observe("ts.bytes_saved", saved as f64);
+    }
+    svc.observe("ts.response_bytes", cur.len() as f64);
+    if cache_distilled {
+        refresh_ring(&shared, &svc);
+        cache_inject(
+            &shared,
+            &svc,
+            final_key(&fetch, &pipeline, &args),
+            cur.clone(),
+        );
+    }
+    svc.reply(Ok(cur.into_payload()));
+}
+
+/// Aggregation (§5.1): fan out the source fetches, collect them in
+/// arrival order ([`select_some`] replaces the `TAG_AGG_FETCH0`
+/// counter), tolerate missing sources, run the aggregator.
+async fn run_aggregate(agg: AggregateServiceRequest, svc: &SvcHandle) {
+    svc.incr("ts.agg_requests", 1);
+    let mut fetches: Vec<Option<_>> = agg
+        .sources
+        .iter()
+        .map(|src| {
+            Some(svc.dispatch(
+                OriginServer::CLASS.into(),
+                "fetch",
+                Arc::new(src.clone()),
+                None,
+            ))
+        })
+        .collect();
+    let mut fetched: Vec<Option<ContentObject>> = vec![None; agg.sources.len()];
+    let mut remaining = agg.sources.len();
+    while remaining > 0 {
+        let (i, outcome) = select_some(&mut fetches).await;
+        remaining -= 1;
+        if let EventOutcome::Reply(JobResult::Ok(p)) = outcome {
+            fetched[i] = ContentObject::from_payload(&p).cloned();
+        } else {
+            svc.incr("ts.agg_source_missing", 1);
+            svc.mark_degraded();
+        }
+    }
+    let inputs: Vec<ContentObject> = fetched.iter().flatten().cloned().collect();
+    if inputs.is_empty() {
+        svc.incr("ts.errors", 1);
+        svc.reply(Err("no sources reachable".into()));
+        return;
+    }
+    match svc
+        .dispatch(
+            WorkerClass::new(format!("aggregator/{}", agg.aggregator)),
+            "aggregate",
+            Arc::new(sns_tacc::worker::AggregateRequest { inputs }),
+            Some(Arc::new(agg.args.clone())),
+        )
+        .await
+    {
+        EventOutcome::Reply(JobResult::Ok(p)) => {
+            svc.incr("ts.agg_answers", 1);
+            svc.reply(Ok(p));
+        }
+        _ => {
+            svc.incr("ts.errors", 1);
+            svc.reply(Err("aggregator unavailable".into()));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The async-ported request path, end to end: the legacy TranSend state
+//! machine and its `async fn` re-expression must be client-equivalent
+//! on the sim backend, and the same pipeline body must run unmodified
+//! on **both** backends — deterministic virtual time behind the sim
+//! front end, wall-clock threads against a live [`RtCluster`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cluster_sns::core::exec::component::{AcBody, AsyncComponent};
+use cluster_sns::core::exec::service::AsyncSvcLogic;
+use cluster_sns::core::exec::timeout;
+use cluster_sns::core::msg::{ClientRequest, SnsMsg};
+use cluster_sns::distillers::{HtmlMunger, MetasearchAggregator};
+use cluster_sns::rt::{exec::serve, RtCluster, RtConfig};
+use cluster_sns::sim::{SchedulerKind, SimTime};
+use cluster_sns::tacc::origin::FetchRequest;
+use cluster_sns::tacc::worker::TaccWorkerHost;
+use cluster_sns::tacc::{OriginServer, PipelineConfig, PipelineJob, PipelineService};
+use cluster_sns::transend::TranSendBuilder;
+use cluster_sns::workload::playback::{Playback, Schedule};
+use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
+use cluster_sns::workload::MimeType;
+
+/// One seeded TranSend replay; returns the client-visible outcome plus
+/// the service counters that summarise what the FE logic decided.
+fn transend_outcomes(async_logic: bool) -> (u64, u64, u64, u64, u64, Vec<(String, u64)>) {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0xA51)
+        .with_scheduler(SchedulerKind::default())
+        .with_async_logic(async_logic)
+        .with_worker_nodes(5)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_origin_penalty_scale(0.1)
+        .build();
+    let mut gen = TraceGenerator::new(WorkloadConfig {
+        seed: 0xA51 ^ 0x11,
+        users: 25,
+        shared_objects: 80,
+        private_per_user: 6,
+        ..Default::default()
+    });
+    let t = gen.constant_rate(4.0, Duration::from_secs(25));
+    let items: Vec<_> = Playback::new(&t, Schedule::Timestamps)
+        .map(|(at, r)| (at, r.clone()))
+        .collect();
+    let report = cluster.attach_client(items, Duration::from_secs(3));
+    cluster.sim.run_until(SimTime::from_secs(150));
+    let r = report.borrow();
+    let counters = cluster
+        .sim
+        .stats()
+        .all_counters()
+        .filter(|(k, _)| k.starts_with("ts."))
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    (
+        r.sent,
+        r.responses,
+        r.errors,
+        r.degraded,
+        r.bytes_received,
+        counters,
+    )
+}
+
+/// The migration contract: swapping the front end's state machine for
+/// the async body changes *nothing* a client (or the service's own
+/// `ts.*` counters) can see. Tags and timer tokens differ internally,
+/// but every action leaves the FE in the same order with the same
+/// contents, so the runs stay outcome-identical.
+#[test]
+fn async_and_legacy_transend_agree_on_client_outcomes() {
+    let legacy = transend_outcomes(false);
+    let asynced = transend_outcomes(true);
+    assert_eq!(
+        legacy, asynced,
+        "async body diverged from the legacy state machine"
+    );
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    PipelineConfig {
+        stages: vec!["html".into()],
+        aggregator: Some("metasearch".into()),
+        give_up: Duration::from_secs(8),
+        hedge_after: Duration::from_secs(2),
+        cache_final: true,
+    }
+}
+
+fn pipeline_job(id: u64) -> PipelineJob {
+    PipelineJob {
+        sources: (0..3)
+            .map(|e| FetchRequest {
+                url: format!("http://engine{e}/results?q={id}"),
+                mime: MimeType::Html,
+                size: 16 * 1024,
+            })
+            .collect(),
+        args: BTreeMap::from([
+            ("query".to_string(), format!("query {id}")),
+            ("max_results".to_string(), "10".to_string()),
+        ]),
+    }
+}
+
+/// The multi-stage TACC worker body (fetch fan-in → hedged distill →
+/// aggregate → cache) behind a *sim* front end: driven by an
+/// [`AsyncComponent`] client, every request aggregates and replies.
+#[test]
+fn pipeline_body_serves_requests_on_the_sim_backend() {
+    let mut cluster = TranSendBuilder::new()
+        .with_seed(0xEC)
+        .with_worker_nodes(5)
+        .with_frontends(1)
+        .with_cache_partitions(2)
+        .with_min_distillers(1)
+        .with_distillers(["gif", "html"])
+        .with_aggregators(["metasearch"])
+        .with_origin_penalty_scale(0.2)
+        .build();
+    let fe = cluster.add_frontend_with_logic(Box::new(AsyncSvcLogic::new(PipelineService::new(
+        pipeline_cfg(),
+    ))));
+
+    let outcomes: Arc<Mutex<Vec<(u64, bool, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&outcomes);
+    let body: AcBody<SnsMsg> = Box::new(move |inbox, h| {
+        Box::pin(async move {
+            h.sleep(Duration::from_secs(5)).await;
+            for id in 0..4u64 {
+                h.send(
+                    fe,
+                    SnsMsg::Request(Arc::new(ClientRequest {
+                        id,
+                        user: "tester".into(),
+                        url: format!("transend://pipeline?q={id}"),
+                        body: Some(Arc::new(pipeline_job(id))),
+                    })),
+                );
+                let got = timeout(inbox.recv(), h.sleep(Duration::from_secs(60))).await;
+                if let Some(Some((_, SnsMsg::Response(resp)))) = got {
+                    sink.lock()
+                        .unwrap()
+                        .push((resp.id, resp.result.is_ok(), resp.degraded));
+                }
+            }
+        })
+    });
+    let node = cluster.client_node;
+    cluster.sim.spawn(
+        node,
+        Box::new(AsyncComponent::new("pipe-client", body).exit_when_done()),
+        "pipe-client",
+    );
+    cluster.sim.run_until(SimTime::from_secs(400));
+
+    let got = outcomes.lock().unwrap().clone();
+    assert_eq!(got.len(), 4, "every request must be answered: {got:?}");
+    for (id, ok, degraded) in &got {
+        assert!(ok, "request {id} failed");
+        assert!(!degraded, "request {id} degraded");
+    }
+    let stats = cluster.sim.stats();
+    assert_eq!(stats.counter("tacc.pipe_requests"), 4);
+    assert_eq!(stats.counter("tacc.pipe_aggregated"), 4);
+    assert_eq!(stats.counter("tacc.pipe_errors"), 0);
+}
+
+/// The **same** body against the threaded runtime: wall-clock driver,
+/// live dispatch plane, real reply channels — fetch, distill, aggregate
+/// and reply with nothing changed but the clock.
+#[test]
+fn pipeline_body_serves_requests_on_the_rt_backend() {
+    let c = RtCluster::start(
+        RtConfig::new()
+            .with_time_scale(0.02)
+            .with_report_period(Duration::from_millis(10))
+            .with_beacon_period(Duration::from_millis(20)),
+    );
+    c.add_workers("origin", 2, || {
+        Box::new(OriginServer::new().with_penalty_scale(0.02))
+    });
+    c.add_workers("distiller/html", 2, || {
+        Box::new(TaccWorkerHost::transformer(
+            Box::new(HtmlMunger::new()),
+            BTreeMap::new(),
+        ))
+    });
+    c.add_workers("aggregator/metasearch", 1, || {
+        Box::new(TaccWorkerHost::aggregator(
+            Box::new(MetasearchAggregator::new()),
+            BTreeMap::new(),
+        ))
+    });
+
+    let mut svc = PipelineService::new(PipelineConfig {
+        stages: vec!["html".into()],
+        aggregator: Some("metasearch".into()),
+        give_up: Duration::from_secs(10),
+        hedge_after: Duration::from_secs(2),
+        cache_final: false, // no cache class in this roster
+    });
+    for id in 0..2u64 {
+        let outcome = serve(
+            &c,
+            &mut svc,
+            ClientRequest {
+                id,
+                user: "tester".into(),
+                url: format!("transend://pipeline?q={id}"),
+                body: Some(Arc::new(pipeline_job(id))),
+            },
+        );
+        assert!(
+            outcome.result.is_ok(),
+            "rt request {id} failed: {:?}",
+            outcome.result
+        );
+        assert!(!outcome.degraded, "rt request {id} degraded");
+        assert_eq!(outcome.stats.get("tacc.pipe_requests"), Some(&1));
+        assert_eq!(outcome.stats.get("tacc.pipe_aggregated"), Some(&1));
+    }
+    c.shutdown();
+}

@@ -12,10 +12,15 @@ use cluster_sns::transend::TranSendBuilder;
 use cluster_sns::workload::playback::{Playback, Schedule};
 use cluster_sns::workload::trace::{TraceGenerator, WorkloadConfig};
 
-fn transend_fingerprint_on(seed: u64, scheduler: SchedulerKind) -> (u64, u64, u64, String) {
+fn transend_fingerprint_on(
+    seed: u64,
+    scheduler: SchedulerKind,
+    async_logic: bool,
+) -> (u64, u64, u64, String) {
     let mut cluster = TranSendBuilder::new()
         .with_seed(seed)
         .with_scheduler(scheduler)
+        .with_async_logic(async_logic)
         .with_worker_nodes(5)
         .with_frontends(1)
         .with_cache_partitions(2)
@@ -61,7 +66,7 @@ fn transend_fingerprint_on(seed: u64, scheduler: SchedulerKind) -> (u64, u64, u6
 }
 
 fn transend_fingerprint(seed: u64) -> (u64, u64, u64, String) {
-    transend_fingerprint_on(seed, SchedulerKind::default())
+    transend_fingerprint_on(seed, SchedulerKind::default(), false)
 }
 
 #[test]
@@ -83,17 +88,29 @@ fn different_seeds_give_different_runs() {
 /// and the timer wheel.
 #[test]
 fn transend_replay_is_identical_across_schedulers() {
-    let heap = transend_fingerprint_on(0xd5, SchedulerKind::Heap);
-    let wheel = transend_fingerprint_on(0xd5, SchedulerKind::Wheel);
+    let heap = transend_fingerprint_on(0xd5, SchedulerKind::Heap, false);
+    let wheel = transend_fingerprint_on(0xd5, SchedulerKind::Wheel, false);
     assert_eq!(heap, wheel, "heap and wheel replays must be bit-identical");
+}
+
+/// The async-ported request path (`TranSendAsync` bodies polled by the
+/// deterministic executor) must be exactly as replayable as the legacy
+/// state machine: same seed, same fault injection, bit-identical event
+/// counts and counters on the heap baseline and the timer wheel.
+#[test]
+fn async_transend_replay_is_identical_across_schedulers() {
+    let heap = transend_fingerprint_on(0xd5, SchedulerKind::Heap, true);
+    let wheel = transend_fingerprint_on(0xd5, SchedulerKind::Wheel, true);
+    assert_eq!(heap, wheel, "async replays must be bit-identical");
 }
 
 /// One full chaos run: same seed, same fault plan, returns the
 /// byte-stable canonical rendering of the tapped monitor-event log.
-fn chaos_monitor_log_on(seed: u64, scheduler: SchedulerKind) -> String {
+fn chaos_monitor_log_on(seed: u64, scheduler: SchedulerKind, async_logic: bool) -> String {
     let mut cluster = TranSendBuilder::new()
         .with_seed(seed)
         .with_scheduler(scheduler)
+        .with_async_logic(async_logic)
         .with_worker_nodes(5)
         .with_overflow_nodes(1)
         .with_frontends(1)
@@ -152,7 +169,7 @@ fn chaos_monitor_log_on(seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 fn chaos_monitor_log(seed: u64) -> String {
-    chaos_monitor_log_on(seed, SchedulerKind::default())
+    chaos_monitor_log_on(seed, SchedulerKind::default(), false)
 }
 
 #[test]
@@ -169,9 +186,19 @@ fn same_seed_same_plan_gives_byte_identical_monitor_logs() {
 /// engine schedules with the heap baseline or the timer wheel.
 #[test]
 fn chaos_monitor_logs_are_byte_identical_across_schedulers() {
-    let heap = chaos_monitor_log_on(0xFA, SchedulerKind::Heap);
-    let wheel = chaos_monitor_log_on(0xFA, SchedulerKind::Wheel);
+    let heap = chaos_monitor_log_on(0xFA, SchedulerKind::Heap, false);
+    let wheel = chaos_monitor_log_on(0xFA, SchedulerKind::Wheel, false);
     assert_eq!(heap, wheel, "monitor logs must match byte-for-byte");
+}
+
+/// The same chaos plan with the front ends on async bodies: every task
+/// wake is keyed to an engine event, so the monitor-event log stays
+/// byte-identical across schedulers even mid-fault-injection.
+#[test]
+fn async_chaos_monitor_logs_are_byte_identical_across_schedulers() {
+    let heap = chaos_monitor_log_on(0xFA, SchedulerKind::Heap, true);
+    let wheel = chaos_monitor_log_on(0xFA, SchedulerKind::Wheel, true);
+    assert_eq!(heap, wheel, "async monitor logs must match byte-for-byte");
 }
 
 /// One rolling-upgrade-under-load chaos run: a `RollingUpgrade` plan
@@ -242,14 +269,20 @@ fn rolling_upgrade_monitor_logs_are_byte_identical_across_schedulers() {
 /// engine's event order, so the export must inherit the engine's
 /// scheduler-independence.
 fn transend_trace_jsonl_on(seed: u64, scheduler: SchedulerKind) -> String {
-    transend_trace_jsonl_sampled(seed, scheduler, 1)
+    transend_trace_jsonl_sampled(seed, scheduler, 1, false)
 }
 
 /// The same traced run, head-sampled 1-in-`rate` at the front end.
-fn transend_trace_jsonl_sampled(seed: u64, scheduler: SchedulerKind, rate: u32) -> String {
+fn transend_trace_jsonl_sampled(
+    seed: u64,
+    scheduler: SchedulerKind,
+    rate: u32,
+    async_logic: bool,
+) -> String {
     let mut cluster = TranSendBuilder::new()
         .with_seed(seed)
         .with_scheduler(scheduler)
+        .with_async_logic(async_logic)
         .with_worker_nodes(5)
         .with_frontends(1)
         .with_cache_partitions(2)
@@ -284,8 +317,8 @@ fn transend_trace_jsonl_sampled(seed: u64, scheduler: SchedulerKind, rate: u32) 
 #[test]
 fn sampled_trace_exports_are_deterministic_and_subset_the_full_export() {
     let full = transend_trace_jsonl_on(0xd7, SchedulerKind::Heap);
-    let heap = transend_trace_jsonl_sampled(0xd7, SchedulerKind::Heap, 4);
-    let wheel = transend_trace_jsonl_sampled(0xd7, SchedulerKind::Wheel, 4);
+    let heap = transend_trace_jsonl_sampled(0xd7, SchedulerKind::Heap, 4, false);
+    let wheel = transend_trace_jsonl_sampled(0xd7, SchedulerKind::Wheel, 4, false);
     assert_eq!(heap, wheel, "sampled exports must match byte-for-byte");
     assert!(
         heap.lines().count() > 0,
@@ -312,6 +345,21 @@ fn same_seed_trace_exports_are_byte_identical_across_schedulers() {
     let heap = transend_trace_jsonl_on(0xd7, SchedulerKind::Heap);
     let wheel = transend_trace_jsonl_on(0xd7, SchedulerKind::Wheel);
     assert_eq!(heap, wheel, "trace exports must match byte-for-byte");
+}
+
+/// Head-sampled tracing over the async request path: span emission
+/// rides the same engine event order the executor wakes on, so the
+/// sampled JSONL export from async-ported front ends must also be
+/// byte-identical across schedulers.
+#[test]
+fn async_sampled_trace_exports_are_byte_identical_across_schedulers() {
+    let heap = transend_trace_jsonl_sampled(0xd7, SchedulerKind::Heap, 4, true);
+    let wheel = transend_trace_jsonl_sampled(0xd7, SchedulerKind::Wheel, 4, true);
+    assert_eq!(
+        heap, wheel,
+        "async sampled exports must match byte-for-byte"
+    );
+    assert!(heap.lines().count() > 0, "sampling should keep some spans");
 }
 
 #[test]

@@ -73,6 +73,27 @@ impl LinkParams {
     }
 }
 
+/// Fidelity mode of the SAN model (Narses-style hybrid).
+///
+/// `Datagram` is the default exact model: every message walks the
+/// egress → fabric → ingress busy pointers, so queueing, serialisation
+/// order and tail drops are all per-message exact. `Flow` aggregates
+/// steady traffic into per-link epoch utilisations and prices each message
+/// with a closed-form delay instead of advancing the busy pointers — the
+/// fidelity the paper's steady-state experiments need at a fraction of the
+/// cost. Links whose utilisation crosses the saturation threshold fall
+/// back to the exact path (preserving the §4.6 datagram tail-drop
+/// behaviour), and blackout/partition windows are always exact in both
+/// modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanMode {
+    /// Per-message exact queueing (the default).
+    #[default]
+    Datagram,
+    /// Rate-based flow aggregation with exact fallback at saturation.
+    Flow,
+}
+
 /// Whole-SAN configuration.
 #[derive(Debug, Clone)]
 pub struct SanConfig {
@@ -85,6 +106,13 @@ pub struct SanConfig {
     pub latency: Duration,
     /// Latency for messages between components on the same node.
     pub loopback_latency: Duration,
+    /// Fidelity mode; see [`SanMode`].
+    pub mode: SanMode,
+    /// Averaging window for flow-mode per-link utilisation accumulators.
+    pub flow_epoch: Duration,
+    /// Utilisation at which a flow-mode link switches back to the exact
+    /// per-message path (and datagram tail drops can resume).
+    pub flow_saturation: f64,
 }
 
 impl SanConfig {
@@ -97,6 +125,9 @@ impl SanConfig {
             fabric: LinkParams::mbps(100.0 * 64.0),
             latency: Duration::from_micros(150),
             loopback_latency: Duration::from_micros(30),
+            mode: SanMode::Datagram,
+            flow_epoch: Duration::from_millis(100),
+            flow_saturation: 0.9,
         }
     }
 
@@ -109,6 +140,9 @@ impl SanConfig {
             fabric: LinkParams::mbps(10.0),
             latency: Duration::from_micros(300),
             loopback_latency: Duration::from_micros(30),
+            mode: SanMode::Datagram,
+            flow_epoch: Duration::from_millis(100),
+            flow_saturation: 0.9,
         }
     }
 
@@ -123,8 +157,71 @@ impl SanConfig {
             fabric: LinkParams::mbps(640.0 * 64.0),
             latency: Duration::from_micros(20),
             loopback_latency: Duration::from_micros(10),
+            mode: SanMode::Datagram,
+            flow_epoch: Duration::from_millis(100),
+            flow_saturation: 0.9,
         }
     }
+
+    /// Selects the fidelity mode; chains like the `RtConfig` builder:
+    ///
+    /// ```
+    /// use sns_san::{SanConfig, SanMode};
+    ///
+    /// let cfg = SanConfig::switched_100mbps().with_mode(SanMode::Flow);
+    /// assert_eq!(cfg.mode, SanMode::Flow);
+    /// ```
+    pub fn with_mode(mut self, v: SanMode) -> Self {
+        self.mode = v;
+        self
+    }
+
+    /// Sets the flow-mode utilisation averaging window.
+    pub fn with_flow_epoch(mut self, v: Duration) -> Self {
+        self.flow_epoch = v;
+        self
+    }
+
+    /// Sets the flow→exact switch-over utilisation threshold.
+    pub fn with_flow_saturation(mut self, v: f64) -> Self {
+        assert!(
+            v > 0.0 && v <= 1.0,
+            "saturation threshold must be in (0, 1]"
+        );
+        self.flow_saturation = v;
+        self
+    }
+}
+
+/// Per-link-direction epoch utilisation accumulator (flow mode).
+#[derive(Debug, Clone, Default)]
+struct FlowAcc {
+    epoch_start: SimTime,
+    /// Seconds of link occupancy accumulated this epoch.
+    busy: f64,
+}
+
+impl FlowAcc {
+    /// Rolls the epoch if `now` left it, adds `busy_secs` of occupancy and
+    /// returns the running utilisation of the current epoch.
+    fn add(&mut self, now: SimTime, epoch: Duration, busy_secs: f64) -> f64 {
+        let ep_ns = sns_sim::time::dur_nanos(epoch).max(1);
+        let aligned = SimTime::from_nanos((now.as_nanos() / ep_ns) * ep_ns);
+        if aligned > self.epoch_start {
+            self.epoch_start = aligned;
+            self.busy = 0.0;
+        }
+        self.busy += busy_secs;
+        self.busy / epoch.as_secs_f64()
+    }
+}
+
+/// Queueing inflation for a flow at utilisation `rho`: an M/M/1-shaped
+/// `rho/(1-rho)` wait in units of the transmission time, clamped so the
+/// closed form stays finite at the switch-over boundary.
+fn qfactor(rho: f64) -> f64 {
+    let r = rho.clamp(0.0, 0.95);
+    r / (1.0 - r)
 }
 
 #[derive(Debug, Clone)]
@@ -132,6 +229,20 @@ struct Nic {
     params: LinkParams,
     egress_busy: SimTime,
     ingress_busy: SimTime,
+    egress_flow: FlowAcc,
+    ingress_flow: FlowAcc,
+}
+
+impl Nic {
+    fn new(params: LinkParams) -> Self {
+        Nic {
+            params,
+            egress_busy: SimTime::ZERO,
+            ingress_busy: SimTime::ZERO,
+            egress_flow: FlowAcc::default(),
+            ingress_flow: FlowAcc::default(),
+        }
+    }
 }
 
 /// Counters the SAN keeps about itself (read by experiments).
@@ -147,6 +258,11 @@ pub struct SanStats {
     pub delivered: u64,
     /// Total payload bytes carried off-node.
     pub bytes_carried: u64,
+    /// Flow-mode messages priced by the closed-form fast path.
+    pub flow_fast_path: u64,
+    /// Flow-mode messages routed through the exact path because a link
+    /// crossed the saturation threshold.
+    pub flow_fallbacks: u64,
 }
 
 /// The system-area network model. Implements [`Network`] for the engine.
@@ -155,6 +271,7 @@ pub struct San {
     cfg: SanConfig,
     nics: BTreeMap<NodeId, Nic>,
     fabric_busy: SimTime,
+    fabric_flow: FlowAcc,
     /// Partition group per node; `None` means no partition is active.
     partition_of: Option<BTreeMap<NodeId, u32>>,
     /// While set, every off-node datagram is dropped (models the §4.6
@@ -171,6 +288,7 @@ impl San {
             cfg,
             nics: BTreeMap::new(),
             fabric_busy: SimTime::ZERO,
+            fabric_flow: FlowAcc::default(),
             partition_of: None,
             datagram_blackout: false,
             stats: SanStats::default(),
@@ -180,11 +298,7 @@ impl San {
     /// Overrides one node's NIC parameters (e.g. a slower edge segment).
     pub fn set_nic(&mut self, node: NodeId, params: LinkParams) {
         let default = self.cfg.default_nic.clone();
-        let nic = self.nics.entry(node).or_insert_with(|| Nic {
-            params: default,
-            egress_busy: SimTime::ZERO,
-            ingress_busy: SimTime::ZERO,
-        });
+        let nic = self.nics.entry(node).or_insert_with(|| Nic::new(default));
         nic.params = params;
     }
 
@@ -256,11 +370,7 @@ impl San {
 
     fn nic_mut(&mut self, node: NodeId) -> &mut Nic {
         let default = self.cfg.default_nic.clone();
-        self.nics.entry(node).or_insert_with(|| Nic {
-            params: default,
-            egress_busy: SimTime::ZERO,
-            ingress_busy: SimTime::ZERO,
-        })
+        self.nics.entry(node).or_insert_with(|| Nic::new(default))
     }
 
     /// Serialises a message through the sender's egress NIC. Returns the
@@ -315,6 +425,149 @@ impl San {
         nic.ingress_busy = fin;
         Some(fin)
     }
+
+    /// Prices one off-node message with the flow model. Returns `None`
+    /// when any involved link crossed the saturation threshold — the
+    /// caller must then fall back to the exact per-message path (which
+    /// restores tail-drop fidelity). The utilisation accumulators are
+    /// charged either way: they measure *offered* load.
+    fn flow_unicast(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        size: u64,
+    ) -> Option<Duration> {
+        let epoch = self.cfg.flow_epoch;
+        let sat = self.cfg.flow_saturation;
+        let (e_tx, rho_e) = {
+            let nic = self.nic_mut(from);
+            let tx = nic.params.tx_time(size);
+            let rho = nic.egress_flow.add(now, epoch, tx.as_secs_f64());
+            (tx, rho)
+        };
+        let f_tx = self.cfg.fabric.tx_time(size);
+        let rho_f = self.fabric_flow.add(now, epoch, f_tx.as_secs_f64());
+        let (i_tx, rho_i) = {
+            let nic = self.nic_mut(to);
+            let tx = nic.params.tx_time(size);
+            let rho = nic.ingress_flow.add(now, epoch, tx.as_secs_f64());
+            (tx, rho)
+        };
+        if rho_e >= sat || rho_f >= sat || rho_i >= sat {
+            return None;
+        }
+        Some(
+            e_tx.mul_f64(1.0 + qfactor(rho_e))
+                + f_tx.mul_f64(1.0 + qfactor(rho_f))
+                + i_tx.mul_f64(1.0 + qfactor(rho_i))
+                + self.cfg.latency,
+        )
+    }
+
+    /// Aggregate flow accounting: registers `msgs` messages totalling
+    /// `bytes` between two nodes as one offer against the current epoch's
+    /// per-link utilisations, and prices the whole batch with the closed
+    /// form. This is the flow-level *replay* entry point: one call per
+    /// (epoch, node pair) stands in for thousands of per-request
+    /// `unicast` events, which is where the ≥10× replay speedup comes
+    /// from. Works in either [`SanMode`]; partitions and datagram
+    /// blackouts keep their exact semantics (everything drops).
+    pub fn offer_flow(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        msgs: u64,
+        class: TrafficClass,
+    ) -> FlowReport {
+        if msgs == 0 {
+            return FlowReport {
+                delay: Duration::ZERO,
+                delivered: 0,
+                dropped: 0,
+            };
+        }
+        if from == to {
+            self.stats.delivered += msgs;
+            return FlowReport {
+                delay: self.cfg.loopback_latency,
+                delivered: msgs,
+                dropped: 0,
+            };
+        }
+        if self.partitioned(from, to) {
+            self.stats.partition_drops += msgs;
+            return FlowReport {
+                delay: Duration::ZERO,
+                delivered: 0,
+                dropped: msgs,
+            };
+        }
+        if self.datagram_blackout && class == TrafficClass::Datagram {
+            self.stats.blackout_drops += msgs;
+            return FlowReport {
+                delay: Duration::ZERO,
+                delivered: 0,
+                dropped: msgs,
+            };
+        }
+        let epoch = self.cfg.flow_epoch;
+        let occupancy = |p: &LinkParams| {
+            msgs as f64 * p.per_msg_overhead.as_secs_f64() + (bytes as f64 * 8.0) / p.bandwidth_bps
+        };
+        let (e_busy, rho_e) = {
+            let nic = self.nic_mut(from);
+            let busy = occupancy(&nic.params);
+            (busy, nic.egress_flow.add(now, epoch, busy))
+        };
+        let f_busy = occupancy(&self.cfg.fabric.clone());
+        let rho_f = self.fabric_flow.add(now, epoch, f_busy);
+        let (i_busy, rho_i) = {
+            let nic = self.nic_mut(to);
+            let busy = occupancy(&nic.params);
+            (busy, nic.ingress_flow.add(now, epoch, busy))
+        };
+        let rho_max = rho_e.max(rho_f).max(rho_i);
+        let mean_tx = |busy: f64, rho: f64| {
+            Duration::from_secs_f64(busy / msgs as f64).mul_f64(1.0 + qfactor(rho))
+        };
+        let delay = mean_tx(e_busy, rho_e)
+            + mean_tx(f_busy, rho_f)
+            + mean_tx(i_busy, rho_i)
+            + self.cfg.latency;
+        // Offered load beyond link capacity cannot be carried: datagrams
+        // in the excess fraction are dropped (the §4.6 tail-drop shape);
+        // reliable traffic is flow-controlled and all arrives, just late.
+        let dropped = if class == TrafficClass::Datagram && rho_max > 1.0 {
+            ((1.0 - 1.0 / rho_max) * msgs as f64).round() as u64
+        } else {
+            0
+        };
+        let delivered = msgs - dropped;
+        self.stats.datagrams_dropped += dropped;
+        self.stats.delivered += delivered;
+        self.stats.flow_fast_path += delivered;
+        self.stats.bytes_carried += (bytes as f64 * delivered as f64 / msgs as f64) as u64;
+        FlowReport {
+            delay,
+            delivered,
+            dropped,
+        }
+    }
+}
+
+/// What became of one aggregated [`San::offer_flow`] batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowReport {
+    /// Representative per-message delivery delay (propagation + epoch-
+    /// utilisation-inflated transmission on every stage).
+    pub delay: Duration,
+    /// Messages carried.
+    pub delivered: u64,
+    /// Messages dropped (saturation excess, partition, or blackout).
+    pub dropped: u64,
 }
 
 impl Network for San {
@@ -339,6 +592,18 @@ impl Network for San {
             self.stats.blackout_drops += 1;
             return Delivery::Dropped;
         }
+        if self.cfg.mode == SanMode::Flow {
+            if let Some(delay) = self.flow_unicast(now, from.node, to.node, size) {
+                self.stats.flow_fast_path += 1;
+                self.stats.delivered += 1;
+                self.stats.bytes_carried += size;
+                return Delivery::At(now + delay);
+            }
+            // A link crossed the saturation threshold: fall through to
+            // the exact busy-pointer path so queueing and tail drops are
+            // per-message faithful where they matter.
+            self.stats.flow_fallbacks += 1;
+        }
         let Some(t1) = self.egress(now, from.node, size, class) else {
             return Delivery::Dropped;
         };
@@ -362,10 +627,32 @@ impl Network for San {
         size: u64,
         class: TrafficClass,
     ) -> Vec<Delivery> {
-        // The sender transmits once; the switch replicates to receivers;
-        // each receiving *node* takes exactly one copy off the wire, no
-        // matter how many member components it hosts. Same-node members
-        // receive via loopback even if egress drops.
+        if self.cfg.mode == SanMode::Flow {
+            return self.multicast_flow(now, from, members, size, class);
+        }
+        self.multicast_exact(now, from, members, size, class)
+    }
+
+    fn register_node(&mut self, node: NodeId) {
+        let default = self.cfg.default_nic.clone();
+        self.nics.entry(node).or_insert_with(|| Nic::new(default));
+    }
+}
+
+impl San {
+    /// The exact per-message multicast path: the sender transmits once;
+    /// the switch replicates to receivers; each receiving *node* takes
+    /// exactly one copy off the wire, no matter how many member components
+    /// it hosts. Same-node members receive via loopback even if egress
+    /// drops.
+    fn multicast_exact(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        members: &[Endpoint],
+        size: u64,
+        class: TrafficClass,
+    ) -> Vec<Delivery> {
         let egress_fin = self.egress(now, from.node, size, class);
         let fabric_fin = egress_fin.and_then(|t| self.fabric(t, size, class));
         self.stats.bytes_carried += size;
@@ -405,13 +692,82 @@ impl Network for San {
             .collect()
     }
 
-    fn register_node(&mut self, node: NodeId) {
-        let default = self.cfg.default_nic.clone();
-        self.nics.entry(node).or_insert(Nic {
-            params: default,
-            egress_busy: SimTime::ZERO,
-            ingress_busy: SimTime::ZERO,
-        });
+    /// Flow-priced multicast: the sender's egress and the fabric are
+    /// charged once for the single wire copy; each receiving node's
+    /// ingress is charged once. Any stage at or past the saturation
+    /// threshold routes the whole multicast (sender side) or that member
+    /// (receiver side) through the exact path so tail-drop bursts keep
+    /// their per-message shape. Loopback, partition and blackout
+    /// decisions are identical to [`San::multicast_exact`].
+    fn multicast_flow(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        members: &[Endpoint],
+        size: u64,
+        class: TrafficClass,
+    ) -> Vec<Delivery> {
+        let epoch = self.cfg.flow_epoch;
+        let sat = self.cfg.flow_saturation;
+        let (e_tx, rho_e) = {
+            let nic = self.nic_mut(from.node);
+            let tx = nic.params.tx_time(size);
+            let rho = nic.egress_flow.add(now, epoch, tx.as_secs_f64());
+            (tx, rho)
+        };
+        let f_tx = self.cfg.fabric.tx_time(size);
+        let rho_f = self.fabric_flow.add(now, epoch, f_tx.as_secs_f64());
+        if rho_e >= sat || rho_f >= sat {
+            self.stats.flow_fallbacks += 1;
+            return self.multicast_exact(now, from, members, size, class);
+        }
+        let base = e_tx.mul_f64(1.0 + qfactor(rho_e)) + f_tx.mul_f64(1.0 + qfactor(rho_f));
+        self.stats.bytes_carried += size;
+        let mut per_node: BTreeMap<NodeId, Delivery> = BTreeMap::new();
+        for m in members {
+            if per_node.contains_key(&m.node) {
+                continue;
+            }
+            let decision = if m.node == from.node {
+                Delivery::At(now + self.cfg.loopback_latency)
+            } else if self.partitioned(from.node, m.node) {
+                self.stats.partition_drops += 1;
+                Delivery::Dropped
+            } else if self.datagram_blackout && class == TrafficClass::Datagram {
+                self.stats.blackout_drops += 1;
+                Delivery::Dropped
+            } else {
+                let (i_tx, rho_i) = {
+                    let nic = self.nic_mut(m.node);
+                    let tx = nic.params.tx_time(size);
+                    let rho = nic.ingress_flow.add(now, epoch, tx.as_secs_f64());
+                    (tx, rho)
+                };
+                if rho_i >= sat {
+                    // Saturated receiver: run its ingress exactly so the
+                    // datagram tail-drop decision stays per-message.
+                    self.stats.flow_fallbacks += 1;
+                    match self.ingress(now + base, m.node, size, class) {
+                        Some(t) => Delivery::At(t + self.cfg.latency),
+                        None => Delivery::Dropped,
+                    }
+                } else {
+                    self.stats.flow_fast_path += 1;
+                    Delivery::At(now + base + i_tx.mul_f64(1.0 + qfactor(rho_i)) + self.cfg.latency)
+                }
+            };
+            per_node.insert(m.node, decision);
+        }
+        members
+            .iter()
+            .map(|m| {
+                let d = per_node[&m.node];
+                if matches!(d, Delivery::At(_)) {
+                    self.stats.delivered += 1;
+                }
+                d
+            })
+            .collect()
     }
 }
 
@@ -731,5 +1087,194 @@ mod tests {
         let backlog = s.egress_backlog(NodeId(0), SimTime::ZERO);
         assert!(backlog > Duration::from_millis(90));
         assert_eq!(s.egress_backlog(NodeId(3), SimTime::ZERO), Duration::ZERO);
+    }
+
+    fn san_flow() -> (San, Pcg32) {
+        let mut s = San::new(SanConfig::switched_100mbps().with_mode(SanMode::Flow));
+        for n in 0..4 {
+            s.register_node(NodeId(n));
+        }
+        (s, Pcg32::new(1))
+    }
+
+    #[test]
+    fn flow_unicast_matches_exact_when_unloaded() {
+        let (mut exact, mut r1) = san100();
+        let (mut flow, mut r2) = san_flow();
+        let de = exact.unicast(
+            SimTime::ZERO,
+            &mut r1,
+            ep(0, 1),
+            ep(1, 2),
+            10_000,
+            TrafficClass::Reliable,
+        );
+        let df = flow.unicast(
+            SimTime::ZERO,
+            &mut r2,
+            ep(0, 1),
+            ep(1, 2),
+            10_000,
+            TrafficClass::Reliable,
+        );
+        let (Delivery::At(te), Delivery::At(tf)) = (de, df) else {
+            panic!("reliable traffic must not drop");
+        };
+        // On an idle SAN, flow pricing collapses to serialisation +
+        // latency: within 20% of the busy-pointer answer.
+        let (te, tf) = (te.as_secs_f64(), tf.as_secs_f64());
+        assert!((tf - te).abs() / te < 0.2, "exact {te}s vs flow {tf}s");
+        assert_eq!(flow.stats().flow_fast_path, 1);
+        assert_eq!(flow.stats().flow_fallbacks, 0);
+    }
+
+    #[test]
+    fn flow_falls_back_when_link_saturates() {
+        let (mut s, mut rng) = san_flow();
+        // 100 Mb/s egress, 100 ms epoch => ~1.25 MB fills an epoch. Offer
+        // far more: the accumulator crosses the 0.9 threshold and every
+        // later message must take the exact path (and tail-drop).
+        let mut dropped = 0;
+        for _ in 0..60 {
+            let d = s.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                125_000,
+                TrafficClass::Datagram,
+            );
+            if d == Delivery::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!(s.stats().flow_fallbacks > 0, "saturation must fall back");
+        assert!(dropped > 0, "exact path must tail-drop under saturation");
+        assert!(
+            s.stats().flow_fast_path > 0,
+            "early messages ride the flow path"
+        );
+    }
+
+    #[test]
+    fn flow_epoch_rollover_resets_utilisation() {
+        let (mut s, mut rng) = san_flow();
+        for _ in 0..60 {
+            s.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                125_000,
+                TrafficClass::Datagram,
+            );
+        }
+        assert!(s.stats().flow_fallbacks > 0);
+        let before = s.stats().flow_fast_path;
+        // A new epoch starts with fresh utilisation: flow pricing resumes.
+        let later = SimTime::from_secs(5);
+        let d = s.unicast(
+            SimTime::ZERO + later.since(SimTime::ZERO),
+            &mut rng,
+            ep(0, 1),
+            ep(1, 2),
+            10_000,
+            TrafficClass::Datagram,
+        );
+        assert!(matches!(d, Delivery::At(_)));
+        assert_eq!(s.stats().flow_fast_path, before + 1);
+    }
+
+    #[test]
+    fn offer_flow_prices_a_batch_and_drops_the_excess() {
+        let (mut s, _) = san_flow();
+        // Under capacity (~13% of a 100 ms epoch): everything arrives,
+        // delay ≈ per-message tx + latency.
+        let r = s.offer_flow(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            100_000,
+            100,
+            TrafficClass::Reliable,
+        );
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.delivered, 100);
+        assert!(r.delay > Duration::ZERO && r.delay < Duration::from_millis(5));
+        // 10x a 100 ms epoch's worth of bytes offered as datagrams in one
+        // epoch: about 9/10 of the excess fraction is tail-dropped.
+        let r = s.offer_flow(
+            SimTime::from_secs(10),
+            NodeId(2),
+            NodeId(3),
+            12_500_000,
+            10_000,
+            TrafficClass::Datagram,
+        );
+        assert!(
+            r.dropped > 8_000 && r.dropped < 9_500,
+            "dropped {}",
+            r.dropped
+        );
+        assert_eq!(r.delivered + r.dropped, 10_000);
+    }
+
+    #[test]
+    fn offer_flow_respects_partitions_and_blackouts() {
+        let (mut s, _) = san_flow();
+        s.partition(&[vec![NodeId(0)], vec![NodeId(1), NodeId(2), NodeId(3)]]);
+        let r = s.offer_flow(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            1_000,
+            10,
+            TrafficClass::Reliable,
+        );
+        assert_eq!((r.delivered, r.dropped), (0, 10));
+        s.heal();
+        s.set_datagram_blackout(true);
+        let r = s.offer_flow(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            1_000,
+            10,
+            TrafficClass::Datagram,
+        );
+        assert_eq!((r.delivered, r.dropped), (0, 10));
+        assert_eq!(s.stats().blackout_drops, 10);
+    }
+
+    #[test]
+    fn flow_multicast_charges_one_wire_copy() {
+        let (mut s, mut rng) = san_flow();
+        let members = [ep(0, 9), ep(1, 2), ep(2, 3), ep(3, 4)];
+        let ds = s.multicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 9),
+            &members,
+            10_000,
+            TrafficClass::Datagram,
+        );
+        assert!(ds.iter().all(|d| matches!(d, Delivery::At(_))));
+        // Sender egress charged once, not once per member.
+        let (mut exact, mut r2) = san100();
+        exact.multicast(
+            SimTime::ZERO,
+            &mut r2,
+            ep(0, 9),
+            &members,
+            10_000,
+            TrafficClass::Datagram,
+        );
+        let eb = exact.egress_backlog(NodeId(0), SimTime::ZERO);
+        assert!(eb > Duration::ZERO, "exact path advances busy pointers");
+        assert_eq!(
+            s.egress_backlog(NodeId(0), SimTime::ZERO),
+            Duration::ZERO,
+            "flow path leaves busy pointers untouched"
+        );
     }
 }

@@ -105,6 +105,7 @@ props! {
                 fabric: LinkParams::mbps(mbps * 64.0),
                 latency: Duration::from_micros(150),
                 loopback_latency: Duration::from_micros(30),
+                ..SanConfig::switched_100mbps()
             });
             san.register_node(NodeId(0));
             san.register_node(NodeId(1));

@@ -48,6 +48,55 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Default configuration; chain `with_*` methods to customise.
+    ///
+    /// ```
+    /// use sns_sim::engine::SimConfig;
+    /// use sns_sim::sched::SchedulerKind;
+    ///
+    /// let cfg = SimConfig::new()
+    ///     .with_seed(0x517)
+    ///     .with_scheduler(SchedulerKind::Wheel)
+    ///     .with_max_events(1_000_000);
+    /// assert_eq!(cfg.seed, 0x517);
+    /// ```
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the engine RNG seed.
+    pub fn with_seed(mut self, v: u64) -> Self {
+        self.seed = v;
+        self
+    }
+
+    /// Selects the pending-event scheduler the run loop pops from (both
+    /// kinds dispatch in bit-identical order; see [`SchedulerKind`]).
+    pub fn with_scheduler(mut self, v: SchedulerKind) -> Self {
+        self.scheduler = v;
+        self
+    }
+
+    /// Sets the spawn-request-to-`on_start` latency.
+    pub fn with_spawn_latency(mut self, v: Duration) -> Self {
+        self.spawn_latency = v;
+        self
+    }
+
+    /// Sets the death-to-watcher-notification latency.
+    pub fn with_death_detect_latency(mut self, v: Duration) -> Self {
+        self.death_detect_latency = v;
+        self
+    }
+
+    /// Sets the hard cap on dispatched events.
+    pub fn with_max_events(mut self, v: u64) -> Self {
+        self.max_events = v;
+        self
+    }
+}
+
 /// Anything the engine can route. Messages carry their wire size so the
 /// network model can account for bandwidth.
 pub trait Wire {
@@ -789,6 +838,22 @@ impl<M: Wire + Clone + 'static, N: Network> Sim<M, N> {
     pub fn inject(&mut self, to: ComponentId, msg: M) {
         self.kernel.schedule(
             self.kernel.now,
+            Ev::Msg {
+                to,
+                from: ComponentId::EXTERNAL,
+                msg,
+            },
+        );
+    }
+
+    /// Injects a message from "outside" the cluster at an absolute future
+    /// time (no network transit). The sharded driver uses this to place
+    /// cross-shard boundary messages at their precomputed delivery times;
+    /// harnesses can use it to pre-load a whole arrival schedule.
+    pub fn inject_at(&mut self, at: SimTime, to: ComponentId, msg: M) {
+        assert!(at >= self.kernel.now, "injecting into the past");
+        self.kernel.schedule(
+            at,
             Ev::Msg {
                 to,
                 from: ComponentId::EXTERNAL,

@@ -1,0 +1,651 @@
+//! Sharded event lanes: conservative parallel simulation across cores.
+//!
+//! The engine in [`crate::engine`] is single-threaded by design — components
+//! hold `Rc` handles and scripts are non-`Send` closures — so it scales with
+//! clock speed, not cores. This module adds the classic conservative
+//! parallel-discrete-event construction on top of it without touching the
+//! engine: the cluster is partitioned into *shards*, each shard owns a whole
+//! private [`Sim`] (its own scheduler, RNG stream, stats and network model),
+//! and shards only interact through explicitly declared boundary *ports*
+//! whose link latency is at least the lookahead window.
+//!
+//! ```text
+//!             ShardedSim (coordinator)
+//!   ┌────────────┬─────────────┬────────────┐
+//!   │  horizon hₖ│  horizon hₖ │  horizon hₖ│      barrier k
+//!   ▼            ▼             ▼            │
+//! ┌──────┐    ┌──────┐      ┌──────┐        │
+//! │lane 0│    │lane 1│      │lane 2│   run_until(hₖ)
+//! │ Sim  │    │ Sim  │      │ Sim  │   on its own thread
+//! └──┬───┘    └──┬───┘      └──┬───┘        │
+//!    │outbox     │outbox       │outbox      │
+//!    ▼            ▼             ▼            │
+//!   ┌────────────────────────────────┐      │
+//!   │ boundary queue: sort by        │      │
+//!   │ (delivery time, src shard, seq)│      │
+//!   └──────┬─────────┬───────┬───────┘      │
+//!          ▼         ▼       ▼              │
+//!      inject_at into destination lanes ────┘  then horizon hₖ₊₁
+//! ```
+//!
+//! Each barrier round advances every lane to the same horizon, drains the
+//! cross-shard messages produced during the window, sorts them into one
+//! total order and injects them into their destination lanes at
+//! `sent_at + latency`. Because the window width never exceeds the boundary
+//! latency, a message sent during window *k* is always delivered strictly
+//! after horizon *k* — no lane can ever receive an event in its past, which
+//! is exactly the conservative-lookahead safety argument.
+//!
+//! Determinism: the boundary order is total — `(delivery time, source
+//! shard, outbox sequence)` is unique per message because the outbox
+//! sequence is monotonic per shard — so injection order into every lane is
+//! a pure function of the messages, never of thread scheduling. Each lane
+//! is a deterministic [`Sim`], so [`ShardedSim::run_parallel`] and
+//! [`ShardedSim::run_sequential`] produce byte-identical results, and a
+//! one-shard `ShardedSim` reproduces a plain [`Sim`] run exactly (windowed
+//! `run_until` dispatches the same events in the same order as one call).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use crate::engine::{RunOutcome, Sim, Wire};
+use crate::network::Network;
+use crate::time::SimTime;
+use crate::ComponentId;
+
+/// Identifies one shard (event lane) of a [`ShardedSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// A global cross-shard address. Destination components bind a port via
+/// [`Lane::bind`]; senders obtain an [`Uplink`] to it via [`Lane::uplink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u32);
+
+/// One message crossing a shard boundary.
+#[derive(Debug, Clone)]
+pub struct BoundaryMsg<M> {
+    /// Destination port.
+    pub port: PortId,
+    /// Virtual time the sender handed it to the uplink.
+    pub sent_at: SimTime,
+    /// Shard it left.
+    pub src: ShardId,
+    /// Monotonic per-shard outbox sequence (tie-breaker).
+    pub seq: u64,
+    /// The payload.
+    pub msg: M,
+}
+
+struct OutboxInner<M> {
+    msgs: Vec<(PortId, SimTime, u64, M)>,
+    seq: u64,
+}
+
+/// A sender handle for one cross-shard port. Clone it into any component
+/// on the owning lane; sends are recorded in the lane's outbox and routed
+/// at the next barrier.
+pub struct Uplink<M> {
+    port: PortId,
+    outbox: Rc<RefCell<OutboxInner<M>>>,
+}
+
+impl<M> Clone for Uplink<M> {
+    fn clone(&self) -> Self {
+        Uplink {
+            port: self.port,
+            outbox: Rc::clone(&self.outbox),
+        }
+    }
+}
+
+impl<M> Uplink<M> {
+    /// Records a message for cross-shard delivery; it arrives at the bound
+    /// component `latency` after `now` (the caller passes `ctx.now()`).
+    pub fn send(&self, now: SimTime, msg: M) {
+        let mut ob = self.outbox.borrow_mut();
+        ob.seq += 1;
+        let seq = ob.seq;
+        ob.msgs.push((self.port, now, seq, msg));
+    }
+
+    /// The port this uplink targets.
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+}
+
+type Report<M, N> = Box<dyn FnOnce(&mut Sim<M, N>) -> String>;
+
+/// One shard's runtime: a private [`Sim`] plus its boundary plumbing.
+/// Built inside the shard closure passed to [`ShardedSim::add_shard`] and
+/// never leaves its worker thread (components may hold `Rc` handles).
+pub struct Lane<M, N> {
+    sim: Sim<M, N>,
+    outbox: Rc<RefCell<OutboxInner<M>>>,
+    ingress: BTreeMap<PortId, ComponentId>,
+    report: Option<Report<M, N>>,
+}
+
+impl<M: Wire + Clone + 'static, N: Network> Lane<M, N> {
+    /// Wraps a fully constructed shard simulation.
+    pub fn new(sim: Sim<M, N>) -> Self {
+        Lane {
+            sim,
+            outbox: Rc::new(RefCell::new(OutboxInner {
+                msgs: Vec::new(),
+                seq: 0,
+            })),
+            ingress: BTreeMap::new(),
+            report: None,
+        }
+    }
+
+    /// The shard's simulation (spawn components, schedule scripts, …).
+    pub fn sim(&mut self) -> &mut Sim<M, N> {
+        &mut self.sim
+    }
+
+    /// Creates a sender handle toward a port owned by some other shard.
+    pub fn uplink(&self, port: PortId) -> Uplink<M> {
+        Uplink {
+            port,
+            outbox: Rc::clone(&self.outbox),
+        }
+    }
+
+    /// Declares that `comp` (on this shard) receives messages addressed to
+    /// `port`. Each port has exactly one owner across the whole cluster.
+    pub fn bind(&mut self, port: PortId, comp: ComponentId) {
+        let prev = self.ingress.insert(port, comp);
+        assert!(prev.is_none(), "port {} bound twice on one lane", port.0);
+    }
+
+    /// Installs the closure that renders this shard's final report string
+    /// after the run (monitor logs, counters — whatever the experiment
+    /// compares). Defaults to an empty string.
+    pub fn set_report(&mut self, f: impl FnOnce(&mut Sim<M, N>) -> String + 'static) {
+        self.report = Some(Box::new(f));
+    }
+
+    fn drain(&mut self, src: ShardId) -> Vec<BoundaryMsg<M>> {
+        let mut ob = self.outbox.borrow_mut();
+        ob.msgs
+            .drain(..)
+            .map(|(port, sent_at, seq, msg)| BoundaryMsg {
+                port,
+                sent_at,
+                src,
+                seq,
+                msg,
+            })
+            .collect()
+    }
+
+    fn inject(&mut self, batch: Vec<(SimTime, PortId, M)>) {
+        for (at, port, msg) in batch {
+            let comp = *self
+                .ingress
+                .get(&port)
+                .unwrap_or_else(|| panic!("no binding for port {}", port.0));
+            self.sim.inject_at(at, comp, msg);
+        }
+    }
+
+    fn finish(mut self) -> (String, u64) {
+        let report = match self.report.take() {
+            Some(f) => f(&mut self.sim),
+            None => String::new(),
+        };
+        (report, self.sim.events_dispatched())
+    }
+}
+
+/// Outcome of a sharded run, comparable across drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRun {
+    /// Per-shard report strings (shard-id order).
+    pub reports: Vec<String>,
+    /// Per-shard dispatched-event counts (shard-id order).
+    pub events: Vec<u64>,
+    /// Cross-shard messages routed during the run.
+    pub boundary_routed: u64,
+    /// Cross-shard messages whose delivery time fell beyond the horizon
+    /// (left undelivered by construction).
+    pub boundary_residual: u64,
+}
+
+impl ShardRun {
+    /// Total events dispatched across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+
+    /// One canonical string over everything observable — equal iff two
+    /// runs behaved identically.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        for (i, (r, e)) in self.reports.iter().zip(&self.events).enumerate() {
+            s.push_str(&format!("shard{i} events={e}\n{r}\n"));
+        }
+        s.push_str(&format!(
+            "routed={} residual={}",
+            self.boundary_routed, self.boundary_residual
+        ));
+        s
+    }
+}
+
+/// Deterministic boundary-queue router shared by both drivers.
+struct Router<M> {
+    latency: Duration,
+    port_owner: BTreeMap<PortId, usize>,
+    pending: Vec<Vec<(SimTime, PortId, M)>>,
+    routed: u64,
+}
+
+impl<M> Router<M> {
+    fn new(latency: Duration, ports_per_shard: &[Vec<PortId>]) -> Self {
+        let mut port_owner = BTreeMap::new();
+        for (shard, ports) in ports_per_shard.iter().enumerate() {
+            for &p in ports {
+                let prev = port_owner.insert(p, shard);
+                assert!(
+                    prev.is_none(),
+                    "port {} bound on two shards ({} and {shard})",
+                    p.0,
+                    prev.unwrap(),
+                );
+            }
+        }
+        Router {
+            latency,
+            port_owner,
+            pending: (0..ports_per_shard.len()).map(|_| Vec::new()).collect(),
+            routed: 0,
+        }
+    }
+
+    /// Sorts one round's boundary messages into the total order and
+    /// appends them to the destination shards' pending injections.
+    fn route(&mut self, mut outgoing: Vec<BoundaryMsg<M>>) {
+        // (delivery time, src shard, outbox seq) is unique per message, so
+        // this order — and therefore every lane's injection order — is a
+        // pure function of the messages, not of thread arrival order.
+        outgoing.sort_unstable_by_key(|m| (m.sent_at + self.latency, m.src.0, m.seq));
+        for m in outgoing {
+            let dest = *self
+                .port_owner
+                .get(&m.port)
+                .unwrap_or_else(|| panic!("message to unbound port {}", m.port.0));
+            self.pending[dest].push((m.sent_at + self.latency, m.port, m.msg));
+            self.routed += 1;
+        }
+    }
+
+    fn take(&mut self, shard: usize) -> Vec<(SimTime, PortId, M)> {
+        std::mem::take(&mut self.pending[shard])
+    }
+
+    fn all_empty(&self) -> bool {
+        self.pending.iter().all(Vec::is_empty)
+    }
+
+    fn residual(&self) -> u64 {
+        self.pending.iter().map(|p| p.len() as u64).sum()
+    }
+}
+
+type LaneBuild<M, N> = Box<dyn FnOnce(ShardId) -> Lane<M, N> + Send>;
+
+enum Cmd<M> {
+    Window {
+        inject: Vec<(SimTime, PortId, M)>,
+        horizon: SimTime,
+    },
+    Finish,
+}
+
+enum Resp<M> {
+    Built {
+        shard: usize,
+        ports: Vec<PortId>,
+    },
+    Window {
+        outgoing: Vec<BoundaryMsg<M>>,
+        idle: bool,
+    },
+    Finished {
+        shard: usize,
+        report: String,
+        events: u64,
+    },
+}
+
+/// A cluster simulation partitioned into per-shard event lanes that
+/// advance in parallel under conservative lookahead.
+///
+/// Build shards with [`ShardedSim::add_shard`] — each closure runs on its
+/// shard's thread (or inline for the sequential driver), constructs a
+/// private [`Sim`] and wires its boundary ports — then run with
+/// [`ShardedSim::run_parallel`] or [`ShardedSim::run_sequential`]. Both
+/// drivers produce byte-identical [`ShardRun`]s for the same shard
+/// closures; the parallel one is just faster on multi-core hosts.
+pub struct ShardedSim<M, N> {
+    builders: Vec<LaneBuild<M, N>>,
+    latency: Duration,
+    window: Duration,
+}
+
+impl<M: Wire + Clone + Send + 'static, N: Network + 'static> ShardedSim<M, N> {
+    /// Creates an empty sharded simulation whose cross-shard links have
+    /// the given one-way latency. The lookahead window defaults to the
+    /// full latency (the widest safe window).
+    pub fn new(latency: Duration) -> Self {
+        assert!(latency > Duration::ZERO, "boundary latency must be > 0");
+        ShardedSim {
+            builders: Vec::new(),
+            latency,
+            window: latency,
+        }
+    }
+
+    /// Narrows the lookahead window (barrier step). Must stay in
+    /// `(0, latency]` — any wider and a boundary message could land in a
+    /// window the destination shard has already executed.
+    pub fn with_window(mut self, window: Duration) -> Self {
+        assert!(
+            window > Duration::ZERO && window <= self.latency,
+            "window must be in (0, latency]"
+        );
+        self.window = window;
+        self
+    }
+
+    /// Cross-shard link latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Current lookahead window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Number of shards added so far.
+    pub fn shards(&self) -> usize {
+        self.builders.len()
+    }
+
+    /// Adds a shard. The closure receives the shard's id, builds the
+    /// shard's entire [`Lane`] (simulation, components, port bindings,
+    /// report) and runs on the shard's own thread under the parallel
+    /// driver — which is why it must be `Send` even though the lane it
+    /// returns is not.
+    pub fn add_shard(
+        &mut self,
+        build: impl FnOnce(ShardId) -> Lane<M, N> + Send + 'static,
+    ) -> ShardId {
+        let id = ShardId(self.builders.len() as u32);
+        self.builders.push(Box::new(build));
+        id
+    }
+
+    fn horizons(window: Duration, until: SimTime) -> impl Iterator<Item = SimTime> {
+        let mut h = SimTime::ZERO;
+        std::iter::from_fn(move || {
+            if h >= until {
+                return None;
+            }
+            h = h.saturating_add(window).min(until);
+            Some(h)
+        })
+    }
+
+    /// Runs every lane on the calling thread, one window at a time in
+    /// shard-id order. The reference semantics: [`ShardedSim::run_parallel`]
+    /// must (and does) match it byte for byte.
+    pub fn run_sequential(self, until: SimTime) -> ShardRun {
+        assert!(until < SimTime::MAX, "sharded runs need a finite horizon");
+        let (latency, window) = (self.latency, self.window);
+        let mut lanes: Vec<Lane<M, N>> = self
+            .builders
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b(ShardId(i as u32)))
+            .collect();
+        let ports: Vec<Vec<PortId>> = lanes
+            .iter()
+            .map(|l| l.ingress.keys().copied().collect())
+            .collect();
+        let mut router = Router::new(latency, &ports);
+        for horizon in Self::horizons(window, until) {
+            let mut outgoing = Vec::new();
+            let mut all_idle = true;
+            let mut any_input = false;
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                let inject = router.take(i);
+                any_input |= !inject.is_empty();
+                lane.inject(inject);
+                all_idle &= lane.sim.run_until(horizon) == RunOutcome::QueueEmpty;
+                outgoing.extend(lane.drain(ShardId(i as u32)));
+            }
+            let quiet = outgoing.is_empty();
+            router.route(outgoing);
+            if all_idle && quiet && !any_input && router.all_empty() {
+                break;
+            }
+        }
+        let residual = router.residual();
+        let routed = router.routed;
+        let (reports, events) = lanes.into_iter().map(Lane::finish).unzip();
+        ShardRun {
+            reports,
+            events,
+            boundary_routed: routed,
+            boundary_residual: residual,
+        }
+    }
+
+    /// Runs each lane on its own thread, synchronising at every window
+    /// barrier. Byte-identical to [`ShardedSim::run_sequential`] on the
+    /// same shard closures: lanes share no state, and the boundary queue's
+    /// total order makes every injection independent of thread timing.
+    pub fn run_parallel(self, until: SimTime) -> ShardRun {
+        assert!(until < SimTime::MAX, "sharded runs need a finite horizon");
+        let (latency, window) = (self.latency, self.window);
+        let n = self.builders.len();
+        let builders = self.builders;
+        let (resp_tx, resp_rx) = mpsc::channel::<Resp<M>>();
+        std::thread::scope(|scope| {
+            let mut cmd_txs = Vec::with_capacity(n);
+            for (i, build) in builders.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<M>>();
+                cmd_txs.push(cmd_tx);
+                let resp_tx = resp_tx.clone();
+                scope.spawn(move || {
+                    let mut lane = build(ShardId(i as u32));
+                    resp_tx
+                        .send(Resp::Built {
+                            shard: i,
+                            ports: lane.ingress.keys().copied().collect(),
+                        })
+                        .expect("coordinator alive");
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            Cmd::Window { inject, horizon } => {
+                                lane.inject(inject);
+                                let idle = lane.sim.run_until(horizon) == RunOutcome::QueueEmpty;
+                                let outgoing = lane.drain(ShardId(i as u32));
+                                resp_tx
+                                    .send(Resp::Window { outgoing, idle })
+                                    .expect("coordinator alive");
+                            }
+                            Cmd::Finish => {
+                                let (report, events) = lane.finish();
+                                resp_tx
+                                    .send(Resp::Finished {
+                                        shard: i,
+                                        report,
+                                        events,
+                                    })
+                                    .expect("coordinator alive");
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(resp_tx);
+
+            let mut ports: Vec<Vec<PortId>> = vec![Vec::new(); n];
+            for _ in 0..n {
+                match resp_rx.recv().expect("workers alive") {
+                    Resp::Built { shard, ports: p } => ports[shard] = p,
+                    _ => unreachable!("first response per shard is Built"),
+                }
+            }
+            let mut router = Router::new(latency, &ports);
+            for horizon in Self::horizons(window, until) {
+                let mut any_input = false;
+                for (i, tx) in cmd_txs.iter().enumerate() {
+                    let inject = router.take(i);
+                    any_input |= !inject.is_empty();
+                    tx.send(Cmd::Window { inject, horizon })
+                        .expect("worker alive");
+                }
+                let mut outgoing = Vec::new();
+                let mut all_idle = true;
+                for _ in 0..n {
+                    match resp_rx.recv().expect("workers alive") {
+                        Resp::Window { outgoing: o, idle } => {
+                            outgoing.extend(o);
+                            all_idle &= idle;
+                        }
+                        _ => unreachable!("mid-run responses are Window"),
+                    }
+                }
+                let quiet = outgoing.is_empty();
+                router.route(outgoing);
+                if all_idle && quiet && !any_input && router.all_empty() {
+                    break;
+                }
+            }
+            let residual = router.residual();
+            let routed = router.routed;
+            for tx in &cmd_txs {
+                tx.send(Cmd::Finish).expect("worker alive");
+            }
+            let mut reports = vec![String::new(); n];
+            let mut events = vec![0u64; n];
+            for _ in 0..n {
+                match resp_rx.recv().expect("workers alive") {
+                    Resp::Finished {
+                        shard,
+                        report,
+                        events: e,
+                    } => {
+                        reports[shard] = report;
+                        events[shard] = e;
+                    }
+                    _ => unreachable!("post-run responses are Finished"),
+                }
+            }
+            ShardRun {
+                reports,
+                events,
+                boundary_routed: routed,
+                boundary_residual: residual,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Component, Ctx, NodeSpec, SimConfig};
+    use crate::network::IdealNetwork;
+
+    #[derive(Clone)]
+    struct Tok(u64);
+    impl Wire for Tok {
+        fn wire_size(&self) -> u64 {
+            64
+        }
+    }
+
+    /// Forwards every token to the next shard via an uplink, counting.
+    struct Relay {
+        up: Uplink<Tok>,
+        limit: u64,
+    }
+    impl Component<Tok> for Relay {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Tok>, _from: ComponentId, msg: Tok) {
+            ctx.stats().incr("relayed", 1);
+            if msg.0 < self.limit {
+                self.up.send(ctx.now(), Tok(msg.0 + 1));
+            }
+        }
+    }
+
+    fn ring(shards: u32) -> ShardedSim<Tok, IdealNetwork> {
+        let mut ss: ShardedSim<Tok, IdealNetwork> = ShardedSim::new(Duration::from_millis(1));
+        for s in 0..shards {
+            let next = PortId((s + 1) % shards);
+            ss.add_shard(move |shard| {
+                let sim = Sim::new(
+                    SimConfig::new().with_seed(0x100 + u64::from(shard.0)),
+                    IdealNetwork::default(),
+                );
+                let mut lane = Lane::new(sim);
+                let node = lane.sim().add_node(NodeSpec::new(1, "dedicated"));
+                let up = lane.uplink(next);
+                let relay = lane
+                    .sim()
+                    .spawn(node, Box::new(Relay { up, limit: 500 }), "relay");
+                lane.bind(PortId(shard.0), relay);
+                if shard.0 == 0 {
+                    lane.sim().inject(relay, Tok(0));
+                }
+                lane.set_report(|sim| format!("relayed={}", sim.stats().counter("relayed")));
+                lane
+            });
+        }
+        ss
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let until = SimTime::from_secs(2);
+        let a = ring(3).run_sequential(until);
+        let b = ring(3).run_parallel(until);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.boundary_routed > 400, "routed {}", a.boundary_routed);
+    }
+
+    #[test]
+    fn early_exit_when_everything_drains() {
+        // The 500-token chain finishes long before the horizon; the run
+        // must stop at the first all-idle barrier instead of spinning
+        // through ~an hour of empty windows.
+        let run = ring(2).run_sequential(SimTime::from_secs(3600));
+        assert_eq!(run.reports.join(","), "relayed=251,relayed=250");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be in (0, latency]")]
+    fn window_wider_than_latency_rejected() {
+        let _ = ShardedSim::<Tok, IdealNetwork>::new(Duration::from_millis(1))
+            .with_window(Duration::from_millis(2));
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod lanes;
 pub mod network;
 pub mod rng;
 pub mod sched;
@@ -84,6 +85,7 @@ impl std::fmt::Display for ComponentId {
 pub struct GroupId(pub u32);
 
 pub use engine::{Component, Ctx, Kernel, NodeSpec, RunOutcome, Sim, SimConfig, Wire};
+pub use lanes::{BoundaryMsg, Lane, PortId, ShardId, ShardRun, ShardedSim, Uplink};
 pub use network::{Delivery, Endpoint, IdealNetwork, Network, TrafficClass};
 pub use rng::Pcg32;
 pub use sched::{HeapScheduler, Scheduler, SchedulerKind, WheelScheduler};

@@ -1,0 +1,272 @@
+//! Cross-shard boundary-queue equivalence: for any topology, traffic
+//! pattern, lookahead window and fault plan, the parallel driver must
+//! produce a [`ShardRun`] byte-identical to the sequential reference,
+//! and a one-shard `ShardedSim` must reproduce a plain `Sim` run
+//! exactly. Failures shrink to a minimal divergent word sequence via
+//! the testkit's choice-stream shrinking.
+
+use std::time::Duration;
+
+use sns_testkit::{gens, props, tk_assert, tk_assert_eq};
+
+use sns_sim::engine::{Component, Ctx, NodeSpec, Sim, SimConfig, Wire};
+use sns_sim::network::IdealNetwork;
+use sns_sim::time::SimTime;
+use sns_sim::{ComponentId, Lane, PortId, ShardRun, ShardedSim, Uplink};
+
+#[derive(Clone)]
+struct Pkt(u64);
+impl Wire for Pkt {
+    fn wire_size(&self) -> u64 {
+        128
+    }
+}
+
+/// Each shard's border component: every packet either detours to a
+/// local echo worker, parks in a timer, or crosses to a random uplink —
+/// all RNG-driven, so the schedule depends on every prior delivery.
+struct Gateway {
+    ups: Vec<Uplink<Pkt>>,
+    locals: Vec<ComponentId>,
+}
+
+impl Component<Pkt> for Gateway {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Pkt>, _from: ComponentId, msg: Pkt) {
+        ctx.stats().incr("gw_hops", 1);
+        if msg.0 == 0 {
+            ctx.stats().incr("retired", 1);
+            return;
+        }
+        match ctx.rng().below(4) {
+            0 if !self.locals.is_empty() => {
+                let k = ctx.rng().below(self.locals.len() as u64) as usize;
+                ctx.send(self.locals[k], Pkt(msg.0 - 1));
+            }
+            1 => {
+                let wait = Duration::from_micros(ctx.rng().below(5_000));
+                ctx.timer(wait, msg.0 - 1);
+            }
+            _ => {
+                let k = ctx.rng().below(self.ups.len() as u64) as usize;
+                self.ups[k].send(ctx.now(), Pkt(msg.0 - 1));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Pkt>, token: u64) {
+        let k = ctx.rng().below(self.ups.len() as u64) as usize;
+        self.ups[k].send(ctx.now(), Pkt(token));
+    }
+}
+
+/// A local worker: burns a little CPU, then bounces the packet back to
+/// whoever sent it. Killing echoes mid-run is the fault plan.
+struct Echo;
+
+impl Component<Pkt> for Echo {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Pkt>, from: ComponentId, msg: Pkt) {
+        ctx.stats().incr("echoed", 1);
+        let _ = ctx.exec_cpu(Duration::from_micros(20), msg.0);
+        ctx.send(from, msg);
+    }
+}
+
+/// Builds the random topology the words encode and runs it on the
+/// given driver. Words decode to shard count, per-shard packet seeds
+/// and a fault plan (echo kills at random times); the builder closures
+/// and seeds are identical for both drivers, so any fingerprint
+/// difference is a boundary-queue ordering bug.
+fn run(words: &[u64], window_div: u32, parallel: bool) -> ShardRun {
+    let shards = 2 + (words.first().copied().unwrap_or(0) % 3) as u32; // 2..=4
+    let latency = Duration::from_millis(2);
+    let mut ss: ShardedSim<Pkt, IdealNetwork> =
+        ShardedSim::new(latency).with_window(latency / window_div);
+    for _ in 0..shards {
+        let words: Vec<u64> = words.to_vec();
+        ss.add_shard(move |shard| {
+            let sim = Sim::new(
+                SimConfig::new().with_seed(0xe01 ^ u64::from(shard.0)),
+                IdealNetwork::default(),
+            );
+            let mut lane = Lane::new(sim);
+            let node = lane.sim().add_node(NodeSpec::new(2, "dedicated"));
+            let locals: Vec<ComponentId> = (0..2)
+                .map(|_| lane.sim().spawn(node, Box::new(Echo), "echo"))
+                .collect();
+            let ups: Vec<Uplink<Pkt>> = (0..shards)
+                .filter(|&t| t != shard.0)
+                .map(|t| lane.uplink(PortId(t)))
+                .collect();
+            let gw = lane
+                .sim()
+                .spawn(node, Box::new(Gateway { ups, locals }), "gateway");
+            lane.bind(PortId(shard.0), gw);
+            for (i, &w) in words.iter().enumerate() {
+                if i as u32 % shards != shard.0 {
+                    continue;
+                }
+                match w % 4 {
+                    // A packet seeded onto this shard's gateway.
+                    0..=2 => {
+                        let at = SimTime::from_nanos(((w >> 8) % 100_000) * 1_000);
+                        lane.sim().inject_at(at, gw, Pkt(2 + (w >> 4) % 40));
+                    }
+                    // A fault: kill one of the shard's echo workers.
+                    _ => {
+                        let at = SimTime::from_nanos((1 + (w >> 8) % 200_000) * 1_000);
+                        let victim = ((w >> 3) % 2) as usize;
+                        lane.sim().at(at, move |sim| {
+                            if let Some(&v) = sim.components_of_kind("echo").get(victim) {
+                                sim.kill_component(v);
+                            }
+                        });
+                    }
+                }
+            }
+            lane.set_report(|sim| {
+                sim.stats()
+                    .all_counters()
+                    .map(|(k, v)| format!("{k}={v};"))
+                    .collect()
+            });
+            lane
+        });
+    }
+    let until = SimTime::from_secs(2);
+    if parallel {
+        ss.run_parallel(until)
+    } else {
+        ss.run_sequential(until)
+    }
+}
+
+props! {
+    /// Random topologies + fault plans: the parallel driver matches the
+    /// sequential reference byte for byte at the widest safe window.
+    fn parallel_matches_sequential_on_random_topologies(
+        words in gens::vec(gens::any_u64(), 1..40),
+    ) {
+        let seq = run(&words, 1, false);
+        let par = run(&words, 1, true);
+        tk_assert_eq!(seq.fingerprint(), par.fingerprint());
+        tk_assert!(seq.total_events() > 0);
+    }
+
+    /// Narrowing the lookahead window (more barriers per unit of virtual
+    /// time) must not break driver equivalence either — window width may
+    /// legally reorder same-timestamp ties, but never desynchronise the
+    /// two drivers at the same width.
+    fn window_width_never_desynchronises_the_drivers(
+        words in gens::vec(gens::any_u64(), 1..24),
+        div in gens::u64_in(1..5),
+    ) {
+        let seq = run(&words, div as u32, false);
+        let par = run(&words, div as u32, true);
+        tk_assert_eq!(seq.fingerprint(), par.fingerprint());
+    }
+}
+
+/// A one-shard `ShardedSim` is a plain `Sim` run through the windowed
+/// driver: same events dispatched, same counters, on both drivers.
+#[test]
+fn one_shard_lane_reproduces_a_plain_sim_run() {
+    struct Chatter;
+    impl Component<Pkt> for Chatter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Pkt>) {
+            ctx.timer(Duration::from_millis(1), 200);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Pkt>, _from: ComponentId, msg: Pkt) {
+            ctx.stats().incr("notes", 1);
+            if msg.0 > 0 {
+                let wait = Duration::from_micros(ctx.rng().below(900));
+                ctx.timer(wait, msg.0 - 1);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Pkt>, token: u64) {
+            let me = ctx.me();
+            ctx.send(me, Pkt(token));
+        }
+    }
+    let build = || {
+        let mut sim: Sim<Pkt, IdealNetwork> =
+            Sim::new(SimConfig::new().with_seed(0x0d0), IdealNetwork::default());
+        let node = sim.add_node(NodeSpec::new(1, "dedicated"));
+        sim.spawn(node, Box::new(Chatter), "chatter");
+        sim
+    };
+    let until = SimTime::from_secs(2);
+
+    let mut plain = build();
+    plain.run_until(until);
+    let plain_events = plain.events_dispatched();
+    let plain_notes = plain.stats().counter("notes");
+    assert!(plain_notes > 0, "the chatter must have chattered");
+
+    for parallel in [false, true] {
+        let mut ss: ShardedSim<Pkt, IdealNetwork> = ShardedSim::new(Duration::from_millis(1));
+        ss.add_shard(move |_| {
+            let mut lane = Lane::new(build());
+            lane.set_report(|sim| format!("notes={}", sim.stats().counter("notes")));
+            lane
+        });
+        let run = if parallel {
+            ss.run_parallel(until)
+        } else {
+            ss.run_sequential(until)
+        };
+        assert_eq!(run.events, vec![plain_events], "driver parallel={parallel}");
+        assert_eq!(run.reports, vec![format!("notes={plain_notes}")]);
+        assert_eq!(run.boundary_routed, 0);
+    }
+}
+
+/// Traffic still in flight at the horizon is accounted as boundary
+/// residual — identically by both drivers — and the sum of routed and
+/// residual messages is conserved.
+#[test]
+fn in_flight_boundary_traffic_is_counted_identically() {
+    // An endless two-shard ping-pong: at any horizon there is exactly
+    // one message either routed or pending.
+    struct Pong {
+        up: Uplink<Pkt>,
+    }
+    impl Component<Pkt> for Pong {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Pkt>, _from: ComponentId, msg: Pkt) {
+            ctx.stats().incr("pongs", 1);
+            self.up.send(ctx.now(), Pkt(msg.0 + 1));
+        }
+    }
+    let build = |until: SimTime, parallel: bool| {
+        let mut ss: ShardedSim<Pkt, IdealNetwork> = ShardedSim::new(Duration::from_millis(1));
+        for _ in 0..2u32 {
+            ss.add_shard(move |shard| {
+                let sim = Sim::new(
+                    SimConfig::new().with_seed(u64::from(shard.0)),
+                    IdealNetwork::default(),
+                );
+                let mut lane = Lane::new(sim);
+                let node = lane.sim().add_node(NodeSpec::new(1, "dedicated"));
+                let up = lane.uplink(PortId(1 - shard.0));
+                let pong = lane.sim().spawn(node, Box::new(Pong { up }), "pong");
+                lane.bind(PortId(shard.0), pong);
+                if shard.0 == 0 {
+                    lane.sim().inject(pong, Pkt(0));
+                }
+                lane.set_report(|sim| format!("pongs={}", sim.stats().counter("pongs")));
+                lane
+            });
+        }
+        if parallel {
+            ss.run_parallel(until)
+        } else {
+            ss.run_sequential(until)
+        }
+    };
+    let until = SimTime::from_millis(500);
+    let seq = build(until, false);
+    let par = build(until, true);
+    assert_eq!(seq.fingerprint(), par.fingerprint());
+    // ~250 crossings in 500 ms of 1 ms hops; the final send is parked.
+    assert!(seq.boundary_routed > 400, "routed {}", seq.boundary_routed);
+    assert_eq!(seq.boundary_residual, 1, "one message in flight at cut");
+}

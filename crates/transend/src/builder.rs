@@ -15,7 +15,7 @@ use sns_distillers::{
     CultureAggregator, GifDistiller, HtmlMunger, JpegDistiller, KeywordFilter,
     MetasearchAggregator, PdaSimplifier, RewebberDecrypt, RewebberEncrypt,
 };
-use sns_san::{LinkParams, San, SanConfig};
+use sns_san::{LinkParams, San, SanConfig, SanMode};
 use sns_sim::engine::{NodeSpec, Sim, SimConfig};
 use sns_sim::sched::SchedulerKind;
 use sns_sim::{ComponentId, GroupId, NodeId};
@@ -139,6 +139,25 @@ impl TranSendBuilder {
     /// Sets the interconnect model.
     pub fn with_san(mut self, san: SanConfig) -> Self {
         self.topology.san = san;
+        self
+    }
+
+    /// Selects the SAN fidelity mode without replacing the rest of the
+    /// interconnect configuration; see [`SanMode`]. Chains like the
+    /// other `with_*` setters:
+    ///
+    /// ```no_run
+    /// use sns_san::SanMode;
+    /// use sns_transend::TranSendBuilder;
+    ///
+    /// let cluster = TranSendBuilder::new()
+    ///     .with_seed(7)
+    ///     .with_san_mode(SanMode::Flow)
+    ///     .build();
+    /// # let _ = cluster;
+    /// ```
+    pub fn with_san_mode(mut self, mode: SanMode) -> Self {
+        self.topology.san.mode = mode;
         self
     }
 

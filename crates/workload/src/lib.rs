@@ -27,6 +27,7 @@
 pub mod bursts;
 pub mod mix;
 pub mod playback;
+pub mod replay;
 pub mod sizes;
 pub mod trace;
 pub mod zipf;
@@ -34,6 +35,7 @@ pub mod zipf;
 pub use bursts::{ArrivalProcess, DiurnalProfile};
 pub use mix::MimeMix;
 pub use playback::{Playback, Schedule};
+pub use replay::{EpochLoad, FlashCrowd, ReplayLoad};
 pub use sizes::SizeModel;
 pub use trace::{Trace, TraceGenerator, TraceRecord, WorkloadConfig};
 pub use zipf::Zipf;

@@ -381,3 +381,124 @@ fn hotbot_runs_are_bit_identical_given_a_seed() {
     };
     assert_eq!(run(), run());
 }
+
+/// Shrinkable sequential ≡ sharded equivalence: random word streams
+/// decode to a multi-shard topology (2–4 lanes of echo workers behind a
+/// gateway), a packet schedule and a fault plan of echo kills; the
+/// parallel lane driver must reproduce the sequential reference
+/// fingerprint byte for byte. Failures shrink to a minimal divergent
+/// word sequence via the testkit's choice-stream shrinking.
+mod sharded {
+    use std::time::Duration;
+
+    use sns_testkit::{gens, props, tk_assert, tk_assert_eq};
+
+    use cluster_sns::sim::engine::{Component, Ctx, NodeSpec, Sim, SimConfig, Wire};
+    use cluster_sns::sim::network::IdealNetwork;
+    use cluster_sns::sim::time::SimTime;
+    use cluster_sns::sim::{ComponentId, Lane, PortId, ShardRun, ShardedSim, Uplink};
+
+    #[derive(Clone)]
+    struct Pkt(u64);
+    impl Wire for Pkt {
+        fn wire_size(&self) -> u64 {
+            96
+        }
+    }
+
+    struct Gateway {
+        ups: Vec<Uplink<Pkt>>,
+        local: ComponentId,
+    }
+    impl Component<Pkt> for Gateway {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Pkt>, _from: ComponentId, msg: Pkt) {
+            ctx.stats().incr("hops", 1);
+            if msg.0 == 0 {
+                return;
+            }
+            if ctx.rng().below(3) == 0 {
+                ctx.send(self.local, Pkt(msg.0 - 1));
+            } else {
+                let k = ctx.rng().below(self.ups.len() as u64) as usize;
+                self.ups[k].send(ctx.now(), Pkt(msg.0 - 1));
+            }
+        }
+    }
+
+    struct Echo;
+    impl Component<Pkt> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Pkt>, from: ComponentId, msg: Pkt) {
+            ctx.stats().incr("echoed", 1);
+            ctx.send(from, msg);
+        }
+    }
+
+    fn run(words: &[u64], parallel: bool) -> ShardRun {
+        let shards = 2 + (words.first().copied().unwrap_or(0) % 3) as u32;
+        let latency = Duration::from_millis(1);
+        let mut ss: ShardedSim<Pkt, IdealNetwork> = ShardedSim::new(latency);
+        for _ in 0..shards {
+            let words: Vec<u64> = words.to_vec();
+            ss.add_shard(move |shard| {
+                let sim = Sim::new(
+                    SimConfig::new().with_seed(0xdef ^ u64::from(shard.0)),
+                    IdealNetwork::default(),
+                );
+                let mut lane = Lane::new(sim);
+                let node = lane.sim().add_node(NodeSpec::new(1, "dedicated"));
+                let local = lane.sim().spawn(node, Box::new(Echo), "echo");
+                let ups: Vec<Uplink<Pkt>> = (0..shards)
+                    .filter(|&t| t != shard.0)
+                    .map(|t| lane.uplink(PortId(t)))
+                    .collect();
+                let gw = lane
+                    .sim()
+                    .spawn(node, Box::new(Gateway { ups, local }), "gateway");
+                lane.bind(PortId(shard.0), gw);
+                for (i, &w) in words.iter().enumerate() {
+                    if i as u32 % shards != shard.0 {
+                        continue;
+                    }
+                    if w % 5 == 4 {
+                        // Fault plan: kill the shard's echo worker.
+                        let at = SimTime::from_nanos((1 + (w >> 8) % 150_000) * 1_000);
+                        lane.sim().at(at, |sim| {
+                            if let Some(&v) = sim.components_of_kind("echo").first() {
+                                sim.kill_component(v);
+                            }
+                        });
+                    } else {
+                        let at = SimTime::from_nanos(((w >> 8) % 100_000) * 1_000);
+                        lane.sim().inject_at(at, gw, Pkt(2 + (w >> 4) % 30));
+                    }
+                }
+                lane.set_report(|sim| {
+                    sim.stats()
+                        .all_counters()
+                        .map(|(k, v)| format!("{k}={v};"))
+                        .collect()
+                });
+                lane
+            });
+        }
+        let until = SimTime::from_secs(1);
+        if parallel {
+            ss.run_parallel(until)
+        } else {
+            ss.run_sequential(until)
+        }
+    }
+
+    props! {
+        /// Whatever topology, schedule and fault plan the words encode,
+        /// both lane drivers agree byte for byte.
+        fn sharded_runs_match_the_sequential_reference(
+            words in gens::vec(gens::any_u64(), 1..32),
+        ) {
+            let seq = run(&words, false);
+            let par = run(&words, true);
+            tk_assert_eq!(seq.fingerprint(), par.fingerprint());
+            tk_assert!(seq.total_events() > 0);
+        }
+    }
+}

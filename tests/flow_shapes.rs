@@ -1,0 +1,326 @@
+//! Flow-mode fidelity shapes: the tolerance bands that justify running
+//! million-user replays on the flow-level SAN (`SanMode::Flow`) instead
+//! of pricing every datagram exactly. Each test pins one qualitative
+//! claim from DESIGN.md §6j:
+//!
+//! * at light load the closed-form flow delay tracks the exact
+//!   busy-pointer delay;
+//! * a replay window priced per-epoch with `offer_flow` delivers the
+//!   same request count as the per-message path, with delays inside a
+//!   coarse 2× band;
+//! * the §4.6 tail-drop shape survives in flow mode, because saturated
+//!   links fall back to the exact path;
+//! * partition and blackout semantics are mode-invariant;
+//! * one aggregated `offer_flow` batch prices like the per-message flow
+//!   fast path it replaces.
+
+use std::time::Duration;
+
+use cluster_sns::san::{San, SanConfig, SanMode};
+use cluster_sns::sim::network::{Delivery, Endpoint, Network, TrafficClass};
+use cluster_sns::sim::rng::Pcg32;
+use cluster_sns::sim::time::SimTime;
+use cluster_sns::sim::{ComponentId, NodeId};
+use cluster_sns::workload::ReplayLoad;
+
+fn ep(node: u32, comp: u64) -> Endpoint {
+    Endpoint {
+        node: NodeId(node),
+        comp: ComponentId(comp),
+    }
+}
+
+fn san(mode: SanMode) -> (San, Pcg32) {
+    let mut s = San::new(SanConfig::switched_100mbps().with_mode(mode));
+    for n in 0..8 {
+        s.register_node(NodeId(n));
+    }
+    (s, Pcg32::new(7))
+}
+
+fn delay_of(d: Delivery, sent: SimTime) -> Option<Duration> {
+    match d {
+        Delivery::At(t) => Some(t.since(sent)),
+        Delivery::Dropped => None,
+    }
+}
+
+/// At light load (well under the saturation threshold) the flow model's
+/// closed-form delay must track the exact busy-pointer delay within
+/// 20%: queueing is negligible, so both reduce to serialisation plus
+/// propagation.
+#[test]
+fn light_load_delays_agree_across_modes() {
+    let mut totals = Vec::new();
+    for mode in [SanMode::Datagram, SanMode::Flow] {
+        let (mut s, mut rng) = san(mode);
+        let mut total = Duration::ZERO;
+        for i in 0..50u64 {
+            // 10 ms spacing: each 6 KB message finishes long before the
+            // next arrives, so the exact path sees empty queues.
+            let now = SimTime::from_millis(i * 10);
+            let d = s.unicast(
+                now,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                6_000,
+                TrafficClass::Reliable,
+            );
+            total += delay_of(d, now).expect("reliable traffic is never dropped");
+        }
+        totals.push(total.as_secs_f64());
+    }
+    let (exact, flow) = (totals[0], totals[1]);
+    assert!(
+        (flow - exact).abs() / exact < 0.20,
+        "flow total delay {flow:.6}s drifted >20% from exact {exact:.6}s"
+    );
+}
+
+/// A replay window priced with one `offer_flow` per (epoch, pair)
+/// must deliver exactly the same request count as the per-message
+/// exact path (reliable traffic, no drops on either side) and keep the
+/// mean delay inside a coarse (0.5, 2.0) fidelity band — the contract
+/// the `sim_scale` bench gate enforces at full scale.
+#[test]
+fn replay_window_keeps_delivered_counts_and_delay_bands() {
+    const PAIRS: u64 = 2;
+    let load = ReplayLoad::new(250_000, 0xF5).with_epoch(Duration::from_secs(1));
+    let horizon = Duration::from_secs(30);
+
+    // Per-message leg: every request is one exact unicast, uniformly
+    // spread within its epoch.
+    let (mut s, mut rng) = san(SanMode::Datagram);
+    let (mut d_total, mut d_delay) = (0u64, Duration::ZERO);
+    for epoch in load.epochs(horizon) {
+        if epoch.requests == 0 {
+            continue;
+        }
+        let size = epoch.bytes / epoch.requests;
+        let gap = load.epoch.as_nanos() as u64 / epoch.requests;
+        for i in 0..epoch.requests {
+            let pair = i % PAIRS;
+            let at = SimTime::from_nanos(epoch.start.as_nanos() as u64 + i * gap);
+            let d = s.unicast(
+                at,
+                &mut rng,
+                ep(pair as u32, 1),
+                ep(4 + pair as u32, 2),
+                size,
+                TrafficClass::Reliable,
+            );
+            d_delay += delay_of(d, at).expect("reliable traffic is never dropped");
+            d_total += 1;
+        }
+    }
+
+    // Flow leg: one offer per epoch and pair carries the same messages
+    // and bytes. The SAN's utilisation epoch must match the envelope's
+    // aggregation epoch, or utilisation is over-counted.
+    let mut f = San::new(
+        SanConfig::switched_100mbps()
+            .with_mode(SanMode::Flow)
+            .with_flow_epoch(load.epoch),
+    );
+    for n in 0..8 {
+        f.register_node(NodeId(n));
+    }
+    let (mut f_total, mut f_delay) = (0u64, Duration::ZERO);
+    for epoch in load.epochs(horizon) {
+        if epoch.requests == 0 {
+            continue;
+        }
+        let size = epoch.bytes / epoch.requests;
+        let at = SimTime::from_nanos(epoch.start.as_nanos() as u64);
+        for pair in 0..PAIRS {
+            let msgs = epoch.requests / PAIRS + u64::from(pair < epoch.requests % PAIRS);
+            let report = f.offer_flow(
+                at,
+                NodeId(pair as u32),
+                NodeId(4 + pair as u32),
+                size * msgs,
+                msgs,
+                TrafficClass::Reliable,
+            );
+            assert_eq!(report.dropped, 0, "reliable flow traffic never drops");
+            f_delay += report.delay.mul_f64(report.delivered as f64);
+            f_total += report.delivered;
+        }
+    }
+
+    assert_eq!(d_total, f_total, "both legs must carry every request");
+    assert!(
+        d_total > 500,
+        "the window must carry real load, got {d_total}"
+    );
+    let ratio = f_delay.as_secs_f64() / d_delay.as_secs_f64();
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "flow mean delay off the fidelity band: ratio {ratio:.3}"
+    );
+}
+
+/// Saturating a link with a datagram burst must tail-drop in flow mode
+/// too: the fast path refuses once utilisation crosses the threshold,
+/// and the exact fallback reproduces the §4.6 drop shape. The flow
+/// path may admit a few more head-of-burst messages (its early fast
+/// path leaves the busy pointers idle), so the drop counts agree only
+/// coarsely — but both must shed most of the burst.
+#[test]
+fn saturation_tail_drop_shape_survives_flow_mode() {
+    let mut drops = Vec::new();
+    for mode in [SanMode::Datagram, SanMode::Flow] {
+        let (mut s, mut rng) = san(mode);
+        let mut dropped = 0u64;
+        for _ in 0..60 {
+            // 125 KB ≈ 10 ms of wire each, all offered at t=0: far past
+            // the 50 ms max queue delay.
+            let d = s.unicast(
+                SimTime::ZERO,
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                125_000,
+                TrafficClass::Datagram,
+            );
+            if d == Delivery::Dropped {
+                dropped += 1;
+            }
+        }
+        if mode == SanMode::Flow {
+            assert!(
+                s.stats().flow_fast_path > 0,
+                "head of burst rides the fast path"
+            );
+            assert!(s.stats().flow_fallbacks > 0, "saturation must fall back");
+        }
+        drops.push(dropped);
+    }
+    let (exact, flow) = (drops[0], drops[1]);
+    assert!(
+        exact >= 45,
+        "exact mode must shed most of the burst, dropped {exact}"
+    );
+    assert!(
+        flow <= exact,
+        "flow mode cannot drop more than exact ({flow} > {exact})"
+    );
+    assert!(
+        flow as f64 / exact as f64 > 0.6,
+        "flow drop count {flow} lost the tail-drop shape (exact {exact})"
+    );
+}
+
+/// Partitions and datagram blackouts are correctness semantics, not
+/// performance: identical call sequences must produce identical drop
+/// and delivery counts in both SAN modes.
+#[test]
+fn partition_and_blackout_semantics_are_mode_invariant() {
+    let mut outcomes = Vec::new();
+    for mode in [SanMode::Datagram, SanMode::Flow] {
+        let (mut s, mut rng) = san(mode);
+        s.partition(&[vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        for i in 0..4u64 {
+            // Cross-group: always dropped.
+            s.unicast(
+                SimTime::from_millis(i),
+                &mut rng,
+                ep(0, 1),
+                ep(2, 2),
+                1_000,
+                TrafficClass::Reliable,
+            );
+            // Same-group: carried.
+            s.unicast(
+                SimTime::from_millis(i),
+                &mut rng,
+                ep(0, 1),
+                ep(1, 2),
+                1_000,
+                TrafficClass::Reliable,
+            );
+        }
+        s.heal();
+        s.set_datagram_blackout(true);
+        let now = SimTime::from_secs(1);
+        // Off-node datagrams die in the blackout; reliable and loopback
+        // traffic survive it.
+        s.unicast(
+            now,
+            &mut rng,
+            ep(0, 1),
+            ep(1, 2),
+            200,
+            TrafficClass::Datagram,
+        );
+        s.unicast(
+            now,
+            &mut rng,
+            ep(0, 1),
+            ep(1, 2),
+            200,
+            TrafficClass::Reliable,
+        );
+        s.unicast(
+            now,
+            &mut rng,
+            ep(0, 1),
+            ep(0, 2),
+            200,
+            TrafficClass::Datagram,
+        );
+        let st = s.stats();
+        outcomes.push((st.partition_drops, st.blackout_drops, st.delivered));
+    }
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "fault semantics must not depend on SAN mode"
+    );
+}
+
+/// One aggregated `offer_flow` batch must price like the per-message
+/// flow fast path it replaces: same links, same epoch, same offered
+/// load — the batch's representative delay times its message count
+/// lands within 30% of the summed per-message delays.
+#[test]
+fn offer_flow_batch_matches_per_message_flow_pricing() {
+    const MSGS: u64 = 40;
+    const SIZE: u64 = 5_000;
+
+    let (mut per_msg, mut rng) = san(SanMode::Flow);
+    let mut sum = Duration::ZERO;
+    for _ in 0..MSGS {
+        let d = per_msg.unicast(
+            SimTime::ZERO,
+            &mut rng,
+            ep(0, 1),
+            ep(1, 2),
+            SIZE,
+            TrafficClass::Reliable,
+        );
+        sum += delay_of(d, SimTime::ZERO).expect("light reliable load is never dropped");
+    }
+    assert_eq!(
+        per_msg.stats().flow_fast_path,
+        MSGS,
+        "all messages take the fast path"
+    );
+
+    let (mut batch, _) = san(SanMode::Flow);
+    let report = batch.offer_flow(
+        SimTime::ZERO,
+        NodeId(0),
+        NodeId(1),
+        SIZE * MSGS,
+        MSGS,
+        TrafficClass::Reliable,
+    );
+    assert_eq!(report.delivered, MSGS);
+    let batched = report.delay.mul_f64(MSGS as f64).as_secs_f64();
+    let summed = sum.as_secs_f64();
+    assert!(
+        (batched - summed).abs() / summed < 0.30,
+        "batched pricing {batched:.6}s drifted >30% from per-message {summed:.6}s"
+    );
+}
